@@ -1,0 +1,317 @@
+(* Benchmark harness.
+
+   Two parts:
+   1. Regenerates the rows/series of every table and figure in the paper's
+      evaluation (reduced m so the run stays interactive; use
+      `dune exec bin/experiments.exe` for the full protocol).
+   2. Bechamel micro-benchmarks — one Test.make per table/figure workload
+      plus ablations of QSPR's design choices (turn-aware routing, channel
+      multiplexing, dual-operand movement). *)
+
+open Bechamel
+open Toolkit
+
+let fabric = Qspr.Experiments.fabric ()
+
+let ctx_of ?config name =
+  let p = List.assoc name (Circuits.Qecc.all ()) in
+  match Qspr.Mapper.create ~fabric ?config p with
+  | Ok c -> c
+  | Error e -> failwith e
+
+let solution_latency = function
+  | Ok (s : Qspr.Mapper.solution) -> s.Qspr.Mapper.latency
+  | Error e -> failwith e
+
+let engine_latency = function
+  | Ok (r : Simulator.Engine.result) -> r.Simulator.Engine.latency
+  | Error e -> failwith e
+
+(* ------------------------------------------------------- table printers *)
+
+let print_tables () =
+  print_endline "=== Table 1 (reduced protocol: m=3/6; full: bin/experiments.exe table1) ===";
+  let rows = Qspr.Experiments.table1 ~m_small:3 ~m_large:6 () in
+  print_string (Qspr.Report.render_table1 rows);
+  print_newline ();
+  print_endline "=== Table 2 (reduced protocol: m=6; full: bin/experiments.exe table2) ===";
+  let rows2 = Qspr.Experiments.table2 ~m:6 () in
+  print_string (Qspr.Report.render_table2 rows2);
+  print_newline ();
+  print_string (Qspr.Experiments.table2_with_paper rows2);
+  print_newline ();
+  print_endline "=== Sensitivity to m (reduced: ms = 1,2,5) ===";
+  List.iter
+    (fun (m, mvfb, runs, mc) ->
+      Printf.printf "  m=%3d  MVFB %7.1f us (%d runs)  MC %7.1f us\n" m mvfb runs mc)
+    (Qspr.Experiments.sensitivity ~ms:[ 1; 2; 5 ] ());
+  print_newline ();
+  print_endline "=== Figure 5 (turn-aware vs turn-blind routing) ===";
+  print_string (Qspr.Experiments.fig5 ());
+  print_newline ()
+
+(* -------------------------------------------------------------- benches *)
+
+(* Table 1 workloads: one MVFB local search vs an equal-budget MC search on
+   the [[5,1,3]] circuit. *)
+let bench_table1 =
+  let ctx = ctx_of "[[5,1,3]]" in
+  Test.make_grouped ~name:"table1"
+    [
+      Test.make ~name:"mvfb_m1" (Staged.stage (fun () -> solution_latency (Qspr.Mapper.map_mvfb ~m:1 ctx)));
+      Test.make ~name:"mc_runs6"
+        (Staged.stage (fun () -> solution_latency (Qspr.Mapper.map_monte_carlo ~runs:6 ctx)));
+    ]
+
+(* Table 2 workloads: one QSPR forward run, one QUALE run, and the ideal
+   baseline computation, on the mid-size [[9,1,3]] circuit. *)
+let bench_table2 =
+  let ctx = ctx_of "[[9,1,3]]" in
+  let placement = Placer.Center.place (Qspr.Mapper.component ctx) ~num_qubits:9 in
+  Test.make_grouped ~name:"table2"
+    [
+      Test.make ~name:"qspr_forward_run"
+        (Staged.stage (fun () -> engine_latency (Qspr.Mapper.run_forward ctx placement)));
+      Test.make ~name:"quale_run" (Staged.stage (fun () -> solution_latency (Qspr.Quale_mode.map ctx)));
+      Test.make ~name:"ideal_baseline" (Staged.stage (fun () -> Qspr.Mapper.ideal_latency ctx));
+    ]
+
+(* Figure 4 workload: building the 45x85 fabric model (generate cells,
+   extract components, build the turn-aware graph). *)
+let bench_fig4 =
+  Test.make_grouped ~name:"fig4"
+    [
+      Test.make ~name:"fabric_model_build"
+        (Staged.stage (fun () ->
+             let lay = Fabric.Layout.quale_45x85 () in
+             match Fabric.Component.extract lay with
+             | Ok comp -> Fabric.Graph.num_nodes (Fabric.Graph.build comp)
+             | Error e -> failwith e));
+    ]
+
+(* Figure 5 workload: corner-to-corner Dijkstra under both weight models. *)
+let bench_fig5 =
+  let comp =
+    match Fabric.Component.extract fabric with Ok c -> c | Error e -> failwith e
+  in
+  let graph = Fabric.Graph.build comp in
+  let cong = Router.Congestion.create comp ~channel_capacity:2 ~junction_capacity:2 in
+  let traps = Fabric.Component.traps comp in
+  let src = Fabric.Graph.trap_node graph 0 in
+  let dst = Fabric.Graph.trap_node graph (Array.length traps - 1) in
+  let route turn_cost () =
+    match
+      Router.Dijkstra.shortest_path graph ~weight:(Router.Congestion.weight cong ~turn_cost) ~src ~dst
+    with
+    | Some r -> r.Router.Dijkstra.cost
+    | None -> failwith "no route"
+  in
+  let astar () =
+    match
+      Router.Astar.shortest_path graph ~weight:(Router.Congestion.weight cong ~turn_cost:10.0) ~src ~dst
+    with
+    | Some r -> r.Router.Dijkstra.cost
+    | None -> failwith "no route"
+  in
+  Test.make_grouped ~name:"fig5"
+    [
+      Test.make ~name:"dijkstra_turn_aware" (Staged.stage (route 10.0));
+      Test.make ~name:"dijkstra_turn_blind" (Staged.stage (route 0.0));
+      Test.make ~name:"astar_turn_aware" (Staged.stage astar);
+    ]
+
+(* Figure 2/3 workload: QASM front end round-trip of the [[5,1,3]] program. *)
+let bench_fig23 =
+  let text = Qasm.Printer.to_string (Circuits.Qecc.c513 ()) in
+  Test.make_grouped ~name:"fig23"
+    [
+      Test.make ~name:"parse_qasm"
+        (Staged.stage (fun () ->
+             match Qasm.Parser.parse text with Ok p -> Qasm.Program.num_instrs p | Error e -> failwith e));
+      Test.make ~name:"dag_and_critical_path"
+        (Staged.stage (fun () ->
+             Qspr.Baseline.latency Router.Timing.paper (Circuits.Qecc.c513 ())));
+    ]
+
+(* PathFinder (reference [3]) vs greedy sequential routing on a wave of six
+   simultaneous nets across the 45x85 fabric. *)
+let bench_pathfinder =
+  let comp =
+    match Fabric.Component.extract fabric with Ok c -> c | Error e -> failwith e
+  in
+  let graph = Fabric.Graph.build comp in
+  let traps = Array.length (Fabric.Component.traps comp) in
+  let nets =
+    List.init 6 (fun i ->
+        {
+          Router.Pathfinder.net_id = i;
+          src = Fabric.Graph.trap_node graph (i * 7);
+          dst = Fabric.Graph.trap_node graph (traps - 1 - (i * 11));
+        })
+  in
+  let capacity = function Router.Resource.Segment _ -> 2 | Router.Resource.Junction _ -> 2 in
+  let pathfinder () =
+    match Router.Pathfinder.route_all graph ~capacity nets with
+    | Ok o -> o.Router.Pathfinder.iterations
+    | Error e -> failwith e
+  in
+  let sequential () =
+    (* greedy: route nets one by one under live Eq. 2 congestion *)
+    let cong = Router.Congestion.create comp ~channel_capacity:2 ~junction_capacity:2 in
+    List.iter
+      (fun net ->
+        match
+          Router.Dijkstra.shortest_path graph
+            ~weight:(Router.Congestion.weight cong ~turn_cost:10.0)
+            ~src:net.Router.Pathfinder.src ~dst:net.Router.Pathfinder.dst
+        with
+        | Some r ->
+            let p = Router.Path.of_result ~src:net.Router.Pathfinder.src ~dst:net.Router.Pathfinder.dst r in
+            List.iter (Router.Congestion.acquire cong) (Router.Path.resources p)
+        | None -> failwith "no route")
+      nets;
+    Router.Congestion.total_in_flight cong
+  in
+  Test.make_grouped ~name:"pathfinder"
+    [
+      Test.make ~name:"negotiated_wave6" (Staged.stage pathfinder);
+      Test.make ~name:"greedy_sequential_wave6" (Staged.stage sequential);
+    ]
+
+(* Sensitivity workload: the single forward evaluation that the m-sweep
+   repeats. *)
+let bench_sensitivity =
+  let ctx = ctx_of "[[5,1,3]]" in
+  let placement = Placer.Center.place (Qspr.Mapper.component ctx) ~num_qubits:5 in
+  Test.make_grouped ~name:"sensitivity"
+    [
+      Test.make ~name:"forward_evaluation"
+        (Staged.stage (fun () -> engine_latency (Qspr.Mapper.run_forward ctx placement)));
+    ]
+
+(* One forward schedule-and-route evaluation per benchmark circuit: how the
+   mapper's cost scales across Table 2's workloads. *)
+let bench_circuits =
+  Test.make_grouped ~name:"circuits"
+    (List.map
+       (fun (name, p) ->
+         let ctx =
+           match Qspr.Mapper.create ~fabric p with Ok c -> c | Error e -> failwith e
+         in
+         let placement =
+           Placer.Center.place (Qspr.Mapper.component ctx) ~num_qubits:(Qasm.Program.num_qubits p)
+         in
+         Test.make ~name:(String.map (function ',' -> '_' | c -> c) name)
+           (Staged.stage (fun () -> engine_latency (Qspr.Mapper.run_forward ctx placement))))
+       (Circuits.Qecc.all ()))
+
+(* Quantum-substrate workloads: tableau simulation of the largest benchmark
+   and dense state-vector simulation of the smallest. *)
+let bench_quantum =
+  let big = List.assoc "[[23,1,7]]" (Circuits.Qecc.all ()) in
+  let small = Circuits.Qecc.c513 () in
+  Test.make_grouped ~name:"quantum"
+    [
+      Test.make ~name:"stabilizer_23q"
+        (Staged.stage (fun () ->
+             match Quantum.Stabilizer.run_program big with
+             | Ok t -> Quantum.Stabilizer.num_qubits t
+             | Error e -> failwith e));
+      Test.make ~name:"statevec_5q"
+        (Staged.stage (fun () -> Quantum.Statevec.norm (Quantum.Statevec.run_program small)));
+      Test.make ~name:"canonical_form_23q"
+        (Staged.stage
+           (let t = match Quantum.Stabilizer.run_program big with Ok t -> t | Error e -> failwith e in
+            fun () -> List.length (Quantum.Stabilizer.canonical_stabilizers t)));
+    ]
+
+(* Ablations (DESIGN.md): each disables one QSPR design choice on the
+   [[9,1,3]] workload; compare latencies in the printed summary and costs in
+   the timing table. *)
+let ablation_policies =
+  [
+    ("full_qspr", Simulator.Engine.qspr_policy);
+    ("turn_blind", { Simulator.Engine.qspr_policy with Simulator.Engine.turn_aware = false });
+    ("capacity_1", { Simulator.Engine.qspr_policy with Simulator.Engine.channel_capacity = 1 });
+    ("dest_pinned", { Simulator.Engine.qspr_policy with Simulator.Engine.routing = Simulator.Engine.Dest_pinned });
+    ("single_trap_candidate", { Simulator.Engine.qspr_policy with Simulator.Engine.trap_candidates = 1 });
+  ]
+
+let bench_ablation =
+  let ctx = ctx_of "[[9,1,3]]" in
+  let placement = Placer.Center.place (Qspr.Mapper.component ctx) ~num_qubits:9 in
+  let prios = Qspr.Mapper.qspr_priorities ctx in
+  Test.make_grouped ~name:"ablation"
+    (List.map
+       (fun (name, policy) ->
+         Test.make ~name
+           (Staged.stage (fun () ->
+                engine_latency (Qspr.Mapper.run_with ctx ~policy ~priorities:prios ~placement))))
+       ablation_policies)
+
+let print_priority_study () =
+  print_endline "=== Scheduling-priority ablation ([[9,1,3]]) ===";
+  List.iter
+    (fun (name, latency) -> Printf.printf "  %-26s %8.1f us\n" name latency)
+    (Qspr.Experiments.priority_study ());
+  print_newline ()
+
+let print_ablation_latencies () =
+  print_endline "=== Ablation latencies ([[9,1,3]], center placement) ===";
+  let ctx = ctx_of "[[9,1,3]]" in
+  let placement = Placer.Center.place (Qspr.Mapper.component ctx) ~num_qubits:9 in
+  let prios = Qspr.Mapper.qspr_priorities ctx in
+  List.iter
+    (fun (name, policy) ->
+      let latency = engine_latency (Qspr.Mapper.run_with ctx ~policy ~priorities:prios ~placement) in
+      Printf.printf "  %-22s %8.1f us\n" name latency)
+    ablation_policies;
+  print_newline ()
+
+(* ------------------------------------------------------------- reporting *)
+
+let run_benchmarks () =
+  let tests =
+    Test.make_grouped ~name:"qspr"
+      [
+        bench_table1;
+        bench_table2;
+        bench_fig4;
+        bench_fig5;
+        bench_fig23;
+        bench_pathfinder;
+        bench_sensitivity;
+        bench_circuits;
+        bench_quantum;
+        bench_ablation;
+      ]
+  in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~kde:None () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+  let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  print_endline "=== Bechamel timings (monotonic clock, per run) ===";
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let ns = match Analyze.OLS.estimates ols with Some [ e ] -> e | _ -> nan in
+        (name, ns) :: acc)
+      results []
+    |> List.sort compare
+  in
+  List.iter
+    (fun (name, ns) ->
+      let pretty =
+        if ns > 1e9 then Printf.sprintf "%8.2f s " (ns /. 1e9)
+        else if ns > 1e6 then Printf.sprintf "%8.2f ms" (ns /. 1e6)
+        else if ns > 1e3 then Printf.sprintf "%8.2f us" (ns /. 1e3)
+        else Printf.sprintf "%8.2f ns" ns
+      in
+      Printf.printf "  %-40s %s\n" name pretty)
+    rows
+
+let () =
+  print_tables ();
+  print_priority_study ();
+  print_ablation_latencies ();
+  run_benchmarks ()

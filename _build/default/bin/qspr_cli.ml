@@ -1,0 +1,310 @@
+(* qspr — command-line front end of the mapper.
+
+   Subcommands:
+     map       map a QASM file (or builtin benchmark) onto an ion-trap fabric
+     fabric    render a fabric and its component statistics
+     circuits  list or print the builtin QECC benchmark circuits *)
+
+open Cmdliner
+
+let load_fabric = function
+  | None -> Ok (Fabric.Layout.quale_45x85 ())
+  | Some path -> (
+      match In_channel.with_open_text path In_channel.input_all with
+      | exception Sys_error e -> Error e
+      | src -> Fabric.Layout.parse src)
+
+let load_program ~circuit ~qasm ~openqasm =
+  match (circuit, qasm, openqasm) with
+  | Some _, Some _, _ | Some _, _, Some _ | _, Some _, Some _ ->
+      Error "give exactly one of --circuit, --qasm or --openqasm"
+  | None, None, None -> Error "give --circuit NAME (see `qspr circuits`), --qasm FILE or --openqasm FILE"
+  | Some name, None, None -> (
+      match List.assoc_opt name (Circuits.Qecc.all ()) with
+      | Some p -> Ok p
+      | None ->
+          Error
+            (Printf.sprintf "unknown circuit %s; known: %s" name
+               (String.concat ", " (List.map fst (Circuits.Qecc.all ())))))
+  | None, Some path, None -> Qasm.Parser.parse_file path
+  | None, None, Some path -> Qasm.Openqasm.parse_file path
+
+(* ------------------------------------------------------------------ map *)
+
+let do_map circuit qasm openqasm fabric_path pmd_path placer m seed show_trace validate json_out =
+  let ( let* ) = Result.bind in
+  let result =
+    let* program = load_program ~circuit ~qasm ~openqasm in
+    let* fabric, base_config =
+      match pmd_path with
+      | Some path ->
+          if fabric_path <> None then Error "give --fabric or --pmd, not both"
+          else
+            let* pmd = Qspr.Pmd.parse_file path in
+            Ok (pmd.Qspr.Pmd.layout, Qspr.Pmd.config pmd)
+      | None ->
+          let* fabric = load_fabric fabric_path in
+          Ok (fabric, Qspr.Config.default)
+    in
+    let config = Qspr.Config.(base_config |> with_m m |> with_seed seed) in
+    let* ctx = Qspr.Mapper.create ~fabric ~config program in
+    let* sol =
+      match placer with
+      | "mvfb" -> Qspr.Mapper.map_mvfb ctx
+      | "mc" -> Qspr.Mapper.map_monte_carlo ~runs:m ctx
+      | "center" -> Qspr.Mapper.map_center ctx
+      | "quale" -> Qspr.Quale_mode.map ctx
+      | other -> Error (Printf.sprintf "unknown placer %s (mvfb|mc|center|quale)" other)
+    in
+    let baseline = Qspr.Mapper.ideal_latency ctx in
+    Printf.printf "circuit           : %s (%d qubits, %d gates)\n" program.Qasm.Program.name
+      (Qasm.Program.num_qubits program) (Qasm.Program.gate_count program);
+    Printf.printf "placer            : %s\n" placer;
+    Printf.printf "ideal baseline    : %.1f us\n" baseline;
+    Printf.printf "execution latency : %.1f us (%.1f us over baseline)\n" sol.Qspr.Mapper.latency
+      (sol.Qspr.Mapper.latency -. baseline);
+    Printf.printf "placement runs    : %d (%.0f ms CPU)\n" sol.Qspr.Mapper.placement_runs
+      (sol.Qspr.Mapper.cpu_time_s *. 1000.0);
+    Printf.printf "winning direction : %s\n"
+      (match sol.Qspr.Mapper.direction with
+      | Placer.Mvfb.Forward -> "forward"
+      | Placer.Mvfb.Backward -> "backward (trace reversed)");
+    Printf.printf "trace             : %d moves, %d turns, %d gates\n"
+      (Simulator.Trace.move_count sol.Qspr.Mapper.trace)
+      (Simulator.Trace.turn_count sol.Qspr.Mapper.trace)
+      (Simulator.Trace.gate_count sol.Qspr.Mapper.trace);
+    if validate then begin
+      let policy =
+        if placer = "quale" then (Qspr.Mapper.config ctx).Qspr.Config.quale_policy
+        else (Qspr.Mapper.config ctx).Qspr.Config.qspr_policy
+      in
+      let report =
+        Simulator.Validate.check ~graph:(Qspr.Mapper.graph ctx)
+          ~timing:(Qspr.Mapper.config ctx).Qspr.Config.timing
+          ~channel_capacity:policy.Simulator.Engine.channel_capacity
+          ~junction_capacity:policy.Simulator.Engine.junction_capacity
+          ~initial_placement:sol.Qspr.Mapper.initial_placement sol.Qspr.Mapper.trace
+      in
+      if report.Simulator.Validate.ok then Printf.printf "validation        : OK\n"
+      else begin
+        Printf.printf "validation        : FAILED\n";
+        List.iter (Printf.printf "  %s\n") report.Simulator.Validate.errors
+      end
+    end;
+    if show_trace then begin
+      print_newline ();
+      print_string (Simulator.Trace.to_string sol.Qspr.Mapper.trace)
+    end;
+    (match json_out with
+    | None -> ()
+    | Some path ->
+        Out_channel.with_open_text path (fun oc ->
+            Out_channel.output_string oc (Qspr.Export.solution_string ~program sol));
+        Printf.printf "json              : written to %s\n" path);
+    Ok ()
+  in
+  match result with
+  | Ok () -> 0
+  | Error e ->
+      Printf.eprintf "error: %s\n" e;
+      1
+
+let circuit_arg =
+  Arg.(value & opt (some string) None & info [ "circuit" ] ~docv:"NAME" ~doc:"Builtin benchmark circuit.")
+
+let qasm_arg = Arg.(value & opt (some string) None & info [ "qasm" ] ~docv:"FILE" ~doc:"QASM input file.")
+
+let openqasm_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "openqasm" ] ~docv:"FILE" ~doc:"OpenQASM 2.0 input file (Clifford+T subset).")
+
+let fabric_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "fabric" ] ~docv:"FILE" ~doc:"ASCII fabric file (default: the paper's 45x85 grid).")
+
+let pmd_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "pmd" ] ~docv:"FILE" ~doc:"Physical machine description file (fabric + timing + capacities).")
+
+let placer_arg =
+  Arg.(value & opt string "mvfb" & info [ "placer" ] ~docv:"P" ~doc:"Placer: mvfb, mc, center or quale.")
+
+let m_arg = Arg.(value & opt int 25 & info [ "m"; "seeds" ] ~docv:"M" ~doc:"MVFB seeds / MC runs (-m or --seeds).")
+let seed_arg = Arg.(value & opt int 2012 & info [ "seed" ] ~docv:"S" ~doc:"Random seed.")
+let trace_arg = Arg.(value & flag & info [ "trace" ] ~doc:"Print the micro-command trace.")
+let validate_arg = Arg.(value & flag & info [ "validate" ] ~doc:"Run the physical trace validator.")
+
+let json_arg =
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc:"Write the full result (trace included) as JSON.")
+
+let map_cmd =
+  Cmd.v
+    (Cmd.info "map" ~doc:"Schedule, place and route a circuit onto an ion-trap fabric")
+    Term.(
+      const do_map $ circuit_arg $ qasm_arg $ openqasm_arg $ fabric_arg $ pmd_arg $ placer_arg $ m_arg
+      $ seed_arg $ trace_arg $ validate_arg $ json_arg)
+
+(* --------------------------------------------------------------- fabric *)
+
+let do_fabric fabric_path lint qubits =
+  match load_fabric fabric_path with
+  | Error e ->
+      Printf.eprintf "error: %s\n" e;
+      1
+  | Ok lay -> (
+      match Fabric.Component.extract lay with
+      | Error e ->
+          Printf.eprintf "error: %s\n" e;
+          1
+      | Ok comp ->
+          Printf.printf "%dx%d fabric: %d junctions, %d channel segments, %d traps\n%s\n\n%s"
+            (Fabric.Layout.height lay) (Fabric.Layout.width lay)
+            (Array.length (Fabric.Component.junctions comp))
+            (Array.length (Fabric.Component.segments comp))
+            (Array.length (Fabric.Component.traps comp))
+            Fabric.Render.legend (Fabric.Render.fabric lay);
+          if lint then begin
+            let findings = Fabric.Lint.check ?num_qubits:qubits lay in
+            if findings = [] then print_endline "\nlint: clean"
+            else begin
+              print_newline ();
+              List.iter (fun f -> Format.printf "lint %a@." Fabric.Lint.pp_finding f) findings
+            end;
+            if Fabric.Lint.is_clean ?num_qubits:qubits lay then 0 else 1
+          end
+          else 0)
+
+let fabric_cmd =
+  Cmd.v
+    (Cmd.info "fabric" ~doc:"Render a fabric, its component statistics, and optional lint findings")
+    Term.(
+      const do_fabric $ fabric_arg
+      $ Arg.(value & flag & info [ "lint" ] ~doc:"Run structural diagnostics.")
+      $ Arg.(value & opt (some int) None & info [ "qubits" ] ~docv:"N" ~doc:"Intended qubit count for capacity lint."))
+
+(* ----------------------------------------------------------------- flow *)
+
+let do_flow circuit qasm openqasm fabric_path threshold =
+  let ( let* ) = Result.bind in
+  let result =
+    let* program = load_program ~circuit ~qasm ~openqasm in
+    let* fabric = load_fabric fabric_path in
+    let* o = Qspr.Flow.run ~error_threshold:threshold ~fabric program in
+    Printf.printf "synthesis optimization: %d gate(s) removed, %d remain\n" o.Qspr.Flow.gates_removed
+      (Qasm.Program.gate_count o.Qspr.Flow.program);
+    List.iter
+      (fun (a : Qspr.Flow.attempt) ->
+        Printf.printf "  m=%-4d latency %8.1f us   estimated error %.4f\n" a.Qspr.Flow.m
+          a.Qspr.Flow.latency_us a.Qspr.Flow.error_probability)
+      o.Qspr.Flow.attempts;
+    Printf.printf "error threshold %.4f %s\n" threshold
+      (if o.Qspr.Flow.met_threshold then "met" else "NOT met: re-synthesize with more encoding");
+    Ok ()
+  in
+  match result with
+  | Ok () -> 0
+  | Error e ->
+      Printf.eprintf "error: %s\n" e;
+      1
+
+let flow_cmd =
+  Cmd.v
+    (Cmd.info "flow" ~doc:"Run the full CAD loop: optimize, map with escalating effort, check the error threshold")
+    Term.(
+      const do_flow $ circuit_arg $ qasm_arg $ openqasm_arg $ fabric_arg
+      $ Arg.(value & opt float 0.05 & info [ "threshold" ] ~docv:"E" ~doc:"Error-probability threshold."))
+
+(* -------------------------------------------------------------- metrics *)
+
+let do_metrics circuit qasm openqasm =
+  match load_program ~circuit ~qasm ~openqasm with
+  | Error e ->
+      Printf.eprintf "error: %s\n" e;
+      1
+  | Ok p ->
+      Format.printf "%a@." Qasm.Metrics.pp (Qasm.Metrics.of_program p);
+      0
+
+let metrics_cmd =
+  Cmd.v
+    (Cmd.info "metrics" ~doc:"Static circuit metrics (depth, parallelism, interactions)")
+    Term.(const do_metrics $ circuit_arg $ qasm_arg $ openqasm_arg)
+
+(* ---------------------------------------------------------- gantt/heatmap *)
+
+let map_for_viz circuit qasm openqasm fabric_path m seed =
+  let ( let* ) = Result.bind in
+  let* program = load_program ~circuit ~qasm ~openqasm in
+  let* fabric = load_fabric fabric_path in
+  let config = Qspr.Config.(default |> with_m m |> with_seed seed) in
+  let* ctx = Qspr.Mapper.create ~fabric ~config program in
+  let* sol = Qspr.Mapper.map_mvfb ctx in
+  Ok (program, ctx, sol)
+
+let do_gantt circuit qasm openqasm fabric_path m seed =
+  match map_for_viz circuit qasm openqasm fabric_path m seed with
+  | Error e ->
+      Printf.eprintf "error: %s\n" e;
+      1
+  | Ok (program, _, sol) ->
+      print_string
+        (Simulator.Gantt.render ~num_qubits:(Qasm.Program.num_qubits program) sol.Qspr.Mapper.trace);
+      0
+
+let gantt_cmd =
+  Cmd.v
+    (Cmd.info "gantt" ~doc:"Per-qubit activity chart of a mapped circuit")
+    Term.(const do_gantt $ circuit_arg $ qasm_arg $ openqasm_arg $ fabric_arg $ m_arg $ seed_arg)
+
+let do_heatmap circuit qasm openqasm fabric_path m seed =
+  match map_for_viz circuit qasm openqasm fabric_path m seed with
+  | Error e ->
+      Printf.eprintf "error: %s\n" e;
+      1
+  | Ok (_, ctx, sol) ->
+      print_string (Simulator.Heatmap.render (Qspr.Mapper.component ctx) sol.Qspr.Mapper.trace);
+      0
+
+let heatmap_cmd =
+  Cmd.v
+    (Cmd.info "heatmap" ~doc:"Channel-utilization heatmap of a mapped circuit")
+    Term.(const do_heatmap $ circuit_arg $ qasm_arg $ openqasm_arg $ fabric_arg $ m_arg $ seed_arg)
+
+(* ------------------------------------------------------------- circuits *)
+
+let do_circuits show =
+  match show with
+  | None ->
+      Printf.printf "builtin QECC benchmark circuits (paper Section V.A):\n";
+      List.iter
+        (fun (name, p) ->
+          Printf.printf "  %-12s %2d qubits, %3d gates, ideal baseline %6.0f us\n" name
+            (Qasm.Program.num_qubits p) (Qasm.Program.gate_count p)
+            (Qspr.Baseline.latency Router.Timing.paper p))
+        (Circuits.Qecc.all ());
+      0
+  | Some name -> (
+      match List.assoc_opt name (Circuits.Qecc.all ()) with
+      | Some p ->
+          print_string (Qasm.Printer.to_string p);
+          0
+      | None ->
+          Printf.eprintf "unknown circuit %s\n" name;
+          1)
+
+let circuits_cmd =
+  Cmd.v
+    (Cmd.info "circuits" ~doc:"List or print the builtin benchmark circuits")
+    Term.(
+      const do_circuits
+      $ Arg.(value & opt (some string) None & info [ "show" ] ~docv:"NAME" ~doc:"Print one circuit as QASM."))
+
+let () =
+  let info = Cmd.info "qspr" ~version:"1.0.0" ~doc:"Latency-minimizing quantum mapper for ion-trap fabrics" in
+  exit (Cmd.eval' (Cmd.group info [ map_cmd; fabric_cmd; circuits_cmd; metrics_cmd; gantt_cmd; heatmap_cmd; flow_cmd ]))

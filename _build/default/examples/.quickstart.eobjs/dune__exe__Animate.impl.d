@@ -1,0 +1,1 @@
+examples/animate.ml: Array Circuits Fabric Format Ion_util List Noise Printf Qasm Qspr Simulator String

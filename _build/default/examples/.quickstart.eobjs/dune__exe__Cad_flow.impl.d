@@ -1,0 +1,1 @@
+examples/cad_flow.ml: Fabric List Noise Printf Qasm Qspr Simulator

@@ -1,0 +1,1 @@
+examples/cad_flow.mli:

@@ -1,0 +1,1 @@
+examples/custom_fabric.ml: Array Fabric List Printf Qasm Qspr Router Simulator

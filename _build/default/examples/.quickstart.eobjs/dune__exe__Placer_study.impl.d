@@ -1,0 +1,1 @@
+examples/placer_study.ml: Circuits Fabric Float Ion_util List Placer Printf Qspr

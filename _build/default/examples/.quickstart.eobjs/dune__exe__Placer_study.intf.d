@@ -1,0 +1,1 @@
+examples/placer_study.mli:

@@ -1,0 +1,1 @@
+examples/qecc_mapping.ml: Circuits Fabric List Printf Qasm Qspr Quantum

@@ -1,0 +1,1 @@
+examples/qecc_mapping.mli:

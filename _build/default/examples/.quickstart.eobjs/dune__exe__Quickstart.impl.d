@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fabric Printf Qasm Qspr Router Simulator

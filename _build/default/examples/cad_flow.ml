@@ -1,0 +1,61 @@
+(* The complete CAD loop of the paper's Figure 1: synthesizer-side
+   optimization, mapping with escalating effort, error analysis against a
+   threshold, and Monte-Carlo validation of the analytic error estimate.
+
+   Run with:  dune exec examples/cad_flow.exe *)
+
+let () =
+  (* a slightly wasteful input program: the synthesizer step cancels the
+     H;H pair before mapping *)
+  let src =
+    {|QUBIT a,0
+QUBIT b,0
+QUBIT c,0
+QUBIT d,0
+H a
+H a
+H b
+C-X b,a
+C-Y b,c
+C-Z c,d
+C-X b,d
+|}
+  in
+  let program = match Qasm.Parser.parse ~name:"demo" src with Ok p -> p | Error e -> failwith e in
+  let fabric = Fabric.Layout.quale_45x85 () in
+  let noise = Noise.Model.make ~eps_move:0.002 ~eps_turn:0.01 ~t2_us:50_000.0 () in
+
+  Printf.printf "input: %d gates\n" (Qasm.Program.gate_count program);
+  match
+    Qspr.Flow.run ~noise ~error_threshold:0.15 ~efforts:[ 2; 10; 50 ] ~fabric
+      ~config:Qspr.Config.(default |> with_seed 5) program
+  with
+  | Error e -> failwith e
+  | Ok o ->
+      Printf.printf "after synthesis optimization: %d gates (%d removed)\n"
+        (Qasm.Program.gate_count o.Qspr.Flow.program)
+        o.Qspr.Flow.gates_removed;
+      List.iter
+        (fun (a : Qspr.Flow.attempt) ->
+          Printf.printf "  mapped with m=%-3d -> latency %6.0f us, estimated error %.4f\n" a.Qspr.Flow.m
+            a.Qspr.Flow.latency_us a.Qspr.Flow.error_probability)
+        o.Qspr.Flow.attempts;
+      Printf.printf "threshold met: %b\n\n" o.Qspr.Flow.met_threshold;
+
+      (* validate the analytic estimate by Monte-Carlo error injection *)
+      let sol = o.Qspr.Flow.solution in
+      (match
+         Noise.Montecarlo.simulate ~model:noise ~program:o.Qspr.Flow.program
+           ~trace:sol.Qspr.Mapper.trace ~trials:500 ()
+       with
+      | Ok s ->
+          Printf.printf "Monte-Carlo over %d noisy executions: failure rate %.3f (%.1f injected errors/trial)\n"
+            s.Noise.Montecarlo.trials s.Noise.Montecarlo.failure_rate s.Noise.Montecarlo.mean_injected_errors
+      | Error e -> failwith e);
+
+      (* and show where the remaining time goes *)
+      print_newline ();
+      print_string
+        (Simulator.Gantt.render ~width:72
+           ~num_qubits:(Qasm.Program.num_qubits o.Qspr.Flow.program)
+           sol.Qspr.Mapper.trace)

@@ -1,0 +1,1 @@
+lib/circuits/builder.ml: Array Gate List Printf Program Qasm

@@ -1,0 +1,1 @@
+lib/circuits/builder.mli: Qasm

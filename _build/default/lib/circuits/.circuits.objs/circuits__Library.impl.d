@@ -1,0 +1,1 @@
+lib/circuits/library.ml: Array Dag Gate Instr Ion_util List Printf Program Qasm

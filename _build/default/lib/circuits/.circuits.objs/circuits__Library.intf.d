@@ -1,0 +1,1 @@
+lib/circuits/library.mli: Ion_util Qasm

@@ -1,0 +1,1 @@
+lib/circuits/qecc.mli: Qasm

@@ -1,0 +1,34 @@
+open Qasm
+
+type pauli = X | Y | Z
+
+let gate_of_pauli = function X -> Gate.CX | Y -> Gate.CY | Z -> Gate.CZ
+
+type row = { target : int; controls : (int * pauli) list }
+
+let cyclic_encoder ~name ~num_qubits ~data ~hadamards ~rows =
+  let check q =
+    if q < 0 || q >= num_qubits then
+      invalid_arg (Printf.sprintf "Builder.cyclic_encoder: qubit %d out of range" q)
+  in
+  List.iter check data;
+  List.iter check hadamards;
+  List.iter (fun q -> if List.mem q data then invalid_arg "Builder.cyclic_encoder: Hadamard on a data qubit") hadamards;
+  let b = Program.builder ~name () in
+  let qs =
+    Array.init num_qubits (fun i ->
+        let init = if List.mem i data then None else Some 0 in
+        Program.add_qubit b ?init (Printf.sprintf "q%d" i))
+  in
+  List.iter (fun q -> Program.add_gate1 b Gate.H qs.(q)) hadamards;
+  List.iter
+    (fun { target; controls } ->
+      check target;
+      List.iter
+        (fun (control, pauli) ->
+          check control;
+          if control = target then invalid_arg "Builder.cyclic_encoder: control equals target";
+          Program.add_gate2 b (gate_of_pauli pauli) qs.(control) qs.(target))
+        controls)
+    rows;
+  Program.build_exn b

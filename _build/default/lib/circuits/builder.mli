@@ -1,0 +1,25 @@
+(** A small DSL for cyclic-style QECC encoding circuits (paper Figure 2).
+
+    These circuits share one shape: a layer of Hadamards on (some) ancilla
+    qubits followed by {e rows} of controlled-Pauli gates, each row writing
+    one target qubit under a sequence of controls.  The [[5,1,3]] encoder of
+    Figure 3 is literally [rows = (q2, [q3 X; q4 Z]); (q1, [q2 Y; q3 Y;
+    q4 X]); (q0, [q2 Z; q3 Y; q4 Z])] after four Hadamards. *)
+
+type pauli = X | Y | Z
+
+val gate_of_pauli : pauli -> Qasm.Gate.g2
+
+type row = { target : int; controls : (int * pauli) list }
+
+val cyclic_encoder :
+  name:string ->
+  num_qubits:int ->
+  data:int list ->
+  hadamards:int list ->
+  rows:row list ->
+  Qasm.Program.t
+(** Builds the program: declarations ([QUBIT qi,0] for ancillas, [QUBIT qi]
+    for data), the Hadamard layer, then each row's gates in order.
+    @raise Invalid_argument on out-of-range indices, a Hadamard on a data
+    qubit, or a gate whose control equals its target. *)

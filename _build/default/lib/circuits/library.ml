@@ -1,0 +1,110 @@
+open Qasm
+
+let qubits b n prefix = Array.init n (fun i -> Program.add_qubit b ~init:0 (Printf.sprintf "%s%d" prefix i))
+
+let ghz n =
+  if n < 2 then invalid_arg "Library.ghz: need at least two qubits";
+  let b = Program.builder ~name:(Printf.sprintf "ghz%d" n) () in
+  let qs = qubits b n "q" in
+  Program.add_gate1 b Gate.H qs.(0);
+  for i = 0 to n - 2 do
+    Program.add_gate2 b Gate.CX qs.(i) qs.(i + 1)
+  done;
+  Program.build_exn b
+
+let repetition_encoder n =
+  if n < 2 then invalid_arg "Library.repetition_encoder: need at least two qubits";
+  let b = Program.builder ~name:(Printf.sprintf "rep%d" n) () in
+  let qs = qubits b n "q" in
+  for i = 1 to n - 1 do
+    Program.add_gate2 b Gate.CX qs.(0) qs.(i)
+  done;
+  Program.build_exn b
+
+(* |0L> = ((|000>+|111>)/sqrt2)^x3, phase-flip-protected blocks of the
+   bit-flip code: CNOT fan-out across blocks, H on block heads, CNOT fan-out
+   within blocks *)
+let shor_encoder () =
+  let b = Program.builder ~name:"shor9" () in
+  let qs = qubits b 9 "q" in
+  Program.add_gate2 b Gate.CX qs.(0) qs.(3);
+  Program.add_gate2 b Gate.CX qs.(0) qs.(6);
+  List.iter (fun h -> Program.add_gate1 b Gate.H qs.(h)) [ 0; 3; 6 ];
+  List.iter
+    (fun head ->
+      Program.add_gate2 b Gate.CX qs.(head) qs.(head + 1);
+      Program.add_gate2 b Gate.CX qs.(head) qs.(head + 2))
+    [ 0; 3; 6 ];
+  Program.build_exn b
+
+let steane_syndrome_round () =
+  let b = Program.builder ~name:"steane-syndrome" () in
+  let data = qubits b 7 "d" in
+  let anc = Array.init 6 (fun i -> Program.add_qubit b ~init:0 (Printf.sprintf "a%d" i)) in
+  (* X-stabilizer ancillas measure via H - CNOT fan-in - H; the parity sets
+     follow the [7,4] Hamming check matrix *)
+  let checks = [| [ 0; 2; 4; 6 ]; [ 1; 2; 5; 6 ]; [ 3; 4; 5; 6 ] |] in
+  Array.iteri
+    (fun i members ->
+      let a = anc.(i) in
+      Program.add_gate1 b Gate.H a;
+      List.iter (fun d -> Program.add_gate2 b Gate.CX a data.(d)) members;
+      Program.add_gate1 b Gate.H a;
+      Program.add_gate1 b Gate.Meas_z a)
+    checks;
+  (* Z stabilizers: plain CNOT fan-in onto the ancilla *)
+  Array.iteri
+    (fun i members ->
+      let a = anc.(i + 3) in
+      List.iter (fun d -> Program.add_gate2 b Gate.CX data.(d) a) members;
+      Program.add_gate1 b Gate.Meas_z a)
+    checks;
+  Program.build_exn b
+
+let memory_experiment ?(rounds = 1) (name, encoder) =
+  if not (Program.is_unitary encoder) then invalid_arg "Library.memory_experiment: encoder must be unitary";
+  if rounds < 0 then invalid_arg "Library.memory_experiment: negative rounds";
+  let dag = Dag.of_program encoder in
+  let udag = match Dag.reverse dag with Ok u -> u | Error m -> invalid_arg m in
+  let decoder = Dag.program udag in
+  let b = Program.builder ~name:(Printf.sprintf "%s-memory-%d" name rounds) () in
+  let n = Program.num_qubits encoder in
+  let qs = Array.init n (fun i -> Program.add_qubit b ~init:0 (Program.qubit_name encoder i)) in
+  let replay_gates (p : Program.t) =
+    Array.iter
+      (fun instr ->
+        match instr with
+        | Instr.Gate1 (g, q) -> Program.add_gate1 b g qs.(q)
+        | Instr.Gate2 (g, c, t) -> Program.add_gate2 b g qs.(c) qs.(t)
+        | Instr.Qubit_decl _ -> ())
+      p.Program.instrs
+  in
+  replay_gates encoder;
+  for _ = 1 to rounds do
+    (* X; X on every qubit: refresh-round volume, identity overall *)
+    Array.iter
+      (fun q ->
+        Program.add_gate1 b Gate.X q;
+        Program.add_gate1 b Gate.X q)
+      qs
+  done;
+  replay_gates decoder;
+  Program.build_exn b
+
+let random_clifford rng ~num_qubits ~gates =
+  if num_qubits < 2 then invalid_arg "Library.random_clifford: need at least two qubits";
+  if gates < 0 then invalid_arg "Library.random_clifford: negative gate count";
+  let b = Program.builder ~name:"random-clifford" () in
+  let qs = qubits b num_qubits "q" in
+  for _ = 1 to gates do
+    match Ion_util.Rng.int rng 6 with
+    | 0 -> Program.add_gate1 b Gate.H qs.(Ion_util.Rng.int rng num_qubits)
+    | 1 -> Program.add_gate1 b Gate.S qs.(Ion_util.Rng.int rng num_qubits)
+    | 2 -> Program.add_gate1 b Gate.X qs.(Ion_util.Rng.int rng num_qubits)
+    | k ->
+        let a = Ion_util.Rng.int rng num_qubits in
+        let c = (a + 1 + Ion_util.Rng.int rng (num_qubits - 1)) mod num_qubits in
+        let g = match k with 3 -> Gate.CX | 4 -> Gate.CY | _ -> Gate.CZ in
+        Program.add_gate2 b g qs.(a) qs.(c)
+  done;
+  Program.build_exn b

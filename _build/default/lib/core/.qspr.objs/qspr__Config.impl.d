@@ -1,0 +1,1 @@
+lib/core/config.ml: Router Simulator

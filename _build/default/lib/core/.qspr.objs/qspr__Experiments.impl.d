@@ -1,0 +1,1 @@
+lib/core/experiments.ml: Array Circuits Config Fabric Float Ion_util List Mapper Noise Placer Printf Qasm Quale_mode Report Router Scheduler Simulator Sys Wave_mapper

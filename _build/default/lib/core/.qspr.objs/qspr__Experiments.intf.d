@@ -1,0 +1,1 @@
+lib/core/experiments.mli: Config Fabric Mapper Qasm Report Simulator

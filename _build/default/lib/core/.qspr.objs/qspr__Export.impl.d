@@ -1,0 +1,1 @@
+lib/core/export.ml: Array Ion_util List Mapper Micro Noise Placer Qasm Report Router

@@ -1,0 +1,1 @@
+lib/core/export.mli: Ion_util Mapper Qasm Report Router

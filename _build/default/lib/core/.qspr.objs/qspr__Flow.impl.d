@@ -1,0 +1,1 @@
+lib/core/flow.ml: List Mapper Noise Qasm

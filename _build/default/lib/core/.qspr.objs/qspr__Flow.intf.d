@@ -1,0 +1,1 @@
+lib/core/flow.mli: Config Fabric Mapper Noise Qasm

@@ -1,0 +1,1 @@
+lib/core/mapper.ml: Array Baseline Config Dag Fabric Fun Instr Ion_util List Option Placer Printf Program Qasm Router Scheduler Simulator Sys

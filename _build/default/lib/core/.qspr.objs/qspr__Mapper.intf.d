@@ -1,0 +1,1 @@
+lib/core/mapper.mli: Config Fabric Placer Qasm Simulator

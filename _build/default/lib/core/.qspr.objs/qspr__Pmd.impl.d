@@ -1,0 +1,1 @@
+lib/core/pmd.ml: Config Fabric List Printf Result Router Simulator String

@@ -1,0 +1,1 @@
+lib/core/pmd.mli: Config Fabric Router

@@ -1,0 +1,1 @@
+lib/core/quale_mode.ml: Config Mapper Placer Qasm Router Scheduler Simulator Sys

@@ -1,0 +1,1 @@
+lib/core/quale_mode.mli: Mapper

@@ -1,0 +1,1 @@
+lib/core/report.ml: Buffer Float Ion_util List Printf

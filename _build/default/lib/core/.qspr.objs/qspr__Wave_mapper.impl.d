@@ -1,0 +1,1 @@
+lib/core/wave_mapper.ml: Array Config Dag Fabric Float Hashtbl Instr Int Ion_util List Mapper Option Placer Printf Program Qasm Router Simulator

@@ -1,0 +1,1 @@
+lib/core/wave_mapper.mli: Mapper

@@ -1,0 +1,4 @@
+let latency_of_dag timing dag =
+  Qasm.Dag.critical_path ~delay:(Router.Timing.gate_delay timing) dag
+
+let latency timing program = latency_of_dag timing (Qasm.Dag.of_program program)

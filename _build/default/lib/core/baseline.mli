@@ -1,0 +1,9 @@
+(** The ideal circuit-fabric model (paper Section V.A).
+
+    Assumes [T_routing = T_congestion = 0]: the execution latency is the
+    QIDG critical path under gate delays alone — a lower bound on any placed
+    and routed result, used as the reference column of Table 2. *)
+
+val latency : Router.Timing.t -> Qasm.Program.t -> float
+
+val latency_of_dag : Router.Timing.t -> Qasm.Dag.t -> float

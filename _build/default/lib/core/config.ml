@@ -1,0 +1,27 @@
+type t = {
+  timing : Router.Timing.t;
+  qspr_policy : Simulator.Engine.policy;
+  quale_policy : Simulator.Engine.policy;
+  m : int;
+  patience : int;
+  rng_seed : int;
+}
+
+let default =
+  {
+    timing = Router.Timing.paper;
+    qspr_policy = Simulator.Engine.qspr_policy;
+    quale_policy = Simulator.Engine.quale_policy;
+    m = 100;
+    patience = 3;
+    rng_seed = 2012;
+  }
+
+let with_m m t = { t with m }
+let with_seed rng_seed t = { t with rng_seed }
+
+let validate t =
+  if t.m < 1 then Error "Config: m must be at least 1"
+  else if t.patience < 1 then Error "Config: patience must be at least 1"
+  else if t.qspr_policy.Simulator.Engine.channel_capacity < 1 then Error "Config: channel capacity must be positive"
+  else Ok t

@@ -1,0 +1,21 @@
+(** Mapper configuration: technology timing, engine policies and placer
+    parameters, defaulting to the paper's experimental setup (Section V.A). *)
+
+type t = {
+  timing : Router.Timing.t;
+  qspr_policy : Simulator.Engine.policy;
+  quale_policy : Simulator.Engine.policy;
+  m : int;  (** MVFB random seeds (the paper evaluates 25 and 100) *)
+  patience : int;  (** stop a local search after this many non-improving runs *)
+  rng_seed : int;  (** root seed for all randomized placement *)
+}
+
+val default : t
+(** Paper values: T_move=1us, T_turn=10us, T_1q=10us, T_2q=100us, channel
+    capacity 2, m=100, patience 3. *)
+
+val with_m : int -> t -> t
+val with_seed : int -> t -> t
+
+val validate : t -> (t, string) result
+(** Checks positivity of [m] and [patience] and capacity sanity. *)

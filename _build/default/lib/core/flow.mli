@@ -1,0 +1,31 @@
+(** The full CAD loop of the paper's Figure 1.
+
+    Synthesizer -> mapper -> error analysis, with feedback: "if the error
+    threshold is not enough and the circuit takes longer time than expected,
+    the circuit needs more encoding".  Re-synthesis with a stronger code is
+    outside a mapper's reach, but the loop's mapper-side lever is search
+    effort: this driver first runs the synthesizer-side peephole optimizer,
+    then maps with escalating MVFB effort until the estimated circuit error
+    meets the threshold — reporting failure (meaning: the synthesizer must
+    add encoding) when even the strongest mapping misses it. *)
+
+type attempt = { m : int; latency_us : float; error_probability : float }
+
+type outcome = {
+  program : Qasm.Program.t;  (** after synthesis-side optimization *)
+  gates_removed : int;  (** by the optimizer *)
+  solution : Mapper.solution;  (** the final (best-effort) mapping *)
+  attempts : attempt list;  (** escalation history, in order *)
+  met_threshold : bool;
+}
+
+val run :
+  ?noise:Noise.Model.t ->
+  ?error_threshold:float ->
+  ?efforts:int list ->
+  fabric:Fabric.Layout.t ->
+  ?config:Config.t ->
+  Qasm.Program.t ->
+  (outcome, string) result
+(** Defaults: the standard noise model, threshold 0.05, efforts [5; 25; 100].
+    Escalation stops at the first attempt meeting the threshold. *)

@@ -1,0 +1,199 @@
+open Qasm
+module Engine = Simulator.Engine
+module Trace = Simulator.Trace
+
+type t = {
+  graph : Fabric.Graph.t;
+  comp : Fabric.Component.t;
+  config : Config.t;
+  program : Program.t;
+  dag : Dag.t;
+  udag : Dag.t option;
+  priorities : float array;
+  backward_priorities : float array option;
+}
+
+type solution = {
+  latency : float;
+  trace : Trace.t;
+  initial_placement : int array;
+  final_placement : int array;
+  direction : Placer.Mvfb.direction;
+  placement_runs : int;
+  run_latencies : float list;
+  cpu_time_s : float;
+}
+
+let graph t = t.graph
+let component t = t.comp
+let program t = t.program
+let dag t = t.dag
+let config t = t.config
+let qspr_priorities t = t.priorities
+let t_udag t = t.udag
+
+let ideal_latency t = Baseline.latency_of_dag t.config.Config.timing t.dag
+
+(* Priorities that make the backward (UIDG) run follow S*, the reverse of
+   the forward schedule S (Section IV.A).  UIDG gate k corresponds to QIDG
+   gate (G-1-k); its priority is the forward rank of that gate, so the last
+   instruction of S issues first.  Declarations complete instantly and get a
+   priority above every gate. *)
+let backward_priorities_of dag udag fprios =
+  let n = Dag.num_nodes dag in
+  let order = Scheduler.Priority.order_of_priorities fprios in
+  let rank = Array.make n 0 in
+  Array.iteri (fun r id -> rank.(id) <- r) order;
+  let gate_nodes d =
+    Array.of_list
+      (List.filter (fun i -> Instr.is_gate (Dag.node d i).Dag.instr) (List.init (Dag.num_nodes d) Fun.id))
+  in
+  let fg = gate_nodes dag and bg = gate_nodes udag in
+  let g = Array.length fg in
+  let prios = Array.make (Dag.num_nodes udag) (float_of_int (2 * n)) in
+  Array.iteri (fun k u -> prios.(u) <- float_of_int rank.(fg.(g - 1 - k))) bg;
+  prios
+
+let create ~fabric ?(config = Config.default) program =
+  match Config.validate config with
+  | Error _ as e -> e
+  | Ok config -> (
+      match Fabric.Component.extract fabric with
+      | Error e -> Error ("Mapper.create: " ^ e)
+      | Ok comp ->
+          let nq = Program.num_qubits program in
+          if Array.length (Fabric.Component.traps comp) < nq then
+            Error
+              (Printf.sprintf "Mapper.create: fabric has %d traps but the program needs %d qubits"
+                 (Array.length (Fabric.Component.traps comp))
+                 nq)
+          else begin
+            let graph = Fabric.Graph.build comp in
+            let dag = Dag.of_program program in
+            let delay = Router.Timing.gate_delay config.Config.timing in
+            let priorities = Scheduler.Priority.compute Scheduler.Priority.qspr_default ~delay dag in
+            let udag, backward_priorities =
+              match Dag.reverse dag with
+              | Ok u -> (Some u, Some (backward_priorities_of dag u priorities))
+              | Error _ -> (None, None)
+            in
+            Ok { graph; comp; config; program; dag; udag; priorities; backward_priorities }
+          end)
+
+let run_with t ~policy ~priorities ~placement =
+  Engine.run ~graph:t.graph ~timing:t.config.Config.timing ~policy ~dag:t.dag ~priorities ~placement ()
+
+let run_forward t placement =
+  Engine.run ~graph:t.graph ~timing:t.config.Config.timing ~policy:t.config.Config.qspr_policy
+    ~dag:t.dag ~priorities:t.priorities ~placement ()
+
+let run_backward t placement =
+  match (t.udag, t.backward_priorities) with
+  | Some udag, Some prios ->
+      Engine.run ~graph:t.graph ~timing:t.config.Config.timing ~policy:t.config.Config.qspr_policy
+        ~dag:udag ~priorities:prios ~placement ()
+  | None, _ | _, None ->
+      Error "Mapper.run_backward: program is not unitary, the uncompute graph does not exist"
+
+(* UIDG node k corresponds to forward node: declarations map to themselves,
+   the j-th gate (in UIDG program order) to the (G-1-j)-th forward gate.
+   Backward traces must have their instruction ids rewritten through this
+   map so a reversed trace's gate events reference the forward program —
+   consumers (noise replay, JSON export) look gates up there. *)
+let backward_id_map dag udag =
+  let gate_nodes d =
+    Array.of_list
+      (List.filter (fun i -> Instr.is_gate (Dag.node d i).Dag.instr) (List.init (Dag.num_nodes d) Fun.id))
+  in
+  let fg = gate_nodes dag and bg = gate_nodes udag in
+  let g = Array.length fg in
+  let map = Array.init (Dag.num_nodes udag) Fun.id in
+  Array.iteri (fun k u -> map.(u) <- fg.(g - 1 - k)) bg;
+  map
+
+let remap_trace_ids map trace =
+  List.map
+    (fun cmd ->
+      match cmd with
+      | Router.Micro.Gate_start { instr_id; trap; qubits; time } ->
+          Router.Micro.Gate_start { instr_id = map.(instr_id); trap; qubits; time }
+      | Router.Micro.Gate_end { instr_id; trap; qubits; time } ->
+          Router.Micro.Gate_end { instr_id = map.(instr_id); trap; qubits; time }
+      | Router.Micro.Move _ | Router.Micro.Turn _ -> cmd)
+    trace
+
+let solution_of_engine ~ctx ~runs ~run_latencies ~cpu ~direction ~initial (r : Engine.result) =
+  match direction with
+  | Placer.Mvfb.Forward ->
+      {
+        latency = r.Engine.latency;
+        trace = r.Engine.trace;
+        initial_placement = initial;
+        final_placement = r.Engine.final_placement;
+        direction;
+        placement_runs = runs;
+        run_latencies;
+        cpu_time_s = cpu;
+      }
+  | Placer.Mvfb.Backward ->
+      (* a backward winner executes forward as the time-reversed trace (with
+         instruction ids rewritten to the forward program); its input
+         placement in the forward view is the backward run's final one *)
+      let trace =
+        match t_udag ctx with
+        | Some udag -> remap_trace_ids (backward_id_map ctx.dag udag) (Trace.reverse r.Engine.trace)
+        | None -> Trace.reverse r.Engine.trace
+      in
+      {
+        latency = r.Engine.latency;
+        trace;
+        initial_placement = r.Engine.final_placement;
+        final_placement = initial;
+        direction;
+        placement_runs = runs;
+        run_latencies;
+        cpu_time_s = cpu;
+      }
+
+let map_mvfb ?m t =
+  let m = Option.value ~default:t.config.Config.m m in
+  let rng = Ion_util.Rng.create t.config.Config.rng_seed in
+  let t0 = Sys.time () in
+  match
+    Placer.Mvfb.search ~rng ~m ~patience:t.config.Config.patience ~forward:(run_forward t)
+      ~backward:(run_backward t) t.comp
+      ~num_qubits:(Program.num_qubits t.program)
+  with
+  | Error _ as e -> e
+  | Ok o ->
+      let cpu = Sys.time () -. t0 in
+      Ok
+        (solution_of_engine ~ctx:t ~runs:o.Placer.Mvfb.runs ~run_latencies:o.Placer.Mvfb.latencies ~cpu
+           ~direction:o.Placer.Mvfb.direction ~initial:o.Placer.Mvfb.initial_placement
+           o.Placer.Mvfb.result)
+
+let map_monte_carlo ~runs t =
+  let rng = Ion_util.Rng.create t.config.Config.rng_seed in
+  let t0 = Sys.time () in
+  match
+    Placer.Monte_carlo.search ~rng ~runs ~evaluate:(run_forward t) t.comp
+      ~num_qubits:(Program.num_qubits t.program)
+  with
+  | Error _ as e -> e
+  | Ok o ->
+      let cpu = Sys.time () -. t0 in
+      Ok
+        (solution_of_engine ~ctx:t ~runs:o.Placer.Monte_carlo.runs
+           ~run_latencies:o.Placer.Monte_carlo.latencies ~cpu ~direction:Placer.Mvfb.Forward
+           ~initial:o.Placer.Monte_carlo.placement o.Placer.Monte_carlo.result)
+
+let map_center t =
+  let placement = Placer.Center.place t.comp ~num_qubits:(Program.num_qubits t.program) in
+  let t0 = Sys.time () in
+  match run_forward t placement with
+  | Error _ as e -> e
+  | Ok r ->
+      let cpu = Sys.time () -. t0 in
+      Ok
+        (solution_of_engine ~ctx:t ~runs:1 ~run_latencies:[ r.Engine.latency ] ~cpu
+           ~direction:Placer.Mvfb.Forward ~initial:placement r)

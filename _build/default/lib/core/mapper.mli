@@ -1,0 +1,68 @@
+(** The QSPR mapper: scheduling, placement and routing of a QASM program
+    onto an ion-trap fabric (the paper's core contribution).
+
+    Typical use:
+    {[
+      let ctx = Mapper.create ~fabric (Qasm.Parser.parse_file "circuit.qasm") in
+      let sol = Mapper.map_mvfb ctx in
+      print_float sol.latency
+    ]} *)
+
+type t
+(** A prepared mapping context: fabric graph, QIDG, UIDG (when the program
+    is unitary), and the QSPR scheduling priorities. *)
+
+val create : fabric:Fabric.Layout.t -> ?config:Config.t -> Qasm.Program.t -> (t, string) result
+(** Builds the routing graph and dependency graphs.  Fails on fabrics with
+    fewer traps than qubits, on config errors, or on unroutable fabrics. *)
+
+val graph : t -> Fabric.Graph.t
+val component : t -> Fabric.Component.t
+val program : t -> Qasm.Program.t
+val dag : t -> Qasm.Dag.t
+val config : t -> Config.t
+
+val ideal_latency : t -> float
+(** The Section V.A baseline: QIDG critical path, no routing or congestion. *)
+
+type solution = {
+  latency : float;  (** execution latency, us *)
+  trace : Simulator.Trace.t;  (** forward-executable micro-command trace *)
+  initial_placement : int array;  (** qubit -> trap, before execution *)
+  final_placement : int array;  (** qubit -> trap, after execution *)
+  direction : Placer.Mvfb.direction;  (** which MVFB pass won (Forward for non-MVFB flows) *)
+  placement_runs : int;  (** total schedule-and-route evaluations *)
+  run_latencies : float list;  (** latency of every placement run, in order *)
+  cpu_time_s : float;
+}
+
+val run_forward : t -> int array -> (Simulator.Engine.result, string) result
+(** One forward engine run (QIDG, schedule S, QSPR policy) from a given
+    placement — the building block of all placers. *)
+
+val run_backward : t -> int array -> (Simulator.Engine.result, string) result
+(** One backward run: UIDG under the reversed schedule S*.  Fails for
+    non-unitary programs. *)
+
+val run_with :
+  t ->
+  policy:Simulator.Engine.policy ->
+  priorities:float array ->
+  placement:int array ->
+  (Simulator.Engine.result, string) result
+(** Escape hatch for custom policies (used by the QUALE mode and the
+    ablation benches). *)
+
+val map_mvfb : ?m:int -> t -> (solution, string) result
+(** The full QSPR flow: MVFB placement (defaulting to the config's [m]),
+    best of all forward/backward runs; backward winners are reported as
+    reversed traces (Section IV.A). *)
+
+val map_monte_carlo : runs:int -> t -> (solution, string) result
+(** Best of [runs] random center placements under the QSPR engine. *)
+
+val map_center : t -> (solution, string) result
+(** Single deterministic center placement under the QSPR engine. *)
+
+val qspr_priorities : t -> float array
+(** The Section III priorities driving the forward schedule. *)

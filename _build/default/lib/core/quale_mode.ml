@@ -1,0 +1,30 @@
+let alap_priorities ctx =
+  let cfg = Mapper.config ctx in
+  Scheduler.Priority.compute Scheduler.Priority.Alap
+    ~delay:(Router.Timing.gate_delay cfg.Config.timing)
+    (Mapper.dag ctx)
+
+let map ctx =
+  let cfg = Mapper.config ctx in
+  let placement =
+    Placer.Center.place (Mapper.component ctx)
+      ~num_qubits:(Qasm.Program.num_qubits (Mapper.program ctx))
+  in
+  let t0 = Sys.time () in
+  match
+    Mapper.run_with ctx ~policy:cfg.Config.quale_policy ~priorities:(alap_priorities ctx) ~placement
+  with
+  | Error _ as e -> e
+  | Ok r ->
+      let cpu = Sys.time () -. t0 in
+      Ok
+        {
+          Mapper.latency = r.Simulator.Engine.latency;
+          trace = r.Simulator.Engine.trace;
+          initial_placement = placement;
+          final_placement = r.Simulator.Engine.final_placement;
+          direction = Placer.Mvfb.Forward;
+          placement_runs = 1;
+          run_latencies = [ r.Simulator.Engine.latency ];
+          cpu_time_s = cpu;
+        }

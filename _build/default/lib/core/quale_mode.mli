@@ -1,0 +1,13 @@
+(** Reimplementation of QUALE's mapping policy (the paper's comparator).
+
+    QUALE, per the paper's survey: center placement independent of the QIDG,
+    instructions extracted in ALAP order, routing on the turn-blind graph
+    model (Figure 5's shortcoming), no ion multiplexing (channel capacity 1)
+    and the destination operand pinned during routing.  Everything else —
+    fabric, timing, event simulation — is shared with QSPR, so latency
+    differences measure exactly the policy gap the paper reports in
+    Table 2. *)
+
+val map : Mapper.t -> (Mapper.solution, string) result
+
+val alap_priorities : Mapper.t -> float array

@@ -1,0 +1,107 @@
+module T = Ion_util.Ascii_table
+
+type placer_cell = { latency : float; cpu_ms : float; runs : int }
+
+type table1_row = {
+  circuit : string;
+  mvfb_25 : placer_cell;
+  mc_25 : placer_cell;
+  mvfb_100 : placer_cell;
+  mc_100 : placer_cell;
+}
+
+let us v = if Float.is_integer v then Printf.sprintf "%.0f" v else Printf.sprintf "%.1f" v
+
+let render_table1 rows =
+  let header =
+    [
+      "Circuit";
+      "Placer";
+      "m=25 Latency (us)";
+      "m=25 CPU (ms)";
+      "m=25 Runs";
+      "m=100 Latency (us)";
+      "m=100 CPU (ms)";
+      "m=100 Runs";
+    ]
+  in
+  let cells =
+    List.concat_map
+      (fun r ->
+        [
+          [
+            r.circuit;
+            "MVFB";
+            us r.mvfb_25.latency;
+            Printf.sprintf "%.0f" r.mvfb_25.cpu_ms;
+            string_of_int r.mvfb_25.runs;
+            us r.mvfb_100.latency;
+            Printf.sprintf "%.0f" r.mvfb_100.cpu_ms;
+            string_of_int r.mvfb_100.runs;
+          ];
+          [
+            "";
+            "MC";
+            us r.mc_25.latency;
+            Printf.sprintf "%.0f" r.mc_25.cpu_ms;
+            string_of_int r.mc_25.runs;
+            us r.mc_100.latency;
+            Printf.sprintf "%.0f" r.mc_100.cpu_ms;
+            string_of_int r.mc_100.runs;
+          ];
+        ])
+      rows
+  in
+  T.render_simple ~header ~rows:cells
+
+type table2_row = { circuit : string; baseline : float; quale : float; qspr : float }
+
+let improvement_pct ~quale ~qspr = (quale -. qspr) /. quale *. 100.0
+
+let render_table2 rows =
+  let header =
+    [ "Circuit"; "Heuristic"; "Execution Latency (us)"; "Diff wrt Baseline (us)"; "Improvement wrt QUALE (%)" ]
+  in
+  let cells =
+    List.concat_map
+      (fun r ->
+        [
+          [ r.circuit; "Baseline"; us r.baseline; "-"; "" ];
+          [ ""; "QUALE"; us r.quale; us (r.quale -. r.baseline); "" ];
+          [
+            "";
+            "QSPR";
+            us r.qspr;
+            us (r.qspr -. r.baseline);
+            Printf.sprintf "%.2f" (improvement_pct ~quale:r.quale ~qspr:r.qspr);
+          ];
+        ])
+      rows
+  in
+  T.render_simple ~header ~rows:cells
+
+let csv_table1 rows =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    "circuit,placer,m25_latency_us,m25_cpu_ms,m25_runs,m100_latency_us,m100_cpu_ms,m100_runs\n";
+  List.iter
+    (fun (r : table1_row) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s,MVFB,%g,%g,%d,%g,%g,%d\n" r.circuit r.mvfb_25.latency r.mvfb_25.cpu_ms
+           r.mvfb_25.runs r.mvfb_100.latency r.mvfb_100.cpu_ms r.mvfb_100.runs);
+      Buffer.add_string buf
+        (Printf.sprintf "%s,MC,%g,%g,%d,%g,%g,%d\n" r.circuit r.mc_25.latency r.mc_25.cpu_ms r.mc_25.runs
+           r.mc_100.latency r.mc_100.cpu_ms r.mc_100.runs))
+    rows;
+  Buffer.contents buf
+
+let csv_table2 rows =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "circuit,baseline_us,quale_us,qspr_us,improvement_pct\n";
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s,%g,%g,%g,%.2f\n" r.circuit r.baseline r.quale r.qspr
+           (improvement_pct ~quale:r.quale ~qspr:r.qspr)))
+    rows;
+  Buffer.contents buf

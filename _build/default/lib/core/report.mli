@@ -1,0 +1,31 @@
+(** Rendering of the paper's result tables (Section V.B).
+
+    The experiment driver produces rows; this module formats them in the
+    layout of Table 1 (MVFB vs Monte-Carlo at m=25 and m=100) and Table 2
+    (ideal baseline vs QUALE vs QSPR). *)
+
+type placer_cell = { latency : float; cpu_ms : float; runs : int }
+
+type table1_row = {
+  circuit : string;
+  mvfb_25 : placer_cell;
+  mc_25 : placer_cell;
+  mvfb_100 : placer_cell;
+  mc_100 : placer_cell;
+}
+
+val render_table1 : table1_row list -> string
+
+type table2_row = { circuit : string; baseline : float; quale : float; qspr : float }
+
+val improvement_pct : quale:float -> qspr:float -> float
+(** Percentage improvement of QSPR over QUALE, as reported in Table 2's last
+    column: [(quale - qspr) / quale * 100]. *)
+
+val render_table2 : table2_row list -> string
+
+val csv_table1 : table1_row list -> string
+val csv_table2 : table2_row list -> string
+
+val us : float -> string
+(** Latency formatting: integral microsecond values print without decimals. *)

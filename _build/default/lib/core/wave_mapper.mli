@@ -1,0 +1,39 @@
+(** Phase-synchronous ("wave") mapping — the batch-routing baseline.
+
+    Early ion-trap studies (and QUALE's PathFinder heritage) route in
+    synchronized phases: take the gates of one dependency level, route all
+    their operands {e simultaneously} with negotiated congestion, execute,
+    advance.  This mapper implements that model on our fabric:
+
+    - levels are the QIDG's ASAP levels under unit gate delays;
+    - each two-qubit gate gets the free trap nearest its operands' median,
+      one trap per gate per level;
+    - every operand that must move becomes a PathFinder net; the whole
+      level's nets are negotiated together (channel capacity respected);
+    - the level lasts [max routed duration + max gate delay]; levels are
+      strictly sequential.
+
+    The event-driven QSPR engine dominates this model — phases serialize
+    work that the busy-queue simulator overlaps — and the experiments
+    quantify by how much.  A converged wave solution never violates channel
+    capacity (PathFinder negotiates it); a non-converged level is reported
+    via [overused]. *)
+
+type level_stat = {
+  gates : int;  (** gate instructions in the level *)
+  routed_nets : int;  (** operands that had to move *)
+  duration_us : float;
+  pathfinder_iterations : int;
+  overused : int;  (** resources still over capacity after negotiation *)
+}
+
+type outcome = {
+  latency : float;
+  levels : level_stat list;  (** in execution order *)
+  final_placement : int array;
+}
+
+val map : ?placement:int array -> Mapper.t -> (outcome, string) result
+(** Maps the context's program from the given placement (default: center
+    placement).  Fails on non-routable nets or if a level cannot seat all
+    its gates in distinct traps. *)

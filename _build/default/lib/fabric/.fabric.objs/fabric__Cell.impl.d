@@ -1,0 +1,1 @@
+lib/fabric/cell.ml: Format Ion_util

@@ -1,0 +1,1 @@
+lib/fabric/cell.mli: Format Ion_util

@@ -1,0 +1,1 @@
+lib/fabric/component.ml: Array Cell Ion_util Layout List Printf

@@ -1,0 +1,1 @@
+lib/fabric/component.mli: Cell Ion_util Layout

@@ -1,0 +1,1 @@
+lib/fabric/dot.ml: Array Buffer Cell Component Graph Ion_util List Printf String

@@ -1,0 +1,1 @@
+lib/fabric/dot.mli: Component Graph

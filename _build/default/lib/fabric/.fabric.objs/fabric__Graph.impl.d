@@ -1,0 +1,1 @@
+lib/fabric/graph.ml: Array Cell Component Format Ion_util Layout List Option

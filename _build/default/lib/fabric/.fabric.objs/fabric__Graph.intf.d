@@ -1,0 +1,1 @@
+lib/fabric/graph.mli: Cell Component Format Ion_util

@@ -1,0 +1,1 @@
+lib/fabric/layout.ml: Array Buffer Cell Ion_util List Printf String

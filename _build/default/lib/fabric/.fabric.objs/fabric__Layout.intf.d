@@ -1,0 +1,1 @@
+lib/fabric/layout.mli: Cell Ion_util

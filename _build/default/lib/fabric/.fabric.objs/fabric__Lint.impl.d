@@ -1,0 +1,1 @@
+lib/fabric/lint.ml: Array Cell Component Format Graph Int Ion_util List Printf Queue

@@ -1,0 +1,1 @@
+lib/fabric/lint.mli: Format Layout

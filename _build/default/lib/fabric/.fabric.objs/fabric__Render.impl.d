@@ -1,0 +1,1 @@
+lib/fabric/render.ml: Bytes Char Ion_util Layout List

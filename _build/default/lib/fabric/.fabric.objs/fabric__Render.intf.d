@@ -1,0 +1,1 @@
+lib/fabric/render.mli: Ion_util Layout

@@ -1,0 +1,26 @@
+type orientation = Horizontal | Vertical
+
+type t = Empty | Junction | Channel of orientation | Trap
+
+let is_channel = function Channel _ -> true | Empty | Junction | Trap -> false
+
+let is_walkable = function Junction | Channel _ -> true | Empty | Trap -> false
+
+let to_char = function
+  | Empty -> ' '
+  | Junction -> 'J'
+  | Channel Horizontal -> '-'
+  | Channel Vertical -> '|'
+  | Trap -> 'T'
+
+let to_display_char = function
+  | Empty -> ' '
+  | Junction -> 'J'
+  | Channel _ -> 'C'
+  | Trap -> 'T'
+
+let equal (a : t) b = a = b
+
+let pp ppf c = Format.pp_print_char ppf (to_display_char c)
+
+let orientation_of_dir d = if Ion_util.Coord.is_horizontal d then Horizontal else Vertical

@@ -1,0 +1,25 @@
+(** Fabric cell vocabulary (paper Figure 4): junctions, channels, traps and
+    empty space, each occupying one unit square. *)
+
+type orientation = Horizontal | Vertical
+
+type t =
+  | Empty
+  | Junction  (** connects horizontal and vertical channels; turns happen here *)
+  | Channel of orientation  (** qubits travel along channels *)
+  | Trap  (** gate-execution site, hangs off a channel or junction *)
+
+val is_channel : t -> bool
+val is_walkable : t -> bool
+(** Junctions and channels carry moving qubits; traps and empty cells do not. *)
+
+val to_char : t -> char
+(** [J], [-] / [|] for channels, [T], [space]. *)
+
+val to_display_char : t -> char
+(** Paper-style rendering: channels collapse to [C]. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val orientation_of_dir : Ion_util.Coord.dir -> orientation

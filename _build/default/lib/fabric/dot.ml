@@ -1,0 +1,82 @@
+module Coord = Ion_util.Coord
+
+let esc s = String.map (fun c -> if c = '"' then '\'' else c) s
+
+let component_graph comp =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "graph fabric {\n  node [shape=box fontsize=10];\n";
+  Array.iter
+    (fun (j : Component.junction) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  j%d [label=\"J%d %s\" shape=diamond];\n" j.Component.jid j.Component.jid
+           (esc (Coord.to_string j.Component.jpos))))
+    (Component.junctions comp);
+  Array.iter
+    (fun (t : Component.trap) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  t%d [label=\"T%d %s\" shape=box];\n" t.Component.tid t.Component.tid
+           (esc (Coord.to_string t.Component.tpos))))
+    (Component.traps comp);
+  (* a segment connects the junctions adjacent to its endpoints (if any);
+     render as an edge labelled with the segment id and length *)
+  Array.iter
+    (fun (s : Component.segment) ->
+      let cells = s.Component.cells in
+      let len = Array.length cells in
+      let endpoint c step =
+        let next = Coord.step c step in
+        Component.junction_at comp next
+      in
+      let dir_lo, dir_hi =
+        match s.Component.orientation with
+        | Cell.Horizontal -> (Coord.West, Coord.East)
+        | Cell.Vertical -> (Coord.North, Coord.South)
+      in
+      let lo = endpoint cells.(0) dir_lo and hi = endpoint cells.(len - 1) dir_hi in
+      match (lo, hi) with
+      | Some a, Some b ->
+          Buffer.add_string buf (Printf.sprintf "  j%d -- j%d [label=\"s%d len %d\"];\n" a b s.Component.sid len)
+      | _ -> ())
+    (Component.segments comp);
+  (* trap taps *)
+  Array.iter
+    (fun (t : Component.trap) ->
+      match Component.junction_at comp t.Component.tap with
+      | Some j -> Buffer.add_string buf (Printf.sprintf "  t%d -- j%d [style=dotted];\n" t.Component.tid j)
+      | None -> (
+          match Component.segment_at comp t.Component.tap with
+          | Some s -> Buffer.add_string buf (Printf.sprintf "  t%d -- s%d_mark [style=dotted];\n  s%d_mark [shape=point label=\"\"];\n" t.Component.tid s s)
+          | None -> ()))
+    (Component.traps comp);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let routing_graph g =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "digraph routing {\n  node [fontsize=9];\n";
+  for n = 0 to Graph.num_nodes g - 1 do
+    let pos = Graph.node_pos g n in
+    let kind =
+      match Graph.node_orientation g n with
+      | Some Cell.Horizontal -> "H"
+      | Some Cell.Vertical -> "V"
+      | None -> "T"
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "  n%d [label=\"%s%s\" pos=\"%d,%d!\"];\n" n kind (esc (Coord.to_string pos))
+         pos.Coord.x (-pos.Coord.y))
+  done;
+  for n = 0 to Graph.num_nodes g - 1 do
+    List.iter
+      (fun (e : Graph.edge) ->
+        let style =
+          match e.Graph.kind with
+          | Graph.Turn _ -> " [style=dashed]"
+          | Graph.Tap _ -> " [style=dotted]"
+          | Graph.Chan _ | Graph.Junc _ -> ""
+        in
+        Buffer.add_string buf (Printf.sprintf "  n%d -> n%d%s;\n" n e.Graph.dst style))
+      (Graph.adj g n)
+  done;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,14 @@
+(** Graphviz (DOT) export of fabric structure.
+
+    Two views, for debugging fabrics and for figures:
+    - {!component_graph}: junctions/traps as nodes, channel segments as
+      edges labelled with their lengths — the coarse topology;
+    - {!routing_graph}: the turn-aware node-split graph exactly as the
+      router sees it (H/V junction nodes, turn edges dashed). *)
+
+val component_graph : Component.t -> string
+(** Undirected DOT graph of the fabric's components. *)
+
+val routing_graph : Graph.t -> string
+(** Directed DOT graph of the routing graph; turn edges are dashed, tap
+    edges dotted. *)

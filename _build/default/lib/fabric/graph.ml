@@ -1,0 +1,136 @@
+module Coord = Ion_util.Coord
+
+type node = int
+
+type edge_kind = Chan of int | Junc of int | Turn of int | Tap of int
+
+type edge = { dst : node; kind : edge_kind }
+
+type t = {
+  component : Component.t;
+  num_nodes : int;
+  adj : edge list array;
+  trap_nodes : node array;
+  positions : Coord.t array;
+  orientations : Cell.orientation option array;
+}
+
+let component t = t.component
+let num_nodes t = t.num_nodes
+let adj t n = t.adj.(n)
+let trap_node t tid = t.trap_nodes.(tid)
+let node_pos t n = t.positions.(n)
+let node_orientation t n = t.orientations.(n)
+
+let pp_node t ppf n =
+  let pos = t.positions.(n) in
+  let o = match t.orientations.(n) with Some Cell.Horizontal -> "H" | Some Cell.Vertical -> "V" | None -> "T" in
+  Format.fprintf ppf "%a%s" Coord.pp pos o
+
+let num_edges t = Array.fold_left (fun acc l -> acc + List.length l) 0 t.adj
+
+(* node numbering: channel cell -> 1 node; junction cell -> H node then
+   V node; trap -> 1 node *)
+let build comp =
+  let lay = Component.layout comp in
+  let chan_node = Coord.Tbl.create 256 in
+  let junc_node_h = Coord.Tbl.create 64 in
+  let junc_node_v = Coord.Tbl.create 64 in
+  let next = ref 0 in
+  let fresh () =
+    let n = !next in
+    incr next;
+    n
+  in
+  let positions = ref [] in
+  let orientations = ref [] in
+  let register pos o =
+    let n = fresh () in
+    positions := pos :: !positions;
+    orientations := o :: !orientations;
+    n
+  in
+  Layout.iter lay (fun c cell ->
+      match cell with
+      | Cell.Channel o -> Coord.Tbl.replace chan_node c (register c (Some o))
+      | Cell.Junction ->
+          Coord.Tbl.replace junc_node_h c (register c (Some Cell.Horizontal));
+          Coord.Tbl.replace junc_node_v c (register c (Some Cell.Vertical))
+      | Cell.Empty | Cell.Trap -> ());
+  let traps = Component.traps comp in
+  let trap_nodes =
+    Array.map (fun (tr : Component.trap) -> register tr.Component.tpos None) traps
+  in
+  let n = !next in
+  let adj = Array.make n [] in
+  let add_edge src dst kind = adj.(src) <- { dst; kind } :: adj.(src) in
+  (* node of a walkable cell when approached along [o]; junctions expose the
+     matching orientation node *)
+  let node_for c o =
+    match Layout.get lay c with
+    | Cell.Channel co when co = o -> Coord.Tbl.find_opt chan_node c
+    | Cell.Channel _ -> None
+    | Cell.Junction ->
+        Coord.Tbl.find_opt (if o = Cell.Horizontal then junc_node_h else junc_node_v) c
+    | Cell.Empty | Cell.Trap -> None
+  in
+  (* the step cost of entering cell [c]: channel or junction resource *)
+  let entry_kind c =
+    match Layout.get lay c with
+    | Cell.Channel _ -> (
+        match Component.segment_at comp c with Some s -> Some (Chan s) | None -> None)
+    | Cell.Junction -> (
+        match Component.junction_at comp c with Some j -> Some (Junc j) | None -> None)
+    | Cell.Empty | Cell.Trap -> None
+  in
+  (* movement edges: for each walkable cell, connect to east and south
+     neighbours along the corresponding orientation (both directions) *)
+  Layout.iter lay (fun c cell ->
+      if Cell.is_walkable cell then
+        List.iter
+          (fun dir ->
+            let o = Cell.orientation_of_dir dir in
+            let c' = Coord.step c dir in
+            match (node_for c o, node_for c' o, entry_kind c', entry_kind c) with
+            | Some a, Some b, Some kb, Some ka ->
+                add_edge a b kb;
+                add_edge b a ka
+            | _ -> ())
+          [ Coord.East; Coord.South ]);
+  (* turn edges inside junctions *)
+  Layout.iter lay (fun c cell ->
+      if Cell.equal cell Cell.Junction then
+        match (Coord.Tbl.find_opt junc_node_h c, Coord.Tbl.find_opt junc_node_v c, Component.junction_at comp c) with
+        | Some h, Some v, Some j ->
+            add_edge h v (Turn j);
+            add_edge v h (Turn j)
+        | _ -> ());
+  (* tap edges: trap <-> its tap cell; junction taps connect to both
+     orientation nodes.  Leaving the trap steps INTO the tap cell, so that
+     direction consumes the cell's channel/junction resource; only the hop
+     into the trap is a free Tap edge. *)
+  Array.iteri
+    (fun tid (tr : Component.trap) ->
+      let tn = trap_nodes.(tid) in
+      let link cell_node =
+        (match entry_kind tr.Component.tap with
+        | Some kind -> add_edge tn cell_node kind
+        | None -> add_edge tn cell_node (Tap tid));
+        add_edge cell_node tn (Tap tid)
+      in
+      match Layout.get lay tr.Component.tap with
+      | Cell.Channel o -> (
+          match node_for tr.Component.tap o with Some cn -> link cn | None -> ())
+      | Cell.Junction ->
+          Option.iter link (Coord.Tbl.find_opt junc_node_h tr.Component.tap);
+          Option.iter link (Coord.Tbl.find_opt junc_node_v tr.Component.tap)
+      | Cell.Empty | Cell.Trap -> ())
+    traps;
+  {
+    component = comp;
+    num_nodes = n;
+    adj;
+    trap_nodes;
+    positions = Array.of_list (List.rev !positions);
+    orientations = Array.of_list (List.rev !orientations);
+  }

@@ -1,0 +1,45 @@
+(** Turn-aware routing graph over the fabric (paper Section IV.B, Figure 5c).
+
+    Every junction is split into a {e horizontal} and a {e vertical} node
+    joined by a turn edge whose cost is the technology's turn delay, so
+    Dijkstra naturally prefers the path with fewer turns among equal
+    Manhattan-distance alternatives.  Channel cells contribute one node each
+    (their orientation is fixed); traps are leaf nodes linked to their tap
+    cell.
+
+    Edges carry the resource they consume so the router can weight them by
+    live congestion (Eq. 2) and the simulator can account occupancy:
+    - [Chan s] — a one-cell step inside channel segment [s];
+    - [Junc j] — a one-cell step into junction [j];
+    - [Turn j] — a 90-degree rotation inside junction [j];
+    - [Tap t] — the hop between trap [t] and its tap cell.
+
+    Turns outside junctions are impossible: perpendicular channels meeting
+    without a junction are not connected. *)
+
+type node = int
+
+type edge_kind = Chan of int | Junc of int | Turn of int | Tap of int
+
+type edge = { dst : node; kind : edge_kind }
+
+type t
+
+val build : Component.t -> t
+
+val component : t -> Component.t
+val num_nodes : t -> int
+val adj : t -> node -> edge list
+
+val trap_node : t -> int -> node
+(** Node of a trap id — route endpoints. *)
+
+val node_pos : t -> node -> Ion_util.Coord.t
+
+val node_orientation : t -> node -> Cell.orientation option
+(** [None] for trap nodes. *)
+
+val pp_node : t -> Format.formatter -> node -> unit
+
+val num_edges : t -> int
+(** Directed edge count, for diagnostics. *)

@@ -1,0 +1,183 @@
+module Coord = Ion_util.Coord
+
+type t = { w : int; h : int; cells : Cell.t array }
+
+let width t = t.w
+let height t = t.h
+
+let in_bounds t (c : Coord.t) = c.x >= 0 && c.x < t.w && c.y >= 0 && c.y < t.h
+
+let get t (c : Coord.t) = if in_bounds t c then t.cells.((c.y * t.w) + c.x) else Cell.Empty
+
+let center t = Coord.make (t.w / 2) (t.h / 2)
+
+let iter t f =
+  for y = 0 to t.h - 1 do
+    for x = 0 to t.w - 1 do
+      let c = Coord.make x y in
+      f c (get t c)
+    done
+  done
+
+let count t pred =
+  let n = ref 0 in
+  iter t (fun _ cell -> if pred cell then incr n);
+  !n
+
+let equal a b = a.w = b.w && a.h = b.h && a.cells = b.cells
+
+(* --------------------------------------------------------------- parsing *)
+
+type proto = P_empty | P_junction | P_trap | P_chan_h | P_chan_v | P_chan_infer
+
+let proto_of_char = function
+  | ' ' | '.' -> Some P_empty
+  | 'J' | 'j' -> Some P_junction
+  | 'T' | 't' -> Some P_trap
+  | '-' -> Some P_chan_h
+  | '|' -> Some P_chan_v
+  | 'C' | 'c' -> Some P_chan_infer
+  | _ -> None
+
+let parse src =
+  let lines = String.split_on_char '\n' src in
+  (* drop trailing blank lines but keep interior ones *)
+  let rec drop_trailing = function
+    | [] -> []
+    | [ "" ] -> []
+    | x :: rest -> (
+        match drop_trailing rest with [] when x = "" -> [] | rest' -> x :: rest')
+  in
+  let lines = drop_trailing lines in
+  if lines = [] then Error "empty fabric"
+  else begin
+    let h = List.length lines in
+    let w = List.fold_left (fun acc l -> max acc (String.length l)) 0 lines in
+    let proto = Array.make (w * h) P_empty in
+    let bad = ref None in
+    List.iteri
+      (fun y line ->
+        String.iteri
+          (fun x ch ->
+            match proto_of_char ch with
+            | Some p -> proto.((y * w) + x) <- p
+            | None -> if !bad = None then bad := Some (Printf.sprintf "row %d, col %d: bad character %C" y x ch))
+          line)
+      lines;
+    match !bad with
+    | Some msg -> Error msg
+    | None ->
+        let walkable_at x y =
+          if x < 0 || x >= w || y < 0 || y >= h then false
+          else match proto.((y * w) + x) with P_junction | P_chan_h | P_chan_v | P_chan_infer -> true | P_empty | P_trap -> false
+        in
+        let err = ref None in
+        let cells =
+          Array.init (w * h) (fun i ->
+              let x = i mod w and y = i / w in
+              match proto.(i) with
+              | P_empty -> Cell.Empty
+              | P_junction -> Cell.Junction
+              | P_trap -> Cell.Trap
+              | P_chan_h -> Cell.Channel Cell.Horizontal
+              | P_chan_v -> Cell.Channel Cell.Vertical
+              | P_chan_infer -> (
+                  let horiz = walkable_at (x - 1) y || walkable_at (x + 1) y in
+                  let vert = walkable_at x (y - 1) || walkable_at x (y + 1) in
+                  match (horiz, vert) with
+                  | true, false -> Cell.Channel Cell.Horizontal
+                  | false, true -> Cell.Channel Cell.Vertical
+                  | true, true ->
+                      if !err = None then
+                        err := Some (Printf.sprintf "row %d, col %d: ambiguous channel (crossing must be a junction)" y x);
+                      Cell.Empty
+                  | false, false ->
+                      if !err = None then err := Some (Printf.sprintf "row %d, col %d: isolated channel" y x);
+                      Cell.Empty))
+        in
+        let t = { w; h; cells } in
+        (* validate traps: each needs an adjacent walkable cell *)
+        iter t (fun c cell ->
+            if Cell.equal cell Cell.Trap then begin
+              let ok = List.exists (fun d -> Cell.is_walkable (get t (Coord.step c d))) Coord.all_dirs in
+              if (not ok) && !err = None then
+                err := Some (Printf.sprintf "row %d, col %d: trap with no adjacent channel or junction" c.Coord.y c.Coord.x)
+            end);
+        (match !err with Some msg -> Error msg | None -> Ok t)
+  end
+
+let to_ascii ?(style = `Oriented) t =
+  let char_of = match style with `Paper -> Cell.to_display_char | `Oriented -> Cell.to_char in
+  let buf = Buffer.create ((t.w + 1) * t.h) in
+  for y = 0 to t.h - 1 do
+    for x = 0 to t.w - 1 do
+      Buffer.add_char buf (char_of (get t (Coord.make x y)))
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------- generator *)
+
+let make_grid ~width:w ~height:h ~pitch_x ~pitch_y ~margin ~traps_per_channel () =
+  if w <= 0 || h <= 0 then invalid_arg "Layout.make_grid: non-positive dimensions";
+  if pitch_x < 3 || pitch_y < 3 then invalid_arg "Layout.make_grid: pitch must be at least 3";
+  if margin < 0 || margin >= w || margin >= h then invalid_arg "Layout.make_grid: bad margin";
+  if traps_per_channel < 0 || traps_per_channel > pitch_x - 2 then
+    invalid_arg "Layout.make_grid: traps_per_channel does not fit the channel";
+  let cells = Array.make (w * h) Cell.Empty in
+  let set x y c = cells.((y * w) + x) <- c in
+  let is_jx x = x >= margin && (x - margin) mod pitch_x = 0 && x < w in
+  let is_jy y = y >= margin && (y - margin) mod pitch_y = 0 && y < h in
+  let last_jx = margin + ((w - 1 - margin) / pitch_x * pitch_x) in
+  let last_jy = margin + ((h - 1 - margin) / pitch_y * pitch_y) in
+  if last_jx <= margin || last_jy <= margin then
+    invalid_arg "Layout.make_grid: rectangle too small for two junction rows/columns";
+  (* junctions and channels *)
+  for y = margin to last_jy do
+    for x = margin to last_jx do
+      if is_jx x && is_jy y then set x y Cell.Junction
+      else if is_jy y then set x y (Cell.Channel Cell.Horizontal)
+      else if is_jx x then set x y (Cell.Channel Cell.Vertical)
+    done
+  done;
+  (* traps hang off horizontal channels, spread evenly along each span *)
+  let span = pitch_x - 1 in
+  for y = margin to last_jy do
+    if is_jy y then
+      let xj = ref margin in
+      while !xj < last_jx do
+        for k = 1 to traps_per_channel do
+          let off = k * (span + 1) / (traps_per_channel + 1) in
+          let x = !xj + max 1 (min span off) in
+          if not (is_jx x) then begin
+            if y > 0 && cells.(((y - 1) * w) + x) = Cell.Empty then set x (y - 1) Cell.Trap;
+            if y < h - 1 && cells.(((y + 1) * w) + x) = Cell.Empty then set x (y + 1) Cell.Trap
+          end
+        done;
+        xj := !xj + pitch_x
+      done
+  done;
+  { w; h; cells }
+
+let quale_45x85 () =
+  make_grid ~width:85 ~height:45 ~pitch_x:8 ~pitch_y:7 ~margin:2 ~traps_per_channel:1 ()
+
+let linear ~traps () =
+  if traps < 2 then invalid_arg "Layout.linear: need at least two traps";
+  (* channel row at y=1, trap every other cell alternating above/below *)
+  let w = (2 * traps) + 1 in
+  let cells = Array.make (w * 3) Cell.Empty in
+  for x = 0 to w - 1 do
+    cells.(w + x) <- Cell.Channel Cell.Horizontal
+  done;
+  for i = 0 to traps - 1 do
+    let x = (2 * i) + 1 in
+    let y = if i mod 2 = 0 then 0 else 2 in
+    cells.((y * w) + x) <- Cell.Trap
+  done;
+  { w; h = 3; cells }
+
+let small_tile () =
+  (* 2x2 junctions, short channels, four traps *)
+  make_grid ~width:11 ~height:9 ~pitch_x:6 ~pitch_y:5 ~margin:2 ~traps_per_channel:1 ()

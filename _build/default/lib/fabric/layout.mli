@@ -1,0 +1,66 @@
+(** The fabric as a raster of cells, with a parser for ASCII fabric files
+    and a generator for QUALE-style regular grids.
+
+    ASCII format, one row per line:
+    - [J] junction, [T] trap, space/[.] empty;
+    - [C] channel with orientation inferred from walkable neighbours,
+      or explicit [-] (horizontal) / [|] (vertical). *)
+
+type t
+
+val width : t -> int
+val height : t -> int
+
+val get : t -> Ion_util.Coord.t -> Cell.t
+(** Out-of-bounds coordinates read as [Empty]. *)
+
+val in_bounds : t -> Ion_util.Coord.t -> bool
+
+val center : t -> Ion_util.Coord.t
+
+val iter : t -> (Ion_util.Coord.t -> Cell.t -> unit) -> unit
+(** Row-major scan. *)
+
+val parse : string -> (t, string) result
+(** Parses an ASCII fabric.  Fails on unknown characters, channels whose
+    orientation cannot be inferred (no walkable neighbour, or both axes
+    walkable — a crossing must be a junction), and traps with no adjacent
+    walkable cell. *)
+
+val to_ascii : ?style:[ `Paper | `Oriented ] -> t -> string
+(** [`Paper] prints channels as [C] (Figure 4 style); [`Oriented] (default)
+    prints [-]/[|], which re-parses exactly. *)
+
+val make_grid :
+  width:int ->
+  height:int ->
+  pitch_x:int ->
+  pitch_y:int ->
+  margin:int ->
+  traps_per_channel:int ->
+  unit ->
+  t
+(** Regular fabric: junction columns every [pitch_x] cells and junction rows
+    every [pitch_y] cells starting at [margin], joined by straight channels;
+    [traps_per_channel] traps hang above and below each horizontal channel,
+    spread evenly.
+    @raise Invalid_argument if the parameters do not fit the rectangle. *)
+
+val quale_45x85 : unit -> t
+(** The 45x85 fabric of the paper's Figure 4 (regular grid reconstruction;
+    see DESIGN.md for the substitution note). *)
+
+val linear : traps:int -> unit -> t
+(** A Kielpinski-style linear QCCD: one long horizontal channel with traps
+    hanging off it, alternating above and below, one every other cell.
+    No junctions, so no turns — but the single channel segment is the only
+    transport resource, making it the congestion-extreme counterpoint to the
+    2-D grid.
+    @raise Invalid_argument for [traps < 2]. *)
+
+val small_tile : unit -> t
+(** A minimal 2x2-junction tile with traps, used by Figure 5 and the test
+    suite. *)
+
+val count : t -> (Cell.t -> bool) -> int
+val equal : t -> t -> bool

@@ -1,0 +1,84 @@
+type severity = Error | Warning | Info
+
+type finding = { severity : severity; message : string }
+
+let sev_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+let pp_finding ppf f =
+  let tag = match f.severity with Error -> "error" | Warning -> "warning" | Info -> "info" in
+  Format.fprintf ppf "%s: %s" tag f.message
+
+let check ?num_qubits lay =
+  match Component.extract lay with
+  | Error msg -> [ { severity = Error; message = msg } ]
+  | Ok comp ->
+      let findings = ref [] in
+      let add severity fmt = Printf.ksprintf (fun message -> findings := { severity; message } :: !findings) fmt in
+      let traps = Component.traps comp in
+      let ntraps = Array.length traps in
+      let graph = Graph.build comp in
+      if ntraps = 0 then add Error "fabric has no traps: no gate can execute"
+      else begin
+        (* connectivity: BFS from trap 0 over the routing graph *)
+        let seen = Array.make (Graph.num_nodes graph) false in
+        let q = Queue.create () in
+        Queue.add (Graph.trap_node graph 0) q;
+        seen.(Graph.trap_node graph 0) <- true;
+        while not (Queue.is_empty q) do
+          let n = Queue.pop q in
+          List.iter
+            (fun (e : Graph.edge) ->
+              if not seen.(e.Graph.dst) then begin
+                seen.(e.Graph.dst) <- true;
+                Queue.add e.Graph.dst q
+              end)
+            (Graph.adj graph n)
+        done;
+        let unreachable =
+          Array.to_list traps
+          |> List.filter (fun (t : Component.trap) -> not seen.(Graph.trap_node graph t.Component.tid))
+        in
+        if unreachable <> [] then
+          add Error "fabric is disconnected: %d of %d traps unreachable from trap 0 (e.g. the trap at %s)"
+            (List.length unreachable) ntraps
+            (Ion_util.Coord.to_string (List.hd unreachable).Component.tpos)
+      end;
+      (match num_qubits with
+      | Some nq when nq > ntraps ->
+          add Error "fabric has %d traps but the program needs %d qubits" ntraps nq
+      | Some nq when 2 * nq > ntraps ->
+          add Warning
+            "only %d traps for %d qubits: placement has little slack and congestion will be high" ntraps
+            nq
+      | _ -> ());
+      if Array.length (Component.junctions comp) = 0 then
+        add Info "no junctions: a linear fabric (no turns are possible)";
+      (* dead-end channel segments: fewer than two junction neighbours *)
+      let dead_ends = ref 0 in
+      Array.iter
+        (fun (s : Component.segment) ->
+          let cells = s.Component.cells in
+          let len = Array.length cells in
+          let dir_lo, dir_hi =
+            match s.Component.orientation with
+            | Cell.Horizontal -> (Ion_util.Coord.West, Ion_util.Coord.East)
+            | Cell.Vertical -> (Ion_util.Coord.North, Ion_util.Coord.South)
+          in
+          let junction_end c step = Component.junction_at comp (Ion_util.Coord.step c step) <> None in
+          let ends =
+            (if junction_end cells.(0) dir_lo then 1 else 0)
+            + if junction_end cells.(len - 1) dir_hi then 1 else 0
+          in
+          let serves_tap =
+            Array.exists
+              (fun (t : Component.trap) ->
+                Array.exists (fun c -> Ion_util.Coord.equal c t.Component.tap) cells)
+              traps
+          in
+          if ends < 2 && not serves_tap then incr dead_ends)
+        (Component.segments comp);
+      if !dead_ends > 0 then
+        add Warning "%d dead-end channel segment(s) serve no trap: wasted fabric area" !dead_ends;
+      List.stable_sort (fun a b -> Int.compare (sev_rank a.severity) (sev_rank b.severity)) !findings
+
+let is_clean ?num_qubits lay = List.for_all (fun f -> f.severity <> Error) (check ?num_qubits lay)

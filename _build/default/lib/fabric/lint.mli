@@ -1,0 +1,25 @@
+(** Fabric linting: structural diagnostics for user-authored fabrics.
+
+    ASCII fabrics are easy to mistype; beyond the hard errors
+    {!Layout.parse} and {!Component.extract} reject, this pass finds the
+    soft problems that make mapping fail or perform badly:
+
+    - disconnected islands: traps that cannot reach each other;
+    - dead-end channels: segments with fewer than two junction endpoints
+      (legal, but they only serve taps and waste fabric area otherwise);
+    - starved regions: a fabric whose trap count cannot host the intended
+      qubit count;
+    - turn-free fabrics (no junctions): fine for linear machines, flagged so
+      grid users notice a parse surprise. *)
+
+type severity = Error | Warning | Info
+
+type finding = { severity : severity; message : string }
+
+val check : ?num_qubits:int -> Layout.t -> finding list
+(** All findings, errors first.  [num_qubits] enables the capacity check. *)
+
+val is_clean : ?num_qubits:int -> Layout.t -> bool
+(** No [Error]-severity findings. *)
+
+val pp_finding : Format.formatter -> finding -> unit

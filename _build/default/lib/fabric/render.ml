@@ -1,0 +1,33 @@
+module Coord = Ion_util.Coord
+
+let fabric lay = Layout.to_ascii ~style:`Paper lay
+
+let with_marks lay marks =
+  let w = Layout.width lay in
+  let base = fabric lay in
+  let buf = Bytes.of_string base in
+  (* each rendered row is w chars + '\n' *)
+  List.iter
+    (fun ((c : Coord.t), ch) ->
+      if Layout.in_bounds lay c then Bytes.set buf ((c.y * (w + 1)) + c.x) ch)
+    marks;
+  Bytes.to_string buf
+
+let with_qubits lay qubits =
+  with_marks lay (List.map (fun (q, pos) -> (pos, Char.chr (Char.code '0' + (q mod 10)))) qubits)
+
+let path lay cells =
+  let rec dedup = function
+    | a :: b :: rest when Coord.equal a b -> dedup (b :: rest)
+    | a :: rest -> a :: dedup rest
+    | [] -> []
+  in
+  match dedup cells with
+  | [] -> fabric lay
+  | [ only ] -> with_marks lay [ (only, 'S') ]
+  | first :: rest ->
+      let last = List.nth rest (List.length rest - 1) in
+      let middle = List.filteri (fun i _ -> i < List.length rest - 1) rest in
+      with_marks lay ((first, 'S') :: List.map (fun c -> (c, '*')) middle @ [ (last, 'D') ])
+
+let legend = "J = junction, C = channel, T = trap, S/D = route endpoints, * = route"

@@ -1,0 +1,19 @@
+(** ASCII rendering of fabrics with overlays — qubit positions, route paths —
+    for the examples, the experiment driver (Figures 4 and 5) and debugging. *)
+
+val fabric : Layout.t -> string
+(** Paper-style (Figure 4) rendering: J / C / T / space. *)
+
+val with_marks : Layout.t -> (Ion_util.Coord.t * char) list -> string
+(** Fabric with selected cells replaced by a mark character (later marks win
+    over earlier ones). *)
+
+val with_qubits : Layout.t -> (int * Ion_util.Coord.t) list -> string
+(** Marks qubit [i] at its coordinate with the digit [i mod 10]. *)
+
+val path : Layout.t -> Ion_util.Coord.t list -> string
+(** Marks a route: [*] on intermediate cells, [S] and [D] on the endpoints.
+    Consecutive duplicate coordinates (turns) collapse to one mark. *)
+
+val legend : string
+(** One-line legend for the fabric renderings. *)

@@ -1,0 +1,1 @@
+lib/noise/estimate.ml: Array Exposure Float List Model

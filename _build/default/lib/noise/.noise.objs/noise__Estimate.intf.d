@@ -1,0 +1,1 @@
+lib/noise/estimate.mli: Exposure Model Simulator

@@ -1,0 +1,1 @@
+lib/noise/exposure.ml: Array Float Format List Micro Router Simulator

@@ -1,0 +1,1 @@
+lib/noise/exposure.mli: Format Simulator

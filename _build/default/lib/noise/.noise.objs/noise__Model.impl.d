@@ -1,0 +1,1 @@
+lib/noise/model.ml: Format Printf

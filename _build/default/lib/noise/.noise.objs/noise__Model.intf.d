@@ -1,0 +1,1 @@
+lib/noise/model.mli: Format

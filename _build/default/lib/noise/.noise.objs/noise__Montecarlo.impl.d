@@ -1,0 +1,1 @@
+lib/noise/montecarlo.ml: Array Exposure Gate Instr Ion_util List Micro Model Program Qasm Quantum Router

@@ -1,0 +1,1 @@
+lib/noise/montecarlo.mli: Ion_util Model Qasm Simulator

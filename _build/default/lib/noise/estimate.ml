@@ -1,0 +1,30 @@
+let log1p_neg p = if p = 0.0 then 0.0 else log1p (-.p)
+
+let log_survival (m : Model.t) exposures =
+  Array.fold_left
+    (fun acc (e : Exposure.per_qubit) ->
+      acc
+      -. (e.Exposure.idle_us /. m.Model.t2_us)
+      -. (e.Exposure.idle_us /. m.Model.t1_us)
+      +. (float_of_int e.Exposure.moves *. log1p_neg m.Model.eps_move)
+      +. (float_of_int e.Exposure.turns *. log1p_neg m.Model.eps_turn)
+      +. (float_of_int e.Exposure.gates1 *. log1p_neg m.Model.eps_gate1)
+      (* a two-qubit gate is one physical operation shared by two ions;
+         each exposure row counts its own participation, so halve the
+         per-participant contribution *)
+      +. (float_of_int e.Exposure.gates2 *. 0.5 *. log1p_neg m.Model.eps_gate2))
+    0.0 exposures
+
+let success_probability m exposures = exp (log_survival m exposures)
+
+let error_probability m exposures = 1.0 -. success_probability m exposures
+
+let of_trace m ~num_qubits trace = success_probability m (Exposure.of_trace ~num_qubits trace)
+
+let meets_threshold m ~error_threshold ~num_qubits trace =
+  1.0 -. of_trace m ~num_qubits trace <= error_threshold +. 1e-15
+
+let compare_mappings m ~num_qubits mappings =
+  mappings
+  |> List.map (fun (label, trace) -> (label, of_trace m ~num_qubits trace))
+  |> List.sort (fun (_, a) (_, b) -> Float.compare b a)

@@ -1,0 +1,30 @@
+(** Circuit-level success-probability estimation and the Figure 1 CAD-loop
+    threshold check.
+
+    The success probability of a mapped circuit is the product of every
+    qubit's dephasing survival and every operation's success probability;
+    we accumulate in log space for numerical stability.  The CAD flow of the
+    paper's Figure 1 feeds this back: if the mapped circuit's error exceeds
+    the threshold the synthesizer assumed, synthesis must be redone with
+    more encoding. *)
+
+val log_survival : Model.t -> Exposure.per_qubit array -> float
+(** Natural log of the estimated success probability (non-positive). *)
+
+val success_probability : Model.t -> Exposure.per_qubit array -> float
+(** [exp (log_survival ...)], in (0, 1]. *)
+
+val error_probability : Model.t -> Exposure.per_qubit array -> float
+
+val of_trace : Model.t -> num_qubits:int -> Simulator.Trace.t -> float
+(** Success probability straight from a trace. *)
+
+val meets_threshold : Model.t -> error_threshold:float -> num_qubits:int -> Simulator.Trace.t -> bool
+(** The Figure 1 check: true when the mapped circuit's error probability is
+    at most [error_threshold]; false means "redo synthesis with more
+    encoding". *)
+
+val compare_mappings :
+  Model.t -> num_qubits:int -> (string * Simulator.Trace.t) list -> (string * float) list
+(** Success probability per labelled mapping, best first — e.g. QSPR vs
+    QUALE traces of the same circuit. *)

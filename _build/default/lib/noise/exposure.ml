@@ -1,0 +1,86 @@
+open Router
+
+type per_qubit = {
+  qubit : int;
+  idle_us : float;
+  moving_us : float;
+  turning_us : float;
+  gate_us : float;
+  moves : int;
+  turns : int;
+  gates1 : int;
+  gates2 : int;
+}
+
+type acc = {
+  mutable a_moving : float;
+  mutable a_turning : float;
+  mutable a_gate : float;
+  mutable a_moves : int;
+  mutable a_turns : int;
+  mutable a_gates1 : int;
+  mutable a_gates2 : int;
+  mutable gate_open : float; (* start time of the currently open gate, if any *)
+}
+
+let of_trace ~num_qubits trace =
+  let accs =
+    Array.init num_qubits (fun _ ->
+        { a_moving = 0.0; a_turning = 0.0; a_gate = 0.0; a_moves = 0; a_turns = 0; a_gates1 = 0; a_gates2 = 0; gate_open = nan })
+  in
+  let get q =
+    if q < 0 || q >= num_qubits then invalid_arg "Noise.Exposure.of_trace: qubit out of range";
+    accs.(q)
+  in
+  List.iter
+    (fun cmd ->
+      match cmd with
+      | Micro.Move { qubit; start; finish; _ } ->
+          let a = get qubit in
+          a.a_moving <- a.a_moving +. (finish -. start);
+          a.a_moves <- a.a_moves + 1
+      | Micro.Turn { qubit; start; finish; _ } ->
+          let a = get qubit in
+          a.a_turning <- a.a_turning +. (finish -. start);
+          a.a_turns <- a.a_turns + 1
+      | Micro.Gate_start { qubits; time; _ } ->
+          List.iter
+            (fun q ->
+              let a = get q in
+              a.gate_open <- time;
+              if List.length qubits >= 2 then a.a_gates2 <- a.a_gates2 + 1 else a.a_gates1 <- a.a_gates1 + 1)
+            qubits
+      | Micro.Gate_end { qubits; time; _ } ->
+          List.iter
+            (fun q ->
+              let a = get q in
+              if not (Float.is_nan a.gate_open) then begin
+                a.a_gate <- a.a_gate +. (time -. a.gate_open);
+                a.gate_open <- nan
+              end)
+            qubits)
+    trace;
+  let makespan = Simulator.Trace.latency trace in
+  Array.mapi
+    (fun qubit a ->
+      let busy = a.a_moving +. a.a_turning +. a.a_gate in
+      {
+        qubit;
+        idle_us = Float.max 0.0 (makespan -. busy);
+        moving_us = a.a_moving;
+        turning_us = a.a_turning;
+        gate_us = a.a_gate;
+        moves = a.a_moves;
+        turns = a.a_turns;
+        gates1 = a.a_gates1;
+        gates2 = a.a_gates2;
+      })
+    accs
+
+let busy_us e = e.moving_us +. e.turning_us +. e.gate_us
+
+let total_us e = busy_us e +. e.idle_us
+
+let pp ppf e =
+  Format.fprintf ppf "q%d: idle %.1fus, moving %.1fus (%d), turning %.1fus (%d), gates %.1fus (%d/%d)"
+    e.qubit e.idle_us e.moving_us e.moves e.turning_us e.turns e.gate_us e.gates1 e.gates2

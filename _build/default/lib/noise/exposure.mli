@@ -1,0 +1,32 @@
+(** Per-qubit noise exposure extracted from a micro-command trace.
+
+    For every qubit, how long it spent idle (parked in a trap, dephasing),
+    moving, turning, and inside gates, plus operation counts.  Idle time is
+    the circuit makespan minus the qubit's busy time: every ion exists — and
+    dephases — for the whole computation, which is exactly why the paper
+    minimizes total latency. *)
+
+type per_qubit = {
+  qubit : int;
+  idle_us : float;
+  moving_us : float;
+  turning_us : float;
+  gate_us : float;
+  moves : int;
+  turns : int;
+  gates1 : int;
+  gates2 : int;
+}
+
+val of_trace : num_qubits:int -> Simulator.Trace.t -> per_qubit array
+(** Exposure of each qubit over the trace's makespan.
+    @raise Invalid_argument if the trace mentions a qubit outside
+    [0, num_qubits). *)
+
+val busy_us : per_qubit -> float
+(** moving + turning + gate time. *)
+
+val total_us : per_qubit -> float
+(** busy + idle = trace makespan (identical for every qubit). *)
+
+val pp : Format.formatter -> per_qubit -> unit

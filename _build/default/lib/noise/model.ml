@@ -1,0 +1,28 @@
+type t = {
+  t1_us : float;
+  t2_us : float;
+  eps_move : float;
+  eps_turn : float;
+  eps_gate1 : float;
+  eps_gate2 : float;
+}
+
+let default =
+  { t1_us = 1e9; t2_us = 100_000.0; eps_move = 5e-6; eps_turn = 5e-5; eps_gate1 = 1e-5; eps_gate2 = 1e-3 }
+
+let check_prob name p =
+  if p < 0.0 || p >= 1.0 then invalid_arg (Printf.sprintf "Noise.Model.make: %s must be in [0, 1)" name)
+
+let make ?(t1_us = default.t1_us) ?(t2_us = default.t2_us) ?(eps_move = default.eps_move)
+    ?(eps_turn = default.eps_turn) ?(eps_gate1 = default.eps_gate1) ?(eps_gate2 = default.eps_gate2) () =
+  if t1_us <= 0.0 then invalid_arg "Noise.Model.make: t1 must be positive";
+  if t2_us <= 0.0 then invalid_arg "Noise.Model.make: t2 must be positive";
+  check_prob "eps_move" eps_move;
+  check_prob "eps_turn" eps_turn;
+  check_prob "eps_gate1" eps_gate1;
+  check_prob "eps_gate2" eps_gate2;
+  { t1_us; t2_us; eps_move; eps_turn; eps_gate1; eps_gate2 }
+
+let pp ppf t =
+  Format.fprintf ppf "t1=%gus t2=%gus move=%g turn=%g 1q=%g 2q=%g" t.t1_us t.t2_us t.eps_move
+    t.eps_turn t.eps_gate1 t.eps_gate2

@@ -1,0 +1,48 @@
+(** Decoherence and operation-error model for mapped circuits.
+
+    The paper's premise is that mapping latency is a proxy for accumulated
+    error: "reduce the latency of the quantum circuit ... to decrease the
+    effect of noise".  This module makes the proxy explicit with a simple
+    multiplicative error model in the style of the ion-trap evaluation
+    literature (Balensiefer et al. [1]):
+
+    - every ion dephases while it exists: survival [exp(-t_idle / t2)];
+    - each move, turn and gate succeeds with probability
+      [1 - eps_move], [1 - eps_turn], [1 - eps_gate1/2] (transport heats the
+      ion chain, so turns are dirtier than moves, and two-qubit gates are
+      the dominant gate error).
+
+    Absolute values are representative of mid-2000s trap demonstrations;
+    what the experiments use is the *ratio* between two mappings of the same
+    circuit, which is insensitive to the absolute calibration. *)
+
+type t = {
+  t1_us : float;  (** relaxation (amplitude-damping) time constant; in the
+                      Pauli-twirled approximation an idle ion suffers an X
+                      error with probability [1 - exp (-t/t1)] *)
+  t2_us : float;  (** dephasing time constant, microseconds *)
+  eps_move : float;  (** error probability per one-cell move *)
+  eps_turn : float;  (** error probability per junction turn *)
+  eps_gate1 : float;
+  eps_gate2 : float;
+}
+
+val default : t
+(** [t1 = 1e9 us] (ion qubits barely relax), [t2 = 100_000 us],
+    [eps_move = 5e-6], [eps_turn = 5e-5], [eps_gate1 = 1e-5],
+    [eps_gate2 = 1e-3]. *)
+
+val make :
+  ?t1_us:float ->
+  ?t2_us:float ->
+  ?eps_move:float ->
+  ?eps_turn:float ->
+  ?eps_gate1:float ->
+  ?eps_gate2:float ->
+  unit ->
+  t
+(** Defaults to {!default}; validates ranges.
+    @raise Invalid_argument on non-positive [t2] or probabilities outside
+    [0, 1). *)
+
+val pp : Format.formatter -> t -> unit

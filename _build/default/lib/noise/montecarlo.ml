@@ -1,0 +1,108 @@
+open Qasm
+module Stab = Quantum.Stabilizer
+open Router
+
+type stats = { trials : int; failures : int; failure_rate : float; mean_injected_errors : float }
+
+let random_pauli rng st q =
+  match Ion_util.Rng.int rng 3 with
+  | 0 -> Stab.apply_g1 st Gate.X q
+  | 1 -> Stab.apply_g1 st Gate.Y q
+  | _ -> Stab.apply_g1 st Gate.Z q
+
+let apply_instr st instr =
+  match instr with
+  | Instr.Qubit_decl _ -> ()
+  | Instr.Gate1 (g, q) -> Stab.apply_g1 st g q
+  | Instr.Gate2 (g, c, t) -> Stab.apply_g2 st g ~control:c ~target:t
+
+let simulate ?rng ~model ~program ~trace ~trials () =
+  if trials < 1 then Error "Montecarlo.simulate: trials must be positive"
+  else begin
+    if not (Program.is_unitary program) then
+      Error "Montecarlo.simulate: program must be unitary (measurement outcomes are not comparable)"
+    else begin
+    let nq = Program.num_qubits program in
+    let rng = match rng with Some r -> r | None -> Ion_util.Rng.create 0xDECAF in
+    (* the ideal reference state *)
+    match Stab.run_program program with
+    | Error e -> Error ("Montecarlo.simulate: " ^ e)
+    | Ok ideal ->
+        let exposures = Exposure.of_trace ~num_qubits:nq trace in
+        let idle_z_prob =
+          Array.map
+            (fun (e : Exposure.per_qubit) -> 1.0 -. exp (-.e.Exposure.idle_us /. model.Model.t2_us))
+            exposures
+        in
+        let idle_x_prob =
+          Array.map
+            (fun (e : Exposure.per_qubit) -> 1.0 -. exp (-.e.Exposure.idle_us /. model.Model.t1_us))
+            exposures
+        in
+        let failures = ref 0 in
+        let injected = ref 0 in
+        let flip p = Ion_util.Rng.float rng 1.0 < p in
+        (try
+           for _ = 1 to trials do
+             let st = Stab.create nq in
+             (* initializers *)
+             Array.iter
+               (fun instr ->
+                 match instr with
+                 | Instr.Qubit_decl { qubit; init = Some 1 } -> Stab.apply_g1 st Gate.X qubit
+                 | Instr.Qubit_decl _ | Instr.Gate1 _ | Instr.Gate2 _ -> ())
+               program.Program.instrs;
+             List.iter
+               (fun cmd ->
+                 match cmd with
+                 | Micro.Move { qubit; _ } ->
+                     if flip model.Model.eps_move then begin
+                       incr injected;
+                       random_pauli rng st qubit
+                     end
+                 | Micro.Turn { qubit; _ } ->
+                     if flip model.Model.eps_turn then begin
+                       incr injected;
+                       random_pauli rng st qubit
+                     end
+                 | Micro.Gate_start { instr_id; qubits; _ } ->
+                     if instr_id < 0 || instr_id >= Program.num_instrs program then
+                       failwith "trace instruction id out of range"
+                     else begin
+                       apply_instr st program.Program.instrs.(instr_id);
+                       (* one error event per gate (matching the analytic
+                          model), landing on a random operand *)
+                       let eps =
+                         if List.length qubits >= 2 then model.Model.eps_gate2 else model.Model.eps_gate1
+                       in
+                       if flip eps then begin
+                         incr injected;
+                         let q = List.nth qubits (Ion_util.Rng.int rng (List.length qubits)) in
+                         random_pauli rng st q
+                       end
+                     end
+                 | Micro.Gate_end _ -> ())
+               trace;
+             (* idle dephasing and (twirled) relaxation, accumulated per qubit *)
+             for q = 0 to nq - 1 do
+               if flip idle_z_prob.(q) then begin
+                 incr injected;
+                 Stab.apply_g1 st Gate.Z q
+               end;
+               if flip idle_x_prob.(q) then begin
+                 incr injected;
+                 Stab.apply_g1 st Gate.X q
+               end
+             done;
+             if not (Stab.equal_states st ideal) then incr failures
+           done;
+           Ok
+             {
+               trials;
+               failures = !failures;
+               failure_rate = float_of_int !failures /. float_of_int trials;
+               mean_injected_errors = float_of_int !injected /. float_of_int trials;
+             }
+         with Failure msg -> Error ("Montecarlo.simulate: " ^ msg))
+    end
+  end

@@ -1,0 +1,32 @@
+(** Monte-Carlo noisy execution of a mapped trace.
+
+    Where {!Estimate} predicts the success probability analytically, this
+    module {e measures} it: each trial replays the micro-command trace on the
+    stabilizer simulator, injecting random Pauli errors — per move, per turn,
+    per gate (with the model's probabilities) and a dephasing Z per qubit
+    driven by its idle time — then compares the final state against the
+    ideal run.  Restricted to Clifford programs (everything the paper's
+    benchmarks use).
+
+    This closes the loop on the paper's motivation: mapping latency directly
+    becomes measured logical failure rate, and QSPR's shorter traces fail
+    less often than QUALE's. *)
+
+type stats = {
+  trials : int;
+  failures : int;
+  failure_rate : float;
+  mean_injected_errors : float;  (** average Pauli injections per trial *)
+}
+
+val simulate :
+  ?rng:Ion_util.Rng.t ->
+  model:Model.t ->
+  program:Qasm.Program.t ->
+  trace:Simulator.Trace.t ->
+  trials:int ->
+  unit ->
+  (stats, string) result
+(** [Error] on non-Clifford programs or [trials < 1].  The trace must come
+    from mapping exactly [program] (gate instruction ids are looked up in
+    it). *)

@@ -1,0 +1,1 @@
+lib/placer/annealing.ml: Array Center Float Ion_util List Option Simulator

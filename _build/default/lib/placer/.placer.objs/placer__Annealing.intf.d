@@ -1,0 +1,1 @@
+lib/placer/annealing.mli: Fabric Ion_util Simulator

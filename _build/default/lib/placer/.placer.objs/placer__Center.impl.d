@@ -1,0 +1,1 @@
+lib/placer/center.ml: Array Fabric Ion_util List Printf

@@ -1,0 +1,1 @@
+lib/placer/center.mli: Fabric Ion_util

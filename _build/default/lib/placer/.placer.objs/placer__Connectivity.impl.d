@@ -1,0 +1,1 @@
+lib/placer/connectivity.ml: Array Center Fabric Fun Hashtbl Instr Int Ion_util List Option Program Qasm

@@ -1,0 +1,1 @@
+lib/placer/connectivity.mli: Fabric Qasm

@@ -1,0 +1,1 @@
+lib/placer/exhaustive.ml: Array Center Float Option Printf Simulator

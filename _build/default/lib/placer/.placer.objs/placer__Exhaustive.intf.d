@@ -1,0 +1,1 @@
+lib/placer/exhaustive.mli: Fabric Simulator

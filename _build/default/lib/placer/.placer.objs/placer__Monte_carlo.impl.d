@@ -1,0 +1,1 @@
+lib/placer/monte_carlo.ml: Center List Simulator

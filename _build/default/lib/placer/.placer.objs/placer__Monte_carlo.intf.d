@@ -1,0 +1,1 @@
+lib/placer/monte_carlo.mli: Fabric Ion_util Simulator

@@ -1,0 +1,1 @@
+lib/placer/mvfb.ml: Center Float List Simulator

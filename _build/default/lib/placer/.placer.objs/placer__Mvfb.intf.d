@@ -1,0 +1,1 @@
+lib/placer/mvfb.mli: Fabric Ion_util Simulator

@@ -1,0 +1,86 @@
+module Rng = Ion_util.Rng
+
+type outcome = {
+  placement : int array;
+  result : Simulator.Engine.result;
+  evaluations : int;
+  accepted : int;
+  latencies : float list;
+}
+
+(* propose a neighbour: swap two qubits' traps, or move one qubit to an
+   unoccupied candidate trap *)
+let propose rng pool placement =
+  let nq = Array.length placement in
+  let next = Array.copy placement in
+  if nq >= 2 && Rng.bool rng then begin
+    let i = Rng.int rng nq in
+    let j = (i + 1 + Rng.int rng (nq - 1)) mod nq in
+    let tmp = next.(i) in
+    next.(i) <- next.(j);
+    next.(j) <- tmp;
+    next
+  end
+  else begin
+    let i = Rng.int rng nq in
+    let free = Array.to_list pool |> List.filter (fun t -> not (Array.exists (( = ) t) placement)) in
+    match free with
+    | [] -> next
+    | _ ->
+        next.(i) <- List.nth free (Rng.int rng (List.length free));
+        next
+  end
+
+let search ~rng ?(initial_temperature = 100.0) ?(cooling = 0.95) ?(evaluations = 60)
+    ?candidate_traps ~evaluate comp ~num_qubits =
+  let candidate_traps = Option.value ~default:(3 * num_qubits) candidate_traps in
+  if initial_temperature <= 0.0 || cooling <= 0.0 || cooling >= 1.0 then
+    Error "Annealing.search: bad temperature schedule"
+  else if evaluations < 1 then Error "Annealing.search: need at least one evaluation"
+  else if candidate_traps < num_qubits then Error "Annealing.search: candidate pool too small"
+  else begin
+    match Center.center_traps comp candidate_traps with
+    | exception Invalid_argument msg -> Error msg
+    | pool_list -> (
+        let pool = Array.of_list pool_list in
+        let current = ref (Center.place_permuted rng comp ~num_qubits) in
+        match evaluate !current with
+        | Error _ as e -> e
+        | Ok r0 ->
+            let current_cost = ref r0.Simulator.Engine.latency in
+            let best = ref (Array.copy !current, r0) in
+            let best_cost = ref !current_cost in
+            let latencies = ref [ !current_cost ] in
+            let accepted = ref 0 in
+            let temperature = ref initial_temperature in
+            let error = ref None in
+            let evals = ref 1 in
+            while !error = None && !evals < evaluations do
+              let candidate = propose rng pool !current in
+              (match evaluate candidate with
+              | Error e -> error := Some e
+              | Ok r ->
+                  incr evals;
+                  let cost = r.Simulator.Engine.latency in
+                  latencies := cost :: !latencies;
+                  let delta = cost -. !current_cost in
+                  let accept =
+                    delta <= 0.0 || Rng.float rng 1.0 < exp (-.delta /. Float.max 1e-9 !temperature)
+                  in
+                  if accept then begin
+                    incr accepted;
+                    current := candidate;
+                    current_cost := cost;
+                    if cost < !best_cost then begin
+                      best := (Array.copy candidate, r);
+                      best_cost := cost
+                    end
+                  end);
+              temperature := !temperature *. cooling
+            done;
+            (match !error with
+            | Some e -> Error e
+            | None ->
+                let placement, result = !best in
+                Ok { placement; result; evaluations = !evals; accepted = !accepted; latencies = List.rev !latencies }))
+  end

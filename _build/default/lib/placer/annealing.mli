@@ -1,0 +1,32 @@
+(** Simulated-annealing placer — the classical VLSI-style baseline.
+
+    The paper contrasts MVFB with "standard VLSI placement algorithms";
+    this is that standard: start from a center placement, repeatedly propose
+    a local move (swap two qubits, or relocate one qubit to a free nearby
+    trap), accept improvements always and degradations with probability
+    [exp (-delta / temperature)], cooling geometrically.  The cost of a
+    placement is the full schedule-and-route latency, like every other
+    placer here, so the comparison with MVFB is apples to apples at equal
+    evaluation counts. *)
+
+type outcome = {
+  placement : int array;
+  result : Simulator.Engine.result;
+  evaluations : int;
+  accepted : int;  (** accepted proposals (including improvements) *)
+  latencies : float list;  (** cost of every evaluated placement, in order *)
+}
+
+val search :
+  rng:Ion_util.Rng.t ->
+  ?initial_temperature:float ->
+  ?cooling:float ->
+  ?evaluations:int ->
+  ?candidate_traps:int ->
+  evaluate:(int array -> (Simulator.Engine.result, string) result) ->
+  Fabric.Component.t ->
+  num_qubits:int ->
+  (outcome, string) result
+(** Defaults: temperature 100 us, cooling 0.95 per step, 60 evaluations,
+    candidate pool of [3 * num_qubits] nearest-center traps.  [Error] on
+    invalid parameters or a failing evaluation. *)

@@ -1,0 +1,13 @@
+let center_traps comp n =
+  let lay = Fabric.Component.layout comp in
+  let ids = Fabric.Component.nearest_traps comp (Fabric.Layout.center lay) in
+  if List.length ids < n then
+    invalid_arg (Printf.sprintf "Center.center_traps: fabric has %d traps, need %d" (List.length ids) n);
+  List.filteri (fun i _ -> i < n) ids
+
+let place comp ~num_qubits = Array.of_list (center_traps comp num_qubits)
+
+let place_permuted rng comp ~num_qubits =
+  let traps = Array.of_list (center_traps comp num_qubits) in
+  let perm = Ion_util.Rng.permutation rng num_qubits in
+  Array.init num_qubits (fun q -> traps.(perm.(q)))

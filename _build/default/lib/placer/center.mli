@@ -1,0 +1,17 @@
+(** Center placement (QUALE's placer, Section I).
+
+    Qubits are placed in the free traps closest to the center of the fabric.
+    Packing qubits together keeps routing distances small, but the method is
+    blind to the structure of the QIDG — the weakness MVFB addresses. *)
+
+val center_traps : Fabric.Component.t -> int -> int list
+(** The [n] trap ids nearest the fabric center (ties by id).
+    @raise Invalid_argument if the fabric has fewer than [n] traps. *)
+
+val place : Fabric.Component.t -> num_qubits:int -> int array
+(** Deterministic center placement: qubit [i] gets the [i]-th nearest trap. *)
+
+val place_permuted : Ion_util.Rng.t -> Fabric.Component.t -> num_qubits:int -> int array
+(** A uniformly random assignment of the qubits onto the [num_qubits]
+    nearest-to-center traps — one Monte-Carlo placement sample, and the
+    random seed placement of an MVFB run. *)

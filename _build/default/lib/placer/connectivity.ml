@@ -1,0 +1,70 @@
+module Coord = Ion_util.Coord
+open Qasm
+
+let interaction_weights (p : Program.t) =
+  let tbl = Hashtbl.create 16 in
+  Array.iter
+    (fun instr ->
+      match instr with
+      | Instr.Gate2 (_, c, t) ->
+          let key = (min c t, max c t) in
+          Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+      | Instr.Qubit_decl _ | Instr.Gate1 _ -> ())
+    p.Program.instrs;
+  Hashtbl.fold (fun (a, b) w acc -> (a, b, w) :: acc) tbl []
+  |> List.sort (fun (a1, b1, w1) (a2, b2, w2) ->
+         match Int.compare w2 w1 with 0 -> compare (a1, b1) (a2, b2) | c -> c)
+
+let place comp (p : Program.t) =
+  let nq = Program.num_qubits p in
+  let traps = Fabric.Component.traps comp in
+  if Array.length traps < nq then invalid_arg "Connectivity.place: not enough traps";
+  (* candidate pool: generous center neighbourhood *)
+  let pool = Center.center_traps comp (min (Array.length traps) (max nq (2 * nq))) in
+  let weights = interaction_weights p in
+  let weight_of = Hashtbl.create 16 in
+  List.iter
+    (fun (a, b, w) ->
+      Hashtbl.replace weight_of (a, b) w;
+      Hashtbl.replace weight_of (b, a) w)
+    weights;
+  let total_weight = Array.make nq 0 in
+  List.iter
+    (fun (a, b, w) ->
+      total_weight.(a) <- total_weight.(a) + w;
+      total_weight.(b) <- total_weight.(b) + w)
+    weights;
+  (* seat qubits heaviest-first *)
+  let order = List.init nq Fun.id |> List.sort (fun a b -> Int.compare total_weight.(b) total_weight.(a)) in
+  let placement = Array.make nq (-1) in
+  let free = ref pool in
+  let pos tid = traps.(tid).Fabric.Component.tpos in
+  List.iter
+    (fun q ->
+      match !free with
+      | [] -> invalid_arg "Connectivity.place: candidate pool exhausted"
+      | first :: _ ->
+          let cost tid =
+            (* weighted distance to seated partners; unseated partners pull
+               toward the pool center implicitly *)
+            List.fold_left
+              (fun acc q' ->
+                if placement.(q') >= 0 then
+                  match Hashtbl.find_opt weight_of (q, q') with
+                  | Some w -> acc + (w * Coord.manhattan (pos tid) (pos placement.(q')))
+                  | None -> acc
+                else acc)
+              0 (List.init nq Fun.id)
+          in
+          let best =
+            List.fold_left
+              (fun best tid -> match best with
+                | Some (bt, bc) -> let c = cost tid in if c < bc then Some (tid, c) else Some (bt, bc)
+                | None -> Some (tid, cost tid))
+              None !free
+          in
+          let tid = match best with Some (t, _) -> t | None -> first in
+          placement.(q) <- tid;
+          free := List.filter (( <> ) tid) !free)
+    order;
+  placement

@@ -1,0 +1,19 @@
+(** Interaction-graph-aware placement.
+
+    The paper's critique of QUALE's center placement is that it "is
+    independent of the structure of the given QIDG.  Hence, two qubits that
+    have a lot of interactions may be placed far from each other."  This
+    placer addresses exactly that with a greedy construction: order qubits
+    by total interaction weight, seat the heaviest at the center trap, then
+    seat each next qubit in the free center-pool trap minimizing the
+    weighted Manhattan distance to its already-seated partners.
+
+    Connectivity-only placement (no schedule awareness) — the midpoint
+    between blind center placement and MVFB, used in the placer-comparison
+    experiments. *)
+
+val interaction_weights : Qasm.Program.t -> (int * int * int) list
+(** [(a, b, count)] per unordered interacting pair, heaviest first. *)
+
+val place : Fabric.Component.t -> Qasm.Program.t -> int array
+(** @raise Invalid_argument when the fabric has fewer traps than qubits. *)

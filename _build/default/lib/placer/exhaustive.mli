@@ -1,0 +1,30 @@
+(** Exhaustive placement search — ground truth for tiny instances.
+
+    Enumerates every injective assignment of the qubits onto the
+    [candidate_traps] nearest-to-center traps and evaluates each with a full
+    schedule-and-route run.  Factorially expensive, so it exists only to
+    measure the optimality gap of the heuristic placers on small circuits
+    (an experiment the paper did not have the tooling to run). *)
+
+type outcome = {
+  placement : int array;  (** the optimal placement over the candidate set *)
+  result : Simulator.Engine.result;
+  evaluated : int;  (** number of placements tried *)
+  worst_latency : float;  (** the worst placement's latency, for spread *)
+}
+
+val search_space : candidate_traps:int -> num_qubits:int -> int
+(** Number of placements the search would evaluate:
+    C(candidates, qubits) x qubits!. *)
+
+val search :
+  ?candidate_traps:int ->
+  ?max_evaluations:int ->
+  evaluate:(int array -> (Simulator.Engine.result, string) result) ->
+  Fabric.Component.t ->
+  num_qubits:int ->
+  (outcome, string) result
+(** [candidate_traps] defaults to [num_qubits + 1]; [max_evaluations]
+    (default 50_000) rejects searches that would run too long.  [Error] when
+    the space exceeds the cap, the fabric is too small, or an evaluation
+    fails. *)

@@ -1,0 +1,34 @@
+type outcome = {
+  placement : int array;
+  result : Simulator.Engine.result;
+  latencies : float list;
+  runs : int;
+}
+
+let search ~rng ~runs ~evaluate comp ~num_qubits =
+  if runs < 1 then Error "Monte_carlo.search: need at least one run"
+  else begin
+    let best = ref None in
+    let latencies = ref [] in
+    let error = ref None in
+    let i = ref 0 in
+    while !error = None && !i < runs do
+      let placement = Center.place_permuted rng comp ~num_qubits in
+      (match evaluate placement with
+      | Error e -> error := Some e
+      | Ok r ->
+          latencies := r.Simulator.Engine.latency :: !latencies;
+          let better =
+            match !best with
+            | None -> true
+            | Some (_, prev) -> r.Simulator.Engine.latency < prev.Simulator.Engine.latency
+          in
+          if better then best := Some (placement, r));
+      incr i
+    done;
+    match (!error, !best) with
+    | Some e, _ -> Error e
+    | None, None -> Error "Monte_carlo.search: no successful run"
+    | None, Some (placement, result) ->
+        Ok { placement; result; latencies = List.rev !latencies; runs }
+  end

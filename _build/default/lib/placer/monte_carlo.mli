@@ -1,0 +1,22 @@
+(** Monte-Carlo placer (paper Section V.A).
+
+    Draws random center placements, evaluates each by a full
+    schedule-and-route run, and keeps the best.  The paper sizes the MC run
+    count to match MVFB's total placement runs so the two placers spend the
+    same CPU time. *)
+
+type outcome = {
+  placement : int array;  (** the winning initial placement *)
+  result : Simulator.Engine.result;
+  latencies : float list;  (** every run's latency, in run order *)
+  runs : int;
+}
+
+val search :
+  rng:Ion_util.Rng.t ->
+  runs:int ->
+  evaluate:(int array -> (Simulator.Engine.result, string) result) ->
+  Fabric.Component.t ->
+  num_qubits:int ->
+  (outcome, string) result
+(** [Error] if [runs < 1] or any evaluation fails. *)

@@ -1,0 +1,79 @@
+type direction = Forward | Backward
+
+type outcome = {
+  direction : direction;
+  result : Simulator.Engine.result;
+  initial_placement : int array;
+  latencies : float list;
+  runs : int;
+  seeds_used : int;
+}
+
+type best = {
+  b_latency : float;
+  b_direction : direction;
+  b_result : Simulator.Engine.result;
+  b_initial : int array;
+}
+
+let search ~rng ~m ?(patience = 3) ?(max_runs_per_seed = 64) ~forward ~backward comp ~num_qubits =
+  if m < 1 then Error "Mvfb.search: need at least one seed"
+  else begin
+    let best = ref None in
+    let latencies = ref [] in
+    let runs = ref 0 in
+    let error = ref None in
+    let consider latency direction result initial =
+      latencies := latency :: !latencies;
+      incr runs;
+      let better = match !best with None -> true | Some b -> latency < b.b_latency in
+      if better then
+        best := Some { b_latency = latency; b_direction = direction; b_result = result; b_initial = initial }
+    in
+    let seed = ref 0 in
+    while !error = None && !seed < m do
+      (* local neighborhood search around one random center placement *)
+      let placement = ref (Center.place_permuted rng comp ~num_qubits) in
+      let local_best = ref Float.infinity in
+      let no_improve = ref 0 in
+      let local_runs = ref 0 in
+      let note latency =
+        if latency < !local_best -. 1e-9 then begin
+          local_best := latency;
+          no_improve := 0
+        end
+        else incr no_improve
+      in
+      while !error = None && !no_improve < patience && !local_runs < max_runs_per_seed do
+        (match forward !placement with
+        | Error e -> error := Some e
+        | Ok rf ->
+            incr local_runs;
+            consider rf.Simulator.Engine.latency Forward rf !placement;
+            note rf.Simulator.Engine.latency;
+            if !no_improve < patience && !local_runs < max_runs_per_seed then begin
+              match backward rf.Simulator.Engine.final_placement with
+              | Error e -> error := Some e
+              | Ok rb ->
+                  incr local_runs;
+                  consider rb.Simulator.Engine.latency Backward rb rf.Simulator.Engine.final_placement;
+                  note rb.Simulator.Engine.latency;
+                  placement := rb.Simulator.Engine.final_placement
+            end)
+      done;
+      incr seed
+    done;
+    match (!error, !best) with
+    | Some e, _ -> Error e
+    | None, None -> Error "Mvfb.search: no successful run"
+    | None, Some b ->
+        Ok
+          {
+            direction = b.b_direction;
+            result = b.b_result;
+            initial_placement = b.b_initial;
+            latencies = List.rev !latencies;
+            runs = !runs;
+            seeds_used = m;
+          }
+  end

@@ -1,0 +1,42 @@
+(** Multi-start Variable-length Forward/Backward placer (paper Section IV.A).
+
+    Quantum computations are reversible: executing the uncompute graph (UIDG)
+    backward from the final placement of a forward run yields a new input
+    placement.  MVFB exploits this.  For each of [m] random center-placement
+    seeds it alternates forward runs (QIDG, schedule S) and backward runs
+    (UIDG, under the reversed schedule), feeding each run's final placement to the
+    next, until the best latency seen in the local search has not improved
+    for [patience] consecutive runs.  The reported solution is the best
+    forward or backward computation over all seeds — a backward solution's
+    control trace must be time-reversed to execute (the caller does this, see
+    {!Simulator.Trace.reverse}), and its {e final} placement is the forward
+    input placement.
+
+    Unlike standard VLSI placers, MVFB is schedule-aware: the cost of a
+    placement is the measured latency of the full scheduled-and-routed run,
+    not a netlist wirelength proxy. *)
+
+type direction = Forward | Backward
+
+type outcome = {
+  direction : direction;
+  result : Simulator.Engine.result;  (** the winning run, as executed *)
+  initial_placement : int array;  (** input placement of the winning run *)
+  latencies : float list;  (** latency of every placement run, in order *)
+  runs : int;  (** total placement runs — sizes the MC comparison *)
+  seeds_used : int;
+}
+
+val search :
+  rng:Ion_util.Rng.t ->
+  m:int ->
+  ?patience:int ->
+  ?max_runs_per_seed:int ->
+  forward:(int array -> (Simulator.Engine.result, string) result) ->
+  backward:(int array -> (Simulator.Engine.result, string) result) ->
+  Fabric.Component.t ->
+  num_qubits:int ->
+  (outcome, string) result
+(** [patience] defaults to 3 (the paper's stopping rule); [max_runs_per_seed]
+    (default 64) bounds pathological non-converging seeds.  [Error] on
+    [m < 1] or when an evaluation fails. *)

@@ -1,0 +1,1 @@
+lib/qasm/basis.ml: Array Gate Instr List Program

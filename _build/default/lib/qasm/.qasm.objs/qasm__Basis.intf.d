@@ -1,0 +1,1 @@
+lib/qasm/basis.mli: Program

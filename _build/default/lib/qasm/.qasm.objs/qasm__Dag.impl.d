@@ -1,0 +1,1 @@
+lib/qasm/dag.ml: Array Buffer Float Instr Ion_util List Printer Printf Program

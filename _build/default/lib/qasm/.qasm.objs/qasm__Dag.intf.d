@@ -1,0 +1,1 @@
+lib/qasm/dag.mli: Instr Program

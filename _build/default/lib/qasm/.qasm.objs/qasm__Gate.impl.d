@@ -1,0 +1,1 @@
+lib/qasm/gate.ml: Format String

@@ -1,0 +1,1 @@
+lib/qasm/gate.mli: Format

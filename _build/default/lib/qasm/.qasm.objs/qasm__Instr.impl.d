@@ -1,0 +1,1 @@
+lib/qasm/instr.ml: Format Gate

@@ -1,0 +1,1 @@
+lib/qasm/lexer.ml: Format List Printf String

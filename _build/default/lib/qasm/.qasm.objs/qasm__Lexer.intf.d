@@ -1,0 +1,1 @@
+lib/qasm/lexer.mli: Format

@@ -1,0 +1,1 @@
+lib/qasm/metrics.ml: Array Dag Format Hashtbl Instr List Option Program

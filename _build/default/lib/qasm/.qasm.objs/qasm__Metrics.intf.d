@@ -1,0 +1,1 @@
+lib/qasm/metrics.mli: Format Program

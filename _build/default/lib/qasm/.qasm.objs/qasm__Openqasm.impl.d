@@ -1,0 +1,1 @@
+lib/qasm/openqasm.ml: Array Buffer Filename Gate Hashtbl Instr List Printf Program String

@@ -1,0 +1,1 @@
+lib/qasm/openqasm.mli: Program

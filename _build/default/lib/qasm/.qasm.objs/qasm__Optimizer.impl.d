@@ -1,0 +1,1 @@
+lib/qasm/optimizer.ml: Array Gate Instr List Program

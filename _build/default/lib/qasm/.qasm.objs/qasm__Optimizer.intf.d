@@ -1,0 +1,1 @@
+lib/qasm/optimizer.mli: Program

@@ -1,0 +1,1 @@
+lib/qasm/parser.ml: Array Filename Gate Hashtbl Instr Lexer List Printf Program String

@@ -1,0 +1,1 @@
+lib/qasm/parser.mli: Program

@@ -1,0 +1,1 @@
+lib/qasm/printer.ml: Array Buffer Format Gate Instr Printf Program

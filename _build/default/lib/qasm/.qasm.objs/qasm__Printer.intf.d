@@ -1,0 +1,1 @@
+lib/qasm/printer.mli: Format Instr Program

@@ -1,0 +1,1 @@
+lib/qasm/program.ml: Array Instr List Printf

@@ -1,0 +1,1 @@
+lib/qasm/program.mli: Gate Instr

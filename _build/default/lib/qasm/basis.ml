@@ -1,0 +1,28 @@
+let to_cx_basis (p : Program.t) =
+  let out = ref [] in
+  let emit i = out := i :: !out in
+  Array.iter
+    (fun instr ->
+      match instr with
+      | Instr.Gate2 (Gate.CZ, c, t) ->
+          emit (Instr.Gate1 (Gate.H, t));
+          emit (Instr.Gate2 (Gate.CX, c, t));
+          emit (Instr.Gate1 (Gate.H, t))
+      | Instr.Gate2 (Gate.CY, c, t) ->
+          emit (Instr.Gate1 (Gate.Sdg, t));
+          emit (Instr.Gate2 (Gate.CX, c, t));
+          emit (Instr.Gate1 (Gate.S, t))
+      | Instr.Qubit_decl _ | Instr.Gate1 _ | Instr.Gate2 (Gate.CX, _, _) -> emit instr)
+    p.Program.instrs;
+  Program.make_exn ~name:(p.Program.name ^ "-cx") ~qubit_names:p.Program.qubit_names
+    ~instrs:(List.rev !out)
+
+let is_cx_only (p : Program.t) =
+  Array.for_all
+    (function Instr.Gate2 ((Gate.CY | Gate.CZ), _, _) -> false | _ -> true)
+    p.Program.instrs
+
+let extra_gates (p : Program.t) =
+  Array.fold_left
+    (fun acc i -> match i with Instr.Gate2 ((Gate.CY | Gate.CZ), _, _) -> acc + 2 | _ -> acc)
+    0 p.Program.instrs

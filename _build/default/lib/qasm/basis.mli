@@ -1,0 +1,24 @@
+(** Gate-basis translation.
+
+    Some machines calibrate only CNOT as their two-qubit primitive; this
+    pass rewrites the controlled Paulis into that basis:
+
+    {v
+      C-Z c,t  =  H t ; C-X c,t ; H t
+      C-Y c,t  =  Sdg t ; C-X c,t ; S t
+    v}
+
+    Semantics-preserving (checked by state-vector equivalence tests) but not
+    free on the fabric: the extra one-qubit gates lengthen the schedule —
+    the experiments quantify how much the paper's native controlled-Pauli
+    assumption is worth. *)
+
+val to_cx_basis : Program.t -> Program.t
+(** Rewrites every [C-Y]/[C-Z] as above; [C-X], one-qubit gates and
+    declarations pass through. *)
+
+val is_cx_only : Program.t -> bool
+(** No [C-Y]/[C-Z] remains. *)
+
+val extra_gates : Program.t -> int
+(** Gate-count increase [to_cx_basis] would cause. *)

@@ -1,0 +1,62 @@
+type g1 = H | X | Y | Z | S | Sdg | T | Tdg | Prep_z | Meas_z
+
+type g2 = CX | CY | CZ
+
+let g1_name = function
+  | H -> "H"
+  | X -> "X"
+  | Y -> "Y"
+  | Z -> "Z"
+  | S -> "S"
+  | Sdg -> "Sdg"
+  | T -> "T"
+  | Tdg -> "Tdg"
+  | Prep_z -> "PrepZ"
+  | Meas_z -> "MeasZ"
+
+let g2_name = function CX -> "C-X" | CY -> "C-Y" | CZ -> "C-Z"
+
+let g1_of_name s =
+  match String.lowercase_ascii s with
+  | "h" -> Some H
+  | "x" -> Some X
+  | "y" -> Some Y
+  | "z" -> Some Z
+  | "s" -> Some S
+  | "sdg" | "sd" | "sdag" -> Some Sdg
+  | "t" -> Some T
+  | "tdg" | "td" | "tdag" -> Some Tdg
+  | "prepz" | "prep" -> Some Prep_z
+  | "measz" | "measure" | "meas" -> Some Meas_z
+  | _ -> None
+
+let g2_of_name s =
+  match String.lowercase_ascii s with
+  | "c-x" | "cx" | "cnot" -> Some CX
+  | "c-y" | "cy" -> Some CY
+  | "c-z" | "cz" -> Some CZ
+  | _ -> None
+
+let g1_inverse = function
+  | H -> Some H
+  | X -> Some X
+  | Y -> Some Y
+  | Z -> Some Z
+  | S -> Some Sdg
+  | Sdg -> Some S
+  | T -> Some Tdg
+  | Tdg -> Some T
+  | Prep_z | Meas_z -> None
+
+let g2_inverse = function CX -> CX | CY -> CY | CZ -> CZ
+
+let g1_is_unitary = function Prep_z | Meas_z -> false | H | X | Y | Z | S | Sdg | T | Tdg -> true
+
+let equal_g1 (a : g1) b = a = b
+let equal_g2 (a : g2) b = a = b
+
+let pp_g1 ppf g = Format.pp_print_string ppf (g1_name g)
+let pp_g2 ppf g = Format.pp_print_string ppf (g2_name g)
+
+let all_g1 = [ H; X; Y; Z; S; Sdg; T; Tdg; Prep_z; Meas_z ]
+let all_g2 = [ CX; CY; CZ ]

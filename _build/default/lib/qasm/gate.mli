@@ -1,0 +1,47 @@
+(** The gate vocabulary of the QASM dialect used by the paper.
+
+    One-qubit gates cover the Clifford+T set plus preparation and measurement
+    in the computational basis; two-qubit gates are the controlled Paulis the
+    paper's encoding circuits use (Figure 3: C-X, C-Y, C-Z). *)
+
+type g1 =
+  | H
+  | X
+  | Y
+  | Z
+  | S
+  | Sdg
+  | T
+  | Tdg
+  | Prep_z  (** initialize to |0> *)
+  | Meas_z  (** computational-basis measurement *)
+
+type g2 = CX | CY | CZ
+
+val g1_name : g1 -> string
+(** Canonical QASM mnemonic, e.g. ["H"], ["PrepZ"]. *)
+
+val g2_name : g2 -> string
+(** Canonical QASM mnemonic: ["C-X"], ["C-Y"], ["C-Z"]. *)
+
+val g1_of_name : string -> g1 option
+(** Case-insensitive lookup, accepting common aliases ([Sd], [MeasZ], ...). *)
+
+val g2_of_name : string -> g2 option
+(** Case-insensitive lookup; [CNOT] is an alias for [C-X]. *)
+
+val g1_inverse : g1 -> g1 option
+(** Inverse gate, or [None] for non-unitary operations (prepare, measure). *)
+
+val g2_inverse : g2 -> g2
+(** All controlled Paulis are self-inverse. *)
+
+val g1_is_unitary : g1 -> bool
+
+val equal_g1 : g1 -> g1 -> bool
+val equal_g2 : g2 -> g2 -> bool
+val pp_g1 : Format.formatter -> g1 -> unit
+val pp_g2 : Format.formatter -> g2 -> unit
+
+val all_g1 : g1 list
+val all_g2 : g2 list

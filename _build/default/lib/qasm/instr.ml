@@ -1,0 +1,32 @@
+type t =
+  | Qubit_decl of { qubit : int; init : int option }
+  | Gate1 of Gate.g1 * int
+  | Gate2 of Gate.g2 * int * int
+
+let qubits = function
+  | Qubit_decl { qubit; _ } -> [ qubit ]
+  | Gate1 (_, q) -> [ q ]
+  | Gate2 (_, c, t) -> [ c; t ]
+
+let is_gate = function Qubit_decl _ -> false | Gate1 _ | Gate2 _ -> true
+
+let is_two_qubit = function Gate2 _ -> true | Qubit_decl _ | Gate1 _ -> false
+
+let inverse = function
+  | Qubit_decl _ -> None
+  | Gate1 (g, q) -> (
+      match Gate.g1_inverse g with Some g' -> Some (Gate1 (g', q)) | None -> None)
+  | Gate2 (g, c, t) -> Some (Gate2 (Gate.g2_inverse g, c, t))
+
+let equal a b =
+  match (a, b) with
+  | Qubit_decl { qubit = q1; init = i1 }, Qubit_decl { qubit = q2; init = i2 } -> q1 = q2 && i1 = i2
+  | Gate1 (g1, q1), Gate1 (g2, q2) -> Gate.equal_g1 g1 g2 && q1 = q2
+  | Gate2 (g1, c1, t1), Gate2 (g2, c2, t2) -> Gate.equal_g2 g1 g2 && c1 = c2 && t1 = t2
+  | (Qubit_decl _ | Gate1 _ | Gate2 _), _ -> false
+
+let pp ppf = function
+  | Qubit_decl { qubit; init = None } -> Format.fprintf ppf "QUBIT q%d" qubit
+  | Qubit_decl { qubit; init = Some v } -> Format.fprintf ppf "QUBIT q%d,%d" qubit v
+  | Gate1 (g, q) -> Format.fprintf ppf "%a q%d" Gate.pp_g1 g q
+  | Gate2 (g, c, t) -> Format.fprintf ppf "%a q%d,q%d" Gate.pp_g2 g c t

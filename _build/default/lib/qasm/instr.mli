@@ -1,0 +1,30 @@
+(** QASM instructions.
+
+    Qubits are identified by dense integer indices into the owning
+    {!Program.t}'s name table.  A two-qubit instruction distinguishes its
+    control (the paper's "source" operand) from its target (the
+    "destination" operand): QUALE-style routing pins the target while QSPR
+    moves both. *)
+
+type t =
+  | Qubit_decl of { qubit : int; init : int option }
+      (** [QUBIT q,0] — allocate a qubit, optionally initialized. *)
+  | Gate1 of Gate.g1 * int
+  | Gate2 of Gate.g2 * int * int  (** gate, control (source), target (destination) *)
+
+val qubits : t -> int list
+(** Operand qubits, in (control, target) order for two-qubit gates. *)
+
+val is_gate : t -> bool
+(** True for [Gate1]/[Gate2]; declarations take no fabric time. *)
+
+val is_two_qubit : t -> bool
+
+val inverse : t -> t option
+(** Inverse instruction for the uncompute graph; [None] when the operation is
+    non-unitary (prepare, measure) or a declaration. Declarations are handled
+    separately by {!Dag.reverse}. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+(** Debug rendering with raw qubit indices; see {!Printer} for QASM text. *)

@@ -1,0 +1,63 @@
+type token = Ident of string | Int of int | Comma
+
+type line = { number : int; tokens : token list }
+
+let pp_token ppf = function
+  | Ident s -> Format.fprintf ppf "ident %S" s
+  | Int n -> Format.fprintf ppf "int %d" n
+  | Comma -> Format.pp_print_string ppf "','"
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') || c = '-' || c = '[' || c = ']'
+
+let is_digit c = c >= '0' && c <= '9'
+
+let strip_comment s =
+  let n = String.length s in
+  let rec find i =
+    if i >= n then n
+    else if s.[i] = '#' then i
+    else if s.[i] = '/' && i + 1 < n && s.[i + 1] = '/' then i
+    else find (i + 1)
+  in
+  String.sub s 0 (find 0)
+
+let tokenize_line number s =
+  let n = String.length s in
+  let rec go i acc =
+    if i >= n then Ok (List.rev acc)
+    else
+      let c = s.[i] in
+      if c = ' ' || c = '\t' || c = '\r' then go (i + 1) acc
+      else if c = ',' then go (i + 1) (Comma :: acc)
+      else if is_digit c then begin
+        let j = ref i in
+        while !j < n && is_digit s.[!j] do
+          incr j
+        done;
+        go !j (Int (int_of_string (String.sub s i (!j - i))) :: acc)
+      end
+      else if is_ident_start c then begin
+        let j = ref i in
+        while !j < n && is_ident_char s.[!j] do
+          incr j
+        done;
+        go !j (Ident (String.sub s i (!j - i)) :: acc)
+      end
+      else Error (Printf.sprintf "line %d: unexpected character %C" number c)
+  in
+  go 0 []
+
+let tokenize src =
+  let lines = String.split_on_char '\n' src in
+  let rec go number acc = function
+    | [] -> Ok (List.rev acc)
+    | raw :: rest -> (
+        let body = strip_comment raw in
+        match tokenize_line number body with
+        | Error _ as e -> e
+        | Ok [] -> go (number + 1) acc rest
+        | Ok tokens -> go (number + 1) ({ number; tokens } :: acc) rest)
+  in
+  go 1 [] lines

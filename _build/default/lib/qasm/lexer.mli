@@ -1,0 +1,18 @@
+(** Line-oriented tokenizer for the QASM dialect.
+
+    QASM is a line-per-instruction language; the lexer splits source text
+    into lines (tracking 1-based line numbers for diagnostics), strips [#]
+    and [//] comments, and tokenizes each remaining line. *)
+
+type token =
+  | Ident of string  (** mnemonics and qubit names; may contain [-] as in [C-X] *)
+  | Int of int
+  | Comma
+
+type line = { number : int; tokens : token list }
+
+val tokenize : string -> (line list, string) result
+(** Blank and comment-only lines are dropped.  Errors carry the offending
+    line number and character. *)
+
+val pp_token : Format.formatter -> token -> unit

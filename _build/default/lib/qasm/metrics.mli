@@ -1,0 +1,28 @@
+(** Static circuit metrics over the QIDG.
+
+    The mapper's inputs vary widely in shape; these summary statistics —
+    logical depth, width, parallelism profile, gate histograms — inform
+    fabric sizing and appear in the experiment reports. *)
+
+type t = {
+  qubits : int;
+  gates : int;
+  one_qubit_gates : int;
+  two_qubit_gates : int;
+  depth : int;  (** longest dependency chain, in gates *)
+  critical_path_us : float;  (** under the paper's gate delays *)
+  max_parallelism : int;  (** widest ASAP level, in simultaneous gates *)
+  avg_parallelism : float;  (** gates / depth *)
+  two_qubit_interactions : (int * int) list;  (** distinct qubit pairs, sorted *)
+}
+
+val of_program : Program.t -> t
+
+val interaction_degree : t -> int array -> unit
+(** Fills [.(q)] with the number of distinct partners qubit [q] interacts
+    with (the array must have [qubits] entries) — the connectivity signal a
+    placement heuristic would want.
+    @raise Invalid_argument on length mismatch. *)
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line human-readable summary. *)

@@ -1,0 +1,357 @@
+(* Hand-rolled scanner/parser for the OpenQASM 2.0 subset. *)
+
+type token =
+  | Ident of string
+  | Int of int
+  | Real of string (* only legal in the OPENQASM version header *)
+  | Str of string
+  | Semi
+  | Comma
+  | Lbracket
+  | Rbracket
+  | Lbrace
+  | Rbrace
+  | Arrow
+
+let err line fmt = Printf.ksprintf (fun s -> Error (Printf.sprintf "line %d: %s" line s)) fmt
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') || c = '.'
+let is_digit c = c >= '0' && c <= '9'
+
+(* scan the whole source into (line, token) pairs *)
+let scan src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let line = ref 1 in
+  let rec go i =
+    if i >= n then Ok ()
+    else
+      let c = src.[i] in
+      if c = '\n' then begin
+        incr line;
+        go (i + 1)
+      end
+      else if c = ' ' || c = '\t' || c = '\r' then go (i + 1)
+      else if c = '/' && i + 1 < n && src.[i + 1] = '/' then begin
+        let rec skip j = if j < n && src.[j] <> '\n' then skip (j + 1) else j in
+        go (skip i)
+      end
+      else if c = ';' then begin
+        tokens := (!line, Semi) :: !tokens;
+        go (i + 1)
+      end
+      else if c = ',' then begin
+        tokens := (!line, Comma) :: !tokens;
+        go (i + 1)
+      end
+      else if c = '[' then begin
+        tokens := (!line, Lbracket) :: !tokens;
+        go (i + 1)
+      end
+      else if c = ']' then begin
+        tokens := (!line, Rbracket) :: !tokens;
+        go (i + 1)
+      end
+      else if c = '{' then begin
+        tokens := (!line, Lbrace) :: !tokens;
+        go (i + 1)
+      end
+      else if c = '}' then begin
+        tokens := (!line, Rbrace) :: !tokens;
+        go (i + 1)
+      end
+      else if c = '-' && i + 1 < n && src.[i + 1] = '>' then begin
+        tokens := (!line, Arrow) :: !tokens;
+        go (i + 2)
+      end
+      else if c = '"' then begin
+        let rec close j = if j >= n then None else if src.[j] = '"' then Some j else close (j + 1) in
+        match close (i + 1) with
+        | None -> err !line "unterminated string"
+        | Some j ->
+            tokens := (!line, Str (String.sub src (i + 1) (j - i - 1))) :: !tokens;
+            go (j + 1)
+      end
+      else if is_digit c then begin
+        let j = ref i in
+        while !j < n && (is_digit src.[!j] || src.[!j] = '.') do
+          incr j
+        done;
+        let text = String.sub src i (!j - i) in
+        (match int_of_string_opt text with
+        | Some v -> tokens := (!line, Int v) :: !tokens
+        | None -> tokens := (!line, Real text) :: !tokens);
+        go !j
+      end
+      else if is_ident_start c then begin
+        let j = ref i in
+        while !j < n && is_ident_char src.[!j] do
+          incr j
+        done;
+        tokens := (!line, Ident (String.sub src i (!j - i))) :: !tokens;
+        go !j
+      end
+      else if c = '(' || c = ')' then
+        err !line "parameterized gates are not supported by this subset"
+      else err !line "unexpected character %C" c
+  in
+  match go 0 with Error _ as e -> e | Ok () -> Ok (List.rev !tokens)
+
+(* split the token stream into ';'-terminated statements *)
+let statements tokens =
+  let rec go acc current = function
+    | [] -> if current = [] then List.rev acc else List.rev (List.rev current :: acc)
+    | (_, Semi) :: rest -> go (if current = [] then acc else List.rev current :: acc) [] rest
+    | tok :: rest -> go acc (tok :: current) rest
+  in
+  go [] [] tokens
+
+type macro = { params : string list; body : (int * token) list list (* statements *) }
+
+type state = {
+  builder : Program.builder;
+  qregs : (string, int array) Hashtbl.t; (* register -> qubit indices *)
+  cregs : (string, int) Hashtbl.t; (* register -> size *)
+  macros : (string, macro) Hashtbl.t;
+}
+
+(* hoist `gate name a,b { ... }` definitions out of the token stream *)
+let extract_macros tokens =
+  let macros = Hashtbl.create 4 in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | (line, Ident kw) :: rest when String.lowercase_ascii kw = "gate" -> (
+        let rec header params = function
+          | (_, Ident p) :: more -> header (p :: params) more
+          | (_, Comma) :: more -> header params more
+          | (_, Lbrace) :: more -> Ok (List.rev params, more)
+          | (l, _) :: _ -> err l "malformed gate definition header"
+          | [] -> err line "gate definition missing '{'"
+        in
+        match rest with
+        | (_, Ident name) :: more -> (
+            match header [] more with
+            | Error _ as e -> e
+            | Ok (params, body_and_rest) -> (
+                let rec body stmts current = function
+                  | (_, Rbrace) :: tail ->
+                      let stmts = if current = [] then stmts else List.rev current :: stmts in
+                      Ok (List.rev stmts, tail)
+                  | (_, Semi) :: tail ->
+                      body (if current = [] then stmts else List.rev current :: stmts) [] tail
+                  | tok :: tail -> body stmts (tok :: current) tail
+                  | [] -> err line "gate definition missing '}'"
+                in
+                match body [] [] body_and_rest with
+                | Error _ as e -> e
+                | Ok (stmts, tail) ->
+                    if params = [] then err line "gate %s takes no qubits" name
+                    else begin
+                      Hashtbl.replace macros name { params; body = stmts };
+                      go acc tail
+                    end)
+          )
+        | _ -> err line "gate definition needs a name")
+    | tok :: rest -> go (tok :: acc) rest
+  in
+  match go [] tokens with Error _ as e -> e | Ok toks -> Ok (toks, macros)
+
+let qubit_ref st line = function
+  | [ (_, Ident reg); (_, Lbracket); (_, Int idx); (_, Rbracket) ] -> (
+      match Hashtbl.find_opt st.qregs reg with
+      | None -> err line "unknown quantum register %s" reg
+      | Some qubits ->
+          if idx < 0 || idx >= Array.length qubits then err line "index %d out of range for %s" idx reg
+          else Ok qubits.(idx))
+  | [ (_, Ident reg) ] ->
+      if Hashtbl.mem st.qregs reg then
+        err line "whole-register gate broadcast on %s is outside the supported subset" reg
+      else err line "unknown quantum register %s" reg
+  | _ -> err line "expected a qubit reference like q[0]"
+
+(* split an operand token list on commas *)
+let split_operands toks =
+  let rec go acc current = function
+    | [] -> List.rev (List.rev current :: acc)
+    | (_, Comma) :: rest -> go (List.rev current :: acc) [] rest
+    | tok :: rest -> go acc (tok :: current) rest
+  in
+  match toks with [] -> [] | _ -> go [] [] toks
+
+let g1_of_openqasm = function
+  | "h" -> Some Gate.H
+  | "x" -> Some Gate.X
+  | "y" -> Some Gate.Y
+  | "z" -> Some Gate.Z
+  | "s" -> Some Gate.S
+  | "sdg" -> Some Gate.Sdg
+  | "t" -> Some Gate.T
+  | "tdg" -> Some Gate.Tdg
+  | _ -> None
+
+let g2_of_openqasm = function
+  | "cx" -> Some Gate.CX
+  | "cy" -> Some Gate.CY
+  | "cz" -> Some Gate.CZ
+  | _ -> None
+
+let max_macro_depth = 16
+
+let rec parse_statement st depth = function
+  | [] -> Ok ()
+  | (line, Ident kw) :: rest -> (
+      match String.lowercase_ascii kw with
+      | "openqasm" -> (
+          (* version header: OPENQASM 2.0; *)
+          match rest with
+          | [ (_, Real _) ] | [ (_, Int _) ] | [] -> Ok ()
+          | _ -> err line "malformed OPENQASM header")
+      | "include" -> Ok ()
+      | "barrier" -> Ok () (* ordering comes from data dependence *)
+      | "qreg" | "creg" -> (
+          match rest with
+          | [ (_, Ident reg); (_, Lbracket); (_, Int size); (_, Rbracket) ] ->
+              if size <= 0 then err line "register %s must have positive size" reg
+              else if Hashtbl.mem st.qregs reg || Hashtbl.mem st.cregs reg then
+                err line "register %s declared twice" reg
+              else if String.lowercase_ascii kw = "creg" then begin
+                Hashtbl.replace st.cregs reg size;
+                Ok ()
+              end
+              else begin
+                let qubits =
+                  Array.init size (fun i ->
+                      Program.add_qubit st.builder ~init:0 (Printf.sprintf "%s[%d]" reg i))
+                in
+                Hashtbl.replace st.qregs reg qubits;
+                Ok ()
+              end
+          | _ -> err line "malformed register declaration")
+      | "measure" -> (
+          (* measure q[i] -> c[j] *)
+          let rec split_arrow acc = function
+            | (_, Arrow) :: rest -> Some (List.rev acc, rest)
+            | tok :: rest -> split_arrow (tok :: acc) rest
+            | [] -> None
+          in
+          match split_arrow [] rest with
+          | None -> err line "measure needs '->'"
+          | Some (qtoks, ctoks) -> (
+              match qubit_ref st line qtoks with
+              | Error _ as e -> e
+              | Ok q -> (
+                  match ctoks with
+                  | [ (_, Ident creg); (_, Lbracket); (_, Int _); (_, Rbracket) ]
+                    when Hashtbl.mem st.cregs creg ->
+                      Program.add_gate1 st.builder Gate.Meas_z q;
+                      Ok ()
+                  | _ -> err line "measure target must be a declared classical bit")))
+      | "reset" -> (
+          match qubit_ref st line rest with
+          | Error _ as e -> e
+          | Ok q ->
+              Program.add_gate1 st.builder Gate.Prep_z q;
+              Ok ())
+      | name -> (
+          match (g1_of_openqasm name, g2_of_openqasm name) with
+          | Some g, _ -> (
+              match qubit_ref st line rest with
+              | Error _ as e -> e
+              | Ok q ->
+                  Program.add_gate1 st.builder g q;
+                  Ok ())
+          | None, Some g -> (
+              match split_operands rest with
+              | [ a; b ] -> (
+                  match (qubit_ref st line a, qubit_ref st line b) with
+                  | Ok qa, Ok qb ->
+                      if qa = qb then err line "%s with identical operands" name
+                      else begin
+                        Program.add_gate2 st.builder g qa qb;
+                        Ok ()
+                      end
+                  | (Error _ as e), _ | _, (Error _ as e) -> e)
+              | _ -> err line "%s expects two operands" name)
+          | None, None -> (
+              match Hashtbl.find_opt st.macros name with
+              | None -> err line "unsupported statement or gate %S" name
+              | Some { params; body } ->
+                  if depth >= max_macro_depth then err line "gate %s: expansion too deep (recursive?)" name
+                  else begin
+                    let operands = split_operands rest in
+                    if List.length operands <> List.length params then
+                      err line "gate %s expects %d operand(s)" name (List.length params)
+                    else begin
+                      let binding = List.combine params operands in
+                      let substitute stmt =
+                        List.concat_map
+                          (fun (l, tok) ->
+                            match tok with
+                            | Ident p -> (
+                                match List.assoc_opt p binding with
+                                | Some actual -> List.map (fun (_, t) -> (l, t)) actual
+                                | None -> [ (l, tok) ])
+                            | _ -> [ (l, tok) ])
+                          stmt
+                      in
+                      let rec run = function
+                        | [] -> Ok ()
+                        | stmt :: more -> (
+                            match parse_statement st (depth + 1) (substitute stmt) with
+                            | Error _ as e -> e
+                            | Ok () -> run more)
+                      in
+                      run body
+                    end
+                  end)))
+  | (line, Real _) :: _ ->
+      err line "real literals are not supported (parameterized gates are outside the subset)"
+  | (line, _) :: _ -> err line "malformed statement"
+
+let parse ?(name = "openqasm") src =
+  match scan src with
+  | Error _ as e -> e
+  | Ok tokens -> (
+      match extract_macros tokens with
+      | Error _ as e -> e
+      | Ok (tokens, macros) -> (
+          let st =
+            { builder = Program.builder ~name (); qregs = Hashtbl.create 4; cregs = Hashtbl.create 4; macros }
+          in
+          let rec go = function
+            | [] -> Ok ()
+            | stmt :: rest -> ( match parse_statement st 0 stmt with Error _ as e -> e | Ok () -> go rest)
+          in
+          match go (statements tokens) with Error _ as e -> e | Ok () -> Program.build st.builder))
+
+let parse_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let src = really_input_string ic len in
+  close_in ic;
+  parse ~name:(Filename.remove_extension (Filename.basename path)) src
+
+let to_openqasm (p : Program.t) =
+  let buf = Buffer.create 512 in
+  let nq = Program.num_qubits p in
+  Buffer.add_string buf "OPENQASM 2.0;\ninclude \"qelib1.inc\";\n";
+  Buffer.add_string buf (Printf.sprintf "qreg q[%d];\n" nq);
+  let has_measure =
+    Array.exists (function Instr.Gate1 (Gate.Meas_z, _) -> true | _ -> false) p.Program.instrs
+  in
+  if has_measure then Buffer.add_string buf (Printf.sprintf "creg c[%d];\n" nq);
+  Array.iter
+    (fun instr ->
+      match instr with
+      | Instr.Qubit_decl { qubit; init = Some 1 } -> Buffer.add_string buf (Printf.sprintf "x q[%d];\n" qubit)
+      | Instr.Qubit_decl _ -> ()
+      | Instr.Gate1 (Gate.Meas_z, q) -> Buffer.add_string buf (Printf.sprintf "measure q[%d] -> c[%d];\n" q q)
+      | Instr.Gate1 (Gate.Prep_z, q) -> Buffer.add_string buf (Printf.sprintf "reset q[%d];\n" q)
+      | Instr.Gate1 (g, q) ->
+          Buffer.add_string buf (Printf.sprintf "%s q[%d];\n" (String.lowercase_ascii (Gate.g1_name g)) q)
+      | Instr.Gate2 (g, c, t) ->
+          let name = match g with Gate.CX -> "cx" | Gate.CY -> "cy" | Gate.CZ -> "cz" in
+          Buffer.add_string buf (Printf.sprintf "%s q[%d],q[%d];\n" name c t))
+    p.Program.instrs;
+  Buffer.contents buf

@@ -1,0 +1,32 @@
+(** OpenQASM 2.0 front end (subset).
+
+    The paper's QASM dialect predates OpenQASM; this adapter lets circuits
+    written for modern tool chains feed the mapper.  Supported statements:
+
+    {v
+      OPENQASM 2.0;                 // header (optional)
+      include "qelib1.inc";         // accepted and ignored
+      qreg q[5];                    // one or more quantum registers
+      creg c[5];                    // classical registers (tracked for measure)
+      h q[0];  x ...  y  z  s  sdg  t  tdg
+      cx q[0],q[1];  cy ...  cz ...
+      measure q[0] -> c[0];         // lowered to MeasZ (classical bit dropped)
+      reset q[0];                   // lowered to PrepZ
+      barrier q[0],q[1];            // accepted and ignored (the mapper
+                                    // derives ordering from data dependence)
+      gate bell a,b { h a; cx a,b; }   // non-parameterized macros, expanded
+      bell q[0],q[1];                  // at the call site (recursion allowed
+                                       // up to a fixed depth)
+    v}
+
+    Unsupported OpenQASM (parameterized gates, conditionals, whole-register
+    gate broadcast) is rejected with a line-numbered error.  Qubits are named
+    ["reg[i]"] in the resulting program. *)
+
+val parse : ?name:string -> string -> (Program.t, string) result
+
+val parse_file : string -> (Program.t, string) result
+
+val to_openqasm : Program.t -> string
+(** Render a mapper program as OpenQASM 2.0 (one qreg named [q], classical
+    register added when measurements are present). *)

@@ -1,0 +1,85 @@
+(* One rewrite pass over the instruction list.  For each gate we look ahead
+   for the next instruction touching any of its operands; if that instruction
+   is dependency-adjacent on exactly the same operand set we try to cancel or
+   fuse the pair. *)
+
+let inverse_pair a b =
+  match (a, b) with
+  | Instr.Gate1 (g1, q1), Instr.Gate1 (g2, q2) -> q1 = q2 && Gate.g1_inverse g1 = Some g2
+  | Instr.Gate2 (Gate.CZ, c1, t1), Instr.Gate2 (Gate.CZ, c2, t2) ->
+      (* CZ is symmetric in its operands *)
+      (c1 = c2 && t1 = t2) || (c1 = t2 && t1 = c2)
+  | Instr.Gate2 (g1, c1, t1), Instr.Gate2 (g2, c2, t2) ->
+      c1 = c2 && t1 = t2 && Gate.equal_g2 (Gate.g2_inverse g1) g2
+  | (Instr.Qubit_decl _ | Instr.Gate1 _ | Instr.Gate2 _), _ -> false
+
+let fuse a b =
+  match (a, b) with
+  | Instr.Gate1 (Gate.S, q1), Instr.Gate1 (Gate.S, q2) when q1 = q2 -> Some (Instr.Gate1 (Gate.Z, q1))
+  | Instr.Gate1 (Gate.Sdg, q1), Instr.Gate1 (Gate.Sdg, q2) when q1 = q2 -> Some (Instr.Gate1 (Gate.Z, q1))
+  | Instr.Gate1 (Gate.T, q1), Instr.Gate1 (Gate.T, q2) when q1 = q2 -> Some (Instr.Gate1 (Gate.S, q1))
+  | Instr.Gate1 (Gate.Tdg, q1), Instr.Gate1 (Gate.Tdg, q2) when q1 = q2 ->
+      Some (Instr.Gate1 (Gate.Sdg, q1))
+  | (Instr.Qubit_decl _ | Instr.Gate1 _ | Instr.Gate2 _), _ -> None
+
+let touches instr q = List.mem q (Instr.qubits instr)
+
+(* index of the first instruction after [i] touching any operand of
+   [instrs.(i)], or None *)
+let next_touching instrs i =
+  let operands = Instr.qubits instrs.(i) in
+  let n = Array.length instrs in
+  let rec go j =
+    if j >= n then None
+    else if List.exists (touches instrs.(j)) operands then Some j
+    else go (j + 1)
+  in
+  go (i + 1)
+
+(* the pair (i, j) is rewritable only if j is the next toucher of EVERY
+   operand of i, and i and j have the same operand set — otherwise a third
+   instruction interleaves on one of the qubits *)
+let dependency_adjacent instrs i j =
+  let sorted k = List.sort compare (Instr.qubits instrs.(k)) in
+  sorted i = sorted j && next_touching instrs i = Some j
+
+let pass (p : Program.t) =
+  let instrs = Array.copy p.Program.instrs in
+  let n = Array.length instrs in
+  let keep = Array.make n true in
+  let replacement : Instr.t option array = Array.make n None in
+  let changed = ref false in
+  for i = 0 to n - 1 do
+    if keep.(i) && Instr.is_gate instrs.(i) then
+      match next_touching instrs i with
+      | Some j when keep.(j) && dependency_adjacent instrs i j ->
+          if inverse_pair instrs.(i) instrs.(j) then begin
+            keep.(i) <- false;
+            keep.(j) <- false;
+            changed := true
+          end
+          else begin
+            match fuse instrs.(i) instrs.(j) with
+            | Some fused ->
+                keep.(i) <- false;
+                keep.(j) <- false;
+                replacement.(j) <- Some fused;
+                changed := true
+            | None -> ()
+          end
+      | Some _ | None -> ()
+  done;
+  if not !changed then None
+  else begin
+    let out = ref [] in
+    for i = n - 1 downto 0 do
+      match replacement.(i) with
+      | Some instr -> out := instr :: !out
+      | None -> if keep.(i) then out := instrs.(i) :: !out
+    done;
+    Some (Program.make_exn ~name:p.Program.name ~qubit_names:p.Program.qubit_names ~instrs:!out)
+  end
+
+let rec optimize p = match pass p with None -> p | Some p' -> optimize p'
+
+let gates_removed p = Program.gate_count p - Program.gate_count (optimize p)

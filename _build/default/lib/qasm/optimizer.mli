@@ -1,0 +1,23 @@
+(** Peephole optimizer for QASM programs.
+
+    The paper's CAD flow (Figure 1) places a synthesizer before the mapper;
+    this module implements the standard local clean-ups such a synthesizer
+    performs so the mapper never wastes fabric time on removable gates:
+
+    - {b cancellation}: two consecutive mutually-inverse gates on the same
+      operands annihilate (H·H, X·X, S·Sdg, T·Tdg, and all controlled Paulis
+      with identical control/target);
+    - {b fusion}: S·S -> Z, Sdg·Sdg -> Z, T·T -> S, Tdg·Tdg -> Sdg.
+
+    "Consecutive" means no intervening instruction touches either operand —
+    the pairs are adjacent in the dependency graph, not merely in program
+    order.  Rewrites iterate to a fixpoint.
+
+    Every rewrite is semantics-preserving (the test suite checks state-vector
+    equivalence on random circuits). *)
+
+val optimize : Program.t -> Program.t
+(** Fixpoint of the rewrite system.  Declarations are untouched. *)
+
+val gates_removed : Program.t -> int
+(** [gate_count p - gate_count (optimize p)] — the mapper-side saving. *)

@@ -1,0 +1,83 @@
+let err line fmt = Printf.ksprintf (fun s -> Error (Printf.sprintf "line %d: %s" line s)) fmt
+
+type state = {
+  mutable names_rev : string list;
+  mutable count : int;
+  tbl : (string, int) Hashtbl.t;
+  mutable instrs_rev : Instr.t list;
+}
+
+let lookup st line name =
+  match Hashtbl.find_opt st.tbl name with
+  | Some q -> Ok q
+  | None -> err line "undeclared qubit %s" name
+
+let parse_line st { Lexer.number = line; tokens } =
+  match tokens with
+  | Lexer.Ident kw :: rest when String.uppercase_ascii kw = "QUBIT" -> (
+      let declare name init =
+        if Hashtbl.mem st.tbl name then err line "qubit %s declared twice" name
+        else begin
+          let q = st.count in
+          Hashtbl.replace st.tbl name q;
+          st.names_rev <- name :: st.names_rev;
+          st.count <- st.count + 1;
+          st.instrs_rev <- Instr.Qubit_decl { qubit = q; init } :: st.instrs_rev;
+          Ok ()
+        end
+      in
+      match rest with
+      | [ Lexer.Ident name ] -> declare name None
+      | [ Lexer.Ident name; Lexer.Comma; Lexer.Int v ] ->
+          if v <> 0 && v <> 1 then err line "qubit initializer must be 0 or 1, got %d" v
+          else declare name (Some v)
+      | _ -> err line "malformed QUBIT declaration")
+  | [ Lexer.Ident mnemonic; Lexer.Ident q ] -> (
+      match Gate.g1_of_name mnemonic with
+      | Some g -> (
+          match lookup st line q with
+          | Error _ as e -> e
+          | Ok qi ->
+              st.instrs_rev <- Instr.Gate1 (g, qi) :: st.instrs_rev;
+              Ok ())
+      | None ->
+          if Gate.g2_of_name mnemonic <> None then err line "%s expects two operands" mnemonic
+          else err line "unknown gate %s" mnemonic)
+  | [ Lexer.Ident mnemonic; Lexer.Ident a; Lexer.Comma; Lexer.Ident b ] -> (
+      match Gate.g2_of_name mnemonic with
+      | Some g -> (
+          match (lookup st line a, lookup st line b) with
+          | (Error _ as e), _ | _, (Error _ as e) -> e
+          | Ok qa, Ok qb ->
+              if qa = qb then err line "two-qubit gate with identical operands %s" a
+              else begin
+                st.instrs_rev <- Instr.Gate2 (g, qa, qb) :: st.instrs_rev;
+                Ok ()
+              end)
+      | None ->
+          if Gate.g1_of_name mnemonic <> None then err line "%s expects one operand" mnemonic
+          else err line "unknown gate %s" mnemonic)
+  | _ -> err line "malformed instruction"
+
+let parse ?(name = "qasm") src =
+  match Lexer.tokenize src with
+  | Error _ as e -> e
+  | Ok lines -> (
+      let st = { names_rev = []; count = 0; tbl = Hashtbl.create 16; instrs_rev = [] } in
+      let rec go = function
+        | [] -> Ok ()
+        | l :: rest -> ( match parse_line st l with Error _ as e -> e | Ok () -> go rest)
+      in
+      match go lines with
+      | Error _ as e -> e
+      | Ok () ->
+          Program.make ~name
+            ~qubit_names:(Array.of_list (List.rev st.names_rev))
+            ~instrs:(List.rev st.instrs_rev))
+
+let parse_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let src = really_input_string ic len in
+  close_in ic;
+  parse ~name:(Filename.remove_extension (Filename.basename path)) src

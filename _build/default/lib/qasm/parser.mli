@@ -1,0 +1,18 @@
+(** Parser for the QASM dialect of the paper (Figure 3 syntax).
+
+    Grammar, one instruction per line:
+    {v
+      program  ::= line*
+      line     ::= "QUBIT" name ("," int)?        -- declaration
+                 | mnemonic1 name                  -- one-qubit gate
+                 | mnemonic2 name "," name         -- two-qubit gate
+    v}
+    Comments start with [#] or [//].  Qubit names are introduced by [QUBIT]
+    and must be declared before use. *)
+
+val parse : ?name:string -> string -> (Program.t, string) result
+(** Parse QASM source text.  [name] labels the resulting program (defaults
+    to ["qasm"]).  Errors carry a source line number. *)
+
+val parse_file : string -> (Program.t, string) result
+(** Reads the file and parses it; the program is named after the basename. *)

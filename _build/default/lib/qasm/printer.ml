@@ -1,0 +1,26 @@
+let instr_to_string p = function
+  | Instr.Qubit_decl { qubit; init = None } -> Printf.sprintf "QUBIT %s" (Program.qubit_name p qubit)
+  | Instr.Qubit_decl { qubit; init = Some v } ->
+      Printf.sprintf "QUBIT %s,%d" (Program.qubit_name p qubit) v
+  | Instr.Gate1 (g, q) -> Printf.sprintf "%s %s" (Gate.g1_name g) (Program.qubit_name p q)
+  | Instr.Gate2 (g, c, t) ->
+      Printf.sprintf "%s %s,%s" (Gate.g2_name g) (Program.qubit_name p c) (Program.qubit_name p t)
+
+let to_string p =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "# %s\n" p.Program.name);
+  Array.iter
+    (fun i ->
+      Buffer.add_string buf (instr_to_string p i);
+      Buffer.add_char buf '\n')
+    p.Program.instrs;
+  Buffer.contents buf
+
+let pp ppf p = Format.pp_print_string ppf (to_string p)
+
+let listing p =
+  let buf = Buffer.create 256 in
+  Array.iteri
+    (fun idx i -> Buffer.add_string buf (Printf.sprintf "%3d  %s\n" (idx + 1) (instr_to_string p i)))
+    p.Program.instrs;
+  Buffer.contents buf

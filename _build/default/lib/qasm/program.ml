@@ -1,0 +1,101 @@
+type t = { name : string; qubit_names : string array; instrs : Instr.t array }
+
+let validate ~qubit_names ~instrs =
+  let n = Array.length qubit_names in
+  let declared = Array.make n false in
+  let check_range q = if q < 0 || q >= n then Error (Printf.sprintf "qubit index %d out of range" q) else Ok () in
+  let rec go i = function
+    | [] -> Ok ()
+    | instr :: rest -> (
+        let step =
+          match instr with
+          | Instr.Qubit_decl { qubit; _ } -> (
+              match check_range qubit with
+              | Error _ as e -> e
+              | Ok () ->
+                  if declared.(qubit) then
+                    Error (Printf.sprintf "instruction %d: qubit %s declared twice" i qubit_names.(qubit))
+                  else begin
+                    declared.(qubit) <- true;
+                    Ok ()
+                  end)
+          | Instr.Gate1 (_, q) -> (
+              match check_range q with
+              | Error _ as e -> e
+              | Ok () ->
+                  if declared.(q) then Ok ()
+                  else Error (Printf.sprintf "instruction %d: qubit %s used before declaration" i qubit_names.(q)))
+          | Instr.Gate2 (_, c, t) -> (
+              match (check_range c, check_range t) with
+              | (Error _ as e), _ | _, (Error _ as e) -> e
+              | Ok (), Ok () ->
+                  if c = t then Error (Printf.sprintf "instruction %d: two-qubit gate with identical operands" i)
+                  else if not declared.(c) then
+                    Error (Printf.sprintf "instruction %d: qubit %s used before declaration" i qubit_names.(c))
+                  else if not declared.(t) then
+                    Error (Printf.sprintf "instruction %d: qubit %s used before declaration" i qubit_names.(t))
+                  else Ok ())
+        in
+        match step with Error _ as e -> e | Ok () -> go (i + 1) rest)
+  in
+  go 0 instrs
+
+let make ~name ~qubit_names ~instrs =
+  match validate ~qubit_names ~instrs with
+  | Error _ as e -> e
+  | Ok () -> Ok { name; qubit_names; instrs = Array.of_list instrs }
+
+let make_exn ~name ~qubit_names ~instrs =
+  match make ~name ~qubit_names ~instrs with
+  | Ok t -> t
+  | Error msg -> invalid_arg ("Program.make_exn: " ^ msg)
+
+let num_qubits t = Array.length t.qubit_names
+let num_instrs t = Array.length t.instrs
+
+let gate_count t = Array.fold_left (fun acc i -> if Instr.is_gate i then acc + 1 else acc) 0 t.instrs
+
+let two_qubit_count t =
+  Array.fold_left (fun acc i -> if Instr.is_two_qubit i then acc + 1 else acc) 0 t.instrs
+
+let one_qubit_count t =
+  Array.fold_left (fun acc i -> match i with Instr.Gate1 _ -> acc + 1 | _ -> acc) 0 t.instrs
+
+let qubit_name t q = t.qubit_names.(q)
+
+let is_unitary t =
+  Array.for_all (fun i -> (not (Instr.is_gate i)) || Instr.inverse i <> None) t.instrs
+
+let find_qubit t name =
+  let n = Array.length t.qubit_names in
+  let rec go i = if i >= n then None else if t.qubit_names.(i) = name then Some i else go (i + 1) in
+  go 0
+
+type builder = {
+  bname : string;
+  mutable names : string list; (* reversed *)
+  mutable count : int;
+  mutable rev_instrs : Instr.t list;
+}
+
+let builder ~name () = { bname = name; names = []; count = 0; rev_instrs = [] }
+
+let add_qubit b ?init name =
+  if List.mem name b.names then invalid_arg ("Program.add_qubit: duplicate qubit name " ^ name);
+  let q = b.count in
+  b.names <- name :: b.names;
+  b.count <- b.count + 1;
+  b.rev_instrs <- Instr.Qubit_decl { qubit = q; init } :: b.rev_instrs;
+  q
+
+let add_gate1 b g q = b.rev_instrs <- Instr.Gate1 (g, q) :: b.rev_instrs
+
+let add_gate2 b g c t = b.rev_instrs <- Instr.Gate2 (g, c, t) :: b.rev_instrs
+
+let build b =
+  make ~name:b.bname
+    ~qubit_names:(Array.of_list (List.rev b.names))
+    ~instrs:(List.rev b.rev_instrs)
+
+let build_exn b =
+  match build b with Ok t -> t | Error msg -> invalid_arg ("Program.build_exn: " ^ msg)

@@ -1,0 +1,50 @@
+(** A QASM program: a named sequence of instructions over a dense qubit
+    index space, with the original qubit names retained for printing. *)
+
+type t = private {
+  name : string;
+  qubit_names : string array;  (** index -> source-level name *)
+  instrs : Instr.t array;
+}
+
+val make : name:string -> qubit_names:string array -> instrs:Instr.t list -> (t, string) result
+(** Validates the program:
+    - qubit indices in range,
+    - every qubit used by a gate was declared by an earlier [Qubit_decl],
+    - no qubit declared twice,
+    - two-qubit gates have distinct operands. *)
+
+val make_exn : name:string -> qubit_names:string array -> instrs:Instr.t list -> t
+(** @raise Invalid_argument when {!make} would return an error. *)
+
+val num_qubits : t -> int
+val num_instrs : t -> int
+
+val gate_count : t -> int
+(** Number of [Gate1]/[Gate2] instructions (declarations excluded). *)
+
+val two_qubit_count : t -> int
+val one_qubit_count : t -> int
+
+val qubit_name : t -> int -> string
+
+val is_unitary : t -> bool
+(** True when every gate has an inverse (no prepare/measure), i.e. the
+    uncompute graph exists and the MVFB backward pass is defined. *)
+
+val find_qubit : t -> string -> int option
+(** Index of a source-level qubit name. *)
+
+type builder
+(** Imperative construction convenience used by the circuit generators. *)
+
+val builder : name:string -> unit -> builder
+
+val add_qubit : builder -> ?init:int -> string -> int
+(** Declares a fresh qubit, returning its index.
+    @raise Invalid_argument on duplicate names. *)
+
+val add_gate1 : builder -> Gate.g1 -> int -> unit
+val add_gate2 : builder -> Gate.g2 -> int -> int -> unit
+val build : builder -> (t, string) result
+val build_exn : builder -> t

@@ -1,0 +1,1 @@
+lib/quantum/code.ml: Array Cplx Float List Qasm Statevec

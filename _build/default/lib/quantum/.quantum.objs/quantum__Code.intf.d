@@ -1,0 +1,1 @@
+lib/quantum/code.mli: Statevec

@@ -1,0 +1,1 @@
+lib/quantum/cplx.ml: Complex Float Format

@@ -1,0 +1,1 @@
+lib/quantum/cplx.mli: Complex Format

@@ -1,0 +1,1 @@
+lib/quantum/stabilizer.ml: Array Buffer Gate Instr Ion_util List Printf Program Qasm

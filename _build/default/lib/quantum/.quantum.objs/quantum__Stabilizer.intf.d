@@ -1,0 +1,1 @@
+lib/quantum/stabilizer.mli: Ion_util Qasm

@@ -1,0 +1,1 @@
+lib/quantum/statevec.ml: Array Cplx Float Gate Instr Ion_util Program Qasm

@@ -1,0 +1,1 @@
+lib/quantum/statevec.mli: Cplx Ion_util Qasm

@@ -1,0 +1,80 @@
+type pauli = I | X | Y | Z
+
+let apply_one p q st =
+  match p with
+  | I -> st
+  | X -> Statevec.apply_g1 Qasm.Gate.X q st
+  | Y -> Statevec.apply_g1 Qasm.Gate.Y q st
+  | Z -> Statevec.apply_g1 Qasm.Gate.Z q st
+
+let apply_pauli_string ps st =
+  if Array.length ps <> Statevec.num_qubits st then
+    invalid_arg "Code.apply_pauli_string: length mismatch";
+  let acc = ref st in
+  Array.iteri (fun q p -> acc := apply_one p q !acc) ps;
+  !acc
+
+let weight ps = Array.fold_left (fun acc p -> if p = I then acc else acc + 1) 0 ps
+
+let eps = 1e-7
+
+let detectable ~zero ~one ps =
+  let e0 = apply_pauli_string ps zero and e1 = apply_pauli_string ps one in
+  let d00 = Statevec.inner zero e0 in
+  let d11 = Statevec.inner one e1 in
+  let d01 = Statevec.inner zero e1 in
+  Cplx.approx_equal ~eps d00 d11 && Cplx.approx_equal ~eps d01 Cplx.zero
+
+(* enumerate Pauli strings of exactly weight w on n qubits *)
+let iter_weight n w f =
+  let ps = Array.make n I in
+  let paulis = [| X; Y; Z |] in
+  (* choose w positions, then 3^w letterings *)
+  let rec positions start chosen =
+    if List.length chosen = w then lettering (List.rev chosen)
+    else
+      for i = start to n - 1 do
+        positions (i + 1) (i :: chosen)
+      done
+  and lettering = function
+    | chosen ->
+        let k = List.length chosen in
+        let total = int_of_float (3.0 ** float_of_int k) in
+        for code = 0 to total - 1 do
+          let c = ref code in
+          List.iter
+            (fun pos ->
+              ps.(pos) <- paulis.(!c mod 3);
+              c := !c / 3)
+            chosen;
+          f ps;
+          List.iter (fun pos -> ps.(pos) <- I) chosen
+        done
+  in
+  if w = 0 then f ps else positions 0 []
+
+let undetectable_of_weight ~zero ~one ~w =
+  let n = Statevec.num_qubits zero in
+  let found = ref None in
+  (try
+     iter_weight n w (fun ps ->
+         if not (detectable ~zero ~one ps) then begin
+           found := Some (Array.copy ps);
+           raise Exit
+         end)
+   with Exit -> ());
+  !found
+
+let distance ~zero ~one ~max_weight =
+  if Statevec.num_qubits zero <> Statevec.num_qubits one then
+    invalid_arg "Code.distance: codeword size mismatch";
+  if Float.abs (Statevec.norm zero -. 1.0) > eps || Float.abs (Statevec.norm one -. 1.0) > eps then
+    invalid_arg "Code.distance: codewords must be normalized";
+  if Cplx.norm2 (Statevec.inner zero one) > eps then
+    invalid_arg "Code.distance: codewords must be orthogonal";
+  let rec go w =
+    if w > max_weight then None
+    else if undetectable_of_weight ~zero ~one ~w <> None then Some w
+    else go (w + 1)
+  in
+  go 1

@@ -1,0 +1,26 @@
+type t = Complex.t
+
+let zero = Complex.zero
+let one = Complex.one
+let i = Complex.i
+let minus_one = { Complex.re = -1.0; im = 0.0 }
+let minus_i = { Complex.re = 0.0; im = -1.0 }
+
+let re x = { Complex.re = x; im = 0.0 }
+let make re im = { Complex.re; im }
+
+let add = Complex.add
+let sub = Complex.sub
+let mul = Complex.mul
+let conj = Complex.conj
+let neg = Complex.neg
+let scale k c = { Complex.re = k *. c.Complex.re; im = k *. c.Complex.im }
+
+let norm2 = Complex.norm2
+
+let approx_equal ?(eps = 1e-9) a b =
+  Float.abs (a.Complex.re -. b.Complex.re) <= eps && Float.abs (a.Complex.im -. b.Complex.im) <= eps
+
+let exp_i theta = { Complex.re = cos theta; im = sin theta }
+
+let pp ppf c = Format.fprintf ppf "%g%+gi" c.Complex.re c.Complex.im

@@ -1,0 +1,34 @@
+(** Complex-number helpers over the standard library's [Complex.t].
+
+    The state-vector simulator needs approximate comparison (floating-point
+    gate application accumulates rounding) and a few constants the stdlib
+    does not provide. *)
+
+type t = Complex.t
+
+val zero : t
+val one : t
+val i : t
+val minus_one : t
+val minus_i : t
+
+val re : float -> t
+val make : float -> float -> t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val conj : t -> t
+val neg : t -> t
+val scale : float -> t -> t
+
+val norm2 : t -> float
+(** Squared modulus. *)
+
+val approx_equal : ?eps:float -> t -> t -> bool
+(** Component-wise comparison with tolerance [eps] (default [1e-9]). *)
+
+val exp_i : float -> t
+(** [exp_i theta] is [e^{i theta}]. *)
+
+val pp : Format.formatter -> t -> unit

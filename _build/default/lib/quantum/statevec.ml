@@ -1,0 +1,155 @@
+open Qasm
+
+type t = { n : int; amps : Cplx.t array }
+
+let num_qubits t = t.n
+
+let zero_state n =
+  if n < 0 || n > 24 then invalid_arg "Statevec.zero_state: unsupported qubit count";
+  let amps = Array.make (1 lsl n) Cplx.zero in
+  amps.(0) <- Cplx.one;
+  { n; amps }
+
+let basis n k =
+  if k < 0 || k >= 1 lsl n then invalid_arg "Statevec.basis: index out of range";
+  let amps = Array.make (1 lsl n) Cplx.zero in
+  amps.(k) <- Cplx.one;
+  { n; amps }
+
+(* Box-Muller pairs give Gaussian components; normalizing yields a state
+   uniform on the complex sphere. *)
+let random_state rng n =
+  let dim = 1 lsl n in
+  let gauss () =
+    let u1 = max 1e-12 (Ion_util.Rng.float rng 1.0) and u2 = Ion_util.Rng.float rng 1.0 in
+    sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+  in
+  let amps = Array.init dim (fun _ -> Cplx.make (gauss ()) (gauss ())) in
+  let norm = sqrt (Array.fold_left (fun acc a -> acc +. Cplx.norm2 a) 0.0 amps) in
+  { n; amps = Array.map (Cplx.scale (1.0 /. norm)) amps }
+
+let amplitude t k = t.amps.(k)
+
+let norm t = sqrt (Array.fold_left (fun acc a -> acc +. Cplx.norm2 a) 0.0 t.amps)
+
+let inner a b =
+  if a.n <> b.n then invalid_arg "Statevec.inner: size mismatch";
+  let acc = ref Cplx.zero in
+  for k = 0 to Array.length a.amps - 1 do
+    acc := Cplx.add !acc (Cplx.mul (Cplx.conj a.amps.(k)) b.amps.(k))
+  done;
+  !acc
+
+let fidelity a b = Cplx.norm2 (inner a b)
+
+let approx_equal ?(eps = 1e-7) a b = a.n = b.n && Float.abs (fidelity a b -. 1.0) <= eps
+
+(* One-qubit unitary [[m00 m01][m10 m11]] applied to qubit q. *)
+let apply_matrix1 (m00, m01, m10, m11) q t =
+  let dim = Array.length t.amps in
+  let bit = 1 lsl q in
+  let amps = Array.copy t.amps in
+  for k = 0 to dim - 1 do
+    if k land bit = 0 then begin
+      let a0 = t.amps.(k) and a1 = t.amps.(k lor bit) in
+      amps.(k) <- Cplx.add (Cplx.mul m00 a0) (Cplx.mul m01 a1);
+      amps.(k lor bit) <- Cplx.add (Cplx.mul m10 a0) (Cplx.mul m11 a1)
+    end
+  done;
+  { t with amps }
+
+let sqrt_half = 1.0 /. sqrt 2.0
+
+let matrix_of_g1 g =
+  let z = Cplx.zero and o = Cplx.one in
+  match g with
+  | Gate.H -> (Cplx.re sqrt_half, Cplx.re sqrt_half, Cplx.re sqrt_half, Cplx.re (-.sqrt_half))
+  | Gate.X -> (z, o, o, z)
+  | Gate.Y -> (z, Cplx.minus_i, Cplx.i, z)
+  | Gate.Z -> (o, z, z, Cplx.minus_one)
+  | Gate.S -> (o, z, z, Cplx.i)
+  | Gate.Sdg -> (o, z, z, Cplx.minus_i)
+  | Gate.T -> (o, z, z, Cplx.exp_i (Float.pi /. 4.0))
+  | Gate.Tdg -> (o, z, z, Cplx.exp_i (-.Float.pi /. 4.0))
+  | Gate.Prep_z | Gate.Meas_z -> invalid_arg "Statevec: Prep/Meas are not unitary"
+
+let apply_g1 g q t =
+  if q < 0 || q >= t.n then invalid_arg "Statevec.apply_g1: qubit out of range";
+  apply_matrix1 (matrix_of_g1 g) q t
+
+let apply_g2 g ~control ~target t =
+  if control < 0 || control >= t.n || target < 0 || target >= t.n || control = target then
+    invalid_arg "Statevec.apply_g2: bad operands";
+  let cbit = 1 lsl control and tbit = 1 lsl target in
+  let amps = Array.copy t.amps in
+  (match g with
+  | Gate.CX ->
+      Array.iteri
+        (fun k _ ->
+          if k land cbit <> 0 && k land tbit = 0 then begin
+            amps.(k) <- t.amps.(k lor tbit);
+            amps.(k lor tbit) <- t.amps.(k)
+          end)
+        t.amps
+  | Gate.CY ->
+      Array.iteri
+        (fun k _ ->
+          if k land cbit <> 0 && k land tbit = 0 then begin
+            (* Y = [[0,-i],[i,0]] on the target *)
+            amps.(k) <- Cplx.mul Cplx.minus_i t.amps.(k lor tbit);
+            amps.(k lor tbit) <- Cplx.mul Cplx.i t.amps.(k)
+          end)
+        t.amps
+  | Gate.CZ ->
+      Array.iteri
+        (fun k _ -> if k land cbit <> 0 && k land tbit <> 0 then amps.(k) <- Cplx.neg t.amps.(k))
+        t.amps);
+  { t with amps }
+
+let prob0 t q =
+  let bit = 1 lsl q in
+  let acc = ref 0.0 in
+  Array.iteri (fun k a -> if k land bit = 0 then acc := !acc +. Cplx.norm2 a) t.amps;
+  !acc
+
+let collapse t q outcome =
+  let bit = 1 lsl q in
+  let keep k = if outcome = 0 then k land bit = 0 else k land bit <> 0 in
+  let amps = Array.mapi (fun k a -> if keep k then a else Cplx.zero) t.amps in
+  let t' = { t with amps } in
+  let nrm = norm t' in
+  if nrm < 1e-12 then invalid_arg "Statevec.collapse: zero-probability outcome";
+  { t' with amps = Array.map (Cplx.scale (1.0 /. nrm)) t'.amps }
+
+let measure rng t q =
+  let p0 = prob0 t q in
+  let outcome = if Ion_util.Rng.float rng 1.0 < p0 then 0 else 1 in
+  (outcome, collapse t q outcome)
+
+let reset t q =
+  let p0 = prob0 t q in
+  if p0 >= 0.5 then collapse t q 0 else apply_g1 Gate.X q (collapse t q 1)
+
+let default_rng () = Ion_util.Rng.create 0x5eed
+
+let exec ?rng ~decl t0 (p : Program.t) =
+  let rng = match rng with Some r -> r | None -> default_rng () in
+  Array.fold_left
+    (fun st instr ->
+      match instr with
+      | Instr.Qubit_decl { qubit; init } -> decl st qubit init
+      | Instr.Gate1 (Gate.Prep_z, q) -> reset st q
+      | Instr.Gate1 (Gate.Meas_z, q) -> snd (measure rng st q)
+      | Instr.Gate1 (g, q) -> apply_g1 g q st
+      | Instr.Gate2 (g, c, t) -> apply_g2 g ~control:c ~target:t st)
+    t0 p.Program.instrs
+
+let run_program ?rng (p : Program.t) =
+  let t0 = zero_state (Program.num_qubits p) in
+  let decl st q init = match init with Some 1 -> apply_g1 Gate.X q st | _ -> st in
+  exec ?rng ~decl t0 p
+
+let run_on ?rng (p : Program.t) t0 =
+  if Program.num_qubits p <> t0.n then invalid_arg "Statevec.run_on: qubit count mismatch";
+  let decl st _ _ = st in
+  exec ?rng ~decl t0 p

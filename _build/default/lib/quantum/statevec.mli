@@ -1,0 +1,58 @@
+(** Dense state-vector simulator.
+
+    Exact quantum semantics for small registers (2^n amplitudes; practical up
+    to ~14 qubits).  Used by the test suite to verify that gate inverses are
+    true inverses and that the uncompute program (UIDG) really undoes the
+    compute program — the reversibility property the MVFB placer relies on.
+
+    Qubit [q] maps to bit [q] of the basis-state index (little-endian). *)
+
+type t
+
+val num_qubits : t -> int
+
+val zero_state : int -> t
+(** [zero_state n] is |0...0> on [n] qubits. *)
+
+val basis : int -> int -> t
+(** [basis n k] is the computational basis state |k> on [n] qubits. *)
+
+val random_state : Ion_util.Rng.t -> int -> t
+(** Haar-ish random normalized state (Gaussian amplitudes, normalized). *)
+
+val amplitude : t -> int -> Cplx.t
+val norm : t -> float
+
+val inner : t -> t -> Cplx.t
+(** <a|b>.  @raise Invalid_argument on size mismatch. *)
+
+val fidelity : t -> t -> float
+(** |<a|b>|^2. *)
+
+val approx_equal : ?eps:float -> t -> t -> bool
+(** Equality up to global phase and tolerance. *)
+
+val apply_g1 : Qasm.Gate.g1 -> int -> t -> t
+(** Unitary one-qubit gates only.
+    @raise Invalid_argument on [Prep_z]/[Meas_z] (use {!reset}/{!measure}). *)
+
+val apply_g2 : Qasm.Gate.g2 -> control:int -> target:int -> t -> t
+
+val prob0 : t -> int -> float
+(** Probability of measuring qubit [q] as 0. *)
+
+val measure : Ion_util.Rng.t -> t -> int -> int * t
+(** Sample a measurement outcome and collapse. *)
+
+val reset : t -> int -> t
+(** Deterministic reset to |0>: projects onto the likelier outcome and
+    applies X if that outcome was 1 (maximum-likelihood reset). *)
+
+val run_program : ?rng:Ion_util.Rng.t -> Qasm.Program.t -> t
+(** Executes from |0...0>; declarations with [init = Some 1] apply an X.
+    [rng] drives measurement sampling (defaults to a fixed seed). *)
+
+val run_on : ?rng:Ion_util.Rng.t -> Qasm.Program.t -> t -> t
+(** Executes the program's gates on a caller-supplied initial state
+    (declarations only check arity).
+    @raise Invalid_argument if qubit counts disagree. *)

@@ -1,0 +1,1 @@
+lib/router/astar.ml: Array Dijkstra Fabric Float Ion_util List

@@ -1,0 +1,1 @@
+lib/router/astar.mli: Dijkstra Fabric

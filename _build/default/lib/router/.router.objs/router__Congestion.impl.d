@@ -1,0 +1,1 @@
+lib/router/congestion.ml: Array Fabric Float Format Resource

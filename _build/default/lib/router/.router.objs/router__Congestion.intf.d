@@ -1,0 +1,1 @@
+lib/router/congestion.mli: Fabric Resource

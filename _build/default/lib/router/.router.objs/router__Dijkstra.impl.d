@@ -1,0 +1,1 @@
+lib/router/dijkstra.ml: Array Fabric Float Ion_util List

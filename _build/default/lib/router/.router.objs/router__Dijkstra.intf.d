@@ -1,0 +1,1 @@
+lib/router/dijkstra.mli: Fabric

@@ -1,0 +1,1 @@
+lib/router/micro.ml: Fabric Format Ion_util List Path String Timing

@@ -1,0 +1,1 @@
+lib/router/micro.mli: Fabric Format Ion_util Path Timing

@@ -1,0 +1,1 @@
+lib/router/path.ml: Dijkstra Fabric Format List Resource Timing

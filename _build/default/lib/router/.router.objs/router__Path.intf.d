@@ -1,0 +1,1 @@
+lib/router/path.mli: Dijkstra Fabric Format Ion_util Resource Timing

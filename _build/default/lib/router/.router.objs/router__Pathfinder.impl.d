@@ -1,0 +1,1 @@
+lib/router/pathfinder.ml: Dijkstra Fabric Hashtbl List Option Path Printf Resource

@@ -1,0 +1,1 @@
+lib/router/pathfinder.mli: Fabric Path Resource

@@ -1,0 +1,1 @@
+lib/router/resource.ml: Fabric Format Hashtbl Stdlib

@@ -1,0 +1,1 @@
+lib/router/resource.mli: Fabric Format Hashtbl

@@ -1,0 +1,1 @@
+lib/router/timing.ml: Format Qasm

@@ -1,0 +1,1 @@
+lib/router/timing.mli: Format Qasm

@@ -1,0 +1,26 @@
+(** A* shortest paths on the fabric routing graph.
+
+    Same contract as {!Dijkstra.shortest_path} but guided by the Manhattan
+    distance to the goal cell.  Every position-changing edge costs at least
+    one move unit under the Eq. 2 weight function (congestion only raises
+    channel weights) and turn edges never reduce distance, so the heuristic
+    is admissible and A* returns exactly Dijkstra's costs while settling
+    fewer nodes.  The test suite checks cost-equality against Dijkstra on
+    random queries; the bench harness measures the effort saved. *)
+
+val shortest_path :
+  Fabric.Graph.t ->
+  weight:(Fabric.Graph.edge -> float) ->
+  src:Fabric.Graph.node ->
+  dst:Fabric.Graph.node ->
+  Dijkstra.result option
+(** @raise Invalid_argument on negative weights, like Dijkstra. *)
+
+val nodes_expanded :
+  Fabric.Graph.t ->
+  weight:(Fabric.Graph.edge -> float) ->
+  src:Fabric.Graph.node ->
+  dst:Fabric.Graph.node ->
+  int * int
+(** (A* settled nodes, Dijkstra settled nodes) for the same query — the
+    search-effort comparison reported by the bench harness. *)

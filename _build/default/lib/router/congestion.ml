@@ -1,0 +1,53 @@
+type t = {
+  chan_cap : int;
+  junc_cap : int;
+  seg_users : int array;
+  junc_users : int array;
+}
+
+let create comp ~channel_capacity ~junction_capacity =
+  if channel_capacity <= 0 || junction_capacity <= 0 then
+    invalid_arg "Congestion.create: capacities must be positive";
+  {
+    chan_cap = channel_capacity;
+    junc_cap = junction_capacity;
+    seg_users = Array.make (Array.length (Fabric.Component.segments comp)) 0;
+    junc_users = Array.make (Array.length (Fabric.Component.junctions comp)) 0;
+  }
+
+let channel_capacity t = t.chan_cap
+let junction_capacity t = t.junc_cap
+
+let users t = function
+  | Resource.Segment s -> t.seg_users.(s)
+  | Resource.Junction j -> t.junc_users.(j)
+
+let capacity t = function Resource.Segment _ -> t.chan_cap | Resource.Junction _ -> t.junc_cap
+
+let is_free t r = users t r < capacity t r
+
+let acquire t r =
+  if not (is_free t r) then
+    invalid_arg (Format.asprintf "Congestion.acquire: %a is at capacity" Resource.pp r);
+  match r with
+  | Resource.Segment s -> t.seg_users.(s) <- t.seg_users.(s) + 1
+  | Resource.Junction j -> t.junc_users.(j) <- t.junc_users.(j) + 1
+
+let release t r =
+  if users t r <= 0 then
+    invalid_arg (Format.asprintf "Congestion.release: %a has no users" Resource.pp r);
+  match r with
+  | Resource.Segment s -> t.seg_users.(s) <- t.seg_users.(s) - 1
+  | Resource.Junction j -> t.junc_users.(j) <- t.junc_users.(j) - 1
+
+let weight t ~turn_cost (e : Fabric.Graph.edge) =
+  match e.Fabric.Graph.kind with
+  | Fabric.Graph.Chan s ->
+      let n = t.seg_users.(s) in
+      if n >= t.chan_cap then Float.infinity else float_of_int (n + 1)
+  | Fabric.Graph.Junc j -> if t.junc_users.(j) >= t.junc_cap then Float.infinity else 1.0
+  | Fabric.Graph.Turn _ -> turn_cost
+  | Fabric.Graph.Tap _ -> 1.0
+
+let total_in_flight t =
+  Array.fold_left ( + ) 0 t.seg_users + Array.fold_left ( + ) 0 t.junc_users

@@ -1,0 +1,43 @@
+(** Live congestion state and the paper's Eq. 2 edge-weight function.
+
+    Tracks the number of qubits using (or committed to use) each channel
+    segment and junction.  Weights are expressed in move units:
+
+    {v
+      chan step   : (n+1)          if n < channel capacity, else infinity
+      junc step   : 1              if n < junction capacity, else infinity
+      turn        : t_turn/t_move  (0 in the turn-blind QUALE model)
+      tap hop     : 1
+    v}
+
+    Summed over a whole segment of length L this reproduces Eq. 2's
+    [(n+1) * length].  Acquire on route commit, release when the qubit exits
+    — the paper's "already using or will use". *)
+
+type t
+
+val create : Fabric.Component.t -> channel_capacity:int -> junction_capacity:int -> t
+(** @raise Invalid_argument on non-positive capacities. *)
+
+val channel_capacity : t -> int
+val junction_capacity : t -> int
+
+val users : t -> Resource.t -> int
+val capacity : t -> Resource.t -> int
+
+val is_free : t -> Resource.t -> bool
+(** Residual capacity remains. *)
+
+val acquire : t -> Resource.t -> unit
+(** @raise Invalid_argument when the resource is already at capacity:
+    committing past capacity is a router bug. *)
+
+val release : t -> Resource.t -> unit
+(** @raise Invalid_argument when the resource has no users. *)
+
+val weight : t -> turn_cost:float -> Fabric.Graph.edge -> float
+(** The Eq. 2 weight of one edge under current congestion; [infinity] when
+    the edge's resource is saturated. *)
+
+val total_in_flight : t -> int
+(** Sum of users over all resources, for diagnostics and invariant checks. *)

@@ -1,0 +1,50 @@
+module Graph = Fabric.Graph
+
+type result = { cost : float; edges : Graph.edge list }
+
+let run graph ~weight ~src ~dst =
+  let n = Graph.num_nodes graph in
+  if src < 0 || src >= n then invalid_arg "Dijkstra: source out of range";
+  let dist = Array.make n Float.infinity in
+  let pred = Array.make n None in
+  let settled = Array.make n false in
+  let queue = Ion_util.Pqueue.create ~compare:Float.compare () in
+  dist.(src) <- 0.0;
+  Ion_util.Pqueue.add queue 0.0 src;
+  let finished = ref false in
+  while (not !finished) && not (Ion_util.Pqueue.is_empty queue) do
+    let d, u = Ion_util.Pqueue.pop_exn queue in
+    if not settled.(u) then begin
+      settled.(u) <- true;
+      if dst = Some u then finished := true
+      else
+        List.iter
+          (fun (e : Graph.edge) ->
+            let w = weight e in
+            if w < 0.0 then invalid_arg "Dijkstra: negative edge weight";
+            if w < Float.infinity then begin
+              let nd = d +. w in
+              if nd < dist.(e.Graph.dst) then begin
+                dist.(e.Graph.dst) <- nd;
+                pred.(e.Graph.dst) <- Some (u, e);
+                Ion_util.Pqueue.add queue nd e.Graph.dst
+              end
+            end)
+          (Graph.adj graph u)
+    end
+  done;
+  (dist, pred)
+
+let shortest_path graph ~weight ~src ~dst =
+  let n = Graph.num_nodes graph in
+  if dst < 0 || dst >= n then invalid_arg "Dijkstra: destination out of range";
+  let dist, pred = run graph ~weight ~src ~dst:(Some dst) in
+  if dist.(dst) = Float.infinity then None
+  else begin
+    let rec walk acc v = match pred.(v) with None -> acc | Some (u, e) -> walk (e :: acc) u in
+    Some { cost = dist.(dst); edges = walk [] dst }
+  end
+
+let distances graph ~weight ~src =
+  let dist, _ = run graph ~weight ~src ~dst:None in
+  dist

@@ -1,0 +1,23 @@
+(** Dijkstra shortest paths on the fabric routing graph under a dynamic
+    edge-weight function (paper Section IV.B).
+
+    Weights of [infinity] model saturated resources; a route through them is
+    never returned. *)
+
+type result = { cost : float; edges : Fabric.Graph.edge list }
+(** [edges] in travel order from the source; [cost] in move units. *)
+
+val shortest_path :
+  Fabric.Graph.t ->
+  weight:(Fabric.Graph.edge -> float) ->
+  src:Fabric.Graph.node ->
+  dst:Fabric.Graph.node ->
+  result option
+(** [None] when the destination is unreachable under finite weights.
+    A [src = dst] query yields a zero-cost empty path.
+    @raise Invalid_argument on a negative edge weight. *)
+
+val distances :
+  Fabric.Graph.t -> weight:(Fabric.Graph.edge -> float) -> src:Fabric.Graph.node -> float array
+(** Full distance vector from [src] ([infinity] where unreachable), used by
+    diagnostics and trap-selection heuristics. *)

@@ -1,0 +1,59 @@
+module Coord = Ion_util.Coord
+module Graph = Fabric.Graph
+
+type command =
+  | Move of { qubit : int; from_ : Coord.t; to_ : Coord.t; start : float; finish : float }
+  | Turn of { qubit : int; at : Coord.t; start : float; finish : float }
+  | Gate_start of { instr_id : int; trap : Coord.t; qubits : int list; time : float }
+  | Gate_end of { instr_id : int; trap : Coord.t; qubits : int list; time : float }
+
+let time = function
+  | Move { start; _ } | Turn { start; _ } -> start
+  | Gate_start { time; _ } | Gate_end { time; _ } -> time
+
+let qubits_of = function
+  | Move { qubit; _ } | Turn { qubit; _ } -> [ qubit ]
+  | Gate_start { qubits; _ } | Gate_end { qubits; _ } -> qubits
+
+let lower_path graph (tm : Timing.t) ~qubit ~start (p : Path.t) =
+  let clock = ref start in
+  let pos = ref (Graph.node_pos graph p.Path.src) in
+  let cmds =
+    List.map
+      (fun (e : Graph.edge) ->
+        let t0 = !clock in
+        match e.Graph.kind with
+        | Graph.Turn _ ->
+            clock := t0 +. tm.Timing.t_turn;
+            Turn { qubit; at = !pos; start = t0; finish = !clock }
+        | Graph.Chan _ | Graph.Junc _ | Graph.Tap _ ->
+            let dst_pos = Graph.node_pos graph e.Graph.dst in
+            clock := t0 +. tm.Timing.t_move;
+            let cmd = Move { qubit; from_ = !pos; to_ = dst_pos; start = t0; finish = !clock } in
+            pos := dst_pos;
+            cmd)
+      p.Path.edges
+  in
+  (cmds, !clock)
+
+let reverse_command ~total = function
+  | Move { qubit; from_; to_; start; finish } ->
+      Move { qubit; from_ = to_; to_ = from_; start = total -. finish; finish = total -. start }
+  | Turn { qubit; at; start; finish } ->
+      Turn { qubit; at; start = total -. finish; finish = total -. start }
+  | Gate_start { instr_id; trap; qubits; time } ->
+      Gate_end { instr_id; trap; qubits; time = total -. time }
+  | Gate_end { instr_id; trap; qubits; time } ->
+      Gate_start { instr_id; trap; qubits; time = total -. time }
+
+let pp ppf = function
+  | Move { qubit; from_; to_; start; finish } ->
+      Format.fprintf ppf "%8.1f-%8.1f  move  q%d %a -> %a" start finish qubit Coord.pp from_ Coord.pp to_
+  | Turn { qubit; at; start; finish } ->
+      Format.fprintf ppf "%8.1f-%8.1f  turn  q%d at %a" start finish qubit Coord.pp at
+  | Gate_start { instr_id; trap; qubits; time } ->
+      Format.fprintf ppf "%8.1f           gate+ #%d at %a on [%s]" time instr_id Coord.pp trap
+        (String.concat ";" (List.map string_of_int qubits))
+  | Gate_end { instr_id; trap; qubits; time } ->
+      Format.fprintf ppf "%8.1f           gate- #%d at %a on [%s]" time instr_id Coord.pp trap
+        (String.concat ";" (List.map string_of_int qubits))

@@ -1,0 +1,35 @@
+(** Quantum-controller micro-commands.
+
+    The mapper's output is a timestamped trace of these commands — the
+    "series of micro-commands issued by the quantum system controller,
+    specifying the moves and turns of individual qubits and the gate level
+    operations" of Section IV.A. *)
+
+type command =
+  | Move of {
+      qubit : int;
+      from_ : Ion_util.Coord.t;
+      to_ : Ion_util.Coord.t;
+      start : float;
+      finish : float;
+    }
+  | Turn of { qubit : int; at : Ion_util.Coord.t; start : float; finish : float }
+  | Gate_start of { instr_id : int; trap : Ion_util.Coord.t; qubits : int list; time : float }
+  | Gate_end of { instr_id : int; trap : Ion_util.Coord.t; qubits : int list; time : float }
+
+val time : command -> float
+(** Timestamp used for ordering: [start] for movements, [time] for gates. *)
+
+val qubits_of : command -> int list
+
+val lower_path :
+  Fabric.Graph.t -> Timing.t -> qubit:int -> start:float -> Path.t -> command list * float
+(** Lowers a routed path departing at [start] into Move/Turn commands,
+    returning them in order together with the arrival time. *)
+
+val reverse_command : total:float -> command -> command
+(** Time-mirrors a command around [total] (and swaps move endpoints,
+    gate start/end): reversing a full trace of a backward MVFB run yields a
+    forward-executable trace. *)
+
+val pp : Format.formatter -> command -> unit

@@ -1,0 +1,64 @@
+module Graph = Fabric.Graph
+
+type t = { src : Graph.node; dst : Graph.node; cost : float; edges : Graph.edge list }
+
+let of_result ~src ~dst (r : Dijkstra.result) = { src; dst; cost = r.Dijkstra.cost; edges = r.Dijkstra.edges }
+
+let empty node = { src = node; dst = node; cost = 0.0; edges = [] }
+
+let is_empty t = t.edges = []
+
+let is_turn (e : Graph.edge) = match e.Graph.kind with Graph.Turn _ -> true | _ -> false
+
+let moves t = List.length (List.filter (fun e -> not (is_turn e)) t.edges)
+
+let turns t = List.length (List.filter is_turn t.edges)
+
+let edge_duration (tm : Timing.t) e = if is_turn e then tm.Timing.t_turn else tm.Timing.t_move
+
+let duration tm t = List.fold_left (fun acc e -> acc +. edge_duration tm e) 0.0 t.edges
+
+let resources t =
+  let seen = Resource.Tbl.create 8 in
+  List.filter_map
+    (fun (e : Graph.edge) ->
+      match Resource.of_edge e.Graph.kind with
+      | Some r when not (Resource.Tbl.mem seen r) ->
+          Resource.Tbl.replace seen r ();
+          Some r
+      | Some _ | None -> None)
+    t.edges
+
+let resource_exits tm t =
+  (* A qubit occupies a resource from entry until it has fully moved into the
+     next one: the exit time is the completion of the first edge that leaves
+     the resource (turn edges keep the qubit inside its junction).  Releasing
+     at arrival instead would free a junction while the ion still sits in it
+     turning — a capacity violation the trace validator catches. *)
+  let exits = Resource.Tbl.create 8 in
+  let order = resources t in
+  let clock = ref 0.0 in
+  let current = ref None in
+  let flush () = match !current with Some c -> Resource.Tbl.replace exits c !clock | None -> () in
+  List.iter
+    (fun (e : Graph.edge) ->
+      clock := !clock +. edge_duration tm e;
+      match e.Graph.kind with
+      | Graph.Turn _ -> () (* still inside the same junction *)
+      | Graph.Chan _ | Graph.Junc _ | Graph.Tap _ ->
+          let r = Resource.of_edge e.Graph.kind in
+          if r <> !current then begin
+            flush ();
+            current := r
+          end)
+    t.edges;
+  flush ();
+  List.map (fun r -> (r, Resource.Tbl.find exits r)) order
+
+let cells graph t =
+  let src_pos = Graph.node_pos graph t.src in
+  src_pos :: List.map (fun (e : Graph.edge) -> Graph.node_pos graph e.Graph.dst) t.edges
+
+let pp graph ppf t =
+  Format.fprintf ppf "@[<h>path %a -> %a: %d moves, %d turns, cost %g@]" (Graph.pp_node graph)
+    t.src (Graph.pp_node graph) t.dst (moves t) (turns t) t.cost

@@ -1,0 +1,38 @@
+(** Typed routes: a Dijkstra edge sequence with cost, timing and resource
+    accounting.
+
+    A path's wall-clock duration is [moves * t_move + turns * t_turn]; its
+    resource footprint is the set of channel segments and junctions it
+    crosses, each with the offset (from departure) at which the qubit leaves
+    it — the simulator turns those offsets into channel-exit events. *)
+
+type t = { src : Fabric.Graph.node; dst : Fabric.Graph.node; cost : float; edges : Fabric.Graph.edge list }
+
+val of_result : src:Fabric.Graph.node -> dst:Fabric.Graph.node -> Dijkstra.result -> t
+
+val empty : Fabric.Graph.node -> t
+(** Zero-length path (operand already at the target trap). *)
+
+val is_empty : t -> bool
+
+val moves : t -> int
+(** Cell steps: channel, junction and tap edges. *)
+
+val turns : t -> int
+
+val duration : Timing.t -> t -> float
+
+val resources : t -> Resource.t list
+(** Distinct resources in first-crossing order. *)
+
+val resource_exits : Timing.t -> t -> (Resource.t * float) list
+(** For each distinct resource, the time offset (from path departure) at
+    which the qubit has fully left it — the completion of the first edge that
+    moves the qubit into a different resource or into the destination trap
+    (turns keep the qubit inside its junction). *)
+
+val cells : Fabric.Graph.t -> t -> Ion_util.Coord.t list
+(** Visited cell coordinates in order (turn edges repeat the junction cell),
+    for rendering. *)
+
+val pp : Fabric.Graph.t -> Format.formatter -> t -> unit

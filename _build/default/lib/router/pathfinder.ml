@@ -1,0 +1,88 @@
+module Graph = Fabric.Graph
+
+type net = { net_id : int; src : Graph.node; dst : Graph.node }
+
+type outcome = { routes : (int * Path.t) list; iterations : int; overused : int }
+
+(* occupancy bookkeeping over the distinct resources of each net's route *)
+let usage_table routes =
+  let tbl = Resource.Tbl.create 64 in
+  List.iter
+    (fun (_, path) ->
+      List.iter
+        (fun r -> Resource.Tbl.replace tbl r (1 + Option.value ~default:0 (Resource.Tbl.find_opt tbl r)))
+        (Path.resources path))
+    routes;
+  tbl
+
+let max_overuse _graph ~capacity routes =
+  let tbl = usage_table routes in
+  Resource.Tbl.fold (fun r users acc -> max acc (users - capacity r)) tbl 0
+
+let route_all graph ?(max_iterations = 30) ?(present_factor = 0.5) ?(history_increment = 1.0)
+    ?(turn_cost = 10.0) ~capacity nets =
+  if max_iterations < 1 then Error "Pathfinder.route_all: max_iterations must be positive"
+  else if present_factor < 0.0 || history_increment < 0.0 || turn_cost < 0.0 then
+    Error "Pathfinder.route_all: negative parameters"
+  else begin
+    let history = Resource.Tbl.create 64 in
+    let hist r = Option.value ~default:0.0 (Resource.Tbl.find_opt history r) in
+    let routes : (int, Path.t) Hashtbl.t = Hashtbl.create 16 in
+    let error = ref None in
+    let iterations = ref 0 in
+    let converged = ref false in
+    while (not !converged) && !error = None && !iterations < max_iterations do
+      incr iterations;
+      let p_fac = 1.0 +. (present_factor *. float_of_int !iterations) in
+      (* occupancy of the CURRENT routes, updated as nets re-route: each net
+         is ripped up just before its own re-route *)
+      let occupancy = usage_table (Hashtbl.fold (fun id p acc -> (id, p) :: acc) routes []) in
+      let occ r = Option.value ~default:0 (Resource.Tbl.find_opt occupancy r) in
+      let bump r d = Resource.Tbl.replace occupancy r (max 0 (occ r + d)) in
+      List.iter
+        (fun net ->
+          if !error = None then begin
+            (* rip up this net's previous route *)
+            (match Hashtbl.find_opt routes net.net_id with
+            | Some old -> List.iter (fun r -> bump r (-1)) (Path.resources old)
+            | None -> ());
+            let weight (e : Graph.edge) =
+              let base = match e.Graph.kind with Graph.Turn _ -> turn_cost | _ -> 1.0 in
+              match Resource.of_edge e.Graph.kind with
+              | None -> base
+              | Some r ->
+                  let over = max 0 (occ r + 1 - capacity r) in
+                  ((base +. hist r) *. (1.0 +. (float_of_int over *. p_fac)))
+            in
+            match Dijkstra.shortest_path graph ~weight ~src:net.src ~dst:net.dst with
+            | None -> error := Some (Printf.sprintf "Pathfinder: net %d has no route" net.net_id)
+            | Some result ->
+                let path = Path.of_result ~src:net.src ~dst:net.dst result in
+                Hashtbl.replace routes net.net_id path;
+                List.iter (fun r -> bump r 1) (Path.resources path)
+          end)
+        nets;
+      if !error = None then begin
+        (* history penalties on overused resources; convergence check *)
+        let over = ref 0 in
+        let tbl = usage_table (Hashtbl.fold (fun id p acc -> (id, p) :: acc) routes []) in
+        Resource.Tbl.iter
+          (fun r users ->
+            if users > capacity r then begin
+              incr over;
+              Resource.Tbl.replace history r (hist r +. history_increment)
+            end)
+          tbl;
+        if !over = 0 then converged := true
+      end
+    done;
+    match !error with
+    | Some e -> Error e
+    | None ->
+        let final = List.map (fun net -> (net.net_id, Hashtbl.find routes net.net_id)) nets in
+        let overused =
+          let tbl = usage_table final in
+          Resource.Tbl.fold (fun r users acc -> if users > capacity r then acc + 1 else acc) tbl 0
+        in
+        Ok { routes = final; iterations = !iterations; overused }
+  end

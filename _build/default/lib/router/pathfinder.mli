@@ -1,0 +1,42 @@
+(** PathFinder: negotiation-based congestion routing (McMurchie & Ebeling,
+    the paper's reference [3] and the router inside QUALE).
+
+    Routes a set of simultaneous nets (source/destination node pairs) by
+    iterated rip-up-and-reroute: every iteration routes each net with
+    Dijkstra under a cost that multiplies a {e present congestion} penalty
+    (how overused the resource is right now, weighted harder each iteration)
+    and adds a {e history} term (how often the resource has ever been
+    overused).  Nets gradually negotiate away from contested channels until
+    no resource exceeds its capacity.
+
+    QSPR's own engine routes incrementally in event order instead; this
+    module exists as the faithful baseline substrate, and the bench harness
+    compares the two styles on simultaneous route waves. *)
+
+type net = { net_id : int; src : Fabric.Graph.node; dst : Fabric.Graph.node }
+
+type outcome = {
+  routes : (int * Path.t) list;  (** net id -> final route, in input order *)
+  iterations : int;  (** negotiation rounds used *)
+  overused : int;  (** resources still over capacity (0 = success) *)
+}
+
+val route_all :
+  Fabric.Graph.t ->
+  ?max_iterations:int ->
+  ?present_factor:float ->
+  ?history_increment:float ->
+  ?turn_cost:float ->
+  capacity:(Resource.t -> int) ->
+  net list ->
+  (outcome, string) result
+(** Defaults: 30 iterations, present factor 0.5 (scaled by the iteration
+    number), history increment 1.0, turn cost 10.0 move units.  [Error] when
+    some net has no route at all (disconnected endpoints) or arguments are
+    invalid.  [overused > 0] in the result means negotiation did not
+    converge within the budget — the caller decides whether to accept the
+    shared routes (the engine's busy queue would instead serialize). *)
+
+val max_overuse : Fabric.Graph.t -> capacity:(Resource.t -> int) -> (int * Path.t) list -> int
+(** Worst resource overuse of a set of routes — 0 iff every channel and
+    junction is within capacity.  Exposed for tests and diagnostics. *)

@@ -1,0 +1,22 @@
+type t = Segment of int | Junction of int
+
+let compare (a : t) b = Stdlib.compare a b
+let equal (a : t) b = a = b
+
+let hash = function Segment s -> (s * 2) + 1 | Junction j -> j * 2
+
+let pp ppf = function
+  | Segment s -> Format.fprintf ppf "segment#%d" s
+  | Junction j -> Format.fprintf ppf "junction#%d" j
+
+let of_edge = function
+  | Fabric.Graph.Chan s -> Some (Segment s)
+  | Fabric.Graph.Junc j -> Some (Junction j)
+  | Fabric.Graph.Turn _ | Fabric.Graph.Tap _ -> None
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)

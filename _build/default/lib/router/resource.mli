@@ -1,0 +1,19 @@
+(** Contended fabric resources: channel segments and junctions.
+
+    Traps are not modelled here — trap availability is a placement concern
+    handled by the mapper's trap selection, while segments and junctions are
+    the transit resources of the paper's Eq. 2. *)
+
+type t = Segment of int | Junction of int
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+val of_edge : Fabric.Graph.edge_kind -> t option
+(** The resource an edge consumes: [Chan]/[Junc] steps map to their segment
+    or junction; [Turn] happens inside a junction the qubit already occupies
+    and [Tap] hops are free, so both map to [None]. *)
+
+module Tbl : Hashtbl.S with type key = t

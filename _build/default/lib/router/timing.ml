@@ -1,0 +1,19 @@
+type t = { t_move : float; t_turn : float; t_gate1 : float; t_gate2 : float }
+
+let paper = { t_move = 1.0; t_turn = 10.0; t_gate1 = 10.0; t_gate2 = 100.0 }
+
+let make ?(t_move = paper.t_move) ?(t_turn = paper.t_turn) ?(t_gate1 = paper.t_gate1)
+    ?(t_gate2 = paper.t_gate2) () =
+  if t_move <= 0.0 || t_turn <= 0.0 || t_gate1 <= 0.0 || t_gate2 <= 0.0 then
+    invalid_arg "Timing.make: delays must be positive";
+  { t_move; t_turn; t_gate1; t_gate2 }
+
+let gate_delay t = function
+  | Qasm.Instr.Qubit_decl _ -> 0.0
+  | Qasm.Instr.Gate1 _ -> t.t_gate1
+  | Qasm.Instr.Gate2 _ -> t.t_gate2
+
+let turn_cost_in_moves t = t.t_turn /. t.t_move
+
+let pp ppf t =
+  Format.fprintf ppf "move=%gus turn=%gus 1q=%gus 2q=%gus" t.t_move t.t_turn t.t_gate1 t.t_gate2

@@ -1,0 +1,24 @@
+(** Technology timing parameters (paper Section V.A).
+
+    All delays in microseconds.  The paper's ion-trap numbers are
+    [t_move = 1], [t_turn = 10], [t_gate1 = 10], [t_gate2 = 100]; a turn is
+    5-30x slower than a move in the literature, 10x here. *)
+
+type t = { t_move : float; t_turn : float; t_gate1 : float; t_gate2 : float }
+
+val paper : t
+(** The experimental-setup values above. *)
+
+val make : ?t_move:float -> ?t_turn:float -> ?t_gate1:float -> ?t_gate2:float -> unit -> t
+(** Defaults to {!paper}; validates positivity.
+    @raise Invalid_argument on non-positive delays. *)
+
+val gate_delay : t -> Qasm.Instr.t -> float
+(** Declarations are free; one-qubit gates (including prepare and measure)
+    take [t_gate1], two-qubit gates [t_gate2]. *)
+
+val turn_cost_in_moves : t -> float
+(** [t_turn / t_move] — the turn-edge weight in the routing graph's
+    move-unit metric. *)
+
+val pp : Format.formatter -> t -> unit

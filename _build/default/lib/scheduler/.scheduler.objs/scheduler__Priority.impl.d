@@ -1,0 +1,1 @@
+lib/scheduler/priority.ml: Array Dag Float Int List Qasm

@@ -1,0 +1,1 @@
+lib/scheduler/priority.mli: Qasm

@@ -1,0 +1,1 @@
+lib/scheduler/ready_set.ml: Array Dag Float Int List Qasm

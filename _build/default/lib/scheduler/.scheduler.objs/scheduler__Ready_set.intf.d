@@ -1,0 +1,1 @@
+lib/scheduler/ready_set.mli: Qasm

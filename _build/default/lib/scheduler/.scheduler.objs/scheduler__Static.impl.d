@@ -1,0 +1,1 @@
+lib/scheduler/static.ml: Array Dag Float Fun Instr Int List Qasm

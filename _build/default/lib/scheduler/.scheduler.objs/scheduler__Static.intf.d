@@ -1,0 +1,1 @@
+lib/scheduler/static.mli: Qasm

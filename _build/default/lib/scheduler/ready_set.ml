@@ -1,0 +1,66 @@
+open Qasm
+
+type status = Waiting | Ready | Deferred | In_flight | Done
+
+type t = {
+  dag : Dag.t;
+  priorities : float array;
+  status : status array;
+  pending_preds : int array;
+  mutable n_done : int;
+  mutable n_busy : int;
+  mutable n_flight : int;
+}
+
+let create dag ~priorities =
+  let n = Dag.num_nodes dag in
+  if Array.length priorities <> n then invalid_arg "Ready_set.create: priorities length mismatch";
+  let pending_preds = Array.init n (fun i -> List.length (Dag.node dag i).Dag.preds) in
+  let status = Array.init n (fun i -> if pending_preds.(i) = 0 then Ready else Waiting) in
+  { dag; priorities; status; pending_preds; n_done = 0; n_busy = 0; n_flight = 0 }
+
+let ready t =
+  let ids = ref [] in
+  Array.iteri (fun i s -> if s = Ready then ids := i :: !ids) t.status;
+  List.sort
+    (fun a b ->
+      match Float.compare t.priorities.(b) t.priorities.(a) with 0 -> Int.compare a b | c -> c)
+    !ids
+
+let is_ready t i = t.status.(i) = Ready
+
+let mark_issued t i =
+  if t.status.(i) <> Ready then invalid_arg "Ready_set.mark_issued: instruction not ready";
+  t.status.(i) <- In_flight;
+  t.n_flight <- t.n_flight + 1
+
+let mark_done t i =
+  (match t.status.(i) with
+  | In_flight -> t.n_flight <- t.n_flight - 1
+  | Ready -> () (* declarations complete without issue *)
+  | Waiting | Deferred | Done -> invalid_arg "Ready_set.mark_done: bad state");
+  t.status.(i) <- Done;
+  t.n_done <- t.n_done + 1;
+  List.filter
+    (fun s ->
+      t.pending_preds.(s) <- t.pending_preds.(s) - 1;
+      if t.pending_preds.(s) = 0 && t.status.(s) = Waiting then begin
+        t.status.(s) <- Ready;
+        true
+      end
+      else false)
+    (Dag.node t.dag i).Dag.succs
+
+let defer t i =
+  if t.status.(i) <> Ready then invalid_arg "Ready_set.defer: instruction not ready";
+  t.status.(i) <- Deferred;
+  t.n_busy <- t.n_busy + 1
+
+let requeue_busy t =
+  Array.iteri (fun i s -> if s = Deferred then t.status.(i) <- Ready) t.status;
+  t.n_busy <- 0
+
+let busy_count t = t.n_busy
+let done_count t = t.n_done
+let all_done t = t.n_done = Dag.num_nodes t.dag
+let in_flight_count t = t.n_flight

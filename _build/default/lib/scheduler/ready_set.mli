@@ -1,0 +1,38 @@
+(** Dynamic ready-set manager for list scheduling over a QIDG.
+
+    Tracks, for every instruction, how many predecessors are still
+    unfinished; exposes the ready instructions in priority order; and keeps
+    the paper's {e busy queue} of instructions that were ready but could not
+    be routed — those return to the ready set when the fabric state changes
+    ({!requeue_busy}). *)
+
+type t
+
+val create : Qasm.Dag.t -> priorities:float array -> t
+(** @raise Invalid_argument on length mismatch. *)
+
+val ready : t -> int list
+(** Ready, unissued, non-deferred instructions, highest priority first
+    (ties toward lower id). *)
+
+val is_ready : t -> int -> bool
+
+val mark_issued : t -> int -> unit
+(** Removes from the ready set (the instruction is now in flight).
+    @raise Invalid_argument if it was not ready. *)
+
+val mark_done : t -> int -> int list
+(** Completes an issued instruction, unblocking its dependents; returns the
+    instructions that became ready as a result (ascending id).  Source nodes
+    (declarations) may complete without being issued. *)
+
+val defer : t -> int -> unit
+(** Moves a ready instruction to the busy queue. *)
+
+val requeue_busy : t -> unit
+(** Busy-queue instructions become ready again. *)
+
+val busy_count : t -> int
+val done_count : t -> int
+val all_done : t -> bool
+val in_flight_count : t -> int

@@ -1,0 +1,96 @@
+open Qasm
+
+type schedule = { start : float array; finish : float array; makespan : float }
+
+let asap ~delay dag =
+  let start = Dag.asap_times ~delay dag in
+  let finish = Array.mapi (fun i s -> s +. delay (Dag.node dag i).Dag.instr) start in
+  { start; finish; makespan = Array.fold_left Float.max 0.0 finish }
+
+let resource_constrained ~delay ~max_two_qubit ~priorities dag =
+  let n = Dag.num_nodes dag in
+  if max_two_qubit < 1 then invalid_arg "Static.resource_constrained: max_two_qubit must be positive";
+  if Array.length priorities <> n then
+    invalid_arg "Static.resource_constrained: priorities length mismatch";
+  let start = Array.make n 0.0 and finish = Array.make n 0.0 in
+  let scheduled = Array.make n false in
+  let pending = Array.init n (fun i -> List.length (Dag.node dag i).Dag.preds) in
+  (* completion times of two-qubit gates currently counted against the
+     budget, as a sorted list *)
+  let ready_time = Array.make n 0.0 in
+  let remaining = ref n in
+  let running2q = ref [] in
+  let clock = ref 0.0 in
+  while !remaining > 0 do
+    (* candidates: dependency-ready, unscheduled, ready_time <= clock *)
+    let ready =
+      List.init n Fun.id
+      |> List.filter (fun i -> (not scheduled.(i)) && pending.(i) = 0 && ready_time.(i) <= !clock +. 1e-9)
+      |> List.sort (fun a b ->
+             match Float.compare priorities.(b) priorities.(a) with 0 -> Int.compare a b | c -> c)
+    in
+    let in_flight = List.length (List.filter (fun (t, _) -> t > !clock +. 1e-9) !running2q) in
+    let budget = ref (max_two_qubit - in_flight) in
+    let progressed = ref false in
+    List.iter
+      (fun i ->
+        let instr = (Dag.node dag i).Dag.instr in
+        let is2q = Instr.is_two_qubit instr in
+        if (not is2q) || !budget > 0 then begin
+          scheduled.(i) <- true;
+          decr remaining;
+          progressed := true;
+          start.(i) <- !clock;
+          finish.(i) <- !clock +. delay instr;
+          if is2q then begin
+            decr budget;
+            running2q := (finish.(i), i) :: !running2q
+          end;
+          List.iter
+            (fun s ->
+              pending.(s) <- pending.(s) - 1;
+              ready_time.(s) <- Float.max ready_time.(s) finish.(i))
+            (Dag.node dag i).Dag.succs
+        end)
+      ready;
+    if !remaining > 0 then begin
+      (* advance the clock to the next event: a dependency becoming ready or
+         a running 2q gate finishing *)
+      let horizon = ref Float.infinity in
+      List.iter (fun (t, _) -> if t > !clock +. 1e-9 then horizon := Float.min !horizon t) !running2q;
+      for i = 0 to n - 1 do
+        if (not scheduled.(i)) && pending.(i) = 0 && ready_time.(i) > !clock +. 1e-9 then
+          horizon := Float.min !horizon ready_time.(i)
+      done;
+      if !horizon = Float.infinity then
+        if !progressed then () (* same-instant retry: ready set changed *)
+        else invalid_arg "Static.resource_constrained: stuck (internal error)"
+      else clock := !horizon
+    end
+  done;
+  { start; finish; makespan = Array.fold_left Float.max 0.0 finish }
+
+let validate ~delay ~max_two_qubit dag sched =
+  let n = Dag.num_nodes dag in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    let node = Dag.node dag i in
+    if Float.abs (sched.finish.(i) -. sched.start.(i) -. delay node.Dag.instr) > 1e-9 then ok := false;
+    List.iter (fun p -> if sched.start.(i) < sched.finish.(p) -. 1e-9 then ok := false) node.Dag.preds
+  done;
+  (* resource feasibility: sweep 2q gate intervals *)
+  let events = ref [] in
+  for i = 0 to n - 1 do
+    if Instr.is_two_qubit (Dag.node dag i).Dag.instr then
+      events := (sched.start.(i), 1) :: (sched.finish.(i), -1) :: !events
+  done;
+  let sorted =
+    List.sort (fun (ta, da) (tb, db) -> match Float.compare ta tb with 0 -> Int.compare da db | c -> c) !events
+  in
+  let level = ref 0 in
+  List.iter
+    (fun (_, d) ->
+      level := !level + d;
+      if !level > max_two_qubit then ok := false)
+    sorted;
+  !ok

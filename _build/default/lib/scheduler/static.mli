@@ -1,0 +1,37 @@
+(** Static (fabric-free) resource-constrained list scheduling.
+
+    The paper frames mapping as Minimum-Latency Resource-Constrained
+    scheduling whose true resource costs only emerge during routing.  This
+    module is the classical HLS half of that story: schedule the QIDG under
+    an abstract resource budget — at most [k] two-qubit gates in flight —
+    with no routing delays.  It gives a tighter lower bound than the pure
+    critical path when gate-level parallelism exceeds what the fabric's
+    traps could ever serve, and is a reference point for the engine's
+    behaviour at the resource extremes. *)
+
+type schedule = {
+  start : float array;  (** start time per instruction *)
+  finish : float array;
+  makespan : float;
+}
+
+val asap : delay:(Qasm.Instr.t -> float) -> Qasm.Dag.t -> schedule
+(** Infinite resources: starts at the dependency-ready times; makespan
+    equals the critical path. *)
+
+val resource_constrained :
+  delay:(Qasm.Instr.t -> float) ->
+  max_two_qubit:int ->
+  priorities:float array ->
+  Qasm.Dag.t ->
+  schedule
+(** Priority list scheduling with at most [max_two_qubit] two-qubit gates
+    executing simultaneously (one-qubit gates and declarations are
+    unconstrained).  Ties break toward lower instruction id.
+    @raise Invalid_argument for [max_two_qubit < 1] or a priorities length
+    mismatch. *)
+
+val validate :
+  delay:(Qasm.Instr.t -> float) -> max_two_qubit:int -> Qasm.Dag.t -> schedule -> bool
+(** Checks dependency and resource feasibility of a schedule — the test
+    oracle. *)

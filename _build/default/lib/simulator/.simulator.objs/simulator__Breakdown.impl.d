@@ -1,0 +1,1 @@
+lib/simulator/breakdown.ml: Array Engine Float Format Qasm Router

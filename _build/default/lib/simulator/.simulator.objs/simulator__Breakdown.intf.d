@@ -1,0 +1,1 @@
+lib/simulator/breakdown.mli: Engine Format Qasm Router

@@ -1,0 +1,1 @@
+lib/simulator/engine.ml: Array Congestion Dag Dijkstra Fabric Float Hashtbl Instr Ion_util List Micro Option Path Printf Program Qasm Resource Router Scheduler Timing

@@ -1,0 +1,1 @@
+lib/simulator/engine.mli: Fabric Qasm Router Stdlib

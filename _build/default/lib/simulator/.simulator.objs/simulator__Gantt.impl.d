@@ -1,0 +1,1 @@
+lib/simulator/gantt.ml: Array Buffer Hashtbl List Micro Printf Router String Trace

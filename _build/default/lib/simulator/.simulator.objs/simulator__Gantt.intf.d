@@ -1,0 +1,1 @@
+lib/simulator/gantt.mli: Trace

@@ -1,0 +1,1 @@
+lib/simulator/heatmap.ml: Array Char Fabric Int Ion_util List Micro Router

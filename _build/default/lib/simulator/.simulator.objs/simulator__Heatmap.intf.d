@@ -1,0 +1,1 @@
+lib/simulator/heatmap.mli: Fabric Trace

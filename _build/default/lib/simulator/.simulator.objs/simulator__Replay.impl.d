@@ -1,0 +1,1 @@
+lib/simulator/replay.ml: Array Fabric Float Ion_util List Micro Router Trace

@@ -1,0 +1,1 @@
+lib/simulator/replay.mli: Fabric Ion_util Trace

@@ -1,0 +1,1 @@
+lib/simulator/trace.ml: Buffer Float Format List Micro Router

@@ -1,0 +1,1 @@
+lib/simulator/validate.ml: Array Fabric Float Format Hashtbl Int Ion_util List Micro Option Printf Resource Router Timing

@@ -1,0 +1,1 @@
+lib/simulator/validate.mli: Fabric Router Trace

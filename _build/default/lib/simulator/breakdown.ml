@@ -1,0 +1,30 @@
+type totals = { gate_us : float; routing_us : float; congestion_us : float; instructions : int }
+
+let of_result ~timing ~dag (r : Engine.result) =
+  let totals = ref { gate_us = 0.0; routing_us = 0.0; congestion_us = 0.0; instructions = 0 } in
+  Array.iteri
+    (fun i (s : Engine.instr_stats) ->
+      let instr = (Qasm.Dag.node dag i).Qasm.Dag.instr in
+      if Qasm.Instr.is_gate instr then begin
+        let t = !totals in
+        totals :=
+          {
+            gate_us = t.gate_us +. Router.Timing.gate_delay timing instr;
+            routing_us =
+              t.routing_us
+              +. (float_of_int s.Engine.route_moves *. timing.Router.Timing.t_move)
+              +. (float_of_int s.Engine.route_turns *. timing.Router.Timing.t_turn);
+            congestion_us = t.congestion_us +. Float.max 0.0 (s.Engine.issued_at -. s.Engine.ready_at);
+            instructions = t.instructions + 1;
+          }
+      end)
+    r.Engine.stats;
+  !totals
+
+let per_gate t =
+  let n = Float.max 1.0 (float_of_int t.instructions) in
+  (t.gate_us /. n, t.routing_us /. n, t.congestion_us /. n)
+
+let pp ppf t =
+  Format.fprintf ppf "T_gate %.0fus + T_routing %.0fus + T_congestion %.0fus over %d instructions"
+    t.gate_us t.routing_us t.congestion_us t.instructions

@@ -1,0 +1,25 @@
+(** Latency decomposition per the paper's Eq. 1:
+    [instruction delay = T_gate + T_routing + T_congestion].
+
+    From an engine result, aggregates where each instruction's time went —
+    gate execution, operand transport (moves and turns), and waiting for
+    fabric resources — per instruction and over the whole run.  The paper's
+    closing observation ("T_routing and T_congestion play an important role
+    in the latency of larger circuits") is this report, quantified. *)
+
+type totals = {
+  gate_us : float;
+  routing_us : float;
+  congestion_us : float;
+  instructions : int;  (** gate instructions measured *)
+}
+
+val of_result : timing:Router.Timing.t -> dag:Qasm.Dag.t -> Engine.result -> totals
+(** Sums over gate instructions: gate time from the technology delays,
+    routing time from each instruction's recorded moves/turns, congestion
+    as issue-wait ([issued_at - ready_at]). *)
+
+val per_gate : totals -> float * float * float
+(** Average (gate, routing, congestion) microseconds per gate instruction. *)
+
+val pp : Format.formatter -> totals -> unit

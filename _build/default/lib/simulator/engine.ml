@@ -1,0 +1,427 @@
+module Coord = Ion_util.Coord
+module Graph = Fabric.Graph
+module Component = Fabric.Component
+open Qasm
+open Router
+
+type routing_style = Both_move | Dest_pinned
+
+type policy = {
+  turn_aware : bool;
+  routing : routing_style;
+  channel_capacity : int;
+  junction_capacity : int;
+  trap_candidates : int;
+}
+
+let qspr_policy =
+  { turn_aware = true; routing = Both_move; channel_capacity = 2; junction_capacity = 2; trap_candidates = 3 }
+
+let quale_policy =
+  { turn_aware = false; routing = Dest_pinned; channel_capacity = 1; junction_capacity = 2; trap_candidates = 1 }
+
+type instr_stats = {
+  ready_at : float;
+  issued_at : float;
+  completed_at : float;
+  route_moves : int;
+  route_turns : int;
+}
+
+type result = {
+  latency : float;
+  trace : Micro.command list;
+  final_placement : int array;
+  stats : instr_stats array;
+  total_congestion_wait : float;
+  total_routing_time : float;
+}
+
+type event = Instr_done of int | Resource_exit of Resource.t
+
+(* A two-qubit instruction may commit with only one operand routable: the
+   other stays *pending* in its trap (reserved, engaged) and is dispatched as
+   soon as congestion allows — typically when the first operand's own
+   committed channels free up.  Without this staging, capacity-1 fabrics
+   deadlock whenever both operands need the same tap segment of the chosen
+   trap. *)
+type in_flight = {
+  target_trap : int;
+  operands : int list;
+  mutable pending : int list;
+  mutable arrivals : float list;
+}
+
+type state = {
+  graph : Graph.t;
+  comp : Component.t;
+  timing : Timing.t;
+  policy : policy;
+  dag : Dag.t;
+  ready_set : Scheduler.Ready_set.t;
+  congestion : Congestion.t;
+  qubit_trap : int option array; (* physical trap; None while traveling *)
+  qubit_engaged : bool array; (* reserved by an in-flight instruction *)
+  occupants : int list array; (* trap -> qubits assigned (resident or inbound) *)
+  flights : (int, in_flight) Hashtbl.t; (* instr id -> flight info *)
+  events : (float, event) Ion_util.Pqueue.t;
+  mutable clock : float;
+  mutable trace_rev : Micro.command list;
+  ready_at : float array;
+  issued_at : float array;
+  completed_at : float array;
+  route_moves : int array;
+  route_turns : int array;
+  mutable emitted_events : int;
+}
+
+let turn_cost st = if st.policy.turn_aware then Timing.turn_cost_in_moves st.timing else 0.0
+
+let weight st e = Congestion.weight st.congestion ~turn_cost:(turn_cost st) e
+
+let emit st cmd = st.trace_rev <- cmd :: st.trace_rev
+
+let trap_pos st tid = (Component.traps st.comp).(tid).Component.tpos
+
+(* a trap can host the instruction's operands iff every qubit already
+   assigned to it is one of those operands *)
+let trap_available st operands tid =
+  List.for_all (fun q -> List.mem q operands) st.occupants.(tid)
+
+let qubit_trap st q = st.qubit_trap.(q)
+
+(* candidate target traps for a two-qubit instruction, best first *)
+let trap_candidates st ~control ~target =
+  let ct = match qubit_trap st control with Some t -> t | None -> assert false in
+  let tt = match qubit_trap st target with Some t -> t | None -> assert false in
+  if ct = tt then [ ct ]
+  else
+    let operands = [ control; target ] in
+    let anchor =
+      match st.policy.routing with
+      | Both_move -> Coord.midpoint (trap_pos st ct) (trap_pos st tt)
+      | Dest_pinned -> trap_pos st tt
+    in
+    let preferred =
+      match st.policy.routing with
+      | Dest_pinned when trap_available st operands tt -> [ tt ]
+      | Dest_pinned | Both_move -> []
+    in
+    let rest =
+      Component.nearest_traps st.comp anchor
+      |> List.filter (fun tid -> trap_available st operands tid && not (List.mem tid preferred))
+    in
+    let take k l = List.filteri (fun i _ -> i < k) l in
+    take st.policy.trap_candidates (preferred @ rest)
+
+(* route one qubit from its trap to the target trap under current weights;
+   an already-there qubit yields the empty path *)
+let route_qubit st q ~to_trap =
+  match qubit_trap st q with
+  | None -> None
+  | Some from_trap ->
+      if from_trap = to_trap then Some (Path.empty (Graph.trap_node st.graph to_trap))
+      else
+        let src = Graph.trap_node st.graph from_trap and dst = Graph.trap_node st.graph to_trap in
+        Dijkstra.shortest_path st.graph ~weight:(weight st) ~src ~dst
+        |> Option.map (Path.of_result ~src ~dst)
+
+let acquire_path st p = List.iter (Congestion.acquire st.congestion) (Path.resources p)
+let release_path st p = List.iter (Congestion.release st.congestion) (Path.resources p)
+
+let schedule st delay ev =
+  st.emitted_events <- st.emitted_events + 1;
+  Ion_util.Pqueue.add st.events (st.clock +. delay) ev
+
+(* lower one routed operand: emit micro-commands, schedule its resource
+   exits, and return arrival time *)
+let dispatch_qubit st q path =
+  let cmds, arrival = Micro.lower_path st.graph st.timing ~qubit:q ~start:st.clock path in
+  List.iter (emit st) cmds;
+  List.iter (fun (r, off) -> schedule st off (Resource_exit r)) (Path.resource_exits st.timing path);
+  arrival
+
+let remove_from_trap st q tid = st.occupants.(tid) <- List.filter (( <> ) q) st.occupants.(tid)
+
+(* dispatch one operand of instruction [id]: leave the old trap, emit the
+   movement commands and record the arrival *)
+let dispatch_operand st id fl q path =
+  (* leaving for the trap the qubit is already assigned to must not disturb
+     the occupant list commit_gate2 just wrote *)
+  (match st.qubit_trap.(q) with
+  | Some old when old <> fl.target_trap -> remove_from_trap st q old
+  | Some _ | None -> ());
+  st.qubit_trap.(q) <- None;
+  let arrival = dispatch_qubit st q path in
+  st.route_moves.(id) <- st.route_moves.(id) + Path.moves path;
+  st.route_turns.(id) <- st.route_turns.(id) + Path.turns path;
+  fl.pending <- List.filter (( <> ) q) fl.pending;
+  fl.arrivals <- arrival :: fl.arrivals;
+  (* once every operand is en route, the gate firing is fully determined *)
+  if fl.pending = [] then begin
+    let start = List.fold_left Float.max 0.0 fl.arrivals in
+    let finish = start +. st.timing.Timing.t_gate2 in
+    emit st
+      (Micro.Gate_start { instr_id = id; trap = trap_pos st fl.target_trap; qubits = fl.operands; time = start });
+    emit st
+      (Micro.Gate_end { instr_id = id; trap = trap_pos st fl.target_trap; qubits = fl.operands; time = finish });
+    schedule st (finish -. st.clock) (Instr_done id)
+  end
+
+let commit_gate2 st id ~trap ~control ~target ~dispatch_now =
+  Scheduler.Ready_set.mark_issued st.ready_set id;
+  st.issued_at.(id) <- st.clock;
+  st.occupants.(trap) <- [ control; target ];
+  st.qubit_engaged.(control) <- true;
+  st.qubit_engaged.(target) <- true;
+  let fl = { target_trap = trap; operands = [ control; target ]; pending = [ control; target ]; arrivals = [] } in
+  Hashtbl.replace st.flights id fl;
+  List.iter (fun (q, path) -> dispatch_operand st id fl q path) dispatch_now
+
+(* attempt to issue a two-qubit instruction; true on success *)
+let try_issue_gate2 st id control target =
+  if st.qubit_engaged.(control) || st.qubit_engaged.(target) then false
+    (* operand busy: stays in the ready set *)
+  else begin
+    let candidates = trap_candidates st ~control ~target in
+    (* pass 1: both operands routable now (source routed first, destination
+       under the source's committed congestion) *)
+    let rec attempt_full = function
+      | [] -> false
+      | trap :: rest -> (
+          match route_qubit st control ~to_trap:trap with
+          | None -> attempt_full rest
+          | Some p_control -> (
+              acquire_path st p_control;
+              match route_qubit st target ~to_trap:trap with
+              | None ->
+                  release_path st p_control;
+                  attempt_full rest
+              | Some p_target ->
+                  acquire_path st p_target;
+                  commit_gate2 st id ~trap ~control ~target
+                    ~dispatch_now:[ (control, p_control); (target, p_target) ];
+                  true))
+    in
+    (* pass 2: only one operand can move yet — commit it, stage the other *)
+    let rec attempt_partial = function
+      | [] -> false
+      | trap :: rest -> (
+          match route_qubit st control ~to_trap:trap with
+          | Some p_control ->
+              acquire_path st p_control;
+              commit_gate2 st id ~trap ~control ~target ~dispatch_now:[ (control, p_control) ];
+              true
+          | None -> (
+              match route_qubit st target ~to_trap:trap with
+              | Some p_target ->
+                  acquire_path st p_target;
+                  commit_gate2 st id ~trap ~control ~target ~dispatch_now:[ (target, p_target) ];
+                  true
+              | None -> attempt_partial rest))
+    in
+    if attempt_full candidates then true
+    else if attempt_partial candidates then true
+    else begin
+      Scheduler.Ready_set.defer st.ready_set id;
+      false
+    end
+  end
+
+(* retry the staged operands of in-flight instructions *)
+let dispatch_pending st =
+  Hashtbl.iter
+    (fun id fl ->
+      List.iter
+        (fun q ->
+          match route_qubit st q ~to_trap:fl.target_trap with
+          | Some path ->
+              acquire_path st path;
+              dispatch_operand st id fl q path
+          | None -> ())
+        fl.pending)
+    st.flights
+
+let try_issue_gate1 st id q =
+  match (st.qubit_engaged.(q), st.qubit_trap.(q)) with
+  | true, _ | _, None -> false
+  | false, Some tid ->
+      Scheduler.Ready_set.mark_issued st.ready_set id;
+      st.issued_at.(id) <- st.clock;
+      st.qubit_engaged.(q) <- true;
+      let finish = st.clock +. st.timing.Timing.t_gate1 in
+      emit st (Micro.Gate_start { instr_id = id; trap = trap_pos st tid; qubits = [ q ]; time = st.clock });
+      emit st (Micro.Gate_end { instr_id = id; trap = trap_pos st tid; qubits = [ q ]; time = finish });
+      Hashtbl.replace st.flights id { target_trap = tid; operands = [ q ]; pending = []; arrivals = [] };
+      schedule st (finish -. st.clock) (Instr_done id);
+      true
+
+let complete st id =
+  (match Hashtbl.find_opt st.flights id with
+  | Some { target_trap; operands; _ } ->
+      List.iter
+        (fun q ->
+          st.qubit_trap.(q) <- Some target_trap;
+          st.qubit_engaged.(q) <- false)
+        operands;
+      Hashtbl.remove st.flights id
+  | None -> ());
+  st.completed_at.(id) <- st.clock;
+  let newly_ready = Scheduler.Ready_set.mark_done st.ready_set id in
+  List.iter (fun i -> st.ready_at.(i) <- st.clock) newly_ready
+
+(* issue everything issuable at the current clock; declarations complete
+   immediately, which can ready further instructions, so iterate *)
+let rec issue_round st =
+  let progressed = ref false in
+  List.iter
+    (fun id ->
+      if Scheduler.Ready_set.is_ready st.ready_set id then begin
+        let issued =
+          match (Dag.node st.dag id).Dag.instr with
+          | Instr.Qubit_decl _ ->
+              st.issued_at.(id) <- st.clock;
+              complete st id;
+              true
+          | Instr.Gate1 (_, q) -> try_issue_gate1 st id q
+          | Instr.Gate2 (_, c, t) -> try_issue_gate2 st id c t
+        in
+        if issued then progressed := true
+      end)
+    (Scheduler.Ready_set.ready st.ready_set);
+  if !progressed then issue_round st
+
+let max_events_factor = 10_000
+
+let run ~graph ~timing ~policy ~dag ~priorities ~placement () =
+  let comp = Graph.component graph in
+  let nq = Program.num_qubits (Dag.program dag) in
+  let ntraps = Array.length (Component.traps comp) in
+  let n = Dag.num_nodes dag in
+  if Array.length placement <> nq then Error "Engine.run: placement length mismatch"
+  else if Array.exists (fun t -> t < 0 || t >= ntraps) placement then
+    Error "Engine.run: placement trap id out of range"
+  else begin
+    (* traps hold up to two ions, and MVFB backward runs legitimately start
+       from a forward run's final placement where gate pairs share traps *)
+    let load = Array.make ntraps 0 in
+    let overfull = ref false in
+    Array.iter
+      (fun t ->
+        load.(t) <- load.(t) + 1;
+        if load.(t) > 2 then overfull := true)
+      placement;
+    if !overfull then Error "Engine.run: placement assigns more than two qubits to one trap"
+    else if Array.length priorities <> n then Error "Engine.run: priorities length mismatch"
+    else begin
+      let st =
+        {
+          graph;
+          comp;
+          timing;
+          policy;
+          dag;
+          ready_set = Scheduler.Ready_set.create dag ~priorities;
+          congestion =
+            Congestion.create comp ~channel_capacity:policy.channel_capacity
+              ~junction_capacity:policy.junction_capacity;
+          qubit_trap = Array.map Option.some placement;
+          qubit_engaged = Array.make nq false;
+          occupants = Array.make ntraps [];
+          flights = Hashtbl.create 16;
+          events = Ion_util.Pqueue.create ~compare:Float.compare ();
+          clock = 0.0;
+          trace_rev = [];
+          ready_at = Array.make n 0.0;
+          issued_at = Array.make n 0.0;
+          completed_at = Array.make n 0.0;
+          route_moves = Array.make n 0;
+          route_turns = Array.make n 0;
+          emitted_events = 0;
+        }
+      in
+      Array.iteri (fun q t -> st.occupants.(t) <- q :: st.occupants.(t)) placement;
+      let budget = max_events_factor * (n + 1) in
+      let error = ref None in
+      issue_round st;
+      while
+        !error = None
+        && (not (Scheduler.Ready_set.all_done st.ready_set))
+        && st.emitted_events <= budget
+      do
+        match Ion_util.Pqueue.pop st.events with
+        | None ->
+            error :=
+              Some
+                (Printf.sprintf
+                   "Engine.run: deadlock — %d instruction(s) unroutable with an idle fabric"
+                   (Scheduler.Ready_set.busy_count st.ready_set
+                   + List.length (Scheduler.Ready_set.ready st.ready_set)
+                   + Hashtbl.length st.flights))
+        | Some (t, ev) ->
+            st.clock <- t;
+            (* drain all events at this timestamp before re-issuing *)
+            let batch = ref [ ev ] in
+            let rec drain () =
+              match Ion_util.Pqueue.peek st.events with
+              | Some (t', _) when t' <= t +. 1e-9 ->
+                  let _, e = Ion_util.Pqueue.pop_exn st.events in
+                  batch := e :: !batch;
+                  drain ()
+              | _ -> ()
+            in
+            drain ();
+            List.iter
+              (function
+                | Instr_done id -> complete st id
+                | Resource_exit r -> Congestion.release st.congestion r)
+              (List.rev !batch);
+            dispatch_pending st;
+            Scheduler.Ready_set.requeue_busy st.ready_set;
+            issue_round st
+      done;
+      match !error with
+      | Some e -> Error e
+      | None ->
+          if not (Scheduler.Ready_set.all_done st.ready_set) then
+            Error "Engine.run: event budget exceeded (livelock?)"
+          else begin
+            let final_placement =
+              Array.map
+                (function Some tid -> tid | None -> -1 (* unreachable: all done *))
+                st.qubit_trap
+            in
+            let stats =
+              Array.init n (fun i ->
+                  {
+                    ready_at = st.ready_at.(i);
+                    issued_at = st.issued_at.(i);
+                    completed_at = st.completed_at.(i);
+                    route_moves = st.route_moves.(i);
+                    route_turns = st.route_turns.(i);
+                  })
+            in
+            let latency = Array.fold_left (fun acc (s : instr_stats) -> Float.max acc s.completed_at) 0.0 stats in
+            let total_congestion_wait =
+              Array.fold_left (fun acc (s : instr_stats) -> acc +. Float.max 0.0 (s.issued_at -. s.ready_at)) 0.0 stats
+            in
+            let total_routing_time =
+              Array.fold_left
+                (fun acc (s : instr_stats) ->
+                  acc
+                  +. (float_of_int s.route_moves *. timing.Timing.t_move)
+                  +. (float_of_int s.route_turns *. timing.Timing.t_turn))
+                0.0 stats
+            in
+            Ok
+              {
+                latency;
+                trace = List.sort (fun a b -> Float.compare (Micro.time a) (Micro.time b)) (List.rev st.trace_rev);
+                final_placement;
+                stats;
+                total_congestion_wait;
+                total_routing_time;
+              }
+          end
+    end
+  end

@@ -1,0 +1,62 @@
+(** Event-driven fabric simulator (paper Sections III-IV).
+
+    Executes a QIDG on a fabric: issues ready instructions in priority order,
+    selects a target trap for every two-qubit gate, routes operands with
+    Dijkstra under live Eq. 2 congestion weights, commits channel/junction
+    capacity for the duration of each crossing, parks unroutable instructions
+    in the busy queue, and replays them when a qubit exits a channel or an
+    instruction completes.  The result is the execution latency, the
+    micro-command trace and the final placement — everything the MVFB placer
+    and the experiment harness need.
+
+    Two policy knobs reproduce the published tools:
+    - {!qspr_policy}: turn-aware routing, both operands move toward the trap
+      nearest the median of their positions, channel capacity 2 (ion
+      multiplexing);
+    - {!quale_policy}: turn-blind routing (turns still cost time when
+      executed, but the router cannot see them — Figure 5's shortcoming),
+      destination operand pinned, channel capacity 1. *)
+
+type routing_style = Both_move | Dest_pinned
+
+type policy = {
+  turn_aware : bool;  (** charge turns in the routing metric *)
+  routing : routing_style;
+  channel_capacity : int;
+  junction_capacity : int;
+  trap_candidates : int;  (** nearest available traps tried per issue attempt *)
+}
+
+val qspr_policy : policy
+val quale_policy : policy
+
+type instr_stats = {
+  ready_at : float;  (** dependencies satisfied *)
+  issued_at : float;  (** routing committed; [issued_at - ready_at] is T_congestion *)
+  completed_at : float;
+  route_moves : int;
+  route_turns : int;
+}
+
+type result = {
+  latency : float;
+  trace : Router.Micro.command list;  (** time-ordered *)
+  final_placement : int array;  (** qubit -> trap id at completion *)
+  stats : instr_stats array;
+  total_congestion_wait : float;
+  total_routing_time : float;
+}
+
+val run :
+  graph:Fabric.Graph.t ->
+  timing:Router.Timing.t ->
+  policy:policy ->
+  dag:Qasm.Dag.t ->
+  priorities:float array ->
+  placement:int array ->
+  unit ->
+  (result, string) Stdlib.result
+(** [placement.(q)] is the initial trap of qubit [q]; traps hold at most two
+    ions (MVFB backward runs start from final placements where gate pairs
+    share traps).  Fails (with a message) on invalid placements, graphs whose
+    traps cannot reach each other, or internal deadlock. *)

@@ -1,0 +1,72 @@
+open Router
+
+(* priority of activity codes when several fall in one bucket: gates beat
+   turns beat moves beat idle *)
+let rank = function 'G' -> 4 | 'g' -> 3 | 't' -> 2 | 'm' -> 1 | _ -> 0
+
+(* (qubit, start, finish, code) spans: moves and turns directly, gates by
+   pairing each start with its end *)
+let command_spans ~num_qubits trace =
+  let check q = if q < 0 || q >= num_qubits then invalid_arg "Gantt: qubit out of range" in
+  let open_gates : (int, float * int list) Hashtbl.t = Hashtbl.create 8 in
+  List.concat_map
+    (fun cmd ->
+      match cmd with
+      | Micro.Move { qubit; start; finish; _ } ->
+          check qubit;
+          [ (qubit, start, finish, 'm') ]
+      | Micro.Turn { qubit; start; finish; _ } ->
+          check qubit;
+          [ (qubit, start, finish, 't') ]
+      | Micro.Gate_start { instr_id; qubits; time; _ } ->
+          List.iter check qubits;
+          Hashtbl.replace open_gates instr_id (time, qubits);
+          []
+      | Micro.Gate_end { instr_id; qubits; time; _ } -> (
+          match Hashtbl.find_opt open_gates instr_id with
+          | Some (t0, qs) ->
+              Hashtbl.remove open_gates instr_id;
+              let code = if List.length qs >= 2 then 'G' else 'g' in
+              List.map (fun q -> (q, t0, time, code)) qs
+          | None ->
+              List.iter check qubits;
+              List.map (fun q -> (q, time, time, 'g')) qubits))
+    trace
+
+let activity_at ~num_qubits trace t =
+  let codes = Array.make num_qubits '.' in
+  List.iter
+    (fun (q, a, b, code) ->
+      if t >= a -. 1e-9 && t <= b +. 1e-9 && rank code > rank codes.(q) then codes.(q) <- code)
+    (command_spans ~num_qubits trace);
+  codes
+
+let render ?(width = 72) ~num_qubits trace =
+  if width < 2 then invalid_arg "Gantt.render: width too small";
+  let total = Trace.latency trace in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "gantt: %d qubits over %.1f us  (. idle, m move, t turn, g 1q gate, G 2q gate)\n"
+       num_qubits total);
+  if total > 0.0 then begin
+    let spans = command_spans ~num_qubits trace in
+    let bucket = total /. float_of_int width in
+    for q = 0 to num_qubits - 1 do
+      Buffer.add_string buf (Printf.sprintf "q%-3d |" q);
+      for i = 0 to width - 1 do
+        let lo = float_of_int i *. bucket and hi = float_of_int (i + 1) *. bucket in
+        let code = ref '.' in
+        List.iter
+          (fun (q', a, b, c) ->
+            if q' = q && a < hi -. 1e-9 && b > lo +. 1e-9 && rank c > rank !code then code := c)
+          spans;
+        Buffer.add_char buf !code
+      done;
+      Buffer.add_string buf "|\n"
+    done;
+    (* axis: 0 ... total *)
+    let label = Printf.sprintf "%.0f us" total in
+    Buffer.add_string buf
+      (Printf.sprintf "     0%s%s\n" (String.make (max 1 (width - String.length label)) ' ') label)
+  end;
+  Buffer.contents buf

@@ -1,0 +1,21 @@
+(** ASCII Gantt chart of a micro-command trace.
+
+    One row per qubit, time flowing left to right, each column a uniform time
+    bucket labelled by the dominant activity in it:
+
+    {v
+      .  idle (parked in a trap)     t  turning at a junction
+      m  moving along a channel      G  two-qubit gate
+                                     g  one-qubit gate
+    v}
+
+    Makes schedules legible at a glance: congestion shows up as long idle
+    runs between movement bursts, and the critical chain as the densest
+    row. *)
+
+val render : ?width:int -> num_qubits:int -> Trace.t -> string
+(** [render ~num_qubits trace] with [width] time buckets (default 72).
+    Includes a time-axis footer.  The empty trace renders headers only. *)
+
+val activity_at : num_qubits:int -> Trace.t -> float -> char array
+(** The per-qubit activity code at one instant (same letter coding). *)

@@ -1,0 +1,56 @@
+module Coord = Ion_util.Coord
+module Component = Fabric.Component
+open Router
+
+(* entries per resource: a Move counts when its destination cell's resource
+   differs from its source cell's *)
+let crossings comp trace =
+  let nseg = Array.length (Component.segments comp) in
+  let njunc = Array.length (Component.junctions comp) in
+  let segs = Array.make nseg 0 in
+  let juncs = Array.make njunc 0 in
+  let resource_of c =
+    match Component.segment_at comp c with
+    | Some s -> Some (`Seg s)
+    | None -> ( match Component.junction_at comp c with Some j -> Some (`Junc j) | None -> None)
+  in
+  List.iter
+    (fun cmd ->
+      match cmd with
+      | Micro.Move { from_; to_; _ } -> (
+          let rf = resource_of from_ and rt = resource_of to_ in
+          if rf <> rt then
+            match rt with
+            | Some (`Seg s) -> segs.(s) <- segs.(s) + 1
+            | Some (`Junc j) -> juncs.(j) <- juncs.(j) + 1
+            | None -> ())
+      | Micro.Turn _ | Micro.Gate_start _ | Micro.Gate_end _ -> ())
+    trace;
+  (segs, juncs)
+
+let segment_crossings comp trace = fst (crossings comp trace)
+let junction_crossings comp trace = snd (crossings comp trace)
+
+let busiest_segments comp trace k =
+  let segs = segment_crossings comp trace in
+  Array.to_list (Array.mapi (fun i c -> (i, c)) segs)
+  |> List.sort (fun (i1, c1) (i2, c2) -> match Int.compare c2 c1 with 0 -> Int.compare i1 i2 | c -> c)
+  |> List.filteri (fun i _ -> i < k)
+
+let render comp trace =
+  let lay = Component.layout comp in
+  let segs, juncs = crossings comp trace in
+  let digit n = if n = 0 then '.' else if n < 10 then Char.chr (Char.code '0' + n) else '*' in
+  let marks = ref [] in
+  Fabric.Layout.iter lay (fun c cell ->
+      match cell with
+      | Fabric.Cell.Channel _ -> (
+          match Component.segment_at comp c with
+          | Some s -> marks := (c, digit segs.(s)) :: !marks
+          | None -> ())
+      | Fabric.Cell.Junction -> (
+          match Component.junction_at comp c with
+          | Some j -> marks := (c, digit juncs.(j)) :: !marks
+          | None -> ())
+      | Fabric.Cell.Empty | Fabric.Cell.Trap -> ());
+  Fabric.Render.with_marks lay !marks

@@ -1,0 +1,20 @@
+(** Channel-utilization heatmaps from traces.
+
+    Counts how many times qubits enter each channel segment and junction over
+    a mapped execution and renders the fabric with per-cell utilization
+    digits — making congestion hotspots (and the difference between mapping
+    policies) visible at a glance. *)
+
+val segment_crossings : Fabric.Component.t -> Trace.t -> int array
+(** [.(sid)] = number of qubit entries into segment [sid] (a qubit crossing
+    a segment once counts once however long the segment is). *)
+
+val junction_crossings : Fabric.Component.t -> Trace.t -> int array
+
+val busiest_segments : Fabric.Component.t -> Trace.t -> int -> (int * int) list
+(** Top-k (segment id, crossings), busiest first; ties toward lower id. *)
+
+val render : Fabric.Component.t -> Trace.t -> string
+(** Fabric rendering where each channel/junction cell shows its resource's
+    crossing count (digits, [*] for 10+), [.] for unused walkable cells;
+    traps render as [T]. *)

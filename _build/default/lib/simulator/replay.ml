@@ -1,0 +1,50 @@
+module Coord = Ion_util.Coord
+open Router
+
+type t = {
+  initial : Coord.t array;
+  moves : (int * float * Coord.t) array; (* qubit, completion time, destination; time-sorted *)
+  makespan : float;
+}
+
+let create ~initial trace =
+  List.iter
+    (fun cmd ->
+      List.iter
+        (fun q ->
+          if q < 0 || q >= Array.length initial then invalid_arg "Replay.create: qubit out of range")
+        (Micro.qubits_of cmd))
+    trace;
+  let moves =
+    List.filter_map
+      (fun cmd ->
+        match cmd with
+        | Micro.Move { qubit; finish; to_; _ } -> Some (qubit, finish, to_)
+        | Micro.Turn _ | Micro.Gate_start _ | Micro.Gate_end _ -> None)
+      trace
+    |> Array.of_list
+  in
+  Array.sort (fun (_, a, _) (_, b, _) -> Float.compare a b) moves;
+  { initial = Array.copy initial; moves; makespan = Trace.latency trace }
+
+let num_qubits t = Array.length t.initial
+let makespan t = t.makespan
+
+let positions_at t time =
+  let pos = Array.copy t.initial in
+  let time = Float.max 0.0 (Float.min time t.makespan) in
+  Array.iter (fun (q, finish, dst) -> if finish <= time +. 1e-9 then pos.(q) <- dst) t.moves;
+  pos
+
+let frames ?(steps = 8) t lay =
+  if steps < 1 then invalid_arg "Replay.frames: steps must be positive";
+  List.init (steps + 1) (fun i ->
+      let time = t.makespan *. float_of_int i /. float_of_int steps in
+      let pos = positions_at t time in
+      let marks = Array.to_list (Array.mapi (fun q c -> (q, c)) pos) in
+      (time, Fabric.Render.with_qubits lay marks))
+
+let distance_traveled t =
+  let dist = Array.make (num_qubits t) 0 in
+  Array.iter (fun (q, _, _) -> dist.(q) <- dist.(q) + 1) t.moves;
+  dist

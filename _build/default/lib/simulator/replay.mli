@@ -1,0 +1,25 @@
+(** Positional replay of a trace: where every ion is at any instant.
+
+    Reconstructs qubit positions from the movement commands, enabling
+    animation frames (fabric renderings at sampled times) and spatial
+    queries.  Positions during a move are reported at the move's destination
+    once the move completes and at its origin before; mid-move the ion is in
+    transit and reported at the origin. *)
+
+type t
+
+val create : initial:Ion_util.Coord.t array -> Trace.t -> t
+(** [initial.(q)] is qubit [q]'s starting cell (its trap). *)
+
+val num_qubits : t -> int
+val makespan : t -> float
+
+val positions_at : t -> float -> Ion_util.Coord.t array
+(** Snapshot of every qubit's cell at time [t] (clamped to [0, makespan]). *)
+
+val frames : ?steps:int -> t -> Fabric.Layout.t -> (float * string) list
+(** [steps + 1] fabric renderings (default 8 steps) at uniformly spaced
+    times, each with qubit digits overlaid — a flip-book of the mapping. *)
+
+val distance_traveled : t -> int array
+(** Total cells moved per qubit over the whole trace. *)

@@ -1,0 +1,26 @@
+open Router
+
+type t = Micro.command list
+
+let of_commands cmds = List.sort (fun a b -> Float.compare (Micro.time a) (Micro.time b)) cmds
+
+let finish_time = function
+  | Micro.Move { finish; _ } | Micro.Turn { finish; _ } -> finish
+  | Micro.Gate_start { time; _ } | Micro.Gate_end { time; _ } -> time
+
+let latency t = List.fold_left (fun acc c -> Float.max acc (finish_time c)) 0.0 t
+
+let reverse t =
+  let total = latency t in
+  of_commands (List.map (Micro.reverse_command ~total) t)
+
+let move_count t = List.length (List.filter (function Micro.Move _ -> true | _ -> false) t)
+let turn_count t = List.length (List.filter (function Micro.Turn _ -> true | _ -> false) t)
+let gate_count t = List.length (List.filter (function Micro.Gate_start _ -> true | _ -> false) t)
+
+let qubit_commands t q = List.filter (fun c -> List.mem q (Micro.qubits_of c)) t
+
+let to_string t =
+  let buf = Buffer.create 1024 in
+  List.iter (fun c -> Buffer.add_string buf (Format.asprintf "%a@." Micro.pp c)) t;
+  Buffer.contents buf

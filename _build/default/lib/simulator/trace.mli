@@ -1,0 +1,29 @@
+(** Micro-command traces: the mapper's executable output.
+
+    A trace is the time-ordered list of controller commands produced by one
+    engine run.  Backward MVFB runs are turned into forward-executable
+    solutions by {!reverse} — quantum operations are reversible, so mirroring
+    every command in time (and inverting move directions) replays the
+    computation forwards, exactly as Section IV.A prescribes ("the reported
+    solution is ... reverse of T'k"). *)
+
+type t = Router.Micro.command list
+
+val of_commands : Router.Micro.command list -> t
+(** Sorts by timestamp. *)
+
+val latency : t -> float
+(** Time of the last command's completion (0 for the empty trace). *)
+
+val reverse : t -> t
+(** Mirror around {!latency}: the reverse of a backward-run trace. *)
+
+val move_count : t -> int
+val turn_count : t -> int
+val gate_count : t -> int
+
+val qubit_commands : t -> int -> t
+(** Commands involving one qubit, in time order. *)
+
+val to_string : t -> string
+(** One command per line. *)

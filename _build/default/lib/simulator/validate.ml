@@ -1,0 +1,160 @@
+module Coord = Ion_util.Coord
+module Component = Fabric.Component
+module Layout = Fabric.Layout
+module Cell = Fabric.Cell
+open Router
+
+type report = { ok : bool; errors : string list }
+
+let max_errors = 20
+
+type collector = { mutable errs : string list; mutable count : int }
+
+let err col fmt =
+  Printf.ksprintf
+    (fun s ->
+      col.count <- col.count + 1;
+      if col.count <= max_errors then col.errs <- s :: col.errs)
+    fmt
+
+let check ~graph ~timing ~channel_capacity ~junction_capacity ~initial_placement trace =
+  let comp = Fabric.Graph.component graph in
+  let lay = Component.layout comp in
+  let traps = Component.traps comp in
+  let col = { errs = []; count = 0 } in
+  let nq = Array.length initial_placement in
+  let pos = Array.map (fun tid -> traps.(tid).Component.tpos) initial_placement in
+  let free_at = Array.make nq 0.0 in
+  (* pending gate starts: instr id -> (time, qubits) *)
+  let gate_open : (int, float * int list) Hashtbl.t = Hashtbl.create 16 in
+  (* physical occupancy intervals per (qubit, resource): raw touches are
+     collected and only *contiguous* ones merged later — a qubit crossing the
+     same junction twice in different instructions occupies it twice, not for
+     the whole span between the visits *)
+  let intervals : (int * Resource.t, (float * float) list ref) Hashtbl.t = Hashtbl.create 256 in
+  let touch q r t0 t1 =
+    match Hashtbl.find_opt intervals (q, r) with
+    | None -> Hashtbl.replace intervals (q, r) (ref [ (t0, t1) ])
+    | Some l -> l := (t0, t1) :: !l
+  in
+  let merge_touches touches =
+    let sorted = List.sort compare touches in
+    let rec go acc = function
+      | [] -> List.rev acc
+      | (a, b) :: rest -> (
+          match acc with
+          | (pa, pb) :: acc' when a <= pb +. 1e-9 -> go ((pa, Float.max pb b) :: acc') rest
+          | _ -> go ((a, b) :: acc) rest)
+    in
+    go [] sorted
+  in
+  let resource_of_cell c =
+    match Component.segment_at comp c with
+    | Some s -> Some (Resource.Segment s)
+    | None -> (
+        match Component.junction_at comp c with Some j -> Some (Resource.Junction j) | None -> None)
+  in
+  let check_qubit q = q >= 0 && q < nq in
+  List.iter
+    (fun cmd ->
+      match cmd with
+      | Micro.Move { qubit; from_; to_; start; finish } ->
+          if not (check_qubit qubit) then err col "move: unknown qubit %d" qubit
+          else begin
+            if not (Coord.equal from_ pos.(qubit)) then
+              err col "q%d at %.1f: move starts at %s but qubit is at %s" qubit start
+                (Coord.to_string from_) (Coord.to_string pos.(qubit));
+            if start < free_at.(qubit) -. 1e-9 then
+              err col "q%d at %.1f: move overlaps previous command (free at %.1f)" qubit start
+                free_at.(qubit);
+            if Coord.manhattan from_ to_ <> 1 then
+              err col "q%d at %.1f: move is not a unit step (%s -> %s)" qubit start
+                (Coord.to_string from_) (Coord.to_string to_);
+            if Float.abs (finish -. start -. timing.Timing.t_move) > 1e-9 then
+              err col "q%d at %.1f: move duration %.2f != t_move" qubit start (finish -. start);
+            (match Layout.get lay to_ with
+            | Cell.Empty -> err col "q%d at %.1f: move into empty cell %s" qubit start (Coord.to_string to_)
+            | Cell.Junction | Cell.Channel _ | Cell.Trap -> ());
+            (* record physical presence in transit resources *)
+            (match resource_of_cell from_ with Some r -> touch qubit r start finish | None -> ());
+            (match resource_of_cell to_ with Some r -> touch qubit r start finish | None -> ());
+            pos.(qubit) <- to_;
+            free_at.(qubit) <- finish
+          end
+      | Micro.Turn { qubit; at; start; finish } ->
+          if not (check_qubit qubit) then err col "turn: unknown qubit %d" qubit
+          else begin
+            if not (Coord.equal at pos.(qubit)) then
+              err col "q%d at %.1f: turn at %s but qubit is at %s" qubit start (Coord.to_string at)
+                (Coord.to_string pos.(qubit));
+            if start < free_at.(qubit) -. 1e-9 then
+              err col "q%d at %.1f: turn overlaps previous command" qubit start;
+            (match Layout.get lay at with
+            | Cell.Junction -> ()
+            | _ -> err col "q%d at %.1f: turn outside a junction (%s)" qubit start (Coord.to_string at));
+            if Float.abs (finish -. start -. timing.Timing.t_turn) > 1e-9 then
+              err col "q%d at %.1f: turn duration %.2f != t_turn" qubit start (finish -. start);
+            (match resource_of_cell at with Some r -> touch qubit r start finish | None -> ());
+            free_at.(qubit) <- finish
+          end
+      | Micro.Gate_start { instr_id; trap; qubits; time } ->
+          (match Layout.get lay trap with
+          | Cell.Trap -> ()
+          | _ -> err col "gate #%d at %.1f: site %s is not a trap" instr_id time (Coord.to_string trap));
+          List.iter
+            (fun q ->
+              if not (check_qubit q) then err col "gate #%d: unknown qubit %d" instr_id q
+              else begin
+                if not (Coord.equal pos.(q) trap) then
+                  err col "gate #%d at %.1f: q%d is at %s, not at trap %s" instr_id time q
+                    (Coord.to_string pos.(q)) (Coord.to_string trap);
+                if time < free_at.(q) -. 1e-9 then
+                  err col "gate #%d at %.1f: q%d still moving" instr_id time q
+              end)
+            qubits;
+          if Hashtbl.mem gate_open instr_id then err col "gate #%d: started twice" instr_id;
+          Hashtbl.replace gate_open instr_id (time, qubits)
+      | Micro.Gate_end { instr_id; qubits; time; _ } -> (
+          match Hashtbl.find_opt gate_open instr_id with
+          | None -> err col "gate #%d at %.1f: end without start" instr_id time
+          | Some (t0, qs) ->
+              Hashtbl.remove gate_open instr_id;
+              let expected =
+                if List.length qs >= 2 then timing.Timing.t_gate2 else timing.Timing.t_gate1
+              in
+              if Float.abs (time -. t0 -. expected) > 1e-9 then
+                err col "gate #%d: duration %.2f != expected %.2f" instr_id (time -. t0) expected;
+              List.iter (fun q -> if check_qubit q then free_at.(q) <- time) qubits))
+    trace;
+  Hashtbl.iter (fun id _ -> err col "gate #%d: never ended" id) gate_open;
+  (* capacity sweep per resource: merge each qubit's contiguous touches into
+     visit intervals, then count simultaneous visitors *)
+  let by_resource : (Resource.t, (float * float) list) Hashtbl.t = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun (_, r) touches ->
+      let l = Option.value ~default:[] (Hashtbl.find_opt by_resource r) in
+      Hashtbl.replace by_resource r (merge_touches !touches @ l))
+    intervals;
+  Hashtbl.iter
+    (fun r ivs ->
+      let cap = match r with Resource.Segment _ -> channel_capacity | Resource.Junction _ -> junction_capacity in
+      (* half-open intervals: a qubit finishing its move out at t and another
+         starting its move in at t is a clean handoff, not an overlap, so
+         exits sort before entries at equal timestamps *)
+      let events =
+        List.concat_map (fun (a, b) -> [ (a, 1); (b, -1) ]) ivs
+        |> List.sort (fun (ta, da) (tb, db) ->
+               match Float.compare ta tb with 0 -> Int.compare da db | c -> c)
+      in
+      let level = ref 0 and worst = ref 0 in
+      List.iter
+        (fun (_, d) ->
+          level := !level + d;
+          worst := max !worst !level)
+        events;
+      if !worst > cap then
+        err col "%s: %d simultaneous qubits exceed capacity %d"
+          (Format.asprintf "%a" Resource.pp r)
+          !worst cap)
+    by_resource;
+  { ok = col.count = 0; errors = List.rev col.errs }

@@ -1,0 +1,29 @@
+(** Physical validation of micro-command traces.
+
+    Replays a trace against the fabric and checks the invariants the ion-trap
+    hardware imposes — an independent oracle for the engine:
+
+    - {b continuity}: each qubit's moves chain (every move starts where the
+      previous one ended, starting from its initial trap) and never overlap
+      in time;
+    - {b geometry}: moves are unit steps onto walkable cells or trap taps;
+      turns happen only on junction cells;
+    - {b gate co-location}: when a gate fires, all its operand qubits sit on
+      the gate's trap cell, and the cell really is a trap;
+    - {b gate duration}: every [Gate_end] matches its [Gate_start] by the
+      technology's 1q/2q delay;
+    - {b capacity}: at no instant do more qubits physically occupy a channel
+      segment or junction than its capacity (the commit-based accounting the
+      engine uses is stricter, so this must hold). *)
+
+type report = { ok : bool; errors : string list }
+
+val check :
+  graph:Fabric.Graph.t ->
+  timing:Router.Timing.t ->
+  channel_capacity:int ->
+  junction_capacity:int ->
+  initial_placement:int array ->
+  Trace.t ->
+  report
+(** Errors are capped at 20 messages to keep reports readable. *)

@@ -1,0 +1,1 @@
+lib/util/coord.ml: Format Hashtbl Int Map Set

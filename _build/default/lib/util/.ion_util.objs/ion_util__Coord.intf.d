@@ -1,0 +1,1 @@
+lib/util/coord.mli: Format Hashtbl Map Set

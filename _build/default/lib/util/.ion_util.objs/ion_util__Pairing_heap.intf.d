@@ -1,0 +1,1 @@
+lib/util/pairing_heap.mli:

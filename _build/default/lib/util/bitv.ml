@@ -1,0 +1,89 @@
+type t = { bits : Bytes.t; length : int }
+
+let bytes_needed n = (n + 7) / 8
+
+let create n =
+  if n < 0 then invalid_arg "Bitv.create: negative length";
+  { bits = Bytes.make (bytes_needed n) '\000'; length = n }
+
+let length t = t.length
+
+let check t i = if i < 0 || i >= t.length then invalid_arg "Bitv: index out of bounds"
+
+let get t i =
+  check t i;
+  Char.code (Bytes.unsafe_get t.bits (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let set t i v =
+  check t i;
+  let byte = Char.code (Bytes.unsafe_get t.bits (i lsr 3)) in
+  let mask = 1 lsl (i land 7) in
+  let byte' = if v then byte lor mask else byte land lnot mask in
+  Bytes.unsafe_set t.bits (i lsr 3) (Char.unsafe_chr byte')
+
+let flip t i =
+  check t i;
+  let byte = Char.code (Bytes.unsafe_get t.bits (i lsr 3)) in
+  Bytes.unsafe_set t.bits (i lsr 3) (Char.unsafe_chr (byte lxor (1 lsl (i land 7))))
+
+let xor_into ~dst ~src =
+  if dst.length <> src.length then invalid_arg "Bitv.xor_into: length mismatch";
+  for i = 0 to Bytes.length dst.bits - 1 do
+    let b = Char.code (Bytes.unsafe_get dst.bits i) lxor Char.code (Bytes.unsafe_get src.bits i) in
+    Bytes.unsafe_set dst.bits i (Char.unsafe_chr b)
+  done
+
+let or_into ~dst ~src =
+  if dst.length <> src.length then invalid_arg "Bitv.or_into: length mismatch";
+  for i = 0 to Bytes.length dst.bits - 1 do
+    let b = Char.code (Bytes.unsafe_get dst.bits i) lor Char.code (Bytes.unsafe_get src.bits i) in
+    Bytes.unsafe_set dst.bits i (Char.unsafe_chr b)
+  done
+
+let copy t = { bits = Bytes.copy t.bits; length = t.length }
+
+let fill t v =
+  Bytes.fill t.bits 0 (Bytes.length t.bits) (if v then '\255' else '\000');
+  (* clear the slack bits of the last byte so popcount/equal stay exact *)
+  if v && t.length land 7 <> 0 then begin
+    let last = Bytes.length t.bits - 1 in
+    let keep = (1 lsl (t.length land 7)) - 1 in
+    Bytes.set t.bits last (Char.chr (Char.code (Bytes.get t.bits last) land keep))
+  end
+
+let popcount_byte b =
+  let b = b - ((b lsr 1) land 0x55) in
+  let b = (b land 0x33) + ((b lsr 2) land 0x33) in
+  (b + (b lsr 4)) land 0x0F
+
+let popcount t =
+  let acc = ref 0 in
+  for i = 0 to Bytes.length t.bits - 1 do
+    acc := !acc + popcount_byte (Char.code (Bytes.unsafe_get t.bits i))
+  done;
+  !acc
+
+let equal a b = a.length = b.length && Bytes.equal a.bits b.bits
+
+let iter_set t f =
+  for byte = 0 to Bytes.length t.bits - 1 do
+    let b = Char.code (Bytes.unsafe_get t.bits byte) in
+    if b <> 0 then
+      for bit = 0 to 7 do
+        if b land (1 lsl bit) <> 0 then f ((byte lsl 3) + bit)
+      done
+  done
+
+let and_popcount a b =
+  if a.length <> b.length then invalid_arg "Bitv.and_popcount: length mismatch";
+  let acc = ref 0 in
+  for i = 0 to Bytes.length a.bits - 1 do
+    acc :=
+      !acc + popcount_byte (Char.code (Bytes.unsafe_get a.bits i) land Char.code (Bytes.unsafe_get b.bits i))
+  done;
+  !acc
+
+let pp ppf t =
+  for i = 0 to t.length - 1 do
+    Format.pp_print_char ppf (if get t i then '1' else '0')
+  done

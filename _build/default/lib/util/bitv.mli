@@ -1,0 +1,40 @@
+(** Compact mutable bit vectors.
+
+    Backing store for the stabilizer tableau: a [[23,1,7]] encoder needs a
+    (2n+1) x 2n binary matrix, and tableau row operations are xors of whole
+    rows, which this module performs word-at-a-time. *)
+
+type t
+
+val create : int -> t
+(** [create n] is an [n]-bit vector, all zeros. *)
+
+val length : t -> int
+val get : t -> int -> bool
+val set : t -> int -> bool -> unit
+val flip : t -> int -> unit
+
+val xor_into : dst:t -> src:t -> unit
+(** [xor_into ~dst ~src] sets [dst := dst lxor src] word-wise.
+    @raise Invalid_argument on length mismatch. *)
+
+val or_into : dst:t -> src:t -> unit
+(** [or_into ~dst ~src] sets [dst := dst lor src] word-wise; set union for
+    reachability sweeps.
+    @raise Invalid_argument on length mismatch. *)
+
+val copy : t -> t
+val fill : t -> bool -> unit
+val popcount : t -> int
+val equal : t -> t -> bool
+
+val iter_set : t -> (int -> unit) -> unit
+(** Calls the function on every index holding a 1, ascending. *)
+
+val and_popcount : t -> t -> int
+(** Number of positions where both vectors hold 1; used for symplectic-product
+    computations in the stabilizer simulator.
+    @raise Invalid_argument on length mismatch. *)
+
+val pp : Format.formatter -> t -> unit
+(** Renders as a 0/1 string, index 0 first. *)

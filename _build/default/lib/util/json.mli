@@ -1,0 +1,22 @@
+(** Minimal JSON document construction and serialization.
+
+    The experiment and mapper results are exported as JSON for downstream
+    tooling; this is the small, dependency-free emitter behind that.  Only
+    construction and printing — no parsing. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?indent:bool -> t -> string
+(** Serializes with correct string escaping; [indent] (default true) pretty
+    prints with two-space indentation.  Non-finite floats serialize as
+    [null] (JSON has no representation for them). *)
+
+val escape_string : string -> string
+(** The quoted, escaped form of a string — exposed for tests. *)

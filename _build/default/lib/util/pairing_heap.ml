@@ -1,0 +1,39 @@
+type ('p, 'a) node = Leaf | Node of 'p * 'a * ('p, 'a) node list
+
+type ('p, 'a) t = { compare : 'p -> 'p -> int; root : ('p, 'a) node; size : int }
+
+let empty ~compare = { compare; root = Leaf; size = 0 }
+
+let is_empty t = t.root = Leaf
+
+let length t = t.size
+
+let merge_node compare a b =
+  match (a, b) with
+  | Leaf, x | x, Leaf -> x
+  | Node (pa, va, ca), Node (pb, vb, cb) ->
+      if compare pa pb <= 0 then Node (pa, va, b :: ca) else Node (pb, vb, a :: cb)
+
+let merge a b = { a with root = merge_node a.compare a.root b.root; size = a.size + b.size }
+
+let add t p x = { t with root = merge_node t.compare t.root (Node (p, x, [])); size = t.size + 1 }
+
+let peek t = match t.root with Leaf -> None | Node (p, x, _) -> Some (p, x)
+
+(* two-pass pairing: left-to-right pairwise merges, then right-to-left fold *)
+let rec merge_pairs compare = function
+  | [] -> Leaf
+  | [ x ] -> x
+  | a :: b :: rest -> merge_node compare (merge_node compare a b) (merge_pairs compare rest)
+
+let pop t =
+  match t.root with
+  | Leaf -> None
+  | Node (p, x, children) ->
+      Some ((p, x), { t with root = merge_pairs t.compare children; size = t.size - 1 })
+
+let of_list ~compare l = List.fold_left (fun t (p, x) -> add t p x) (empty ~compare) l
+
+let to_sorted_list t =
+  let rec drain t acc = match pop t with None -> List.rev acc | Some (x, t') -> drain t' (x :: acc) in
+  drain t []

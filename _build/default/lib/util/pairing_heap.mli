@@ -1,0 +1,18 @@
+(** Persistent pairing heap.
+
+    Used where a priority queue must be snapshotted cheaply, e.g. when the
+    scheduler speculatively issues instructions and may need to roll back to
+    the pre-issue ready set.  Amortized O(1) [merge]/[add], O(log n)
+    [pop_min]. *)
+
+type ('p, 'a) t
+
+val empty : compare:('p -> 'p -> int) -> ('p, 'a) t
+val is_empty : ('p, 'a) t -> bool
+val add : ('p, 'a) t -> 'p -> 'a -> ('p, 'a) t
+val merge : ('p, 'a) t -> ('p, 'a) t -> ('p, 'a) t
+val peek : ('p, 'a) t -> ('p * 'a) option
+val pop : ('p, 'a) t -> (('p * 'a) * ('p, 'a) t) option
+val of_list : compare:('p -> 'p -> int) -> ('p * 'a) list -> ('p, 'a) t
+val to_sorted_list : ('p, 'a) t -> ('p * 'a) list
+val length : ('p, 'a) t -> int

@@ -1,0 +1,39 @@
+type series = { label : string; points : (float * float) list; glyph : char }
+
+let render ?(width = 60) ?(height = 16) series =
+  if width < 10 || height < 4 then invalid_arg "Plot.render: grid too small";
+  let all = List.concat_map (fun s -> s.points) series in
+  if all = [] then invalid_arg "Plot.render: no points";
+  let xs = List.map fst all and ys = List.map snd all in
+  let fold f = function [] -> 0.0 | h :: t -> List.fold_left f h t in
+  let x0 = fold Float.min xs and x1 = fold Float.max xs in
+  let y0 = fold Float.min ys and y1 = fold Float.max ys in
+  let xr = if x1 -. x0 < 1e-12 then 1.0 else x1 -. x0 in
+  let yr = if y1 -. y0 < 1e-12 then 1.0 else y1 -. y0 in
+  let grid = Array.make_matrix height width ' ' in
+  List.iter
+    (fun s ->
+      List.iter
+        (fun (x, y) ->
+          let cx = int_of_float (Float.round ((x -. x0) /. xr *. float_of_int (width - 1))) in
+          let cy = int_of_float (Float.round ((y -. y0) /. yr *. float_of_int (height - 1))) in
+          let cx = max 0 (min (width - 1) cx) and cy = max 0 (min (height - 1) cy) in
+          grid.(height - 1 - cy).(cx) <- s.glyph)
+        s.points)
+    series;
+  let buf = Buffer.create (width * height * 2) in
+  Buffer.add_string buf (Printf.sprintf "%10.4g +" y1);
+  Buffer.add_string buf (String.make width '-');
+  Buffer.add_char buf '\n';
+  Array.iteri
+    (fun i row ->
+      Buffer.add_string buf (if i = height - 1 then Printf.sprintf "%10.4g |" y0 else "           |");
+      Buffer.add_string buf (String.init width (fun j -> row.(j)));
+      Buffer.add_char buf '\n')
+    grid;
+  Buffer.add_string buf "           +";
+  Buffer.add_string buf (String.make width '-');
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (Printf.sprintf "            x: %.4g .. %.4g\n" x0 x1);
+  List.iter (fun s -> Buffer.add_string buf (Printf.sprintf "            %c = %s\n" s.glyph s.label)) series;
+  Buffer.contents buf

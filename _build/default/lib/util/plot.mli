@@ -1,0 +1,15 @@
+(** Terminal line plots for experiment curves.
+
+    Renders one or more (x, y) series on a shared character grid with axis
+    labels — enough to see crossovers and trends (sensitivity to m, noise
+    sweeps) without leaving the terminal. *)
+
+type series = { label : string; points : (float * float) list; glyph : char }
+
+val render : ?width:int -> ?height:int -> series list -> string
+(** [render series] on a [width] x [height] grid (defaults 60 x 16).
+    Points are scaled to the shared bounding box of all series; later series
+    overwrite earlier ones where they collide.  Includes a y-axis range, an
+    x-axis range and a legend.
+    @raise Invalid_argument when no series has a point, or dimensions are
+    too small. *)

@@ -1,0 +1,83 @@
+type ('p, 'a) t = {
+  compare : 'p -> 'p -> int;
+  initial_capacity : int;
+  mutable heap : ('p * 'a) array; (* [||] until the first add; slots >= size are stale *)
+  mutable size : int;
+}
+
+let create ?(capacity = 16) ~compare () =
+  { compare; initial_capacity = max capacity 1; heap = [||]; size = 0 }
+
+let length t = t.size
+let is_empty t = t.size = 0
+
+let ensure_room t filler =
+  if t.heap = [||] then t.heap <- Array.make t.initial_capacity filler
+  else if t.size = Array.length t.heap then begin
+    let heap = Array.make (2 * Array.length t.heap) filler in
+    Array.blit t.heap 0 heap 0 t.size;
+    t.heap <- heap
+  end
+
+let cmp t i j = t.compare (fst t.heap.(i)) (fst t.heap.(j))
+
+let swap t i j =
+  let tmp = t.heap.(i) in
+  t.heap.(i) <- t.heap.(j);
+  t.heap.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if cmp t i parent < 0 then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && cmp t l !smallest < 0 then smallest := l;
+  if r < t.size && cmp t r !smallest < 0 then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let add t p x =
+  ensure_room t (p, x);
+  t.heap.(t.size) <- (p, x);
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let peek t = if t.size = 0 then None else Some t.heap.(0)
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.heap.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.heap.(0) <- t.heap.(t.size);
+      sift_down t 0
+    end;
+    Some top
+  end
+
+let pop_exn t =
+  match pop t with
+  | Some x -> x
+  | None -> invalid_arg "Pqueue.pop_exn: empty queue"
+
+let clear t = t.size <- 0
+
+let to_sorted_list t =
+  if t.size = 0 then []
+  else begin
+    let copy =
+      { compare = t.compare; initial_capacity = t.initial_capacity; heap = Array.sub t.heap 0 t.size; size = t.size }
+    in
+    let rec drain acc = match pop copy with None -> List.rev acc | Some x -> drain (x :: acc) in
+    drain []
+  end

@@ -1,0 +1,30 @@
+(** Mutable array-based binary min-heap.
+
+    The router's Dijkstra and the simulator's event loop both need a fast
+    priority queue with [add] and [pop_min]; this implementation keeps
+    elements paired with an explicit priority so callers never rely on
+    polymorphic comparison of payloads. *)
+
+type ('p, 'a) t
+(** Min-heap of payloads ['a] keyed by priorities ['p]. *)
+
+val create : ?capacity:int -> compare:('p -> 'p -> int) -> unit -> ('p, 'a) t
+
+val length : ('p, 'a) t -> int
+val is_empty : ('p, 'a) t -> bool
+
+val add : ('p, 'a) t -> 'p -> 'a -> unit
+
+val peek : ('p, 'a) t -> ('p * 'a) option
+(** Minimum element without removing it. *)
+
+val pop : ('p, 'a) t -> ('p * 'a) option
+(** Remove and return the minimum element. *)
+
+val pop_exn : ('p, 'a) t -> 'p * 'a
+(** @raise Invalid_argument on an empty queue. *)
+
+val clear : ('p, 'a) t -> unit
+
+val to_sorted_list : ('p, 'a) t -> ('p * 'a) list
+(** Drains a copy of the queue; the queue itself is left untouched. *)

@@ -1,0 +1,80 @@
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+let ( +% ) = Int64.add
+let ( *% ) = Int64.mul
+let ( ^% ) = Int64.logxor
+
+let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+(* splitmix64 step, used only for seeding: guarantees a well-mixed initial
+   state even from small consecutive integer seeds. *)
+let splitmix64 state =
+  state := !state +% 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = (z ^% Int64.shift_right_logical z 30) *% 0xBF58476D1CE4E5B9L in
+  let z = (z ^% Int64.shift_right_logical z 27) *% 0x94D049BB133111EBL in
+  z ^% Int64.shift_right_logical z 31
+
+let create seed =
+  let st = ref (Int64.of_int seed) in
+  let s0 = splitmix64 st in
+  let s1 = splitmix64 st in
+  let s2 = splitmix64 st in
+  let s3 = splitmix64 st in
+  { s0; s1; s2; s3 }
+
+let int64 t =
+  let result = rotl (t.s1 *% 5L) 7 *% 9L in
+  let tt = Int64.shift_left t.s1 17 in
+  t.s2 <- t.s2 ^% t.s0;
+  t.s3 <- t.s3 ^% t.s1;
+  t.s1 <- t.s1 ^% t.s2;
+  t.s0 <- t.s0 ^% t.s3;
+  t.s2 <- t.s2 ^% tt;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t =
+  let st = ref (int64 t) in
+  let s0 = splitmix64 st in
+  let s1 = splitmix64 st in
+  let s2 = splitmix64 st in
+  let s3 = splitmix64 st in
+  { s0; s1; s2; s3 }
+
+let int t bound =
+  assert (bound > 0);
+  (* draw uniformly from [0, max_int], rejecting the incomplete final block
+     so the modulo introduces no bias *)
+  let mask = Int64.of_int max_int in
+  let r = max_int mod bound in
+  let accept_all = r = bound - 1 in
+  let cutoff = max_int - r in
+  let rec draw () =
+    let v = Int64.to_int (Int64.logand (int64 t) mask) in
+    if accept_all || v < cutoff then v mod bound else draw ()
+  in
+  draw ()
+
+let float t bound =
+  let v = Int64.to_float (Int64.shift_right_logical (int64 t) 11) in
+  v /. 9007199254740992.0 *. bound
+
+let bool t = Int64.logand (int64 t) 1L = 1L
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let pick t a =
+  assert (Array.length a > 0);
+  a.(int t (Array.length a))
+
+let permutation t n =
+  let a = Array.init n (fun i -> i) in
+  shuffle t a;
+  a

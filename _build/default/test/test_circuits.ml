@@ -1,0 +1,157 @@
+(* Tests for the six QECC benchmark circuits: structural checks, exact
+   ideal-baseline pinning against the paper's Table 2, and quantum-semantic
+   verification (every encoder is a reversible Clifford circuit whose
+   uncompute returns the tableau to |0...0>). *)
+
+open Qasm
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+
+let paper_delay = Router.Timing.gate_delay Router.Timing.paper
+
+(* -------------------------------------------------------------- Builder *)
+
+let test_builder_small () =
+  let p =
+    Circuits.Builder.cyclic_encoder ~name:"toy" ~num_qubits:3 ~data:[ 2 ] ~hadamards:[ 0; 1 ]
+      ~rows:[ { Circuits.Builder.target = 0; controls = [ (2, Circuits.Builder.X) ] } ]
+  in
+  check_int "qubits" 3 (Program.num_qubits p);
+  (* 3 decls + 2 H + 1 gate *)
+  check_int "instrs" 6 (Program.num_instrs p);
+  check_bool "unitary" true (Program.is_unitary p)
+
+let test_builder_guards () =
+  let bad f = match f () with exception Invalid_argument _ -> () | _ -> Alcotest.fail "accepted" in
+  bad (fun () ->
+      Circuits.Builder.cyclic_encoder ~name:"bad" ~num_qubits:2 ~data:[] ~hadamards:[ 5 ] ~rows:[]);
+  bad (fun () ->
+      Circuits.Builder.cyclic_encoder ~name:"bad" ~num_qubits:2 ~data:[ 0 ] ~hadamards:[ 0 ] ~rows:[]);
+  bad (fun () ->
+      Circuits.Builder.cyclic_encoder ~name:"bad" ~num_qubits:2 ~data:[] ~hadamards:[]
+        ~rows:[ { Circuits.Builder.target = 1; controls = [ (1, Circuits.Builder.Z) ] } ])
+
+let test_builder_pauli_gates () =
+  check_bool "X" true (Circuits.Builder.gate_of_pauli Circuits.Builder.X = Gate.CX);
+  check_bool "Y" true (Circuits.Builder.gate_of_pauli Circuits.Builder.Y = Gate.CY);
+  check_bool "Z" true (Circuits.Builder.gate_of_pauli Circuits.Builder.Z = Gate.CZ)
+
+(* ----------------------------------------------------------------- Qecc *)
+
+let expected_qubits = [ ("[[5,1,3]]", 5); ("[[7,1,3]]", 7); ("[[9,1,3]]", 9); ("[[14,8,3]]", 14); ("[[19,1,7]]", 19); ("[[23,1,7]]", 23) ]
+
+let test_qubit_counts () =
+  List.iter
+    (fun (name, p) ->
+      let expect = List.assoc name expected_qubits in
+      check_int (name ^ " qubits") expect (Program.num_qubits p))
+    (Circuits.Qecc.all ())
+
+(* The load-bearing test of the reconstruction: ideal baselines match the
+   paper's Table 2 exactly. *)
+let test_baselines_match_paper () =
+  List.iter
+    (fun (name, p) ->
+      match Circuits.Qecc.expected_baseline_us name with
+      | None -> Alcotest.failf "no expected baseline for %s" name
+      | Some expect ->
+          let g = Dag.of_program p in
+          check_float (name ^ " baseline") expect (Dag.critical_path ~delay:paper_delay g))
+    (Circuits.Qecc.all ())
+
+let test_all_unitary_and_valid () =
+  List.iter
+    (fun (name, p) ->
+      check_bool (name ^ " unitary") true (Program.is_unitary p);
+      let g = Dag.of_program p in
+      check_bool (name ^ " dag consistent") true (Dag.check_acyclic_consistency g))
+    (Circuits.Qecc.all ())
+
+let test_gate_volume_grows_with_code_size () =
+  let counts = List.map (fun (_, p) -> Program.two_qubit_count p) (Circuits.Qecc.all ()) in
+  match counts with
+  | [ c5; c7; c9; c14; c19; c23 ] ->
+      check_bool "5 <= 7" true (c5 <= c7);
+      check_bool "7 <= 9" true (c7 <= c9);
+      check_bool "9 <= 14" true (c9 <= c14);
+      check_bool "14 qubit codes have tens of gates" true (c14 >= 30);
+      check_bool "19 biggest" true (c19 >= c14);
+      (* [[23,1,7]] is wide but shallow: smaller than [[19,1,7]] like the
+         paper's latencies suggest *)
+      check_bool "23 below 19" true (c23 <= c19)
+  | _ -> Alcotest.fail "expected six circuits"
+
+(* Each encoder is a Clifford circuit: encode then uncompute must return the
+   stabilizer tableau to |0...0> — checks the circuits are genuine
+   reversible encoders, not arbitrary DAGs. *)
+let test_encode_uncompute_identity () =
+  List.iter
+    (fun (name, p) ->
+      let g = Dag.of_program p in
+      match Dag.reverse g with
+      | Error e -> Alcotest.failf "%s: %s" name e
+      | Ok g' -> (
+          let t = Quantum.Stabilizer.create (Program.num_qubits p) in
+          match (Quantum.Stabilizer.run_on p t, Quantum.Stabilizer.run_on (Dag.program g') t) with
+          | Ok (), Ok () ->
+              check_bool (name ^ " uncompute = identity") true (Quantum.Stabilizer.is_zero_state t)
+          | Error e, _ | _, Error e -> Alcotest.failf "%s: %s" name e))
+    (Circuits.Qecc.all ())
+
+let test_encoders_entangle () =
+  List.iter
+    (fun (name, p) ->
+      match Quantum.Stabilizer.run_program p with
+      | Error e -> Alcotest.failf "%s: %s" name e
+      | Ok t ->
+          (* the encoded state must not be a computational basis state: at
+             least one qubit has a random measurement outcome *)
+          let some_random = ref false in
+          for q = 0 to Program.num_qubits p - 1 do
+            if Quantum.Stabilizer.prob0 t q = 0.5 then some_random := true
+          done;
+          check_bool (name ^ " entangles") true !some_random)
+    (Circuits.Qecc.all ())
+
+let test_513_matches_figure3_text () =
+  let p = Circuits.Qecc.c513 () in
+  let expected =
+    "QUBIT q0,0\nQUBIT q1,0\nQUBIT q2,0\nQUBIT q3\nQUBIT q4,0\n" ^ "H q0\nH q1\nH q2\nH q4\n"
+    ^ "C-X q3,q2\nC-Z q4,q2\nC-Y q2,q1\nC-Y q3,q1\nC-X q4,q1\nC-Z q2,q0\nC-Y q3,q0\nC-Z q4,q0\n"
+  in
+  match Parser.parse ~name:"[[5,1,3]]" expected with
+  | Error e -> Alcotest.fail e
+  | Ok p' ->
+      check_int "same size" (Program.num_instrs p') (Program.num_instrs p);
+      Array.iteri
+        (fun i instr -> check_bool "instr equal" true (Instr.equal instr p.Program.instrs.(i)))
+        p'.Program.instrs
+
+let test_paper_reference_values () =
+  check_bool "quale 513" true (Circuits.Qecc.paper_quale_latency_us "[[5,1,3]]" = Some 832.0);
+  check_bool "qspr 14_8_3" true (Circuits.Qecc.paper_qspr_latency_us "[[14,8,3]]" = Some 3390.0);
+  check_bool "unknown" true (Circuits.Qecc.expected_baseline_us "[[1,1,1]]" = None)
+
+let () =
+  Alcotest.run "circuits"
+    [
+      ( "builder",
+        [
+          Alcotest.test_case "small" `Quick test_builder_small;
+          Alcotest.test_case "guards" `Quick test_builder_guards;
+          Alcotest.test_case "pauli gates" `Quick test_builder_pauli_gates;
+        ] );
+      ( "qecc",
+        [
+          Alcotest.test_case "qubit counts" `Quick test_qubit_counts;
+          Alcotest.test_case "baselines match Table 2 exactly" `Quick test_baselines_match_paper;
+          Alcotest.test_case "unitary and consistent" `Quick test_all_unitary_and_valid;
+          Alcotest.test_case "volume grows with size" `Quick test_gate_volume_grows_with_code_size;
+          Alcotest.test_case "encode;uncompute = identity" `Quick test_encode_uncompute_identity;
+          Alcotest.test_case "encoders entangle" `Quick test_encoders_entangle;
+          Alcotest.test_case "[[5,1,3]] is Figure 3" `Quick test_513_matches_figure3_text;
+          Alcotest.test_case "paper reference values" `Quick test_paper_reference_values;
+        ] );
+    ]

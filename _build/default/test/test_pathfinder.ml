@@ -1,0 +1,136 @@
+(* Tests for the PathFinder negotiated router (reference [3]): convergence on
+   contested fabrics, capacity respect at the fixpoint, and equivalence with
+   plain Dijkstra for a single net. *)
+
+open Fabric
+open Router
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let comp_of lay = match Component.extract lay with Ok c -> c | Error e -> Alcotest.failf "extract: %s" e
+
+let tile () = comp_of (Layout.small_tile ())
+let quale () = comp_of (Layout.quale_45x85 ())
+
+let cap1 = function Resource.Segment _ -> 1 | Resource.Junction _ -> 2
+let cap2 = function Resource.Segment _ -> 2 | Resource.Junction _ -> 2
+
+let test_single_net_matches_dijkstra () =
+  let comp = tile () in
+  let g = Graph.build comp in
+  let src = Graph.trap_node g 0 and dst = Graph.trap_node g 3 in
+  match Pathfinder.route_all g ~capacity:cap2 [ { Pathfinder.net_id = 0; src; dst } ] with
+  | Error e -> Alcotest.fail e
+  | Ok o -> (
+      check_int "one iteration" 1 o.Pathfinder.iterations;
+      check_int "no overuse" 0 o.Pathfinder.overused;
+      match (o.Pathfinder.routes, Dijkstra.shortest_path g ~weight:(fun e -> match e.Graph.kind with Graph.Turn _ -> 10.0 | _ -> 1.0) ~src ~dst) with
+      | [ (0, p) ], Some d -> check_bool "same cost" true (Float.abs (p.Path.cost -. d.Dijkstra.cost) < 1e-9)
+      | _ -> Alcotest.fail "route shape")
+
+let node_at g pos orientation =
+  let found = ref None in
+  for n = 0 to Graph.num_nodes g - 1 do
+    if Ion_util.Coord.equal (Graph.node_pos g n) pos && Graph.node_orientation g n = orientation then
+      found := Some n
+  done;
+  match !found with Some n -> n | None -> Alcotest.fail "node not found"
+
+let test_contested_nets_negotiate_apart () =
+  (* two nets with identical endpoints across a 3x3-junction tile: at
+     channel capacity 1 they cannot share the straight top-row path, so
+     negotiation must push one onto a detour *)
+  let lay =
+    Layout.make_grid ~width:17 ~height:13 ~pitch_x:6 ~pitch_y:5 ~margin:2 ~traps_per_channel:0 ()
+  in
+  let comp = comp_of lay in
+  let g = Graph.build comp in
+  let src = node_at g (Ion_util.Coord.make 2 2) (Some Cell.Horizontal) in
+  let dst = node_at g (Ion_util.Coord.make 14 2) (Some Cell.Horizontal) in
+  let nets = [ { Pathfinder.net_id = 0; src; dst }; { Pathfinder.net_id = 1; src; dst } ] in
+  match Pathfinder.route_all g ~capacity:cap1 nets with
+  | Error e -> Alcotest.fail e
+  | Ok o ->
+      check_int "converged" 0 o.Pathfinder.overused;
+      check_int "max overuse 0" 0 (Pathfinder.max_overuse g ~capacity:cap1 o.Pathfinder.routes);
+      (* the two routes must differ: one straight, one detoured *)
+      (match o.Pathfinder.routes with
+      | [ (0, a); (1, b) ] ->
+          check_bool "disjoint channel usage" true
+            (List.for_all
+               (fun r ->
+                 match r with
+                 | Resource.Segment _ -> not (List.mem r (Path.resources b))
+                 | Resource.Junction _ -> true)
+               (Path.resources a))
+      | _ -> Alcotest.fail "route shape");
+      ()
+
+let test_wave_on_quale_capacity2 () =
+  (* a wave of 6 simultaneous nets across the 45x85 fabric at the paper's
+     channel capacity *)
+  let comp = quale () in
+  let g = Graph.build comp in
+  let traps = Array.length (Component.traps comp) in
+  let nets =
+    List.init 6 (fun i ->
+        { Pathfinder.net_id = i; src = Graph.trap_node g (i * 7); dst = Graph.trap_node g (traps - 1 - (i * 11)) })
+  in
+  match Pathfinder.route_all g ~capacity:cap2 nets with
+  | Error e -> Alcotest.fail e
+  | Ok o ->
+      check_int "converged" 0 o.Pathfinder.overused;
+      check_int "all nets routed" 6 (List.length o.Pathfinder.routes)
+
+let test_unroutable_reported () =
+  let lay = match Layout.parse "J-JT\n\nJ-JT\n" with Ok l -> l | Error e -> Alcotest.fail e in
+  let comp = comp_of lay in
+  let g = Graph.build comp in
+  let nets = [ { Pathfinder.net_id = 0; src = Graph.trap_node g 0; dst = Graph.trap_node g 1 } ] in
+  match Pathfinder.route_all g ~capacity:cap2 nets with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "disconnected net accepted"
+
+let test_parameter_guards () =
+  let comp = tile () in
+  let g = Graph.build comp in
+  match Pathfinder.route_all g ~max_iterations:0 ~capacity:cap2 [] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "zero iterations accepted"
+
+(* property: on random net sets over the big fabric, a converged outcome
+   never exceeds capacity *)
+let prop_fixpoint_within_capacity =
+  QCheck.Test.make ~name:"converged pathfinder routes respect capacity" ~count:25
+    QCheck.(list_of_size Gen.(2 -- 8) (pair (int_bound 1000) (int_bound 1000)))
+    (fun pairs ->
+      let comp = quale () in
+      let g = Graph.build comp in
+      let traps = Array.length (Component.traps comp) in
+      let nets =
+        List.mapi
+          (fun i (a, b) ->
+            { Pathfinder.net_id = i; src = Graph.trap_node g (a mod traps); dst = Graph.trap_node g (b mod traps) })
+          pairs
+      in
+      match Pathfinder.route_all g ~capacity:cap2 nets with
+      | Error _ -> false
+      | Ok o ->
+          o.Pathfinder.overused > 0
+          || Pathfinder.max_overuse g ~capacity:cap2 o.Pathfinder.routes = 0)
+
+let () =
+  let qsuite = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "pathfinder"
+    [
+      ( "pathfinder",
+        [
+          Alcotest.test_case "single net = dijkstra" `Quick test_single_net_matches_dijkstra;
+          Alcotest.test_case "contested nets negotiate" `Quick test_contested_nets_negotiate_apart;
+          Alcotest.test_case "wave on 45x85" `Quick test_wave_on_quale_capacity2;
+          Alcotest.test_case "unroutable reported" `Quick test_unroutable_reported;
+          Alcotest.test_case "guards" `Quick test_parameter_guards;
+        ]
+        @ qsuite [ prop_fixpoint_within_capacity ] );
+    ]

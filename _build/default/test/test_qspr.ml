@@ -1,0 +1,321 @@
+(* End-to-end tests of the QSPR core library: config validation, the mapper
+   flows (MVFB / Monte-Carlo / center), the QUALE comparator, backward-trace
+   reversal, full trace validation of winning solutions, and the paper's
+   headline orderings (baseline <= QSPR <= QUALE). *)
+
+open Qspr
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+
+let fabric () = Fabric.Layout.quale_45x85 ()
+
+let small_config = Config.with_m 3 (Config.with_seed 99 Config.default)
+
+let ctx_of ?(config = small_config) program =
+  match Mapper.create ~fabric:(fabric ()) ~config program with
+  | Ok c -> c
+  | Error e -> Alcotest.failf "Mapper.create: %s" e
+
+let c513 () = Circuits.Qecc.c513 ()
+
+(* --------------------------------------------------------------- Config *)
+
+let test_config_default_is_paper () =
+  let c = Config.default in
+  check_float "t2q" 100.0 c.Config.timing.Router.Timing.t_gate2;
+  check_int "channel capacity" 2 c.Config.qspr_policy.Simulator.Engine.channel_capacity;
+  check_int "quale capacity" 1 c.Config.quale_policy.Simulator.Engine.channel_capacity;
+  check_int "m" 100 c.Config.m;
+  check_bool "validates" true (Config.validate c = Ok c)
+
+let test_config_guards () =
+  (match Config.validate (Config.with_m 0 Config.default) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "m=0 accepted");
+  match Config.validate { Config.default with Config.patience = 0 } with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "patience=0 accepted"
+
+(* --------------------------------------------------------------- Mapper *)
+
+let test_create_rejects_oversized_program () =
+  let b = Qasm.Program.builder ~name:"huge" () in
+  for i = 0 to 200 do
+    ignore (Qasm.Program.add_qubit b (Printf.sprintf "q%d" i))
+  done;
+  let p = Qasm.Program.build_exn b in
+  match Mapper.create ~fabric:(fabric ()) p with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "program larger than the fabric accepted"
+
+let test_ideal_latency_513 () =
+  let ctx = ctx_of (c513 ()) in
+  check_float "baseline 510" 510.0 (Mapper.ideal_latency ctx)
+
+let test_map_center () =
+  let ctx = ctx_of (c513 ()) in
+  match Mapper.map_center ctx with
+  | Error e -> Alcotest.fail e
+  | Ok sol ->
+      check_int "one run" 1 sol.Mapper.placement_runs;
+      check_bool "above baseline" true (sol.Mapper.latency >= 510.0);
+      check_bool "direction forward" true (sol.Mapper.direction = Placer.Mvfb.Forward)
+
+let test_map_mvfb_beats_or_equals_center () =
+  let ctx = ctx_of (c513 ()) in
+  let center = match Mapper.map_center ctx with Ok s -> s | Error e -> Alcotest.fail e in
+  let mvfb = match Mapper.map_mvfb ctx with Ok s -> s | Error e -> Alcotest.fail e in
+  check_bool "mvfb <= center" true (mvfb.Mapper.latency <= center.Mapper.latency +. 1e-9);
+  check_bool "several runs" true (mvfb.Mapper.placement_runs > 1);
+  check_int "latencies recorded" mvfb.Mapper.placement_runs (List.length mvfb.Mapper.run_latencies)
+
+let test_map_monte_carlo () =
+  let ctx = ctx_of (c513 ()) in
+  match Mapper.map_monte_carlo ~runs:5 ctx with
+  | Error e -> Alcotest.fail e
+  | Ok sol ->
+      check_int "runs" 5 sol.Mapper.placement_runs;
+      check_bool "above baseline" true (sol.Mapper.latency >= 510.0)
+
+(* Any winning solution's trace must pass full physical validation; for a
+   Backward winner this exercises Trace.reverse end-to-end. *)
+let test_solution_trace_validates () =
+  let ctx = ctx_of (c513 ()) in
+  match Mapper.map_mvfb ctx with
+  | Error e -> Alcotest.fail e
+  | Ok sol ->
+      let report =
+        Simulator.Validate.check ~graph:(Mapper.graph ctx) ~timing:Router.Timing.paper
+          ~channel_capacity:2 ~junction_capacity:2 ~initial_placement:sol.Mapper.initial_placement
+          sol.Mapper.trace
+      in
+      if not report.Simulator.Validate.ok then
+        Alcotest.failf "winning trace invalid (direction %s):\n%s"
+          (match sol.Mapper.direction with Placer.Mvfb.Forward -> "fwd" | Placer.Mvfb.Backward -> "bwd")
+          (String.concat "\n" report.Simulator.Validate.errors)
+
+(* Force evaluation of a backward trace: run the backward pass directly and
+   validate its reversal from the appropriate placement. *)
+let test_backward_trace_reversed_validates () =
+  let ctx = ctx_of (c513 ()) in
+  let fwd =
+    match Mapper.run_forward ctx (Placer.Center.place (Mapper.component ctx) ~num_qubits:5) with
+    | Ok r -> r
+    | Error e -> Alcotest.fail e
+  in
+  let bwd =
+    match Mapper.run_backward ctx fwd.Simulator.Engine.final_placement with
+    | Ok r -> r
+    | Error e -> Alcotest.fail e
+  in
+  let reversed = Simulator.Trace.reverse bwd.Simulator.Engine.trace in
+  let report =
+    Simulator.Validate.check ~graph:(Mapper.graph ctx) ~timing:Router.Timing.paper ~channel_capacity:2
+      ~junction_capacity:2 ~initial_placement:bwd.Simulator.Engine.final_placement reversed
+  in
+  if not report.Simulator.Validate.ok then
+    Alcotest.failf "reversed backward trace invalid:\n%s"
+      (String.concat "\n" report.Simulator.Validate.errors)
+
+let test_run_backward_requires_unitary () =
+  let b = Qasm.Program.builder ~name:"meas" () in
+  let q = Qasm.Program.add_qubit b "q" in
+  Qasm.Program.add_gate1 b Qasm.Gate.Meas_z q;
+  let ctx = ctx_of (Qasm.Program.build_exn b) in
+  match Mapper.run_backward ctx [| 0 |] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "backward run on non-unitary program accepted"
+
+let test_mapper_deterministic () =
+  let run () =
+    match Mapper.map_mvfb (ctx_of (c513 ())) with
+    | Ok s -> s.Mapper.latency
+    | Error e -> Alcotest.fail e
+  in
+  check_float "reproducible" (run ()) (run ())
+
+(* ----------------------------------------------------------- Quale_mode *)
+
+let test_quale_slower_than_qspr () =
+  let ctx = ctx_of (c513 ()) in
+  let quale = match Quale_mode.map ctx with Ok s -> s | Error e -> Alcotest.fail e in
+  let qspr = match Mapper.map_mvfb ctx with Ok s -> s | Error e -> Alcotest.fail e in
+  check_bool "baseline <= qspr" true (510.0 <= qspr.Mapper.latency +. 1e-9);
+  check_bool "qspr <= quale" true (qspr.Mapper.latency <= quale.Mapper.latency +. 1e-9)
+
+let test_quale_trace_validates () =
+  let ctx = ctx_of (c513 ()) in
+  match Quale_mode.map ctx with
+  | Error e -> Alcotest.fail e
+  | Ok sol ->
+      let report =
+        Simulator.Validate.check ~graph:(Mapper.graph ctx) ~timing:Router.Timing.paper
+          ~channel_capacity:1 ~junction_capacity:2 ~initial_placement:sol.Mapper.initial_placement
+          sol.Mapper.trace
+      in
+      if not report.Simulator.Validate.ok then
+        Alcotest.failf "QUALE trace invalid:\n%s" (String.concat "\n" report.Simulator.Validate.errors)
+
+(* ------------------------------------------------------------ full sweep *)
+
+(* Table 2's qualitative content on every circuit (small m to stay fast):
+   baseline <= QSPR < QUALE. *)
+let test_ordering_all_circuits () =
+  List.iter
+    (fun (name, p) ->
+      let ctx = ctx_of ~config:(Config.with_m 2 small_config) p in
+      let base = Mapper.ideal_latency ctx in
+      (match Circuits.Qecc.expected_baseline_us name with
+      | Some expect -> check_float (name ^ " baseline") expect base
+      | None -> Alcotest.failf "missing expected baseline for %s" name);
+      let quale = match Quale_mode.map ctx with Ok s -> s | Error e -> Alcotest.fail e in
+      let qspr = match Mapper.map_mvfb ctx with Ok s -> s | Error e -> Alcotest.fail e in
+      check_bool (name ^ ": baseline <= qspr") true (base <= qspr.Mapper.latency +. 1e-9);
+      check_bool
+        (Printf.sprintf "%s: qspr (%g) < quale (%g)" name qspr.Mapper.latency quale.Mapper.latency)
+        true
+        (qspr.Mapper.latency < quale.Mapper.latency))
+    (Circuits.Qecc.all ())
+
+(* ----------------------------------------------------------- Wave_mapper *)
+
+let test_wave_maps_all_benchmarks () =
+  List.iter
+    (fun (name, p) ->
+      let ctx = ctx_of p in
+      match Wave_mapper.map ctx with
+      | Error e -> Alcotest.failf "%s: %s" name e
+      | Ok o ->
+          let base = Mapper.ideal_latency ctx in
+          check_bool (name ^ ": wave above baseline") true (o.Wave_mapper.latency >= base -. 1e-9);
+          check_bool (name ^ ": has levels") true (List.length o.Wave_mapper.levels > 0))
+    (List.filter (fun (n, _) -> n = "[[5,1,3]]" || n = "[[9,1,3]]") (Circuits.Qecc.all ()))
+
+let test_wave_slower_than_event_driven () =
+  (* phase synchronization serializes work the busy-queue engine overlaps *)
+  let ctx = ctx_of (c513 ()) in
+  let wave = match Wave_mapper.map ctx with Ok o -> o | Error e -> Alcotest.fail e in
+  let qspr = match Mapper.map_mvfb ctx with Ok s -> s | Error e -> Alcotest.fail e in
+  check_bool
+    (Printf.sprintf "wave (%g) > qspr (%g)" wave.Wave_mapper.latency qspr.Mapper.latency)
+    true
+    (wave.Wave_mapper.latency > qspr.Mapper.latency)
+
+let test_wave_sublevels_disjoint () =
+  (* shared-control gates land in one ASAP level; the wave mapper must not
+     send one ion to two traps: c513 has exactly that shape and must map *)
+  let ctx = ctx_of (c513 ()) in
+  match Wave_mapper.map ctx with
+  | Error e -> Alcotest.fail e
+  | Ok o ->
+      (* final placement is within trap bounds, at most 2 per trap *)
+      let ntraps = Array.length (Fabric.Component.traps (Mapper.component ctx)) in
+      let load = Array.make ntraps 0 in
+      Array.iter
+        (fun t ->
+          check_bool "trap in range" true (t >= 0 && t < ntraps);
+          load.(t) <- load.(t) + 1)
+        o.Wave_mapper.final_placement;
+      Array.iter (fun l -> check_bool "<=2 per trap" true (l <= 2)) load
+
+(* ----------------------------------------------------------------- Flow *)
+
+let test_flow_meets_loose_threshold () =
+  let p = c513 () in
+  match Flow.run ~error_threshold:0.5 ~efforts:[ 2 ] ~fabric:(fabric ()) ~config:small_config p with
+  | Error e -> Alcotest.fail e
+  | Ok o ->
+      check_bool "met" true o.Flow.met_threshold;
+      check_int "one attempt" 1 (List.length o.Flow.attempts);
+      check_int "nothing to optimize in fig3" 0 o.Flow.gates_removed
+
+let test_flow_escalates_then_reports () =
+  (* impossible threshold: the flow tries every effort level and reports
+     failure — the signal to re-synthesize with more encoding *)
+  let p = c513 () in
+  match Flow.run ~error_threshold:1e-9 ~efforts:[ 1; 2 ] ~fabric:(fabric ()) ~config:small_config p with
+  | Error e -> Alcotest.fail e
+  | Ok o ->
+      check_bool "not met" false o.Flow.met_threshold;
+      check_int "all attempts recorded" 2 (List.length o.Flow.attempts);
+      (* error probabilities are sane *)
+      List.iter
+        (fun (a : Flow.attempt) ->
+          check_bool "error in (0,1)" true (a.Flow.error_probability > 0.0 && a.Flow.error_probability < 1.0))
+        o.Flow.attempts
+
+let test_flow_optimizes_first () =
+  (* a program with a cancellable pair: the flow's synthesis step removes it *)
+  let src = "QUBIT a\nQUBIT b\nH a\nH a\nC-X a,b\n" in
+  let p = match Qasm.Parser.parse src with Ok p -> p | Error e -> Alcotest.fail e in
+  match Flow.run ~error_threshold:0.9 ~efforts:[ 1 ] ~fabric:(fabric ()) ~config:small_config p with
+  | Error e -> Alcotest.fail e
+  | Ok o ->
+      check_int "two gates removed" 2 o.Flow.gates_removed;
+      check_int "one gate mapped" 1 (Qasm.Program.gate_count o.Flow.program)
+
+(* --------------------------------------------------------------- Report *)
+
+let test_report_improvement () =
+  check_float "improvement" 25.0 (Report.improvement_pct ~quale:400.0 ~qspr:300.0)
+
+let test_report_tables_render () =
+  let cell = { Report.latency = 634.0; cpu_ms = 546.0; runs = 88 } in
+  let t1 =
+    Report.render_table1 [ { Report.circuit = "[[5,1,3]]"; mvfb_25 = cell; mc_25 = cell; mvfb_100 = cell; mc_100 = cell } ]
+  in
+  check_bool "table1 nonempty" true (String.length t1 > 0);
+  let t2 =
+    Report.render_table2 [ { Report.circuit = "[[5,1,3]]"; baseline = 510.0; quale = 832.0; qspr = 634.0 } ]
+  in
+  check_bool "table2 nonempty" true (String.length t2 > 0);
+  let csv = Report.csv_table2 [ { Report.circuit = "x"; baseline = 1.0; quale = 2.0; qspr = 1.5 } ] in
+  check_bool "csv has header and row" true (List.length (String.split_on_char '\n' csv) >= 3)
+
+let () =
+  Alcotest.run "qspr"
+    [
+      ( "config",
+        [
+          Alcotest.test_case "paper defaults" `Quick test_config_default_is_paper;
+          Alcotest.test_case "guards" `Quick test_config_guards;
+        ] );
+      ( "mapper",
+        [
+          Alcotest.test_case "oversized program rejected" `Quick test_create_rejects_oversized_program;
+          Alcotest.test_case "ideal latency" `Quick test_ideal_latency_513;
+          Alcotest.test_case "center flow" `Quick test_map_center;
+          Alcotest.test_case "mvfb beats center" `Quick test_map_mvfb_beats_or_equals_center;
+          Alcotest.test_case "monte carlo flow" `Quick test_map_monte_carlo;
+          Alcotest.test_case "winning trace validates" `Quick test_solution_trace_validates;
+          Alcotest.test_case "reversed backward trace validates" `Quick
+            test_backward_trace_reversed_validates;
+          Alcotest.test_case "backward requires unitary" `Quick test_run_backward_requires_unitary;
+          Alcotest.test_case "deterministic" `Quick test_mapper_deterministic;
+        ] );
+      ( "quale",
+        [
+          Alcotest.test_case "slower than QSPR" `Quick test_quale_slower_than_qspr;
+          Alcotest.test_case "trace validates" `Quick test_quale_trace_validates;
+        ] );
+      ("sweep", [ Alcotest.test_case "ordering on all six circuits" `Slow test_ordering_all_circuits ]);
+      ( "wave",
+        [
+          Alcotest.test_case "maps benchmarks" `Quick test_wave_maps_all_benchmarks;
+          Alcotest.test_case "slower than event-driven" `Quick test_wave_slower_than_event_driven;
+          Alcotest.test_case "sublevels disjoint" `Quick test_wave_sublevels_disjoint;
+        ] );
+      ( "flow",
+        [
+          Alcotest.test_case "meets loose threshold" `Quick test_flow_meets_loose_threshold;
+          Alcotest.test_case "escalates then reports" `Quick test_flow_escalates_then_reports;
+          Alcotest.test_case "optimizes first" `Quick test_flow_optimizes_first;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "improvement" `Quick test_report_improvement;
+          Alcotest.test_case "tables render" `Quick test_report_tables_render;
+        ] );
+    ]

@@ -1,0 +1,304 @@
+(* Tests for the quantum-semantics substrate: exact state-vector simulation,
+   CHP stabilizer simulation, cross-validation between the two, and the
+   reversibility property (program followed by its UIDG restores the input)
+   that the MVFB placer relies on. *)
+
+open Qasm
+open Quantum
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-7))
+
+let fig3_qasm =
+  "QUBIT q0,0\nQUBIT q1,0\nQUBIT q2,0\nQUBIT q3\nQUBIT q4,0\n" ^ "H q0\nH q1\nH q2\nH q4\n"
+  ^ "C-X q3,q2\nC-Z q4,q2\nC-Y q2,q1\nC-Y q3,q1\nC-X q4,q1\nC-Z q2,q0\nC-Y q3,q0\nC-Z q4,q0\n"
+
+let fig3_program () =
+  match Parser.parse ~name:"[[5,1,3]]" fig3_qasm with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "parse: %s" e
+
+(* ----------------------------------------------------------------- Cplx *)
+
+let test_cplx_arith () =
+  let a = Cplx.make 1.0 2.0 and b = Cplx.make 3.0 (-1.0) in
+  check_bool "add" true (Cplx.approx_equal (Cplx.add a b) (Cplx.make 4.0 1.0));
+  check_bool "mul" true (Cplx.approx_equal (Cplx.mul a b) (Cplx.make 5.0 5.0));
+  check_bool "conj" true (Cplx.approx_equal (Cplx.conj a) (Cplx.make 1.0 (-2.0)));
+  check_float "norm2" 5.0 (Cplx.norm2 a);
+  check_bool "i*i = -1" true (Cplx.approx_equal (Cplx.mul Cplx.i Cplx.i) Cplx.minus_one);
+  check_bool "exp_i pi = -1" true (Cplx.approx_equal ~eps:1e-12 (Cplx.exp_i Float.pi) Cplx.minus_one)
+
+(* ------------------------------------------------------------- Statevec *)
+
+let test_statevec_zero () =
+  let s = Statevec.zero_state 3 in
+  check_float "amp |000>" 1.0 (Cplx.norm2 (Statevec.amplitude s 0));
+  check_float "norm" 1.0 (Statevec.norm s);
+  check_float "prob0" 1.0 (Statevec.prob0 s 0)
+
+let test_statevec_x () =
+  let s = Statevec.apply_g1 Gate.X 1 (Statevec.zero_state 2) in
+  (* |00> -> |q1=1,q0=0> = index 2 *)
+  check_float "amp |10>" 1.0 (Cplx.norm2 (Statevec.amplitude s 2));
+  check_float "prob0 q1" 0.0 (Statevec.prob0 s 1)
+
+let test_statevec_h_superposition () =
+  let s = Statevec.apply_g1 Gate.H 0 (Statevec.zero_state 1) in
+  check_float "p0 = 1/2" 0.5 (Statevec.prob0 s 0);
+  check_float "amp0" 0.5 (Cplx.norm2 (Statevec.amplitude s 0))
+
+let test_statevec_bell () =
+  let s = Statevec.zero_state 2 in
+  let s = Statevec.apply_g1 Gate.H 0 s in
+  let s = Statevec.apply_g2 Gate.CX ~control:0 ~target:1 s in
+  check_float "amp |00|^2" 0.5 (Cplx.norm2 (Statevec.amplitude s 0));
+  check_float "amp |11|^2" 0.5 (Cplx.norm2 (Statevec.amplitude s 3));
+  check_float "amp |01|^2" 0.0 (Cplx.norm2 (Statevec.amplitude s 1))
+
+let test_statevec_cz_phase () =
+  (* CZ |11> = -|11> *)
+  let s = Statevec.basis 2 3 in
+  let s = Statevec.apply_g2 Gate.CZ ~control:0 ~target:1 s in
+  check_bool "phase -1" true (Cplx.approx_equal (Statevec.amplitude s 3) Cplx.minus_one)
+
+let test_statevec_cy_action () =
+  (* CY |1>|0> = i |1>|1> *)
+  let s = Statevec.basis 2 1 in
+  let s = Statevec.apply_g2 Gate.CY ~control:0 ~target:1 s in
+  check_bool "i|11>" true (Cplx.approx_equal (Statevec.amplitude s 3) Cplx.i)
+
+let test_statevec_gate_inverses () =
+  let rng = Ion_util.Rng.create 99 in
+  let s0 = Statevec.random_state rng 3 in
+  List.iter
+    (fun gate ->
+      match Gate.g1_inverse gate with
+      | None -> ()
+      | Some inv ->
+          let s = Statevec.apply_g1 inv 1 (Statevec.apply_g1 gate 1 s0) in
+          check_bool (Gate.g1_name gate ^ " inverse") true (Statevec.approx_equal s s0))
+    Gate.all_g1;
+  List.iter
+    (fun gate ->
+      let s =
+        Statevec.apply_g2 (Gate.g2_inverse gate) ~control:0 ~target:2
+          (Statevec.apply_g2 gate ~control:0 ~target:2 s0)
+      in
+      check_bool (Gate.g2_name gate ^ " inverse") true (Statevec.approx_equal s s0))
+    Gate.all_g2
+
+let test_statevec_measure_collapse () =
+  let rng = Ion_util.Rng.create 5 in
+  let s = Statevec.apply_g1 Gate.H 0 (Statevec.zero_state 1) in
+  let outcome, s' = Statevec.measure rng s 0 in
+  check_bool "outcome binary" true (outcome = 0 || outcome = 1);
+  check_float "collapsed" (if outcome = 0 then 1.0 else 0.0) (Statevec.prob0 s' 0)
+
+let test_statevec_reset () =
+  let s = Statevec.apply_g1 Gate.X 0 (Statevec.zero_state 2) in
+  let s = Statevec.reset s 0 in
+  check_float "reset to 0" 1.0 (Statevec.prob0 s 0)
+
+let test_statevec_run_fig3_normalized () =
+  let s = Statevec.run_program (fig3_program ()) in
+  check_float "norm preserved" 1.0 (Statevec.norm s);
+  check_int "5 qubits" 5 (Statevec.num_qubits s)
+
+(* Reversibility: UIDG after QIDG restores the input state. *)
+let test_uncompute_restores_input () =
+  let p = fig3_program () in
+  let g = Dag.of_program p in
+  let g' = match Dag.reverse g with Ok g -> g | Error e -> Alcotest.fail e in
+  let p' = Dag.program g' in
+  let rng = Ion_util.Rng.create 1234 in
+  let s0 = Statevec.random_state rng 5 in
+  let s1 = Statevec.run_on p s0 in
+  let s2 = Statevec.run_on p' s1 in
+  check_bool "uncompute restores" true (Statevec.approx_equal s2 s0);
+  check_bool "encode changes the state" false (Statevec.approx_equal s1 s0)
+
+(* ----------------------------------------------------------- Stabilizer *)
+
+let test_stab_initial () =
+  let t = Stabilizer.create 4 in
+  check_bool "zero state" true (Stabilizer.is_zero_state t);
+  check_float "prob0" 1.0 (Stabilizer.prob0 t 2);
+  let strs = Stabilizer.stabilizer_strings t in
+  check_int "n generators" 4 (List.length strs);
+  check_bool "Z stabilizers" true (List.mem "+IIZI" strs)
+
+let test_stab_x_flips () =
+  let t = Stabilizer.create 2 in
+  Stabilizer.apply_g1 t Gate.X 0;
+  check_float "q0 flipped" 0.0 (Stabilizer.prob0 t 0);
+  check_float "q1 untouched" 1.0 (Stabilizer.prob0 t 1)
+
+let test_stab_h_random () =
+  let t = Stabilizer.create 1 in
+  Stabilizer.apply_g1 t Gate.H 0;
+  check_float "p0 = 1/2" 0.5 (Stabilizer.prob0 t 0)
+
+let test_stab_bell () =
+  let t = Stabilizer.create 2 in
+  Stabilizer.apply_g1 t Gate.H 0;
+  Stabilizer.apply_g2 t Gate.CX ~control:0 ~target:1;
+  check_float "both random" 0.5 (Stabilizer.prob0 t 0);
+  let rng = Ion_util.Rng.create 77 in
+  let o1, det1 = Stabilizer.measure ~rng t 0 in
+  check_bool "first is random" false det1;
+  let o2, det2 = Stabilizer.measure ~rng t 1 in
+  check_bool "second is determined" true det2;
+  check_int "correlated" o1 o2
+
+let test_stab_non_clifford () =
+  let t = Stabilizer.create 1 in
+  (try
+     Stabilizer.apply_g1 t Gate.T 0;
+     Alcotest.fail "T accepted"
+   with Stabilizer.Non_clifford _ -> ());
+  match Parser.parse "QUBIT a\nT a\n" with
+  | Error e -> Alcotest.fail e
+  | Ok p -> (
+      match Stabilizer.run_program p with
+      | Ok _ -> Alcotest.fail "non-Clifford program accepted"
+      | Error _ -> ())
+
+let test_stab_prep_resets () =
+  let t = Stabilizer.create 1 in
+  Stabilizer.apply_g1 t Gate.X 0;
+  Stabilizer.apply_g1 t Gate.Prep_z 0;
+  check_float "reset" 1.0 (Stabilizer.prob0 t 0)
+
+let test_stab_measure_collapses () =
+  let t = Stabilizer.create 1 in
+  Stabilizer.apply_g1 t Gate.H 0;
+  let rng = Ion_util.Rng.create 3 in
+  let o, det = Stabilizer.measure ~rng t 0 in
+  check_bool "was random" false det;
+  let o', det' = Stabilizer.measure ~rng t 0 in
+  check_bool "now deterministic" true det';
+  check_int "stable" o o'
+
+let test_stab_fig3_encode_uncompute () =
+  let p = fig3_program () in
+  let g = Dag.of_program p in
+  let g' = match Dag.reverse g with Ok g -> g | Error e -> Alcotest.fail e in
+  let t = Stabilizer.create 5 in
+  (match Stabilizer.run_on p t with Ok () -> () | Error e -> Alcotest.fail e);
+  check_bool "encoded state is not |0...0>" false (Stabilizer.is_zero_state t);
+  (match Stabilizer.run_on (Dag.program g') t with Ok () -> () | Error e -> Alcotest.fail e);
+  check_bool "uncompute returns to |0...0>" true (Stabilizer.is_zero_state t)
+
+let test_stab_fig3_stabilizers_nontrivial () =
+  let p = fig3_program () in
+  match Stabilizer.run_program p with
+  | Error e -> Alcotest.fail e
+  | Ok t ->
+      let strs = Stabilizer.stabilizer_strings t in
+      check_int "five generators" 5 (List.length strs);
+      (* an encoding circuit must entangle: no generator may be a
+         single-qubit Pauli (weight 1) on the data-carrying state *)
+      let weight s =
+        let w = ref 0 in
+        String.iter (fun c -> if c = 'X' || c = 'Y' || c = 'Z' then incr w) s
+      ;
+        !w
+      in
+      (* distance-3 code: all stabilizer generators have weight >= 2 after
+         canonicalization is not guaranteed on raw generators, but none may
+         be identity *)
+      List.iter (fun s -> check_bool ("non-identity " ^ s) true (weight s >= 1)) strs
+
+(* ------------------------------------------------- cross-validation *)
+
+(* Random Clifford circuits: the stabilizer simulator and the state-vector
+   simulator must agree on every single-qubit measurement distribution. *)
+let gen_clifford_program =
+  QCheck.Gen.(
+    let* nq = 2 -- 5 in
+    let* ngates = 1 -- 30 in
+    let* choices = list_repeat ngates (triple (int_bound 5) (int_bound 1000) (int_bound 1000)) in
+    let b = Program.builder ~name:"clifford" () in
+    let qs = Array.init nq (fun i -> Program.add_qubit b (Printf.sprintf "q%d" i)) in
+    List.iter
+      (fun (kind, a, c) ->
+        let qa = qs.(a mod nq) and qc = qs.(c mod nq) in
+        match kind with
+        | 0 -> Program.add_gate1 b Gate.H qa
+        | 1 -> Program.add_gate1 b Gate.S qa
+        | 2 -> Program.add_gate1 b Gate.X qa
+        | 3 -> Program.add_gate1 b Gate.Z qa
+        | _ -> if qa <> qc then Program.add_gate2 b (if kind = 4 then Gate.CX else Gate.CZ) qa qc)
+      choices;
+    return (Program.build_exn b))
+
+let arb_clifford = QCheck.make ~print:Printer.to_string gen_clifford_program
+
+let prop_stab_matches_statevec =
+  QCheck.Test.make ~name:"stabilizer and state-vector agree on marginals" ~count:100 arb_clifford
+    (fun p ->
+      let sv = Statevec.run_program p in
+      match Stabilizer.run_program p with
+      | Error _ -> false
+      | Ok st ->
+          let ok = ref true in
+          for q = 0 to Program.num_qubits p - 1 do
+            let p_sv = Statevec.prob0 sv q and p_st = Stabilizer.prob0 st q in
+            if Float.abs (p_sv -. p_st) > 1e-6 then ok := false
+          done;
+          !ok)
+
+let prop_clifford_uncompute_identity =
+  QCheck.Test.make ~name:"encode;uncompute = identity on the tableau" ~count:100 arb_clifford
+    (fun p ->
+      let g = Dag.of_program p in
+      match Dag.reverse g with
+      | Error _ -> true (* only unitary programs are generated, unreachable *)
+      | Ok g' -> (
+          let t = Stabilizer.create (Program.num_qubits p) in
+          match (Stabilizer.run_on p t, Stabilizer.run_on (Dag.program g') t) with
+          | Ok (), Ok () -> Stabilizer.is_zero_state t
+          | _ -> false))
+
+let prop_statevec_norm_preserved =
+  QCheck.Test.make ~name:"unitary programs preserve the norm" ~count:100 arb_clifford (fun p ->
+      Float.abs (Statevec.norm (Statevec.run_program p) -. 1.0) < 1e-7)
+
+let () =
+  let qsuite = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "quantum"
+    [
+      ("cplx", [ Alcotest.test_case "arithmetic" `Quick test_cplx_arith ]);
+      ( "statevec",
+        [
+          Alcotest.test_case "zero state" `Quick test_statevec_zero;
+          Alcotest.test_case "X gate" `Quick test_statevec_x;
+          Alcotest.test_case "H superposition" `Quick test_statevec_h_superposition;
+          Alcotest.test_case "bell pair" `Quick test_statevec_bell;
+          Alcotest.test_case "CZ phase" `Quick test_statevec_cz_phase;
+          Alcotest.test_case "CY action" `Quick test_statevec_cy_action;
+          Alcotest.test_case "gate inverses" `Quick test_statevec_gate_inverses;
+          Alcotest.test_case "measurement collapse" `Quick test_statevec_measure_collapse;
+          Alcotest.test_case "reset" `Quick test_statevec_reset;
+          Alcotest.test_case "fig3 normalized" `Quick test_statevec_run_fig3_normalized;
+          Alcotest.test_case "uncompute restores input" `Quick test_uncompute_restores_input;
+        ] );
+      ( "stabilizer",
+        [
+          Alcotest.test_case "initial state" `Quick test_stab_initial;
+          Alcotest.test_case "X flips" `Quick test_stab_x_flips;
+          Alcotest.test_case "H randomizes" `Quick test_stab_h_random;
+          Alcotest.test_case "bell correlations" `Quick test_stab_bell;
+          Alcotest.test_case "non-Clifford rejected" `Quick test_stab_non_clifford;
+          Alcotest.test_case "prep resets" `Quick test_stab_prep_resets;
+          Alcotest.test_case "measure collapses" `Quick test_stab_measure_collapses;
+          Alcotest.test_case "fig3 encode/uncompute" `Quick test_stab_fig3_encode_uncompute;
+          Alcotest.test_case "fig3 stabilizers" `Quick test_stab_fig3_stabilizers_nontrivial;
+        ] );
+      ( "cross-validation",
+        qsuite
+          [ prop_stab_matches_statevec; prop_clifford_uncompute_identity; prop_statevec_norm_preserved ]
+      );
+    ]

@@ -1,0 +1,453 @@
+(* Tests for the router: timing model, congestion accounting (Eq. 2),
+   Dijkstra on the turn-aware graph (the Figure 5 experiment), typed paths
+   and micro-command lowering. *)
+
+module Coord = Ion_util.Coord
+open Fabric
+open Router
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+
+let xy = Coord.make
+
+let tile () =
+  let l = Layout.small_tile () in
+  match Component.extract l with Ok c -> c | Error e -> Alcotest.failf "extract: %s" e
+
+let quale () =
+  match Component.extract (Layout.quale_45x85 ()) with
+  | Ok c -> c
+  | Error e -> Alcotest.failf "extract: %s" e
+
+let free_weight tm cong e = Congestion.weight cong ~turn_cost:(Timing.turn_cost_in_moves tm) e
+
+(* find the graph node at a position with a given orientation *)
+let node_at g pos orientation =
+  let found = ref None in
+  for n = 0 to Graph.num_nodes g - 1 do
+    if Coord.equal (Graph.node_pos g n) pos && Graph.node_orientation g n = orientation then
+      found := Some n
+  done;
+  match !found with Some n -> n | None -> Alcotest.failf "no node at %s" (Coord.to_string pos)
+
+(* --------------------------------------------------------------- Timing *)
+
+let test_timing_paper () =
+  let tm = Timing.paper in
+  check_float "move" 1.0 tm.Timing.t_move;
+  check_float "turn" 10.0 tm.Timing.t_turn;
+  check_float "turn cost" 10.0 (Timing.turn_cost_in_moves tm);
+  check_float "decl free" 0.0 (Timing.gate_delay tm (Qasm.Instr.Qubit_decl { qubit = 0; init = None }));
+  check_float "1q" 10.0 (Timing.gate_delay tm (Qasm.Instr.Gate1 (Qasm.Gate.H, 0)));
+  check_float "2q" 100.0 (Timing.gate_delay tm (Qasm.Instr.Gate2 (Qasm.Gate.CX, 0, 1)))
+
+let test_timing_guards () =
+  match Timing.make ~t_move:0.0 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero t_move accepted"
+
+(* ------------------------------------------------------------- Resource *)
+
+let test_resource_of_edge () =
+  check_bool "chan" true (Resource.of_edge (Graph.Chan 3) = Some (Resource.Segment 3));
+  check_bool "junc" true (Resource.of_edge (Graph.Junc 1) = Some (Resource.Junction 1));
+  check_bool "turn free" true (Resource.of_edge (Graph.Turn 1) = None);
+  check_bool "tap free" true (Resource.of_edge (Graph.Tap 0) = None)
+
+(* ----------------------------------------------------------- Congestion *)
+
+let test_congestion_lifecycle () =
+  let c = tile () in
+  let cong = Congestion.create c ~channel_capacity:2 ~junction_capacity:2 in
+  let r = Resource.Segment 0 in
+  check_int "zero users" 0 (Congestion.users cong r);
+  check_bool "free" true (Congestion.is_free cong r);
+  Congestion.acquire cong r;
+  check_int "one user" 1 (Congestion.users cong r);
+  Congestion.acquire cong r;
+  check_bool "saturated" false (Congestion.is_free cong r);
+  (match Congestion.acquire cong r with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "over-capacity acquire accepted");
+  Congestion.release cong r;
+  Congestion.release cong r;
+  check_int "drained" 0 (Congestion.users cong r);
+  match Congestion.release cong r with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "release of empty resource accepted"
+
+let test_congestion_weights () =
+  let c = tile () in
+  let cong = Congestion.create c ~channel_capacity:2 ~junction_capacity:2 in
+  let seg_edge = { Graph.dst = 0; kind = Graph.Chan 0 } in
+  let junc_edge = { Graph.dst = 0; kind = Graph.Junc 0 } in
+  let turn_edge = { Graph.dst = 0; kind = Graph.Turn 0 } in
+  let tap_edge = { Graph.dst = 0; kind = Graph.Tap 0 } in
+  check_float "empty chan" 1.0 (Congestion.weight cong ~turn_cost:10.0 seg_edge);
+  Congestion.acquire cong (Resource.Segment 0);
+  check_float "one user chan" 2.0 (Congestion.weight cong ~turn_cost:10.0 seg_edge);
+  Congestion.acquire cong (Resource.Segment 0);
+  check_bool "full chan infinite" true (Congestion.weight cong ~turn_cost:10.0 seg_edge = Float.infinity);
+  check_float "junction" 1.0 (Congestion.weight cong ~turn_cost:10.0 junc_edge);
+  check_float "turn" 10.0 (Congestion.weight cong ~turn_cost:10.0 turn_edge);
+  check_float "tap" 1.0 (Congestion.weight cong ~turn_cost:10.0 tap_edge);
+  check_int "in flight" 2 (Congestion.total_in_flight cong)
+
+let test_congestion_capacity_one () =
+  (* QUALE mode: capacity-1 channels saturate after a single user *)
+  let c = tile () in
+  let cong = Congestion.create c ~channel_capacity:1 ~junction_capacity:2 in
+  let seg_edge = { Graph.dst = 0; kind = Graph.Chan 0 } in
+  Congestion.acquire cong (Resource.Segment 0);
+  check_bool "saturated at 1" true (Congestion.weight cong ~turn_cost:0.0 seg_edge = Float.infinity)
+
+(* ------------------------------------------------------------- Dijkstra *)
+
+let test_dijkstra_self () =
+  let g = Graph.build (tile ()) in
+  match Dijkstra.shortest_path g ~weight:(fun _ -> 1.0) ~src:0 ~dst:0 with
+  | Some { cost; edges } ->
+      check_float "zero cost" 0.0 cost;
+      check_int "no edges" 0 (List.length edges)
+  | None -> Alcotest.fail "self path not found"
+
+let test_dijkstra_blocked () =
+  let g = Graph.build (tile ()) in
+  let src = Graph.trap_node g 0 and dst = Graph.trap_node g 3 in
+  match Dijkstra.shortest_path g ~weight:(fun _ -> Float.infinity) ~src ~dst with
+  | None -> ()
+  | Some _ -> Alcotest.fail "path through infinite weights"
+
+let test_dijkstra_negative_rejected () =
+  let g = Graph.build (tile ()) in
+  let src = Graph.trap_node g 0 and dst = Graph.trap_node g 3 in
+  match Dijkstra.shortest_path g ~weight:(fun _ -> -1.0) ~src ~dst with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative weights accepted"
+
+let test_dijkstra_trap_to_trap () =
+  let comp = tile () in
+  let g = Graph.build comp in
+  let tm = Timing.paper in
+  let cong = Congestion.create comp ~channel_capacity:2 ~junction_capacity:2 in
+  let src = Graph.trap_node g 0 and dst = Graph.trap_node g 3 in
+  match Dijkstra.shortest_path g ~weight:(free_weight tm cong) ~src ~dst with
+  | None -> Alcotest.fail "no route"
+  | Some r ->
+      let p = Path.of_result ~src ~dst r in
+      (* (5,1) -> (5,8): 13 cell steps and 2 turns on the small tile *)
+      check_int "moves" 13 (Path.moves p);
+      check_int "turns" 2 (Path.turns p);
+      check_float "cost" 33.0 p.Path.cost;
+      check_float "duration" 33.0 (Path.duration tm p)
+
+let test_dijkstra_distances () =
+  let comp = tile () in
+  let g = Graph.build comp in
+  let dist = Dijkstra.distances g ~weight:(fun _ -> 1.0) ~src:(Graph.trap_node g 0) in
+  check_float "self" 0.0 dist.(Graph.trap_node g 0);
+  check_bool "all traps reachable" true
+    (Array.for_all (fun tn -> dist.(tn) < Float.infinity)
+       (Array.map (fun (tr : Component.trap) -> Graph.trap_node g tr.Component.tid) (Component.traps comp)))
+
+(* Figure 5: among equal-Manhattan corner-to-corner routes, the turn-aware
+   weights pick the single-turn path. *)
+let test_fig5_turn_aware_single_turn () =
+  let comp = tile () in
+  let g = Graph.build comp in
+  let cong = Congestion.create comp ~channel_capacity:2 ~junction_capacity:2 in
+  (* bottom-left junction (2,7) heading east, to top-right junction (8,2)
+     arriving vertically *)
+  let src = node_at g (xy 2 7) (Some Cell.Horizontal) in
+  let dst = node_at g (xy 8 2) (Some Cell.Vertical) in
+  match Dijkstra.shortest_path g ~weight:(Congestion.weight cong ~turn_cost:10.0) ~src ~dst with
+  | None -> Alcotest.fail "no route"
+  | Some r ->
+      let p = Path.of_result ~src ~dst r in
+      check_int "single turn" 1 (Path.turns p);
+      check_int "manhattan moves" 11 (Path.moves p);
+      check_float "cost" 21.0 p.Path.cost
+
+let test_fig5_turn_blind_ignores_turns () =
+  let comp = tile () in
+  let g = Graph.build comp in
+  let cong = Congestion.create comp ~channel_capacity:2 ~junction_capacity:2 in
+  let src = node_at g (xy 2 7) (Some Cell.Horizontal) in
+  let dst = node_at g (xy 8 2) (Some Cell.Vertical) in
+  match Dijkstra.shortest_path g ~weight:(Congestion.weight cong ~turn_cost:0.0) ~src ~dst with
+  | None -> Alcotest.fail "no route"
+  | Some r ->
+      let p = Path.of_result ~src ~dst r in
+      (* same cell distance, but the model cannot distinguish turn counts *)
+      check_int "manhattan moves" 11 (Path.moves p);
+      check_float "cost counts only moves" 11.0 p.Path.cost
+
+let test_dijkstra_congestion_avoidance () =
+  (* saturate the west vertical channel; the route must detour east *)
+  let comp = tile () in
+  let g = Graph.build comp in
+  let tm = Timing.paper in
+  let cong = Congestion.create comp ~channel_capacity:2 ~junction_capacity:2 in
+  let src = Graph.trap_node g 0 and dst = Graph.trap_node g 3 in
+  let baseline =
+    match Dijkstra.shortest_path g ~weight:(free_weight tm cong) ~src ~dst with
+    | Some r -> Path.of_result ~src ~dst r
+    | None -> Alcotest.fail "no route"
+  in
+  (* block the vertical segments the baseline uses; the tile's other column
+     remains open, so a detour must exist and avoid them *)
+  let segs = Component.segments comp in
+  let blocked =
+    List.filter
+      (fun r ->
+        match r with
+        | Resource.Segment s -> segs.(s).Component.orientation = Cell.Vertical
+        | Resource.Junction _ -> false)
+      (Path.resources baseline)
+  in
+  check_bool "baseline crosses a vertical segment" true (blocked <> []);
+  List.iter
+    (fun r ->
+      Congestion.acquire cong r;
+      Congestion.acquire cong r)
+    blocked;
+  match Dijkstra.shortest_path g ~weight:(free_weight tm cong) ~src ~dst with
+  | None -> Alcotest.fail "no detour found"
+  | Some r ->
+      let detour = Path.of_result ~src ~dst r in
+      check_bool "avoids blocked segments" true
+        (List.for_all (fun res -> not (List.mem res blocked)) (Path.resources detour))
+
+(* ----------------------------------------------------------------- Path *)
+
+let route_tile src_tid dst_tid =
+  let comp = tile () in
+  let g = Graph.build comp in
+  let tm = Timing.paper in
+  let cong = Congestion.create comp ~channel_capacity:2 ~junction_capacity:2 in
+  let src = Graph.trap_node g src_tid and dst = Graph.trap_node g dst_tid in
+  match Dijkstra.shortest_path g ~weight:(free_weight tm cong) ~src ~dst with
+  | Some r -> (g, tm, Path.of_result ~src ~dst r)
+  | None -> Alcotest.fail "no route"
+
+let test_path_empty () =
+  let p = Path.empty 5 in
+  check_bool "empty" true (Path.is_empty p);
+  check_int "no moves" 0 (Path.moves p);
+  check_float "zero duration" 0.0 (Path.duration Timing.paper p);
+  check_int "no resources" 0 (List.length (Path.resources p))
+
+let test_path_resources_order () =
+  let _, _, p = route_tile 0 3 in
+  let rs = Path.resources p in
+  check_bool "has resources" true (List.length rs >= 3);
+  (* no duplicates *)
+  check_int "distinct" (List.length rs) (List.length (List.sort_uniq Resource.compare rs))
+
+let test_path_resource_exits_monotone_and_bounded () =
+  let _, tm, p = route_tile 0 3 in
+  let exits = Path.resource_exits tm p in
+  let d = Path.duration tm p in
+  List.iter (fun (_, t) -> check_bool "within duration" true (t > 0.0 && t <= d +. 1e-9)) exits;
+  (* the last resource exit is before or at arrival *)
+  check_int "every resource exits" (List.length (Path.resources p)) (List.length exits)
+
+let test_path_cells_adjacent () =
+  let g, _, p = route_tile 0 3 in
+  let cells = Path.cells g p in
+  let rec ok = function
+    | a :: b :: rest -> (Coord.manhattan a b <= 1) && ok (b :: rest)
+    | _ -> true
+  in
+  check_bool "cells contiguous" true (ok cells)
+
+(* ---------------------------------------------------------------- Micro *)
+
+let test_micro_lowering () =
+  let g, tm, p = route_tile 0 3 in
+  let cmds, arrival = Micro.lower_path g tm ~qubit:7 ~start:100.0 p in
+  check_int "one command per edge" (List.length p.Path.edges) (List.length cmds);
+  check_float "arrival" (100.0 +. Path.duration tm p) arrival;
+  (* commands are time-contiguous *)
+  let rec contiguous t = function
+    | [] -> ()
+    | cmd :: rest ->
+        check_float "contiguous" t (Micro.time cmd);
+        let finish = match cmd with Micro.Move { finish; _ } | Micro.Turn { finish; _ } -> finish | _ -> t in
+        contiguous finish rest
+  in
+  contiguous 100.0 cmds;
+  (* all commands belong to qubit 7 *)
+  List.iter (fun c -> check_bool "qubit" true (Micro.qubits_of c = [ 7 ])) cmds
+
+let test_micro_turn_durations () =
+  let g, tm, p = route_tile 0 3 in
+  let cmds, _ = Micro.lower_path g tm ~qubit:0 ~start:0.0 p in
+  let nturn = List.length (List.filter (function Micro.Turn _ -> true | _ -> false) cmds) in
+  let nmove = List.length (List.filter (function Micro.Move _ -> true | _ -> false) cmds) in
+  check_int "turns" (Path.turns p) nturn;
+  check_int "moves" (Path.moves p) nmove;
+  List.iter
+    (function
+      | Micro.Turn { start; finish; _ } -> check_float "turn takes t_turn" tm.Timing.t_turn (finish -. start)
+      | Micro.Move { start; finish; _ } -> check_float "move takes t_move" tm.Timing.t_move (finish -. start)
+      | Micro.Gate_start _ | Micro.Gate_end _ -> ())
+    cmds
+
+let test_micro_reverse () =
+  let cmd = Micro.Move { qubit = 1; from_ = xy 0 0; to_ = xy 1 0; start = 10.0; finish = 11.0 } in
+  (match Micro.reverse_command ~total:100.0 cmd with
+  | Micro.Move { from_; to_; start; finish; _ } ->
+      check_bool "endpoints swapped" true (Coord.equal from_ (xy 1 0) && Coord.equal to_ (xy 0 0));
+      check_float "start" 89.0 start;
+      check_float "finish" 90.0 finish
+  | _ -> Alcotest.fail "wrong shape");
+  match
+    Micro.reverse_command ~total:100.0
+      (Micro.Gate_start { instr_id = 3; trap = xy 2 2; qubits = [ 0; 1 ]; time = 40.0 })
+  with
+  | Micro.Gate_end { time; _ } -> check_float "gate mirrored" 60.0 time
+  | _ -> Alcotest.fail "gate start must mirror to gate end"
+
+(* ------------------------------------------------------------ properties *)
+
+let prop_random_trap_pairs_route =
+  QCheck.Test.make ~name:"all trap pairs on the QUALE fabric route cleanly" ~count:60
+    QCheck.(pair (int_bound 1000) (int_bound 1000))
+    (fun (a, b) ->
+      let comp = quale () in
+      let g = Graph.build comp in
+      let tm = Timing.paper in
+      let cong = Congestion.create comp ~channel_capacity:2 ~junction_capacity:2 in
+      let ntraps = Array.length (Component.traps comp) in
+      let src_t = a mod ntraps and dst_t = b mod ntraps in
+      if src_t = dst_t then true
+      else
+        let src = Graph.trap_node g src_t and dst = Graph.trap_node g dst_t in
+        match Dijkstra.shortest_path g ~weight:(free_weight tm cong) ~src ~dst with
+        | None -> false
+        | Some r ->
+            let p = Path.of_result ~src ~dst r in
+            (* uncongested: cost = moves + 10 * turns, and duration agrees *)
+            Float.abs (p.Path.cost -. (float_of_int (Path.moves p) +. (10.0 *. float_of_int (Path.turns p))))
+            < 1e-9
+            && Float.abs (Path.duration tm p -. p.Path.cost *. tm.Timing.t_move) < 1e-9)
+
+let prop_path_at_least_manhattan =
+  QCheck.Test.make ~name:"route length >= Manhattan distance" ~count:60
+    QCheck.(pair (int_bound 1000) (int_bound 1000))
+    (fun (a, b) ->
+      let comp = quale () in
+      let g = Graph.build comp in
+      let cong = Congestion.create comp ~channel_capacity:2 ~junction_capacity:2 in
+      let traps = Component.traps comp in
+      let src_t = a mod Array.length traps and dst_t = b mod Array.length traps in
+      if src_t = dst_t then true
+      else
+        let src = Graph.trap_node g src_t and dst = Graph.trap_node g dst_t in
+        match Dijkstra.shortest_path g ~weight:(Congestion.weight cong ~turn_cost:10.0) ~src ~dst with
+        | None -> false
+        | Some r ->
+            let p = Path.of_result ~src ~dst r in
+            Path.moves p >= Coord.manhattan traps.(src_t).Component.tpos traps.(dst_t).Component.tpos)
+
+(* ---------------------------------------------------------------- Astar *)
+
+let test_astar_matches_dijkstra_cost () =
+  let comp = quale () in
+  let g = Graph.build comp in
+  let tm = Timing.paper in
+  let cong = Congestion.create comp ~channel_capacity:2 ~junction_capacity:2 in
+  let src = Graph.trap_node g 0 and dst = Graph.trap_node g 101 in
+  let w = free_weight tm cong in
+  match (Astar.shortest_path g ~weight:w ~src ~dst, Dijkstra.shortest_path g ~weight:w ~src ~dst) with
+  | Some a, Some d -> check_float "same cost" d.Dijkstra.cost a.Dijkstra.cost
+  | _ -> Alcotest.fail "route not found"
+
+let test_astar_expands_fewer () =
+  let comp = quale () in
+  let g = Graph.build comp in
+  let cong = Congestion.create comp ~channel_capacity:2 ~junction_capacity:2 in
+  let src = Graph.trap_node g 0 and dst = Graph.trap_node g 64 in
+  let a, d = Astar.nodes_expanded g ~weight:(Congestion.weight cong ~turn_cost:10.0) ~src ~dst in
+  check_bool (Printf.sprintf "A* (%d) <= Dijkstra (%d)" a d) true (a <= d)
+
+let test_astar_blocked () =
+  let g = Graph.build (tile ()) in
+  match Astar.shortest_path g ~weight:(fun _ -> Float.infinity) ~src:(Graph.trap_node g 0) ~dst:(Graph.trap_node g 3) with
+  | None -> ()
+  | Some _ -> Alcotest.fail "path through infinite weights"
+
+let prop_astar_equals_dijkstra =
+  QCheck.Test.make ~name:"A* cost equals Dijkstra on random congested queries" ~count:40
+    QCheck.(triple (int_bound 1000) (int_bound 1000) (list_of_size Gen.(0 -- 20) (int_bound 1000)))
+    (fun (a, b, congested) ->
+      let comp = quale () in
+      let g = Graph.build comp in
+      let cong = Congestion.create comp ~channel_capacity:2 ~junction_capacity:2 in
+      (* randomly congest some segments with one user each *)
+      let nsegs = Array.length (Component.segments comp) in
+      List.iter
+        (fun s ->
+          let r = Resource.Segment (s mod nsegs) in
+          if Congestion.is_free cong r then Congestion.acquire cong r)
+        congested;
+      let ntraps = Array.length (Component.traps comp) in
+      let src = Graph.trap_node g (a mod ntraps) and dst = Graph.trap_node g (b mod ntraps) in
+      let w = Congestion.weight cong ~turn_cost:10.0 in
+      match (Astar.shortest_path g ~weight:w ~src ~dst, Dijkstra.shortest_path g ~weight:w ~src ~dst) with
+      | Some r1, Some r2 -> Float.abs (r1.Dijkstra.cost -. r2.Dijkstra.cost) < 1e-9
+      | None, None -> true
+      | _ -> false)
+
+let () =
+  let qsuite = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "router"
+    [
+      ( "timing",
+        [
+          Alcotest.test_case "paper values" `Quick test_timing_paper;
+          Alcotest.test_case "guards" `Quick test_timing_guards;
+        ] );
+      ("resource", [ Alcotest.test_case "of_edge" `Quick test_resource_of_edge ]);
+      ( "congestion",
+        [
+          Alcotest.test_case "lifecycle" `Quick test_congestion_lifecycle;
+          Alcotest.test_case "weights" `Quick test_congestion_weights;
+          Alcotest.test_case "capacity one" `Quick test_congestion_capacity_one;
+        ] );
+      ( "dijkstra",
+        [
+          Alcotest.test_case "self" `Quick test_dijkstra_self;
+          Alcotest.test_case "blocked" `Quick test_dijkstra_blocked;
+          Alcotest.test_case "negative rejected" `Quick test_dijkstra_negative_rejected;
+          Alcotest.test_case "trap to trap" `Quick test_dijkstra_trap_to_trap;
+          Alcotest.test_case "distances" `Quick test_dijkstra_distances;
+          Alcotest.test_case "figure 5 turn-aware" `Quick test_fig5_turn_aware_single_turn;
+          Alcotest.test_case "figure 5 turn-blind" `Quick test_fig5_turn_blind_ignores_turns;
+          Alcotest.test_case "congestion avoidance" `Quick test_dijkstra_congestion_avoidance;
+        ] );
+      ( "path",
+        [
+          Alcotest.test_case "empty" `Quick test_path_empty;
+          Alcotest.test_case "resources order" `Quick test_path_resources_order;
+          Alcotest.test_case "resource exits" `Quick test_path_resource_exits_monotone_and_bounded;
+          Alcotest.test_case "cells contiguous" `Quick test_path_cells_adjacent;
+        ] );
+      ( "micro",
+        [
+          Alcotest.test_case "lowering" `Quick test_micro_lowering;
+          Alcotest.test_case "durations" `Quick test_micro_turn_durations;
+          Alcotest.test_case "reverse" `Quick test_micro_reverse;
+        ] );
+      ( "astar",
+        [
+          Alcotest.test_case "matches dijkstra" `Quick test_astar_matches_dijkstra_cost;
+          Alcotest.test_case "expands fewer" `Quick test_astar_expands_fewer;
+          Alcotest.test_case "blocked" `Quick test_astar_blocked;
+        ]
+        @ qsuite [ prop_astar_equals_dijkstra ] );
+      ("properties", qsuite [ prop_random_trap_pairs_route; prop_path_at_least_manhattan ]);
+    ]

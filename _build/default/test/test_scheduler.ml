@@ -1,0 +1,255 @@
+(* Tests for scheduling priorities (Section III) and the ready-set / busy
+   queue machinery that drives the engine's list scheduler. *)
+
+open Qasm
+open Scheduler
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let fig3_qasm =
+  "QUBIT q0,0\nQUBIT q1,0\nQUBIT q2,0\nQUBIT q3\nQUBIT q4,0\n" ^ "H q0\nH q1\nH q2\nH q4\n"
+  ^ "C-X q3,q2\nC-Z q4,q2\nC-Y q2,q1\nC-Y q3,q1\nC-X q4,q1\nC-Z q2,q0\nC-Y q3,q0\nC-Z q4,q0\n"
+
+let fig3_dag () =
+  match Parser.parse ~name:"fig3" fig3_qasm with
+  | Ok p -> Dag.of_program p
+  | Error e -> Alcotest.failf "parse: %s" e
+
+let paper_delay = function
+  | Instr.Qubit_decl _ -> 0.0
+  | Instr.Gate1 _ -> 10.0
+  | Instr.Gate2 _ -> 100.0
+
+(* ------------------------------------------------------------- Priority *)
+
+let test_qspr_priority_orders_critical_path_first () =
+  let g = fig3_dag () in
+  let prios = Priority.compute Priority.qspr_default ~delay:paper_delay g in
+  (* H q2 (node 7) lies on the critical path with all 8 2q gates dependent:
+     8 + 510; H q0 (node 5) has 3 dependents and a 310us tail *)
+  check_bool "H q2 beats H q0" true (prios.(7) > prios.(5));
+  check_bool "H q2 value" true (Float.abs (prios.(7) -. 518.0) < 1e-9);
+  check_bool "H q0 value" true (Float.abs (prios.(5) -. 313.0) < 1e-9)
+
+let test_alap_priority () =
+  let g = fig3_dag () in
+  let prios = Priority.compute Priority.Alap ~delay:paper_delay g in
+  (* zero-slack nodes have the highest (zero) priority *)
+  check_bool "critical node at 0" true (Float.abs prios.(7) < 1e-9);
+  check_bool "slack node negative" true (prios.(5) < 0.0)
+
+let test_dependents_count_priority () =
+  let g = fig3_dag () in
+  let prios = Priority.compute Priority.Dependents_count ~delay:paper_delay g in
+  check_bool "H q2 has 8 dependents" true (Float.abs (prios.(7) -. 8.0) < 1e-9)
+
+let test_dependent_delay_priority () =
+  let g = fig3_dag () in
+  let prios = Priority.compute Priority.Dependent_delay ~delay:paper_delay g in
+  (* all 8 two-qubit gates depend on H q2: total 800us of dependent work *)
+  check_bool "H q2 dependent delay" true (Float.abs (prios.(7) -. 800.0) < 1e-9);
+  (* sink has none *)
+  check_bool "sink zero" true (Float.abs prios.(16) < 1e-9)
+
+let test_fixed_priority_guard () =
+  let g = fig3_dag () in
+  match Priority.compute (Priority.Fixed [| 1.0 |]) ~delay:paper_delay g with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "wrong-length Fixed accepted"
+
+let test_order_of_priorities () =
+  let order = Priority.order_of_priorities [| 1.0; 5.0; 5.0; 0.0 |] in
+  Alcotest.(check (array int)) "sorted desc, stable" [| 1; 2; 0; 3 |] order
+
+let test_replay_order_roundtrip () =
+  let g = fig3_dag () in
+  let prios = Priority.compute Priority.qspr_default ~delay:paper_delay g in
+  let order = Priority.order_of_priorities prios in
+  let replay = Priority.compute (Priority.replay_order order) ~delay:paper_delay g in
+  let order' = Priority.order_of_priorities replay in
+  Alcotest.(check (array int)) "replay reproduces the order" order order'
+
+(* ------------------------------------------------------------ Ready_set *)
+
+let test_ready_initial () =
+  let g = fig3_dag () in
+  let rs = Ready_set.create g ~priorities:(Array.make (Dag.num_nodes g) 0.0) in
+  (* exactly the 5 declarations are initially ready *)
+  Alcotest.(check (list int)) "decls ready" [ 0; 1; 2; 3; 4 ] (List.sort compare (Ready_set.ready rs));
+  check_bool "not all done" false (Ready_set.all_done rs)
+
+let test_ready_priority_order () =
+  let g = fig3_dag () in
+  let prios = Array.make (Dag.num_nodes g) 0.0 in
+  prios.(2) <- 5.0;
+  prios.(4) <- 3.0;
+  let rs = Ready_set.create g ~priorities:prios in
+  (match Ready_set.ready rs with
+  | a :: b :: _ ->
+      check_int "highest first" 2 a;
+      check_int "second" 4 b
+  | _ -> Alcotest.fail "too few ready");
+  ()
+
+let test_ready_unblocking () =
+  let g = fig3_dag () in
+  let rs = Ready_set.create g ~priorities:(Array.make (Dag.num_nodes g) 0.0) in
+  (* completing all declarations readies the H gates *)
+  List.iter (fun i -> ignore (Ready_set.mark_done rs i)) [ 0; 1; 2; 4 ];
+  let newly = Ready_set.mark_done rs 3 in
+  check_bool "C-X q3,q2 ready after q3 and H q2... not yet (H q2 pending)" true
+    (not (List.mem 9 newly));
+  check_bool "H gates ready" true (List.mem 5 (Ready_set.ready rs));
+  (* finish H q2 (node 7): C-X q3,q2 (node 9) becomes ready *)
+  ignore (Ready_set.mark_issued rs 7);
+  let newly = Ready_set.mark_done rs 7 in
+  check_bool "node 9 readied" true (List.mem 9 newly)
+
+let test_ready_defer_requeue () =
+  let g = fig3_dag () in
+  let rs = Ready_set.create g ~priorities:(Array.make (Dag.num_nodes g) 0.0) in
+  Ready_set.defer rs 0;
+  check_int "busy" 1 (Ready_set.busy_count rs);
+  check_bool "not ready while deferred" false (Ready_set.is_ready rs 0);
+  Ready_set.requeue_busy rs;
+  check_int "busy drained" 0 (Ready_set.busy_count rs);
+  check_bool "ready again" true (Ready_set.is_ready rs 0)
+
+let test_ready_errors () =
+  let g = fig3_dag () in
+  let rs = Ready_set.create g ~priorities:(Array.make (Dag.num_nodes g) 0.0) in
+  (match Ready_set.mark_issued rs 9 with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "issuing a waiting instruction accepted");
+  match Ready_set.mark_done rs 9 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "completing a waiting instruction accepted"
+
+let test_ready_full_drain () =
+  let g = fig3_dag () in
+  let n = Dag.num_nodes g in
+  let rs = Ready_set.create g ~priorities:(Array.make n 0.0) in
+  (* repeatedly complete any ready instruction; must drain the whole DAG *)
+  let steps = ref 0 in
+  while (not (Ready_set.all_done rs)) && !steps < 1000 do
+    (match Ready_set.ready rs with
+    | [] -> Alcotest.fail "stuck with nothing ready"
+    | i :: _ -> ignore (Ready_set.mark_done rs i));
+    incr steps
+  done;
+  check_int "all completed" n (Ready_set.done_count rs)
+
+(* property: under any priority assignment, draining respects dependencies *)
+let prop_drain_respects_deps =
+  QCheck.Test.make ~name:"ready-set drain is a topological order" ~count:100
+    QCheck.(list_of_size Gen.(return 17) (float_bound_exclusive 100.0))
+    (fun prios_list ->
+      let g = fig3_dag () in
+      let n = Dag.num_nodes g in
+      let prios = Array.of_list prios_list in
+      if Array.length prios <> n then true
+      else begin
+        let rs = Ready_set.create g ~priorities:prios in
+        let order = ref [] in
+        let ok = ref true in
+        let steps = ref 0 in
+        while (not (Ready_set.all_done rs)) && !steps < 1000 do
+          (match Ready_set.ready rs with
+          | [] -> ok := false
+          | i :: _ ->
+              order := i :: !order;
+              ignore (Ready_set.mark_done rs i));
+          incr steps
+        done;
+        let seen = Array.make n false in
+        List.iter
+          (fun i ->
+            List.iter (fun p -> if not seen.(p) then ok := false) (Dag.node g i).Dag.preds;
+            seen.(i) <- true)
+          (List.rev !order);
+        !ok
+      end)
+
+(* --------------------------------------------------------------- Static *)
+
+let test_static_asap_equals_critical_path () =
+  let g = fig3_dag () in
+  let s = Static.asap ~delay:paper_delay g in
+  Alcotest.(check (float 1e-9)) "makespan = critical path" 510.0 s.Static.makespan;
+  check_bool "valid at infinite resources" true
+    (Static.validate ~delay:paper_delay ~max_two_qubit:100 g s)
+
+let test_static_constrained_k1_serializes () =
+  let g = fig3_dag () in
+  let prios = Priority.compute Priority.qspr_default ~delay:paper_delay g in
+  let s = Static.resource_constrained ~delay:paper_delay ~max_two_qubit:1 ~priorities:prios g in
+  (* 8 two-qubit gates fully serialized: at least 800us *)
+  check_bool "serialized bound" true (s.Static.makespan >= 800.0);
+  check_bool "valid" true (Static.validate ~delay:paper_delay ~max_two_qubit:1 g s)
+
+let test_static_monotone_in_k () =
+  let g = fig3_dag () in
+  let prios = Priority.compute Priority.qspr_default ~delay:paper_delay g in
+  let mk k = (Static.resource_constrained ~delay:paper_delay ~max_two_qubit:k ~priorities:prios g).Static.makespan in
+  let m1 = mk 1 and m2 = mk 2 and m8 = mk 8 in
+  check_bool "k=1 >= k=2" true (m1 >= m2 -. 1e-9);
+  check_bool "k=2 >= k=8" true (m2 >= m8 -. 1e-9);
+  (* with enough resources the schedule meets the critical path *)
+  Alcotest.(check (float 1e-9)) "k=8 = critical path" 510.0 m8
+
+let test_static_guards () =
+  let g = fig3_dag () in
+  let prios = Priority.compute Priority.qspr_default ~delay:paper_delay g in
+  (match Static.resource_constrained ~delay:paper_delay ~max_two_qubit:0 ~priorities:prios g with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "k=0 accepted");
+  match Static.resource_constrained ~delay:paper_delay ~max_two_qubit:1 ~priorities:[| 1.0 |] g with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "bad priorities accepted"
+
+let prop_static_schedules_valid =
+  QCheck.Test.make ~name:"constrained schedules are always feasible" ~count:60
+    QCheck.(pair (1 -- 4) (int_bound 100000))
+    (fun (k, seed) ->
+      let rng = Ion_util.Rng.create seed in
+      let p = Circuits.Library.random_clifford rng ~num_qubits:5 ~gates:25 in
+      let g = Dag.of_program p in
+      let prios = Priority.compute Priority.qspr_default ~delay:paper_delay g in
+      let s = Static.resource_constrained ~delay:paper_delay ~max_two_qubit:k ~priorities:prios g in
+      Static.validate ~delay:paper_delay ~max_two_qubit:k g s
+      && s.Static.makespan >= Dag.critical_path ~delay:paper_delay g -. 1e-9)
+
+let () =
+  let qsuite = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "scheduler"
+    [
+      ( "priority",
+        [
+          Alcotest.test_case "qspr policy" `Quick test_qspr_priority_orders_critical_path_first;
+          Alcotest.test_case "alap policy" `Quick test_alap_priority;
+          Alcotest.test_case "dependents count" `Quick test_dependents_count_priority;
+          Alcotest.test_case "dependent delay" `Quick test_dependent_delay_priority;
+          Alcotest.test_case "fixed guard" `Quick test_fixed_priority_guard;
+          Alcotest.test_case "order extraction" `Quick test_order_of_priorities;
+          Alcotest.test_case "replay roundtrip" `Quick test_replay_order_roundtrip;
+        ] );
+      ( "ready_set",
+        [
+          Alcotest.test_case "initial" `Quick test_ready_initial;
+          Alcotest.test_case "priority order" `Quick test_ready_priority_order;
+          Alcotest.test_case "unblocking" `Quick test_ready_unblocking;
+          Alcotest.test_case "defer/requeue" `Quick test_ready_defer_requeue;
+          Alcotest.test_case "errors" `Quick test_ready_errors;
+          Alcotest.test_case "full drain" `Quick test_ready_full_drain;
+        ]
+        @ qsuite [ prop_drain_respects_deps ] );
+      ( "static",
+        [
+          Alcotest.test_case "asap = critical path" `Quick test_static_asap_equals_critical_path;
+          Alcotest.test_case "k=1 serializes" `Quick test_static_constrained_k1_serializes;
+          Alcotest.test_case "monotone in k" `Quick test_static_monotone_in_k;
+          Alcotest.test_case "guards" `Quick test_static_guards;
+        ]
+        @ qsuite [ prop_static_schedules_valid ] );
+    ]

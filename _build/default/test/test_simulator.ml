@@ -1,0 +1,382 @@
+(* Tests for the event-driven fabric simulator: exact small scenarios with
+   hand-computed latencies, physical serialization of commuting gates,
+   deadlock reporting, trace reversal and full physical validation of the
+   [[5,1,3]] mapping. *)
+
+module Coord = Ion_util.Coord
+open Qasm
+open Fabric
+open Router
+open Simulator
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+
+let paper_delay tm i = Timing.gate_delay tm i
+
+let fig3_qasm =
+  "QUBIT q0,0\nQUBIT q1,0\nQUBIT q2,0\nQUBIT q3\nQUBIT q4,0\n" ^ "H q0\nH q1\nH q2\nH q4\n"
+  ^ "C-X q3,q2\nC-Z q4,q2\nC-Y q2,q1\nC-Y q3,q1\nC-X q4,q1\nC-Z q2,q0\nC-Y q3,q0\nC-Z q4,q0\n"
+
+let parse src = match Parser.parse src with Ok p -> p | Error e -> Alcotest.failf "parse: %s" e
+
+let build_graph lay =
+  match Component.extract lay with
+  | Ok c -> Graph.build c
+  | Error e -> Alcotest.failf "extract: %s" e
+
+let tile_graph () = build_graph (Layout.small_tile ())
+let quale_graph () = build_graph (Layout.quale_45x85 ())
+
+let run ?(policy = Engine.qspr_policy) graph program placement =
+  let tm = Timing.paper in
+  let dag = Dag.of_program program in
+  let prios = Scheduler.Priority.compute Scheduler.Priority.qspr_default ~delay:(paper_delay tm) dag in
+  Engine.run ~graph ~timing:tm ~policy ~dag ~priorities:prios ~placement ()
+
+let run_exn ?policy graph program placement =
+  match run ?policy graph program placement with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "engine: %s" e
+
+(* small tile traps: t0=(5,1) t1=(5,3) t2=(5,6) t3=(5,8) *)
+
+let test_single_1q_gate () =
+  let p = parse "QUBIT a\nH a\n" in
+  let r = run_exn (tile_graph ()) p [| 0 |] in
+  check_float "latency = t_1q" 10.0 r.Engine.latency;
+  check_int "no moves" 0 (Trace.move_count r.Engine.trace);
+  check_int "one gate" 1 (Trace.gate_count r.Engine.trace)
+
+let test_single_2q_adjacent_traps () =
+  (* q0 in t0 (5,1), q1 in t1 (5,3): midpoint (5,2), nearest trap is t0;
+     q1 hops trap->tap->trap (2 moves), gate runs 100us *)
+  let p = parse "QUBIT a\nQUBIT b\nC-X a,b\n" in
+  let r = run_exn (tile_graph ()) p [| 0; 1 |] in
+  check_float "latency = 2 moves + gate" 102.0 r.Engine.latency;
+  check_int "two moves" 2 (Trace.move_count r.Engine.trace);
+  check_int "no turns" 0 (Trace.turn_count r.Engine.trace);
+  (* both end in the same trap *)
+  check_int "same trap" r.Engine.final_placement.(0) r.Engine.final_placement.(1)
+
+let test_second_gate_same_pair_is_free () =
+  (* after the first gate the operands share a trap: the second gate needs no
+     routing at all (ion multiplexing in traps) *)
+  let p = parse "QUBIT a\nQUBIT b\nC-X a,b\nC-Z a,b\n" in
+  let r = run_exn (tile_graph ()) p [| 0; 1 |] in
+  check_float "latency = 102 + 100" 202.0 r.Engine.latency;
+  check_int "still two moves" 2 (Trace.move_count r.Engine.trace)
+
+let test_commuting_gates_serialize_physically () =
+  (* C-X a,b and C-X a,c are QIDG-independent (shared control) but ion a is
+     a single physical ion: the engine must serialize them *)
+  let p = parse "QUBIT a\nQUBIT b\nQUBIT c\nC-X a,b\nC-X a,c\n" in
+  let r = run_exn (tile_graph ()) p [| 0; 1; 2 |] in
+  check_bool "at least two gate slots" true (r.Engine.latency >= 200.0);
+  (* and the DAG alone would allow 100us of overlap *)
+  let dag = Dag.of_program p in
+  check_float "logical critical path is one gate" 100.0
+    (Dag.critical_path ~delay:(paper_delay Timing.paper) dag)
+
+let test_congestion_wait_accounted () =
+  let p = parse "QUBIT a\nQUBIT b\nQUBIT c\nC-X a,b\nC-X a,c\n" in
+  let r = run_exn (tile_graph ()) p [| 0; 1; 2 |] in
+  (* the second gate waited for ion a: its congestion wait is positive *)
+  check_bool "wait recorded" true (r.Engine.total_congestion_wait > 0.0)
+
+let test_fig3_on_quale () =
+  let p = parse fig3_qasm in
+  let graph = quale_graph () in
+  let comp = Graph.component graph in
+  let center = Layout.center (Component.layout comp) in
+  let placement = Array.of_list (List.filteri (fun i _ -> i < 5) (Component.nearest_traps comp center)) in
+  let r = run_exn graph p placement in
+  (* physical serialization forces >= 610; routing adds more; the paper's
+     QSPR result for this circuit is 634 *)
+  check_bool "at least the serialized bound" true (r.Engine.latency >= 610.0);
+  check_bool "not wildly above the paper's result" true (r.Engine.latency <= 900.0);
+  (* every instruction completed and was issued after it was ready *)
+  Array.iter
+    (fun (s : Engine.instr_stats) ->
+      check_bool "issue after ready" true (s.Engine.issued_at >= s.Engine.ready_at -. 1e-9);
+      check_bool "complete after issue" true (s.Engine.completed_at >= s.Engine.issued_at -. 1e-9))
+    r.Engine.stats
+
+let test_fig3_trace_validates () =
+  let p = parse fig3_qasm in
+  let graph = quale_graph () in
+  let comp = Graph.component graph in
+  let center = Layout.center (Component.layout comp) in
+  let placement = Array.of_list (List.filteri (fun i _ -> i < 5) (Component.nearest_traps comp center)) in
+  let r = run_exn graph p placement in
+  let report =
+    Validate.check ~graph ~timing:Timing.paper ~channel_capacity:2 ~junction_capacity:2
+      ~initial_placement:placement r.Engine.trace
+  in
+  if not report.Validate.ok then
+    Alcotest.failf "trace invalid:\n%s" (String.concat "\n" report.Validate.errors)
+
+let test_fig3_quale_policy_slower () =
+  let p = parse fig3_qasm in
+  let graph = quale_graph () in
+  let comp = Graph.component graph in
+  let center = Layout.center (Component.layout comp) in
+  let placement = Array.of_list (List.filteri (fun i _ -> i < 5) (Component.nearest_traps comp center)) in
+  let qspr = run_exn graph p placement in
+  let quale = run_exn ~policy:Engine.quale_policy graph p placement in
+  check_bool "QUALE-style mapping is no faster" true
+    (quale.Engine.latency >= qspr.Engine.latency -. 1e-9)
+
+let test_quale_policy_trace_validates_capacity_one () =
+  let p = parse fig3_qasm in
+  let graph = quale_graph () in
+  let comp = Graph.component graph in
+  let center = Layout.center (Component.layout comp) in
+  let placement = Array.of_list (List.filteri (fun i _ -> i < 5) (Component.nearest_traps comp center)) in
+  let r = run_exn ~policy:Engine.quale_policy graph p placement in
+  let report =
+    Validate.check ~graph ~timing:Timing.paper ~channel_capacity:1 ~junction_capacity:2
+      ~initial_placement:placement r.Engine.trace
+  in
+  if not report.Validate.ok then
+    Alcotest.failf "capacity-1 trace invalid:\n%s" (String.concat "\n" report.Validate.errors)
+
+let test_engine_determinism () =
+  let p = parse fig3_qasm in
+  let graph = quale_graph () in
+  let comp = Graph.component graph in
+  let center = Layout.center (Component.layout comp) in
+  let placement = Array.of_list (List.filteri (fun i _ -> i < 5) (Component.nearest_traps comp center)) in
+  let r1 = run_exn graph p placement and r2 = run_exn graph p placement in
+  check_float "same latency" r1.Engine.latency r2.Engine.latency;
+  check_int "same trace length" (List.length r1.Engine.trace) (List.length r2.Engine.trace)
+
+let test_placement_validation () =
+  let p = parse "QUBIT a\nQUBIT b\nC-X a,b\n" in
+  let g = tile_graph () in
+  (match run g p [| 0 |] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "short placement accepted");
+  (* two ions may share a trap; three may not *)
+  (let p3 = parse "QUBIT a\nQUBIT b\nQUBIT c\nC-X a,b\n" in
+   match run g p3 [| 0; 0; 0 |] with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "overfull trap accepted");
+  (match run g p [| 0; 0 |] with
+  | Error e -> Alcotest.failf "shared trap rejected: %s" e
+  | Ok r -> Alcotest.(check (float 1e-9)) "co-located gate needs no routing" 100.0 r.Engine.latency);
+  match run g p [| 0; 999 |] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "out-of-range trap accepted"
+
+let test_deadlock_reported () =
+  (* two disconnected islands: the 2q gate is unroutable *)
+  let lay =
+    match Layout.parse "J-JT\n\nJ-JT\n" with
+    | Ok l -> l
+    | Error e -> Alcotest.failf "layout: %s" e
+  in
+  let graph = build_graph lay in
+  let p = parse "QUBIT a\nQUBIT b\nC-X a,b\n" in
+  match run graph p [| 0; 1 |] with
+  | Error msg -> check_bool "mentions deadlock" true (String.length msg > 0)
+  | Ok _ -> Alcotest.fail "unroutable program completed"
+
+let test_final_placement_consistent () =
+  let p = parse fig3_qasm in
+  let graph = quale_graph () in
+  let comp = Graph.component graph in
+  let center = Layout.center (Component.layout comp) in
+  let placement = Array.of_list (List.filteri (fun i _ -> i < 5) (Component.nearest_traps comp center)) in
+  let r = run_exn graph p placement in
+  let ntraps = Array.length (Component.traps comp) in
+  Array.iter (fun t -> check_bool "trap in range" true (t >= 0 && t < ntraps)) r.Engine.final_placement;
+  (* no trap holds more than 2 qubits at the end *)
+  let load = Array.make ntraps 0 in
+  Array.iter (fun t -> load.(t) <- load.(t) + 1) r.Engine.final_placement;
+  Array.iter (fun l -> check_bool "trap load <= 2" true (l <= 2)) load
+
+(* ------------------------------------------------------------- Breakdown *)
+
+let test_breakdown_single_gate () =
+  let p = parse "QUBIT a\nQUBIT b\nC-X a,b\n" in
+  let dag = Dag.of_program p in
+  let graph = tile_graph () in
+  let tm = Timing.paper in
+  let prios = Scheduler.Priority.compute Scheduler.Priority.qspr_default ~delay:(paper_delay tm) dag in
+  match Engine.run ~graph ~timing:tm ~policy:Engine.qspr_policy ~dag ~priorities:prios ~placement:[| 0; 1 |] () with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+      let b = Breakdown.of_result ~timing:tm ~dag r in
+      check_int "one instruction" 1 b.Breakdown.instructions;
+      check_float "gate time" 100.0 b.Breakdown.gate_us;
+      (* two trap-hop moves, no turns *)
+      check_float "routing time" 2.0 b.Breakdown.routing_us;
+      check_float "no congestion" 0.0 b.Breakdown.congestion_us;
+      let g, ro, c = Breakdown.per_gate b in
+      check_float "per gate" 100.0 g;
+      check_float "per gate routing" 2.0 ro;
+      check_float "per gate congestion" 0.0 c
+
+let test_breakdown_accounts_wait () =
+  let p = parse "QUBIT a\nQUBIT b\nQUBIT c\nC-X a,b\nC-X a,c\n" in
+  let dag = Dag.of_program p in
+  let graph = tile_graph () in
+  let tm = Timing.paper in
+  let prios = Scheduler.Priority.compute Scheduler.Priority.qspr_default ~delay:(paper_delay tm) dag in
+  match Engine.run ~graph ~timing:tm ~policy:Engine.qspr_policy ~dag ~priorities:prios ~placement:[| 0; 1; 2 |] () with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+      let b = Breakdown.of_result ~timing:tm ~dag r in
+      (* the second gate waits for ion a *)
+      check_bool "congestion positive" true (b.Breakdown.congestion_us > 0.0)
+
+(* ----------------------------------------------------------------- Trace *)
+
+let test_trace_reverse_preserves_latency () =
+  let p = parse fig3_qasm in
+  let graph = quale_graph () in
+  let comp = Graph.component graph in
+  let center = Layout.center (Component.layout comp) in
+  let placement = Array.of_list (List.filteri (fun i _ -> i < 5) (Component.nearest_traps comp center)) in
+  let r = run_exn graph p placement in
+  let rev = Trace.reverse r.Engine.trace in
+  check_float "same latency" (Trace.latency r.Engine.trace) (Trace.latency rev);
+  check_int "same moves" (Trace.move_count r.Engine.trace) (Trace.move_count rev);
+  check_int "same gates" (Trace.gate_count r.Engine.trace) (Trace.gate_count rev);
+  (* gate starts become gate ends and vice versa, so double reversal is
+     involutive on counts and latency *)
+  let rev2 = Trace.reverse rev in
+  check_float "involution latency" (Trace.latency r.Engine.trace) (Trace.latency rev2)
+
+let test_trace_qubit_filter () =
+  let p = parse "QUBIT a\nQUBIT b\nC-X a,b\n" in
+  let r = run_exn (tile_graph ()) p [| 0; 1 |] in
+  let q1_cmds = Trace.qubit_commands r.Engine.trace 1 in
+  check_bool "q1 has commands" true (List.length q1_cmds > 0);
+  List.iter (fun c -> check_bool "only q1" true (List.mem 1 (Micro.qubits_of c))) q1_cmds
+
+let test_trace_to_string () =
+  let p = parse "QUBIT a\nH a\n" in
+  let r = run_exn (tile_graph ()) p [| 0 |] in
+  check_bool "printable" true (String.length (Trace.to_string r.Engine.trace) > 0)
+
+(* -------------------------------------------------------------- Validate *)
+
+let test_validate_catches_teleport () =
+  (* a forged trace where the qubit jumps two cells *)
+  let graph = tile_graph () in
+  let trace =
+    [
+      Micro.Move { qubit = 0; from_ = Coord.make 5 1; to_ = Coord.make 5 3; start = 0.0; finish = 1.0 };
+    ]
+  in
+  let report =
+    Validate.check ~graph ~timing:Timing.paper ~channel_capacity:2 ~junction_capacity:2
+      ~initial_placement:[| 0 |] trace
+  in
+  check_bool "rejected" false report.Validate.ok
+
+let test_validate_catches_wrong_gate_site () =
+  let graph = tile_graph () in
+  let trace =
+    [ Micro.Gate_start { instr_id = 0; trap = Coord.make 2 2; qubits = [ 0 ]; time = 0.0 } ]
+  in
+  let report =
+    Validate.check ~graph ~timing:Timing.paper ~channel_capacity:2 ~junction_capacity:2
+      ~initial_placement:[| 0 |] trace
+  in
+  (* (2,2) is a junction, not a trap, and the gate never ends *)
+  check_bool "rejected" false report.Validate.ok
+
+let test_validate_catches_capacity_violation () =
+  let graph = tile_graph () in
+  (* three qubits squeezed through the same channel cell simultaneously *)
+  let mk q = Micro.Move { qubit = q; from_ = Coord.make 5 2; to_ = Coord.make 4 2; start = 0.0; finish = 1.0 } in
+  (* place 3 qubits on traps t0,t1,t2; forge their positions via initial
+     moves from their real taps is complex — instead forge three parallel
+     moves from the same cell, which also violates continuity; capacity check
+     still counts 3 users on the segment *)
+  let report =
+    Validate.check ~graph ~timing:Timing.paper ~channel_capacity:2 ~junction_capacity:2
+      ~initial_placement:[| 0; 1; 2 |]
+      [ mk 0; mk 1; mk 2 ]
+  in
+  check_bool "rejected" false report.Validate.ok;
+  check_bool "mentions capacity" true
+    (List.exists
+       (fun e ->
+         let has_sub s sub =
+           let n = String.length sub in
+           let found = ref false in
+           for i = 0 to String.length s - n do
+             if String.sub s i n = sub then found := true
+           done;
+           !found
+         in
+         has_sub e "capacity")
+       report.Validate.errors)
+
+let test_validate_never_ended_gate () =
+  let graph = tile_graph () in
+  (* qubit 0 starts at trap 0 = (5,1); gate starts there but never ends *)
+  let trace = [ Micro.Gate_start { instr_id = 9; trap = Coord.make 5 1; qubits = [ 0 ]; time = 0.0 } ] in
+  let report =
+    Validate.check ~graph ~timing:Timing.paper ~channel_capacity:2 ~junction_capacity:2
+      ~initial_placement:[| 0 |] trace
+  in
+  check_bool "rejected" false report.Validate.ok
+
+let test_validate_wrong_durations () =
+  let graph = tile_graph () in
+  let trace =
+    [ Micro.Move { qubit = 0; from_ = Coord.make 5 1; to_ = Coord.make 5 2; start = 0.0; finish = 3.0 } ]
+  in
+  let report =
+    Validate.check ~graph ~timing:Timing.paper ~channel_capacity:2 ~junction_capacity:2
+      ~initial_placement:[| 0 |] trace
+  in
+  (* a move must take exactly t_move *)
+  check_bool "rejected" false report.Validate.ok
+
+let () =
+  Alcotest.run "simulator"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "single 1q gate" `Quick test_single_1q_gate;
+          Alcotest.test_case "single 2q gate, adjacent traps" `Quick test_single_2q_adjacent_traps;
+          Alcotest.test_case "second gate same pair free" `Quick test_second_gate_same_pair_is_free;
+          Alcotest.test_case "commuting gates serialize" `Quick test_commuting_gates_serialize_physically;
+          Alcotest.test_case "congestion wait accounted" `Quick test_congestion_wait_accounted;
+          Alcotest.test_case "fig3 on 45x85" `Quick test_fig3_on_quale;
+          Alcotest.test_case "fig3 trace validates" `Quick test_fig3_trace_validates;
+          Alcotest.test_case "quale policy no faster" `Quick test_fig3_quale_policy_slower;
+          Alcotest.test_case "quale trace validates at capacity 1" `Quick
+            test_quale_policy_trace_validates_capacity_one;
+          Alcotest.test_case "determinism" `Quick test_engine_determinism;
+          Alcotest.test_case "placement validation" `Quick test_placement_validation;
+          Alcotest.test_case "deadlock reported" `Quick test_deadlock_reported;
+          Alcotest.test_case "final placement consistent" `Quick test_final_placement_consistent;
+        ] );
+      ( "breakdown",
+        [
+          Alcotest.test_case "single gate" `Quick test_breakdown_single_gate;
+          Alcotest.test_case "accounts wait" `Quick test_breakdown_accounts_wait;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "reverse preserves latency" `Quick test_trace_reverse_preserves_latency;
+          Alcotest.test_case "qubit filter" `Quick test_trace_qubit_filter;
+          Alcotest.test_case "to_string" `Quick test_trace_to_string;
+        ] );
+      ( "validate",
+        [
+          Alcotest.test_case "teleport rejected" `Quick test_validate_catches_teleport;
+          Alcotest.test_case "wrong gate site rejected" `Quick test_validate_catches_wrong_gate_site;
+          Alcotest.test_case "capacity violation rejected" `Quick test_validate_catches_capacity_violation;
+          Alcotest.test_case "never-ended gate rejected" `Quick test_validate_never_ended_gate;
+          Alcotest.test_case "wrong durations rejected" `Quick test_validate_wrong_durations;
+        ] );
+    ]

@@ -1,0 +1,442 @@
+(* Tests for the ion_util substrate: RNG determinism and uniformity bounds,
+   priority-queue ordering, pairing-heap persistence, statistics, bit-vector
+   algebra and coordinate geometry. *)
+
+open Ion_util
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ Rng *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if not (Int64.equal (Rng.int64 a) (Rng.int64 b)) then differs := true
+  done;
+  check_bool "different seeds differ" true !differs
+
+let test_rng_int_bounds () =
+  let r = Rng.create 7 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int r 13 in
+    check_bool "in range" true (v >= 0 && v < 13)
+  done
+
+let test_rng_int_uniformish () =
+  let r = Rng.create 11 in
+  let counts = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let v = Rng.int r 10 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iter
+    (fun c ->
+      (* each bucket should get ~10000; allow 10% slack *)
+      check_bool "bucket within 10%" true (c > 9_000 && c < 11_000))
+    counts
+
+let test_rng_float_bounds () =
+  let r = Rng.create 3 in
+  for _ = 1 to 10_000 do
+    let v = Rng.float r 2.5 in
+    check_bool "in range" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_rng_split_independent () =
+  let parent = Rng.create 5 in
+  let child = Rng.split parent in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if not (Int64.equal (Rng.int64 parent) (Rng.int64 child)) then differs := true
+  done;
+  check_bool "split stream differs" true !differs
+
+let test_rng_permutation () =
+  let r = Rng.create 9 in
+  let p = Rng.permutation r 50 in
+  let seen = Array.make 50 false in
+  Array.iter (fun i -> seen.(i) <- true) p;
+  Array.iter (fun b -> check_bool "all present" true b) seen
+
+let test_rng_shuffle_preserves_elements () =
+  let r = Rng.create 13 in
+  let a = Array.init 20 (fun i -> i * i) in
+  let b = Array.copy a in
+  Rng.shuffle r b;
+  Array.sort compare b;
+  Alcotest.(check (array int)) "same multiset" a b
+
+let test_rng_pick_member () =
+  let r = Rng.create 17 in
+  let a = [| 3; 1; 4; 1; 5 |] in
+  for _ = 1 to 100 do
+    check_bool "member" true (Array.exists (( = ) (Rng.pick r a)) a)
+  done
+
+(* --------------------------------------------------------------- Pqueue *)
+
+let test_pqueue_ordering () =
+  let q = Pqueue.create ~compare:Int.compare () in
+  List.iter (fun p -> Pqueue.add q p (string_of_int p)) [ 5; 3; 8; 1; 9; 2; 7 ];
+  let order = List.map fst (Pqueue.to_sorted_list q) in
+  Alcotest.(check (list int)) "sorted drain" [ 1; 2; 3; 5; 7; 8; 9 ] order;
+  check_int "queue untouched by to_sorted_list" 7 (Pqueue.length q)
+
+let test_pqueue_pop_sequence () =
+  let q = Pqueue.create ~compare:Int.compare () in
+  Pqueue.add q 2 "b";
+  Pqueue.add q 1 "a";
+  Pqueue.add q 3 "c";
+  Alcotest.(check (option (pair int string))) "peek min" (Some (1, "a")) (Pqueue.peek q);
+  Alcotest.(check (option (pair int string))) "pop 1" (Some (1, "a")) (Pqueue.pop q);
+  Alcotest.(check (option (pair int string))) "pop 2" (Some (2, "b")) (Pqueue.pop q);
+  Alcotest.(check (option (pair int string))) "pop 3" (Some (3, "c")) (Pqueue.pop q);
+  Alcotest.(check (option (pair int string))) "empty" None (Pqueue.pop q)
+
+let test_pqueue_empty () =
+  let q : (int, unit) Pqueue.t = Pqueue.create ~compare:Int.compare () in
+  check_bool "is_empty" true (Pqueue.is_empty q);
+  check_int "length" 0 (Pqueue.length q);
+  Alcotest.check_raises "pop_exn raises" (Invalid_argument "Pqueue.pop_exn: empty queue") (fun () ->
+      ignore (Pqueue.pop_exn q))
+
+let test_pqueue_clear () =
+  let q = Pqueue.create ~compare:Int.compare () in
+  Pqueue.add q 1 ();
+  Pqueue.add q 2 ();
+  Pqueue.clear q;
+  check_bool "cleared" true (Pqueue.is_empty q)
+
+let test_pqueue_growth () =
+  let q = Pqueue.create ~capacity:1 ~compare:Int.compare () in
+  for i = 1000 downto 1 do
+    Pqueue.add q i i
+  done;
+  check_int "length" 1000 (Pqueue.length q);
+  let p, _ = Pqueue.pop_exn q in
+  check_int "min after growth" 1 p
+
+let prop_pqueue_sorts =
+  QCheck.Test.make ~name:"pqueue drains any list sorted" ~count:200
+    QCheck.(list small_int)
+    (fun xs ->
+      let q = Pqueue.create ~compare:Int.compare () in
+      List.iter (fun x -> Pqueue.add q x x) xs;
+      let drained = List.map fst (Pqueue.to_sorted_list q) in
+      drained = List.sort compare xs)
+
+(* --------------------------------------------------------- Pairing_heap *)
+
+let test_pheap_basic () =
+  let h = Pairing_heap.of_list ~compare:Int.compare [ (4, "d"); (1, "a"); (3, "c") ] in
+  Alcotest.(check (option (pair int string))) "peek" (Some (1, "a")) (Pairing_heap.peek h);
+  check_int "length" 3 (Pairing_heap.length h)
+
+let test_pheap_persistent () =
+  let h0 = Pairing_heap.of_list ~compare:Int.compare [ (2, ()); (1, ()) ] in
+  let h1 = Pairing_heap.add h0 0 () in
+  (* h0 is unchanged by the add *)
+  Alcotest.(check (option (pair int unit))) "h0 min" (Some (1, ())) (Pairing_heap.peek h0);
+  Alcotest.(check (option (pair int unit))) "h1 min" (Some (0, ())) (Pairing_heap.peek h1)
+
+let test_pheap_merge () =
+  let a = Pairing_heap.of_list ~compare:Int.compare [ (5, ()); (2, ()) ] in
+  let b = Pairing_heap.of_list ~compare:Int.compare [ (3, ()); (1, ()) ] in
+  let m = Pairing_heap.merge a b in
+  let keys = List.map fst (Pairing_heap.to_sorted_list m) in
+  Alcotest.(check (list int)) "merged sorted" [ 1; 2; 3; 5 ] keys
+
+let prop_pheap_sorts =
+  QCheck.Test.make ~name:"pairing heap drains any list sorted" ~count:200
+    QCheck.(list small_int)
+    (fun xs ->
+      let h = Pairing_heap.of_list ~compare:Int.compare (List.map (fun x -> (x, x)) xs) in
+      List.map fst (Pairing_heap.to_sorted_list h) = List.sort compare xs)
+
+(* ---------------------------------------------------------------- Stats *)
+
+let test_stats_mean () =
+  check_float "mean" 2.5 (Stats.mean [ 1.0; 2.0; 3.0; 4.0 ]);
+  check_float "mean empty" 0.0 (Stats.mean [])
+
+let test_stats_variance () =
+  check_float "variance" 1.25 (Stats.variance [ 1.0; 2.0; 3.0; 4.0 ]);
+  check_float "variance singleton" 0.0 (Stats.variance [ 7.0 ])
+
+let test_stats_minmax_median () =
+  let lo, hi = Stats.min_max [ 3.0; 1.0; 2.0 ] in
+  check_float "min" 1.0 lo;
+  check_float "max" 3.0 hi;
+  check_float "median odd" 2.0 (Stats.median [ 3.0; 1.0; 2.0 ]);
+  check_float "median even" 2.5 (Stats.median [ 1.0; 2.0; 3.0; 4.0 ])
+
+let test_stats_percentile () =
+  let xs = [ 10.0; 20.0; 30.0; 40.0 ] in
+  check_float "p0" 10.0 (Stats.percentile 0.0 xs);
+  check_float "p100" 40.0 (Stats.percentile 100.0 xs);
+  check_float "p50" 25.0 (Stats.percentile 50.0 xs)
+
+let test_stats_geomean () =
+  check_float "geometric mean" 4.0 (Stats.geometric_mean [ 2.0; 8.0 ])
+
+let test_stats_errors () =
+  Alcotest.check_raises "min_max empty" (Invalid_argument "Stats.min_max: empty list") (fun () ->
+      ignore (Stats.min_max []));
+  Alcotest.check_raises "percentile empty" (Invalid_argument "Stats.percentile: empty list") (fun () ->
+      ignore (Stats.percentile 50.0 []))
+
+let prop_mean_bounded =
+  QCheck.Test.make ~name:"mean lies within min..max" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 50) (float_bound_exclusive 1000.0))
+    (fun xs ->
+      let m = Stats.mean xs in
+      let lo, hi = Stats.min_max xs in
+      m >= lo -. 1e-9 && m <= hi +. 1e-9)
+
+(* ---------------------------------------------------------------- Coord *)
+
+let test_coord_manhattan () =
+  let a = Coord.make 0 0 and b = Coord.make 3 4 in
+  check_int "manhattan" 7 (Coord.manhattan a b);
+  check_int "symmetric" (Coord.manhattan a b) (Coord.manhattan b a)
+
+let test_coord_midpoint () =
+  let m = Coord.midpoint (Coord.make 0 0) (Coord.make 4 6) in
+  check_bool "midpoint" true (Coord.equal m (Coord.make 2 3))
+
+let test_coord_dirs () =
+  let c = Coord.make 5 5 in
+  List.iter
+    (fun d ->
+      let c' = Coord.step c d in
+      check_int "unit step" 1 (Coord.manhattan c c');
+      match Coord.dir_between c c' with
+      | Some d' -> check_bool "dir_between recovers dir" true (d = d')
+      | None -> Alcotest.fail "dir_between returned None for a unit step")
+    Coord.all_dirs
+
+let test_coord_opposite () =
+  List.iter
+    (fun d ->
+      let c = Coord.make 0 0 in
+      let back = Coord.step (Coord.step c d) (Coord.opposite d) in
+      check_bool "opposite returns" true (Coord.equal c back))
+    Coord.all_dirs
+
+let test_coord_dir_between_far () =
+  Alcotest.(check bool)
+    "non-adjacent cells have no dir" true
+    (Coord.dir_between (Coord.make 0 0) (Coord.make 2 0) = None)
+
+let test_coord_containers () =
+  let s = Coord.Set.of_list [ Coord.make 1 1; Coord.make 1 1; Coord.make 2 2 ] in
+  check_int "set dedup" 2 (Coord.Set.cardinal s);
+  let tbl = Coord.Tbl.create 4 in
+  Coord.Tbl.replace tbl (Coord.make 3 3) "x";
+  check_bool "tbl find" true (Coord.Tbl.mem tbl (Coord.make 3 3))
+
+(* ----------------------------------------------------------------- Bitv *)
+
+let test_bitv_get_set () =
+  let v = Bitv.create 100 in
+  check_bool "initially clear" false (Bitv.get v 57);
+  Bitv.set v 57 true;
+  check_bool "set" true (Bitv.get v 57);
+  Bitv.set v 57 false;
+  check_bool "cleared" false (Bitv.get v 57)
+
+let test_bitv_flip () =
+  let v = Bitv.create 8 in
+  Bitv.flip v 3;
+  check_bool "flipped on" true (Bitv.get v 3);
+  Bitv.flip v 3;
+  check_bool "flipped off" false (Bitv.get v 3)
+
+let test_bitv_xor () =
+  let a = Bitv.create 16 and b = Bitv.create 16 in
+  Bitv.set a 1 true;
+  Bitv.set a 2 true;
+  Bitv.set b 2 true;
+  Bitv.set b 3 true;
+  Bitv.xor_into ~dst:a ~src:b;
+  check_bool "1" true (Bitv.get a 1);
+  check_bool "2" false (Bitv.get a 2);
+  check_bool "3" true (Bitv.get a 3);
+  check_int "popcount" 2 (Bitv.popcount a)
+
+let test_bitv_fill () =
+  let v = Bitv.create 13 in
+  Bitv.fill v true;
+  check_int "popcount respects slack bits" 13 (Bitv.popcount v);
+  Bitv.fill v false;
+  check_int "popcount zero" 0 (Bitv.popcount v)
+
+let test_bitv_iter_set () =
+  let v = Bitv.create 64 in
+  List.iter (fun i -> Bitv.set v i true) [ 0; 13; 63 ];
+  let acc = ref [] in
+  Bitv.iter_set v (fun i -> acc := i :: !acc);
+  Alcotest.(check (list int)) "iter_set ascending" [ 0; 13; 63 ] (List.rev !acc)
+
+let test_bitv_and_popcount () =
+  let a = Bitv.create 32 and b = Bitv.create 32 in
+  List.iter (fun i -> Bitv.set a i true) [ 1; 5; 9 ];
+  List.iter (fun i -> Bitv.set b i true) [ 5; 9; 11 ];
+  check_int "and_popcount" 2 (Bitv.and_popcount a b)
+
+let test_bitv_bounds () =
+  let v = Bitv.create 10 in
+  Alcotest.check_raises "oob get" (Invalid_argument "Bitv: index out of bounds") (fun () ->
+      ignore (Bitv.get v 10))
+
+let prop_bitv_xor_involution =
+  QCheck.Test.make ~name:"xor twice restores" ~count:200
+    QCheck.(pair (list_of_size Gen.(0 -- 60) (int_bound 63)) (list_of_size Gen.(0 -- 60) (int_bound 63)))
+    (fun (xs, ys) ->
+      let a = Bitv.create 64 and b = Bitv.create 64 in
+      List.iter (fun i -> Bitv.set a i true) xs;
+      List.iter (fun i -> Bitv.set b i true) ys;
+      let original = Bitv.copy a in
+      Bitv.xor_into ~dst:a ~src:b;
+      Bitv.xor_into ~dst:a ~src:b;
+      Bitv.equal a original)
+
+(* ----------------------------------------------------------- Ascii_table *)
+
+let test_table_render () =
+  let s = Ascii_table.render_simple ~header:[ "a"; "bb" ] ~rows:[ [ "1"; "2" ]; [ "10"; "20" ] ] in
+  check_bool "contains header" true (String.length s > 0);
+  (* each data cell must appear in the output *)
+  List.iter
+    (fun cell ->
+      let found = ref false in
+      for i = 0 to String.length s - String.length cell do
+        if String.sub s i (String.length cell) = cell then found := true
+      done;
+      check_bool ("cell " ^ cell) true !found)
+    [ "10"; "20" ]
+
+let test_table_row_padding () =
+  (* shorter rows padded, longer rows truncated: must not raise *)
+  let s = Ascii_table.render_simple ~header:[ "x"; "y" ] ~rows:[ [ "1" ]; [ "1"; "2"; "3" ] ] in
+  check_bool "rendered" true (String.length s > 0)
+
+let test_table_empty_columns () =
+  Alcotest.check_raises "no columns" (Invalid_argument "Ascii_table.render: no columns") (fun () ->
+      ignore (Ascii_table.render ~columns:[] ~rows:[]))
+
+(* ----------------------------------------------------------------- Plot *)
+
+let test_plot_renders_series () =
+  let s =
+    Plot.render
+      [
+        { Plot.label = "a"; points = [ (0.0, 0.0); (1.0, 1.0); (2.0, 4.0) ]; glyph = 'a' };
+        { Plot.label = "b"; points = [ (0.0, 4.0); (2.0, 0.0) ]; glyph = 'b' };
+      ]
+  in
+  check_bool "has glyph a" true (String.contains s 'a');
+  check_bool "has glyph b" true (String.contains s 'b');
+  check_bool "has legend" true (String.length s > 100)
+
+let test_plot_guards () =
+  (match Plot.render [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty accepted");
+  (match Plot.render [ { Plot.label = "x"; points = []; glyph = 'x' } ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "no points accepted");
+  match Plot.render ~width:3 ~height:2 [ { Plot.label = "x"; points = [ (0.0, 0.0) ]; glyph = 'x' } ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "tiny grid accepted"
+
+let test_plot_single_point () =
+  (* degenerate ranges must not divide by zero *)
+  let s = Plot.render [ { Plot.label = "p"; points = [ (5.0, 7.0) ]; glyph = 'p' } ] in
+  check_bool "renders" true (String.contains s 'p')
+
+let () =
+  let qsuite = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "ion_util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "int uniform-ish" `Quick test_rng_int_uniformish;
+          Alcotest.test_case "float bounds" `Quick test_rng_float_bounds;
+          Alcotest.test_case "split independent" `Quick test_rng_split_independent;
+          Alcotest.test_case "permutation complete" `Quick test_rng_permutation;
+          Alcotest.test_case "shuffle preserves" `Quick test_rng_shuffle_preserves_elements;
+          Alcotest.test_case "pick member" `Quick test_rng_pick_member;
+        ] );
+      ( "pqueue",
+        [
+          Alcotest.test_case "ordering" `Quick test_pqueue_ordering;
+          Alcotest.test_case "pop sequence" `Quick test_pqueue_pop_sequence;
+          Alcotest.test_case "empty" `Quick test_pqueue_empty;
+          Alcotest.test_case "clear" `Quick test_pqueue_clear;
+          Alcotest.test_case "growth" `Quick test_pqueue_growth;
+        ]
+        @ qsuite [ prop_pqueue_sorts ] );
+      ( "pairing_heap",
+        [
+          Alcotest.test_case "basic" `Quick test_pheap_basic;
+          Alcotest.test_case "persistent" `Quick test_pheap_persistent;
+          Alcotest.test_case "merge" `Quick test_pheap_merge;
+        ]
+        @ qsuite [ prop_pheap_sorts ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean" `Quick test_stats_mean;
+          Alcotest.test_case "variance" `Quick test_stats_variance;
+          Alcotest.test_case "min max median" `Quick test_stats_minmax_median;
+          Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "geometric mean" `Quick test_stats_geomean;
+          Alcotest.test_case "errors" `Quick test_stats_errors;
+        ]
+        @ qsuite [ prop_mean_bounded ] );
+      ( "coord",
+        [
+          Alcotest.test_case "manhattan" `Quick test_coord_manhattan;
+          Alcotest.test_case "midpoint" `Quick test_coord_midpoint;
+          Alcotest.test_case "directions" `Quick test_coord_dirs;
+          Alcotest.test_case "opposite" `Quick test_coord_opposite;
+          Alcotest.test_case "dir_between far" `Quick test_coord_dir_between_far;
+          Alcotest.test_case "containers" `Quick test_coord_containers;
+        ] );
+      ( "bitv",
+        [
+          Alcotest.test_case "get/set" `Quick test_bitv_get_set;
+          Alcotest.test_case "flip" `Quick test_bitv_flip;
+          Alcotest.test_case "xor" `Quick test_bitv_xor;
+          Alcotest.test_case "fill slack" `Quick test_bitv_fill;
+          Alcotest.test_case "iter_set" `Quick test_bitv_iter_set;
+          Alcotest.test_case "and_popcount" `Quick test_bitv_and_popcount;
+          Alcotest.test_case "bounds" `Quick test_bitv_bounds;
+        ]
+        @ qsuite [ prop_bitv_xor_involution ] );
+      ( "plot",
+        [
+          Alcotest.test_case "series" `Quick test_plot_renders_series;
+          Alcotest.test_case "guards" `Quick test_plot_guards;
+          Alcotest.test_case "single point" `Quick test_plot_single_point;
+        ] );
+      ( "ascii_table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "row padding" `Quick test_table_row_padding;
+          Alcotest.test_case "empty columns" `Quick test_table_empty_columns;
+        ] );
+    ]

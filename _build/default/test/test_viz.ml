@@ -1,0 +1,189 @@
+(* Tests for the trace visualization tools: Gantt activity charts and
+   positional replay. *)
+
+module Coord = Ion_util.Coord
+open Router
+open Simulator
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_char = Alcotest.(check char)
+
+let xy = Coord.make
+
+let demo_trace =
+  [
+    Micro.Move { qubit = 0; from_ = xy 0 0; to_ = xy 1 0; start = 0.0; finish = 10.0 };
+    Micro.Turn { qubit = 0; at = xy 1 0; start = 10.0; finish = 20.0 };
+    Micro.Move { qubit = 0; from_ = xy 1 0; to_ = xy 1 1; start = 20.0; finish = 30.0 };
+    Micro.Gate_start { instr_id = 0; trap = xy 1 1; qubits = [ 0; 1 ]; time = 30.0 };
+    Micro.Gate_end { instr_id = 0; trap = xy 1 1; qubits = [ 0; 1 ]; time = 130.0 };
+    Micro.Gate_start { instr_id = 1; trap = xy 1 1; qubits = [ 1 ]; time = 130.0 };
+    Micro.Gate_end { instr_id = 1; trap = xy 1 1; qubits = [ 1 ]; time = 140.0 };
+  ]
+
+(* ---------------------------------------------------------------- Gantt *)
+
+let test_gantt_activity_at () =
+  let act t = Gantt.activity_at ~num_qubits:2 demo_trace t in
+  check_char "q0 moving at t=5" 'm' (act 5.0).(0);
+  check_char "q1 idle at t=5" '.' (act 5.0).(1);
+  check_char "q0 turning at t=15" 't' (act 15.0).(0);
+  check_char "q0 in 2q gate at t=80" 'G' (act 80.0).(0);
+  check_char "q1 in 2q gate at t=80" 'G' (act 80.0).(1);
+  check_char "q1 in 1q gate at t=135" 'g' (act 135.0).(1);
+  check_char "q0 idle at t=135" '.' (act 135.0).(0)
+
+let test_gantt_render_shape () =
+  let s = Gantt.render ~width:40 ~num_qubits:2 demo_trace in
+  let lines = String.split_on_char '\n' s |> List.filter (fun l -> l <> "") in
+  (* header + 2 qubit rows + axis *)
+  check_int "line count" 4 (List.length lines);
+  let row0 = List.nth lines 1 in
+  check_bool "row has gate cells" true (String.contains row0 'G');
+  check_bool "row has move cells" true (String.contains row0 'm')
+
+let test_gantt_empty () =
+  let s = Gantt.render ~num_qubits:3 [] in
+  check_bool "renders header" true (String.length s > 0)
+
+let test_gantt_guards () =
+  (match Gantt.render ~width:1 ~num_qubits:1 demo_trace with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "tiny width accepted");
+  match Gantt.render ~num_qubits:1 demo_trace with
+  | exception Invalid_argument _ -> () (* trace mentions qubit 1 *)
+  | _ -> Alcotest.fail "out-of-range qubit accepted"
+
+(* --------------------------------------------------------------- Replay *)
+
+let test_replay_positions () =
+  let r = Replay.create ~initial:[| xy 0 0; xy 1 1 |] demo_trace in
+  check_int "qubits" 2 (Replay.num_qubits r);
+  Alcotest.(check (float 1e-9)) "makespan" 140.0 (Replay.makespan r);
+  let p0 = Replay.positions_at r 0.0 in
+  check_bool "q0 at origin" true (Coord.equal p0.(0) (xy 0 0));
+  let p1 = Replay.positions_at r 15.0 in
+  check_bool "q0 after first move" true (Coord.equal p1.(0) (xy 1 0));
+  let p2 = Replay.positions_at r 1000.0 in
+  check_bool "q0 final (clamped)" true (Coord.equal p2.(0) (xy 1 1));
+  check_bool "q1 never moved" true (Coord.equal p2.(1) (xy 1 1))
+
+let test_replay_distance () =
+  let r = Replay.create ~initial:[| xy 0 0; xy 1 1 |] demo_trace in
+  Alcotest.(check (array int)) "distances" [| 2; 0 |] (Replay.distance_traveled r)
+
+let test_replay_frames () =
+  (* frame rendering over a real mapped circuit *)
+  let lay = Fabric.Layout.small_tile () in
+  let comp = match Fabric.Component.extract lay with Ok c -> c | Error e -> Alcotest.fail e in
+  let graph = Fabric.Graph.build comp in
+  let p =
+    match Qasm.Parser.parse "QUBIT a\nQUBIT b\nC-X a,b\n" with Ok p -> p | Error e -> Alcotest.fail e
+  in
+  let dag = Qasm.Dag.of_program p in
+  let tm = Router.Timing.paper in
+  let prios =
+    Scheduler.Priority.compute Scheduler.Priority.qspr_default ~delay:(Router.Timing.gate_delay tm) dag
+  in
+  let result =
+    match
+      Engine.run ~graph ~timing:tm ~policy:Engine.qspr_policy ~dag ~priorities:prios
+        ~placement:[| 0; 3 |] ()
+    with
+    | Ok r -> r
+    | Error e -> Alcotest.fail e
+  in
+  let traps = Fabric.Component.traps comp in
+  let initial = Array.map (fun tid -> traps.(tid).Fabric.Component.tpos) [| 0; 3 |] in
+  let r = Replay.create ~initial result.Engine.trace in
+  let frames = Replay.frames ~steps:4 r lay in
+  check_int "five frames" 5 (List.length frames);
+  (* first frame shows both digits at their initial traps *)
+  let _, first = List.hd frames in
+  check_bool "has qubit 0" true (String.contains first '0');
+  check_bool "has qubit 1" true (String.contains first '1');
+  (* last frame: both qubits co-located (one digit hides the other) *)
+  let _, last = List.nth frames 4 in
+  check_bool "rendered" true (String.length last > 0);
+  (* times are increasing *)
+  let times = List.map fst frames in
+  check_bool "times sorted" true (times = List.sort compare times)
+
+let test_replay_guards () =
+  match Replay.create ~initial:[| xy 0 0 |] demo_trace with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "qubit out of range accepted"
+
+(* -------------------------------------------------------------- Heatmap *)
+
+let test_heatmap_counts_entries_once () =
+  let lay = Fabric.Layout.small_tile () in
+  let comp = match Fabric.Component.extract lay with Ok c -> c | Error e -> Alcotest.fail e in
+  (* qubit walks from trap t0 (5,1) into tap (5,2), west along the row-2
+     channel to (4,2), (3,2): one segment entry despite three moves *)
+  let trace =
+    [
+      Micro.Move { qubit = 0; from_ = xy 5 1; to_ = xy 5 2; start = 0.0; finish = 1.0 };
+      Micro.Move { qubit = 0; from_ = xy 5 2; to_ = xy 4 2; start = 1.0; finish = 2.0 };
+      Micro.Move { qubit = 0; from_ = xy 4 2; to_ = xy 3 2; start = 2.0; finish = 3.0 };
+    ]
+  in
+  let segs = Heatmap.segment_crossings comp trace in
+  check_int "total entries" 1 (Array.fold_left ( + ) 0 segs)
+
+let test_heatmap_junction_and_render () =
+  let lay = Fabric.Layout.small_tile () in
+  let comp = match Fabric.Component.extract lay with Ok c -> c | Error e -> Alcotest.fail e in
+  let trace =
+    [
+      Micro.Move { qubit = 0; from_ = xy 3 2; to_ = xy 2 2; start = 0.0; finish = 1.0 };
+      (* into junction (2,2) *)
+    ]
+  in
+  let juncs = Heatmap.junction_crossings comp trace in
+  check_int "junction entered" 1 (Array.fold_left ( + ) 0 juncs);
+  let s = Heatmap.render comp trace in
+  check_bool "render has a 1" true (String.contains s '1');
+  check_bool "render has idle dots" true (String.contains s '.')
+
+let test_heatmap_busiest () =
+  let lay = Fabric.Layout.small_tile () in
+  let comp = match Fabric.Component.extract lay with Ok c -> c | Error e -> Alcotest.fail e in
+  let hop a b t = Micro.Move { qubit = 0; from_ = a; to_ = b; start = t; finish = t +. 1.0 } in
+  (* enter segment at (5,2) twice (leaving via the trap in between) *)
+  let trace =
+    [
+      hop (xy 5 1) (xy 5 2) 0.0;
+      hop (xy 5 2) (xy 5 1) 1.0;
+      hop (xy 5 1) (xy 5 2) 2.0;
+    ]
+  in
+  match Heatmap.busiest_segments comp trace 1 with
+  | [ (_, count) ] -> check_int "two entries" 2 count
+  | _ -> Alcotest.fail "expected one busiest segment"
+
+let () =
+  Alcotest.run "viz"
+    [
+      ( "gantt",
+        [
+          Alcotest.test_case "activity_at" `Quick test_gantt_activity_at;
+          Alcotest.test_case "render shape" `Quick test_gantt_render_shape;
+          Alcotest.test_case "empty" `Quick test_gantt_empty;
+          Alcotest.test_case "guards" `Quick test_gantt_guards;
+        ] );
+      ( "heatmap",
+        [
+          Alcotest.test_case "entries counted once" `Quick test_heatmap_counts_entries_once;
+          Alcotest.test_case "junctions and render" `Quick test_heatmap_junction_and_render;
+          Alcotest.test_case "busiest" `Quick test_heatmap_busiest;
+        ] );
+      ( "replay",
+        [
+          Alcotest.test_case "positions" `Quick test_replay_positions;
+          Alcotest.test_case "distance" `Quick test_replay_distance;
+          Alcotest.test_case "frames" `Quick test_replay_frames;
+          Alcotest.test_case "guards" `Quick test_replay_guards;
+        ] );
+    ]
