@@ -178,6 +178,62 @@ let bench_pathfinder =
       Test.make ~name:"greedy_sequential_wave6" (Staged.stage sequential);
     ]
 
+(* Allocation-free routing hot path: the same wave of trap-to-trap queries
+   with per-call fresh arrays vs one reused workspace.  The reused variant
+   should show O(path) minor allocation per query instead of O(nodes); the
+   minor_allocated column of BENCH_pr1.json quantifies it. *)
+let bench_router_workspace =
+  let comp =
+    match Fabric.Component.extract fabric with Ok c -> c | Error e -> failwith e
+  in
+  let graph = Fabric.Graph.build comp in
+  let cong = Router.Congestion.create comp ~channel_capacity:2 ~junction_capacity:2 in
+  let w = Router.Congestion.weight cong ~turn_cost:10.0 in
+  let ntraps = Array.length (Fabric.Component.traps comp) in
+  let queries =
+    List.init 8 (fun i ->
+        ( Fabric.Graph.trap_node graph (i * 13 mod ntraps),
+          Fabric.Graph.trap_node graph (ntraps - 1 - (i * 29 mod ntraps)) ))
+  in
+  let ws = Router.Workspace.create () in
+  let sum_costs shortest =
+    List.fold_left
+      (fun acc (src, dst) ->
+        match shortest ~src ~dst with Some r -> acc +. r.Router.Dijkstra.cost | None -> acc)
+      0.0 queries
+  in
+  Test.make_grouped ~name:"workspace"
+    [
+      Test.make ~name:"dijkstra_fresh"
+        (Staged.stage (fun () -> sum_costs (Router.Dijkstra.shortest_path graph ~weight:w)));
+      Test.make ~name:"dijkstra_reused"
+        (Staged.stage (fun () ->
+             sum_costs (Router.Dijkstra.shortest_path ~workspace:ws graph ~weight:w)));
+      Test.make ~name:"astar_fresh"
+        (Staged.stage (fun () -> sum_costs (Router.Astar.shortest_path graph ~weight:w)));
+      Test.make ~name:"astar_reused"
+        (Staged.stage (fun () ->
+             sum_costs (Router.Astar.shortest_path ~workspace:ws graph ~weight:w)));
+    ]
+
+(* Placement search fan-out: the same Monte-Carlo and MVFB searches run
+   sequentially and on a domain pool.  Results are bit-identical by
+   construction (test/test_parallel.ml asserts it); this group measures the
+   wall-clock effect of QSPR_JOBS on this machine. *)
+let bench_parallel =
+  let ctx = ctx_of "[[5,1,3]]" in
+  Test.make_grouped ~name:"parallel"
+    [
+      Test.make ~name:"mc_runs6_jobs1"
+        (Staged.stage (fun () -> solution_latency (Qspr.Mapper.map_monte_carlo ~runs:6 ~jobs:1 ctx)));
+      Test.make ~name:"mc_runs6_jobs2"
+        (Staged.stage (fun () -> solution_latency (Qspr.Mapper.map_monte_carlo ~runs:6 ~jobs:2 ctx)));
+      Test.make ~name:"mvfb_m2_jobs1"
+        (Staged.stage (fun () -> solution_latency (Qspr.Mapper.map_mvfb ~m:2 ~jobs:1 ctx)));
+      Test.make ~name:"mvfb_m2_jobs2"
+        (Staged.stage (fun () -> solution_latency (Qspr.Mapper.map_mvfb ~m:2 ~jobs:2 ctx)));
+    ]
+
 (* Sensitivity workload: the single forward evaluation that the m-sweep
    repeats. *)
 let bench_sensitivity =
@@ -280,6 +336,8 @@ let run_benchmarks () =
         bench_fig5;
         bench_fig23;
         bench_pathfinder;
+        bench_router_workspace;
+        bench_parallel;
         bench_sensitivity;
         bench_circuits;
         bench_quantum;
@@ -287,31 +345,59 @@ let run_benchmarks () =
       ]
   in
   let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~kde:None () in
-  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock; minor_allocated ] tests in
   let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
-  let results = Analyze.all ols Instance.monotonic_clock raw in
-  print_endline "=== Bechamel timings (monotonic clock, per run) ===";
+  let estimate_of results name =
+    match Hashtbl.find_opt results name with
+    | Some ols -> ( match Analyze.OLS.estimates ols with Some [ e ] -> e | _ -> nan)
+    | None -> nan
+  in
+  let times = Analyze.all ols Instance.monotonic_clock raw in
+  let allocs = Analyze.all ols Instance.minor_allocated raw in
+  print_endline "=== Bechamel timings (monotonic clock + minor words, per run) ===";
   let rows =
-    Hashtbl.fold
-      (fun name ols acc ->
-        let ns = match Analyze.OLS.estimates ols with Some [ e ] -> e | _ -> nan in
-        (name, ns) :: acc)
-      results []
+    Hashtbl.fold (fun name _ acc -> (name, estimate_of times name, estimate_of allocs name) :: acc) times []
     |> List.sort compare
   in
   List.iter
-    (fun (name, ns) ->
+    (fun (name, ns, words) ->
       let pretty =
         if ns > 1e9 then Printf.sprintf "%8.2f s " (ns /. 1e9)
         else if ns > 1e6 then Printf.sprintf "%8.2f ms" (ns /. 1e6)
         else if ns > 1e3 then Printf.sprintf "%8.2f us" (ns /. 1e3)
         else Printf.sprintf "%8.2f ns" ns
       in
-      Printf.printf "  %-40s %s\n" name pretty)
-    rows
+      Printf.printf "  %-40s %s  %12.0f w\n" name pretty words)
+    rows;
+  rows
+
+(* Machine-readable results for regression tracking: one record per bench
+   with the OLS ns/run and minor words/run estimates. *)
+let emit_json rows =
+  let module J = Ion_util.Json in
+  let doc =
+    J.Obj
+      [
+        ("schema", J.String "qspr-bench/1");
+        ( "instances",
+          J.List [ J.String "monotonic_clock_ns_per_run"; J.String "minor_allocated_words_per_run" ] );
+        ( "results",
+          J.List
+            (List.map
+               (fun (name, ns, words) ->
+                 J.Obj
+                   [ ("name", J.String name); ("ns_per_run", J.Float ns); ("minor_words_per_run", J.Float words) ])
+               rows) );
+      ]
+  in
+  let oc = open_out "BENCH_pr1.json" in
+  output_string oc (J.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\nwrote BENCH_pr1.json (%d benches)\n" (List.length rows)
 
 let () =
   print_tables ();
   print_priority_study ();
   print_ablation_latencies ();
-  run_benchmarks ()
+  emit_json (run_benchmarks ())

@@ -1,0 +1,47 @@
+(* Bench smoke test, wired into `dune runtest` via the bench-smoke alias: a
+   tiny iteration of each bench group in main.ml, asserting the invariants
+   the full harness relies on — reused-workspace routing returns exactly
+   what fresh arrays return, and parallel placement search returns exactly
+   the sequential latencies.  Fails loudly instead of measuring. *)
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("bench-smoke: " ^ m); exit 1) fmt
+
+let check_eq name a b = if not (Float.abs (a -. b) < 1e-9) then fail "%s: %.9g <> %.9g" name a b
+
+let solution_latency label = function
+  | Ok (s : Qspr.Mapper.solution) -> s.Qspr.Mapper.latency
+  | Error e -> fail "%s: %s" label e
+
+let () =
+  let fabric = Qspr.Experiments.fabric () in
+  (* workspace group: fresh vs reused routing on a few trap pairs *)
+  let comp = match Fabric.Component.extract fabric with Ok c -> c | Error e -> fail "%s" e in
+  let graph = Fabric.Graph.build comp in
+  let cong = Router.Congestion.create comp ~channel_capacity:2 ~junction_capacity:2 in
+  let w = Router.Congestion.weight cong ~turn_cost:10.0 in
+  let ntraps = Array.length (Fabric.Component.traps comp) in
+  let ws = Router.Workspace.create () in
+  List.iter
+    (fun i ->
+      let src = Fabric.Graph.trap_node graph (i * 17 mod ntraps) in
+      let dst = Fabric.Graph.trap_node graph ((ntraps - 1 - (i * 5)) mod ntraps) in
+      let cost label shortest =
+        match shortest ~src ~dst with Some r -> r.Router.Dijkstra.cost | None -> fail "%s: no route" label
+      in
+      check_eq "dijkstra fresh vs reused"
+        (cost "fresh" (Router.Dijkstra.shortest_path graph ~weight:w))
+        (cost "reused" (Router.Dijkstra.shortest_path ~workspace:ws graph ~weight:w));
+      check_eq "astar vs dijkstra reused"
+        (cost "astar" (Router.Astar.shortest_path ~workspace:ws graph ~weight:w))
+        (cost "reused" (Router.Dijkstra.shortest_path ~workspace:ws graph ~weight:w)))
+    [ 0; 1; 2; 3 ];
+  (* parallel group: serial and pooled searches agree latency-for-latency *)
+  let p = List.assoc "[[5,1,3]]" (Circuits.Qecc.all ()) in
+  let ctx = match Qspr.Mapper.create ~fabric p with Ok c -> c | Error e -> fail "%s" e in
+  check_eq "monte carlo jobs1 vs jobs2"
+    (solution_latency "mc jobs1" (Qspr.Mapper.map_monte_carlo ~runs:4 ~jobs:1 ctx))
+    (solution_latency "mc jobs2" (Qspr.Mapper.map_monte_carlo ~runs:4 ~jobs:2 ctx));
+  check_eq "mvfb jobs1 vs jobs2"
+    (solution_latency "mvfb jobs1" (Qspr.Mapper.map_mvfb ~m:2 ~jobs:1 ctx))
+    (solution_latency "mvfb jobs2" (Qspr.Mapper.map_mvfb ~m:2 ~jobs:2 ctx));
+  print_endline "bench-smoke: OK (workspace routing exact, parallel search exact)"

@@ -5,7 +5,15 @@ type t = {
   m : int;
   patience : int;
   rng_seed : int;
+  jobs : int;
 }
+
+(* QSPR_JOBS sets the default worker-domain count; anything unparsable or
+   below 1 falls back to sequential. *)
+let jobs_from_env () =
+  match Sys.getenv_opt "QSPR_JOBS" with
+  | None -> 1
+  | Some s -> ( match int_of_string_opt (String.trim s) with Some j when j >= 1 -> j | _ -> 1)
 
 let default =
   {
@@ -15,13 +23,16 @@ let default =
     m = 100;
     patience = 3;
     rng_seed = 2012;
+    jobs = jobs_from_env ();
   }
 
 let with_m m t = { t with m }
 let with_seed rng_seed t = { t with rng_seed }
+let with_jobs jobs t = { t with jobs }
 
 let validate t =
   if t.m < 1 then Error "Config: m must be at least 1"
   else if t.patience < 1 then Error "Config: patience must be at least 1"
+  else if t.jobs < 1 then Error "Config: jobs must be at least 1"
   else if t.qspr_policy.Simulator.Engine.channel_capacity < 1 then Error "Config: channel capacity must be positive"
   else Ok t

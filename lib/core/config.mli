@@ -8,14 +8,19 @@ type t = {
   m : int;  (** MVFB random seeds (the paper evaluates 25 and 100) *)
   patience : int;  (** stop a local search after this many non-improving runs *)
   rng_seed : int;  (** root seed for all randomized placement *)
+  jobs : int;
+      (** worker domains for placement search fan-out; 1 = sequential.
+          Results are bit-identical at any job count. *)
 }
 
 val default : t
 (** Paper values: T_move=1us, T_turn=10us, T_1q=10us, T_2q=100us, channel
-    capacity 2, m=100, patience 3. *)
+    capacity 2, m=100, patience 3.  [jobs] comes from the [QSPR_JOBS]
+    environment variable (default 1; invalid values fall back to 1). *)
 
 val with_m : int -> t -> t
 val with_seed : int -> t -> t
+val with_jobs : int -> t -> t
 
 val validate : t -> (t, string) result
-(** Checks positivity of [m] and [patience] and capacity sanity. *)
+(** Checks positivity of [m], [patience] and [jobs], and capacity sanity. *)

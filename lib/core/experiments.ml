@@ -22,15 +22,22 @@ let placer_pair ctx ~m =
   let mc = solve_exn "MC" (Mapper.map_monte_carlo ~runs:mvfb.Mapper.placement_runs ctx) in
   (cell_of mvfb, cell_of mc)
 
-let table1 ?(m_small = 25) ?(m_large = 100) ?circuits () =
+let table1 ?(m_small = 25) ?(m_large = 100) ?jobs ?circuits () =
+  let jobs = match jobs with Some j -> j | None -> Config.default.Config.jobs in
   let circuits = match circuits with Some c -> c | None -> default_circuits () in
-  List.map
-    (fun (name, p) ->
-      let ctx = context p in
-      let mvfb_25, mc_25 = placer_pair ctx ~m:m_small in
-      let mvfb_100, mc_100 = placer_pair ctx ~m:m_large in
-      { Report.circuit = name; mvfb_25; mc_25; mvfb_100; mc_100 })
-    circuits
+  (* With a multi-domain pool the sweep parallelizes across circuits, so the
+     per-circuit searches are pinned to sequential to avoid nested fan-out;
+     every search is bit-identical at any job count, so the rows are too. *)
+  let config = if jobs > 1 then Config.with_jobs 1 Config.default else Config.default in
+  let one (name, p) =
+    let ctx = context ~config p in
+    let mvfb_25, mc_25 = placer_pair ctx ~m:m_small in
+    let mvfb_100, mc_100 = placer_pair ctx ~m:m_large in
+    { Report.circuit = name; mvfb_25; mc_25; mvfb_100; mc_100 }
+  in
+  Ion_util.Domain_pool.with_pool ~jobs (fun pool ->
+      Ion_util.Domain_pool.map pool one (Array.of_list circuits))
+  |> Array.to_list
 
 let table2 ?(m = 100) ?circuits () =
   let circuits = match circuits with Some c -> c | None -> default_circuits () in
@@ -470,7 +477,7 @@ let fig5 () =
   in
   let model_cost turn_cost p =
     List.fold_left
-      (fun acc e -> acc +. Router.Congestion.weight cong ~turn_cost e)
+      (fun acc e -> acc +. Router.Congestion.weight cong ~turn_cost e.Fabric.Graph.kind)
       0.0 p.Router.Path.edges
   in
   let turn_aware_cost = model_cost (Router.Timing.turn_cost_in_moves Router.Timing.paper) in

@@ -155,14 +155,16 @@ let solution_of_engine ~ctx ~runs ~run_latencies ~cpu ~direction ~initial (r : E
         cpu_time_s = cpu;
       }
 
-let map_mvfb ?m t =
+let map_mvfb ?m ?jobs t =
   let m = Option.value ~default:t.config.Config.m m in
-  let rng = Ion_util.Rng.create t.config.Config.rng_seed in
+  let jobs = Option.value ~default:t.config.Config.jobs jobs in
   let t0 = Sys.time () in
   match
-    Placer.Mvfb.search ~rng ~m ~patience:t.config.Config.patience ~forward:(run_forward t)
-      ~backward:(run_backward t) t.comp
-      ~num_qubits:(Program.num_qubits t.program)
+    Ion_util.Domain_pool.with_pool ~jobs (fun pool ->
+        Placer.Mvfb.search ~pool ~seed:t.config.Config.rng_seed ~m
+          ~patience:t.config.Config.patience ~forward:(run_forward t) ~backward:(run_backward t)
+          t.comp
+          ~num_qubits:(Program.num_qubits t.program))
   with
   | Error _ as e -> e
   | Ok o ->
@@ -172,12 +174,14 @@ let map_mvfb ?m t =
            ~direction:o.Placer.Mvfb.direction ~initial:o.Placer.Mvfb.initial_placement
            o.Placer.Mvfb.result)
 
-let map_monte_carlo ~runs t =
-  let rng = Ion_util.Rng.create t.config.Config.rng_seed in
+let map_monte_carlo ~runs ?jobs t =
+  let jobs = Option.value ~default:t.config.Config.jobs jobs in
   let t0 = Sys.time () in
   match
-    Placer.Monte_carlo.search ~rng ~runs ~evaluate:(run_forward t) t.comp
-      ~num_qubits:(Program.num_qubits t.program)
+    Ion_util.Domain_pool.with_pool ~jobs (fun pool ->
+        Placer.Monte_carlo.search ~pool ~seed:t.config.Config.rng_seed ~runs
+          ~evaluate:(run_forward t) t.comp
+          ~num_qubits:(Program.num_qubits t.program))
   with
   | Error _ as e -> e
   | Ok o ->

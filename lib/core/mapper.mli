@@ -53,13 +53,17 @@ val run_with :
 (** Escape hatch for custom policies (used by the QUALE mode and the
     ablation benches). *)
 
-val map_mvfb : ?m:int -> t -> (solution, string) result
+val map_mvfb : ?m:int -> ?jobs:int -> t -> (solution, string) result
 (** The full QSPR flow: MVFB placement (defaulting to the config's [m]),
     best of all forward/backward runs; backward winners are reported as
-    reversed traces (Section IV.A). *)
+    reversed traces (Section IV.A).  [jobs] (default: the config's [jobs])
+    fans the [m] independent seeds out over that many domains; any job
+    count returns a bit-identical solution. *)
 
-val map_monte_carlo : runs:int -> t -> (solution, string) result
-(** Best of [runs] random center placements under the QSPR engine. *)
+val map_monte_carlo : runs:int -> ?jobs:int -> t -> (solution, string) result
+(** Best of [runs] random center placements under the QSPR engine.  [jobs]
+    behaves as in {!map_mvfb}: parallel fan-out of the independent runs with
+    bit-identical results at any job count. *)
 
 val map_center : t -> (solution, string) result
 (** Single deterministic center placement under the QSPR engine. *)

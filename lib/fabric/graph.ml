@@ -6,10 +6,17 @@ type edge_kind = Chan of int | Junc of int | Turn of int | Tap of int
 
 type edge = { dst : node; kind : edge_kind }
 
+(* Adjacency in CSR (compressed sparse row) form: the out-edges of node [n]
+   occupy indices [row_start.(n) .. row_start.(n+1) - 1] of the flat
+   [edge_dst]/[edge_kinds] arrays.  The router's Dijkstra/A* inner loop scans
+   these with plain int indexing — no list traversal and no per-query edge
+   allocation; [adj] rebuilds the list view for diagnostics and tests. *)
 type t = {
   component : Component.t;
   num_nodes : int;
-  adj : edge list array;
+  row_start : int array; (* length num_nodes + 1 *)
+  edge_dst : int array;
+  edge_kinds : edge_kind array;
   trap_nodes : node array;
   positions : Coord.t array;
   orientations : Cell.orientation option array;
@@ -17,7 +24,20 @@ type t = {
 
 let component t = t.component
 let num_nodes t = t.num_nodes
-let adj t n = t.adj.(n)
+
+let adj t n =
+  let acc = ref [] in
+  for i = t.row_start.(n + 1) - 1 downto t.row_start.(n) do
+    acc := { dst = t.edge_dst.(i); kind = t.edge_kinds.(i) } :: !acc
+  done;
+  !acc
+
+let succ_start t n = t.row_start.(n)
+let succ_stop t n = t.row_start.(n + 1)
+let succ_dst t i = t.edge_dst.(i)
+let succ_kind t i = t.edge_kinds.(i)
+let edge_at t i = { dst = t.edge_dst.(i); kind = t.edge_kinds.(i) }
+
 let trap_node t tid = t.trap_nodes.(tid)
 let node_pos t n = t.positions.(n)
 let node_orientation t n = t.orientations.(n)
@@ -27,7 +47,7 @@ let pp_node t ppf n =
   let o = match t.orientations.(n) with Some Cell.Horizontal -> "H" | Some Cell.Vertical -> "V" | None -> "T" in
   Format.fprintf ppf "%a%s" Coord.pp pos o
 
-let num_edges t = Array.fold_left (fun acc l -> acc + List.length l) 0 t.adj
+let num_edges t = Array.length t.edge_dst
 
 (* node numbering: channel cell -> 1 node; junction cell -> H node then
    V node; trap -> 1 node *)
@@ -126,10 +146,27 @@ let build comp =
           Option.iter link (Coord.Tbl.find_opt junc_node_v tr.Component.tap)
       | Cell.Empty | Cell.Trap -> ())
     traps;
+  (* pack the per-node lists into CSR, preserving each node's list order *)
+  let row_start = Array.make (n + 1) 0 in
+  for src = 0 to n - 1 do
+    row_start.(src + 1) <- row_start.(src) + List.length adj.(src)
+  done;
+  let total = row_start.(n) in
+  let edge_dst = Array.make total 0 in
+  let edge_kinds = Array.make total (Tap 0) in
+  for src = 0 to n - 1 do
+    List.iteri
+      (fun i e ->
+        edge_dst.(row_start.(src) + i) <- e.dst;
+        edge_kinds.(row_start.(src) + i) <- e.kind)
+      adj.(src)
+  done;
   {
     component = comp;
     num_nodes = n;
-    adj;
+    row_start;
+    edge_dst;
+    edge_kinds;
     trap_nodes;
     positions = Array.of_list (List.rev !positions);
     orientations = Array.of_list (List.rev !orientations);

@@ -29,7 +29,26 @@ val build : Component.t -> t
 
 val component : t -> Component.t
 val num_nodes : t -> int
+
 val adj : t -> node -> edge list
+(** The list view of a node's out-edges, rebuilt per call — fine for
+    diagnostics and tests; hot router loops should use the CSR accessors
+    below, which allocate nothing. *)
+
+(** {2 CSR accessors}
+
+    Adjacency is stored in compressed-sparse-row form: the out-edges of node
+    [n] are the flat indices [succ_start t n .. succ_stop t n - 1], each
+    giving a destination node and an edge kind. *)
+
+val succ_start : t -> node -> int
+val succ_stop : t -> node -> int
+val succ_dst : t -> int -> node
+val succ_kind : t -> int -> edge_kind
+
+val edge_at : t -> int -> edge
+(** The edge record at a CSR index — allocates; used to materialize the
+    O(path) result of a search. *)
 
 val trap_node : t -> int -> node
 (** Node of a trap id — route endpoints. *)

@@ -5,27 +5,38 @@ type outcome = {
   runs : int;
 }
 
-let search ~rng ~runs ~evaluate comp ~num_qubits =
+let search ?pool ~seed ~runs ~evaluate comp ~num_qubits =
   if runs < 1 then Error "Monte_carlo.search: need at least one run"
   else begin
+    (* Each run's randomness is a pure function of (seed, run index), so the
+       fan-out below is bit-identical whether it executes sequentially or on
+       a domain pool. *)
+    let one i =
+      let rng = Ion_util.Rng.derive seed ~index:i in
+      let placement = Center.place_permuted rng comp ~num_qubits in
+      match evaluate placement with Error e -> Error e | Ok r -> Ok (placement, r)
+    in
+    let amap = match pool with Some p -> Ion_util.Domain_pool.map p | None -> Array.map in
+    let results = amap one (Array.init runs Fun.id) in
+    (* Reduce in run order: the first error wins, and latency ties keep the
+       earliest run — exactly the sequential loop's behavior. *)
     let best = ref None in
     let latencies = ref [] in
     let error = ref None in
-    let i = ref 0 in
-    while !error = None && !i < runs do
-      let placement = Center.place_permuted rng comp ~num_qubits in
-      (match evaluate placement with
-      | Error e -> error := Some e
-      | Ok r ->
-          latencies := r.Simulator.Engine.latency :: !latencies;
-          let better =
-            match !best with
-            | None -> true
-            | Some (_, prev) -> r.Simulator.Engine.latency < prev.Simulator.Engine.latency
-          in
-          if better then best := Some (placement, r));
-      incr i
-    done;
+    Array.iter
+      (fun res ->
+        if !error = None then
+          match res with
+          | Error e -> error := Some e
+          | Ok (placement, r) ->
+              latencies := r.Simulator.Engine.latency :: !latencies;
+              let better =
+                match !best with
+                | None -> true
+                | Some (_, prev) -> r.Simulator.Engine.latency < prev.Simulator.Engine.latency
+              in
+              if better then best := Some (placement, r))
+      results;
     match (!error, !best) with
     | Some e, _ -> Error e
     | None, None -> Error "Monte_carlo.search: no successful run"

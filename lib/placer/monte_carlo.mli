@@ -3,7 +3,12 @@
     Draws random center placements, evaluates each by a full
     schedule-and-route run, and keeps the best.  The paper sizes the MC run
     count to match MVFB's total placement runs so the two placers spend the
-    same CPU time. *)
+    same CPU time.
+
+    Each run's randomness is derived from [(seed, run index)] with
+    {!Ion_util.Rng.derive}, so runs are independent and the search returns
+    bit-identical outcomes whether it executes sequentially or fanned out on
+    a {!Ion_util.Domain_pool.t}. *)
 
 type outcome = {
   placement : int array;  (** the winning initial placement *)
@@ -13,10 +18,13 @@ type outcome = {
 }
 
 val search :
-  rng:Ion_util.Rng.t ->
+  ?pool:Ion_util.Domain_pool.t ->
+  seed:int ->
   runs:int ->
   evaluate:(int array -> (Simulator.Engine.result, string) result) ->
   Fabric.Component.t ->
   num_qubits:int ->
   (outcome, string) result
-(** [Error] if [runs < 1] or any evaluation fails. *)
+(** [Error] if [runs < 1] or any evaluation fails (the first failing run in
+    run order is reported).  [evaluate] must be safe to call from several
+    domains at once when a multi-domain [pool] is supplied. *)

@@ -16,53 +16,87 @@ type best = {
   b_initial : int array;
 }
 
-let search ~rng ~m ?(patience = 3) ?(max_runs_per_seed = 64) ~forward ~backward comp ~num_qubits =
+(* Outcome of one seed's local forward/backward search.  Seeds are
+   independent (each draws its randomness from (seed, index) only), so they
+   run sequentially or fan out on a domain pool with identical results. *)
+type seed_outcome = {
+  s_best : best option;
+  s_latencies : float list; (* in run order *)
+  s_runs : int;
+  s_error : string option;
+}
+
+let search_seed ~seed ~patience ~max_runs_per_seed ~forward ~backward comp ~num_qubits index =
+  let rng = Ion_util.Rng.derive seed ~index in
+  let best = ref None in
+  let latencies = ref [] in
+  let runs = ref 0 in
+  let error = ref None in
+  let consider latency direction result initial =
+    latencies := latency :: !latencies;
+    incr runs;
+    let better = match !best with None -> true | Some b -> latency < b.b_latency in
+    if better then
+      best := Some { b_latency = latency; b_direction = direction; b_result = result; b_initial = initial }
+  in
+  (* local neighborhood search around one random center placement *)
+  let placement = ref (Center.place_permuted rng comp ~num_qubits) in
+  let local_best = ref Float.infinity in
+  let no_improve = ref 0 in
+  let local_runs = ref 0 in
+  let note latency =
+    if latency < !local_best -. 1e-9 then begin
+      local_best := latency;
+      no_improve := 0
+    end
+    else incr no_improve
+  in
+  while !error = None && !no_improve < patience && !local_runs < max_runs_per_seed do
+    match forward !placement with
+    | Error e -> error := Some e
+    | Ok rf ->
+        incr local_runs;
+        consider rf.Simulator.Engine.latency Forward rf !placement;
+        note rf.Simulator.Engine.latency;
+        if !no_improve < patience && !local_runs < max_runs_per_seed then begin
+          match backward rf.Simulator.Engine.final_placement with
+          | Error e -> error := Some e
+          | Ok rb ->
+              incr local_runs;
+              consider rb.Simulator.Engine.latency Backward rb rf.Simulator.Engine.final_placement;
+              note rb.Simulator.Engine.latency;
+              placement := rb.Simulator.Engine.final_placement
+        end
+  done;
+  { s_best = !best; s_latencies = List.rev !latencies; s_runs = !runs; s_error = !error }
+
+let search ?pool ~seed ~m ?(patience = 3) ?(max_runs_per_seed = 64) ~forward ~backward comp
+    ~num_qubits =
   if m < 1 then Error "Mvfb.search: need at least one seed"
   else begin
+    let one = search_seed ~seed ~patience ~max_runs_per_seed ~forward ~backward comp ~num_qubits in
+    let amap = match pool with Some p -> Ion_util.Domain_pool.map p | None -> Array.map in
+    let per_seed = amap one (Array.init m Fun.id) in
+    (* Merge in seed order: latencies concatenate, the first error wins and
+       latency ties keep the earliest seed — the sequential loop visits runs
+       in exactly this order. *)
     let best = ref None in
-    let latencies = ref [] in
+    let latencies_rev = ref [] in
     let runs = ref 0 in
     let error = ref None in
-    let consider latency direction result initial =
-      latencies := latency :: !latencies;
-      incr runs;
-      let better = match !best with None -> true | Some b -> latency < b.b_latency in
-      if better then
-        best := Some { b_latency = latency; b_direction = direction; b_result = result; b_initial = initial }
-    in
-    let seed = ref 0 in
-    while !error = None && !seed < m do
-      (* local neighborhood search around one random center placement *)
-      let placement = ref (Center.place_permuted rng comp ~num_qubits) in
-      let local_best = ref Float.infinity in
-      let no_improve = ref 0 in
-      let local_runs = ref 0 in
-      let note latency =
-        if latency < !local_best -. 1e-9 then begin
-          local_best := latency;
-          no_improve := 0
-        end
-        else incr no_improve
-      in
-      while !error = None && !no_improve < patience && !local_runs < max_runs_per_seed do
-        (match forward !placement with
-        | Error e -> error := Some e
-        | Ok rf ->
-            incr local_runs;
-            consider rf.Simulator.Engine.latency Forward rf !placement;
-            note rf.Simulator.Engine.latency;
-            if !no_improve < patience && !local_runs < max_runs_per_seed then begin
-              match backward rf.Simulator.Engine.final_placement with
-              | Error e -> error := Some e
-              | Ok rb ->
-                  incr local_runs;
-                  consider rb.Simulator.Engine.latency Backward rb rf.Simulator.Engine.final_placement;
-                  note rb.Simulator.Engine.latency;
-                  placement := rb.Simulator.Engine.final_placement
-            end)
-      done;
-      incr seed
-    done;
+    Array.iter
+      (fun s ->
+        if !error = None then begin
+          List.iter (fun l -> latencies_rev := l :: !latencies_rev) s.s_latencies;
+          runs := !runs + s.s_runs;
+          (match s.s_best with
+          | None -> ()
+          | Some b ->
+              let better = match !best with None -> true | Some p -> b.b_latency < p.b_latency in
+              if better then best := Some b);
+          match s.s_error with Some e -> error := Some e | None -> ()
+        end)
+      per_seed;
     match (!error, !best) with
     | Some e, _ -> Error e
     | None, None -> Error "Mvfb.search: no successful run"
@@ -72,7 +106,7 @@ let search ~rng ~m ?(patience = 3) ?(max_runs_per_seed = 64) ~forward ~backward 
             direction = b.b_direction;
             result = b.b_result;
             initial_placement = b.b_initial;
-            latencies = List.rev !latencies;
+            latencies = List.rev !latencies_rev;
             runs = !runs;
             seeds_used = m;
           }

@@ -14,7 +14,12 @@
 
     Unlike standard VLSI placers, MVFB is schedule-aware: the cost of a
     placement is the measured latency of the full scheduled-and-routed run,
-    not a netlist wirelength proxy. *)
+    not a netlist wirelength proxy.
+
+    The [m] seeds are independent local searches whose randomness is derived
+    from [(seed, seed index)] with {!Ion_util.Rng.derive}; fanning them out
+    on a {!Ion_util.Domain_pool.t} returns bit-identical outcomes to the
+    sequential search. *)
 
 type direction = Forward | Backward
 
@@ -28,7 +33,8 @@ type outcome = {
 }
 
 val search :
-  rng:Ion_util.Rng.t ->
+  ?pool:Ion_util.Domain_pool.t ->
+  seed:int ->
   m:int ->
   ?patience:int ->
   ?max_runs_per_seed:int ->
@@ -39,4 +45,6 @@ val search :
   (outcome, string) result
 (** [patience] defaults to 3 (the paper's stopping rule); [max_runs_per_seed]
     (default 64) bounds pathological non-converging seeds.  [Error] on
-    [m < 1] or when an evaluation fails. *)
+    [m < 1] or when an evaluation fails (the first failure in seed order is
+    reported).  [forward] and [backward] must be safe to call from several
+    domains at once when a multi-domain [pool] is supplied. *)

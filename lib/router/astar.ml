@@ -1,82 +1,28 @@
 module Graph = Fabric.Graph
 module Coord = Ion_util.Coord
 
+(* Manhattan distance to the goal cell: admissible because every
+   position-changing edge costs at least one move unit under Eq. 2 weights,
+   and consistent because one step changes the distance by at most one. *)
 let heuristic graph dst_pos n = float_of_int (Coord.manhattan (Graph.node_pos graph n) dst_pos)
 
-let run graph ~weight ~src ~dst ~count =
+let check_range graph ~src ~dst =
   let n = Graph.num_nodes graph in
-  if src < 0 || src >= n || dst < 0 || dst >= n then invalid_arg "Astar: node out of range";
+  if src < 0 || src >= n || dst < 0 || dst >= n then invalid_arg "Astar: node out of range"
+
+let shortest_path ?workspace graph ~weight ~src ~dst =
+  check_range graph ~src ~dst;
+  let ws = match workspace with Some w -> w | None -> Workspace.create () in
   let dst_pos = Graph.node_pos graph dst in
-  let dist = Array.make n Float.infinity in
-  let pred = Array.make n None in
-  let settled = Array.make n false in
-  let queue = Ion_util.Pqueue.create ~compare:Float.compare () in
-  dist.(src) <- 0.0;
-  Ion_util.Pqueue.add queue (heuristic graph dst_pos src) src;
-  let finished = ref false in
-  while (not !finished) && not (Ion_util.Pqueue.is_empty queue) do
-    let _, u = Ion_util.Pqueue.pop_exn queue in
-    if not settled.(u) then begin
-      settled.(u) <- true;
-      incr count;
-      if u = dst then finished := true
-      else
-        List.iter
-          (fun (e : Graph.edge) ->
-            let w = weight e in
-            if w < 0.0 then invalid_arg "Astar: negative edge weight";
-            if w < Float.infinity then begin
-              let nd = dist.(u) +. w in
-              if nd < dist.(e.Graph.dst) then begin
-                dist.(e.Graph.dst) <- nd;
-                pred.(e.Graph.dst) <- Some (u, e);
-                Ion_util.Pqueue.add queue (nd +. heuristic graph dst_pos e.Graph.dst) e.Graph.dst
-              end
-            end)
-          (Graph.adj graph u)
-    end
-  done;
-  if dist.(dst) = Float.infinity then None
-  else begin
-    let rec walk acc v = match pred.(v) with None -> acc | Some (u, e) -> walk (e :: acc) u in
-    Some { Dijkstra.cost = dist.(dst); edges = walk [] dst }
-  end
+  Dijkstra.run_into ~heuristic:(heuristic graph dst_pos) ws graph ~weight ~src ~dst;
+  Dijkstra.path_to ws graph ~dst
 
-let shortest_path graph ~weight ~src ~dst =
-  let count = ref 0 in
-  run graph ~weight ~src ~dst ~count
-
-let nodes_expanded graph ~weight ~src ~dst =
-  let astar_count = ref 0 in
-  ignore (run graph ~weight ~src ~dst ~count:astar_count);
-  (* count Dijkstra's settled nodes with an instrumented sweep: settle until
-     dst pops, mirroring Dijkstra.shortest_path's early exit *)
-  let n = Graph.num_nodes graph in
-  let dist = Array.make n Float.infinity in
-  let settled = Array.make n false in
-  let queue = Ion_util.Pqueue.create ~compare:Float.compare () in
-  dist.(src) <- 0.0;
-  Ion_util.Pqueue.add queue 0.0 src;
-  let dij_count = ref 0 in
-  let finished = ref false in
-  while (not !finished) && not (Ion_util.Pqueue.is_empty queue) do
-    let d, u = Ion_util.Pqueue.pop_exn queue in
-    if not settled.(u) then begin
-      settled.(u) <- true;
-      incr dij_count;
-      if u = dst then finished := true
-      else
-        List.iter
-          (fun (e : Graph.edge) ->
-            let w = weight e in
-            if w < Float.infinity then begin
-              let nd = d +. w in
-              if nd < dist.(e.Graph.dst) then begin
-                dist.(e.Graph.dst) <- nd;
-                Ion_util.Pqueue.add queue nd e.Graph.dst
-              end
-            end)
-          (Graph.adj graph u)
-    end
-  done;
+let nodes_expanded ?workspace graph ~weight ~src ~dst =
+  check_range graph ~src ~dst;
+  let ws = match workspace with Some w -> w | None -> Workspace.create () in
+  let dst_pos = Graph.node_pos graph dst in
+  let astar_count = ref 0 and dij_count = ref 0 in
+  Dijkstra.run_into ~heuristic:(heuristic graph dst_pos) ~count:astar_count ws graph ~weight ~src
+    ~dst;
+  Dijkstra.run_into ~count:dij_count ws graph ~weight ~src ~dst;
   (!astar_count, !dij_count)

@@ -5,20 +5,24 @@
     one move unit under the Eq. 2 weight function (congestion only raises
     channel weights) and turn edges never reduce distance, so the heuristic
     is admissible and A* returns exactly Dijkstra's costs while settling
-    fewer nodes.  The test suite checks cost-equality against Dijkstra on
-    random queries; the bench harness measures the effort saved. *)
+    fewer nodes.  Both searches are the one loop in {!Dijkstra.run_into}
+    with the heuristic plugged in, sharing the same reusable workspace.
+    The test suite checks cost-equality against Dijkstra on random queries;
+    the bench harness measures the effort saved. *)
 
 val shortest_path :
+  ?workspace:Workspace.t ->
   Fabric.Graph.t ->
-  weight:(Fabric.Graph.edge -> float) ->
+  weight:(Fabric.Graph.edge_kind -> float) ->
   src:Fabric.Graph.node ->
   dst:Fabric.Graph.node ->
   Dijkstra.result option
 (** @raise Invalid_argument on negative weights, like Dijkstra. *)
 
 val nodes_expanded :
+  ?workspace:Workspace.t ->
   Fabric.Graph.t ->
-  weight:(Fabric.Graph.edge -> float) ->
+  weight:(Fabric.Graph.edge_kind -> float) ->
   src:Fabric.Graph.node ->
   dst:Fabric.Graph.node ->
   int * int

@@ -40,8 +40,8 @@ let release t r =
   | Resource.Segment s -> t.seg_users.(s) <- t.seg_users.(s) - 1
   | Resource.Junction j -> t.junc_users.(j) <- t.junc_users.(j) - 1
 
-let weight t ~turn_cost (e : Fabric.Graph.edge) =
-  match e.Fabric.Graph.kind with
+let weight t ~turn_cost (kind : Fabric.Graph.edge_kind) =
+  match kind with
   | Fabric.Graph.Chan s ->
       let n = t.seg_users.(s) in
       if n >= t.chan_cap then Float.infinity else float_of_int (n + 1)

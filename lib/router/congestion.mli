@@ -35,9 +35,11 @@ val acquire : t -> Resource.t -> unit
 val release : t -> Resource.t -> unit
 (** @raise Invalid_argument when the resource has no users. *)
 
-val weight : t -> turn_cost:float -> Fabric.Graph.edge -> float
-(** The Eq. 2 weight of one edge under current congestion; [infinity] when
-    the edge's resource is saturated. *)
+val weight : t -> turn_cost:float -> Fabric.Graph.edge_kind -> float
+(** The Eq. 2 weight of one edge kind under current congestion; [infinity]
+    when the edge's resource is saturated.  Taking the kind (not the edge
+    record) lets searches scan the CSR adjacency without materializing edge
+    values. *)
 
 val total_in_flight : t -> int
 (** Sum of users over all resources, for diagnostics and invariant checks. *)

@@ -2,49 +2,76 @@ module Graph = Fabric.Graph
 
 type result = { cost : float; edges : Graph.edge list }
 
-let run graph ~weight ~src ~dst =
+(* Shared Dijkstra/A* core over the CSR adjacency.  Fills [ws] for the
+   current generation; with a heuristic the queue priority is dist + h but
+   settled distances are exact g-costs.  [dst = -1] sweeps the whole graph,
+   otherwise the search stops when [dst] settles.  [count] tallies settled
+   nodes for the search-effort instrumentation. *)
+let run_into ?heuristic ?count ws graph ~weight ~src ~dst =
   let n = Graph.num_nodes graph in
   if src < 0 || src >= n then invalid_arg "Dijkstra: source out of range";
-  let dist = Array.make n Float.infinity in
-  let pred = Array.make n None in
-  let settled = Array.make n false in
-  let queue = Ion_util.Pqueue.create ~compare:Float.compare () in
+  if dst < -1 || dst >= n then invalid_arg "Dijkstra: destination out of range";
+  let h = match heuristic with Some f -> f | None -> fun _ -> 0.0 in
+  Workspace.prepare ws n;
+  let gen = ws.Workspace.generation in
+  let dist = ws.Workspace.dist
+  and pred_edge = ws.Workspace.pred_edge
+  and pred_node = ws.Workspace.pred_node
+  and reached = ws.Workspace.reached
+  and settled = ws.Workspace.settled
+  and queue = ws.Workspace.queue in
   dist.(src) <- 0.0;
-  Ion_util.Pqueue.add queue 0.0 src;
+  pred_edge.(src) <- -1;
+  pred_node.(src) <- -1;
+  reached.(src) <- gen;
+  Ion_util.Fheap.add queue (h src) src;
   let finished = ref false in
-  while (not !finished) && not (Ion_util.Pqueue.is_empty queue) do
-    let d, u = Ion_util.Pqueue.pop_exn queue in
-    if not settled.(u) then begin
-      settled.(u) <- true;
-      if dst = Some u then finished := true
-      else
-        List.iter
-          (fun (e : Graph.edge) ->
-            let w = weight e in
-            if w < 0.0 then invalid_arg "Dijkstra: negative edge weight";
-            if w < Float.infinity then begin
-              let nd = d +. w in
-              if nd < dist.(e.Graph.dst) then begin
-                dist.(e.Graph.dst) <- nd;
-                pred.(e.Graph.dst) <- Some (u, e);
-                Ion_util.Pqueue.add queue nd e.Graph.dst
-              end
-            end)
-          (Graph.adj graph u)
+  while (not !finished) && not (Ion_util.Fheap.is_empty queue) do
+    let u = Ion_util.Fheap.top_data queue in
+    Ion_util.Fheap.drop_min queue;
+    if settled.(u) <> gen then begin
+      settled.(u) <- gen;
+      (match count with Some c -> incr c | None -> ());
+      if u = dst then finished := true
+      else begin
+        let du = dist.(u) in
+        let stop = Graph.succ_stop graph u in
+        for i = Graph.succ_start graph u to stop - 1 do
+          let w = weight (Graph.succ_kind graph i) in
+          if w < 0.0 then invalid_arg "Dijkstra: negative edge weight";
+          if w < Float.infinity then begin
+            let v = Graph.succ_dst graph i in
+            let nd = du +. w in
+            if nd < (if reached.(v) = gen then dist.(v) else Float.infinity) then begin
+              dist.(v) <- nd;
+              pred_edge.(v) <- i;
+              pred_node.(v) <- u;
+              reached.(v) <- gen;
+              Ion_util.Fheap.add queue (nd +. h v) v
+            end
+          end
+        done
+      end
     end
-  done;
-  (dist, pred)
+  done
 
-let shortest_path graph ~weight ~src ~dst =
-  let n = Graph.num_nodes graph in
-  if dst < 0 || dst >= n then invalid_arg "Dijkstra: destination out of range";
-  let dist, pred = run graph ~weight ~src ~dst:(Some dst) in
-  if dist.(dst) = Float.infinity then None
+(* Rebuild the O(path) edge list from the workspace predecessors. *)
+let path_to ws graph ~dst =
+  if Workspace.dist ws dst = Float.infinity then None
   else begin
-    let rec walk acc v = match pred.(v) with None -> acc | Some (u, e) -> walk (e :: acc) u in
-    Some { cost = dist.(dst); edges = walk [] dst }
+    let rec walk acc v =
+      let e = ws.Workspace.pred_edge.(v) in
+      if e < 0 then acc else walk (Graph.edge_at graph e :: acc) ws.Workspace.pred_node.(v)
+    in
+    Some { cost = ws.Workspace.dist.(dst); edges = walk [] dst }
   end
 
-let distances graph ~weight ~src =
-  let dist, _ = run graph ~weight ~src ~dst:None in
-  dist
+let shortest_path ?workspace graph ~weight ~src ~dst =
+  let ws = match workspace with Some w -> w | None -> Workspace.create () in
+  run_into ws graph ~weight ~src ~dst;
+  path_to ws graph ~dst
+
+let distances ?workspace graph ~weight ~src =
+  let ws = match workspace with Some w -> w | None -> Workspace.create () in
+  run_into ws graph ~weight ~src ~dst:(-1);
+  Array.init (Graph.num_nodes graph) (Workspace.dist ws)

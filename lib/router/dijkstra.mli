@@ -1,15 +1,24 @@
 (** Dijkstra shortest paths on the fabric routing graph under a dynamic
     edge-weight function (paper Section IV.B).
 
+    Weights are functions of the {e edge kind} (the resource an edge
+    consumes), which is all Eq. 2 congestion costing needs — and lets the
+    search scan the CSR adjacency without materializing edge records.
     Weights of [infinity] model saturated resources; a route through them is
-    never returned. *)
+    never returned.
+
+    Every entry point takes an optional {!Workspace.t}.  Passing one reuses
+    its arrays and frontier across queries, so a query allocates O(path)
+    instead of O(nodes); omitting it allocates a fresh workspace per call.
+    A workspace must not be shared between domains. *)
 
 type result = { cost : float; edges : Fabric.Graph.edge list }
 (** [edges] in travel order from the source; [cost] in move units. *)
 
 val shortest_path :
+  ?workspace:Workspace.t ->
   Fabric.Graph.t ->
-  weight:(Fabric.Graph.edge -> float) ->
+  weight:(Fabric.Graph.edge_kind -> float) ->
   src:Fabric.Graph.node ->
   dst:Fabric.Graph.node ->
   result option
@@ -18,6 +27,34 @@ val shortest_path :
     @raise Invalid_argument on a negative edge weight. *)
 
 val distances :
-  Fabric.Graph.t -> weight:(Fabric.Graph.edge -> float) -> src:Fabric.Graph.node -> float array
+  ?workspace:Workspace.t ->
+  Fabric.Graph.t ->
+  weight:(Fabric.Graph.edge_kind -> float) ->
+  src:Fabric.Graph.node ->
+  float array
 (** Full distance vector from [src] ([infinity] where unreachable), used by
     diagnostics and trap-selection heuristics. *)
+
+(** {2 Shared search core}
+
+    The primitives behind [shortest_path], exposed so {!Astar} (and the
+    instrumented search-effort comparison) run the exact same loop with a
+    heuristic and a settle counter plugged in. *)
+
+val run_into :
+  ?heuristic:(Fabric.Graph.node -> float) ->
+  ?count:int ref ->
+  Workspace.t ->
+  Fabric.Graph.t ->
+  weight:(Fabric.Graph.edge_kind -> float) ->
+  src:Fabric.Graph.node ->
+  dst:Fabric.Graph.node ->
+  unit
+(** Runs the search into the workspace's current generation.  [dst = -1]
+    settles the whole reachable graph; otherwise the search stops once
+    [dst] settles.  [heuristic] must be admissible and consistent for the
+    settled costs to be exact (A* contract); [count] is incremented once per
+    settled node. *)
+
+val path_to : Workspace.t -> Fabric.Graph.t -> dst:Fabric.Graph.node -> result option
+(** The path recorded by the last {!run_into} on this workspace. *)

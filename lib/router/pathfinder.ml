@@ -28,17 +28,19 @@ let route_all graph ?(max_iterations = 30) ?(present_factor = 0.5) ?(history_inc
     let history = Resource.Tbl.create 64 in
     let hist r = Option.value ~default:0.0 (Resource.Tbl.find_opt history r) in
     let routes : (int, Path.t) Hashtbl.t = Hashtbl.create 16 in
+    (* Occupancy of the CURRENT routes, maintained incrementally: each net is
+       ripped up (bump -1) just before its own re-route and re-acquired
+       (bump +1) after, so the table is never rebuilt between iterations. *)
+    let occupancy = Resource.Tbl.create 64 in
+    let occ r = Option.value ~default:0 (Resource.Tbl.find_opt occupancy r) in
+    let bump r d = Resource.Tbl.replace occupancy r (max 0 (occ r + d)) in
+    let workspace = Workspace.create () in
     let error = ref None in
     let iterations = ref 0 in
     let converged = ref false in
     while (not !converged) && !error = None && !iterations < max_iterations do
       incr iterations;
       let p_fac = 1.0 +. (present_factor *. float_of_int !iterations) in
-      (* occupancy of the CURRENT routes, updated as nets re-route: each net
-         is ripped up just before its own re-route *)
-      let occupancy = usage_table (Hashtbl.fold (fun id p acc -> (id, p) :: acc) routes []) in
-      let occ r = Option.value ~default:0 (Resource.Tbl.find_opt occupancy r) in
-      let bump r d = Resource.Tbl.replace occupancy r (max 0 (occ r + d)) in
       List.iter
         (fun net ->
           if !error = None then begin
@@ -46,15 +48,15 @@ let route_all graph ?(max_iterations = 30) ?(present_factor = 0.5) ?(history_inc
             (match Hashtbl.find_opt routes net.net_id with
             | Some old -> List.iter (fun r -> bump r (-1)) (Path.resources old)
             | None -> ());
-            let weight (e : Graph.edge) =
-              let base = match e.Graph.kind with Graph.Turn _ -> turn_cost | _ -> 1.0 in
-              match Resource.of_edge e.Graph.kind with
+            let weight (kind : Graph.edge_kind) =
+              let base = match kind with Graph.Turn _ -> turn_cost | _ -> 1.0 in
+              match Resource.of_edge kind with
               | None -> base
               | Some r ->
                   let over = max 0 (occ r + 1 - capacity r) in
                   ((base +. hist r) *. (1.0 +. (float_of_int over *. p_fac)))
             in
-            match Dijkstra.shortest_path graph ~weight ~src:net.src ~dst:net.dst with
+            match Dijkstra.shortest_path ~workspace graph ~weight ~src:net.src ~dst:net.dst with
             | None -> error := Some (Printf.sprintf "Pathfinder: net %d has no route" net.net_id)
             | Some result ->
                 let path = Path.of_result ~src:net.src ~dst:net.dst result in
@@ -65,14 +67,13 @@ let route_all graph ?(max_iterations = 30) ?(present_factor = 0.5) ?(history_inc
       if !error = None then begin
         (* history penalties on overused resources; convergence check *)
         let over = ref 0 in
-        let tbl = usage_table (Hashtbl.fold (fun id p acc -> (id, p) :: acc) routes []) in
         Resource.Tbl.iter
           (fun r users ->
             if users > capacity r then begin
               incr over;
               Resource.Tbl.replace history r (hist r +. history_increment)
             end)
-          tbl;
+          occupancy;
         if !over = 0 then converged := true
       end
     done;
@@ -81,8 +82,9 @@ let route_all graph ?(max_iterations = 30) ?(present_factor = 0.5) ?(history_inc
     | None ->
         let final = List.map (fun net -> (net.net_id, Hashtbl.find routes net.net_id)) nets in
         let overused =
-          let tbl = usage_table final in
-          Resource.Tbl.fold (fun r users acc -> if users > capacity r then acc + 1 else acc) tbl 0
+          Resource.Tbl.fold
+            (fun r users acc -> if users > capacity r then acc + 1 else acc)
+            occupancy 0
         in
         Ok { routes = final; iterations = !iterations; overused }
   end

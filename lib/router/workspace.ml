@@ -1,0 +1,36 @@
+type t = {
+  mutable dist : float array;
+  mutable pred_edge : int array;
+  mutable pred_node : int array;
+  mutable reached : int array;
+  mutable settled : int array;
+  mutable generation : int;
+  queue : Ion_util.Fheap.t;
+}
+
+let create () =
+  {
+    dist = [||];
+    pred_edge = [||];
+    pred_node = [||];
+    reached = [||];
+    settled = [||];
+    generation = 0;
+    queue = Ion_util.Fheap.create ();
+  }
+
+let prepare t n =
+  if Array.length t.dist < n then begin
+    t.dist <- Array.make n Float.infinity;
+    t.pred_edge <- Array.make n (-1);
+    t.pred_node <- Array.make n (-1);
+    t.reached <- Array.make n 0;
+    t.settled <- Array.make n 0;
+    t.generation <- 0
+  end;
+  t.generation <- t.generation + 1;
+  Ion_util.Fheap.clear t.queue
+
+let dist t n = if t.reached.(n) = t.generation then t.dist.(n) else Float.infinity
+
+let is_settled t n = t.settled.(n) = t.generation

@@ -1,0 +1,36 @@
+(** Reusable scratch state for shortest-path queries.
+
+    A fresh Dijkstra run over the 45x85 fabric graph allocates three
+    node-sized arrays and a priority queue; the engine issues one such query
+    per routed operand, so placement search spends much of its time feeding
+    the minor heap.  A workspace owns those arrays and is reused across
+    queries: {!prepare} bumps a generation counter instead of clearing, and
+    a slot is only trusted when its stamp matches the current generation —
+    O(1) reset, O(touched) work per query, O(path) allocation.
+
+    A workspace is single-query mutable state: never share one between
+    domains; give each engine/search its own (they are cheap when idle). *)
+
+type t = {
+  mutable dist : float array;  (** tentative cost; valid iff reached stamp matches *)
+  mutable pred_edge : int array;  (** CSR edge index that settled the node; -1 at the source *)
+  mutable pred_node : int array;  (** predecessor node on the shortest path *)
+  mutable reached : int array;  (** generation stamp: dist/pred are valid *)
+  mutable settled : int array;  (** generation stamp: node popped with final cost *)
+  mutable generation : int;
+  queue : Ion_util.Fheap.t;  (** unboxed frontier: no allocation per push *)
+}
+
+val create : unit -> t
+(** An empty workspace; arrays grow to the graph size on first {!prepare}. *)
+
+val prepare : t -> int -> unit
+(** [prepare t n] readies the workspace for a query on an [n]-node graph:
+    grows the arrays if needed, invalidates all previous stamps by bumping
+    the generation and clears the queue. *)
+
+val dist : t -> int -> float
+(** Tentative distance of a node in the current generation, [infinity] when
+    untouched. *)
+
+val is_settled : t -> int -> bool

@@ -73,11 +73,12 @@ type state = {
   route_moves : int array;
   route_turns : int array;
   mutable emitted_events : int;
+  workspace : Router.Workspace.t; (* per-run scratch for route searches *)
 }
 
 let turn_cost st = if st.policy.turn_aware then Timing.turn_cost_in_moves st.timing else 0.0
 
-let weight st e = Congestion.weight st.congestion ~turn_cost:(turn_cost st) e
+let weight st kind = Congestion.weight st.congestion ~turn_cost:(turn_cost st) kind
 
 let emit st cmd = st.trace_rev <- cmd :: st.trace_rev
 
@@ -123,7 +124,7 @@ let route_qubit st q ~to_trap =
       if from_trap = to_trap then Some (Path.empty (Graph.trap_node st.graph to_trap))
       else
         let src = Graph.trap_node st.graph from_trap and dst = Graph.trap_node st.graph to_trap in
-        Dijkstra.shortest_path st.graph ~weight:(weight st) ~src ~dst
+        Dijkstra.shortest_path ~workspace:st.workspace st.graph ~weight:(weight st) ~src ~dst
         |> Option.map (Path.of_result ~src ~dst)
 
 let acquire_path st p = List.iter (Congestion.acquire st.congestion) (Path.resources p)
@@ -338,6 +339,7 @@ let run ~graph ~timing ~policy ~dag ~priorities ~placement () =
           route_moves = Array.make n 0;
           route_turns = Array.make n 0;
           emitted_events = 0;
+          workspace = Workspace.create ();
         }
       in
       Array.iteri (fun q t -> st.occupants.(t) <- q :: st.occupants.(t)) placement;

@@ -1,0 +1,73 @@
+type t = {
+  mutable prio : float array;
+  mutable data : int array;
+  mutable size : int;
+}
+
+let create ?(capacity = 16) () =
+  let capacity = max capacity 1 in
+  { prio = Array.make capacity 0.0; data = Array.make capacity 0; size = 0 }
+
+let length t = t.size
+let is_empty t = t.size = 0
+let clear t = t.size <- 0
+
+let ensure_room t =
+  if t.size = Array.length t.prio then begin
+    let prio = Array.make (2 * t.size) 0.0 in
+    let data = Array.make (2 * t.size) 0 in
+    Array.blit t.prio 0 prio 0 t.size;
+    Array.blit t.data 0 data 0 t.size;
+    t.prio <- prio;
+    t.data <- data
+  end
+
+let swap t i j =
+  let p = t.prio.(i) and d = t.data.(i) in
+  t.prio.(i) <- t.prio.(j);
+  t.data.(i) <- t.data.(j);
+  t.prio.(j) <- p;
+  t.data.(j) <- d
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if t.prio.(i) < t.prio.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && t.prio.(l) < t.prio.(!smallest) then smallest := l;
+  if r < t.size && t.prio.(r) < t.prio.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let add t p v =
+  ensure_room t;
+  t.prio.(t.size) <- p;
+  t.data.(t.size) <- v;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let top_prio t =
+  if t.size = 0 then invalid_arg "Fheap.top_prio: empty heap";
+  t.prio.(0)
+
+let top_data t =
+  if t.size = 0 then invalid_arg "Fheap.top_data: empty heap";
+  t.data.(0)
+
+let drop_min t =
+  if t.size = 0 then invalid_arg "Fheap.drop_min: empty heap";
+  t.size <- t.size - 1;
+  if t.size > 0 then begin
+    t.prio.(0) <- t.prio.(t.size);
+    t.data.(0) <- t.data.(t.size);
+    sift_down t 0
+  end

@@ -1,0 +1,27 @@
+(** Flat binary min-heap with float priorities and int payloads.
+
+    The specialization the router's hot loop needs: priorities and payloads
+    live in two parallel unboxed arrays, so pushing and popping allocate
+    nothing once the heap has warmed up (unlike {!Pqueue}, which boxes a
+    tuple per entry).  Peeking is split into {!top_prio}/{!top_data} for the
+    same reason. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+val length : t -> int
+val is_empty : t -> bool
+
+val clear : t -> unit
+(** O(1); keeps the backing arrays for reuse. *)
+
+val add : t -> float -> int -> unit
+
+val top_prio : t -> float
+(** @raise Invalid_argument when empty. *)
+
+val top_data : t -> int
+(** @raise Invalid_argument when empty. *)
+
+val drop_min : t -> unit
+(** Removes the minimum entry.  @raise Invalid_argument when empty. *)

@@ -34,6 +34,20 @@ let int64 t =
   t.s3 <- rotl t.s3 45;
   result
 
+let derive seed ~index =
+  if index < 0 then invalid_arg "Rng.derive: negative index";
+  (* mix the base seed first, then perturb by the stream index scaled by the
+     splitmix golden gamma, so streams for consecutive indices are as
+     decorrelated as streams for unrelated seeds *)
+  let st = ref (Int64.of_int seed) in
+  let base = splitmix64 st in
+  let st = ref (base ^% (0x9E3779B97F4A7C15L *% Int64.of_int (index + 1))) in
+  let s0 = splitmix64 st in
+  let s1 = splitmix64 st in
+  let s2 = splitmix64 st in
+  let s3 = splitmix64 st in
+  { s0; s1; s2; s3 }
+
 let split t =
   let st = ref (int64 t) in
   let s0 = splitmix64 st in

@@ -16,6 +16,13 @@ val split : t -> t
 (** [split t] derives an independent generator from [t], advancing [t].
     Used to give each placement seed its own stream. *)
 
+val derive : int -> index:int -> t
+(** [derive seed ~index] is the [index]-th independent stream of the root
+    [seed] — a pure function of [(seed, index)], so parallel workers can
+    reconstruct exactly the stream a sequential loop would use for run
+    [index] without sharing generator state.
+    @raise Invalid_argument on a negative index. *)
+
 val int64 : t -> int64
 (** Next raw 64-bit output. *)
 

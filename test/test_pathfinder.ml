@@ -25,7 +25,7 @@ let test_single_net_matches_dijkstra () =
   | Ok o -> (
       check_int "one iteration" 1 o.Pathfinder.iterations;
       check_int "no overuse" 0 o.Pathfinder.overused;
-      match (o.Pathfinder.routes, Dijkstra.shortest_path g ~weight:(fun e -> match e.Graph.kind with Graph.Turn _ -> 10.0 | _ -> 1.0) ~src ~dst) with
+      match (o.Pathfinder.routes, Dijkstra.shortest_path g ~weight:(fun kind -> match kind with Graph.Turn _ -> 10.0 | _ -> 1.0) ~src ~dst) with
       | [ (0, p) ], Some d -> check_bool "same cost" true (Float.abs (p.Path.cost -. d.Dijkstra.cost) < 1e-9)
       | _ -> Alcotest.fail "route shape")
 

@@ -82,8 +82,7 @@ let test_center_permuted_is_permutation () =
 
 let test_mc_runs_budget () =
   let comp = quale_comp () in
-  let rng = Ion_util.Rng.create 7 in
-  match Monte_carlo.search ~rng ~runs:6 ~evaluate:(make_forward comp) comp ~num_qubits:5 with
+  match Monte_carlo.search ~seed:7 ~runs:6 ~evaluate:(make_forward comp) comp ~num_qubits:5 with
   | Error e -> Alcotest.fail e
   | Ok o ->
       check_int "runs" 6 o.Monte_carlo.runs;
@@ -95,16 +94,14 @@ let test_mc_runs_budget () =
 
 let test_mc_zero_runs_rejected () =
   let comp = quale_comp () in
-  let rng = Ion_util.Rng.create 7 in
-  match Monte_carlo.search ~rng ~runs:0 ~evaluate:(make_forward comp) comp ~num_qubits:5 with
+  match Monte_carlo.search ~seed:7 ~runs:0 ~evaluate:(make_forward comp) comp ~num_qubits:5 with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "zero runs accepted"
 
 let test_mc_deterministic_given_seed () =
   let comp = quale_comp () in
   let run () =
-    let rng = Ion_util.Rng.create 42 in
-    match Monte_carlo.search ~rng ~runs:4 ~evaluate:(make_forward comp) comp ~num_qubits:5 with
+    match Monte_carlo.search ~seed:42 ~runs:4 ~evaluate:(make_forward comp) comp ~num_qubits:5 with
     | Ok o -> o.Monte_carlo.result.Simulator.Engine.latency
     | Error e -> Alcotest.fail e
   in
@@ -114,9 +111,8 @@ let test_mc_deterministic_given_seed () =
 
 let test_mvfb_basic () =
   let comp = quale_comp () in
-  let rng = Ion_util.Rng.create 3 in
   match
-    Mvfb.search ~rng ~m:2 ~forward:(make_forward comp) ~backward:(make_backward comp) comp
+    Mvfb.search ~seed:3 ~m:2 ~forward:(make_forward comp) ~backward:(make_backward comp) comp
       ~num_qubits:5
   with
   | Error e -> Alcotest.fail e
@@ -130,9 +126,8 @@ let test_mvfb_basic () =
 
 let test_mvfb_m_guard () =
   let comp = quale_comp () in
-  let rng = Ion_util.Rng.create 3 in
   match
-    Mvfb.search ~rng ~m:0 ~forward:(make_forward comp) ~backward:(make_backward comp) comp
+    Mvfb.search ~seed:3 ~m:0 ~forward:(make_forward comp) ~backward:(make_backward comp) comp
       ~num_qubits:5
   with
   | Error _ -> ()
@@ -140,9 +135,8 @@ let test_mvfb_m_guard () =
 
 let test_mvfb_max_runs_cap () =
   let comp = quale_comp () in
-  let rng = Ion_util.Rng.create 3 in
   match
-    Mvfb.search ~rng ~m:1 ~max_runs_per_seed:4 ~forward:(make_forward comp)
+    Mvfb.search ~seed:3 ~m:1 ~max_runs_per_seed:4 ~forward:(make_forward comp)
       ~backward:(make_backward comp) comp ~num_qubits:5
   with
   | Error e -> Alcotest.fail e
@@ -155,19 +149,17 @@ let test_mvfb_beats_mc_at_equal_budget () =
   let comp = quale_comp () in
   List.iter
     (fun seed ->
-      let rng = Ion_util.Rng.create seed in
       let mvfb =
         match
-          Mvfb.search ~rng ~m:3 ~forward:(make_forward comp) ~backward:(make_backward comp) comp
+          Mvfb.search ~seed ~m:3 ~forward:(make_forward comp) ~backward:(make_backward comp) comp
             ~num_qubits:5
         with
         | Ok o -> o
         | Error e -> Alcotest.fail e
       in
-      let rng = Ion_util.Rng.create seed in
       let mc =
         match
-          Monte_carlo.search ~rng ~runs:mvfb.Mvfb.runs ~evaluate:(make_forward comp) comp
+          Monte_carlo.search ~seed ~runs:mvfb.Mvfb.runs ~evaluate:(make_forward comp) comp
             ~num_qubits:5
         with
         | Ok o -> o
@@ -185,9 +177,8 @@ let test_mvfb_backward_winner_consistency () =
   (* whatever direction wins, the winning latency is in the recorded list
      and the initial placement is a valid trap assignment *)
   let comp = quale_comp () in
-  let rng = Ion_util.Rng.create 5 in
   match
-    Mvfb.search ~rng ~m:2 ~forward:(make_forward comp) ~backward:(make_backward comp) comp
+    Mvfb.search ~seed:5 ~m:2 ~forward:(make_forward comp) ~backward:(make_backward comp) comp
       ~num_qubits:5
   with
   | Error e -> Alcotest.fail e

@@ -21,7 +21,7 @@ let quale () =
   | Ok c -> c
   | Error e -> Alcotest.failf "extract: %s" e
 
-let free_weight tm cong e = Congestion.weight cong ~turn_cost:(Timing.turn_cost_in_moves tm) e
+let free_weight tm cong kind = Congestion.weight cong ~turn_cost:(Timing.turn_cost_in_moves tm) kind
 
 (* find the graph node at a position with a given orientation *)
 let node_at g pos orientation =
@@ -81,27 +81,24 @@ let test_congestion_lifecycle () =
 let test_congestion_weights () =
   let c = tile () in
   let cong = Congestion.create c ~channel_capacity:2 ~junction_capacity:2 in
-  let seg_edge = { Graph.dst = 0; kind = Graph.Chan 0 } in
-  let junc_edge = { Graph.dst = 0; kind = Graph.Junc 0 } in
-  let turn_edge = { Graph.dst = 0; kind = Graph.Turn 0 } in
-  let tap_edge = { Graph.dst = 0; kind = Graph.Tap 0 } in
-  check_float "empty chan" 1.0 (Congestion.weight cong ~turn_cost:10.0 seg_edge);
+  check_float "empty chan" 1.0 (Congestion.weight cong ~turn_cost:10.0 (Graph.Chan 0));
   Congestion.acquire cong (Resource.Segment 0);
-  check_float "one user chan" 2.0 (Congestion.weight cong ~turn_cost:10.0 seg_edge);
+  check_float "one user chan" 2.0 (Congestion.weight cong ~turn_cost:10.0 (Graph.Chan 0));
   Congestion.acquire cong (Resource.Segment 0);
-  check_bool "full chan infinite" true (Congestion.weight cong ~turn_cost:10.0 seg_edge = Float.infinity);
-  check_float "junction" 1.0 (Congestion.weight cong ~turn_cost:10.0 junc_edge);
-  check_float "turn" 10.0 (Congestion.weight cong ~turn_cost:10.0 turn_edge);
-  check_float "tap" 1.0 (Congestion.weight cong ~turn_cost:10.0 tap_edge);
+  check_bool "full chan infinite" true
+    (Congestion.weight cong ~turn_cost:10.0 (Graph.Chan 0) = Float.infinity);
+  check_float "junction" 1.0 (Congestion.weight cong ~turn_cost:10.0 (Graph.Junc 0));
+  check_float "turn" 10.0 (Congestion.weight cong ~turn_cost:10.0 (Graph.Turn 0));
+  check_float "tap" 1.0 (Congestion.weight cong ~turn_cost:10.0 (Graph.Tap 0));
   check_int "in flight" 2 (Congestion.total_in_flight cong)
 
 let test_congestion_capacity_one () =
   (* QUALE mode: capacity-1 channels saturate after a single user *)
   let c = tile () in
   let cong = Congestion.create c ~channel_capacity:1 ~junction_capacity:2 in
-  let seg_edge = { Graph.dst = 0; kind = Graph.Chan 0 } in
   Congestion.acquire cong (Resource.Segment 0);
-  check_bool "saturated at 1" true (Congestion.weight cong ~turn_cost:0.0 seg_edge = Float.infinity)
+  check_bool "saturated at 1" true
+    (Congestion.weight cong ~turn_cost:0.0 (Graph.Chan 0) = Float.infinity)
 
 (* ------------------------------------------------------------- Dijkstra *)
 
@@ -402,6 +399,65 @@ let prop_astar_equals_dijkstra =
       | None, None -> true
       | _ -> false)
 
+(* ------------------------------------------------------------ Workspace *)
+
+(* one workspace reused across every query of the generated batch must
+   return exactly what fresh per-call arrays return: same costs, same edge
+   sequences, on both searches, under randomized congestion *)
+let prop_workspace_reuse_matches_fresh =
+  QCheck.Test.make ~name:"reused workspace = fresh arrays (Dijkstra & A*)" ~count:20
+    QCheck.(
+      pair
+        (list_of_size Gen.(1 -- 8) (pair (int_bound 1000) (int_bound 1000)))
+        (list_of_size Gen.(0 -- 20) (int_bound 1000)))
+    (fun (queries, congested) ->
+      let comp = quale () in
+      let g = Graph.build comp in
+      let cong = Congestion.create comp ~channel_capacity:2 ~junction_capacity:2 in
+      let nsegs = Array.length (Component.segments comp) in
+      List.iter
+        (fun s ->
+          let r = Resource.Segment (s mod nsegs) in
+          if Congestion.is_free cong r then Congestion.acquire cong r)
+        congested;
+      let w = Congestion.weight cong ~turn_cost:10.0 in
+      let ntraps = Array.length (Component.traps comp) in
+      let ws = Workspace.create () in
+      List.for_all
+        (fun (a, b) ->
+          let src = Graph.trap_node g (a mod ntraps) and dst = Graph.trap_node g (b mod ntraps) in
+          let same r1 r2 =
+            match (r1, r2) with
+            | None, None -> true
+            | Some (r1 : Dijkstra.result), Some r2 ->
+                Float.abs (r1.Dijkstra.cost -. r2.Dijkstra.cost) < 1e-9
+                && r1.Dijkstra.edges = r2.Dijkstra.edges
+            | _ -> false
+          in
+          same
+            (Dijkstra.shortest_path ~workspace:ws g ~weight:w ~src ~dst)
+            (Dijkstra.shortest_path g ~weight:w ~src ~dst)
+          && same
+               (Astar.shortest_path ~workspace:ws g ~weight:w ~src ~dst)
+               (Astar.shortest_path g ~weight:w ~src ~dst))
+        queries)
+
+let prop_workspace_distances_match =
+  QCheck.Test.make ~name:"reused workspace distances = fresh distances" ~count:10
+    QCheck.(list_of_size Gen.(1 -- 4) (int_bound 1000))
+    (fun srcs ->
+      let comp = quale () in
+      let g = Graph.build comp in
+      let cong = Congestion.create comp ~channel_capacity:2 ~junction_capacity:2 in
+      let w = Congestion.weight cong ~turn_cost:10.0 in
+      let ntraps = Array.length (Component.traps comp) in
+      let ws = Workspace.create () in
+      List.for_all
+        (fun s ->
+          let src = Graph.trap_node g (s mod ntraps) in
+          Dijkstra.distances ~workspace:ws g ~weight:w ~src = Dijkstra.distances g ~weight:w ~src)
+        srcs)
+
 let () =
   let qsuite = List.map QCheck_alcotest.to_alcotest in
   Alcotest.run "router"
@@ -449,5 +505,7 @@ let () =
           Alcotest.test_case "blocked" `Quick test_astar_blocked;
         ]
         @ qsuite [ prop_astar_equals_dijkstra ] );
+      ( "workspace",
+        qsuite [ prop_workspace_reuse_matches_fresh; prop_workspace_distances_match ] );
       ("properties", qsuite [ prop_random_trap_pairs_route; prop_path_at_least_manhattan ]);
     ]
