@@ -261,6 +261,33 @@ let bench_circuits =
            (Staged.stage (fun () -> engine_latency (Qspr.Mapper.run_forward ctx placement))))
        (Circuits.Qecc.all ()))
 
+(* Estimator workloads: one fast estimate vs one full schedule-and-route of
+   the same placement (their ratio is the per-placement speedup recorded in
+   BENCH_pr2.json), model construction, and the pre-screened vs exhaustive
+   Monte-Carlo search. *)
+let bench_estimator =
+  let ctx = ctx_of "[[9,1,3]]" in
+  let placement = Placer.Center.place (Qspr.Mapper.component ctx) ~num_qubits:9 in
+  let model = Qspr.Mapper.estimator_model ctx in
+  Test.make_grouped ~name:"estimator"
+    [
+      Test.make ~name:"estimate_only"
+        (Staged.stage (fun () -> Estimator.Model.estimate model placement));
+      Test.make ~name:"full_route"
+        (Staged.stage (fun () -> engine_latency (Qspr.Mapper.run_forward ctx placement)));
+      Test.make ~name:"model_build"
+        (Staged.stage (fun () ->
+             Estimator.Model.num_qubits
+               (Estimator.Model.create ~graph:(Qspr.Mapper.graph ctx) ~timing:Router.Timing.paper
+                  (Qspr.Mapper.dag ctx))));
+      Test.make ~name:"mc25_plain"
+        (Staged.stage (fun () ->
+             solution_latency (Qspr.Mapper.map_monte_carlo ~runs:25 ~prescreen_k:0 ctx)));
+      Test.make ~name:"mc25_prescreen5"
+        (Staged.stage (fun () ->
+             solution_latency (Qspr.Mapper.map_monte_carlo ~runs:25 ~prescreen_k:5 ctx)));
+    ]
+
 (* Quantum-substrate workloads: tableau simulation of the largest benchmark
    and dense state-vector simulation of the smallest. *)
 let bench_quantum =
@@ -339,6 +366,7 @@ let run_benchmarks () =
         bench_router_workspace;
         bench_parallel;
         bench_sensitivity;
+        bench_estimator;
         bench_circuits;
         bench_quantum;
         bench_ablation;
@@ -371,16 +399,74 @@ let run_benchmarks () =
     rows;
   rows
 
+(* The headline estimator numbers for BENCH_pr2.json: per-placement speedup
+   (measured full-route ns / estimate ns from the timing rows), the mean
+   relative accuracy against the engine, and the pre-screened search's
+   evaluation savings. *)
+let estimator_summary rows =
+  let module J = Ion_util.Json in
+  let ns_of suffix =
+    match List.find_opt (fun (name, _, _) -> String.ends_with ~suffix name) rows with
+    | Some (_, ns, _) -> ns
+    | None -> nan
+  in
+  let est_ns = ns_of "estimator/estimate_only" and route_ns = ns_of "estimator/full_route" in
+  let accuracy = Qspr.Experiments.estimator_accuracy () in
+  let mean_rel_err =
+    List.fold_left (fun acc (_, _, _, rel) -> acc +. Float.abs rel) 0.0 accuracy
+    /. float_of_int (List.length accuracy)
+  in
+  let s = Qspr.Experiments.prescreen_study () in
+  Printf.printf "=== Estimator summary ([[9,1,3]]) ===\n";
+  Printf.printf "  per-placement speedup : %.0fx (%.1f us route vs %.2f us estimate)\n"
+    (route_ns /. est_ns) (route_ns /. 1e3) (est_ns /. 1e3);
+  Printf.printf "  mean relative error   : %.1f%% over the Table-1 circuits\n" (100.0 *. mean_rel_err);
+  Printf.printf "  prescreen 25->5       : %d vs %d engine evals, %.0f vs %.0f us best latency\n\n"
+    s.Qspr.Experiments.prescreened_evals s.Qspr.Experiments.plain_evals
+    s.Qspr.Experiments.prescreened_latency s.Qspr.Experiments.plain_latency;
+  J.Obj
+    [
+      ("circuit", J.String "[[9,1,3]]");
+      ("estimate_ns_per_placement", J.Float est_ns);
+      ("route_ns_per_placement", J.Float route_ns);
+      ("per_placement_speedup", J.Float (route_ns /. est_ns));
+      ("mean_relative_error", J.Float mean_rel_err);
+      ( "accuracy",
+        J.List
+          (List.map
+             (fun (name, est, meas, rel) ->
+               J.Obj
+                 [
+                   ("circuit", J.String name);
+                   ("estimated_us", J.Float est);
+                   ("measured_us", J.Float meas);
+                   ("relative_error", J.Float rel);
+                 ])
+             accuracy) );
+      ( "prescreen",
+        J.Obj
+          [
+            ("runs", J.Int 25);
+            ("k", J.Int 5);
+            ("plain_engine_evals", J.Int s.Qspr.Experiments.plain_evals);
+            ("prescreened_engine_evals", J.Int s.Qspr.Experiments.prescreened_evals);
+            ("plain_best_us", J.Float s.Qspr.Experiments.plain_latency);
+            ("prescreened_best_us", J.Float s.Qspr.Experiments.prescreened_latency);
+          ] );
+    ]
+
 (* Machine-readable results for regression tracking: one record per bench
-   with the OLS ns/run and minor words/run estimates. *)
+   with the OLS ns/run and minor words/run estimates, plus the estimator
+   subsystem's headline numbers. *)
 let emit_json rows =
   let module J = Ion_util.Json in
   let doc =
     J.Obj
       [
-        ("schema", J.String "qspr-bench/1");
+        ("schema", J.String "qspr-bench/2");
         ( "instances",
           J.List [ J.String "monotonic_clock_ns_per_run"; J.String "minor_allocated_words_per_run" ] );
+        ("estimator", estimator_summary rows);
         ( "results",
           J.List
             (List.map
@@ -390,11 +476,11 @@ let emit_json rows =
                rows) );
       ]
   in
-  let oc = open_out "BENCH_pr1.json" in
+  let oc = open_out "BENCH_pr2.json" in
   output_string oc (J.to_string doc);
   output_char oc '\n';
   close_out oc;
-  Printf.printf "\nwrote BENCH_pr1.json (%d benches)\n" (List.length rows)
+  Printf.printf "\nwrote BENCH_pr2.json (%d benches)\n" (List.length rows)
 
 let () =
   print_tables ();

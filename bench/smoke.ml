@@ -44,4 +44,43 @@ let () =
   check_eq "mvfb jobs1 vs jobs2"
     (solution_latency "mvfb jobs1" (Qspr.Mapper.map_mvfb ~m:2 ~jobs:1 ctx))
     (solution_latency "mvfb jobs2" (Qspr.Mapper.map_mvfb ~m:2 ~jobs:2 ctx));
-  print_endline "bench-smoke: OK (workspace routing exact, parallel search exact)"
+  (* estimator group: pure estimates, pooled fan-out bit-identity, and the
+     pre-screened search contract *)
+  let model = Qspr.Mapper.estimator_model ctx in
+  let nq = Qasm.Program.num_qubits p in
+  let pool =
+    Array.init 8 (fun i ->
+        Placer.Center.place_permuted (Ion_util.Rng.derive 7 ~index:i) (Qspr.Mapper.component ctx)
+          ~num_qubits:nq)
+  in
+  let seq = Array.map (Estimator.Model.estimate model) pool in
+  let fanned =
+    Ion_util.Domain_pool.with_pool ~jobs:2 (fun dp ->
+        Ion_util.Domain_pool.map dp (Estimator.Model.estimate model) pool)
+  in
+  Array.iteri (fun i a -> check_eq "estimate pooled vs sequential" a fanned.(i)) seq;
+  Array.iteri (fun i a -> check_eq "estimate repeated" a (Estimator.Model.estimate model pool.(i))) seq;
+  let plain =
+    match Qspr.Mapper.map_monte_carlo ~runs:8 ~prescreen_k:0 ctx with
+    | Ok s -> s
+    | Error e -> fail "mc plain: %s" e
+  in
+  let pre1 =
+    match Qspr.Mapper.map_monte_carlo ~runs:8 ~jobs:1 ~prescreen_k:3 ctx with
+    | Ok s -> s
+    | Error e -> fail "mc prescreen jobs1: %s" e
+  in
+  let pre2 =
+    match Qspr.Mapper.map_monte_carlo ~runs:8 ~jobs:2 ~prescreen_k:3 ctx with
+    | Ok s -> s
+    | Error e -> fail "mc prescreen jobs2: %s" e
+  in
+  check_eq "prescreen jobs1 vs jobs2" pre1.Qspr.Mapper.latency pre2.Qspr.Mapper.latency;
+  if pre1.Qspr.Mapper.initial_placement <> pre2.Qspr.Mapper.initial_placement then
+    fail "prescreen jobs1 vs jobs2: placements differ";
+  if pre1.Qspr.Mapper.engine_evals > 3 then
+    fail "prescreen routed %d > k=3 candidates" pre1.Qspr.Mapper.engine_evals;
+  if not (List.mem pre1.Qspr.Mapper.latency plain.Qspr.Mapper.run_latencies) then
+    fail "prescreened winner %.1f not among the plain run latencies" pre1.Qspr.Mapper.latency;
+  print_endline
+    "bench-smoke: OK (workspace routing exact, parallel search exact, estimator pure and prescreen consistent)"

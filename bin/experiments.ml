@@ -169,6 +169,35 @@ let run_eq1 () =
       p quale "QUALE")
     (Qspr.Experiments.eq1_breakdown ~m:(if !fast then 2 else 5) ())
 
+let run_estimator () =
+  line "Estimator accuracy: fast model vs measured engine (center placements)";
+  let rows = Qspr.Experiments.estimator_accuracy () in
+  Printf.printf "  %-12s %14s %14s %12s\n" "circuit" "estimated" "measured" "rel error";
+  List.iter
+    (fun (name, est, meas, rel) ->
+      Printf.printf "  %-12s %12.1fus %12.1fus %+11.1f%%\n" name est meas (100.0 *. rel))
+    rows;
+  let mean_abs =
+    List.fold_left (fun acc (_, _, _, rel) -> acc +. Float.abs rel) 0.0 rows
+    /. float_of_int (List.length rows)
+  in
+  Printf.printf "  mean absolute relative error: %.1f%%\n" (100.0 *. mean_abs)
+
+let run_prescreen () =
+  line "Pre-screened vs exhaustive Monte-Carlo (runs=25, prescreen_k=5)";
+  Printf.printf "  %-12s %16s %18s %8s %8s\n" "circuit" "plain (us/evals)" "prescreened" "speedup" "delta";
+  List.iter
+    (fun (name, _) ->
+      let s = Qspr.Experiments.prescreen_study ~circuit:name () in
+      Printf.printf "  %-12s %10.0f / %-3d %12.0f / %-3d %7.1fx %+7.2f%%\n" name
+        s.Qspr.Experiments.plain_latency s.Qspr.Experiments.plain_evals
+        s.Qspr.Experiments.prescreened_latency s.Qspr.Experiments.prescreened_evals
+        (float_of_int s.Qspr.Experiments.plain_evals /. float_of_int s.Qspr.Experiments.prescreened_evals)
+        (100.0
+        *. (s.Qspr.Experiments.prescreened_latency -. s.Qspr.Experiments.plain_latency)
+        /. s.Qspr.Experiments.plain_latency))
+    (Circuits.Qecc.all ())
+
 let run_priorities () =
   line "Scheduling-priority ablation (Section III), circuit [[9,1,3]]";
   List.iter
@@ -213,6 +242,8 @@ let () =
       ("optimality", run_optimality);
       ("fabric-study", run_fabric_study);
       ("placers", run_placers);
+      ("estimator", run_estimator);
+      ("prescreen", run_prescreen);
       ("congestion", run_congestion);
       ("scaling", run_scaling);
       ("fig23", run_fig23);

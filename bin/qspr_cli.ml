@@ -31,7 +31,7 @@ let load_program ~circuit ~qasm ~openqasm =
 
 (* ------------------------------------------------------------------ map *)
 
-let do_map circuit qasm openqasm fabric_path pmd_path placer m seed show_trace validate json_out =
+let do_map circuit qasm openqasm fabric_path pmd_path placer m seed prescreen_k show_trace validate json_out =
   let ( let* ) = Result.bind in
   let result =
     let* program = load_program ~circuit ~qasm ~openqasm in
@@ -50,11 +50,12 @@ let do_map circuit qasm openqasm fabric_path pmd_path placer m seed show_trace v
     let* ctx = Qspr.Mapper.create ~fabric ~config program in
     let* sol =
       match placer with
-      | "mvfb" -> Qspr.Mapper.map_mvfb ctx
-      | "mc" -> Qspr.Mapper.map_monte_carlo ~runs:m ctx
+      | "mvfb" -> Qspr.Mapper.map_mvfb ?prescreen_k ctx
+      | "mc" -> Qspr.Mapper.map_monte_carlo ~runs:m ?prescreen_k ctx
+      | "sa" -> Qspr.Mapper.map_annealing ~evaluations:m ?prescreen_k ctx
       | "center" -> Qspr.Mapper.map_center ctx
       | "quale" -> Qspr.Quale_mode.map ctx
-      | other -> Error (Printf.sprintf "unknown placer %s (mvfb|mc|center|quale)" other)
+      | other -> Error (Printf.sprintf "unknown placer %s (mvfb|mc|sa|center|quale)" other)
     in
     let baseline = Qspr.Mapper.ideal_latency ctx in
     Printf.printf "circuit           : %s (%d qubits, %d gates)\n" program.Qasm.Program.name
@@ -63,7 +64,8 @@ let do_map circuit qasm openqasm fabric_path pmd_path placer m seed show_trace v
     Printf.printf "ideal baseline    : %.1f us\n" baseline;
     Printf.printf "execution latency : %.1f us (%.1f us over baseline)\n" sol.Qspr.Mapper.latency
       (sol.Qspr.Mapper.latency -. baseline);
-    Printf.printf "placement runs    : %d (%.0f ms CPU)\n" sol.Qspr.Mapper.placement_runs
+    Printf.printf "placement runs    : %d (%d engine evals, %.0f ms CPU)\n"
+      sol.Qspr.Mapper.placement_runs sol.Qspr.Mapper.engine_evals
       (sol.Qspr.Mapper.cpu_time_s *. 1000.0);
     Printf.printf "winning direction : %s\n"
       (match sol.Qspr.Mapper.direction with
@@ -133,7 +135,17 @@ let pmd_arg =
     & info [ "pmd" ] ~docv:"FILE" ~doc:"Physical machine description file (fabric + timing + capacities).")
 
 let placer_arg =
-  Arg.(value & opt string "mvfb" & info [ "placer" ] ~docv:"P" ~doc:"Placer: mvfb, mc, center or quale.")
+  Arg.(value & opt string "mvfb" & info [ "placer" ] ~docv:"P" ~doc:"Placer: mvfb, mc, sa, center or quale.")
+
+let prescreen_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "prescreen" ] ~docv:"K"
+        ~doc:
+          "Estimator pre-screening: score every candidate placement with the fast latency \
+           estimator and fully route only the $(docv) best (0 disables; default: \
+           QSPR_PRESCREEN, else off).")
 
 let m_arg = Arg.(value & opt int 25 & info [ "m"; "seeds" ] ~docv:"M" ~doc:"MVFB seeds / MC runs (-m or --seeds).")
 let seed_arg = Arg.(value & opt int 2012 & info [ "seed" ] ~docv:"S" ~doc:"Random seed.")
@@ -148,7 +160,7 @@ let map_cmd =
     (Cmd.info "map" ~doc:"Schedule, place and route a circuit onto an ion-trap fabric")
     Term.(
       const do_map $ circuit_arg $ qasm_arg $ openqasm_arg $ fabric_arg $ pmd_arg $ placer_arg $ m_arg
-      $ seed_arg $ trace_arg $ validate_arg $ json_arg)
+      $ seed_arg $ prescreen_arg $ trace_arg $ validate_arg $ json_arg)
 
 (* --------------------------------------------------------------- fabric *)
 
@@ -276,6 +288,48 @@ let heatmap_cmd =
     (Cmd.info "heatmap" ~doc:"Channel-utilization heatmap of a mapped circuit")
     Term.(const do_heatmap $ circuit_arg $ qasm_arg $ openqasm_arg $ fabric_arg $ m_arg $ seed_arg)
 
+(* ------------------------------------------------------------- estimate *)
+
+let do_estimate circuit qasm openqasm fabric_path measure =
+  let ( let* ) = Result.bind in
+  let result =
+    let* program = load_program ~circuit ~qasm ~openqasm in
+    let* fabric = load_fabric fabric_path in
+    let* ctx = Qspr.Mapper.create ~fabric program in
+    let placement =
+      Placer.Center.place (Qspr.Mapper.component ctx)
+        ~num_qubits:(Qasm.Program.num_qubits program)
+    in
+    let t0 = Sys.time () in
+    let est = Qspr.Mapper.estimate ctx placement in
+    let t_build = Sys.time () -. t0 in
+    Printf.printf "circuit           : %s (%d qubits, %d gates)\n" program.Qasm.Program.name
+      (Qasm.Program.num_qubits program) (Qasm.Program.gate_count program);
+    Printf.printf "placement         : center\n";
+    Printf.printf "estimated latency : %.1f us (model built + estimated in %.0f ms)\n" est
+      (t_build *. 1000.0);
+    if not measure then Ok ()
+    else
+      let* r = Qspr.Mapper.run_forward ctx placement in
+      let meas = r.Simulator.Engine.latency in
+      Printf.printf "measured latency  : %.1f us (full schedule-and-route)\n" meas;
+      Printf.printf "relative error    : %+.1f%%\n" (100.0 *. (est -. meas) /. meas);
+      Ok ()
+  in
+  match result with
+  | Ok () -> 0
+  | Error e ->
+      Printf.eprintf "error: %s\n" e;
+      1
+
+let estimate_cmd =
+  Cmd.v
+    (Cmd.info "estimate"
+       ~doc:"Fast latency estimate of a circuit's center placement, optionally vs the measured engine")
+    Term.(
+      const do_estimate $ circuit_arg $ qasm_arg $ openqasm_arg $ fabric_arg
+      $ Arg.(value & flag & info [ "measure" ] ~doc:"Also run the full engine and report the relative error."))
+
 (* ------------------------------------------------------------- circuits *)
 
 let do_circuits show =
@@ -307,4 +361,7 @@ let circuits_cmd =
 
 let () =
   let info = Cmd.info "qspr" ~version:"1.0.0" ~doc:"Latency-minimizing quantum mapper for ion-trap fabrics" in
-  exit (Cmd.eval' (Cmd.group info [ map_cmd; fabric_cmd; circuits_cmd; metrics_cmd; gantt_cmd; heatmap_cmd; flow_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ map_cmd; fabric_cmd; circuits_cmd; metrics_cmd; gantt_cmd; heatmap_cmd; flow_cmd; estimate_cmd ]))

@@ -6,6 +6,7 @@ type t = {
   patience : int;
   rng_seed : int;
   jobs : int;
+  prescreen_k : int option;
 }
 
 (* QSPR_JOBS sets the default worker-domain count; anything unparsable or
@@ -14,6 +15,14 @@ let jobs_from_env () =
   match Sys.getenv_opt "QSPR_JOBS" with
   | None -> 1
   | Some s -> ( match int_of_string_opt (String.trim s) with Some j when j >= 1 -> j | _ -> 1)
+
+(* QSPR_PRESCREEN sets the default estimator pre-screening width; unset,
+   unparsable or below 1 leaves pre-screening off. *)
+let prescreen_from_env () =
+  match Sys.getenv_opt "QSPR_PRESCREEN" with
+  | None -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with Some k when k >= 1 -> Some k | _ -> None)
 
 let default =
   {
@@ -24,15 +33,19 @@ let default =
     patience = 3;
     rng_seed = 2012;
     jobs = jobs_from_env ();
+    prescreen_k = prescreen_from_env ();
   }
 
 let with_m m t = { t with m }
 let with_seed rng_seed t = { t with rng_seed }
 let with_jobs jobs t = { t with jobs }
+let with_prescreen prescreen_k t = { t with prescreen_k }
 
 let validate t =
   if t.m < 1 then Error "Config: m must be at least 1"
   else if t.patience < 1 then Error "Config: patience must be at least 1"
   else if t.jobs < 1 then Error "Config: jobs must be at least 1"
+  else if (match t.prescreen_k with Some k -> k < 1 | None -> false) then
+    Error "Config: prescreen_k must be at least 1"
   else if t.qspr_policy.Simulator.Engine.channel_capacity < 1 then Error "Config: channel capacity must be positive"
   else Ok t

@@ -11,16 +11,23 @@ type t = {
   jobs : int;
       (** worker domains for placement search fan-out; 1 = sequential.
           Results are bit-identical at any job count. *)
+  prescreen_k : int option;
+      (** estimator pre-screening: fully route only the [k] best-estimated
+          candidate placements per search; [None] routes every candidate. *)
 }
 
 val default : t
 (** Paper values: T_move=1us, T_turn=10us, T_1q=10us, T_2q=100us, channel
     capacity 2, m=100, patience 3.  [jobs] comes from the [QSPR_JOBS]
-    environment variable (default 1; invalid values fall back to 1). *)
+    environment variable (default 1; invalid values fall back to 1);
+    [prescreen_k] from [QSPR_PRESCREEN] (default off; invalid values stay
+    off). *)
 
 val with_m : int -> t -> t
 val with_seed : int -> t -> t
 val with_jobs : int -> t -> t
+val with_prescreen : int option -> t -> t
 
 val validate : t -> (t, string) result
-(** Checks positivity of [m], [patience] and [jobs], and capacity sanity. *)
+(** Checks positivity of [m], [patience], [jobs] and [prescreen_k], and
+    capacity sanity. *)

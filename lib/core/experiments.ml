@@ -162,6 +162,46 @@ let placer_comparison ?(circuit = "[[9,1,3]]") () =
     ("MVFB (m=5)", mvfb.Mapper.latency, budget);
   ]
 
+let estimator_accuracy ?circuits () =
+  let circuits = match circuits with Some c -> c | None -> default_circuits () in
+  List.map
+    (fun (name, p) ->
+      let ctx = context p in
+      let placement =
+        Placer.Center.place (Mapper.component ctx) ~num_qubits:(Qasm.Program.num_qubits p)
+      in
+      let estimated = Mapper.estimate ctx placement in
+      let measured =
+        match Mapper.run_forward ctx placement with
+        | Ok r -> r.Simulator.Engine.latency
+        | Error e -> failwith ("Experiments.estimator_accuracy: " ^ e)
+      in
+      (name, estimated, measured, Float.abs (estimated -. measured) /. measured))
+    circuits
+
+type prescreen_stats = {
+  plain_latency : float;
+  plain_evals : int;
+  prescreened_latency : float;
+  prescreened_evals : int;
+}
+
+let prescreen_study ?(circuit = "[[9,1,3]]") ?(runs = 25) ?(k = 5) () =
+  let p =
+    match List.assoc_opt circuit (default_circuits ()) with
+    | Some p -> p
+    | None -> failwith ("Experiments.prescreen_study: unknown circuit " ^ circuit)
+  in
+  let ctx = context p in
+  let plain = solve_exn "MC" (Mapper.map_monte_carlo ~runs ~prescreen_k:0 ctx) in
+  let pre = solve_exn "MC+prescreen" (Mapper.map_monte_carlo ~runs ~prescreen_k:k ctx) in
+  {
+    plain_latency = plain.Mapper.latency;
+    plain_evals = plain.Mapper.engine_evals;
+    prescreened_latency = pre.Mapper.latency;
+    prescreened_evals = pre.Mapper.engine_evals;
+  }
+
 let fabric_study ?(circuit = "[[9,1,3]]") () =
   let p =
     match List.assoc_opt circuit (default_circuits ()) with

@@ -53,6 +53,26 @@ val placer_comparison : ?circuit:string -> unit -> (string * float * int) list
     annealing and MVFB get the same evaluation count (MVFB's own run
     count).  The spread quantifies how much schedule-awareness buys. *)
 
+val estimator_accuracy :
+  ?circuits:(string * Qasm.Program.t) list -> unit -> (string * float * float * float) list
+(** LEQA-style estimator vs the measured engine on each circuit's center
+    placement: (circuit, estimated us, measured us, relative error).  The
+    mean of the last column is the headline accuracy number recorded in the
+    benchmark JSON. *)
+
+type prescreen_stats = {
+  plain_latency : float;  (** best latency of exhaustive MC *)
+  plain_evals : int;  (** engine evaluations of exhaustive MC *)
+  prescreened_latency : float;  (** best latency with estimator pre-screening *)
+  prescreened_evals : int;  (** engine evaluations with pre-screening *)
+}
+
+val prescreen_study : ?circuit:string -> ?runs:int -> ?k:int -> unit -> prescreen_stats
+(** Exhaustive Monte-Carlo vs estimator-pre-screened Monte-Carlo at the same
+    candidate pool (default [[9,1,3]], runs = 25, k = 5): the pre-screened
+    search should cut engine evaluations by about [runs/k] while staying
+    within a few percent of the exhaustive best. *)
+
 val fabric_study : ?circuit:string -> unit -> (string * float) list
 (** Sensitivity of the mapped latency to fabric geometry and capacity —
     the design space the paper's Section II fixes by technology assumption:

@@ -67,6 +67,7 @@ let solution ?(include_trace = true) ~program (s : Mapper.solution) =
       ( "direction",
         Json.String (match s.Mapper.direction with Placer.Mvfb.Forward -> "forward" | Placer.Mvfb.Backward -> "backward") );
       ("placement_runs", Json.Int s.Mapper.placement_runs);
+      ("engine_evals", Json.Int s.Mapper.engine_evals);
       ("cpu_seconds", Json.Float s.Mapper.cpu_time_s);
       ("initial_placement", placement s.Mapper.initial_placement);
       ("final_placement", placement s.Mapper.final_placement);

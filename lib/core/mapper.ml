@@ -11,6 +11,9 @@ type t = {
   udag : Dag.t option;
   priorities : float array;
   backward_priorities : float array option;
+  estimator : Estimator.Model.t Lazy.t;
+      (* built on first use (one Dijkstra per trap); forced on the main
+         domain before any pool fan-out — Lazy.force is not domain-safe *)
 }
 
 type solution = {
@@ -21,6 +24,7 @@ type solution = {
   direction : Placer.Mvfb.direction;
   placement_runs : int;
   run_latencies : float list;
+  engine_evals : int;
   cpu_time_s : float;
 }
 
@@ -77,7 +81,11 @@ let create ~fabric ?(config = Config.default) program =
               | Ok u -> (Some u, Some (backward_priorities_of dag u priorities))
               | Error _ -> (None, None)
             in
-            Ok { graph; comp; config; program; dag; udag; priorities; backward_priorities }
+            let estimator =
+              lazy (Estimator.Model.create ~graph ~timing:config.Config.timing dag)
+            in
+            Ok
+              { graph; comp; config; program; dag; udag; priorities; backward_priorities; estimator }
           end)
 
 let run_with t ~policy ~priorities ~placement =
@@ -122,7 +130,8 @@ let remap_trace_ids map trace =
       | Router.Micro.Move _ | Router.Micro.Turn _ -> cmd)
     trace
 
-let solution_of_engine ~ctx ~runs ~run_latencies ~cpu ~direction ~initial (r : Engine.result) =
+let solution_of_engine ~ctx ~runs ~run_latencies ~evals ~cpu ~direction ~initial
+    (r : Engine.result) =
   match direction with
   | Placer.Mvfb.Forward ->
       {
@@ -133,6 +142,7 @@ let solution_of_engine ~ctx ~runs ~run_latencies ~cpu ~direction ~initial (r : E
         direction;
         placement_runs = runs;
         run_latencies;
+        engine_evals = evals;
         cpu_time_s = cpu;
       }
   | Placer.Mvfb.Backward ->
@@ -152,16 +162,36 @@ let solution_of_engine ~ctx ~runs ~run_latencies ~cpu ~direction ~initial (r : E
         direction;
         placement_runs = runs;
         run_latencies;
+        engine_evals = evals;
         cpu_time_s = cpu;
       }
 
-let map_mvfb ?m ?jobs t =
+let estimator_model t = Lazy.force t.estimator
+
+let estimate t placement = Estimator.Model.estimate (Lazy.force t.estimator) placement
+
+(* Resolve the effective pre-screening width: an explicit argument wins
+   (0 = off, overriding the config), otherwise the config's default.
+   Forcing the model here — on the calling domain, before any fan-out —
+   keeps Lazy.force off the worker domains. *)
+let prescreen_of t arg =
+  let k =
+    match arg with Some 0 -> None | Some k -> Some k | None -> t.config.Config.prescreen_k
+  in
+  match k with
+  | None -> None
+  | Some k ->
+      let model = Lazy.force t.estimator in
+      Some (k, Estimator.Model.estimate model)
+
+let map_mvfb ?m ?jobs ?prescreen_k t =
   let m = Option.value ~default:t.config.Config.m m in
   let jobs = Option.value ~default:t.config.Config.jobs jobs in
+  let prescreen = prescreen_of t prescreen_k in
   let t0 = Sys.time () in
   match
     Ion_util.Domain_pool.with_pool ~jobs (fun pool ->
-        Placer.Mvfb.search ~pool ~seed:t.config.Config.rng_seed ~m
+        Placer.Mvfb.search ~pool ?prescreen ~seed:t.config.Config.rng_seed ~m
           ~patience:t.config.Config.patience ~forward:(run_forward t) ~backward:(run_backward t)
           t.comp
           ~num_qubits:(Program.num_qubits t.program))
@@ -170,16 +200,17 @@ let map_mvfb ?m ?jobs t =
   | Ok o ->
       let cpu = Sys.time () -. t0 in
       Ok
-        (solution_of_engine ~ctx:t ~runs:o.Placer.Mvfb.runs ~run_latencies:o.Placer.Mvfb.latencies ~cpu
-           ~direction:o.Placer.Mvfb.direction ~initial:o.Placer.Mvfb.initial_placement
-           o.Placer.Mvfb.result)
+        (solution_of_engine ~ctx:t ~runs:o.Placer.Mvfb.runs ~run_latencies:o.Placer.Mvfb.latencies
+           ~evals:o.Placer.Mvfb.evaluations ~cpu ~direction:o.Placer.Mvfb.direction
+           ~initial:o.Placer.Mvfb.initial_placement o.Placer.Mvfb.result)
 
-let map_monte_carlo ~runs ?jobs t =
+let map_monte_carlo ~runs ?jobs ?prescreen_k t =
   let jobs = Option.value ~default:t.config.Config.jobs jobs in
+  let prescreen = prescreen_of t prescreen_k in
   let t0 = Sys.time () in
   match
     Ion_util.Domain_pool.with_pool ~jobs (fun pool ->
-        Placer.Monte_carlo.search ~pool ~seed:t.config.Config.rng_seed ~runs
+        Placer.Monte_carlo.search ~pool ?prescreen ~seed:t.config.Config.rng_seed ~runs
           ~evaluate:(run_forward t) t.comp
           ~num_qubits:(Program.num_qubits t.program))
   with
@@ -188,8 +219,30 @@ let map_monte_carlo ~runs ?jobs t =
       let cpu = Sys.time () -. t0 in
       Ok
         (solution_of_engine ~ctx:t ~runs:o.Placer.Monte_carlo.runs
-           ~run_latencies:o.Placer.Monte_carlo.latencies ~cpu ~direction:Placer.Mvfb.Forward
-           ~initial:o.Placer.Monte_carlo.placement o.Placer.Monte_carlo.result)
+           ~run_latencies:o.Placer.Monte_carlo.latencies ~evals:o.Placer.Monte_carlo.evaluations
+           ~cpu ~direction:Placer.Mvfb.Forward ~initial:o.Placer.Monte_carlo.placement
+           o.Placer.Monte_carlo.result)
+
+let map_annealing ?evaluations ?jobs ?prescreen_k t =
+  let evaluations = Option.value ~default:t.config.Config.m evaluations in
+  let jobs = Option.value ~default:t.config.Config.jobs jobs in
+  let prescreen = prescreen_of t prescreen_k in
+  let t0 = Sys.time () in
+  match
+    Ion_util.Domain_pool.with_pool ~jobs (fun pool ->
+        Placer.Annealing.search ~pool ?prescreen
+          ~rng:(Ion_util.Rng.create t.config.Config.rng_seed)
+          ~evaluations ~evaluate:(run_forward t) t.comp
+          ~num_qubits:(Program.num_qubits t.program))
+  with
+  | Error _ as e -> e
+  | Ok o ->
+      let cpu = Sys.time () -. t0 in
+      Ok
+        (solution_of_engine ~ctx:t ~runs:o.Placer.Annealing.evaluations
+           ~run_latencies:o.Placer.Annealing.latencies ~evals:o.Placer.Annealing.evaluations ~cpu
+           ~direction:Placer.Mvfb.Forward ~initial:o.Placer.Annealing.placement
+           o.Placer.Annealing.result)
 
 let map_center t =
   let placement = Placer.Center.place t.comp ~num_qubits:(Program.num_qubits t.program) in
@@ -199,5 +252,5 @@ let map_center t =
   | Ok r ->
       let cpu = Sys.time () -. t0 in
       Ok
-        (solution_of_engine ~ctx:t ~runs:1 ~run_latencies:[ r.Engine.latency ] ~cpu
+        (solution_of_engine ~ctx:t ~runs:1 ~run_latencies:[ r.Engine.latency ] ~evals:1 ~cpu
            ~direction:Placer.Mvfb.Forward ~initial:placement r)

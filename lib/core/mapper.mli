@@ -33,6 +33,9 @@ type solution = {
   direction : Placer.Mvfb.direction;  (** which MVFB pass won (Forward for non-MVFB flows) *)
   placement_runs : int;  (** total schedule-and-route evaluations *)
   run_latencies : float list;  (** latency of every placement run, in order *)
+  engine_evals : int;
+      (** engine evaluations actually performed — less than [placement_runs]
+          when duplicates were deduplicated or candidates pre-screened out *)
   cpu_time_s : float;
 }
 
@@ -53,20 +56,45 @@ val run_with :
 (** Escape hatch for custom policies (used by the QUALE mode and the
     ablation benches). *)
 
-val map_mvfb : ?m:int -> ?jobs:int -> t -> (solution, string) result
+val map_mvfb : ?m:int -> ?jobs:int -> ?prescreen_k:int -> t -> (solution, string) result
 (** The full QSPR flow: MVFB placement (defaulting to the config's [m]),
     best of all forward/backward runs; backward winners are reported as
     reversed traces (Section IV.A).  [jobs] (default: the config's [jobs])
     fans the [m] independent seeds out over that many domains; any job
-    count returns a bit-identical solution. *)
+    count returns a bit-identical solution.
 
-val map_monte_carlo : runs:int -> ?jobs:int -> t -> (solution, string) result
+    [prescreen_k] (default: the config's [prescreen_k], itself off unless
+    [QSPR_PRESCREEN] is set) estimates every unique seed placement with the
+    {!estimate} model and locally searches only the [k] best-estimated;
+    [0] forces pre-screening off regardless of the config. *)
+
+val map_monte_carlo : runs:int -> ?jobs:int -> ?prescreen_k:int -> t -> (solution, string) result
 (** Best of [runs] random center placements under the QSPR engine.  [jobs]
-    behaves as in {!map_mvfb}: parallel fan-out of the independent runs with
-    bit-identical results at any job count. *)
+    and [prescreen_k] behave as in {!map_mvfb}: parallel fan-out of the
+    independent runs with bit-identical results at any job count, and
+    estimator pre-screening routing only the [k] best-estimated unique
+    candidates. *)
+
+val map_annealing : ?evaluations:int -> ?jobs:int -> ?prescreen_k:int -> t -> (solution, string) result
+(** Simulated-annealing placement ({!Placer.Annealing}) under the QSPR
+    engine, seeded from the config's [rng_seed].  [evaluations] defaults to
+    the config's [m] so the budget matches the MVFB/MC comparison.  The
+    anneal itself is sequential; [prescreen_k] draws that many candidate
+    starts and anneals from the best-estimated one, with [jobs] fanning the
+    estimates out. *)
 
 val map_center : t -> (solution, string) result
 (** Single deterministic center placement under the QSPR engine. *)
+
+val estimate : t -> int array -> float
+(** LEQA-style latency estimate ({!Estimator.Model}) of an initial
+    placement: no routing, no engine — microseconds, comparable to (and
+    correlating with) {!run_forward} latencies.  Builds the distance model
+    on first use; subsequent calls are allocation-free. *)
+
+val estimator_model : t -> Estimator.Model.t
+(** The underlying estimator (distance tables + DAG census), built lazily
+    on first use and cached on the context. *)
 
 val qspr_priorities : t -> float array
 (** The Section III priorities driving the forward schedule. *)

@@ -26,5 +26,6 @@ let map ctx =
           direction = Placer.Mvfb.Forward;
           placement_runs = 1;
           run_latencies = [ r.Simulator.Engine.latency ];
+          engine_evals = 1;
           cpu_time_s = cpu;
         }

@@ -1,0 +1,54 @@
+(** LEQA-style fast latency estimator (Dousti & Pedram, arXiv:1501.00742):
+    predict the mapped latency of a candidate placement without routing,
+    scheduling, or simulation.
+
+    The model pairs the {!Distance} tables of the fabric with an
+    event-driven mirror of [Simulator.Engine.run] in which every route
+    search is replaced by a table lookup.  Instructions issue eagerly in
+    the engine's priority order ([Scheduler.Priority.qspr_default])
+    whenever their operands are free; a two-qubit gate sends both operands
+    at issue time to the trap nearest the midpoint of their positions that
+    hosts no bystander ion — the engine's own trap choice — pays the
+    modeled travel plus the gate delay, and leaves them co-located there.
+    Completions free the operands and ready the QIDG successors.  What the
+    mirror drops is channel congestion — acquisition, stalls, detours —
+    whose average effect a travel-time stretch recovers: QIDG levels packed
+    with many concurrent two-qubit gates contend for shared channels, so
+    their moves are stretched by a per-extra-gate factor, a level-granular
+    collapse of the router's contention term.
+
+    [estimate] performs no routing, no engine run, and no allocation
+    (clock/position scratch is domain-local), so thousands of candidate
+    placements can be scored for the cost of one routed evaluation — the
+    basis of the placement pre-screening pipeline. *)
+
+type t
+
+val create :
+  graph:Fabric.Graph.t ->
+  timing:Router.Timing.t ->
+  ?congestion_alpha:float ->
+  ?congestion_threshold:int ->
+  Qasm.Dag.t ->
+  t
+(** Builds the distance tables (one Dijkstra per trap), the engine's issue
+    priorities and the per-level two-qubit gate census of the QIDG.
+    [congestion_alpha] (default [0.01]) is the fractional travel-time
+    penalty per concurrent two-qubit gate beyond [congestion_threshold]
+    (default [2]) in the same level; the defaults are calibrated against
+    the measured engine on the paper's Table-1 circuits (mean absolute
+    relative error about 1%).
+    @raise Invalid_argument on a negative alpha or threshold. *)
+
+val distance : t -> Distance.t
+val num_qubits : t -> int
+
+val estimate : t -> int array -> float
+(** [estimate t placement] — predicted execution latency in microseconds of
+    mapping the program with [placement.(q)] as qubit [q]'s starting trap.
+    A pure function of [(t, placement)]: fanning calls out on
+    [Ion_util.Domain_pool] is bit-identical to a sequential loop (scratch
+    state is per-domain).  Returns [infinity] when the placement puts
+    interacting operands in mutually unreachable fabric components.
+    @raise Invalid_argument when the placement's arity or trap ids don't
+    match the model's program and fabric. *)

@@ -31,19 +31,43 @@ let propose rng pool placement =
         next
   end
 
-let search ~rng ?(initial_temperature = 100.0) ?(cooling = 0.95) ?(evaluations = 60)
-    ?candidate_traps ~evaluate comp ~num_qubits =
+(* Draw [n] random starts and return the best-estimated one (ties keep the
+   earliest draw).  The draws consume the rng sequentially before any
+   fan-out, and the estimates are pure, so the choice is deterministic for
+   any pool size. *)
+let prescreen_start ?domain_pool ~rng ~n ~estimate comp ~num_qubits =
+  let candidates = Array.init n (fun _ -> Center.place_permuted rng comp ~num_qubits) in
+  let amap =
+    match domain_pool with Some p -> Ion_util.Domain_pool.map p | None -> Array.map
+  in
+  let scores = amap estimate candidates in
+  let best = ref 0 in
+  for i = 1 to n - 1 do
+    if scores.(i) < scores.(!best) then best := i
+  done;
+  candidates.(!best)
+
+let search ?pool:domain_pool ?prescreen ~rng ?(initial_temperature = 100.0) ?(cooling = 0.95)
+    ?(evaluations = 60) ?candidate_traps ~evaluate comp ~num_qubits =
   let candidate_traps = Option.value ~default:(3 * num_qubits) candidate_traps in
   if initial_temperature <= 0.0 || cooling <= 0.0 || cooling >= 1.0 then
     Error "Annealing.search: bad temperature schedule"
   else if evaluations < 1 then Error "Annealing.search: need at least one evaluation"
   else if candidate_traps < num_qubits then Error "Annealing.search: candidate pool too small"
+  else if (match prescreen with Some (n, _) -> n < 1 | None -> false) then
+    Error "Annealing.search: prescreen candidates must be at least 1"
   else begin
     match Center.center_traps comp candidate_traps with
     | exception Invalid_argument msg -> Error msg
     | pool_list -> (
         let pool = Array.of_list pool_list in
-        let current = ref (Center.place_permuted rng comp ~num_qubits) in
+        let current =
+          ref
+            (match prescreen with
+            | None -> Center.place_permuted rng comp ~num_qubits
+            | Some (n, estimate) ->
+                prescreen_start ?domain_pool ~rng ~n ~estimate comp ~num_qubits)
+        in
         match evaluate !current with
         | Error _ as e -> e
         | Ok r0 ->

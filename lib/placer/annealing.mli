@@ -18,6 +18,8 @@ type outcome = {
 }
 
 val search :
+  ?pool:Ion_util.Domain_pool.t ->
+  ?prescreen:int * (int array -> float) ->
   rng:Ion_util.Rng.t ->
   ?initial_temperature:float ->
   ?cooling:float ->
@@ -29,4 +31,11 @@ val search :
   (outcome, string) result
 (** Defaults: temperature 100 us, cooling 0.95 per step, 60 evaluations,
     candidate pool of [3 * num_qubits] nearest-center traps.  [Error] on
-    invalid parameters or a failing evaluation. *)
+    invalid parameters or a failing evaluation.
+
+    [prescreen = (n, estimate)] draws [n] random starts and anneals from the
+    best-estimated one instead of the first draw; the starts consume the rng
+    before any fan-out and estimate ties keep the earliest draw, so the
+    outcome is deterministic and identical for any [pool] size.  Without
+    [prescreen] the rng stream is untouched and the search behaves exactly
+    as before. *)

@@ -3,43 +3,102 @@ type outcome = {
   result : Simulator.Engine.result;
   latencies : float list;
   runs : int;
+  evaluations : int;
 }
 
-let search ?pool ~seed ~runs ~evaluate comp ~num_qubits =
+(* Map each run index to the index of the first run with an identical
+   placement.  [Center.place_permuted] repeats permutations on small
+   components, and the evaluation is a pure function of the placement, so
+   only canonical runs need routing (or estimating). *)
+let canonicalize placements =
+  let tbl = Hashtbl.create (2 * Array.length placements) in
+  Array.mapi
+    (fun i p ->
+      match Hashtbl.find_opt tbl p with
+      | Some j -> j
+      | None ->
+          Hashtbl.add tbl p i;
+          i)
+    placements
+
+(* Indices of the [k] best-estimated candidates among [uniques], returned in
+   ascending run order so downstream reductions keep sequential tie-breaks.
+   Estimate ties are broken by run index, making the selection a pure
+   function of (placements, estimate). *)
+let select_top_k ~k scores uniques =
+  let order = Array.init (Array.length uniques) Fun.id in
+  Array.sort
+    (fun x y ->
+      match Float.compare scores.(x) scores.(y) with
+      | 0 -> Int.compare uniques.(x) uniques.(y)
+      | c -> c)
+    order;
+  let keep = Array.map (fun x -> uniques.(x)) (Array.sub order 0 k) in
+  Array.sort Int.compare keep;
+  keep
+
+let search ?pool ?prescreen ~seed ~runs ~evaluate comp ~num_qubits =
   if runs < 1 then Error "Monte_carlo.search: need at least one run"
-  else begin
-    (* Each run's randomness is a pure function of (seed, run index), so the
-       fan-out below is bit-identical whether it executes sequentially or on
-       a domain pool. *)
-    let one i =
-      let rng = Ion_util.Rng.derive seed ~index:i in
-      let placement = Center.place_permuted rng comp ~num_qubits in
-      match evaluate placement with Error e -> Error e | Ok r -> Ok (placement, r)
-    in
-    let amap = match pool with Some p -> Ion_util.Domain_pool.map p | None -> Array.map in
-    let results = amap one (Array.init runs Fun.id) in
-    (* Reduce in run order: the first error wins, and latency ties keep the
-       earliest run — exactly the sequential loop's behavior. *)
-    let best = ref None in
-    let latencies = ref [] in
-    let error = ref None in
-    Array.iter
-      (fun res ->
-        if !error = None then
-          match res with
-          | Error e -> error := Some e
-          | Ok (placement, r) ->
-              latencies := r.Simulator.Engine.latency :: !latencies;
-              let better =
-                match !best with
-                | None -> true
-                | Some (_, prev) -> r.Simulator.Engine.latency < prev.Simulator.Engine.latency
-              in
-              if better then best := Some (placement, r))
-      results;
-    match (!error, !best) with
-    | Some e, _ -> Error e
-    | None, None -> Error "Monte_carlo.search: no successful run"
-    | None, Some (placement, result) ->
-        Ok { placement; result; latencies = List.rev !latencies; runs }
-  end
+  else
+    match prescreen with
+    | Some (k, _) when k < 1 -> Error "Monte_carlo.search: prescreen_k must be at least 1"
+    | _ ->
+        (* Each run's randomness is a pure function of (seed, run index), so
+           every fan-out below is bit-identical whether it executes
+           sequentially or on a domain pool. *)
+        let placements =
+          Array.init runs (fun i ->
+              let rng = Ion_util.Rng.derive seed ~index:i in
+              Center.place_permuted rng comp ~num_qubits)
+        in
+        let amap f arr =
+          match pool with Some p -> Ion_util.Domain_pool.map p f arr | None -> Array.map f arr
+        in
+        let canon = canonicalize placements in
+        let uniques =
+          Array.of_seq
+            (Seq.filter (fun i -> canon.(i) = i) (Seq.init runs Fun.id))
+        in
+        let routed =
+          match prescreen with
+          | Some (k, estimate) when k < Array.length uniques ->
+              let scores = amap (fun i -> estimate placements.(i)) uniques in
+              select_top_k ~k scores uniques
+          | _ -> uniques
+        in
+        let routed_results = amap (fun i -> evaluate placements.(i)) routed in
+        let result_of = Hashtbl.create (Array.length routed) in
+        Array.iteri (fun slot i -> Hashtbl.add result_of i routed_results.(slot)) routed;
+        (* Reduce in run order: the first error wins, and latency ties keep
+           the earliest run — exactly the sequential loop's behavior.
+           Duplicate runs replay their canonical run's result, pre-screened-out
+           runs contribute nothing. *)
+        let best = ref None in
+        let latencies = ref [] in
+        let error = ref None in
+        for i = 0 to runs - 1 do
+          if !error = None then
+            match Hashtbl.find_opt result_of canon.(i) with
+            | None -> ()
+            | Some (Error e) -> error := Some e
+            | Some (Ok r) ->
+                latencies := r.Simulator.Engine.latency :: !latencies;
+                let better =
+                  match !best with
+                  | None -> true
+                  | Some (_, prev) -> r.Simulator.Engine.latency < prev.Simulator.Engine.latency
+                in
+                if better then best := Some (placements.(i), r)
+        done;
+        (match (!error, !best) with
+        | Some e, _ -> Error e
+        | None, None -> Error "Monte_carlo.search: no successful run"
+        | None, Some (placement, result) ->
+            Ok
+              {
+                placement;
+                result;
+                latencies = List.rev !latencies;
+                runs;
+                evaluations = Array.length routed;
+              })

@@ -8,23 +8,47 @@
     Each run's randomness is derived from [(seed, run index)] with
     {!Ion_util.Rng.derive}, so runs are independent and the search returns
     bit-identical outcomes whether it executes sequentially or fanned out on
-    a {!Ion_util.Domain_pool.t}. *)
+    a {!Ion_util.Domain_pool.t}.
+
+    Identical candidate placements are deduplicated before evaluation
+    ([Center.place_permuted] repeats permutations on small components);
+    duplicate runs replay their canonical run's result, so reported run
+    counts and latency lists are unchanged while [evaluations] counts the
+    actual engine calls.  With [?prescreen], candidates are first scored by
+    the (cheap, pure) estimate function — fanned out on the pool — and only
+    the [k] best-estimated unique placements are routed. *)
 
 type outcome = {
   placement : int array;  (** the winning initial placement *)
   result : Simulator.Engine.result;
-  latencies : float list;  (** every run's latency, in run order *)
-  runs : int;
+  latencies : float list;
+      (** latency of every run that was routed (or replays a routed
+          duplicate), in run order; pre-screened-out runs are absent *)
+  runs : int;  (** requested runs, pruned or not *)
+  evaluations : int;  (** full engine evaluations actually performed *)
 }
+
+val canonicalize : int array array -> int array
+(** [canonicalize placements].(i) is the lowest index whose placement equals
+    [placements.(i)] — the dedup map shared by the MC and MVFB sweeps. *)
+
+val select_top_k : k:int -> float array -> int array -> int array
+(** [select_top_k ~k scores uniques] — the [k] members of [uniques] with the
+    lowest scores ([scores.(i)] scoring [uniques.(i)]), ties broken by the
+    lower member, returned sorted ascending.  Requires [k <= length uniques]. *)
 
 val search :
   ?pool:Ion_util.Domain_pool.t ->
+  ?prescreen:int * (int array -> float) ->
   seed:int ->
   runs:int ->
   evaluate:(int array -> (Simulator.Engine.result, string) result) ->
   Fabric.Component.t ->
   num_qubits:int ->
   (outcome, string) result
-(** [Error] if [runs < 1] or any evaluation fails (the first failing run in
-    run order is reported).  [evaluate] must be safe to call from several
-    domains at once when a multi-domain [pool] is supplied. *)
+(** [Error] if [runs < 1], [prescreen] carries [k < 1], or any routed
+    evaluation fails (the first failing run in run order is reported).
+    [prescreen = (k, estimate)] routes only the [k] best-estimated unique
+    candidates (estimate ties keep the earliest run); [estimate] and
+    [evaluate] must be safe to call from several domains at once when a
+    multi-domain [pool] is supplied. *)

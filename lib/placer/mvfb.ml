@@ -7,6 +7,7 @@ type outcome = {
   latencies : float list;
   runs : int;
   seeds_used : int;
+  evaluations : int;
 }
 
 type best = {
@@ -16,9 +17,10 @@ type best = {
   b_initial : int array;
 }
 
-(* Outcome of one seed's local forward/backward search.  Seeds are
-   independent (each draws its randomness from (seed, index) only), so they
-   run sequentially or fan out on a domain pool with identical results. *)
+(* Outcome of one seed's local forward/backward search.  Given its initial
+   placement the search is deterministic (no further randomness), so seeds
+   run sequentially or fan out on a domain pool with identical results, and
+   seeds sharing an initial placement can share one search. *)
 type seed_outcome = {
   s_best : best option;
   s_latencies : float list; (* in run order *)
@@ -26,8 +28,7 @@ type seed_outcome = {
   s_error : string option;
 }
 
-let search_seed ~seed ~patience ~max_runs_per_seed ~forward ~backward comp ~num_qubits index =
-  let rng = Ion_util.Rng.derive seed ~index in
+let search_seed ~patience ~max_runs_per_seed ~forward ~backward initial =
   let best = ref None in
   let latencies = ref [] in
   let runs = ref 0 in
@@ -40,7 +41,7 @@ let search_seed ~seed ~patience ~max_runs_per_seed ~forward ~backward comp ~num_
       best := Some { b_latency = latency; b_direction = direction; b_result = result; b_initial = initial }
   in
   (* local neighborhood search around one random center placement *)
-  let placement = ref (Center.place_permuted rng comp ~num_qubits) in
+  let placement = ref initial in
   let local_best = ref Float.infinity in
   let no_improve = ref 0 in
   let local_runs = ref 0 in
@@ -70,44 +71,74 @@ let search_seed ~seed ~patience ~max_runs_per_seed ~forward ~backward comp ~num_
   done;
   { s_best = !best; s_latencies = List.rev !latencies; s_runs = !runs; s_error = !error }
 
-let search ?pool ~seed ~m ?(patience = 3) ?(max_runs_per_seed = 64) ~forward ~backward comp
-    ~num_qubits =
+let search ?pool ?prescreen ~seed ~m ?(patience = 3) ?(max_runs_per_seed = 64) ~forward ~backward
+    comp ~num_qubits =
   if m < 1 then Error "Mvfb.search: need at least one seed"
-  else begin
-    let one = search_seed ~seed ~patience ~max_runs_per_seed ~forward ~backward comp ~num_qubits in
-    let amap = match pool with Some p -> Ion_util.Domain_pool.map p | None -> Array.map in
-    let per_seed = amap one (Array.init m Fun.id) in
-    (* Merge in seed order: latencies concatenate, the first error wins and
-       latency ties keep the earliest seed — the sequential loop visits runs
-       in exactly this order. *)
-    let best = ref None in
-    let latencies_rev = ref [] in
-    let runs = ref 0 in
-    let error = ref None in
-    Array.iter
-      (fun s ->
-        if !error = None then begin
-          List.iter (fun l -> latencies_rev := l :: !latencies_rev) s.s_latencies;
-          runs := !runs + s.s_runs;
-          (match s.s_best with
-          | None -> ()
-          | Some b ->
-              let better = match !best with None -> true | Some p -> b.b_latency < p.b_latency in
-              if better then best := Some b);
-          match s.s_error with Some e -> error := Some e | None -> ()
-        end)
-      per_seed;
-    match (!error, !best) with
-    | Some e, _ -> Error e
-    | None, None -> Error "Mvfb.search: no successful run"
-    | None, Some b ->
-        Ok
-          {
-            direction = b.b_direction;
-            result = b.b_result;
-            initial_placement = b.b_initial;
-            latencies = List.rev !latencies_rev;
-            runs = !runs;
-            seeds_used = m;
-          }
-  end
+  else
+    match prescreen with
+    | Some (k, _) when k < 1 -> Error "Mvfb.search: prescreen_k must be at least 1"
+    | _ ->
+        (* Seed randomness is a pure function of (seed, seed index): draw all
+           initial placements up front, then dedup and (optionally) pre-screen
+           before the expensive local searches. *)
+        let initials =
+          Array.init m (fun i ->
+              let rng = Ion_util.Rng.derive seed ~index:i in
+              Center.place_permuted rng comp ~num_qubits)
+        in
+        let amap f arr =
+          match pool with Some p -> Ion_util.Domain_pool.map p f arr | None -> Array.map f arr
+        in
+        let canon = Monte_carlo.canonicalize initials in
+        let uniques = Array.of_seq (Seq.filter (fun i -> canon.(i) = i) (Seq.init m Fun.id)) in
+        let searched =
+          match prescreen with
+          | Some (k, estimate) when k < Array.length uniques ->
+              let scores = amap (fun i -> estimate initials.(i)) uniques in
+              Monte_carlo.select_top_k ~k scores uniques
+          | _ -> uniques
+        in
+        let one = search_seed ~patience ~max_runs_per_seed ~forward ~backward in
+        let outcomes = amap (fun i -> one initials.(i)) searched in
+        let outcome_of = Hashtbl.create (Array.length searched) in
+        Array.iteri (fun slot i -> Hashtbl.add outcome_of i outcomes.(slot)) searched;
+        (* Merge in seed order: latencies concatenate, the first error wins
+           and latency ties keep the earliest seed — the sequential loop
+           visits runs in exactly this order.  Duplicate seeds replay their
+           canonical seed's search, pre-screened-out seeds contribute
+           nothing. *)
+        let best = ref None in
+        let latencies_rev = ref [] in
+        let runs = ref 0 in
+        let error = ref None in
+        for i = 0 to m - 1 do
+          if !error = None then
+            match Hashtbl.find_opt outcome_of canon.(i) with
+            | None -> ()
+            | Some s ->
+                List.iter (fun l -> latencies_rev := l :: !latencies_rev) s.s_latencies;
+                runs := !runs + s.s_runs;
+                (match s.s_best with
+                | None -> ()
+                | Some b ->
+                    let better =
+                      match !best with None -> true | Some p -> b.b_latency < p.b_latency
+                    in
+                    if better then best := Some b);
+                (match s.s_error with Some e -> error := Some e | None -> ())
+        done;
+        let evaluations = Array.fold_left (fun acc s -> acc + s.s_runs) 0 outcomes in
+        (match (!error, !best) with
+        | Some e, _ -> Error e
+        | None, None -> Error "Mvfb.search: no successful run"
+        | None, Some b ->
+            Ok
+              {
+                direction = b.b_direction;
+                result = b.b_result;
+                initial_placement = b.b_initial;
+                latencies = List.rev !latencies_rev;
+                runs = !runs;
+                seeds_used = m;
+                evaluations;
+              })

@@ -19,7 +19,14 @@
     The [m] seeds are independent local searches whose randomness is derived
     from [(seed, seed index)] with {!Ion_util.Rng.derive}; fanning them out
     on a {!Ion_util.Domain_pool.t} returns bit-identical outcomes to the
-    sequential search. *)
+    sequential search.
+
+    Seeds drawing an identical initial placement share one local search
+    (the search is deterministic given its start), with reported run counts
+    and latency lists replayed per seed so outcomes are unchanged;
+    [evaluations] counts the engine calls actually made.  With [?prescreen],
+    initial placements are scored by the estimate function and only the [k]
+    best-estimated unique seeds are locally searched. *)
 
 type direction = Forward | Backward
 
@@ -30,10 +37,12 @@ type outcome = {
   latencies : float list;  (** latency of every placement run, in order *)
   runs : int;  (** total placement runs — sizes the MC comparison *)
   seeds_used : int;
+  evaluations : int;  (** full engine evaluations actually performed *)
 }
 
 val search :
   ?pool:Ion_util.Domain_pool.t ->
+  ?prescreen:int * (int array -> float) ->
   seed:int ->
   m:int ->
   ?patience:int ->
@@ -45,6 +54,8 @@ val search :
   (outcome, string) result
 (** [patience] defaults to 3 (the paper's stopping rule); [max_runs_per_seed]
     (default 64) bounds pathological non-converging seeds.  [Error] on
-    [m < 1] or when an evaluation fails (the first failure in seed order is
-    reported).  [forward] and [backward] must be safe to call from several
-    domains at once when a multi-domain [pool] is supplied. *)
+    [m < 1], a [prescreen] with [k < 1], or when an evaluation fails (the
+    first failure in seed order is reported).  [prescreen = (k, estimate)]
+    locally searches only the [k] best-estimated unique seeds; [estimate],
+    [forward], and [backward] must be safe to call from several domains at
+    once when a multi-domain [pool] is supplied. *)
