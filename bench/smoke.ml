@@ -82,5 +82,19 @@ let () =
     fail "prescreen routed %d > k=3 candidates" pre1.Qspr.Mapper.engine_evals;
   if not (List.mem pre1.Qspr.Mapper.latency plain.Qspr.Mapper.run_latencies) then
     fail "prescreened winner %.1f not among the plain run latencies" pre1.Qspr.Mapper.latency;
+  (* analysis group: every benchmarked solution must survive independent
+     replay, and the pooled search must stay bit-deterministic *)
+  let cert = Analysis.Certify.of_solution ctx pre1 in
+  if not cert.Analysis.Certify.valid then
+    fail "prescreened solution fails certification: %s"
+      (Format.asprintf "%a" Analysis.Certify.pp cert);
+  (match
+     Analysis.Determinism.check ~label:"mc runs=4" ~jobs:2 (fun ~jobs ->
+         Qspr.Mapper.map_monte_carlo ~runs:4 ~jobs ctx)
+   with
+  | [] -> ()
+  | f :: _ ->
+      fail "parallel determinism violated: %s" (Format.asprintf "%a" Analysis.Finding.pp f));
   print_endline
-    "bench-smoke: OK (workspace routing exact, parallel search exact, estimator pure and prescreen consistent)"
+    "bench-smoke: OK (workspace routing exact, parallel search exact, estimator pure, \
+     prescreen consistent, winner certified)"

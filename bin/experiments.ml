@@ -8,6 +8,7 @@
 
 let fast = ref false
 let json_path = ref None
+let certify = ref false
 
 let m_small () = if !fast then 3 else 25
 let m_large () = if !fast then 6 else 100
@@ -24,12 +25,43 @@ let write_json name doc =
           Out_channel.output_string oc (Ion_util.Json.to_string doc));
       Printf.printf "\n[json written to %s]\n" path
 
+(* --certify: re-map every Table-1 circuit and replay each trace through the
+   independent certifier — a mapper bug that fabricates latencies fails the
+   whole experiment run instead of silently entering the table. *)
+let certify_table1 () =
+  line "Trace certificates (MVFB, Table 1 circuits)";
+  let fabric = Fabric.Layout.quale_45x85 () in
+  let all_ok = ref true in
+  List.iter
+    (fun (name, program) ->
+      let status =
+        match Qspr.Mapper.create ~fabric ~config:(Qspr.Config.with_m (m_small ()) Qspr.Config.default) program with
+        | Error e -> Error e
+        | Ok ctx -> (
+            match Qspr.Mapper.map_mvfb ctx with
+            | Error e -> Error e
+            | Ok sol -> Ok (Analysis.Certify.of_solution ctx sol))
+      in
+      match status with
+      | Error e ->
+          all_ok := false;
+          Printf.printf "  %-12s mapping failed: %s\n" name e
+      | Ok cert ->
+          if not cert.Analysis.Certify.valid then all_ok := false;
+          Printf.printf "  %-12s %s\n" name (Format.asprintf "%a" Analysis.Certify.pp cert))
+    (Circuits.Qecc.all ());
+  if not !all_ok then begin
+    Printf.eprintf "certification failed: at least one Table-1 trace does not replay\n";
+    exit 1
+  end
+
 let run_table1 () =
   line "Table 1: MVFB vs Monte-Carlo (equal placement-run budget)";
   let rows = Qspr.Experiments.table1 ~m_small:(m_small ()) ~m_large:(m_large ()) () in
   print_string (Qspr.Report.render_table1 rows);
   Printf.printf "\nCSV:\n%s" (Qspr.Report.csv_table1 rows);
-  write_json "table1" (Qspr.Export.table1 rows)
+  write_json "table1" (Qspr.Export.table1 rows);
+  if !certify then certify_table1 ()
 
 let run_table2 () =
   line "Table 2: Baseline vs QUALE vs QSPR";
@@ -222,6 +254,7 @@ let () =
   List.iter
     (fun f ->
       if f = "--fast" then fast := true
+      else if f = "--certify" then certify := true
       else if String.length f > 7 && String.sub f 0 7 = "--json=" then
         json_path := Some (String.sub f 7 (String.length f - 7))
       else failwith ("unknown flag " ^ f))

@@ -2,6 +2,7 @@
 
    Subcommands:
      map       map a QASM file (or builtin benchmark) onto an ion-trap fabric
+     lint      static-analysis report over a circuit and/or fabric
      fabric    render a fabric and its component statistics
      circuits  list or print the builtin QECC benchmark circuits *)
 
@@ -31,7 +32,17 @@ let load_program ~circuit ~qasm ~openqasm =
 
 (* ------------------------------------------------------------------ map *)
 
-let do_map circuit qasm openqasm fabric_path pmd_path placer m seed prescreen_k show_trace validate json_out =
+(* Surface fabric lint on every mapping run (the findings are cheap and the
+   failure modes they catch — disconnected islands, starved capacity — waste
+   a whole placement search otherwise): warnings and hints go to stderr,
+   errors abort before any search runs. *)
+let gate_on_fabric_lint ~program fabric =
+  let findings = Fabric.Lint.check ~num_qubits:(Qasm.Program.num_qubits program) fabric in
+  List.iter (fun f -> Format.eprintf "%a@." Analysis.Finding.pp f) findings;
+  if Analysis.Finding.is_clean findings then Ok ()
+  else Error "fabric fails lint (errors above; `qspr lint` shows the full report)"
+
+let do_map circuit qasm openqasm fabric_path pmd_path placer m seed prescreen_k show_trace validate certify json_out =
   let ( let* ) = Result.bind in
   let result =
     let* program = load_program ~circuit ~qasm ~openqasm in
@@ -46,6 +57,7 @@ let do_map circuit qasm openqasm fabric_path pmd_path placer m seed prescreen_k 
           let* fabric = load_fabric fabric_path in
           Ok (fabric, Qspr.Config.default)
     in
+    let* () = gate_on_fabric_lint ~program fabric in
     let config = Qspr.Config.(base_config |> with_m m |> with_seed seed) in
     let* ctx = Qspr.Mapper.create ~fabric ~config program in
     let* sol =
@@ -93,6 +105,19 @@ let do_map circuit qasm openqasm fabric_path pmd_path placer m seed prescreen_k 
         List.iter (Printf.printf "  %s\n") report.Simulator.Validate.errors
       end
     end;
+    let* () =
+      if not certify then Ok ()
+      else begin
+        let policy =
+          if placer = "quale" then (Qspr.Mapper.config ctx).Qspr.Config.quale_policy
+          else (Qspr.Mapper.config ctx).Qspr.Config.qspr_policy
+        in
+        let cert = Analysis.Certify.of_solution ~policy ctx sol in
+        Format.printf "%a@." Analysis.Certify.pp cert;
+        if cert.Analysis.Certify.valid then Ok ()
+        else Error "trace certification failed: the reported solution is not physically executable"
+      end
+    in
     if show_trace then begin
       print_newline ();
       print_string (Simulator.Trace.to_string sol.Qspr.Mapper.trace)
@@ -152,6 +177,14 @@ let seed_arg = Arg.(value & opt int 2012 & info [ "seed" ] ~docv:"S" ~doc:"Rando
 let trace_arg = Arg.(value & flag & info [ "trace" ] ~doc:"Print the micro-command trace.")
 let validate_arg = Arg.(value & flag & info [ "validate" ] ~doc:"Run the physical trace validator.")
 
+let certify_arg =
+  Arg.(
+    value & flag
+    & info [ "certify" ]
+        ~doc:
+          "Replay the trace through the independent certifier (shares no code with the engine) \
+           and fail if the claimed solution is not physically executable.")
+
 let json_arg =
   Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc:"Write the full result (trace included) as JSON.")
 
@@ -160,7 +193,7 @@ let map_cmd =
     (Cmd.info "map" ~doc:"Schedule, place and route a circuit onto an ion-trap fabric")
     Term.(
       const do_map $ circuit_arg $ qasm_arg $ openqasm_arg $ fabric_arg $ pmd_arg $ placer_arg $ m_arg
-      $ seed_arg $ prescreen_arg $ trace_arg $ validate_arg $ json_arg)
+      $ seed_arg $ prescreen_arg $ trace_arg $ validate_arg $ certify_arg $ json_arg)
 
 (* --------------------------------------------------------------- fabric *)
 
@@ -288,9 +321,51 @@ let heatmap_cmd =
     (Cmd.info "heatmap" ~doc:"Channel-utilization heatmap of a mapped circuit")
     Term.(const do_heatmap $ circuit_arg $ qasm_arg $ openqasm_arg $ fabric_arg $ m_arg $ seed_arg)
 
+(* ----------------------------------------------------------------- lint *)
+
+let do_lint circuit qasm openqasm fabric_path pmd_path json_out =
+  let prog_given = circuit <> None || qasm <> None || openqasm <> None in
+  let fabric_given = fabric_path <> None || pmd_path <> None in
+  if (not prog_given) && not fabric_given then begin
+    Printf.eprintf
+      "error: nothing to lint; give --circuit/--qasm/--openqasm and/or --fabric/--pmd\n";
+    2
+  end
+  else if fabric_path <> None && pmd_path <> None then begin
+    Printf.eprintf "error: give --fabric or --pmd, not both\n";
+    2
+  end
+  else begin
+    let program = if prog_given then Some (load_program ~circuit ~qasm ~openqasm) else None in
+    let fabric, config =
+      match pmd_path with
+      | Some path -> (
+          match Qspr.Pmd.parse_file path with
+          | Ok pmd -> (Some (Ok pmd.Qspr.Pmd.layout), Qspr.Pmd.config pmd)
+          | Error e -> (Some (Error e), Qspr.Config.default))
+      | None ->
+          ((if fabric_given then Some (load_fabric fabric_path) else None), Qspr.Config.default)
+    in
+    let findings = Analysis.Registry.lint ?program ?fabric ~config () in
+    if json_out then
+      print_endline (Ion_util.Json.to_string (Analysis.Finding.report_json findings))
+    else print_string (Analysis.Registry.render findings);
+    Analysis.Finding.exit_code findings
+  end
+
+let lint_cmd =
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Run the static-analysis passes on a circuit, a fabric, or both; exit 2 on errors, 1 \
+          on warnings, 0 otherwise")
+    Term.(
+      const do_lint $ circuit_arg $ qasm_arg $ openqasm_arg $ fabric_arg $ pmd_arg
+      $ Arg.(value & flag & info [ "json" ] ~doc:"Print the findings report as JSON."))
+
 (* ------------------------------------------------------------- estimate *)
 
-let do_estimate circuit qasm openqasm fabric_path measure =
+let do_estimate circuit qasm openqasm fabric_path measure certify =
   let ( let* ) = Result.bind in
   let result =
     let* program = load_program ~circuit ~qasm ~openqasm in
@@ -308,13 +383,30 @@ let do_estimate circuit qasm openqasm fabric_path measure =
     Printf.printf "placement         : center\n";
     Printf.printf "estimated latency : %.1f us (model built + estimated in %.0f ms)\n" est
       (t_build *. 1000.0);
-    if not measure then Ok ()
+    if not (measure || certify) then Ok ()
     else
       let* r = Qspr.Mapper.run_forward ctx placement in
       let meas = r.Simulator.Engine.latency in
       Printf.printf "measured latency  : %.1f us (full schedule-and-route)\n" meas;
       Printf.printf "relative error    : %+.1f%%\n" (100.0 *. (est -. meas) /. meas);
-      Ok ()
+      (* the measured run is the reference the estimator is judged against —
+         always certify it, and fail loudly if the engine's own trace does
+         not replay *)
+      let config = Qspr.Mapper.config ctx in
+      let policy = config.Qspr.Config.qspr_policy in
+      let cert =
+        Analysis.Certify.check
+          ~layout:(Fabric.Component.layout (Qspr.Mapper.component ctx))
+          ~timing:config.Qspr.Config.timing
+          ~channel_capacity:policy.Simulator.Engine.channel_capacity
+          ~junction_capacity:policy.Simulator.Engine.junction_capacity
+          ~dag:(Qspr.Mapper.dag ctx) ~initial_placement:placement
+          ~final_placement:r.Simulator.Engine.final_placement ~claimed_latency:meas
+          r.Simulator.Engine.trace
+      in
+      Format.printf "%a@." Analysis.Certify.pp cert;
+      if cert.Analysis.Certify.valid then Ok ()
+      else Error "the measured reference trace failed certification: do not trust this estimate"
   in
   match result with
   | Ok () -> 0
@@ -328,7 +420,8 @@ let estimate_cmd =
        ~doc:"Fast latency estimate of a circuit's center placement, optionally vs the measured engine")
     Term.(
       const do_estimate $ circuit_arg $ qasm_arg $ openqasm_arg $ fabric_arg
-      $ Arg.(value & flag & info [ "measure" ] ~doc:"Also run the full engine and report the relative error."))
+      $ Arg.(value & flag & info [ "measure" ] ~doc:"Also run the full engine and report the relative error.")
+      $ Arg.(value & flag & info [ "certify" ] ~doc:"Certify the measured reference trace (implies --measure)."))
 
 (* ------------------------------------------------------------- circuits *)
 
@@ -364,4 +457,14 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ map_cmd; fabric_cmd; circuits_cmd; metrics_cmd; gantt_cmd; heatmap_cmd; flow_cmd; estimate_cmd ]))
+          [
+            map_cmd;
+            lint_cmd;
+            fabric_cmd;
+            circuits_cmd;
+            metrics_cmd;
+            gantt_cmd;
+            heatmap_cmd;
+            flow_cmd;
+            estimate_cmd;
+          ]))

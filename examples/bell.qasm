@@ -1,0 +1,9 @@
+# Bell pair: the smallest interesting mapping workload.
+#   qspr map --qasm examples/bell.qasm --fabric-linear 4
+#   qspr lint --qasm examples/bell.qasm
+QUBIT a,0
+QUBIT b,0
+H a
+C-X a,b
+MeasZ a
+MeasZ b

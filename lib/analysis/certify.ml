@@ -1,0 +1,501 @@
+module F = Finding
+module Coord = Ion_util.Coord
+module Json = Ion_util.Json
+module Micro = Router.Micro
+
+let pass = "certify"
+let eps = 1e-9
+let max_reported = 40
+
+type certificate = {
+  valid : bool;
+  claimed_latency : float;
+  replayed_makespan : float;
+  commands : int;
+  moves : int;
+  turns : int;
+  gates : int;
+  digest : int64;
+  findings : F.t list;
+}
+
+(* Canonical rendering for the digest: %h floats are exact, so two traces
+   digest equal iff they are bit-identical schedules. *)
+let render_command buf cmd =
+  match cmd with
+  | Micro.Move { qubit; from_; to_; start; finish } ->
+      Printf.bprintf buf "M%d %d,%d>%d,%d %h %h\n" qubit from_.Coord.x from_.Coord.y to_.Coord.x
+        to_.Coord.y start finish
+  | Micro.Turn { qubit; at; start; finish } ->
+      Printf.bprintf buf "T%d %d,%d %h %h\n" qubit at.Coord.x at.Coord.y start finish
+  | Micro.Gate_start { instr_id; trap; qubits; time } ->
+      Printf.bprintf buf "G+%d %d,%d [%s] %h\n" instr_id trap.Coord.x trap.Coord.y
+        (String.concat "," (List.map string_of_int qubits))
+        time
+  | Micro.Gate_end { instr_id; trap; qubits; time } ->
+      Printf.bprintf buf "G-%d %d,%d [%s] %h\n" instr_id trap.Coord.x trap.Coord.y
+        (String.concat "," (List.map string_of_int qubits))
+        time
+
+let fnv64 s =
+  let prime = 0x100000001b3L in
+  let h = ref 0xcbf29ce484222325L in
+  String.iter (fun c -> h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) prime) s;
+  !h
+
+let digest_trace trace =
+  let buf = Buffer.create 4096 in
+  List.iter (render_command buf) trace;
+  fnv64 (Buffer.contents buf)
+
+type axis = H | V
+
+let axis_of a b = if a.Coord.y = b.Coord.y then H else V
+
+(* resources an occupied cell belongs to, for the capacity sweep *)
+type resource = Seg of int | Junc of int
+
+let failed_certificate ~claimed_latency ~commands f =
+  {
+    valid = false;
+    claimed_latency;
+    replayed_makespan = 0.0;
+    commands;
+    moves = 0;
+    turns = 0;
+    gates = 0;
+    digest = 0L;
+    findings = [ f ];
+  }
+
+let check ~layout ~timing ~channel_capacity ~junction_capacity ~dag ~initial_placement
+    ?final_placement ~claimed_latency trace =
+  let commands = List.length trace in
+  match Fabric.Component.extract layout with
+  | Error msg ->
+      failed_certificate ~claimed_latency ~commands
+        (F.make ~pass ~kind:"malformed-fabric" F.Error "%s" msg)
+  | Ok comp ->
+      let nfind = ref 0 and findings = ref [] in
+      let emit f =
+        incr nfind;
+        if !nfind <= max_reported then findings := f :: !findings
+      in
+      let traps = Fabric.Component.traps comp in
+      let ntraps = Array.length traps in
+      let nq = Array.length initial_placement in
+      let nnodes = Qasm.Dag.num_nodes dag in
+      (* --- initial placement: in range, at most two ions per trap --- *)
+      let occ = Array.make (max ntraps 1) 0 in
+      Array.iteri
+        (fun q tid ->
+          if tid < 0 || tid >= ntraps then
+            emit
+              (F.make ~pass ~kind:"bad-placement" ~loc:(F.Qubit q) F.Error
+                 "initial placement of q%d is trap %d, out of range (fabric has %d traps)" q tid
+                 ntraps)
+          else begin
+            occ.(tid) <- occ.(tid) + 1;
+            if occ.(tid) = 3 then
+              emit
+                (F.make ~pass ~kind:"bad-placement" ~loc:(F.Cell traps.(tid).Fabric.Component.tpos)
+                   F.Error "more than two ions start in the trap at %s"
+                   (Coord.to_string traps.(tid).Fabric.Component.tpos))
+          end)
+        initial_placement;
+      (* --- replay state --- *)
+      let pos =
+        Array.map
+          (fun tid ->
+            if tid >= 0 && tid < ntraps then traps.(tid).Fabric.Component.tpos else Coord.make 0 0)
+          initial_placement
+      in
+      let free_at = Array.make (max nq 1) 0.0 in
+      let prev_move = Array.make (max nq 1) None in
+      let turned = Array.make (max nq 1) false in
+      let exec = Array.make (max nnodes 1) 0 in
+      let started = Array.make (max nnodes 1) None in
+      let ended = Array.make (max nnodes 1) None in
+      let open_gates : (int, float * Coord.t) Hashtbl.t = Hashtbl.create 16 in
+      (* per-(qubit, resource) occupancy intervals, merged later *)
+      let touches : (int * resource, (float * float) list ref) Hashtbl.t = Hashtbl.create 64 in
+      let touch q res lo hi =
+        match Hashtbl.find_opt touches (q, res) with
+        | Some l -> l := (lo, hi) :: !l
+        | None -> Hashtbl.add touches (q, res) (ref [ (lo, hi) ])
+      in
+      let touch_cell q c lo hi =
+        match Fabric.Component.segment_at comp c with
+        | Some s -> touch q (Seg s) lo hi
+        | None -> (
+            match Fabric.Component.junction_at comp c with
+            | Some j -> touch q (Junc j) lo hi
+            | None -> ())
+      in
+      let makespan = ref 0.0 in
+      let moves = ref 0 and turns = ref 0 and gates = ref 0 in
+      let trace = List.stable_sort (fun a b -> Float.compare (Micro.time a) (Micro.time b)) trace in
+      let qubit_ok q = q >= 0 && q < nq in
+      let cell_is c k = Fabric.Cell.equal (Fabric.Layout.get layout c) k in
+      List.iteri
+        (fun idx cmd ->
+          match cmd with
+          | Micro.Move { qubit; from_; to_; start; finish } ->
+              incr moves;
+              makespan := Float.max !makespan finish;
+              if not (qubit_ok qubit) then
+                emit
+                  (F.make ~pass ~kind:"bad-operand" ~loc:(F.Command idx) F.Error
+                     "move of unknown qubit q%d" qubit)
+              else begin
+                if not (Coord.equal from_ pos.(qubit)) then
+                  emit
+                    (F.make ~pass ~kind:"teleport" ~loc:(F.Command idx) F.Error
+                       "q%d teleports: move departs %s but the ion is at %s" qubit
+                       (Coord.to_string from_) (Coord.to_string pos.(qubit)));
+                if start < free_at.(qubit) -. eps then
+                  emit
+                    (F.make ~pass ~kind:"overlap" ~loc:(F.Command idx) F.Error
+                       "q%d moves at %.2f us while busy until %.2f us" qubit start free_at.(qubit));
+                if Float.abs (finish -. start -. timing.Router.Timing.t_move) > eps then
+                  emit
+                    (F.make ~pass ~kind:"bad-duration" ~loc:(F.Command idx) F.Error
+                       "move takes %.4f us, the technology's t_move is %.4f us" (finish -. start)
+                       timing.Router.Timing.t_move);
+                if Coord.manhattan from_ to_ <> 1 then
+                  emit
+                    (F.make ~pass ~kind:"bad-step" ~loc:(F.Command idx) F.Error
+                       "move %s -> %s is not a unit step" (Coord.to_string from_)
+                       (Coord.to_string to_))
+                else begin
+                  if cell_is to_ Fabric.Cell.Empty then
+                    emit
+                      (F.make ~pass ~kind:"off-fabric" ~loc:(F.Command idx) F.Error
+                         "q%d moves into the empty cell at %s" qubit (Coord.to_string to_));
+                  (* axis change between consecutive moves: legal only at a
+                     junction, after a turn; hops in or out of a trap are
+                     exempt (the tap link has no orientation) *)
+                  (match prev_move.(qubit) with
+                  | Some (pfrom, pto) when Coord.equal pto from_ && Coord.manhattan pfrom pto = 1 ->
+                      if axis_of pfrom pto <> axis_of from_ to_ then
+                        if not (cell_is pfrom Fabric.Cell.Trap || cell_is to_ Fabric.Cell.Trap)
+                        then begin
+                          if cell_is from_ Fabric.Cell.Junction then begin
+                            if not turned.(qubit) then
+                              emit
+                                (F.make ~pass ~kind:"missing-turn" ~loc:(F.Command idx) F.Error
+                                   "q%d changes axis at the junction %s without a turn" qubit
+                                   (Coord.to_string from_))
+                          end
+                          else
+                            emit
+                              (F.make ~pass ~kind:"channel-corner" ~loc:(F.Command idx) F.Error
+                                 "q%d changes axis at %s, which is not a junction" qubit
+                                 (Coord.to_string from_))
+                        end
+                  | _ -> ());
+                  touch_cell qubit from_ start finish;
+                  touch_cell qubit to_ start finish
+                end;
+                pos.(qubit) <- to_;
+                free_at.(qubit) <- finish;
+                prev_move.(qubit) <- Some (from_, to_);
+                turned.(qubit) <- false
+              end
+          | Micro.Turn { qubit; at; start; finish } ->
+              incr turns;
+              makespan := Float.max !makespan finish;
+              if not (qubit_ok qubit) then
+                emit
+                  (F.make ~pass ~kind:"bad-operand" ~loc:(F.Command idx) F.Error
+                     "turn of unknown qubit q%d" qubit)
+              else begin
+                if not (Coord.equal at pos.(qubit)) then
+                  emit
+                    (F.make ~pass ~kind:"teleport" ~loc:(F.Command idx) F.Error
+                       "q%d turns at %s but the ion is at %s" qubit (Coord.to_string at)
+                       (Coord.to_string pos.(qubit)));
+                if start < free_at.(qubit) -. eps then
+                  emit
+                    (F.make ~pass ~kind:"overlap" ~loc:(F.Command idx) F.Error
+                       "q%d turns at %.2f us while busy until %.2f us" qubit start free_at.(qubit));
+                if not (cell_is at Fabric.Cell.Junction) then
+                  emit
+                    (F.make ~pass ~kind:"turn-outside-junction" ~loc:(F.Command idx) F.Error
+                       "q%d turns at %s, which is not a junction" qubit (Coord.to_string at));
+                if Float.abs (finish -. start -. timing.Router.Timing.t_turn) > eps then
+                  emit
+                    (F.make ~pass ~kind:"bad-duration" ~loc:(F.Command idx) F.Error
+                       "turn takes %.4f us, the technology's t_turn is %.4f us" (finish -. start)
+                       timing.Router.Timing.t_turn);
+                touch_cell qubit at start finish;
+                free_at.(qubit) <- finish;
+                turned.(qubit) <- true
+              end
+          | Micro.Gate_start { instr_id; trap; qubits; time } ->
+              makespan := Float.max !makespan time;
+              if instr_id < 0 || instr_id >= nnodes then
+                emit
+                  (F.make ~pass ~kind:"unknown-instruction" ~loc:(F.Command idx) F.Error
+                     "gate event references instruction #%d, outside the program" instr_id)
+              else begin
+                let node = Qasm.Dag.node dag instr_id in
+                let instr = node.Qasm.Dag.instr in
+                if not (Qasm.Instr.is_gate instr) then
+                  emit
+                    (F.make ~pass ~kind:"unknown-instruction" ~loc:(F.Command idx) F.Error
+                       "gate event for instruction #%d, which is not a gate" instr_id)
+                else begin
+                  exec.(instr_id) <- exec.(instr_id) + 1;
+                  if exec.(instr_id) > 1 then
+                    emit
+                      (F.make ~pass ~kind:"duplicate-gate" ~loc:(F.Instruction instr_id) F.Error
+                         "gate #%d executes %d times" instr_id exec.(instr_id));
+                  let expected = List.sort compare (Qasm.Instr.qubits instr) in
+                  let got = List.sort compare qubits in
+                  if expected <> got then
+                    emit
+                      (F.make ~pass ~kind:"operand-mismatch" ~loc:(F.Command idx) F.Error
+                         "gate #%d runs on qubits [%s], the program says [%s]" instr_id
+                         (String.concat ";" (List.map string_of_int got))
+                         (String.concat ";" (List.map string_of_int expected)));
+                  if not (cell_is trap Fabric.Cell.Trap) then
+                    emit
+                      (F.make ~pass ~kind:"gate-site" ~loc:(F.Command idx) F.Error
+                         "gate #%d executes at %s, which is not a trap" instr_id
+                         (Coord.to_string trap));
+                  List.iter
+                    (fun q ->
+                      if not (qubit_ok q) then
+                        emit
+                          (F.make ~pass ~kind:"bad-operand" ~loc:(F.Command idx) F.Error
+                             "gate #%d involves unknown qubit q%d" instr_id q)
+                      else begin
+                        if not (Coord.equal pos.(q) trap) then
+                          emit
+                            (F.make ~pass ~kind:"absent-operand" ~loc:(F.Command idx) F.Error
+                               "gate #%d starts at %s but q%d is at %s" instr_id
+                               (Coord.to_string trap) q (Coord.to_string pos.(q)));
+                        if time < free_at.(q) -. eps then
+                          emit
+                            (F.make ~pass ~kind:"overlap" ~loc:(F.Command idx) F.Error
+                               "gate #%d starts at %.2f us while q%d is busy until %.2f us" instr_id
+                               time q free_at.(q));
+                        (* the ion is held in the trap for the gate *)
+                        free_at.(q) <- time +. Router.Timing.gate_delay timing instr
+                      end)
+                    qubits;
+                  if started.(instr_id) = None then started.(instr_id) <- Some time;
+                  Hashtbl.replace open_gates instr_id (time, trap)
+                end
+              end
+          | Micro.Gate_end { instr_id; trap; qubits; time } ->
+              makespan := Float.max !makespan time;
+              if instr_id < 0 || instr_id >= nnodes then
+                emit
+                  (F.make ~pass ~kind:"unknown-instruction" ~loc:(F.Command idx) F.Error
+                     "gate event references instruction #%d, outside the program" instr_id)
+              else (
+                match Hashtbl.find_opt open_gates instr_id with
+                | None ->
+                    emit
+                      (F.make ~pass ~kind:"gate-pairing" ~loc:(F.Command idx) F.Error
+                         "gate #%d ends without having started" instr_id)
+                | Some (t0, strap) ->
+                    Hashtbl.remove open_gates instr_id;
+                    incr gates;
+                    if not (Coord.equal strap trap) then
+                      emit
+                        (F.make ~pass ~kind:"gate-pairing" ~loc:(F.Command idx) F.Error
+                           "gate #%d starts at %s but ends at %s" instr_id (Coord.to_string strap)
+                           (Coord.to_string trap));
+                    let instr = (Qasm.Dag.node dag instr_id).Qasm.Dag.instr in
+                    let d = Router.Timing.gate_delay timing instr in
+                    if Float.abs (time -. t0 -. d) > eps then
+                      emit
+                        (F.make ~pass ~kind:"bad-duration" ~loc:(F.Command idx) F.Error
+                           "gate #%d runs for %.4f us, its delay is %.4f us" instr_id (time -. t0) d);
+                    ended.(instr_id) <- Some time;
+                    List.iter
+                      (fun q -> if qubit_ok q then free_at.(q) <- Float.max free_at.(q) time)
+                      qubits))
+        trace;
+      (* --- dangling starts and completeness --- *)
+      Hashtbl.iter
+        (fun instr_id _ ->
+          emit
+            (F.make ~pass ~kind:"gate-pairing" ~loc:(F.Instruction instr_id) F.Error
+               "gate #%d starts but never ends" instr_id))
+        open_gates;
+      let missing = ref 0 and first_missing = ref (-1) in
+      for i = 0 to nnodes - 1 do
+        if Qasm.Instr.is_gate (Qasm.Dag.node dag i).Qasm.Dag.instr && exec.(i) = 0 then begin
+          incr missing;
+          if !first_missing < 0 then first_missing := i
+        end
+      done;
+      if !missing > 0 then
+        emit
+          (F.make ~pass ~kind:"missing-gate" ~loc:(F.Instruction !first_missing) F.Error
+             "%d program gate(s) never execute (first: #%d)" !missing !first_missing);
+      (* --- dependency order, on the recorded times: order-independent, so
+             equal-timestamp command ties (common in time-mirrored backward
+             traces) cannot misreport --- *)
+      for i = 0 to nnodes - 1 do
+        match started.(i) with
+        | None -> ()
+        | Some tstart ->
+            List.iter
+              (fun p ->
+                if Qasm.Instr.is_gate (Qasm.Dag.node dag p).Qasm.Dag.instr then
+                  match ended.(p) with
+                  | Some tend ->
+                      if tstart < tend -. eps then
+                        emit
+                          (F.make ~pass ~kind:"dependency" ~loc:(F.Instruction i) F.Error
+                             "gate #%d starts at %.2f us before its dependency #%d finishes at %.2f us"
+                             i tstart p tend)
+                  | None ->
+                      emit
+                        (F.make ~pass ~kind:"dependency" ~loc:(F.Instruction i) F.Error
+                           "gate #%d executes but its dependency #%d never finishes" i p))
+              (Qasm.Dag.node dag i).Qasm.Dag.preds
+      done;
+      (* --- capacity sweep: merge each qubit's contiguous visits to a
+             resource into occupancy intervals, then level-check with exits
+             sorting before entries at equal times (half-open semantics) --- *)
+      let by_res : (resource, (float * float) list ref) Hashtbl.t = Hashtbl.create 16 in
+      Hashtbl.iter
+        (fun (_, res) ivals ->
+          let sorted = List.sort (fun (a, _) (b, _) -> Float.compare a b) !ivals in
+          let merged =
+            List.fold_left
+              (fun acc (lo, hi) ->
+                match acc with
+                | (plo, phi) :: tl when lo <= phi +. eps -> (plo, Float.max phi hi) :: tl
+                | _ -> (lo, hi) :: acc)
+              [] sorted
+          in
+          let l =
+            match Hashtbl.find_opt by_res res with
+            | Some l -> l
+            | None ->
+                let l = ref [] in
+                Hashtbl.add by_res res l;
+                l
+          in
+          l := List.rev_append merged !l)
+        touches;
+      Hashtbl.iter
+        (fun res ivals ->
+          let cap, name, pos_of =
+            match res with
+            | Seg s ->
+                ( channel_capacity,
+                  "segment",
+                  (Fabric.Component.segments comp).(s).Fabric.Component.cells.(0) )
+            | Junc j ->
+                (junction_capacity, "junction", (Fabric.Component.junctions comp).(j).Fabric.Component.jpos)
+          in
+          let events =
+            List.concat_map (fun (lo, hi) -> [ (lo, 1); (hi, -1) ]) !ivals
+            |> List.sort (fun (ta, da) (tb, db) ->
+                   match Float.compare ta tb with 0 -> Int.compare da db | c -> c)
+          in
+          let level = ref 0 and worst = ref 0 and worst_at = ref 0.0 in
+          List.iter
+            (fun (t, d) ->
+              level := !level + d;
+              if !level > !worst then begin
+                worst := !level;
+                worst_at := t
+              end)
+            events;
+          if !worst > cap then
+            emit
+              (F.make ~pass ~kind:"capacity" ~loc:(F.Cell pos_of)
+                 ~extra:[ ("level", Json.Int !worst); ("time_us", Json.Float !worst_at) ]
+                 F.Error "%d ions occupy the %s at %s at %.2f us, capacity is %d" !worst name
+                 (Coord.to_string pos_of) !worst_at cap))
+        by_res;
+      (* --- accounting --- *)
+      if Float.abs (claimed_latency -. !makespan) > 1e-6 then
+        emit
+          (F.make ~pass ~kind:"latency-mismatch"
+             ~extra:[ ("claimed", Json.Float claimed_latency); ("replayed", Json.Float !makespan) ]
+             F.Error "claimed latency %.4f us, replayed makespan %.4f us" claimed_latency !makespan);
+      (match final_placement with
+      | None -> ()
+      | Some fp ->
+          if Array.length fp <> nq then
+            emit
+              (F.make ~pass ~kind:"final-placement" F.Error
+                 "final placement has %d entries for %d qubits" (Array.length fp) nq)
+          else
+            Array.iteri
+              (fun q tid ->
+                if tid < 0 || tid >= ntraps then
+                  emit
+                    (F.make ~pass ~kind:"final-placement" ~loc:(F.Qubit q) F.Error
+                       "final placement of q%d is trap %d, out of range" q tid)
+                else if not (Coord.equal pos.(q) traps.(tid).Fabric.Component.tpos) then
+                  emit
+                    (F.make ~pass ~kind:"final-placement" ~loc:(F.Qubit q) F.Error
+                       "final placement says q%d rests in the trap at %s, the replay leaves it at %s"
+                       q
+                       (Coord.to_string traps.(tid).Fabric.Component.tpos)
+                       (Coord.to_string pos.(q))))
+              fp);
+      if !nfind > max_reported then
+        emit
+          (F.make ~pass ~kind:"truncated" F.Warning "%d further finding(s) suppressed"
+             (!nfind - max_reported));
+      let findings = F.sort !findings in
+      {
+        valid = F.is_clean findings;
+        claimed_latency;
+        replayed_makespan = !makespan;
+        commands;
+        moves = !moves;
+        turns = !turns;
+        gates = !gates;
+        digest = digest_trace trace;
+        findings;
+      }
+
+let of_solution ?policy ctx (sol : Qspr.Mapper.solution) =
+  let config = Qspr.Mapper.config ctx in
+  let policy = Option.value ~default:config.Qspr.Config.qspr_policy policy in
+  check
+    ~layout:(Fabric.Component.layout (Qspr.Mapper.component ctx))
+    ~timing:config.Qspr.Config.timing
+    ~channel_capacity:policy.Simulator.Engine.channel_capacity
+    ~junction_capacity:policy.Simulator.Engine.junction_capacity ~dag:(Qspr.Mapper.dag ctx)
+    ~initial_placement:sol.Qspr.Mapper.initial_placement
+    ~final_placement:sol.Qspr.Mapper.final_placement ~claimed_latency:sol.Qspr.Mapper.latency
+    sol.Qspr.Mapper.trace
+
+let to_json c =
+  Json.Obj
+    [
+      ("schema", Json.String "qspr-certificate/1");
+      ("valid", Json.Bool c.valid);
+      ("claimed_latency_us", Json.Float c.claimed_latency);
+      ("replayed_makespan_us", Json.Float c.replayed_makespan);
+      ("commands", Json.Int c.commands);
+      ("moves", Json.Int c.moves);
+      ("turns", Json.Int c.turns);
+      ("gates", Json.Int c.gates);
+      ("digest", Json.String (Printf.sprintf "%016Lx" c.digest));
+      ("findings", Json.List (List.map F.to_json c.findings));
+    ]
+
+let pp fmt c =
+  if c.valid then
+    Format.fprintf fmt
+      "certificate OK: %.2f us, %d commands (%d moves, %d turns, %d gates), digest %016Lx"
+      c.replayed_makespan c.commands c.moves c.turns c.gates c.digest
+  else
+    Format.fprintf fmt "certificate FAILED (%d error(s)):@,%a"
+      (F.count F.Error c.findings)
+      (Format.pp_print_list F.pp) c.findings

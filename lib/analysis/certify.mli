@@ -1,0 +1,69 @@
+(** Machine-checkable trace certificates (pass ["certify"]).
+
+    A mapper's output is a micro-command trace and a claimed latency.  This
+    module replays that trace against the fabric, the timing model and the
+    program's dependency graph, {e sharing no code with the engine that
+    produced it} — an independent re-implementation of the execution
+    semantics, so an engine bug cannot certify its own output.  Checked:
+
+    - {b continuity}: every move starts where the replay says the ion is —
+      no teleports; moves are unit steps between walkable cells;
+    - {b turn legality}: an axis change between consecutive moves happens at
+      a junction with a turn command in between (trap tap hops exempt);
+      turns occur at junctions only and cost [t_turn];
+    - {b timing}: each command's duration matches the technology model, and
+      no command starts while its qubit is still busy (moving, turning, or
+      held inside an executing gate);
+    - {b capacity}: per-segment and per-junction simultaneous occupancy
+      never exceeds the policy's limits (half-open intervals: an exit at
+      time [t] frees the slot for an entry at [t]);
+    - {b gates}: every DAG gate executes exactly once, paired start/end at
+      one trap, operands present at that trap, correct operand set and
+      duration, and no gate starts before all its QIDG dependencies have
+      finished — dependency order;
+    - {b accounting}: the claimed latency equals the replayed makespan, and
+      the final placement (when given) matches the replayed ion positions.
+
+    A successful replay yields a certificate with a digest of the canonical
+    trace rendering — two runs that certify to the same digest executed the
+    same physical schedule. *)
+
+type certificate = {
+  valid : bool;  (** no [Error]-severity findings *)
+  claimed_latency : float;
+  replayed_makespan : float;
+  commands : int;
+  moves : int;
+  turns : int;
+  gates : int;  (** completed gate executions (paired start/end) *)
+  digest : int64;  (** FNV-1a 64 over the canonical trace rendering *)
+  findings : Finding.t list;
+}
+
+val check :
+  layout:Fabric.Layout.t ->
+  timing:Router.Timing.t ->
+  channel_capacity:int ->
+  junction_capacity:int ->
+  dag:Qasm.Dag.t ->
+  initial_placement:int array ->
+  ?final_placement:int array ->
+  claimed_latency:float ->
+  Simulator.Trace.t ->
+  certificate
+(** Replays the trace.  Findings are capped (a forged trace can violate
+    everything everywhere); the cap is noted as a final finding. *)
+
+val of_solution :
+  ?policy:Simulator.Engine.policy -> Qspr.Mapper.t -> Qspr.Mapper.solution -> certificate
+(** Certifies a mapper solution against its own context.  [policy] defaults
+    to the context's QSPR policy — pass the QUALE policy for
+    dest-pinned/capacity-1 runs. *)
+
+val digest_trace : Simulator.Trace.t -> int64
+(** The certificate digest alone (exposed for tests). *)
+
+val to_json : certificate -> Ion_util.Json.t
+(** Schema ["qspr-certificate/1"]. *)
+
+val pp : Format.formatter -> certificate -> unit

@@ -1,0 +1,83 @@
+module F = Finding
+module Coord = Ion_util.Coord
+module Micro = Router.Micro
+
+let pass = "determinism"
+
+let float_eq a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+let command_eq a b =
+  match (a, b) with
+  | ( Micro.Move { qubit = q1; from_ = f1; to_ = t1; start = s1; finish = e1 },
+      Micro.Move { qubit = q2; from_ = f2; to_ = t2; start = s2; finish = e2 } ) ->
+      q1 = q2 && Coord.equal f1 f2 && Coord.equal t1 t2 && float_eq s1 s2 && float_eq e1 e2
+  | ( Micro.Turn { qubit = q1; at = a1; start = s1; finish = e1 },
+      Micro.Turn { qubit = q2; at = a2; start = s2; finish = e2 } ) ->
+      q1 = q2 && Coord.equal a1 a2 && float_eq s1 s2 && float_eq e1 e2
+  | ( Micro.Gate_start { instr_id = i1; trap = p1; qubits = qs1; time = t1 },
+      Micro.Gate_start { instr_id = i2; trap = p2; qubits = qs2; time = t2 } )
+  | ( Micro.Gate_end { instr_id = i1; trap = p1; qubits = qs1; time = t1 },
+      Micro.Gate_end { instr_id = i2; trap = p2; qubits = qs2; time = t2 } ) ->
+      i1 = i2 && Coord.equal p1 p2 && qs1 = qs2 && float_eq t1 t2
+  | _ -> false
+
+let diff ~label (a : Qspr.Mapper.solution) (b : Qspr.Mapper.solution) =
+  let findings = ref [] in
+  let emit f = findings := f :: !findings in
+  if not (float_eq a.Qspr.Mapper.latency b.Qspr.Mapper.latency) then
+    emit
+      (F.make ~pass ~kind:"latency-mismatch" F.Error
+         "%s: sequential latency %.17g differs from parallel %.17g" label a.Qspr.Mapper.latency
+         b.Qspr.Mapper.latency);
+  if a.Qspr.Mapper.initial_placement <> b.Qspr.Mapper.initial_placement then
+    emit
+      (F.make ~pass ~kind:"placement-mismatch" F.Error
+         "%s: initial placements differ between sequential and parallel runs" label);
+  if a.Qspr.Mapper.final_placement <> b.Qspr.Mapper.final_placement then
+    emit
+      (F.make ~pass ~kind:"placement-mismatch" F.Error
+         "%s: final placements differ between sequential and parallel runs" label);
+  if a.Qspr.Mapper.direction <> b.Qspr.Mapper.direction then
+    emit
+      (F.make ~pass ~kind:"direction-mismatch" F.Error
+         "%s: winning search direction differs between sequential and parallel runs" label);
+  if
+    a.Qspr.Mapper.placement_runs <> b.Qspr.Mapper.placement_runs
+    || a.Qspr.Mapper.engine_evals <> b.Qspr.Mapper.engine_evals
+  then
+    emit
+      (F.make ~pass ~kind:"stats-mismatch" F.Error
+         "%s: search counters differ (sequential %d runs/%d evals, parallel %d runs/%d evals)"
+         label a.Qspr.Mapper.placement_runs a.Qspr.Mapper.engine_evals b.Qspr.Mapper.placement_runs
+         b.Qspr.Mapper.engine_evals);
+  let la = a.Qspr.Mapper.run_latencies and lb = b.Qspr.Mapper.run_latencies in
+  if List.length la <> List.length lb || not (List.for_all2 float_eq la lb) then
+    emit
+      (F.make ~pass ~kind:"history-mismatch" F.Error
+         "%s: run-latency histories differ (%d vs %d entries or a bit-level divergence)" label
+         (List.length la) (List.length lb));
+  let ta = a.Qspr.Mapper.trace and tb = b.Qspr.Mapper.trace in
+  let na = List.length ta and nb = List.length tb in
+  if na <> nb then
+    emit
+      (F.make ~pass ~kind:"trace-mismatch" F.Error
+         "%s: traces have %d vs %d commands" label na nb)
+  else begin
+    let first = ref (-1) in
+    List.iteri
+      (fun i (x, y) -> if !first < 0 && not (command_eq x y) then first := i)
+      (List.combine ta tb);
+    if !first >= 0 then
+      emit
+        (F.make ~pass ~kind:"trace-mismatch" ~loc:(F.Command !first) F.Error
+           "%s: traces diverge at command #%d" label !first)
+  end;
+  F.sort !findings
+
+let check ~label ~jobs f =
+  match (f ~jobs:1, f ~jobs) with
+  | Ok seq, Ok par -> diff ~label seq par
+  | Error msg, _ ->
+      [ F.make ~pass ~kind:"run-error" F.Error "%s: sequential run failed: %s" label msg ]
+  | _, Error msg ->
+      [ F.make ~pass ~kind:"run-error" F.Error "%s: parallel run failed: %s" label msg ]

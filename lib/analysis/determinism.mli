@@ -1,0 +1,29 @@
+(** Parallel-determinism detector (pass ["determinism"]).
+
+    The placement searches promise bit-identical results at any job count —
+    the {!Ion_util.Domain_pool} contract that makes [jobs] a pure
+    performance knob.  This pass re-runs a fan-out sequentially ([jobs=1])
+    and diffs the two solutions {e bit for bit}: floats are compared on
+    their IEEE-754 representation ([Int64.bits_of_float]), not within a
+    tolerance, because a reduction reordered across domains changes the
+    bits long before it changes a rounded print.
+
+    Compared: latency, the full micro-command trace, initial and final
+    placements, the run-latency history, direction, and the search
+    counters.  [cpu_time_s] is exempt (wall-clock, legitimately differs).
+
+    Findings: [latency-mismatch], [trace-mismatch], [placement-mismatch],
+    [history-mismatch], [direction-mismatch], [stats-mismatch] (all
+    errors), [run-error] when either run fails outright. *)
+
+val float_eq : float -> float -> bool
+(** Bit equality ([nan] equals [nan], [0.] differs from [-0.]). *)
+
+val diff : label:string -> Qspr.Mapper.solution -> Qspr.Mapper.solution -> Finding.t list
+(** [diff ~label sequential parallel] — all divergences, errors first.
+    [label] names the search in messages (e.g. ["mc jobs=4"]). *)
+
+val check :
+  label:string -> jobs:int -> (jobs:int -> (Qspr.Mapper.solution, string) result) -> Finding.t list
+(** Runs [f ~jobs:1] and [f ~jobs], then {!diff}s.  The closure must
+    perform the full search at the given job count. *)

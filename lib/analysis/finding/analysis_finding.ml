@@ -1,0 +1,100 @@
+module Json = Ion_util.Json
+
+type severity = Error | Warning | Hint
+
+type loc =
+  | Instruction of int
+  | Qubit of int
+  | Cell of Ion_util.Coord.t
+  | Key of string
+  | Command of int
+  | Nowhere
+
+type t = { pass : string; severity : severity; loc : loc; message : string; json : Json.t }
+
+let make ~pass ~kind ?(loc = Nowhere) ?(extra = []) severity fmt =
+  Printf.ksprintf
+    (fun message ->
+      { pass; severity; loc; message; json = Json.Obj (("kind", Json.String kind) :: extra) })
+    fmt
+
+let kind t =
+  match t.json with
+  | Json.Obj fields -> (
+      match List.assoc_opt "kind" fields with Some (Json.String k) -> Some k | _ -> None)
+  | _ -> None
+
+let severity_string = function Error -> "error" | Warning -> "warning" | Hint -> "hint"
+
+let sev_rank = function Error -> 0 | Warning -> 1 | Hint -> 2
+
+let sort fs =
+  List.stable_sort
+    (fun a b ->
+      match Int.compare (sev_rank a.severity) (sev_rank b.severity) with
+      | 0 -> String.compare a.pass b.pass
+      | c -> c)
+    fs
+
+let is_clean fs = List.for_all (fun f -> f.severity <> Error) fs
+
+let worst fs =
+  List.fold_left
+    (fun acc f ->
+      match acc with
+      | Some s when sev_rank s <= sev_rank f.severity -> acc
+      | _ -> Some f.severity)
+    None fs
+
+let exit_code fs =
+  match worst fs with Some Error -> 2 | Some Warning -> 1 | Some Hint | None -> 0
+
+let count sev fs = List.length (List.filter (fun f -> f.severity = sev) fs)
+
+let loc_string = function
+  | Instruction i -> Some (Printf.sprintf "instr#%d" i)
+  | Qubit q -> Some (Printf.sprintf "q%d" q)
+  | Cell c -> Some (Ion_util.Coord.to_string c)
+  | Key k -> Some k
+  | Command i -> Some (Printf.sprintf "cmd#%d" i)
+  | Nowhere -> None
+
+let pp ppf f =
+  let tag =
+    match kind f with
+    | Some k -> Printf.sprintf "%s[%s/%s]" (severity_string f.severity) f.pass k
+    | None -> Printf.sprintf "%s[%s]" (severity_string f.severity) f.pass
+  in
+  match loc_string f.loc with
+  | Some l -> Format.fprintf ppf "%s @@ %s: %s" tag l f.message
+  | None -> Format.fprintf ppf "%s: %s" tag f.message
+
+let loc_json = function
+  | Instruction i -> Json.Obj [ ("instr", Json.Int i) ]
+  | Qubit q -> Json.Obj [ ("qubit", Json.Int q) ]
+  | Cell c -> Json.Obj [ ("x", Json.Int c.Ion_util.Coord.x); ("y", Json.Int c.Ion_util.Coord.y) ]
+  | Key k -> Json.Obj [ ("key", Json.String k) ]
+  | Command i -> Json.Obj [ ("command", Json.Int i) ]
+  | Nowhere -> Json.Null
+
+let to_json f =
+  Json.Obj
+    [
+      ("pass", Json.String f.pass);
+      ("severity", Json.String (severity_string f.severity));
+      ("kind", match kind f with Some k -> Json.String k | None -> Json.Null);
+      ("loc", loc_json f.loc);
+      ("message", Json.String f.message);
+      ("data", f.json);
+    ]
+
+let report_json fs =
+  let fs = sort fs in
+  Json.Obj
+    [
+      ("schema", Json.String "qspr-findings/1");
+      ("errors", Json.Int (count Error fs));
+      ("warnings", Json.Int (count Warning fs));
+      ("hints", Json.Int (count Hint fs));
+      ("findings", Json.List (List.map to_json fs));
+    ]

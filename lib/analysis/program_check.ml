@@ -1,0 +1,104 @@
+open Qasm
+module F = Finding
+
+let pass = "program"
+
+let check (p : Program.t) =
+  let findings = ref [] in
+  let emit f = findings := f :: !findings in
+  let nq = Program.num_qubits p in
+  let n = Array.length p.Program.instrs in
+  (* per-qubit gate usage *)
+  let first_gate = Array.make nq (-1) in
+  let gate_count_q = Array.make nq 0 in
+  let measured = Array.make nq false in
+  let init = Array.make nq false in
+  Array.iteri
+    (fun i instr ->
+      match instr with
+      | Instr.Qubit_decl { qubit; init = ini } -> if ini <> None then init.(qubit) <- true
+      | Instr.Gate1 (g, q) ->
+          gate_count_q.(q) <- gate_count_q.(q) + 1;
+          if first_gate.(q) < 0 then begin
+            first_gate.(q) <- i;
+            if g = Gate.Prep_z then init.(q) <- true
+          end;
+          if g = Gate.Meas_z then measured.(q) <- true
+      | Instr.Gate2 (_, c, t) ->
+          if c = t then
+            emit
+              (F.make ~pass ~kind:"duplicate-operand" ~loc:(F.Instruction i) F.Error
+                 "two-qubit gate at instruction #%d uses qubit %s as both control and target" i
+                 (Program.qubit_name p c));
+          List.iter
+            (fun q ->
+              gate_count_q.(q) <- gate_count_q.(q) + 1;
+              if first_gate.(q) < 0 then first_gate.(q) <- i)
+            [ c; t ])
+    p.Program.instrs;
+  let any_measure = Array.exists Fun.id measured in
+  for q = 0 to nq - 1 do
+    if first_gate.(q) < 0 then
+      emit
+        (F.make ~pass ~kind:"dead-qubit" ~loc:(F.Qubit q) F.Warning
+           "qubit %s is declared but no gate touches it: it occupies a trap for nothing"
+           (Program.qubit_name p q))
+    else begin
+      if not init.(q) then
+        emit
+          (F.make ~pass ~kind:"use-before-init" ~loc:(F.Instruction first_gate.(q)) F.Warning
+             "qubit %s is first used at instruction #%d in an undefined state (no initializer and no PrepZ)"
+             (Program.qubit_name p q) first_gate.(q));
+      if any_measure && not measured.(q) then
+        emit
+          (F.make ~pass ~kind:"never-measured" ~loc:(F.Qubit q) F.Hint
+             "qubit %s is computed on but never measured" (Program.qubit_name p q))
+    end
+  done;
+  let removed = Optimizer.gates_removed p in
+  if removed > 0 then
+    emit
+      (F.make ~pass ~kind:"removable-gates"
+         ~extra:[ ("gates", Ion_util.Json.Int removed) ]
+         F.Warning
+         "the peephole optimizer removes %d gate(s) (cancelling pairs / fusable rotations): run it before mapping"
+         removed);
+  (* commuting adjacent pairs: program-order neighbours sharing an operand
+     that the QIDG nevertheless leaves independent (shared controls
+     commute) *)
+  let dag = Dag.of_program p in
+  let commuting = ref 0 and first_pair = ref (-1) in
+  for i = 0 to n - 2 do
+    let a = p.Program.instrs.(i) and b = p.Program.instrs.(i + 1) in
+    if Instr.is_gate a && Instr.is_gate b then begin
+      let shares = List.exists (fun q -> List.mem q (Instr.qubits b)) (Instr.qubits a) in
+      let dependent = List.mem (i + 1) (Dag.node dag i).Dag.succs in
+      if shares && not dependent then begin
+        incr commuting;
+        if !first_pair < 0 then first_pair := i
+      end
+    end
+  done;
+  if !commuting > 0 then
+    emit
+      (F.make ~pass ~kind:"commuting-pairs" ~loc:(F.Instruction !first_pair)
+         ~extra:[ ("pairs", Ion_util.Json.Int !commuting) ]
+         F.Hint
+         "%d adjacent gate pair(s) share only commuting operands (first at #%d): the scheduler may reorder them"
+         !commuting !first_pair);
+  if not (Basis.is_cx_only p) then
+    emit
+      (F.make ~pass ~kind:"noncx-basis"
+         ~extra:[ ("extra_gates", Ion_util.Json.Int (Basis.extra_gates p)) ]
+         F.Hint
+         "program uses controlled-Y/Z gates: a CX-only machine needs the basis rewrite (+%d one-qubit gates)"
+         (Basis.extra_gates p));
+  if not (Program.is_unitary p) then
+    emit
+      (F.make ~pass ~kind:"non-unitary" F.Hint
+         "program contains prepare/measure: the MVFB backward pass is unavailable (forward-only search)");
+  F.sort !findings
+
+let check_result = function
+  | Ok p -> check p
+  | Error msg -> [ F.make ~pass ~kind:"parse-error" F.Error "%s" msg ]

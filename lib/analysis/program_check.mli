@@ -1,0 +1,34 @@
+(** Program analysis over the QASM dependency graph (pass ["program"]).
+
+    The parser and {!Qasm.Program.make} reject malformed programs outright;
+    this pass finds the {e legal but suspicious} ones — circuits that will
+    map, but whose results are meaningless or whose fabric time is wasted:
+
+    - [use-before-init] (warning): a qubit's first gate operates on an
+      undefined state — no [,0] initializer on its declaration and the first
+      touching gate is not a [PrepZ];
+    - [dead-qubit] (warning): declared but never touched by a gate; it still
+      occupies a trap for the whole run;
+    - [never-measured] (hint): written by gates but never measured, in a
+      program that does measure other qubits — a likely forgotten readout;
+    - [removable-gates] (warning): the peephole optimizer would delete gates
+      (cancelling pairs, fusable rotations) the mapper will otherwise route
+      and execute;
+    - [commuting-pairs] (hint): program-order-adjacent gate pairs that share
+      an operand yet are QIDG-independent (e.g. a shared {e control}) — the
+      scheduler is free to reorder them, which surprises users expecting
+      program order;
+    - [noncx-basis] (hint): controlled-Y/Z present; CX-only machines need
+      {!Qasm.Basis.to_cx_basis} and the stated extra gates;
+    - [non-unitary] (hint): prepare/measure present, so the MVFB backward
+      pass is unavailable;
+    - [duplicate-operand] (error, defensive): a two-qubit gate with control
+      = target — unreachable through {!Qasm.Program.make}, checked anyway
+      for programs built by hand. *)
+
+val check : Qasm.Program.t -> Finding.t list
+(** All findings, errors first. *)
+
+val check_result : (Qasm.Program.t, string) result -> Finding.t list
+(** Like {!check}; an [Error] (parse/validation failure) becomes a single
+    [parse-error] finding of [Error] severity. *)

@@ -1,0 +1,45 @@
+module F = Finding
+
+type pass = { name : string; description : string }
+
+let passes =
+  [
+    { name = "program"; description = "QASM dependency-graph analysis: initialization, dead qubits, removable and commuting gates" };
+    { name = "fabric"; description = "fabric structure: connectivity, capacity, cut-vertex bottlenecks, dead ends" };
+    { name = "config"; description = "parameter sanity: jobs vs cores, prescreen width, timing model" };
+    { name = "schedule"; description = "static-schedule feasibility oracle (Scheduler.Static.validate)" };
+    { name = "certify"; description = "independent trace replay: certifies a mapping's micro-command trace" };
+    { name = "determinism"; description = "bit-for-bit sequential-vs-parallel diff of a placement search" };
+  ]
+
+let lint ?program ?fabric ?config () =
+  let num_qubits =
+    match program with Some (Ok p) -> Some (Qasm.Program.num_qubits p) | _ -> None
+  in
+  let channel_capacity, junction_capacity =
+    match config with
+    | Some cfg ->
+        ( Some cfg.Qspr.Config.qspr_policy.Simulator.Engine.channel_capacity,
+          Some cfg.Qspr.Config.qspr_policy.Simulator.Engine.junction_capacity )
+    | None -> (None, None)
+  in
+  let program_findings =
+    match program with Some r -> Program_check.check_result r | None -> []
+  in
+  let fabric_findings =
+    match fabric with
+    | Some r -> Fabric_check.check_result ?num_qubits ?channel_capacity ?junction_capacity r
+    | None -> []
+  in
+  let config_findings = match config with Some cfg -> Config_check.check ?num_qubits cfg | None -> [] in
+  F.sort (program_findings @ fabric_findings @ config_findings)
+
+let render findings =
+  let buf = Buffer.create 256 in
+  List.iter (fun f -> Buffer.add_string buf (Format.asprintf "%a@." F.pp f)) findings;
+  let e = F.count F.Error findings
+  and w = F.count F.Warning findings
+  and h = F.count F.Hint findings in
+  if e = 0 && w = 0 && h = 0 then Buffer.add_string buf "clean: no findings\n"
+  else Buffer.add_string buf (Printf.sprintf "%d error(s), %d warning(s), %d hint(s)\n" e w h);
+  Buffer.contents buf

@@ -66,12 +66,10 @@ let create ~fabric ?(config = Config.default) program =
       | Error e -> Error ("Mapper.create: " ^ e)
       | Ok comp ->
           let nq = Program.num_qubits program in
-          if Array.length (Fabric.Component.traps comp) < nq then
-            Error
-              (Printf.sprintf "Mapper.create: fabric has %d traps but the program needs %d qubits"
-                 (Array.length (Fabric.Component.traps comp))
-                 nq)
-          else begin
+          (* trap starvation is Fabric.Lint's check; keep a single home for it *)
+          match Fabric.Lint.capacity_error ~num_qubits:nq comp with
+          | Some msg -> Error ("Mapper.create: " ^ msg)
+          | None -> begin
             let graph = Fabric.Graph.build comp in
             let dag = Dag.of_program program in
             let delay = Router.Timing.gate_delay config.Config.timing in

@@ -1,25 +1,27 @@
-type severity = Error | Warning | Info
+module F = Analysis_finding
 
-type finding = { severity : severity; message : string }
+let pp_finding = F.pp
 
-let sev_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+let pass = "fabric"
 
-let pp_finding ppf f =
-  let tag = match f.severity with Error -> "error" | Warning -> "warning" | Info -> "info" in
-  Format.fprintf ppf "%s: %s" tag f.message
+let capacity_error ~num_qubits comp =
+  let ntraps = Array.length (Component.traps comp) in
+  if ntraps < num_qubits then
+    Some (Printf.sprintf "fabric has %d traps but the program needs %d qubits" ntraps num_qubits)
+  else None
 
 let check ?num_qubits lay =
   match Component.extract lay with
-  | Error msg -> [ { severity = Error; message = msg } ]
+  | Error msg -> [ F.make ~pass ~kind:"malformed" F.Error "%s" msg ]
   | Ok comp ->
       let findings = ref [] in
-      let add severity fmt = Printf.ksprintf (fun message -> findings := { severity; message } :: !findings) fmt in
+      let emit f = findings := f :: !findings in
       let traps = Component.traps comp in
       let ntraps = Array.length traps in
       let graph = Graph.build comp in
-      if ntraps = 0 then add Error "fabric has no traps: no gate can execute"
+      if ntraps = 0 then emit (F.make ~pass ~kind:"no-traps" F.Error "fabric has no traps: no gate can execute")
       else begin
-        (* connectivity: BFS from trap 0 over the routing graph *)
+        (* connectivity: BFS from trap 0 over the turn-aware routing graph *)
         let seen = Array.make (Graph.num_nodes graph) false in
         let q = Queue.create () in
         Queue.add (Graph.trap_node graph 0) q;
@@ -39,20 +41,26 @@ let check ?num_qubits lay =
           |> List.filter (fun (t : Component.trap) -> not seen.(Graph.trap_node graph t.Component.tid))
         in
         if unreachable <> [] then
-          add Error "fabric is disconnected: %d of %d traps unreachable from trap 0 (e.g. the trap at %s)"
-            (List.length unreachable) ntraps
-            (Ion_util.Coord.to_string (List.hd unreachable).Component.tpos)
+          emit
+            (F.make ~pass ~kind:"disconnected"
+               ~loc:(F.Cell (List.hd unreachable).Component.tpos)
+               F.Error "fabric is disconnected: %d of %d traps unreachable from trap 0 (e.g. the trap at %s)"
+               (List.length unreachable) ntraps
+               (Ion_util.Coord.to_string (List.hd unreachable).Component.tpos))
       end;
       (match num_qubits with
-      | Some nq when nq > ntraps ->
-          add Error "fabric has %d traps but the program needs %d qubits" ntraps nq
-      | Some nq when 2 * nq > ntraps ->
-          add Warning
-            "only %d traps for %d qubits: placement has little slack and congestion will be high" ntraps
-            nq
-      | _ -> ());
+      | Some nq -> (
+          match capacity_error ~num_qubits:nq comp with
+          | Some msg -> emit (F.make ~pass ~kind:"trap-capacity" F.Error "%s" msg)
+          | None ->
+              if 2 * nq > ntraps then
+                emit
+                  (F.make ~pass ~kind:"tight-capacity" F.Warning
+                     "only %d traps for %d qubits: placement has little slack and congestion will be high"
+                     ntraps nq))
+      | None -> ());
       if Array.length (Component.junctions comp) = 0 then
-        add Info "no junctions: a linear fabric (no turns are possible)";
+        emit (F.make ~pass ~kind:"no-junctions" F.Hint "no junctions: a linear fabric (no turns are possible)");
       (* dead-end channel segments: fewer than two junction neighbours *)
       let dead_ends = ref 0 in
       Array.iter
@@ -78,7 +86,9 @@ let check ?num_qubits lay =
           if ends < 2 && not serves_tap then incr dead_ends)
         (Component.segments comp);
       if !dead_ends > 0 then
-        add Warning "%d dead-end channel segment(s) serve no trap: wasted fabric area" !dead_ends;
-      List.stable_sort (fun a b -> Int.compare (sev_rank a.severity) (sev_rank b.severity)) !findings
+        emit
+          (F.make ~pass ~kind:"dead-end" F.Warning "%d dead-end channel segment(s) serve no trap: wasted fabric area"
+             !dead_ends);
+      F.sort !findings
 
-let is_clean ?num_qubits lay = List.for_all (fun f -> f.severity <> Error) (check ?num_qubits lay)
+let is_clean ?num_qubits lay = F.is_clean (check ?num_qubits lay)

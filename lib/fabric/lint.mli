@@ -4,22 +4,30 @@
     {!Layout.parse} and {!Component.extract} reject, this pass finds the
     soft problems that make mapping fail or perform badly:
 
-    - disconnected islands: traps that cannot reach each other;
+    - disconnected islands: traps that cannot reach each other over the
+      turn-aware routing graph;
     - dead-end channels: segments with fewer than two junction endpoints
       (legal, but they only serve taps and waste fabric area otherwise);
     - starved regions: a fabric whose trap count cannot host the intended
       qubit count;
     - turn-free fabrics (no junctions): fine for linear machines, flagged so
-      grid users notice a parse surprise. *)
+      grid users notice a parse surprise.
 
-type severity = Error | Warning | Info
+    Findings are reported in the shared {!Analysis_finding.t} currency
+    (pass ["fabric"]) so the CLI, the [analysis] library and CI render them
+    uniformly; [Analysis.Fabric_check] absorbs this pass and extends it with
+    whole-mapper context (bottleneck cut vertices, transit capacity). *)
 
-type finding = { severity : severity; message : string }
-
-val check : ?num_qubits:int -> Layout.t -> finding list
+val check : ?num_qubits:int -> Layout.t -> Analysis_finding.t list
 (** All findings, errors first.  [num_qubits] enables the capacity check. *)
 
 val is_clean : ?num_qubits:int -> Layout.t -> bool
 (** No [Error]-severity findings. *)
 
-val pp_finding : Format.formatter -> finding -> unit
+val capacity_error : num_qubits:int -> Component.t -> string option
+(** The message of the trap-starvation error ([num_qubits] exceeding the
+    trap count), if it applies — the single home of that check; the mapper
+    front door ({!Mapper.create}) delegates here instead of duplicating
+    the comparison. *)
+
+val pp_finding : Format.formatter -> Analysis_finding.t -> unit

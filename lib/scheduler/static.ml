@@ -71,12 +71,28 @@ let resource_constrained ~delay ~max_two_qubit ~priorities dag =
   { start; finish; makespan = Array.fold_left Float.max 0.0 finish }
 
 let validate ~delay ~max_two_qubit dag sched =
+  let module F = Analysis_finding in
+  let pass = "schedule" in
   let n = Dag.num_nodes dag in
-  let ok = ref true in
+  let findings = ref [] in
+  let emit f = findings := f :: !findings in
   for i = 0 to n - 1 do
     let node = Dag.node dag i in
-    if Float.abs (sched.finish.(i) -. sched.start.(i) -. delay node.Dag.instr) > 1e-9 then ok := false;
-    List.iter (fun p -> if sched.start.(i) < sched.finish.(p) -. 1e-9 then ok := false) node.Dag.preds
+    let d = delay node.Dag.instr in
+    if Float.abs (sched.finish.(i) -. sched.start.(i) -. d) > 1e-9 then
+      emit
+        (F.make ~pass ~kind:"duration-mismatch" ~loc:(F.Instruction i) F.Error
+           "instruction #%d runs %.2f us but its delay is %.2f us" i
+           (sched.finish.(i) -. sched.start.(i))
+           d);
+    List.iter
+      (fun p ->
+        if sched.start.(i) < sched.finish.(p) -. 1e-9 then
+          emit
+            (F.make ~pass ~kind:"dependency-violation" ~loc:(F.Instruction i) F.Error
+               "instruction #%d starts at %.2f us before its dependency #%d finishes at %.2f us" i
+               sched.start.(i) p sched.finish.(p)))
+      node.Dag.preds
   done;
   (* resource feasibility: sweep 2q gate intervals *)
   let events = ref [] in
@@ -87,10 +103,19 @@ let validate ~delay ~max_two_qubit dag sched =
   let sorted =
     List.sort (fun (ta, da) (tb, db) -> match Float.compare ta tb with 0 -> Int.compare da db | c -> c) !events
   in
-  let level = ref 0 in
+  let level = ref 0 and worst = ref 0 and worst_at = ref 0.0 in
   List.iter
-    (fun (_, d) ->
+    (fun (t, d) ->
       level := !level + d;
-      if !level > max_two_qubit then ok := false)
+      if !level > !worst then begin
+        worst := !level;
+        worst_at := t
+      end)
     sorted;
-  !ok
+  if !worst > max_two_qubit then
+    emit
+      (F.make ~pass ~kind:"resource-overuse"
+         ~extra:[ ("time_us", Ion_util.Json.Float !worst_at); ("level", Ion_util.Json.Int !worst) ]
+         F.Error "%d two-qubit gates in flight at %.2f us exceed the budget of %d" !worst !worst_at
+         max_two_qubit);
+  F.sort !findings

@@ -32,6 +32,13 @@ val resource_constrained :
     mismatch. *)
 
 val validate :
-  delay:(Qasm.Instr.t -> float) -> max_two_qubit:int -> Qasm.Dag.t -> schedule -> bool
+  delay:(Qasm.Instr.t -> float) ->
+  max_two_qubit:int ->
+  Qasm.Dag.t ->
+  schedule ->
+  Analysis_finding.t list
 (** Checks dependency and resource feasibility of a schedule — the test
-    oracle. *)
+    oracle.  Returns the violations as shared findings (pass ["schedule"]):
+    a duration mismatch or broken dependency names the offending
+    instruction, a resource overuse carries the time and the excess
+    two-qubit count.  The empty list means the schedule is feasible. *)

@@ -1,0 +1,8 @@
+# H.H = identity: the optimizer removes both, the mapper should never see them
+QUBIT a,0
+QUBIT b,0
+H a
+H a
+C-X a,b
+MeasZ a
+MeasZ b

@@ -1,0 +1,5 @@
+# "spare" is declared but no gate ever touches it: it wastes a trap
+QUBIT a,0
+QUBIT spare,0
+H a
+MeasZ a

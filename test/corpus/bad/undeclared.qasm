@@ -1,0 +1,4 @@
+# gate on an undeclared qubit: rejected by the parser -> error finding
+QUBIT a,0
+H a
+C-X a,ghost

@@ -1,0 +1,7 @@
+# legal but suspicious: q starts in an undefined state (no ",0", no PrepZ)
+QUBIT q
+QUBIT r,0
+H q
+C-X q,r
+MeasZ q
+MeasZ r

@@ -1,0 +1,7 @@
+# Bell pair: clean under every program pass
+QUBIT a,0
+QUBIT b,0
+H a
+C-X a,b
+MeasZ a
+MeasZ b

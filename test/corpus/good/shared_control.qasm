@@ -1,0 +1,11 @@
+# Two CNOTs off one control: adjacent in program order but QIDG-independent
+# (a shared control commutes) -> the commuting-pairs hint, nothing worse.
+QUBIT a,0
+QUBIT b,0
+QUBIT c,0
+H a
+C-X a,b
+C-X a,c
+MeasZ a
+MeasZ b
+MeasZ c

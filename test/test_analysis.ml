@@ -1,0 +1,467 @@
+(* Tests of the static-analysis subsystem: the shared finding type, the
+   program/fabric/config passes, the independent trace certifier (including
+   its rejection of forged traces) and the parallel-determinism detector. *)
+
+module F = Analysis.Finding
+module Certify = Analysis.Certify
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let kinds fs = List.filter_map F.kind fs
+
+let has_kind k fs = List.mem k (kinds fs)
+
+let parse_prog src =
+  match Qasm.Parser.parse src with Ok p -> p | Error e -> Alcotest.failf "parse: %s" e
+
+let parse_fabric src =
+  match Fabric.Layout.parse src with Ok l -> l | Error e -> Alcotest.failf "fabric: %s" e
+
+let read_file path = In_channel.with_open_text path In_channel.input_all
+
+let contains_sub hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+(* ------------------------------------------------------------- findings *)
+
+let test_finding_exit_codes () =
+  let f sev = F.make ~pass:"t" ~kind:"k" sev "msg" in
+  check_int "clean" 0 (F.exit_code []);
+  check_int "hints only" 0 (F.exit_code [ f F.Hint ]);
+  check_int "warning" 1 (F.exit_code [ f F.Hint; f F.Warning ]);
+  check_int "error wins" 2 (F.exit_code [ f F.Warning; f F.Error; f F.Hint ]);
+  check_bool "worst" true (F.worst [ f F.Warning; f F.Hint ] = Some F.Warning);
+  match F.sort [ f F.Hint; f F.Error; f F.Warning ] with
+  | [ a; b; c ] ->
+      check_bool "sorted" true
+        (a.F.severity = F.Error && b.F.severity = F.Warning && c.F.severity = F.Hint)
+  | _ -> Alcotest.fail "sort changed length"
+
+let test_finding_payload () =
+  let f =
+    F.make ~pass:"p" ~kind:"some-kind" ~loc:(F.Qubit 3)
+      ~extra:[ ("n", Ion_util.Json.Int 7) ]
+      F.Warning "qubit %d misbehaves" 3
+  in
+  check_bool "kind" true (F.kind f = Some "some-kind");
+  check_bool "message" true (f.F.message = "qubit 3 misbehaves");
+  let s = Ion_util.Json.to_string (F.report_json [ f ]) in
+  check_bool "report mentions schema" true (contains_sub s "qspr-findings/1");
+  check_bool "report carries extra" true (contains_sub s "\"n\": 7")
+
+(* ------------------------------------------------------------- program *)
+
+let test_program_initialization () =
+  let fs =
+    Analysis.Program_check.check
+      (parse_prog "QUBIT a\nQUBIT b,0\nQUBIT c,0\nH a\nC-X a,b\nMeasZ a\nMeasZ b")
+  in
+  check_bool "use-before-init" true (has_kind "use-before-init" fs);
+  check_bool "dead qubit c" true (has_kind "dead-qubit" fs);
+  check_bool "non-unitary hint" true (has_kind "non-unitary" fs);
+  check_int "exit 1 (warnings)" 1 (F.exit_code fs)
+
+let test_program_prepz_initializes () =
+  let fs = Analysis.Program_check.check (parse_prog "QUBIT a\nPrepZ a\nH a\nMeasZ a") in
+  check_bool "PrepZ counts as init" false (has_kind "use-before-init" fs)
+
+let test_program_never_measured () =
+  let fs =
+    Analysis.Program_check.check (parse_prog "QUBIT a,0\nQUBIT b,0\nH a\nH b\nMeasZ a")
+  in
+  check_bool "b never measured" true (has_kind "never-measured" fs);
+  (* no measurement anywhere -> no hint (unitary circuits don't measure) *)
+  let fs2 = Analysis.Program_check.check (parse_prog "QUBIT a,0\nQUBIT b,0\nH a\nH b") in
+  check_bool "unitary program exempt" false (has_kind "never-measured" fs2)
+
+let test_program_removable_and_commuting () =
+  let fs = Analysis.Program_check.check (parse_prog "QUBIT a,0\nQUBIT b,0\nH a\nH a\nC-X a,b") in
+  check_bool "removable H.H" true (has_kind "removable-gates" fs);
+  let fs2 =
+    Analysis.Program_check.check
+      (parse_prog "QUBIT a,0\nQUBIT b,0\nQUBIT c,0\nC-X a,b\nC-X a,c")
+  in
+  check_bool "shared control commutes" true (has_kind "commuting-pairs" fs2);
+  let fs3 = Analysis.Program_check.check (parse_prog "QUBIT a,0\nQUBIT b,0\nC-X a,b\nC-X a,b") in
+  (* identical CNOTs cancel: removable, and dependent (WAW) so not commuting *)
+  check_bool "dependent pair not flagged" false (has_kind "commuting-pairs" fs3)
+
+let test_program_basis_hint () =
+  let fs = Analysis.Program_check.check (parse_prog "QUBIT a,0\nQUBIT b,0\nC-Z a,b") in
+  check_bool "noncx hint" true (has_kind "noncx-basis" fs);
+  let fs2 = Analysis.Program_check.check (parse_prog "QUBIT a,0\nQUBIT b,0\nC-X a,b") in
+  check_bool "cx-only clean" false (has_kind "noncx-basis" fs2)
+
+let test_program_parse_error () =
+  let fs = Analysis.Program_check.check_result (Qasm.Parser.parse "H ghost") in
+  check_bool "parse error finding" true (has_kind "parse-error" fs);
+  check_int "exit 2" 2 (F.exit_code fs)
+
+(* -------------------------------------------------------------- fabric *)
+
+let test_fabric_bottleneck () =
+  let lay = parse_fabric (read_file "corpus/bad/bottleneck.fabric") in
+  (match Analysis.Fabric_check.bottleneck_junctions lay with
+  | [ (c, s, l) ] ->
+      check_int "junction x" 2 c.Ion_util.Coord.x;
+      check_int "junction y" 0 c.Ion_util.Coord.y;
+      check_int "small side" 1 s;
+      check_bool "large side" true (l = 2)
+  | other -> Alcotest.failf "expected one bottleneck, got %d" (List.length other));
+  check_bool "warning emitted" true (has_kind "bottleneck" (Analysis.Fabric_check.check lay))
+
+let test_fabric_mesh_has_no_bottleneck () =
+  (* a 2D mesh has alternative paths around every junction *)
+  let lay =
+    Fabric.Layout.make_grid ~width:25 ~height:15 ~pitch_x:8 ~pitch_y:7 ~margin:2
+      ~traps_per_channel:1 ()
+  in
+  check_int "no cut-vertex junctions" 0
+    (List.length (Analysis.Fabric_check.bottleneck_junctions lay))
+
+let test_fabric_transit_capacity () =
+  let lay = parse_fabric "T-T" in
+  let fs = Analysis.Fabric_check.check ~num_qubits:5 lay in
+  check_bool "transit warning" true (has_kind "transit-capacity" fs);
+  check_bool "trap capacity error" true (has_kind "trap-capacity" fs);
+  check_int "exit 2" 2 (F.exit_code fs)
+
+let test_fabric_absorbs_lint () =
+  let fs = Analysis.Fabric_check.check (parse_fabric (read_file "corpus/bad/disconnected.fabric")) in
+  check_bool "disconnected" true (has_kind "disconnected" fs);
+  check_bool "linear hint" true (has_kind "no-junctions" fs)
+
+(* -------------------------------------------------------------- config *)
+
+let test_config_prescreen () =
+  let cfg = Qspr.Config.(default |> with_m 5 |> with_prescreen (Some 5)) in
+  check_bool "prescreen >= m" true
+    (has_kind "prescreen-ineffective" (Analysis.Config_check.check cfg));
+  let cfg2 = Qspr.Config.(default |> with_m 25 |> with_prescreen (Some 1)) in
+  check_bool "prescreen k=1 hint" true
+    (has_kind "prescreen-trusts-estimator" (Analysis.Config_check.check cfg2));
+  let cfg3 = Qspr.Config.(default |> with_m 25 |> with_prescreen (Some 5)) in
+  check_bool "sane prescreen" false
+    (List.exists
+       (fun k -> k = "prescreen-ineffective" || k = "prescreen-trusts-estimator")
+       (kinds (Analysis.Config_check.check cfg3)))
+
+let test_config_invalid () =
+  let cfg = Qspr.Config.with_m 0 Qspr.Config.default in
+  let fs = Analysis.Config_check.check cfg in
+  check_bool "invalid config is an error" true (has_kind "invalid" fs);
+  check_int "exit 2" 2 (F.exit_code fs)
+
+(* ------------------------------------------------------------ registry *)
+
+let test_registry_passes_documented () =
+  let names = List.map (fun (p : Analysis.Registry.pass) -> p.Analysis.Registry.name) Analysis.Registry.passes in
+  List.iter
+    (fun n -> check_bool (n ^ " registered") true (List.mem n names))
+    [ "program"; "fabric"; "config"; "schedule"; "certify"; "determinism" ]
+
+let test_registry_lint_merges () =
+  let fs =
+    Analysis.Registry.lint
+      ~program:(Qasm.Parser.parse (read_file "corpus/bad/uninitialized.qasm"))
+      ~fabric:(Fabric.Layout.parse (read_file "corpus/bad/tiny.fabric"))
+      ~config:Qspr.Config.default ()
+  in
+  check_bool "program finding present" true (has_kind "use-before-init" fs);
+  check_bool "fabric hint present" true (has_kind "no-junctions" fs);
+  check_bool "sorted" true (F.sort fs = fs)
+
+let corpus_files =
+  [
+    `Qasm "corpus/good/bell.qasm";
+    `Qasm "corpus/good/shared_control.qasm";
+    `Qasm "corpus/bad/undeclared.qasm";
+    `Qasm "corpus/bad/uninitialized.qasm";
+    `Qasm "corpus/bad/dead_qubit.qasm";
+    `Qasm "corpus/bad/cancelling.qasm";
+    `Fabric "corpus/bad/disconnected.fabric";
+    `Fabric "corpus/bad/tiny.fabric";
+    `Fabric "corpus/bad/bottleneck.fabric";
+  ]
+
+let test_corpus_kind_coverage () =
+  (* the adversarial corpus must light up a healthy spread of the finding
+     vocabulary: at least 10 distinct pass/kind combinations *)
+  let all =
+    List.concat_map
+      (fun file ->
+        match file with
+        | `Qasm p -> Analysis.Registry.lint ~program:(Qasm.Parser.parse (read_file p)) ()
+        | `Fabric p ->
+            Analysis.Registry.lint
+              ~program:(Ok (List.assoc "[[5,1,3]]" (Circuits.Qecc.all ())))
+              ~fabric:(Fabric.Layout.parse (read_file p)) ())
+      corpus_files
+  in
+  let distinct =
+    List.sort_uniq compare (List.map (fun f -> (f.F.pass, F.kind f)) all)
+  in
+  check_bool
+    (Printf.sprintf "%d distinct finding kinds >= 10" (List.length distinct))
+    true
+    (List.length distinct >= 10)
+
+(* ------------------------------------------------------------- certify *)
+
+let fabric_45x85 = lazy (Fabric.Layout.quale_45x85 ())
+
+let ctx_of ?(m = 2) program =
+  match
+    Qspr.Mapper.create ~fabric:(Lazy.force fabric_45x85)
+      ~config:(Qspr.Config.with_m m Qspr.Config.default)
+      program
+  with
+  | Ok c -> c
+  | Error e -> Alcotest.failf "mapper: %s" e
+
+let solution_of label = function
+  | Ok s -> s
+  | Error e -> Alcotest.failf "%s: %s" label e
+
+let assert_certified label ?policy ctx sol =
+  let cert = Certify.of_solution ?policy ctx sol in
+  if not cert.Certify.valid then
+    Alcotest.failf "%s: %s" label (Format.asprintf "%a" Certify.pp cert);
+  check_bool (label ^ " makespan = latency") true
+    (Float.abs (cert.Certify.replayed_makespan -. sol.Qspr.Mapper.latency) < 1e-6)
+
+let test_certify_all_mappers_small () =
+  (* all four placement strategies on the small Table-1 circuits *)
+  List.iter
+    (fun name ->
+      let ctx = ctx_of (List.assoc name (Circuits.Qecc.all ())) in
+      assert_certified (name ^ "/mvfb") ctx (solution_of "mvfb" (Qspr.Mapper.map_mvfb ctx));
+      assert_certified (name ^ "/mc") ctx
+        (solution_of "mc" (Qspr.Mapper.map_monte_carlo ~runs:2 ctx));
+      assert_certified (name ^ "/sa") ctx
+        (solution_of "sa" (Qspr.Mapper.map_annealing ~evaluations:2 ctx));
+      assert_certified (name ^ "/center") ctx (solution_of "center" (Qspr.Mapper.map_center ctx)))
+    [ "[[5,1,3]]"; "[[7,1,3]]"; "[[9,1,3]]" ]
+
+let test_certify_large_circuits_mvfb () =
+  (* the remaining Table-1 circuits, MVFB only ([[19,1,7]] historically wins
+     backward, exercising the reversed-trace path) *)
+  List.iter
+    (fun name ->
+      let ctx = ctx_of (List.assoc name (Circuits.Qecc.all ())) in
+      assert_certified (name ^ "/mvfb") ctx (solution_of "mvfb" (Qspr.Mapper.map_mvfb ctx)))
+    [ "[[14,8,3]]"; "[[19,1,7]]"; "[[23,1,7]]" ]
+
+let test_certify_quale_policy () =
+  let program = List.assoc "[[5,1,3]]" (Circuits.Qecc.all ()) in
+  let ctx = ctx_of program in
+  let sol = solution_of "quale" (Qspr.Quale_mode.map ctx) in
+  let policy = (Qspr.Mapper.config ctx).Qspr.Config.quale_policy in
+  assert_certified "quale" ~policy ctx sol
+
+let small_solution () =
+  let ctx = ctx_of (List.assoc "[[5,1,3]]" (Circuits.Qecc.all ())) in
+  (ctx, solution_of "mvfb" (Qspr.Mapper.map_mvfb ctx))
+
+let cert_kinds_of ctx (sol : Qspr.Mapper.solution) =
+  kinds (Certify.of_solution ctx sol).Certify.findings
+
+let test_certify_rejects_teleport () =
+  let ctx, sol = small_solution () in
+  (* displace the departure cell of a mid-trace move: the ion teleports *)
+  let tampered = ref false in
+  let trace =
+    List.map
+      (fun cmd ->
+        match cmd with
+        | Router.Micro.Move { qubit; from_; to_; start; finish }
+          when (not !tampered) && start > 10.0 ->
+            tampered := true;
+            Router.Micro.Move
+              { qubit; from_ = Ion_util.Coord.make (from_.Ion_util.Coord.x + 3) from_.Ion_util.Coord.y; to_; start; finish }
+        | c -> c)
+      sol.Qspr.Mapper.trace
+  in
+  check_bool "tampered" true !tampered;
+  let ks = cert_kinds_of ctx { sol with Qspr.Mapper.trace = trace } in
+  check_bool "teleport detected" true (List.mem "teleport" ks || List.mem "bad-step" ks)
+
+let test_certify_rejects_wrong_latency () =
+  let ctx, sol = small_solution () in
+  let cert = Certify.of_solution ctx { sol with Qspr.Mapper.latency = sol.Qspr.Mapper.latency +. 10.0 } in
+  check_bool "invalid" false cert.Certify.valid;
+  check_bool "latency mismatch" true (List.mem "latency-mismatch" (kinds cert.Certify.findings))
+
+let test_certify_rejects_dropped_gate_end () =
+  let ctx, sol = small_solution () in
+  let dropped = ref false in
+  let trace =
+    List.filter
+      (fun cmd ->
+        match cmd with
+        | Router.Micro.Gate_end _ when not !dropped ->
+            dropped := true;
+            false
+        | _ -> true)
+      sol.Qspr.Mapper.trace
+  in
+  check_bool "dropped" true !dropped;
+  let ks = cert_kinds_of ctx { sol with Qspr.Mapper.trace = trace } in
+  check_bool "unpaired gate detected" true (List.mem "gate-pairing" ks)
+
+let test_certify_rejects_early_gate () =
+  let ctx, sol = small_solution () in
+  (* pull the last gate of the program to time zero: its dependencies have
+     not executed, the gate pair loses its duration, the ion is elsewhere *)
+  let last_start =
+    List.fold_left
+      (fun acc cmd ->
+        match cmd with
+        | Router.Micro.Gate_start { instr_id; time; _ } -> (
+            match acc with
+            | Some (_, t) when t >= time -> acc
+            | _ -> Some (instr_id, time))
+        | _ -> acc)
+      None sol.Qspr.Mapper.trace
+  in
+  let target = match last_start with Some (id, _) -> id | None -> Alcotest.fail "no gates" in
+  let trace =
+    List.map
+      (fun cmd ->
+        match cmd with
+        | Router.Micro.Gate_start { instr_id; trap; qubits; _ } when instr_id = target ->
+            Router.Micro.Gate_start { instr_id; trap; qubits; time = 0.0 }
+        | c -> c)
+      sol.Qspr.Mapper.trace
+  in
+  let ks = cert_kinds_of ctx { sol with Qspr.Mapper.trace = trace } in
+  check_bool "dependency violation detected" true (List.mem "dependency" ks)
+
+let test_certify_rejects_overfull_trap () =
+  let ctx, sol = small_solution () in
+  let crowded = Array.make (Array.length sol.Qspr.Mapper.initial_placement) 0 in
+  let ks = cert_kinds_of ctx { sol with Qspr.Mapper.initial_placement = crowded } in
+  check_bool "placement rejected" true (List.mem "bad-placement" ks)
+
+let test_certify_digest_tracks_trace () =
+  let _, sol = small_solution () in
+  let d1 = Certify.digest_trace sol.Qspr.Mapper.trace in
+  let d2 = Certify.digest_trace sol.Qspr.Mapper.trace in
+  check_bool "digest deterministic" true (Int64.equal d1 d2);
+  let shifted =
+    List.map
+      (fun cmd ->
+        match cmd with
+        | Router.Micro.Turn { qubit; at; start; finish } ->
+            Router.Micro.Turn { qubit; at; start = start +. 0.5; finish = finish +. 0.5 }
+        | c -> c)
+      sol.Qspr.Mapper.trace
+  in
+  check_bool "digest sensitive" false (Int64.equal d1 (Certify.digest_trace shifted))
+
+(* --------------------------------------------------------- determinism *)
+
+let test_determinism_clean_on_pool_paths () =
+  let program = List.assoc "[[5,1,3]]" (Circuits.Qecc.all ()) in
+  let ctx = ctx_of program in
+  let checks =
+    [
+      ("mc", fun ~jobs -> Qspr.Mapper.map_monte_carlo ~runs:4 ~jobs ctx);
+      ("mvfb", fun ~jobs -> Qspr.Mapper.map_mvfb ~m:2 ~jobs ctx);
+      ("mc prescreen", fun ~jobs -> Qspr.Mapper.map_monte_carlo ~runs:6 ~jobs ~prescreen_k:2 ctx);
+    ]
+  in
+  List.iter
+    (fun (label, f) ->
+      match Analysis.Determinism.check ~label ~jobs:2 f with
+      | [] -> ()
+      | fs -> Alcotest.failf "%s: %s" label (Format.asprintf "%a" F.pp (List.hd fs)))
+    checks
+
+let test_determinism_detects_divergence () =
+  (* a search whose outcome depends on the job count must be flagged *)
+  let program = List.assoc "[[5,1,3]]" (Circuits.Qecc.all ()) in
+  let solution_for_seed seed =
+    let ctx =
+      match
+        Qspr.Mapper.create ~fabric:(Lazy.force fabric_45x85)
+          ~config:Qspr.Config.(default |> with_m 2 |> with_seed seed)
+          program
+      with
+      | Ok c -> c
+      | Error e -> Alcotest.failf "mapper: %s" e
+    in
+    Qspr.Mapper.map_monte_carlo ~runs:3 ctx
+  in
+  let fs =
+    Analysis.Determinism.check ~label:"seed-leak" ~jobs:2 (fun ~jobs -> solution_for_seed jobs)
+  in
+  check_bool "divergence detected" true (fs <> []);
+  check_bool "all errors" true (List.for_all (fun f -> f.F.severity = F.Error) fs)
+
+let test_determinism_diff_bitlevel () =
+  let _, sol = small_solution () in
+  check_bool "identical solutions clean" true (Analysis.Determinism.diff ~label:"self" sol sol = []);
+  let eps_shift = { sol with Qspr.Mapper.latency = sol.Qspr.Mapper.latency *. (1.0 +. 1e-15) } in
+  check_bool "one-ulp latency drift flagged" true
+    (has_kind "latency-mismatch" (Analysis.Determinism.diff ~label:"ulp" sol eps_shift))
+
+(* ------------------------------------------------------------- runner *)
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "finding",
+        [
+          Alcotest.test_case "exit codes" `Quick test_finding_exit_codes;
+          Alcotest.test_case "payload" `Quick test_finding_payload;
+        ] );
+      ( "program",
+        [
+          Alcotest.test_case "initialization" `Quick test_program_initialization;
+          Alcotest.test_case "prepz initializes" `Quick test_program_prepz_initializes;
+          Alcotest.test_case "never measured" `Quick test_program_never_measured;
+          Alcotest.test_case "removable and commuting" `Quick test_program_removable_and_commuting;
+          Alcotest.test_case "basis hint" `Quick test_program_basis_hint;
+          Alcotest.test_case "parse error" `Quick test_program_parse_error;
+        ] );
+      ( "fabric",
+        [
+          Alcotest.test_case "bottleneck" `Quick test_fabric_bottleneck;
+          Alcotest.test_case "mesh has no bottleneck" `Quick test_fabric_mesh_has_no_bottleneck;
+          Alcotest.test_case "transit capacity" `Quick test_fabric_transit_capacity;
+          Alcotest.test_case "absorbs lint" `Quick test_fabric_absorbs_lint;
+        ] );
+      ( "config",
+        [
+          Alcotest.test_case "prescreen" `Quick test_config_prescreen;
+          Alcotest.test_case "invalid" `Quick test_config_invalid;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "passes documented" `Quick test_registry_passes_documented;
+          Alcotest.test_case "lint merges" `Quick test_registry_lint_merges;
+          Alcotest.test_case "corpus kind coverage" `Quick test_corpus_kind_coverage;
+        ] );
+      ( "certify",
+        [
+          Alcotest.test_case "all mappers, small circuits" `Quick test_certify_all_mappers_small;
+          Alcotest.test_case "large circuits, mvfb" `Slow test_certify_large_circuits_mvfb;
+          Alcotest.test_case "quale policy" `Quick test_certify_quale_policy;
+          Alcotest.test_case "rejects teleport" `Quick test_certify_rejects_teleport;
+          Alcotest.test_case "rejects wrong latency" `Quick test_certify_rejects_wrong_latency;
+          Alcotest.test_case "rejects dropped gate end" `Quick test_certify_rejects_dropped_gate_end;
+          Alcotest.test_case "rejects early gate" `Quick test_certify_rejects_early_gate;
+          Alcotest.test_case "rejects overfull trap" `Quick test_certify_rejects_overfull_trap;
+          Alcotest.test_case "digest tracks trace" `Quick test_certify_digest_tracks_trace;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "clean on pool paths" `Quick test_determinism_clean_on_pool_paths;
+          Alcotest.test_case "detects divergence" `Quick test_determinism_detects_divergence;
+          Alcotest.test_case "bit-level diff" `Quick test_determinism_diff_bitlevel;
+        ] );
+    ]

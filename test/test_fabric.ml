@@ -327,9 +327,9 @@ let test_lint_disconnected () =
   check_bool "mentions disconnection" true
     (List.exists
        (fun f ->
-         f.Lint.severity = Lint.Error
+         f.Analysis_finding.severity = Analysis_finding.Error
          &&
-         let m = f.Lint.message in
+         let m = f.Analysis_finding.message in
          String.length m > 12 && String.sub m 0 12 = "fabric is di")
        findings)
 
@@ -339,12 +339,12 @@ let test_lint_capacity () =
   check_bool "overfull is error" false (Lint.is_clean ~num_qubits:10 lay);
   let warnings = Lint.check ~num_qubits:3 lay in
   check_bool "tight is warning" true
-    (List.exists (fun f -> f.Lint.severity = Lint.Warning) warnings)
+    (List.exists (fun f -> f.Analysis_finding.severity = Analysis_finding.Warning) warnings)
 
 let test_lint_linear_info () =
   let findings = Lint.check (Layout.linear ~traps:4 ()) in
   check_bool "no errors" true (Lint.is_clean (Layout.linear ~traps:4 ()));
-  check_bool "junction-free info" true (List.exists (fun f -> f.Lint.severity = Lint.Info) findings)
+  check_bool "junction-free hint" true (List.exists (fun f -> f.Analysis_finding.severity = Analysis_finding.Hint) findings)
 
 let test_lint_pp () =
   let findings = Lint.check ~num_qubits:10 (Layout.small_tile ()) in

@@ -178,7 +178,7 @@ let test_static_asap_equals_critical_path () =
   let s = Static.asap ~delay:paper_delay g in
   Alcotest.(check (float 1e-9)) "makespan = critical path" 510.0 s.Static.makespan;
   check_bool "valid at infinite resources" true
-    (Static.validate ~delay:paper_delay ~max_two_qubit:100 g s)
+    (Static.validate ~delay:paper_delay ~max_two_qubit:100 g s = [])
 
 let test_static_constrained_k1_serializes () =
   let g = fig3_dag () in
@@ -186,7 +186,7 @@ let test_static_constrained_k1_serializes () =
   let s = Static.resource_constrained ~delay:paper_delay ~max_two_qubit:1 ~priorities:prios g in
   (* 8 two-qubit gates fully serialized: at least 800us *)
   check_bool "serialized bound" true (s.Static.makespan >= 800.0);
-  check_bool "valid" true (Static.validate ~delay:paper_delay ~max_two_qubit:1 g s)
+  check_bool "valid" true (Static.validate ~delay:paper_delay ~max_two_qubit:1 g s = [])
 
 let test_static_monotone_in_k () =
   let g = fig3_dag () in
@@ -217,7 +217,7 @@ let prop_static_schedules_valid =
       let g = Dag.of_program p in
       let prios = Priority.compute Priority.qspr_default ~delay:paper_delay g in
       let s = Static.resource_constrained ~delay:paper_delay ~max_two_qubit:k ~priorities:prios g in
-      Static.validate ~delay:paper_delay ~max_two_qubit:k g s
+      Static.validate ~delay:paper_delay ~max_two_qubit:k g s = []
       && s.Static.makespan >= Dag.critical_path ~delay:paper_delay g -. 1e-9)
 
 let () =
