@@ -21,11 +21,11 @@ let ctx_of ?config name =
 
 let solution_latency = function
   | Ok (s : Qspr.Mapper.solution) -> s.Qspr.Mapper.latency
-  | Error e -> failwith e
+  | Error e -> failwith (Qspr.Mapper.error_to_string e)
 
 let engine_latency = function
   | Ok (r : Simulator.Engine.result) -> r.Simulator.Engine.latency
-  | Error e -> failwith e
+  | Error e -> failwith (Simulator.Engine.string_of_error e)
 
 (* ------------------------------------------------------- table printers *)
 
@@ -153,7 +153,7 @@ let bench_pathfinder =
   let pathfinder () =
     match Router.Pathfinder.route_all graph ~capacity nets with
     | Ok o -> o.Router.Pathfinder.iterations
-    | Error e -> failwith e
+    | Error e -> failwith (Router.Pathfinder.string_of_error e)
   in
   let sequential () =
     (* greedy: route nets one by one under live Eq. 2 congestion *)
@@ -263,7 +263,7 @@ let bench_circuits =
 
 (* Estimator workloads: one fast estimate vs one full schedule-and-route of
    the same placement (their ratio is the per-placement speedup recorded in
-   BENCH_pr2.json), model construction, and the pre-screened vs exhaustive
+   BENCH_pr4.json), model construction, and the pre-screened vs exhaustive
    Monte-Carlo search. *)
 let bench_estimator =
   let ctx = ctx_of "[[9,1,3]]" in
@@ -286,6 +286,46 @@ let bench_estimator =
       Test.make ~name:"mc25_prescreen5"
         (Staged.stage (fun () ->
              solution_latency (Qspr.Mapper.map_monte_carlo ~runs:25 ~prescreen_k:5 ctx)));
+    ]
+
+(* Fault-injection workloads: degrading the 45x85 fabric, one hardened
+   (retry-cascade) map of [[5,1,3]] on a degraded fabric, and a small
+   survivability campaign on a linear fabric. *)
+let bench_faults =
+  let lay = Qspr.Experiments.fabric () in
+  let comp =
+    match Fabric.Component.extract lay with Ok c -> c | Error e -> failwith e
+  in
+  let faults = Fault.sample ~seed:2012 ~index:0 ~n:10 comp in
+  let degraded =
+    match Fault.apply lay faults with
+    | Ok a -> a.Fault.layout
+    | Error e -> failwith e
+  in
+  let config = Qspr.Config.(default |> with_m 2) in
+  let dctx =
+    match Qspr.Mapper.create ~fabric:degraded ~config (Circuits.Qecc.c513 ()) with
+    | Ok c -> c
+    | Error e -> failwith e
+  in
+  let linear = Fabric.Layout.linear ~traps:8 () in
+  let program = Circuits.Qecc.c513 () in
+  Test.make_grouped ~name:"faults"
+    [
+      Test.make ~name:"apply_10_faults"
+        (Staged.stage (fun () ->
+             match Fault.apply lay faults with
+             | Ok a -> List.length a.Fault.faulted_cells
+             | Error e -> failwith e));
+      Test.make ~name:"map_robust_degraded"
+        (Staged.stage (fun () -> solution_latency (Qspr.Mapper.map_robust dctx)));
+      Test.make ~name:"campaign_linear_2x2"
+        (Staged.stage (fun () ->
+             match
+               Fault.campaign ~config ~seed:7 ~levels:[ 0; 1 ] ~trials:2 ~fabric:linear program
+             with
+             | Ok r -> r.Fault.baseline_latency
+             | Error e -> failwith e));
     ]
 
 (* Quantum-substrate workloads: tableau simulation of the largest benchmark
@@ -367,6 +407,7 @@ let run_benchmarks () =
         bench_parallel;
         bench_sensitivity;
         bench_estimator;
+        bench_faults;
         bench_circuits;
         bench_quantum;
         bench_ablation;
@@ -399,7 +440,7 @@ let run_benchmarks () =
     rows;
   rows
 
-(* The headline estimator numbers for BENCH_pr2.json: per-placement speedup
+(* The headline estimator numbers for BENCH_pr4.json: per-placement speedup
    (measured full-route ns / estimate ns from the timing rows), the mean
    relative accuracy against the engine, and the pre-screened search's
    evaluation savings. *)
@@ -455,18 +496,35 @@ let estimator_summary rows =
           ] );
     ]
 
+(* The headline survivability numbers for BENCH_pr4.json: a full fault
+   campaign of [[5,1,3]] on a linear fabric whose single channel row makes
+   every blocked segment count. *)
+let faults_summary () =
+  let config = Qspr.Config.(default |> with_m 2) in
+  match
+    Fault.campaign ~config ~seed:2012 ~levels:[ 0; 1; 2; 4 ] ~trials:5
+      ~fabric:(Fabric.Layout.linear ~traps:8 ())
+      (Circuits.Qecc.c513 ())
+  with
+  | Error e -> failwith e
+  | Ok r ->
+      Format.printf "=== Fault survivability ([[5,1,3]], linear fabric) ===@.@[<v>%a@]@.@."
+        Fault.pp r;
+      Fault.to_json r
+
 (* Machine-readable results for regression tracking: one record per bench
    with the OLS ns/run and minor words/run estimates, plus the estimator
-   subsystem's headline numbers. *)
+   and fault-injection subsystems' headline numbers. *)
 let emit_json rows =
   let module J = Ion_util.Json in
   let doc =
     J.Obj
       [
-        ("schema", J.String "qspr-bench/2");
+        ("schema", J.String "qspr-bench/3");
         ( "instances",
           J.List [ J.String "monotonic_clock_ns_per_run"; J.String "minor_allocated_words_per_run" ] );
         ("estimator", estimator_summary rows);
+        ("faults", faults_summary ());
         ( "results",
           J.List
             (List.map
@@ -476,11 +534,11 @@ let emit_json rows =
                rows) );
       ]
   in
-  let oc = open_out "BENCH_pr2.json" in
+  let oc = open_out "BENCH_pr4.json" in
   output_string oc (J.to_string doc);
   output_char oc '\n';
   close_out oc;
-  Printf.printf "\nwrote BENCH_pr2.json (%d benches)\n" (List.length rows)
+  Printf.printf "\nwrote BENCH_pr4.json (%d benches)\n" (List.length rows)
 
 let () =
   print_tables ();

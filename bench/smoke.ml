@@ -10,7 +10,7 @@ let check_eq name a b = if not (Float.abs (a -. b) < 1e-9) then fail "%s: %.9g <
 
 let solution_latency label = function
   | Ok (s : Qspr.Mapper.solution) -> s.Qspr.Mapper.latency
-  | Error e -> fail "%s: %s" label e
+  | Error e -> fail "%s: %s" label (Qspr.Mapper.error_to_string e)
 
 let () =
   let fabric = Qspr.Experiments.fabric () in
@@ -63,17 +63,17 @@ let () =
   let plain =
     match Qspr.Mapper.map_monte_carlo ~runs:8 ~prescreen_k:0 ctx with
     | Ok s -> s
-    | Error e -> fail "mc plain: %s" e
+    | Error e -> fail "mc plain: %s" (Qspr.Mapper.error_to_string e)
   in
   let pre1 =
     match Qspr.Mapper.map_monte_carlo ~runs:8 ~jobs:1 ~prescreen_k:3 ctx with
     | Ok s -> s
-    | Error e -> fail "mc prescreen jobs1: %s" e
+    | Error e -> fail "mc prescreen jobs1: %s" (Qspr.Mapper.error_to_string e)
   in
   let pre2 =
     match Qspr.Mapper.map_monte_carlo ~runs:8 ~jobs:2 ~prescreen_k:3 ctx with
     | Ok s -> s
-    | Error e -> fail "mc prescreen jobs2: %s" e
+    | Error e -> fail "mc prescreen jobs2: %s" (Qspr.Mapper.error_to_string e)
   in
   check_eq "prescreen jobs1 vs jobs2" pre1.Qspr.Mapper.latency pre2.Qspr.Mapper.latency;
   if pre1.Qspr.Mapper.initial_placement <> pre2.Qspr.Mapper.initial_placement then
@@ -95,6 +95,21 @@ let () =
   | [] -> ()
   | f :: _ ->
       fail "parallel determinism violated: %s" (Format.asprintf "%a" Analysis.Finding.pp f));
+  (* faults group: a survivability campaign over a degraded fabric is
+     bit-identical at any job count *)
+  let campaign jobs =
+    match
+      Fault.campaign ~jobs
+        ~config:Qspr.Config.(default |> with_m 2)
+        ~seed:11 ~levels:[ 0; 1; 2 ] ~trials:3
+        ~fabric:(Fabric.Layout.linear ~traps:6 ())
+        p
+    with
+    | Ok r -> Ion_util.Json.to_string (Fault.to_json r)
+    | Error e -> fail "fault campaign (jobs=%d): %s" jobs e
+  in
+  if not (String.equal (campaign 1) (campaign 2)) then
+    fail "fault campaign: jobs=1 vs jobs=2 reports differ";
   print_endline
     "bench-smoke: OK (workspace routing exact, parallel search exact, estimator pure, \
-     prescreen consistent, winner certified)"
+     prescreen consistent, winner certified, fault campaign deterministic)"

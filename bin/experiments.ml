@@ -39,7 +39,7 @@ let certify_table1 () =
         | Error e -> Error e
         | Ok ctx -> (
             match Qspr.Mapper.map_mvfb ctx with
-            | Error e -> Error e
+            | Error e -> Error (Qspr.Mapper.error_to_string e)
             | Ok sol -> Ok (Analysis.Certify.of_solution ctx sol))
       in
       match status with
@@ -236,6 +236,22 @@ let run_priorities () =
     (fun (name, latency) -> Printf.printf "  %-26s %8.1f us\n" name latency)
     (Qspr.Experiments.priority_study ())
 
+let run_faults () =
+  line "Fault-injection survivability ([[5,1,3]], retry cascade on degraded fabrics)";
+  let levels = if !fast then [ 0; 2; 6 ] else [ 0; 2; 6; 12; 24 ] in
+  let trials = if !fast then 2 else 5 in
+  let config = Qspr.Config.(default |> with_m (m_small ())) in
+  match
+    Fault.campaign ~config ~seed:2012 ~levels ~trials ~fabric:(Fabric.Layout.quale_45x85 ())
+      (Circuits.Qecc.c513 ())
+  with
+  | Error e ->
+      Printf.eprintf "fault campaign failed: %s\n" e;
+      exit 1
+  | Ok report ->
+      Format.printf "@[<v>%a@]@." Fault.pp report;
+      write_json "faults" (Fault.to_json report)
+
 let run_fig23 () =
   line "Figures 2-3";
   print_string (Qspr.Experiments.fig23 ())
@@ -278,6 +294,7 @@ let () =
       ("estimator", run_estimator);
       ("prescreen", run_prescreen);
       ("congestion", run_congestion);
+      ("faults", run_faults);
       ("scaling", run_scaling);
       ("fig23", run_fig23);
       ("fig4", run_fig4);

@@ -42,7 +42,8 @@ let gate_on_fabric_lint ~program fabric =
   if Analysis.Finding.is_clean findings then Ok ()
   else Error "fabric fails lint (errors above; `qspr lint` shows the full report)"
 
-let do_map circuit qasm openqasm fabric_path pmd_path placer m seed prescreen_k show_trace validate certify json_out =
+let do_map circuit qasm openqasm fabric_path pmd_path placer m seed prescreen_k budget_s
+    budget_evals show_trace validate certify json_out =
   let ( let* ) = Result.bind in
   let result =
     let* program = load_program ~circuit ~qasm ~openqasm in
@@ -58,16 +59,33 @@ let do_map circuit qasm openqasm fabric_path pmd_path placer m seed prescreen_k 
           Ok (fabric, Qspr.Config.default)
     in
     let* () = gate_on_fabric_lint ~program fabric in
-    let config = Qspr.Config.(base_config |> with_m m |> with_seed seed) in
+    (* explicit flags win; otherwise keep the config's (env-derived) budget *)
+    let base_budget = base_config.Qspr.Config.budget in
+    let budget =
+      {
+        Qspr.Config.wall_s =
+          (match budget_s with Some _ -> budget_s | None -> base_budget.Qspr.Config.wall_s);
+        max_evals =
+          (match budget_evals with
+          | Some _ -> budget_evals
+          | None -> base_budget.Qspr.Config.max_evals);
+      }
+    in
+    let config = Qspr.Config.(base_config |> with_m m |> with_seed seed |> with_budget budget) in
     let* ctx = Qspr.Mapper.create ~fabric ~config program in
     let* sol =
-      match placer with
-      | "mvfb" -> Qspr.Mapper.map_mvfb ?prescreen_k ctx
-      | "mc" -> Qspr.Mapper.map_monte_carlo ~runs:m ?prescreen_k ctx
-      | "sa" -> Qspr.Mapper.map_annealing ~evaluations:m ?prescreen_k ctx
-      | "center" -> Qspr.Mapper.map_center ctx
-      | "quale" -> Qspr.Quale_mode.map ctx
-      | other -> Error (Printf.sprintf "unknown placer %s (mvfb|mc|sa|center|quale)" other)
+      Result.map_error Qspr.Mapper.error_to_string
+        (match placer with
+        | "mvfb" -> Qspr.Mapper.map_mvfb ?prescreen_k ctx
+        | "mc" -> Qspr.Mapper.map_monte_carlo ~runs:m ?prescreen_k ctx
+        | "sa" -> Qspr.Mapper.map_annealing ~evaluations:m ?prescreen_k ctx
+        | "center" -> Qspr.Mapper.map_center ctx
+        | "quale" -> Qspr.Quale_mode.map ctx
+        | "robust" -> Qspr.Mapper.map_robust ctx
+        | other ->
+            Error
+              (Qspr.Mapper.Invalid
+                 (Printf.sprintf "unknown placer %s (mvfb|mc|sa|center|quale|robust)" other)))
     in
     let baseline = Qspr.Mapper.ideal_latency ctx in
     Printf.printf "circuit           : %s (%d qubits, %d gates)\n" program.Qasm.Program.name
@@ -87,6 +105,19 @@ let do_map circuit qasm openqasm fabric_path pmd_path placer m seed prescreen_k 
       (Simulator.Trace.move_count sol.Qspr.Mapper.trace)
       (Simulator.Trace.turn_count sol.Qspr.Mapper.trace)
       (Simulator.Trace.gate_count sol.Qspr.Mapper.trace);
+    if sol.Qspr.Mapper.degraded then
+      Printf.printf "degraded          : yes (budget cut the search or earlier attempts failed)\n";
+    if List.length sol.Qspr.Mapper.attempts > 1 then begin
+      Printf.printf "attempts          :\n";
+      List.iter
+        (fun (a : Qspr.Mapper.attempt) ->
+          match a.Qspr.Mapper.outcome with
+          | Ok l -> Printf.printf "  %-14s seed=%d  ok, %.1f us\n" a.Qspr.Mapper.stage a.Qspr.Mapper.seed l
+          | Error e ->
+              Printf.printf "  %-14s seed=%d  failed: %s\n" a.Qspr.Mapper.stage a.Qspr.Mapper.seed
+                (Qspr.Mapper.error_to_string e))
+        sol.Qspr.Mapper.attempts
+    end;
     if validate then begin
       let policy =
         if placer = "quale" then (Qspr.Mapper.config ctx).Qspr.Config.quale_policy
@@ -160,7 +191,30 @@ let pmd_arg =
     & info [ "pmd" ] ~docv:"FILE" ~doc:"Physical machine description file (fabric + timing + capacities).")
 
 let placer_arg =
-  Arg.(value & opt string "mvfb" & info [ "placer" ] ~docv:"P" ~doc:"Placer: mvfb, mc, sa, center or quale.")
+  Arg.(
+    value & opt string "mvfb"
+    & info [ "placer" ] ~docv:"P"
+        ~doc:
+          "Placer: mvfb, mc, sa, center, quale, or robust (the retry cascade \
+           mvfb/reseed/mc/sa/relaxed).")
+
+let budget_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "budget" ] ~docv:"SECONDS"
+        ~doc:
+          "Wall-clock budget for the placement search; when it runs out the search returns \
+           best-so-far marked degraded (default: QSPR_BUDGET, else off).")
+
+let budget_evals_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "budget-evals" ] ~docv:"N"
+        ~doc:
+          "Deterministic evaluation budget: at most $(docv) full engine evaluations per search \
+           (default: QSPR_BUDGET_EVALS, else off).")
 
 let prescreen_arg =
   Arg.(
@@ -193,7 +247,8 @@ let map_cmd =
     (Cmd.info "map" ~doc:"Schedule, place and route a circuit onto an ion-trap fabric")
     Term.(
       const do_map $ circuit_arg $ qasm_arg $ openqasm_arg $ fabric_arg $ pmd_arg $ placer_arg $ m_arg
-      $ seed_arg $ prescreen_arg $ trace_arg $ validate_arg $ certify_arg $ json_arg)
+      $ seed_arg $ prescreen_arg $ budget_arg $ budget_evals_arg $ trace_arg $ validate_arg
+      $ certify_arg $ json_arg)
 
 (* --------------------------------------------------------------- fabric *)
 
@@ -289,7 +344,7 @@ let map_for_viz circuit qasm openqasm fabric_path m seed =
   let* fabric = load_fabric fabric_path in
   let config = Qspr.Config.(default |> with_m m |> with_seed seed) in
   let* ctx = Qspr.Mapper.create ~fabric ~config program in
-  let* sol = Qspr.Mapper.map_mvfb ctx in
+  let* sol = Result.map_error Qspr.Mapper.error_to_string (Qspr.Mapper.map_mvfb ctx) in
   Ok (program, ctx, sol)
 
 let do_gantt circuit qasm openqasm fabric_path m seed =
@@ -385,7 +440,9 @@ let do_estimate circuit qasm openqasm fabric_path measure certify =
       (t_build *. 1000.0);
     if not (measure || certify) then Ok ()
     else
-      let* r = Qspr.Mapper.run_forward ctx placement in
+      let* r =
+        Result.map_error Simulator.Engine.string_of_error (Qspr.Mapper.run_forward ctx placement)
+      in
       let meas = r.Simulator.Engine.latency in
       Printf.printf "measured latency  : %.1f us (full schedule-and-route)\n" meas;
       Printf.printf "relative error    : %+.1f%%\n" (100.0 *. (est -. meas) /. meas);
@@ -452,6 +509,50 @@ let circuits_cmd =
       const do_circuits
       $ Arg.(value & opt (some string) None & info [ "show" ] ~docv:"NAME" ~doc:"Print one circuit as QASM."))
 
+(* --------------------------------------------------------------- faults *)
+
+let do_faults circuit qasm openqasm fabric_path seed levels_s trials jobs json_out =
+  let ( let* ) = Result.bind in
+  let result =
+    let* program = load_program ~circuit ~qasm ~openqasm in
+    let* fabric = load_fabric fabric_path in
+    let* levels =
+      try Ok (List.map (fun s -> int_of_string (String.trim s)) (String.split_on_char ',' levels_s))
+      with Failure _ -> Error (Printf.sprintf "bad --levels %s (expected e.g. 0,1,2,4)" levels_s)
+    in
+    let* report = Fault.campaign ~jobs ~seed ~levels ~trials ~fabric program in
+    Format.printf "@[<v>%a@]@." Fault.pp report;
+    (match json_out with
+    | None -> ()
+    | Some path ->
+        Out_channel.with_open_text path (fun oc ->
+            Out_channel.output_string oc (Ion_util.Json.to_string (Fault.to_json report)));
+        Printf.printf "json written to %s\n" path);
+    Ok ()
+  in
+  match result with
+  | Ok () -> 0
+  | Error e ->
+      Printf.eprintf "error: %s\n" e;
+      1
+
+let faults_cmd =
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:
+         "Run a fault-injection survivability campaign: sample fault sets at each level, degrade \
+          the fabric, and map the circuit on every surviving fabric through the retry cascade")
+    Term.(
+      const do_faults $ circuit_arg $ qasm_arg $ openqasm_arg $ fabric_arg $ seed_arg
+      $ Arg.(
+          value & opt string "0,1,2,4"
+          & info [ "levels" ] ~docv:"N,N,..." ~doc:"Comma-separated fault counts to sweep.")
+      $ Arg.(value & opt int 5 & info [ "trials" ] ~docv:"T" ~doc:"Sampled fault sets per level.")
+      $ Arg.(
+          value & opt int 1
+          & info [ "jobs" ] ~docv:"J" ~doc:"Trial-level parallelism (bit-identical at any value).")
+      $ json_arg)
+
 let () =
   let info = Cmd.info "qspr" ~version:"1.0.0" ~doc:"Latency-minimizing quantum mapper for ion-trap fabrics" in
   exit
@@ -467,4 +568,5 @@ let () =
             heatmap_cmd;
             flow_cmd;
             estimate_cmd;
+            faults_cmd;
           ]))

@@ -18,11 +18,11 @@ let () =
         | Ok c -> c
         | Error e -> failwith e
       in
-      let mvfb = match Qspr.Mapper.map_mvfb ctx with Ok s -> s | Error e -> failwith e in
+      let mvfb = match Qspr.Mapper.map_mvfb ctx with Ok s -> s | Error e -> failwith (Qspr.Mapper.error_to_string e) in
       let mc =
         match Qspr.Mapper.map_monte_carlo ~runs:mvfb.Qspr.Mapper.placement_runs ctx with
         | Ok s -> s
-        | Error e -> failwith e
+        | Error e -> failwith (Qspr.Mapper.error_to_string e)
       in
       Printf.printf "%6d %12.0f %12d %14d %12.0f\n" m mvfb.Qspr.Mapper.latency
         mvfb.Qspr.Mapper.placement_runs mc.Qspr.Mapper.placement_runs mc.Qspr.Mapper.latency)
@@ -34,7 +34,7 @@ let () =
   let ctx =
     match Qspr.Mapper.create ~fabric ~config program with Ok c -> c | Error e -> failwith e
   in
-  let sol = match Qspr.Mapper.map_mvfb ctx with Ok s -> s | Error e -> failwith e in
+  let sol = match Qspr.Mapper.map_mvfb ctx with Ok s -> s | Error e -> failwith (Qspr.Mapper.error_to_string e) in
   let lats = sol.Qspr.Mapper.run_latencies in
   let best = List.fold_left Float.min Float.infinity lats in
   let worst = List.fold_left Float.max 0.0 lats in

@@ -69,8 +69,11 @@ let failed_certificate ~claimed_latency ~commands f =
   }
 
 let check ~layout ~timing ~channel_capacity ~junction_capacity ~dag ~initial_placement
-    ?final_placement ~claimed_latency trace =
+    ?final_placement ?(faulted = []) ~claimed_latency trace =
   let commands = List.length trace in
+  let faulted_tbl = Hashtbl.create (max 1 (List.length faulted)) in
+  List.iter (fun c -> Hashtbl.replace faulted_tbl (c.Coord.x, c.Coord.y) ()) faulted;
+  let is_faulted c = Hashtbl.mem faulted_tbl (c.Coord.x, c.Coord.y) in
   match Fabric.Component.extract layout with
   | Error msg ->
       failed_certificate ~claimed_latency ~commands
@@ -137,12 +140,20 @@ let check ~layout ~timing ~channel_capacity ~junction_capacity ~dag ~initial_pla
       let trace = List.stable_sort (fun a b -> Float.compare (Micro.time a) (Micro.time b)) trace in
       let qubit_ok q = q >= 0 && q < nq in
       let cell_is c k = Fabric.Cell.equal (Fabric.Layout.get layout c) k in
+      let fault_check idx what c =
+        if is_faulted c then
+          emit
+            (F.make ~pass ~kind:"faulted-resource" ~loc:(F.Command idx) F.Error
+               "%s touches the faulted resource at %s" what (Coord.to_string c))
+      in
       List.iteri
         (fun idx cmd ->
           match cmd with
           | Micro.Move { qubit; from_; to_; start; finish } ->
               incr moves;
               makespan := Float.max !makespan finish;
+              fault_check idx "move" from_;
+              fault_check idx "move" to_;
               if not (qubit_ok qubit) then
                 emit
                   (F.make ~pass ~kind:"bad-operand" ~loc:(F.Command idx) F.Error
@@ -205,6 +216,7 @@ let check ~layout ~timing ~channel_capacity ~junction_capacity ~dag ~initial_pla
           | Micro.Turn { qubit; at; start; finish } ->
               incr turns;
               makespan := Float.max !makespan finish;
+              fault_check idx "turn" at;
               if not (qubit_ok qubit) then
                 emit
                   (F.make ~pass ~kind:"bad-operand" ~loc:(F.Command idx) F.Error
@@ -234,6 +246,7 @@ let check ~layout ~timing ~channel_capacity ~junction_capacity ~dag ~initial_pla
               end
           | Micro.Gate_start { instr_id; trap; qubits; time } ->
               makespan := Float.max !makespan time;
+              fault_check idx "gate" trap;
               if instr_id < 0 || instr_id >= nnodes then
                 emit
                   (F.make ~pass ~kind:"unknown-instruction" ~loc:(F.Command idx) F.Error

@@ -48,11 +48,19 @@ val check :
   dag:Qasm.Dag.t ->
   initial_placement:int array ->
   ?final_placement:int array ->
+  ?faulted:Ion_util.Coord.t list ->
   claimed_latency:float ->
   Simulator.Trace.t ->
   certificate
 (** Replays the trace.  Findings are capped (a forged trace can violate
-    everything everywhere); the cap is noted as a final finding. *)
+    everything everywhere); the cap is noted as a final finding.
+
+    [faulted] lists cells withdrawn from service (see the fault-injection
+    subsystem): any move, turn or gate touching one of them is a
+    [faulted-resource] error.  Passing the {e pristine} layout together
+    with the fault set catches traces forged against the undegraded fabric
+    — a certified trace never uses a faulted junction, channel cell or
+    trap. *)
 
 val of_solution :
   ?policy:Simulator.Engine.policy -> Qspr.Mapper.t -> Qspr.Mapper.solution -> certificate

@@ -77,7 +77,13 @@ let diff ~label (a : Qspr.Mapper.solution) (b : Qspr.Mapper.solution) =
 let check ~label ~jobs f =
   match (f ~jobs:1, f ~jobs) with
   | Ok seq, Ok par -> diff ~label seq par
-  | Error msg, _ ->
-      [ F.make ~pass ~kind:"run-error" F.Error "%s: sequential run failed: %s" label msg ]
-  | _, Error msg ->
-      [ F.make ~pass ~kind:"run-error" F.Error "%s: parallel run failed: %s" label msg ]
+  | Error e, _ ->
+      [
+        F.make ~pass ~kind:"run-error" F.Error "%s: sequential run failed: %s" label
+          (Qspr.Mapper.error_to_string e);
+      ]
+  | _, Error e ->
+      [
+        F.make ~pass ~kind:"run-error" F.Error "%s: parallel run failed: %s" label
+          (Qspr.Mapper.error_to_string e);
+      ]

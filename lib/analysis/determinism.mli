@@ -24,6 +24,6 @@ val diff : label:string -> Qspr.Mapper.solution -> Qspr.Mapper.solution -> Findi
     [label] names the search in messages (e.g. ["mc jobs=4"]). *)
 
 val check :
-  label:string -> jobs:int -> (jobs:int -> (Qspr.Mapper.solution, string) result) -> Finding.t list
+  label:string -> jobs:int -> (jobs:int -> (Qspr.Mapper.solution, Qspr.Mapper.error) result) -> Finding.t list
 (** Runs [f ~jobs:1] and [f ~jobs], then {!diff}s.  The closure must
     perform the full search at the given job count. *)

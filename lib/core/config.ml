@@ -1,3 +1,7 @@
+type budget = { wall_s : float option; max_evals : int option }
+
+let no_budget = { wall_s = None; max_evals = None }
+
 type t = {
   timing : Router.Timing.t;
   qspr_policy : Simulator.Engine.policy;
@@ -7,6 +11,7 @@ type t = {
   rng_seed : int;
   jobs : int;
   prescreen_k : int option;
+  budget : budget;
 }
 
 (* QSPR_JOBS sets the default worker-domain count; anything unparsable or
@@ -24,6 +29,24 @@ let prescreen_from_env () =
   | Some s -> (
       match int_of_string_opt (String.trim s) with Some k when k >= 1 -> Some k | _ -> None)
 
+(* QSPR_BUDGET sets the default wall-clock budget in seconds (float), and
+   QSPR_BUDGET_EVALS the default evaluation cap; unset, unparsable or
+   non-positive values leave the corresponding budget off. *)
+let budget_from_env () =
+  let wall_s =
+    match Sys.getenv_opt "QSPR_BUDGET" with
+    | None -> None
+    | Some s -> (
+        match float_of_string_opt (String.trim s) with Some w when w > 0.0 -> Some w | _ -> None)
+  in
+  let max_evals =
+    match Sys.getenv_opt "QSPR_BUDGET_EVALS" with
+    | None -> None
+    | Some s -> (
+        match int_of_string_opt (String.trim s) with Some k when k >= 1 -> Some k | _ -> None)
+  in
+  { wall_s; max_evals }
+
 let default =
   {
     timing = Router.Timing.paper;
@@ -34,12 +57,14 @@ let default =
     rng_seed = 2012;
     jobs = jobs_from_env ();
     prescreen_k = prescreen_from_env ();
+    budget = budget_from_env ();
   }
 
 let with_m m t = { t with m }
 let with_seed rng_seed t = { t with rng_seed }
 let with_jobs jobs t = { t with jobs }
 let with_prescreen prescreen_k t = { t with prescreen_k }
+let with_budget budget t = { t with budget }
 
 let validate t =
   if t.m < 1 then Error "Config: m must be at least 1"
@@ -47,5 +72,9 @@ let validate t =
   else if t.jobs < 1 then Error "Config: jobs must be at least 1"
   else if (match t.prescreen_k with Some k -> k < 1 | None -> false) then
     Error "Config: prescreen_k must be at least 1"
+  else if (match t.budget.wall_s with Some w -> w <= 0.0 | None -> false) then
+    Error "Config: budget wall-clock seconds must be positive"
+  else if (match t.budget.max_evals with Some k -> k < 1 | None -> false) then
+    Error "Config: budget max_evals must be at least 1"
   else if t.qspr_policy.Simulator.Engine.channel_capacity < 1 then Error "Config: channel capacity must be positive"
   else Ok t

@@ -1,6 +1,20 @@
 (** Mapper configuration: technology timing, engine policies and placer
     parameters, defaulting to the paper's experimental setup (Section V.A). *)
 
+type budget = {
+  wall_s : float option;
+      (** wall-clock budget in seconds — searches stop between evaluations
+          once it is spent and return best-so-far marked degraded.  Where the
+          cut lands is inherently run-dependent; use [max_evals] when
+          bit-reproducibility matters. *)
+  max_evals : int option;
+      (** deterministic evaluation cap — at most this many full engine
+          evaluations per search, truncating candidates in run order. *)
+}
+
+val no_budget : budget
+(** Both limits off — run to completion. *)
+
 type t = {
   timing : Router.Timing.t;
   qspr_policy : Simulator.Engine.policy;
@@ -14,6 +28,8 @@ type t = {
   prescreen_k : int option;
       (** estimator pre-screening: fully route only the [k] best-estimated
           candidate placements per search; [None] routes every candidate. *)
+  budget : budget;
+      (** anytime-search budgets for the randomized placers; see {!budget}. *)
 }
 
 val default : t
@@ -21,13 +37,15 @@ val default : t
     capacity 2, m=100, patience 3.  [jobs] comes from the [QSPR_JOBS]
     environment variable (default 1; invalid values fall back to 1);
     [prescreen_k] from [QSPR_PRESCREEN] (default off; invalid values stay
-    off). *)
+    off); [budget] from [QSPR_BUDGET] (wall-clock seconds, float) and
+    [QSPR_BUDGET_EVALS] (evaluation cap), both off by default. *)
 
 val with_m : int -> t -> t
 val with_seed : int -> t -> t
 val with_jobs : int -> t -> t
 val with_prescreen : int option -> t -> t
+val with_budget : budget -> t -> t
 
 val validate : t -> (t, string) result
-(** Checks positivity of [m], [patience], [jobs] and [prescreen_k], and
-    capacity sanity. *)
+(** Checks positivity of [m], [patience], [jobs], [prescreen_k] and the
+    budget limits, and capacity sanity. *)

@@ -11,7 +11,8 @@ let default_circuits () = Circuits.Qecc.all ()
 
 let solve_exn label = function
   | Ok (s : Mapper.solution) -> s
-  | Error e -> failwith (Printf.sprintf "Experiments: %s failed: %s" label e)
+  | Error e ->
+      failwith (Printf.sprintf "Experiments: %s failed: %s" label (Mapper.error_to_string e))
 
 let cell_of (s : Mapper.solution) =
   { Report.latency = s.Mapper.latency; cpu_ms = s.Mapper.cpu_time_s *. 1000.0; runs = s.Mapper.placement_runs }
@@ -138,7 +139,9 @@ let placer_comparison ?(circuit = "[[9,1,3]]") () =
   let evaluate = Mapper.run_forward ctx in
   let engine_of label = function
     | Ok (r : Simulator.Engine.result) -> r.Simulator.Engine.latency
-    | Error e -> failwith ("Experiments.placer_comparison: " ^ label ^ ": " ^ e)
+    | Error e ->
+        failwith
+          ("Experiments.placer_comparison: " ^ label ^ ": " ^ Simulator.Engine.string_of_error e)
   in
   let mvfb = solve_exn "MVFB" (Mapper.map_mvfb ~m:5 ctx) in
   let budget = mvfb.Mapper.placement_runs in
@@ -150,7 +153,8 @@ let placer_comparison ?(circuit = "[[9,1,3]]") () =
         ~evaluations:budget ~evaluate comp ~num_qubits:nq
     with
     | Ok o -> o
-    | Error e -> failwith ("Experiments.placer_comparison: annealing: " ^ e)
+    | Error e ->
+        failwith ("Experiments.placer_comparison: annealing: " ^ Simulator.Engine.string_of_error e)
   in
   let center = engine_of "center" (evaluate (Placer.Center.place comp ~num_qubits:nq)) in
   let conn = engine_of "connectivity" (evaluate (Placer.Connectivity.place comp p)) in
@@ -174,7 +178,7 @@ let estimator_accuracy ?circuits () =
       let measured =
         match Mapper.run_forward ctx placement with
         | Ok r -> r.Simulator.Engine.latency
-        | Error e -> failwith ("Experiments.estimator_accuracy: " ^ e)
+        | Error e -> failwith ("Experiments.estimator_accuracy: " ^ Simulator.Engine.string_of_error e)
       in
       (name, estimated, measured, Float.abs (estimated -. measured) /. measured))
     circuits
@@ -256,7 +260,7 @@ let optimality_study ?(circuit = "[[5,1,3]]") ?(candidate_traps = 6) () =
         ~num_qubits:nq
     with
     | Ok o -> o
-    | Error e -> failwith ("Experiments.optimality_study: " ^ e)
+    | Error e -> failwith ("Experiments.optimality_study: " ^ Simulator.Engine.string_of_error e)
   in
   let center = solve_exn "center" (Mapper.map_center ctx) in
   let mvfb = solve_exn "MVFB" (Mapper.map_mvfb ~m:10 ctx) in
@@ -331,7 +335,7 @@ let objective_study ?(circuit = "[[9,1,3]]") ?(samples = 40) () =
                 (Noise.Exposure.of_trace ~num_qubits:nq r.Simulator.Engine.trace)
             in
             (r.Simulator.Engine.latency, err)
-        | Error e -> failwith ("Experiments.objective_study: " ^ e))
+        | Error e -> failwith ("Experiments.objective_study: " ^ Simulator.Engine.string_of_error e))
   in
   let best_by f = List.fold_left (fun acc x -> if f x < f acc then x else acc) (List.hd evaluated) evaluated in
   let lat_l, lat_e = best_by fst in
@@ -346,7 +350,7 @@ let wave_study ?(m = 5) ?circuits () =
       let wave =
         match Wave_mapper.map ctx with
         | Ok o -> o
-        | Error e -> failwith ("Experiments.wave_study: " ^ e)
+        | Error e -> failwith ("Experiments.wave_study: " ^ Mapper.error_to_string e)
       in
       let overused =
         List.fold_left (fun acc (l : Wave_mapper.level_stat) -> acc + l.Wave_mapper.overused) 0
@@ -375,7 +379,7 @@ let eq1_breakdown ?(m = 5) ?circuits () =
         match placement_of with
         | Ok (r : Simulator.Engine.result) ->
             Simulator.Breakdown.of_result ~timing:tm ~dag:(Mapper.dag ctx) r
-        | Error e -> failwith ("Experiments.eq1_breakdown: " ^ e)
+        | Error e -> failwith ("Experiments.eq1_breakdown: " ^ Simulator.Engine.string_of_error e)
       in
       (* engine-level runs so per-instruction stats are available *)
       let qspr_sol = solve_exn "QSPR" (Mapper.map_mvfb ~m ctx) in
@@ -449,7 +453,7 @@ let priority_study ?(circuit = "[[9,1,3]]") () =
       let priorities = Scheduler.Priority.compute policy ~delay (Mapper.dag ctx) in
       match Mapper.run_with ctx ~policy:cfg.Config.qspr_policy ~priorities ~placement with
       | Ok r -> (name, r.Simulator.Engine.latency)
-      | Error e -> failwith ("Experiments.priority_study: " ^ e))
+      | Error e -> failwith ("Experiments.priority_study: " ^ Simulator.Engine.string_of_error e))
     policies
 
 let fig23 () =
@@ -488,21 +492,24 @@ let fig5 () =
   let dst = node_at (Coord.make 14 2) v in
   (* compose a path through explicit waypoint nodes; each leg is routed
      turn-aware, so a straight leg stays straight *)
+  (* an unroutable leg skips its composed path (reported in the output)
+     instead of aborting the whole figure *)
   let leg a b =
     match
       Router.Dijkstra.shortest_path graph
         ~weight:(Router.Congestion.weight cong ~turn_cost:(Router.Timing.turn_cost_in_moves Router.Timing.paper))
         ~src:a ~dst:b
     with
-    | Some r -> r.Router.Dijkstra.edges
-    | None -> failwith "fig5: leg unroutable"
+    | Some r -> Ok r.Router.Dijkstra.edges
+    | None -> Error (Printf.sprintf "leg node %d -> node %d unroutable" a b)
   in
   let via waypoints =
     let rec go acc = function
-      | a :: (b :: _ as rest) -> go (acc @ leg a b) rest
-      | [ _ ] | [] -> acc
+      | a :: (b :: _ as rest) -> (
+          match leg a b with Ok edges -> go (acc @ edges) rest | Error _ as e -> e)
+      | [ _ ] | [] -> Ok acc
     in
-    { Router.Path.src; dst; cost = 0.0; edges = go [] waypoints }
+    Result.map (fun edges -> { Router.Path.src; dst; cost = 0.0; edges }) (go [] waypoints)
   in
   let direct = via [ src; node_at (Coord.make 14 12) h; dst ] in
   let zigzag =
@@ -522,13 +529,15 @@ let fig5 () =
   in
   let turn_aware_cost = model_cost (Router.Timing.turn_cost_in_moves Router.Timing.paper) in
   let blind_cost = model_cost 0.0 in
-  let describe label p =
-    Printf.sprintf
-      "%s: %d moves, %d turns; executed delay %.0f us; model cost %.0f (turn-aware) vs %.0f (turn-blind)\n%s"
-      label (Router.Path.moves p) (Router.Path.turns p)
-      (Router.Path.duration Router.Timing.paper p)
-      (turn_aware_cost p) (blind_cost p)
-      (Fabric.Render.path lay (Router.Path.cells graph p))
+  let describe label = function
+    | Ok p ->
+        Printf.sprintf
+          "%s: %d moves, %d turns; executed delay %.0f us; model cost %.0f (turn-aware) vs %.0f (turn-blind)\n%s"
+          label (Router.Path.moves p) (Router.Path.turns p)
+          (Router.Path.duration Router.Timing.paper p)
+          (turn_aware_cost p) (blind_cost p)
+          (Fabric.Render.path lay (Router.Path.cells graph p))
+    | Error reason -> Printf.sprintf "%s: skipped — %s\n" label reason
   in
   let chosen =
     match
@@ -537,15 +546,30 @@ let fig5 () =
           (Router.Congestion.weight cong ~turn_cost:(Router.Timing.turn_cost_in_moves Router.Timing.paper))
         ~src ~dst
     with
-    | Some r -> Router.Path.of_result ~src ~dst r
-    | None -> failwith "fig5: no route"
+    | Some r -> Ok (Router.Path.of_result ~src ~dst r)
+    | None -> Error "src and dst are not connected"
   in
-  Printf.sprintf
-    "Routing graph models (paper Figure 5): the direct and zigzag routes have\n\
-     equal Manhattan distance, so the turn-blind model rates them identically\n\
-     (both cost %d) and may pick either; the turn-aware model separates them\n\
-     (%.0f vs %.0f) and always selects the single-turn path.\n\n%s\n%s\nDijkstra under turn-aware weights selects: %d moves, %d turns (the direct path).\n"
-    (Router.Path.moves direct) (turn_aware_cost direct) (turn_aware_cost zigzag)
+  let header =
+    match (direct, zigzag) with
+    | Ok d, Ok z ->
+        Printf.sprintf
+          "Routing graph models (paper Figure 5): the direct and zigzag routes have\n\
+           equal Manhattan distance, so the turn-blind model rates them identically\n\
+           (both cost %d) and may pick either; the turn-aware model separates them\n\
+           (%.0f vs %.0f) and always selects the single-turn path.\n"
+          (Router.Path.moves d) (turn_aware_cost d) (turn_aware_cost z)
+    | _ ->
+        "Routing graph models (paper Figure 5): one or more composed routes were\n\
+         unroutable on this tile; the affected paths are reported as skipped below.\n"
+  in
+  let footer =
+    match chosen with
+    | Ok p ->
+        Printf.sprintf "Dijkstra under turn-aware weights selects: %d moves, %d turns (the direct path).\n"
+          (Router.Path.moves p) (Router.Path.turns p)
+    | Error reason -> Printf.sprintf "Dijkstra under turn-aware weights: skipped — %s.\n" reason
+  in
+  Printf.sprintf "%s\n%s\n%s\n%s" header
     (describe "path (1), direct" direct)
     (describe "path (2), zigzag" zigzag)
-    (Router.Path.moves chosen) (Router.Path.turns chosen)
+    footer

@@ -26,7 +26,7 @@ let run ?(noise = Noise.Model.default) ?(error_threshold = 0.05) ?(efforts = [ 5
               | None -> Error "Flow.run: no mapping attempt succeeded")
           | m :: rest -> (
               match Mapper.map_mvfb ~m ctx with
-              | Error _ as e -> e
+              | Error e -> Error (Mapper.error_to_string e)
               | Ok sol ->
                   let exposures = Noise.Exposure.of_trace ~num_qubits:nq sol.Mapper.trace in
                   let error_probability = Noise.Estimate.error_probability noise exposures in

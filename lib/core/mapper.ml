@@ -16,6 +16,38 @@ type t = {
          domain before any pool fan-out — Lazy.force is not domain-safe *)
 }
 
+(* ------------------------------------------------------------------ *)
+(* Typed mapping failures                                             *)
+
+type error =
+  | Unroutable of { net_id : int; src_trap : int; dst_trap : int; iterations : int }
+  | Deadlock of { stuck : int }
+  | Livelock of { events : int; budget : int }
+  | Infeasible_placement of string
+  | Budget_exhausted of { attempts : int; last : error }
+  | Invalid of string
+
+let rec error_to_string = function
+  | Unroutable { net_id; src_trap; dst_trap; iterations } ->
+      Printf.sprintf "unroutable: net %d (trap %d -> trap %d) has no route after %d iteration(s)"
+        net_id src_trap dst_trap iterations
+  | Deadlock { stuck } ->
+      Printf.sprintf "deadlock: %d instruction(s) unroutable with an idle fabric" stuck
+  | Livelock { events; budget } ->
+      Printf.sprintf "livelock: %d events exceeded the budget of %d" events budget
+  | Infeasible_placement msg -> "infeasible placement: " ^ msg
+  | Budget_exhausted { attempts; last } ->
+      Printf.sprintf "budget exhausted after %d attempt(s); last failure: %s" attempts
+        (error_to_string last)
+  | Invalid msg -> msg
+
+let of_engine_error = function
+  | Engine.Invalid msg -> Invalid msg
+  | Engine.Deadlock { stuck } -> Deadlock { stuck }
+  | Engine.Livelock { events; budget } -> Livelock { events; budget }
+
+type attempt = { stage : string; seed : int; outcome : (float, error) result }
+
 type solution = {
   latency : float;
   trace : Trace.t;
@@ -26,6 +58,8 @@ type solution = {
   run_latencies : float list;
   engine_evals : int;
   cpu_time_s : float;
+  attempts : attempt list;
+  degraded : bool;
 }
 
 let graph t = t.graph
@@ -99,7 +133,9 @@ let run_backward t placement =
       Engine.run ~graph:t.graph ~timing:t.config.Config.timing ~policy:t.config.Config.qspr_policy
         ~dag:udag ~priorities:prios ~placement ()
   | None, _ | _, None ->
-      Error "Mapper.run_backward: program is not unitary, the uncompute graph does not exist"
+      Error
+        (Engine.Invalid
+           "Mapper.run_backward: program is not unitary, the uncompute graph does not exist")
 
 (* UIDG node k corresponds to forward node: declarations map to themselves,
    the j-th gate (in UIDG program order) to the (G-1-j)-th forward gate.
@@ -129,7 +165,7 @@ let remap_trace_ids map trace =
     trace
 
 let solution_of_engine ~ctx ~runs ~run_latencies ~evals ~cpu ~direction ~initial
-    (r : Engine.result) =
+    ?(attempts = []) ?(degraded = false) (r : Engine.result) =
   match direction with
   | Placer.Mvfb.Forward ->
       {
@@ -142,6 +178,8 @@ let solution_of_engine ~ctx ~runs ~run_latencies ~evals ~cpu ~direction ~initial
         run_latencies;
         engine_evals = evals;
         cpu_time_s = cpu;
+        attempts;
+        degraded;
       }
   | Placer.Mvfb.Backward ->
       (* a backward winner executes forward as the time-reversed trace (with
@@ -162,6 +200,8 @@ let solution_of_engine ~ctx ~runs ~run_latencies ~evals ~cpu ~direction ~initial
         run_latencies;
         engine_evals = evals;
         cpu_time_s = cpu;
+        attempts;
+        degraded;
       }
 
 let estimator_model t = Lazy.force t.estimator
@@ -182,73 +222,156 @@ let prescreen_of t arg =
       let model = Lazy.force t.estimator in
       Some (k, Estimator.Model.estimate model)
 
+(* Arm the wall-clock side of a budget: the deadline starts when the search
+   starts.  The evaluation cap is handed to the placers verbatim — they
+   truncate deterministically in run order. *)
+let out_of_time_of (budget : Config.budget) =
+  match budget.Config.wall_s with
+  | None -> fun () -> false
+  | Some s ->
+      let deadline = Unix.gettimeofday () +. s in
+      fun () -> Unix.gettimeofday () > deadline
+
+let attempt_of ~stage ~seed outcome = { stage; seed; outcome }
+
 let map_mvfb ?m ?jobs ?prescreen_k t =
   let m = Option.value ~default:t.config.Config.m m in
   let jobs = Option.value ~default:t.config.Config.jobs jobs in
   let prescreen = prescreen_of t prescreen_k in
+  let seed = t.config.Config.rng_seed in
   let t0 = Sys.time () in
   match
     Ion_util.Domain_pool.with_pool ~jobs (fun pool ->
-        Placer.Mvfb.search ~pool ?prescreen ~seed:t.config.Config.rng_seed ~m
+        Placer.Mvfb.search ~pool ?prescreen ~seed ~m
           ~patience:t.config.Config.patience ~forward:(run_forward t) ~backward:(run_backward t)
           t.comp
           ~num_qubits:(Program.num_qubits t.program))
   with
-  | Error _ as e -> e
+  | Error e -> Error (of_engine_error e)
   | Ok o ->
       let cpu = Sys.time () -. t0 in
+      let latency = o.Placer.Mvfb.result.Engine.latency in
       Ok
         (solution_of_engine ~ctx:t ~runs:o.Placer.Mvfb.runs ~run_latencies:o.Placer.Mvfb.latencies
            ~evals:o.Placer.Mvfb.evaluations ~cpu ~direction:o.Placer.Mvfb.direction
-           ~initial:o.Placer.Mvfb.initial_placement o.Placer.Mvfb.result)
+           ~initial:o.Placer.Mvfb.initial_placement
+           ~attempts:[ attempt_of ~stage:"mvfb" ~seed (Ok latency) ]
+           o.Placer.Mvfb.result)
 
 let map_monte_carlo ~runs ?jobs ?prescreen_k t =
   let jobs = Option.value ~default:t.config.Config.jobs jobs in
   let prescreen = prescreen_of t prescreen_k in
+  let budget = t.config.Config.budget in
+  let seed = t.config.Config.rng_seed in
   let t0 = Sys.time () in
+  let out_of_time = out_of_time_of budget in
   match
     Ion_util.Domain_pool.with_pool ~jobs (fun pool ->
-        Placer.Monte_carlo.search ~pool ?prescreen ~seed:t.config.Config.rng_seed ~runs
-          ~evaluate:(run_forward t) t.comp
+        Placer.Monte_carlo.search ~pool ?prescreen ?max_evals:budget.Config.max_evals ~out_of_time
+          ~seed ~runs ~evaluate:(run_forward t) t.comp
           ~num_qubits:(Program.num_qubits t.program))
   with
-  | Error _ as e -> e
+  | Error e -> Error (of_engine_error e)
   | Ok o ->
       let cpu = Sys.time () -. t0 in
+      let latency = o.Placer.Monte_carlo.result.Engine.latency in
       Ok
         (solution_of_engine ~ctx:t ~runs:o.Placer.Monte_carlo.runs
            ~run_latencies:o.Placer.Monte_carlo.latencies ~evals:o.Placer.Monte_carlo.evaluations
            ~cpu ~direction:Placer.Mvfb.Forward ~initial:o.Placer.Monte_carlo.placement
-           o.Placer.Monte_carlo.result)
+           ~attempts:[ attempt_of ~stage:"mc" ~seed (Ok latency) ]
+           ~degraded:o.Placer.Monte_carlo.truncated o.Placer.Monte_carlo.result)
 
 let map_annealing ?evaluations ?jobs ?prescreen_k t =
   let evaluations = Option.value ~default:t.config.Config.m evaluations in
   let jobs = Option.value ~default:t.config.Config.jobs jobs in
   let prescreen = prescreen_of t prescreen_k in
+  let budget = t.config.Config.budget in
+  let seed = t.config.Config.rng_seed in
   let t0 = Sys.time () in
+  let out_of_time = out_of_time_of budget in
   match
     Ion_util.Domain_pool.with_pool ~jobs (fun pool ->
-        Placer.Annealing.search ~pool ?prescreen
-          ~rng:(Ion_util.Rng.create t.config.Config.rng_seed)
+        Placer.Annealing.search ~pool ?prescreen ?max_evals:budget.Config.max_evals ~out_of_time
+          ~rng:(Ion_util.Rng.create seed)
           ~evaluations ~evaluate:(run_forward t) t.comp
           ~num_qubits:(Program.num_qubits t.program))
   with
-  | Error _ as e -> e
+  | Error e -> Error (of_engine_error e)
   | Ok o ->
       let cpu = Sys.time () -. t0 in
+      let latency = o.Placer.Annealing.result.Engine.latency in
       Ok
         (solution_of_engine ~ctx:t ~runs:o.Placer.Annealing.evaluations
            ~run_latencies:o.Placer.Annealing.latencies ~evals:o.Placer.Annealing.evaluations ~cpu
            ~direction:Placer.Mvfb.Forward ~initial:o.Placer.Annealing.placement
-           o.Placer.Annealing.result)
+           ~attempts:[ attempt_of ~stage:"sa" ~seed (Ok latency) ]
+           ~degraded:o.Placer.Annealing.truncated o.Placer.Annealing.result)
 
 let map_center t =
   let placement = Placer.Center.place t.comp ~num_qubits:(Program.num_qubits t.program) in
+  let seed = t.config.Config.rng_seed in
   let t0 = Sys.time () in
   match run_forward t placement with
-  | Error _ as e -> e
+  | Error e -> Error (of_engine_error e)
   | Ok r ->
       let cpu = Sys.time () -. t0 in
       Ok
         (solution_of_engine ~ctx:t ~runs:1 ~run_latencies:[ r.Engine.latency ] ~evals:1 ~cpu
-           ~direction:Placer.Mvfb.Forward ~initial:placement r)
+           ~direction:Placer.Mvfb.Forward ~initial:placement
+           ~attempts:[ attempt_of ~stage:"center" ~seed (Ok r.Engine.latency) ]
+           r)
+
+(* ------------------------------------------------------------------ *)
+(* Hardened pipeline: bounded deterministic retry/fallback cascade     *)
+
+type retry = { max_attempts : int; reseed_step : int; relax_trap_candidates : int }
+
+let default_retry = { max_attempts = 5; reseed_step = 1; relax_trap_candidates = 2 }
+
+let with_seed seed t = { t with config = Config.with_seed seed t.config }
+
+(* widen the engine's per-issue trap candidate fan-out — the Pathfinder-style
+   congestion relaxation available to the event-driven router *)
+let relax_policy extra t =
+  let p = t.config.Config.qspr_policy in
+  let qspr_policy =
+    { p with Engine.trap_candidates = p.Engine.trap_candidates + max 0 extra }
+  in
+  { t with config = { t.config with Config.qspr_policy } }
+
+let map_robust ?(retry = default_retry) ?jobs t =
+  let seed = t.config.Config.rng_seed in
+  let step i = seed + (i * retry.reseed_step) in
+  (* the escalation ladder: re-seed the placer, switch placer
+     (mvfb -> mc -> annealing), then relax the routing policy *)
+  let stages =
+    [
+      ("mvfb", fun () -> map_mvfb ?jobs t);
+      ("mvfb+reseed", fun () -> map_mvfb ?jobs (with_seed (step 1) t));
+      ("mc", fun () -> map_monte_carlo ~runs:t.config.Config.m ?jobs (with_seed (step 2) t));
+      ("sa", fun () -> map_annealing ?jobs (with_seed (step 3) t));
+      ( "mvfb+relaxed",
+        fun () -> map_mvfb ?jobs (relax_policy retry.relax_trap_candidates (with_seed (step 4) t))
+      );
+    ]
+  in
+  let rec go n failures = function
+    | [] -> (
+        match failures with
+        | [] -> Error (Invalid "Mapper.map_robust: no stages attempted")
+        | { outcome = Error last; _ } :: _ -> Error (Budget_exhausted { attempts = n; last })
+        | { outcome = Ok _; _ } :: _ -> assert false)
+    | _ when n >= retry.max_attempts -> (
+        match failures with
+        | { outcome = Error last; _ } :: _ -> Error (Budget_exhausted { attempts = n; last })
+        | _ -> Error (Invalid "Mapper.map_robust: retry budget must allow at least one attempt"))
+    | (stage, run) :: rest -> (
+        let stage_seed = step (List.length failures) in
+        match run () with
+        | Ok s ->
+            let audit = List.rev (attempt_of ~stage ~seed:stage_seed (Ok s.latency) :: failures) in
+            Ok { s with attempts = audit; degraded = s.degraded || failures <> [] }
+        | Error e -> go (n + 1) (attempt_of ~stage ~seed:stage_seed (Error e) :: failures) rest)
+  in
+  go 0 [] stages

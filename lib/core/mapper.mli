@@ -25,6 +25,36 @@ val config : t -> Config.t
 val ideal_latency : t -> float
 (** The Section V.A baseline: QIDG critical path, no routing or congestion. *)
 
+(** Why a mapping attempt failed — every search entry point returns these
+    instead of strings, so callers (the retry cascade, fault campaigns, the
+    CLI) can react to the failure class. *)
+type error =
+  | Unroutable of { net_id : int; src_trap : int; dst_trap : int; iterations : int }
+      (** a routing net's endpoint traps are not connected (Pathfinder-style
+          simultaneous routing; carries the negotiation round) *)
+  | Deadlock of { stuck : int }
+      (** the engine's event queue drained with instructions outstanding —
+          operands unroutable even on an idle fabric *)
+  | Livelock of { events : int; budget : int }
+      (** the engine exceeded its event budget without completing *)
+  | Infeasible_placement of string
+      (** the (possibly degraded) fabric cannot hold the circuit at all *)
+  | Budget_exhausted of { attempts : int; last : error }
+      (** the retry cascade ran out of attempts; [last] is the final failure *)
+  | Invalid of string  (** malformed arguments or non-unitary backward request *)
+
+val error_to_string : error -> string
+(** Human-readable rendering of a mapping failure. *)
+
+val of_engine_error : Simulator.Engine.error -> error
+(** Lift an engine failure into the mapper's error type. *)
+
+type attempt = {
+  stage : string;  (** cascade stage label: ["mvfb"], ["mc"], ["sa"], ... *)
+  seed : int;  (** rng seed the stage ran under *)
+  outcome : (float, error) result;  (** winning latency, or why it failed *)
+}
+
 type solution = {
   latency : float;  (** execution latency, us *)
   trace : Simulator.Trace.t;  (** forward-executable micro-command trace *)
@@ -37,13 +67,19 @@ type solution = {
       (** engine evaluations actually performed — less than [placement_runs]
           when duplicates were deduplicated or candidates pre-screened out *)
   cpu_time_s : float;
+  attempts : attempt list;
+      (** full audit of the search attempts that produced this solution, in
+          order; single-stage searches record exactly one entry *)
+  degraded : bool;
+      (** the solution is best-so-far rather than the full search's best: a
+          budget truncated the search, or earlier cascade stages failed *)
 }
 
-val run_forward : t -> int array -> (Simulator.Engine.result, string) result
+val run_forward : t -> int array -> (Simulator.Engine.result, Simulator.Engine.error) result
 (** One forward engine run (QIDG, schedule S, QSPR policy) from a given
     placement — the building block of all placers. *)
 
-val run_backward : t -> int array -> (Simulator.Engine.result, string) result
+val run_backward : t -> int array -> (Simulator.Engine.result, Simulator.Engine.error) result
 (** One backward run: UIDG under the reversed schedule S*.  Fails for
     non-unitary programs. *)
 
@@ -52,11 +88,11 @@ val run_with :
   policy:Simulator.Engine.policy ->
   priorities:float array ->
   placement:int array ->
-  (Simulator.Engine.result, string) result
+  (Simulator.Engine.result, Simulator.Engine.error) result
 (** Escape hatch for custom policies (used by the QUALE mode and the
     ablation benches). *)
 
-val map_mvfb : ?m:int -> ?jobs:int -> ?prescreen_k:int -> t -> (solution, string) result
+val map_mvfb : ?m:int -> ?jobs:int -> ?prescreen_k:int -> t -> (solution, error) result
 (** The full QSPR flow: MVFB placement (defaulting to the config's [m]),
     best of all forward/backward runs; backward winners are reported as
     reversed traces (Section IV.A).  [jobs] (default: the config's [jobs])
@@ -68,23 +104,51 @@ val map_mvfb : ?m:int -> ?jobs:int -> ?prescreen_k:int -> t -> (solution, string
     {!estimate} model and locally searches only the [k] best-estimated;
     [0] forces pre-screening off regardless of the config. *)
 
-val map_monte_carlo : runs:int -> ?jobs:int -> ?prescreen_k:int -> t -> (solution, string) result
+val map_monte_carlo : runs:int -> ?jobs:int -> ?prescreen_k:int -> t -> (solution, error) result
 (** Best of [runs] random center placements under the QSPR engine.  [jobs]
     and [prescreen_k] behave as in {!map_mvfb}: parallel fan-out of the
     independent runs with bit-identical results at any job count, and
     estimator pre-screening routing only the [k] best-estimated unique
-    candidates. *)
+    candidates.
 
-val map_annealing : ?evaluations:int -> ?jobs:int -> ?prescreen_k:int -> t -> (solution, string) result
+    The config's {!Config.budget} makes the search anytime: an evaluation
+    cap truncates candidates deterministically in run order, a wall-clock
+    budget stops between evaluation chunks; either marks the solution
+    [degraded]. *)
+
+val map_annealing : ?evaluations:int -> ?jobs:int -> ?prescreen_k:int -> t -> (solution, error) result
 (** Simulated-annealing placement ({!Placer.Annealing}) under the QSPR
     engine, seeded from the config's [rng_seed].  [evaluations] defaults to
     the config's [m] so the budget matches the MVFB/MC comparison.  The
     anneal itself is sequential; [prescreen_k] draws that many candidate
     starts and anneals from the best-estimated one, with [jobs] fanning the
-    estimates out. *)
+    estimates out.  The config's {!Config.budget} caps the cooling schedule
+    (deterministic) and the wall clock (anytime), marking the solution
+    [degraded] when cut. *)
 
-val map_center : t -> (solution, string) result
+val map_center : t -> (solution, error) result
 (** Single deterministic center placement under the QSPR engine. *)
+
+type retry = {
+  max_attempts : int;  (** total stages tried before giving up (default 5) *)
+  reseed_step : int;  (** seed increment between stages (default 1) *)
+  relax_trap_candidates : int;
+      (** extra per-issue trap candidates for the final relaxed stage
+          (default 2) — the event-driven router's congestion relaxation *)
+}
+
+val default_retry : retry
+
+val map_robust : ?retry:retry -> ?jobs:int -> t -> (solution, error) result
+(** The hardened pipeline: escalate deterministically through
+    mvfb -> mvfb re-seeded -> monte-carlo -> annealing -> mvfb under a
+    relaxed routing policy, stopping at the first success, bounded by
+    [retry.max_attempts].  The winning solution carries the full [attempts]
+    audit (failures included) and is marked [degraded] when any earlier
+    stage failed.  When every attempt fails the result is
+    [Budget_exhausted] carrying the last underlying failure.  The cascade
+    is a pure function of the context and [retry] — same inputs, same
+    stages, same seeds. *)
 
 val estimate : t -> int array -> float
 (** LEQA-style latency estimate ({!Estimator.Model}) of an initial

@@ -14,7 +14,7 @@ let map ctx =
   match
     Mapper.run_with ctx ~policy:cfg.Config.quale_policy ~priorities:(alap_priorities ctx) ~placement
   with
-  | Error _ as e -> e
+  | Error e -> Error (Mapper.of_engine_error e)
   | Ok r ->
       let cpu = Sys.time () -. t0 in
       Ok
@@ -28,4 +28,7 @@ let map ctx =
           run_latencies = [ r.Simulator.Engine.latency ];
           engine_evals = 1;
           cpu_time_s = cpu;
+          attempts =
+            [ { Mapper.stage = "quale"; seed = cfg.Config.rng_seed; outcome = Ok r.Simulator.Engine.latency } ];
+          degraded = false;
         }

@@ -8,6 +8,6 @@
     differences measure exactly the policy gap the paper reports in
     Table 2. *)
 
-val map : Mapper.t -> (Mapper.solution, string) result
+val map : Mapper.t -> (Mapper.solution, Mapper.error) result
 
 val alap_priorities : Mapper.t -> float array

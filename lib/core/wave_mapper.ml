@@ -58,7 +58,8 @@ let map ?placement ctx =
   let placement =
     match placement with Some p -> Array.copy p | None -> Placer.Center.place comp ~num_qubits:nq
   in
-  if Array.length placement <> nq then Error "Wave_mapper.map: placement length mismatch"
+  if Array.length placement <> nq then
+    Error (Mapper.Invalid "Wave_mapper.map: placement length mismatch")
   else begin
     let traps = Fabric.Component.traps comp in
     let capacity = function
@@ -78,6 +79,7 @@ let map ?placement ctx =
           (* seat each 2q gate in its own trap *)
           let chosen = Hashtbl.create 8 in
           let nets = ref [] in
+          let net_traps = Hashtbl.create 8 in
           let net_id = ref 0 in
           let max_gate = ref 0.0 in
           List.iter
@@ -94,12 +96,17 @@ let map ?placement ctx =
                     in
                     let mid = Coord.midpoint (trap_pos placement.(c)) (trap_pos placement.(t)) in
                     match List.find_opt available (Fabric.Component.nearest_traps comp mid) with
-                    | None -> error := Some (Printf.sprintf "level cannot seat gate %d" id)
+                    | None ->
+                        error :=
+                          Some
+                            (Mapper.Infeasible_placement
+                               (Printf.sprintf "Wave_mapper.map: level cannot seat gate %d" id))
                     | Some target ->
                         Hashtbl.replace chosen target ();
                         List.iter
                           (fun q ->
                             if placement.(q) <> target then begin
+                              Hashtbl.replace net_traps !net_id (placement.(q), target);
                               nets :=
                                 {
                                   Router.Pathfinder.net_id = !net_id;
@@ -124,7 +131,14 @@ let map ?placement ctx =
                   ~turn_cost:(Router.Timing.turn_cost_in_moves tm)
                   ~capacity nets
               with
-              | Error e -> error := Some e
+              | Error (Router.Pathfinder.No_route { net_id; iteration; _ }) ->
+                  (* name the offending traps, not graph nodes — the net was
+                     built here, so its endpoints are known exactly *)
+                  let src_trap, dst_trap =
+                    Option.value ~default:(-1, -1) (Hashtbl.find_opt net_traps net_id)
+                  in
+                  error := Some (Mapper.Unroutable { net_id; src_trap; dst_trap; iterations = iteration })
+              | Error (Router.Pathfinder.Bad_parameters msg) -> error := Some (Mapper.Invalid msg)
               | Ok o ->
                   let max_route =
                     List.fold_left
@@ -145,6 +159,6 @@ let map ?placement ctx =
         end)
       (levels_of dag);
     match !error with
-    | Some e -> Error ("Wave_mapper.map: " ^ e)
+    | Some e -> Error e
     | None -> Ok { latency = !clock; levels = List.rev !stats; final_placement = placement }
   end

@@ -33,7 +33,9 @@ type outcome = {
   final_placement : int array;
 }
 
-val map : ?placement:int array -> Mapper.t -> (outcome, string) result
+val map : ?placement:int array -> Mapper.t -> (outcome, Mapper.error) result
 (** Maps the context's program from the given placement (default: center
-    placement).  Fails on non-routable nets or if a level cannot seat all
-    its gates in distinct traps. *)
+    placement).  Fails with {!Mapper.Unroutable} (naming the endpoint traps
+    and the PathFinder iteration) on non-routable nets, or
+    {!Mapper.Infeasible_placement} if a level cannot seat all its gates in
+    distinct traps. *)

@@ -6,6 +6,7 @@ type outcome = {
   evaluations : int;
   accepted : int;
   latencies : float list;
+  truncated : bool;
 }
 
 (* propose a neighbour: swap two qubits' traps, or move one qubit to an
@@ -47,18 +48,25 @@ let prescreen_start ?domain_pool ~rng ~n ~estimate comp ~num_qubits =
   done;
   candidates.(!best)
 
-let search ?pool:domain_pool ?prescreen ~rng ?(initial_temperature = 100.0) ?(cooling = 0.95)
-    ?(evaluations = 60) ?candidate_traps ~evaluate comp ~num_qubits =
+let search ?pool:domain_pool ?prescreen ?max_evals ?(out_of_time = fun () -> false) ~rng
+    ?(initial_temperature = 100.0) ?(cooling = 0.95) ?(evaluations = 60) ?candidate_traps
+    ~evaluate comp ~num_qubits =
   let candidate_traps = Option.value ~default:(3 * num_qubits) candidate_traps in
+  let invalid msg = Error (Simulator.Engine.Invalid msg) in
+  (* deterministic evaluation budget: cap the schedule length up front *)
+  let capped = match max_evals with Some cap -> max 1 cap < evaluations | None -> false in
+  let evaluations =
+    match max_evals with Some cap -> min evaluations (max 1 cap) | None -> evaluations
+  in
   if initial_temperature <= 0.0 || cooling <= 0.0 || cooling >= 1.0 then
-    Error "Annealing.search: bad temperature schedule"
-  else if evaluations < 1 then Error "Annealing.search: need at least one evaluation"
-  else if candidate_traps < num_qubits then Error "Annealing.search: candidate pool too small"
+    invalid "Annealing.search: bad temperature schedule"
+  else if evaluations < 1 then invalid "Annealing.search: need at least one evaluation"
+  else if candidate_traps < num_qubits then invalid "Annealing.search: candidate pool too small"
   else if (match prescreen with Some (n, _) -> n < 1 | None -> false) then
-    Error "Annealing.search: prescreen candidates must be at least 1"
+    invalid "Annealing.search: prescreen candidates must be at least 1"
   else begin
     match Center.center_traps comp candidate_traps with
-    | exception Invalid_argument msg -> Error msg
+    | exception Invalid_argument msg -> invalid msg
     | pool_list -> (
         let pool = Array.of_list pool_list in
         let current =
@@ -79,7 +87,10 @@ let search ?pool:domain_pool ?prescreen ~rng ?(initial_temperature = 100.0) ?(co
             let temperature = ref initial_temperature in
             let error = ref None in
             let evals = ref 1 in
-            while !error = None && !evals < evaluations do
+            let timed_out = ref false in
+            while !error = None && !evals < evaluations && not !timed_out do
+              if out_of_time () then timed_out := true
+              else begin
               let candidate = propose rng pool !current in
               (match evaluate candidate with
               | Error e -> error := Some e
@@ -100,11 +111,20 @@ let search ?pool:domain_pool ?prescreen ~rng ?(initial_temperature = 100.0) ?(co
                       best_cost := cost
                     end
                   end);
-              temperature := !temperature *. cooling
+                temperature := !temperature *. cooling
+              end
             done;
             (match !error with
             | Some e -> Error e
             | None ->
                 let placement, result = !best in
-                Ok { placement; result; evaluations = !evals; accepted = !accepted; latencies = List.rev !latencies }))
+                Ok
+                  {
+                    placement;
+                    result;
+                    evaluations = !evals;
+                    accepted = !accepted;
+                    latencies = List.rev !latencies;
+                    truncated = capped || !timed_out;
+                  }))
   end

@@ -15,23 +15,34 @@ type outcome = {
   evaluations : int;
   accepted : int;  (** accepted proposals (including improvements) *)
   latencies : float list;  (** cost of every evaluated placement, in order *)
+  truncated : bool;
+      (** the anneal stopped early on an evaluation or wall-clock budget —
+          the result is the best placement seen so far *)
 }
 
 val search :
   ?pool:Ion_util.Domain_pool.t ->
   ?prescreen:int * (int array -> float) ->
+  ?max_evals:int ->
+  ?out_of_time:(unit -> bool) ->
   rng:Ion_util.Rng.t ->
   ?initial_temperature:float ->
   ?cooling:float ->
   ?evaluations:int ->
   ?candidate_traps:int ->
-  evaluate:(int array -> (Simulator.Engine.result, string) result) ->
+  evaluate:(int array -> (Simulator.Engine.result, Simulator.Engine.error) result) ->
   Fabric.Component.t ->
   num_qubits:int ->
-  (outcome, string) result
+  (outcome, Simulator.Engine.error) result
 (** Defaults: temperature 100 us, cooling 0.95 per step, 60 evaluations,
     candidate pool of [3 * num_qubits] nearest-center traps.  [Error] on
-    invalid parameters or a failing evaluation.
+    invalid parameters (as {!Simulator.Engine.Invalid}) or a failing
+    evaluation.
+
+    Budgets make the anneal anytime: [max_evals] deterministically caps the
+    cooling schedule length, and [out_of_time] is polled before each
+    evaluation to stop on a wall-clock deadline.  The start placement is
+    always evaluated; a budget cut sets [truncated].
 
     [prescreen = (n, estimate)] draws [n] random starts and anneals from the
     best-estimated one instead of the first draw; the starts consume the rng

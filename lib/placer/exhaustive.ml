@@ -43,15 +43,17 @@ let iter_injections pool k f =
 
 let search ?candidate_traps ?(max_evaluations = 50_000) ~evaluate comp ~num_qubits =
   let candidate_traps = Option.value ~default:(num_qubits + 1) candidate_traps in
-  if candidate_traps < num_qubits then Error "Exhaustive.search: fewer candidate traps than qubits"
+  let invalid msg = Error (Simulator.Engine.Invalid msg) in
+  if candidate_traps < num_qubits then
+    invalid "Exhaustive.search: fewer candidate traps than qubits"
   else begin
     let space = search_space ~candidate_traps ~num_qubits in
     if space > max_evaluations then
-      Error
+      invalid
         (Printf.sprintf "Exhaustive.search: %d placements exceed the cap of %d" space max_evaluations)
     else
       match Center.center_traps comp candidate_traps with
-      | exception Invalid_argument msg -> Error msg
+      | exception Invalid_argument msg -> invalid msg
       | traps ->
           let pool = Array.of_list traps in
           let best = ref None in
@@ -79,7 +81,7 @@ let search ?candidate_traps ?(max_evaluations = 50_000) ~evaluate comp ~num_qubi
            with Exit -> ());
           (match (!error, !best) with
           | Some e, _ -> Error e
-          | None, None -> Error "Exhaustive.search: empty search space"
+          | None, None -> Error (Simulator.Engine.Invalid "Exhaustive.search: empty search space")
           | None, Some (placement, result) ->
               Ok { placement; result; evaluated = !evaluated; worst_latency = !worst })
   end

@@ -20,11 +20,11 @@ val search_space : candidate_traps:int -> num_qubits:int -> int
 val search :
   ?candidate_traps:int ->
   ?max_evaluations:int ->
-  evaluate:(int array -> (Simulator.Engine.result, string) result) ->
+  evaluate:(int array -> (Simulator.Engine.result, Simulator.Engine.error) result) ->
   Fabric.Component.t ->
   num_qubits:int ->
-  (outcome, string) result
+  (outcome, Simulator.Engine.error) result
 (** [candidate_traps] defaults to [num_qubits + 1]; [max_evaluations]
     (default 50_000) rejects searches that would run too long.  [Error] when
-    the space exceeds the cap, the fabric is too small, or an evaluation
-    fails. *)
+    the space exceeds the cap or the fabric is too small (both as
+    {!Simulator.Engine.Invalid}), or an evaluation fails. *)

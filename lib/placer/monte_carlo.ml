@@ -4,6 +4,7 @@ type outcome = {
   latencies : float list;
   runs : int;
   evaluations : int;
+  truncated : bool;
 }
 
 (* Map each run index to the index of the first run with an identical
@@ -37,11 +38,33 @@ let select_top_k ~k scores uniques =
   Array.sort Int.compare keep;
   keep
 
-let search ?pool ?prescreen ~seed ~runs ~evaluate comp ~num_qubits =
-  if runs < 1 then Error "Monte_carlo.search: need at least one run"
+(* Anytime evaluation: map [f] over [items] in fixed-size chunks, stopping
+   between chunks once [out_of_time] fires.  Each chunk is fanned out with
+   [amap], so jobs=1 vs jobs=N stay bit-identical over whichever prefix was
+   evaluated; where the wall-clock cut lands is inherently run-dependent. *)
+let chunk_size = 8
+
+let eval_prefix ~out_of_time amap f items =
+  let n = Array.length items in
+  let acc = ref [] in
+  let taken = ref 0 in
+  let stopped = ref false in
+  while !taken < n && not !stopped do
+    let len = min chunk_size (n - !taken) in
+    let chunk = Array.sub items !taken len in
+    acc := amap f chunk :: !acc;
+    taken := !taken + len;
+    if !taken < n && out_of_time () then stopped := true
+  done;
+  (Array.concat (List.rev !acc), !taken, !stopped)
+
+let search ?pool ?prescreen ?max_evals ?(out_of_time = fun () -> false) ~seed ~runs ~evaluate comp
+    ~num_qubits =
+  if runs < 1 then Error (Simulator.Engine.Invalid "Monte_carlo.search: need at least one run")
   else
     match prescreen with
-    | Some (k, _) when k < 1 -> Error "Monte_carlo.search: prescreen_k must be at least 1"
+    | Some (k, _) when k < 1 ->
+        Error (Simulator.Engine.Invalid "Monte_carlo.search: prescreen_k must be at least 1")
     | _ ->
         (* Each run's randomness is a pure function of (seed, run index), so
            every fan-out below is bit-identical whether it executes
@@ -66,7 +89,17 @@ let search ?pool ?prescreen ~seed ~runs ~evaluate comp ~num_qubits =
               select_top_k ~k scores uniques
           | _ -> uniques
         in
-        let routed_results = amap (fun i -> evaluate placements.(i)) routed in
+        (* deterministic evaluation budget: keep the first [max_evals]
+           candidates in run order — best-so-far over a stable prefix *)
+        let routed, capped =
+          match max_evals with
+          | Some cap when cap < Array.length routed -> (Array.sub routed 0 (max 1 cap), true)
+          | _ -> (routed, false)
+        in
+        let routed_results, evaluated, timed_out =
+          eval_prefix ~out_of_time amap (fun i -> evaluate placements.(i)) routed
+        in
+        let routed = Array.sub routed 0 evaluated in
         let result_of = Hashtbl.create (Array.length routed) in
         Array.iteri (fun slot i -> Hashtbl.add result_of i routed_results.(slot)) routed;
         (* Reduce in run order: the first error wins, and latency ties keep
@@ -92,7 +125,7 @@ let search ?pool ?prescreen ~seed ~runs ~evaluate comp ~num_qubits =
         done;
         (match (!error, !best) with
         | Some e, _ -> Error e
-        | None, None -> Error "Monte_carlo.search: no successful run"
+        | None, None -> Error (Simulator.Engine.Invalid "Monte_carlo.search: no successful run")
         | None, Some (placement, result) ->
             Ok
               {
@@ -101,4 +134,5 @@ let search ?pool ?prescreen ~seed ~runs ~evaluate comp ~num_qubits =
                 latencies = List.rev !latencies;
                 runs;
                 evaluations = Array.length routed;
+                truncated = capped || timed_out;
               })

@@ -26,6 +26,9 @@ type outcome = {
           duplicate), in run order; pre-screened-out runs are absent *)
   runs : int;  (** requested runs, pruned or not *)
   evaluations : int;  (** full engine evaluations actually performed *)
+  truncated : bool;
+      (** the search stopped early on an evaluation or wall-clock budget —
+          the result is the best of the evaluated prefix, not of all runs *)
 }
 
 val canonicalize : int array array -> int array
@@ -40,15 +43,23 @@ val select_top_k : k:int -> float array -> int array -> int array
 val search :
   ?pool:Ion_util.Domain_pool.t ->
   ?prescreen:int * (int array -> float) ->
+  ?max_evals:int ->
+  ?out_of_time:(unit -> bool) ->
   seed:int ->
   runs:int ->
-  evaluate:(int array -> (Simulator.Engine.result, string) result) ->
+  evaluate:(int array -> (Simulator.Engine.result, Simulator.Engine.error) result) ->
   Fabric.Component.t ->
   num_qubits:int ->
-  (outcome, string) result
-(** [Error] if [runs < 1], [prescreen] carries [k < 1], or any routed
-    evaluation fails (the first failing run in run order is reported).
-    [prescreen = (k, estimate)] routes only the [k] best-estimated unique
-    candidates (estimate ties keep the earliest run); [estimate] and
-    [evaluate] must be safe to call from several domains at once when a
-    multi-domain [pool] is supplied. *)
+  (outcome, Simulator.Engine.error) result
+(** [Error] if [runs < 1] or [prescreen] carries [k < 1] (both as
+    {!Simulator.Engine.Invalid}), or any routed evaluation fails (the first
+    failing run in run order is reported).  [prescreen = (k, estimate)]
+    routes only the [k] best-estimated unique candidates (estimate ties keep
+    the earliest run); [estimate] and [evaluate] must be safe to call from
+    several domains at once when a multi-domain [pool] is supplied.
+
+    Budgets make the search anytime: [max_evals] deterministically keeps only
+    the first [max_evals] candidates in run order, and [out_of_time] is
+    polled between evaluation chunks to stop on a wall-clock deadline (which
+    chunk it stops after is inherently run-dependent).  At least one
+    candidate is always evaluated; a budget cut sets [truncated]. *)

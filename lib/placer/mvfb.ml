@@ -25,7 +25,7 @@ type seed_outcome = {
   s_best : best option;
   s_latencies : float list; (* in run order *)
   s_runs : int;
-  s_error : string option;
+  s_error : Simulator.Engine.error option;
 }
 
 let search_seed ~patience ~max_runs_per_seed ~forward ~backward initial =
@@ -73,10 +73,11 @@ let search_seed ~patience ~max_runs_per_seed ~forward ~backward initial =
 
 let search ?pool ?prescreen ~seed ~m ?(patience = 3) ?(max_runs_per_seed = 64) ~forward ~backward
     comp ~num_qubits =
-  if m < 1 then Error "Mvfb.search: need at least one seed"
+  if m < 1 then Error (Simulator.Engine.Invalid "Mvfb.search: need at least one seed")
   else
     match prescreen with
-    | Some (k, _) when k < 1 -> Error "Mvfb.search: prescreen_k must be at least 1"
+    | Some (k, _) when k < 1 ->
+        Error (Simulator.Engine.Invalid "Mvfb.search: prescreen_k must be at least 1")
     | _ ->
         (* Seed randomness is a pure function of (seed, seed index): draw all
            initial placements up front, then dedup and (optionally) pre-screen
@@ -130,7 +131,7 @@ let search ?pool ?prescreen ~seed ~m ?(patience = 3) ?(max_runs_per_seed = 64) ~
         let evaluations = Array.fold_left (fun acc s -> acc + s.s_runs) 0 outcomes in
         (match (!error, !best) with
         | Some e, _ -> Error e
-        | None, None -> Error "Mvfb.search: no successful run"
+        | None, None -> Error (Simulator.Engine.Invalid "Mvfb.search: no successful run")
         | None, Some b ->
             Ok
               {

@@ -47,15 +47,16 @@ val search :
   m:int ->
   ?patience:int ->
   ?max_runs_per_seed:int ->
-  forward:(int array -> (Simulator.Engine.result, string) result) ->
-  backward:(int array -> (Simulator.Engine.result, string) result) ->
+  forward:(int array -> (Simulator.Engine.result, Simulator.Engine.error) result) ->
+  backward:(int array -> (Simulator.Engine.result, Simulator.Engine.error) result) ->
   Fabric.Component.t ->
   num_qubits:int ->
-  (outcome, string) result
+  (outcome, Simulator.Engine.error) result
 (** [patience] defaults to 3 (the paper's stopping rule); [max_runs_per_seed]
     (default 64) bounds pathological non-converging seeds.  [Error] on
-    [m < 1], a [prescreen] with [k < 1], or when an evaluation fails (the
-    first failure in seed order is reported).  [prescreen = (k, estimate)]
+    [m < 1], a [prescreen] with [k < 1] (both as {!Simulator.Engine.Invalid}),
+    or when an evaluation fails (the first failure in seed order is
+    reported).  [prescreen = (k, estimate)]
     locally searches only the [k] best-estimated unique seeds; [estimate],
     [forward], and [backward] must be safe to call from several domains at
     once when a multi-domain [pool] is supplied. *)

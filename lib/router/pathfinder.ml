@@ -4,6 +4,16 @@ type net = { net_id : int; src : Graph.node; dst : Graph.node }
 
 type outcome = { routes : (int * Path.t) list; iterations : int; overused : int }
 
+type error =
+  | No_route of { net_id : int; src : Graph.node; dst : Graph.node; iteration : int }
+  | Bad_parameters of string
+
+let string_of_error = function
+  | No_route { net_id; src; dst; iteration } ->
+      Printf.sprintf "Pathfinder: net %d has no route (node %d -> node %d, iteration %d)" net_id
+        src dst iteration
+  | Bad_parameters msg -> Printf.sprintf "Pathfinder.route_all: %s" msg
+
 (* occupancy bookkeeping over the distinct resources of each net's route *)
 let usage_table routes =
   let tbl = Resource.Tbl.create 64 in
@@ -21,9 +31,9 @@ let max_overuse _graph ~capacity routes =
 
 let route_all graph ?(max_iterations = 30) ?(present_factor = 0.5) ?(history_increment = 1.0)
     ?(turn_cost = 10.0) ~capacity nets =
-  if max_iterations < 1 then Error "Pathfinder.route_all: max_iterations must be positive"
+  if max_iterations < 1 then Error (Bad_parameters "max_iterations must be positive")
   else if present_factor < 0.0 || history_increment < 0.0 || turn_cost < 0.0 then
-    Error "Pathfinder.route_all: negative parameters"
+    Error (Bad_parameters "negative parameters")
   else begin
     let history = Resource.Tbl.create 64 in
     let hist r = Option.value ~default:0.0 (Resource.Tbl.find_opt history r) in
@@ -57,7 +67,11 @@ let route_all graph ?(max_iterations = 30) ?(present_factor = 0.5) ?(history_inc
                   ((base +. hist r) *. (1.0 +. (float_of_int over *. p_fac)))
             in
             match Dijkstra.shortest_path ~workspace graph ~weight ~src:net.src ~dst:net.dst with
-            | None -> error := Some (Printf.sprintf "Pathfinder: net %d has no route" net.net_id)
+            | None ->
+                error :=
+                  Some
+                    (No_route
+                       { net_id = net.net_id; src = net.src; dst = net.dst; iteration = !iterations })
             | Some result ->
                 let path = Path.of_result ~src:net.src ~dst:net.dst result in
                 Hashtbl.replace routes net.net_id path;

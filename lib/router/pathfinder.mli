@@ -21,6 +21,16 @@ type outcome = {
   overused : int;  (** resources still over capacity (0 = success) *)
 }
 
+type error =
+  | No_route of { net_id : int; src : Fabric.Graph.node; dst : Fabric.Graph.node; iteration : int }
+      (** A net's endpoints are not connected at all — carries the net, its
+          endpoint nodes, and the negotiation round in which the dead end was
+          discovered, so callers can name the offending traps. *)
+  | Bad_parameters of string  (** Invalid arguments (non-positive budget, negative costs). *)
+
+val string_of_error : error -> string
+(** Human-readable rendering of a routing failure. *)
+
 val route_all :
   Fabric.Graph.t ->
   ?max_iterations:int ->
@@ -29,7 +39,7 @@ val route_all :
   ?turn_cost:float ->
   capacity:(Resource.t -> int) ->
   net list ->
-  (outcome, string) result
+  (outcome, error) result
 (** Defaults: 30 iterations, present factor 0.5 (scaled by the iteration
     number), history increment 1.0, turn cost 10.0 move units.  [Error] when
     some net has no route at all (disconnected endpoints) or arguments are

@@ -294,14 +294,30 @@ let rec issue_round st =
 
 let max_events_factor = 10_000
 
-let run ~graph ~timing ~policy ~dag ~priorities ~placement () =
+type error =
+  | Invalid of string
+  | Deadlock of { stuck : int }
+  | Livelock of { events : int; budget : int }
+
+let string_of_error = function
+  | Invalid msg -> msg
+  | Deadlock { stuck } ->
+      Printf.sprintf "Engine.run: deadlock — %d instruction(s) unroutable with an idle fabric"
+        stuck
+  | Livelock { events; budget } ->
+      Printf.sprintf "Engine.run: event budget exceeded (livelock? %d events > budget %d)" events
+        budget
+
+let run ~graph ~timing ~policy ~dag ~priorities ~placement ?(max_events_factor = max_events_factor)
+    () =
   let comp = Graph.component graph in
   let nq = Program.num_qubits (Dag.program dag) in
   let ntraps = Array.length (Component.traps comp) in
   let n = Dag.num_nodes dag in
-  if Array.length placement <> nq then Error "Engine.run: placement length mismatch"
+  if max_events_factor < 1 then Error (Invalid "Engine.run: max_events_factor must be positive")
+  else if Array.length placement <> nq then Error (Invalid "Engine.run: placement length mismatch")
   else if Array.exists (fun t -> t < 0 || t >= ntraps) placement then
-    Error "Engine.run: placement trap id out of range"
+    Error (Invalid "Engine.run: placement trap id out of range")
   else begin
     (* traps hold up to two ions, and MVFB backward runs legitimately start
        from a forward run's final placement where gate pairs share traps *)
@@ -312,8 +328,10 @@ let run ~graph ~timing ~policy ~dag ~priorities ~placement () =
         load.(t) <- load.(t) + 1;
         if load.(t) > 2 then overfull := true)
       placement;
-    if !overfull then Error "Engine.run: placement assigns more than two qubits to one trap"
-    else if Array.length priorities <> n then Error "Engine.run: priorities length mismatch"
+    if !overfull then
+      Error (Invalid "Engine.run: placement assigns more than two qubits to one trap")
+    else if Array.length priorities <> n then
+      Error (Invalid "Engine.run: priorities length mismatch")
     else begin
       let st =
         {
@@ -355,11 +373,13 @@ let run ~graph ~timing ~policy ~dag ~priorities ~placement () =
         | None ->
             error :=
               Some
-                (Printf.sprintf
-                   "Engine.run: deadlock — %d instruction(s) unroutable with an idle fabric"
-                   (Scheduler.Ready_set.busy_count st.ready_set
-                   + List.length (Scheduler.Ready_set.ready st.ready_set)
-                   + Hashtbl.length st.flights))
+                (Deadlock
+                   {
+                     stuck =
+                       Scheduler.Ready_set.busy_count st.ready_set
+                       + List.length (Scheduler.Ready_set.ready st.ready_set)
+                       + Hashtbl.length st.flights;
+                   })
         | Some (t, ev) ->
             st.clock <- t;
             (* drain all events at this timestamp before re-issuing *)
@@ -386,7 +406,7 @@ let run ~graph ~timing ~policy ~dag ~priorities ~placement () =
       | Some e -> Error e
       | None ->
           if not (Scheduler.Ready_set.all_done st.ready_set) then
-            Error "Engine.run: event budget exceeded (livelock?)"
+            Error (Livelock { events = st.emitted_events; budget })
           else begin
             let final_placement =
               Array.map

@@ -47,6 +47,19 @@ type result = {
   total_routing_time : float;
 }
 
+type error =
+  | Invalid of string  (** malformed arguments: placement/priority shape, bad budget factor *)
+  | Deadlock of { stuck : int }
+      (** the event queue drained with [stuck] instructions still outstanding —
+          some operand pair cannot be routed even on an idle fabric
+          (disconnected or faulted substrate) *)
+  | Livelock of { events : int; budget : int }
+      (** the engine emitted more than [budget] events without completing the
+          program — runaway retry churn *)
+
+val string_of_error : error -> string
+(** Human-readable rendering of an engine failure. *)
+
 val run :
   graph:Fabric.Graph.t ->
   timing:Router.Timing.t ->
@@ -54,9 +67,13 @@ val run :
   dag:Qasm.Dag.t ->
   priorities:float array ->
   placement:int array ->
+  ?max_events_factor:int ->
   unit ->
-  (result, string) Stdlib.result
+  (result, error) Stdlib.result
 (** [placement.(q)] is the initial trap of qubit [q]; traps hold at most two
     ions (MVFB backward runs start from final placements where gate pairs
-    share traps).  Fails (with a message) on invalid placements, graphs whose
-    traps cannot reach each other, or internal deadlock. *)
+    share traps).  Fails with a typed {!error} on invalid placements, graphs
+    whose traps cannot reach each other (deadlock), or event-budget blowout
+    (livelock).  [max_events_factor] (default 10_000) scales the livelock
+    budget as [factor * (instructions + 1)] — exposed so tests can force the
+    livelock branch cheaply. *)

@@ -224,7 +224,7 @@ let ctx_of ?(m = 2) program =
 
 let solution_of label = function
   | Ok s -> s
-  | Error e -> Alcotest.failf "%s: %s" label e
+  | Error e -> Alcotest.failf "%s: %s" label (Qspr.Mapper.error_to_string e)
 
 let assert_certified label ?policy ctx sol =
   let cert = Certify.of_solution ?policy ctx sol in

@@ -112,7 +112,7 @@ let test_library_steane_round_maps () =
   in
   match Qspr.Mapper.map_monte_carlo ~runs:2 ctx with
   | Ok sol -> check_bool "mapped" true (sol.Qspr.Mapper.latency > 0.0)
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Qspr.Mapper.error_to_string e)
 
 let test_library_memory_experiment () =
   let p = Circuits.Library.memory_experiment ~rounds:2 ("[[5,1,3]]", Circuits.Qecc.c513 ()) in
@@ -132,7 +132,7 @@ let test_library_memory_experiment () =
   in
   match Qspr.Mapper.map_mvfb ctx with
   | Ok sol -> check_bool "latency above encode+decode baseline" true (sol.Qspr.Mapper.latency >= 1020.0)
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Qspr.Mapper.error_to_string e)
 
 let test_library_memory_guards () =
   let b = Qasm.Program.builder ~name:"m" () in

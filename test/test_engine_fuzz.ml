@@ -70,7 +70,7 @@ let prop_traces_validate =
     (fun case ->
       let placement, policy, result = run_case case in
       match result with
-      | Error e -> QCheck.Test.fail_reportf "engine failed: %s" e
+      | Error e -> QCheck.Test.fail_reportf "engine failed: %s" (Engine.string_of_error e)
       | Ok r ->
           let report =
             Validate.check ~graph:fuzz_graph ~timing:Timing.paper

@@ -19,7 +19,7 @@ let ctx_of ?(config = Config.default) name =
 let measured ctx placement =
   match Mapper.run_forward ctx placement with
   | Ok r -> r.Simulator.Engine.latency
-  | Error e -> Alcotest.failf "run_forward: %s" e
+  | Error e -> Alcotest.failf "run_forward: %s" (Simulator.Engine.string_of_error e)
 
 (* the 25-candidate pool a Monte-Carlo search at seed 2012 would draw *)
 let mc_pool ctx =
@@ -144,12 +144,12 @@ let solution_shape ctx (s : Mapper.solution) =
 let test_prescreened_solution_contract () =
   let ctx = ctx_of "[[9,1,3]]" in
   let center =
-    match Mapper.map_center ctx with Ok s -> s | Error e -> Alcotest.fail e
+    match Mapper.map_center ctx with Ok s -> s | Error e -> Alcotest.fail (Mapper.error_to_string e)
   in
   List.iter
     (fun (label, sol) ->
       match sol with
-      | Error e -> Alcotest.failf "%s: %s" label e
+      | Error e -> Alcotest.failf "%s: %s" label (Mapper.error_to_string e)
       | Ok s ->
           solution_shape ctx s;
           check_bool (label ^ " no worse than center") true
@@ -168,12 +168,12 @@ let test_prescreen_cuts_evaluations () =
   let plain =
     match Mapper.map_monte_carlo ~runs:25 ~prescreen_k:0 ctx with
     | Ok s -> s
-    | Error e -> Alcotest.fail e
+    | Error e -> Alcotest.fail (Mapper.error_to_string e)
   in
   let pre =
     match Mapper.map_monte_carlo ~runs:25 ~prescreen_k:5 ctx with
     | Ok s -> s
-    | Error e -> Alcotest.fail e
+    | Error e -> Alcotest.fail (Mapper.error_to_string e)
   in
   check_int "plain routes every candidate" 25 plain.Mapper.engine_evals;
   check_int "prescreened routes k candidates" 5 pre.Mapper.engine_evals;
@@ -187,7 +187,7 @@ let test_prescreen_jobs_bit_identical () =
   let run jobs =
     match Mapper.map_monte_carlo ~runs:12 ~jobs ~prescreen_k:4 ctx with
     | Ok s -> (s.Mapper.latency, s.Mapper.initial_placement, s.Mapper.run_latencies)
-    | Error e -> Alcotest.fail e
+    | Error e -> Alcotest.fail (Mapper.error_to_string e)
   in
   check_bool "jobs=1 equals jobs=4" true (run 1 = run 4)
 

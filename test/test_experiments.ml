@@ -138,8 +138,16 @@ let test_golden_latencies () =
     (fun (name, center_expect, quale_expect) ->
       let p = List.assoc name (Circuits.Qecc.all ()) in
       let ctx = match Mapper.create ~fabric p with Ok c -> c | Error e -> Alcotest.fail e in
-      let center = match Mapper.map_center ctx with Ok s -> s.Mapper.latency | Error e -> Alcotest.fail e in
-      let quale = match Quale_mode.map ctx with Ok s -> s.Mapper.latency | Error e -> Alcotest.fail e in
+      let center =
+        match Mapper.map_center ctx with
+        | Ok s -> s.Mapper.latency
+        | Error e -> Alcotest.fail (Mapper.error_to_string e)
+      in
+      let quale =
+        match Quale_mode.map ctx with
+        | Ok s -> s.Mapper.latency
+        | Error e -> Alcotest.fail (Mapper.error_to_string e)
+      in
       Alcotest.(check (float 1e-6)) (name ^ " center") center_expect center;
       Alcotest.(check (float 1e-6)) (name ^ " quale") quale_expect quale)
     golden

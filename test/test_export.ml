@@ -95,7 +95,9 @@ let mapped_solution () =
     | Ok c -> c
     | Error e -> Alcotest.fail e
   in
-  match Qspr.Mapper.map_mvfb ctx with Ok s -> (program, s) | Error e -> Alcotest.fail e
+  match Qspr.Mapper.map_mvfb ctx with
+  | Ok s -> (program, s)
+  | Error e -> Alcotest.fail (Qspr.Mapper.error_to_string e)
 
 let test_export_solution_fields () =
   let program, sol = mapped_solution () in

@@ -73,7 +73,11 @@ let mapped_fig3 () =
     | Ok c -> c
     | Error e -> Alcotest.fail e
   in
-  let sol = match Qspr.Mapper.map_mvfb ctx with Ok s -> s | Error e -> Alcotest.fail e in
+  let sol =
+    match Qspr.Mapper.map_mvfb ctx with
+    | Ok s -> s
+    | Error e -> Alcotest.fail (Qspr.Mapper.error_to_string e)
+  in
   (program, sol)
 
 let test_mc_noiseless_never_fails () =
@@ -137,8 +141,16 @@ let test_mc_qspr_beats_quale_empirically () =
     | Ok c -> c
     | Error e -> Alcotest.fail e
   in
-  let qspr = match Qspr.Mapper.map_mvfb ctx with Ok s -> s | Error e -> Alcotest.fail e in
-  let quale = match Qspr.Quale_mode.map ctx with Ok s -> s | Error e -> Alcotest.fail e in
+  let qspr =
+    match Qspr.Mapper.map_mvfb ctx with
+    | Ok s -> s
+    | Error e -> Alcotest.fail (Qspr.Mapper.error_to_string e)
+  in
+  let quale =
+    match Qspr.Quale_mode.map ctx with
+    | Ok s -> s
+    | Error e -> Alcotest.fail (Qspr.Mapper.error_to_string e)
+  in
   (* amplify transport noise so the mapping difference dominates *)
   let model = Model.make ~eps_move:0.004 ~eps_turn:0.02 ~t2_us:20_000.0 () in
   let run trace =

@@ -127,8 +127,16 @@ let test_qspr_mapping_has_lower_error_than_quale () =
     | Ok c -> c
     | Error e -> Alcotest.fail e
   in
-  let qspr = match Qspr.Mapper.map_mvfb ctx with Ok s -> s | Error e -> Alcotest.fail e in
-  let quale = match Qspr.Quale_mode.map ctx with Ok s -> s | Error e -> Alcotest.fail e in
+  let qspr =
+    match Qspr.Mapper.map_mvfb ctx with
+    | Ok s -> s
+    | Error e -> Alcotest.fail (Qspr.Mapper.error_to_string e)
+  in
+  let quale =
+    match Qspr.Quale_mode.map ctx with
+    | Ok s -> s
+    | Error e -> Alcotest.fail (Qspr.Mapper.error_to_string e)
+  in
   let ranked =
     Estimate.compare_mappings Model.default ~num_qubits:9
       [ ("qspr", qspr.Qspr.Mapper.trace); ("quale", quale.Qspr.Mapper.trace) ]

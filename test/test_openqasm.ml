@@ -106,7 +106,7 @@ let test_mapped_end_to_end () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "MVFB accepted a non-unitary program");
   match Qspr.Mapper.map_monte_carlo ~runs:3 ctx with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Qspr.Mapper.error_to_string e)
   | Ok sol -> check_bool "mapped" true (sol.Qspr.Mapper.latency > 0.0)
 
 (* ----------------------------------------------------------- gate macros *)

@@ -77,7 +77,9 @@ let context () =
   | Ok ctx -> ctx
   | Error e -> Alcotest.failf "Mapper.create: %s" e
 
-let solve label = function Ok (s : Mapper.solution) -> s | Error e -> Alcotest.failf "%s: %s" label e
+let solve label = function
+  | Ok (s : Mapper.solution) -> s
+  | Error e -> Alcotest.failf "%s: %s" label (Mapper.error_to_string e)
 
 let same_solution name (a : Mapper.solution) (b : Mapper.solution) =
   check_float (name ^ ": latency") a.Mapper.latency b.Mapper.latency;

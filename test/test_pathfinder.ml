@@ -21,7 +21,7 @@ let test_single_net_matches_dijkstra () =
   let g = Graph.build comp in
   let src = Graph.trap_node g 0 and dst = Graph.trap_node g 3 in
   match Pathfinder.route_all g ~capacity:cap2 [ { Pathfinder.net_id = 0; src; dst } ] with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Pathfinder.string_of_error e)
   | Ok o -> (
       check_int "one iteration" 1 o.Pathfinder.iterations;
       check_int "no overuse" 0 o.Pathfinder.overused;
@@ -50,7 +50,7 @@ let test_contested_nets_negotiate_apart () =
   let dst = node_at g (Ion_util.Coord.make 14 2) (Some Cell.Horizontal) in
   let nets = [ { Pathfinder.net_id = 0; src; dst }; { Pathfinder.net_id = 1; src; dst } ] in
   match Pathfinder.route_all g ~capacity:cap1 nets with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Pathfinder.string_of_error e)
   | Ok o ->
       check_int "converged" 0 o.Pathfinder.overused;
       check_int "max overuse 0" 0 (Pathfinder.max_overuse g ~capacity:cap1 o.Pathfinder.routes);
@@ -78,7 +78,7 @@ let test_wave_on_quale_capacity2 () =
         { Pathfinder.net_id = i; src = Graph.trap_node g (i * 7); dst = Graph.trap_node g (traps - 1 - (i * 11)) })
   in
   match Pathfinder.route_all g ~capacity:cap2 nets with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Pathfinder.string_of_error e)
   | Ok o ->
       check_int "converged" 0 o.Pathfinder.overused;
       check_int "all nets routed" 6 (List.length o.Pathfinder.routes)

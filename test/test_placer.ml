@@ -83,7 +83,7 @@ let test_center_permuted_is_permutation () =
 let test_mc_runs_budget () =
   let comp = quale_comp () in
   match Monte_carlo.search ~seed:7 ~runs:6 ~evaluate:(make_forward comp) comp ~num_qubits:5 with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Simulator.Engine.string_of_error e)
   | Ok o ->
       check_int "runs" 6 o.Monte_carlo.runs;
       check_int "latencies recorded" 6 (List.length o.Monte_carlo.latencies);
@@ -103,7 +103,7 @@ let test_mc_deterministic_given_seed () =
   let run () =
     match Monte_carlo.search ~seed:42 ~runs:4 ~evaluate:(make_forward comp) comp ~num_qubits:5 with
     | Ok o -> o.Monte_carlo.result.Simulator.Engine.latency
-    | Error e -> Alcotest.fail e
+    | Error e -> Alcotest.fail (Simulator.Engine.string_of_error e)
   in
   Alcotest.(check (float 1e-9)) "reproducible" (run ()) (run ())
 
@@ -115,7 +115,7 @@ let test_mvfb_basic () =
     Mvfb.search ~seed:3 ~m:2 ~forward:(make_forward comp) ~backward:(make_backward comp) comp
       ~num_qubits:5
   with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Simulator.Engine.string_of_error e)
   | Ok o ->
       check_int "seeds" 2 o.Mvfb.seeds_used;
       check_bool "at least patience+1 runs per seed" true (o.Mvfb.runs >= 2 * 4);
@@ -139,7 +139,7 @@ let test_mvfb_max_runs_cap () =
     Mvfb.search ~seed:3 ~m:1 ~max_runs_per_seed:4 ~forward:(make_forward comp)
       ~backward:(make_backward comp) comp ~num_qubits:5
   with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Simulator.Engine.string_of_error e)
   | Ok o -> check_bool "capped" true (o.Mvfb.runs <= 4)
 
 (* The paper's Table 1 claim: at the same number of placement runs, MVFB
@@ -155,7 +155,7 @@ let test_mvfb_beats_mc_at_equal_budget () =
             ~num_qubits:5
         with
         | Ok o -> o
-        | Error e -> Alcotest.fail e
+        | Error e -> Alcotest.fail (Simulator.Engine.string_of_error e)
       in
       let mc =
         match
@@ -163,7 +163,7 @@ let test_mvfb_beats_mc_at_equal_budget () =
             ~num_qubits:5
         with
         | Ok o -> o
-        | Error e -> Alcotest.fail e
+        | Error e -> Alcotest.fail (Simulator.Engine.string_of_error e)
       in
       check_bool
         (Printf.sprintf "seed %d: MVFB (%g) <= MC (%g)" seed
@@ -181,7 +181,7 @@ let test_mvfb_backward_winner_consistency () =
     Mvfb.search ~seed:5 ~m:2 ~forward:(make_forward comp) ~backward:(make_backward comp) comp
       ~num_qubits:5
   with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Simulator.Engine.string_of_error e)
   | Ok o ->
       let ntraps = Array.length (Component.traps comp) in
       Array.iter
@@ -199,7 +199,7 @@ let test_exhaustive_finds_optimum_over_candidates () =
   let comp = quale_comp () in
   let forward = make_forward comp in
   match Exhaustive.search ~candidate_traps:6 ~evaluate:forward comp ~num_qubits:5 with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Simulator.Engine.string_of_error e)
   | Ok o ->
       check_int "all evaluated" 720 o.Exhaustive.evaluated;
       check_bool "spread observed" true
@@ -209,7 +209,7 @@ let test_exhaustive_finds_optimum_over_candidates () =
       let center_lat =
         match forward (Center.place comp ~num_qubits:5) with
         | Ok r -> r.Simulator.Engine.latency
-        | Error e -> Alcotest.fail e
+        | Error e -> Alcotest.fail (Simulator.Engine.string_of_error e)
       in
       check_bool "beats or matches center" true
         (o.Exhaustive.result.Simulator.Engine.latency <= center_lat +. 1e-9)
@@ -222,7 +222,7 @@ let test_exhaustive_bounds_mvfb () =
   let comp = quale_comp () in
   let forward = make_forward comp in
   match Exhaustive.search ~candidate_traps:6 ~evaluate:forward comp ~num_qubits:5 with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Simulator.Engine.string_of_error e)
   | Ok o ->
       let dag = Qasm.Dag.of_program (fig3 ()) in
       let baseline = Qasm.Dag.critical_path ~delay:(Router.Timing.gate_delay Router.Timing.paper) dag in
@@ -247,7 +247,7 @@ let test_annealing_improves_or_matches_start () =
   match
     Annealing.search ~rng ~evaluations:20 ~evaluate:(make_forward comp) comp ~num_qubits:5
   with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Simulator.Engine.string_of_error e)
   | Ok o ->
       check_int "evaluations" 20 o.Annealing.evaluations;
       check_int "latencies recorded" 20 (List.length o.Annealing.latencies);
@@ -274,7 +274,7 @@ let test_annealing_deterministic () =
     let rng = Ion_util.Rng.create 33 in
     match Annealing.search ~rng ~evaluations:12 ~evaluate:(make_forward comp) comp ~num_qubits:5 with
     | Ok o -> o.Annealing.result.Simulator.Engine.latency
-    | Error e -> Alcotest.fail e
+    | Error e -> Alcotest.fail (Simulator.Engine.string_of_error e)
   in
   Alcotest.(check (float 1e-9)) "reproducible" (run ()) (run ())
 
@@ -297,7 +297,7 @@ let test_connectivity_places_partners_close () =
   (* placement is routable and mapping works *)
   match make_forward comp placement with
   | Ok r -> check_bool "maps" true (r.Simulator.Engine.latency > 0.0)
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Simulator.Engine.string_of_error e)
 
 let test_connectivity_guard () =
   let comp = match Component.extract (Layout.small_tile ()) with Ok c -> c | Error e -> Alcotest.fail e in

@@ -94,7 +94,7 @@ let test_map_with_custom_pmd () =
   check_float "pmd baseline" 255.0 (Mapper.ideal_latency ctx);
   match Mapper.map_mvfb ctx with
   | Ok sol -> check_bool "mapped above baseline" true (sol.Mapper.latency >= 255.0)
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Mapper.error_to_string e)
 
 let () =
   Alcotest.run "pmd"

@@ -57,7 +57,7 @@ let test_ideal_latency_513 () =
 let test_map_center () =
   let ctx = ctx_of (c513 ()) in
   match Mapper.map_center ctx with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Mapper.error_to_string e)
   | Ok sol ->
       check_int "one run" 1 sol.Mapper.placement_runs;
       check_bool "above baseline" true (sol.Mapper.latency >= 510.0);
@@ -65,8 +65,12 @@ let test_map_center () =
 
 let test_map_mvfb_beats_or_equals_center () =
   let ctx = ctx_of (c513 ()) in
-  let center = match Mapper.map_center ctx with Ok s -> s | Error e -> Alcotest.fail e in
-  let mvfb = match Mapper.map_mvfb ctx with Ok s -> s | Error e -> Alcotest.fail e in
+  let center =
+    match Mapper.map_center ctx with Ok s -> s | Error e -> Alcotest.fail (Mapper.error_to_string e)
+  in
+  let mvfb =
+    match Mapper.map_mvfb ctx with Ok s -> s | Error e -> Alcotest.fail (Mapper.error_to_string e)
+  in
   check_bool "mvfb <= center" true (mvfb.Mapper.latency <= center.Mapper.latency +. 1e-9);
   check_bool "several runs" true (mvfb.Mapper.placement_runs > 1);
   check_int "latencies recorded" mvfb.Mapper.placement_runs (List.length mvfb.Mapper.run_latencies)
@@ -74,7 +78,7 @@ let test_map_mvfb_beats_or_equals_center () =
 let test_map_monte_carlo () =
   let ctx = ctx_of (c513 ()) in
   match Mapper.map_monte_carlo ~runs:5 ctx with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Mapper.error_to_string e)
   | Ok sol ->
       check_int "runs" 5 sol.Mapper.placement_runs;
       check_bool "above baseline" true (sol.Mapper.latency >= 510.0)
@@ -84,7 +88,7 @@ let test_map_monte_carlo () =
 let test_solution_trace_validates () =
   let ctx = ctx_of (c513 ()) in
   match Mapper.map_mvfb ctx with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Mapper.error_to_string e)
   | Ok sol ->
       let report =
         Simulator.Validate.check ~graph:(Mapper.graph ctx) ~timing:Router.Timing.paper
@@ -103,12 +107,12 @@ let test_backward_trace_reversed_validates () =
   let fwd =
     match Mapper.run_forward ctx (Placer.Center.place (Mapper.component ctx) ~num_qubits:5) with
     | Ok r -> r
-    | Error e -> Alcotest.fail e
+    | Error e -> Alcotest.fail (Simulator.Engine.string_of_error e)
   in
   let bwd =
     match Mapper.run_backward ctx fwd.Simulator.Engine.final_placement with
     | Ok r -> r
-    | Error e -> Alcotest.fail e
+    | Error e -> Alcotest.fail (Simulator.Engine.string_of_error e)
   in
   let reversed = Simulator.Trace.reverse bwd.Simulator.Engine.trace in
   let report =
@@ -132,7 +136,7 @@ let test_mapper_deterministic () =
   let run () =
     match Mapper.map_mvfb (ctx_of (c513 ())) with
     | Ok s -> s.Mapper.latency
-    | Error e -> Alcotest.fail e
+    | Error e -> Alcotest.fail (Mapper.error_to_string e)
   in
   check_float "reproducible" (run ()) (run ())
 
@@ -140,15 +144,19 @@ let test_mapper_deterministic () =
 
 let test_quale_slower_than_qspr () =
   let ctx = ctx_of (c513 ()) in
-  let quale = match Quale_mode.map ctx with Ok s -> s | Error e -> Alcotest.fail e in
-  let qspr = match Mapper.map_mvfb ctx with Ok s -> s | Error e -> Alcotest.fail e in
+  let quale =
+    match Quale_mode.map ctx with Ok s -> s | Error e -> Alcotest.fail (Mapper.error_to_string e)
+  in
+  let qspr =
+    match Mapper.map_mvfb ctx with Ok s -> s | Error e -> Alcotest.fail (Mapper.error_to_string e)
+  in
   check_bool "baseline <= qspr" true (510.0 <= qspr.Mapper.latency +. 1e-9);
   check_bool "qspr <= quale" true (qspr.Mapper.latency <= quale.Mapper.latency +. 1e-9)
 
 let test_quale_trace_validates () =
   let ctx = ctx_of (c513 ()) in
   match Quale_mode.map ctx with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Mapper.error_to_string e)
   | Ok sol ->
       let report =
         Simulator.Validate.check ~graph:(Mapper.graph ctx) ~timing:Router.Timing.paper
@@ -170,8 +178,12 @@ let test_ordering_all_circuits () =
       (match Circuits.Qecc.expected_baseline_us name with
       | Some expect -> check_float (name ^ " baseline") expect base
       | None -> Alcotest.failf "missing expected baseline for %s" name);
-      let quale = match Quale_mode.map ctx with Ok s -> s | Error e -> Alcotest.fail e in
-      let qspr = match Mapper.map_mvfb ctx with Ok s -> s | Error e -> Alcotest.fail e in
+      let quale =
+    match Quale_mode.map ctx with Ok s -> s | Error e -> Alcotest.fail (Mapper.error_to_string e)
+  in
+      let qspr =
+    match Mapper.map_mvfb ctx with Ok s -> s | Error e -> Alcotest.fail (Mapper.error_to_string e)
+  in
       check_bool (name ^ ": baseline <= qspr") true (base <= qspr.Mapper.latency +. 1e-9);
       check_bool
         (Printf.sprintf "%s: qspr (%g) < quale (%g)" name qspr.Mapper.latency quale.Mapper.latency)
@@ -186,7 +198,7 @@ let test_wave_maps_all_benchmarks () =
     (fun (name, p) ->
       let ctx = ctx_of p in
       match Wave_mapper.map ctx with
-      | Error e -> Alcotest.failf "%s: %s" name e
+      | Error e -> Alcotest.failf "%s: %s" name (Mapper.error_to_string e)
       | Ok o ->
           let base = Mapper.ideal_latency ctx in
           check_bool (name ^ ": wave above baseline") true (o.Wave_mapper.latency >= base -. 1e-9);
@@ -196,8 +208,12 @@ let test_wave_maps_all_benchmarks () =
 let test_wave_slower_than_event_driven () =
   (* phase synchronization serializes work the busy-queue engine overlaps *)
   let ctx = ctx_of (c513 ()) in
-  let wave = match Wave_mapper.map ctx with Ok o -> o | Error e -> Alcotest.fail e in
-  let qspr = match Mapper.map_mvfb ctx with Ok s -> s | Error e -> Alcotest.fail e in
+  let wave =
+    match Wave_mapper.map ctx with Ok o -> o | Error e -> Alcotest.fail (Mapper.error_to_string e)
+  in
+  let qspr =
+    match Mapper.map_mvfb ctx with Ok s -> s | Error e -> Alcotest.fail (Mapper.error_to_string e)
+  in
   check_bool
     (Printf.sprintf "wave (%g) > qspr (%g)" wave.Wave_mapper.latency qspr.Mapper.latency)
     true
@@ -208,7 +224,7 @@ let test_wave_sublevels_disjoint () =
      send one ion to two traps: c513 has exactly that shape and must map *)
   let ctx = ctx_of (c513 ()) in
   match Wave_mapper.map ctx with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Mapper.error_to_string e)
   | Ok o ->
       (* final placement is within trap bounds, at most 2 per trap *)
       let ntraps = Array.length (Fabric.Component.traps (Mapper.component ctx)) in

@@ -38,7 +38,7 @@ let run ?(policy = Engine.qspr_policy) graph program placement =
 let run_exn ?policy graph program placement =
   match run ?policy graph program placement with
   | Ok r -> r
-  | Error e -> Alcotest.failf "engine: %s" e
+  | Error e -> Alcotest.failf "engine: %s" (Engine.string_of_error e)
 
 (* small tile traps: t0=(5,1) t1=(5,3) t2=(5,6) t3=(5,8) *)
 
@@ -164,7 +164,7 @@ let test_placement_validation () =
    | Error _ -> ()
    | Ok _ -> Alcotest.fail "overfull trap accepted");
   (match run g p [| 0; 0 |] with
-  | Error e -> Alcotest.failf "shared trap rejected: %s" e
+  | Error e -> Alcotest.failf "shared trap rejected: %s" (Engine.string_of_error e)
   | Ok r -> Alcotest.(check (float 1e-9)) "co-located gate needs no routing" 100.0 r.Engine.latency);
   match run g p [| 0; 999 |] with
   | Error _ -> ()
@@ -180,7 +180,8 @@ let test_deadlock_reported () =
   let graph = build_graph lay in
   let p = parse "QUBIT a\nQUBIT b\nC-X a,b\n" in
   match run graph p [| 0; 1 |] with
-  | Error msg -> check_bool "mentions deadlock" true (String.length msg > 0)
+  | Error (Engine.Deadlock { stuck }) -> check_bool "stuck ions counted" true (stuck >= 1)
+  | Error e -> Alcotest.failf "expected Deadlock, got: %s" (Engine.string_of_error e)
   | Ok _ -> Alcotest.fail "unroutable program completed"
 
 let test_final_placement_consistent () =
@@ -206,7 +207,7 @@ let test_breakdown_single_gate () =
   let tm = Timing.paper in
   let prios = Scheduler.Priority.compute Scheduler.Priority.qspr_default ~delay:(paper_delay tm) dag in
   match Engine.run ~graph ~timing:tm ~policy:Engine.qspr_policy ~dag ~priorities:prios ~placement:[| 0; 1 |] () with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Engine.string_of_error e)
   | Ok r ->
       let b = Breakdown.of_result ~timing:tm ~dag r in
       check_int "one instruction" 1 b.Breakdown.instructions;
@@ -226,7 +227,7 @@ let test_breakdown_accounts_wait () =
   let tm = Timing.paper in
   let prios = Scheduler.Priority.compute Scheduler.Priority.qspr_default ~delay:(paper_delay tm) dag in
   match Engine.run ~graph ~timing:tm ~policy:Engine.qspr_policy ~dag ~priorities:prios ~placement:[| 0; 1; 2 |] () with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Engine.string_of_error e)
   | Ok r ->
       let b = Breakdown.of_result ~timing:tm ~dag r in
       (* the second gate waits for ion a *)

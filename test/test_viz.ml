@@ -92,7 +92,7 @@ let test_replay_frames () =
         ~placement:[| 0; 3 |] ()
     with
     | Ok r -> r
-    | Error e -> Alcotest.fail e
+    | Error e -> Alcotest.fail (Engine.string_of_error e)
   in
   let traps = Fabric.Component.traps comp in
   let initial = Array.map (fun tid -> traps.(tid).Fabric.Component.tpos) [| 0; 3 |] in
