@@ -263,7 +263,7 @@ let bench_circuits =
 
 (* Estimator workloads: one fast estimate vs one full schedule-and-route of
    the same placement (their ratio is the per-placement speedup recorded in
-   BENCH_pr4.json), model construction, and the pre-screened vs exhaustive
+   BENCH_pr5.json), model construction, and the pre-screened vs exhaustive
    Monte-Carlo search. *)
 let bench_estimator =
   let ctx = ctx_of "[[9,1,3]]" in
@@ -326,6 +326,55 @@ let bench_faults =
              with
              | Ok r -> r.Fault.baseline_latency
              | Error e -> failwith e));
+    ]
+
+(* Incremental routing (PR 5): the same congested 12-net wave negotiated
+   under the dirty-net schedule and the legacy full-reroute schedule, plus
+   the engine's event-order routing with and without a warm cross-run route
+   cache.  The deterministic search-count reductions are recorded in the
+   [router] summary of BENCH_pr5.json; these benches measure the wall-clock
+   side of the same change.  Ten crossing nets at the paper's channel
+   capacity negotiate for several iterations and converge under both
+   schedules. *)
+let bench_router =
+  let comp =
+    match Fabric.Component.extract fabric with Ok c -> c | Error e -> failwith e
+  in
+  let graph = Fabric.Graph.build comp in
+  let traps = Array.length (Fabric.Component.traps comp) in
+  let nets =
+    List.init 10 (fun i ->
+        {
+          Router.Pathfinder.net_id = i;
+          src = Fabric.Graph.trap_node graph (i * 5 mod traps);
+          dst = Fabric.Graph.trap_node graph (traps - 1 - (i * 9 mod traps));
+        })
+  in
+  let capacity = function Router.Resource.Segment _ -> 2 | Router.Resource.Junction _ -> 2 in
+  let route incremental () =
+    match Router.Pathfinder.route_all graph ~incremental ~capacity nets with
+    | Ok o -> o.Router.Pathfinder.searches
+    | Error e -> failwith (Router.Pathfinder.string_of_error e)
+  in
+  let ctx = ctx_of "[[9,1,3]]" in
+  let placement = Placer.Center.place (Qspr.Mapper.component ctx) ~num_qubits:9 in
+  let cfg = Qspr.Mapper.config ctx in
+  let engine route_cache () =
+    match
+      Simulator.Engine.run ~graph:(Qspr.Mapper.graph ctx) ~timing:cfg.Qspr.Config.timing
+        ~policy:cfg.Qspr.Config.qspr_policy ~dag:(Qspr.Mapper.dag ctx)
+        ~priorities:(Qspr.Mapper.qspr_priorities ctx) ~placement ?route_cache ()
+    with
+    | Ok r -> r.Simulator.Engine.latency
+    | Error e -> failwith (Simulator.Engine.string_of_error e)
+  in
+  let warm = Router.Route_cache.create () in
+  Test.make_grouped ~name:"router"
+    [
+      Test.make ~name:"route_all_incremental_wave10" (Staged.stage (route true));
+      Test.make ~name:"route_all_legacy_wave10" (Staged.stage (route false));
+      Test.make ~name:"engine_no_cache" (Staged.stage (engine None));
+      Test.make ~name:"engine_warm_cache" (Staged.stage (engine (Some warm)));
     ]
 
 (* Quantum-substrate workloads: tableau simulation of the largest benchmark
@@ -403,6 +452,7 @@ let run_benchmarks () =
         bench_fig5;
         bench_fig23;
         bench_pathfinder;
+        bench_router;
         bench_router_workspace;
         bench_parallel;
         bench_sensitivity;
@@ -440,7 +490,7 @@ let run_benchmarks () =
     rows;
   rows
 
-(* The headline estimator numbers for BENCH_pr4.json: per-placement speedup
+(* The headline estimator numbers for BENCH_pr5.json: per-placement speedup
    (measured full-route ns / estimate ns from the timing rows), the mean
    relative accuracy against the engine, and the pre-screened search's
    evaluation savings. *)
@@ -496,7 +546,7 @@ let estimator_summary rows =
           ] );
     ]
 
-(* The headline survivability numbers for BENCH_pr4.json: a full fault
+(* The headline survivability numbers for BENCH_pr5.json: a full fault
    campaign of [[5,1,3]] on a linear fabric whose single channel row makes
    every blocked segment count. *)
 let faults_summary () =
@@ -512,19 +562,117 @@ let faults_summary () =
         Fault.pp r;
       Fault.to_json r
 
+(* The headline incremental-routing numbers for BENCH_pr5.json: per Table-1
+   circuit, the engine's single-net search count without a cache (the legacy
+   baseline) versus a warm cross-run cache, with bit-identical latencies in
+   both; plus the PathFinder dirty-net schedule's search count against the
+   legacy full-reroute schedule on a congested wave.  All counts are
+   deterministic — wall-clock lives in the timing rows. *)
+let router_summary () =
+  let module J = Ion_util.Json in
+  Printf.printf "=== Incremental routing summary (center placements) ===\n";
+  let engine_rows =
+    List.map
+      (fun (name, p) ->
+        let ctx =
+          match Qspr.Mapper.create ~fabric p with Ok c -> c | Error e -> failwith e
+        in
+        let placement =
+          Placer.Center.place (Qspr.Mapper.component ctx) ~num_qubits:(Qasm.Program.num_qubits p)
+        in
+        let cfg = Qspr.Mapper.config ctx in
+        let run route_cache =
+          match
+            Simulator.Engine.run ~graph:(Qspr.Mapper.graph ctx) ~timing:cfg.Qspr.Config.timing
+              ~policy:cfg.Qspr.Config.qspr_policy ~dag:(Qspr.Mapper.dag ctx)
+              ~priorities:(Qspr.Mapper.qspr_priorities ctx) ~placement ?route_cache ()
+          with
+          | Ok r -> r
+          | Error e -> failwith (Simulator.Engine.string_of_error e)
+        in
+        let legacy = run None in
+        let cache = Router.Route_cache.create () in
+        let _cold = run (Some cache) in
+        let warm = run (Some cache) in
+        let identical =
+          Int64.equal
+            (Int64.bits_of_float legacy.Simulator.Engine.latency)
+            (Int64.bits_of_float warm.Simulator.Engine.latency)
+          && legacy.Simulator.Engine.trace = warm.Simulator.Engine.trace
+        in
+        if not identical then failwith (name ^ ": cached engine run diverged from uncached");
+        if warm.Simulator.Engine.route_searches >= legacy.Simulator.Engine.route_searches then
+          failwith (name ^ ": warm cache did not reduce single-net searches");
+        Printf.printf "  %-12s searches %4d -> %4d (%d cache hits), latency identical\n" name
+          legacy.Simulator.Engine.route_searches warm.Simulator.Engine.route_searches
+          warm.Simulator.Engine.route_cache_hits;
+        J.Obj
+          [
+            ("circuit", J.String name);
+            ("searches_no_cache", J.Int legacy.Simulator.Engine.route_searches);
+            ("searches_warm_cache", J.Int warm.Simulator.Engine.route_searches);
+            ("cache_hits", J.Int warm.Simulator.Engine.route_cache_hits);
+            ("latency_identical", J.Bool identical);
+          ])
+      (Circuits.Qecc.all ())
+  in
+  let comp =
+    match Fabric.Component.extract fabric with Ok c -> c | Error e -> failwith e
+  in
+  let graph = Fabric.Graph.build comp in
+  let traps = Array.length (Fabric.Component.traps comp) in
+  let nets =
+    List.init 10 (fun i ->
+        {
+          Router.Pathfinder.net_id = i;
+          src = Fabric.Graph.trap_node graph (i * 5 mod traps);
+          dst = Fabric.Graph.trap_node graph (traps - 1 - (i * 9 mod traps));
+        })
+  in
+  let capacity = function Router.Resource.Segment _ -> 2 | Router.Resource.Junction _ -> 2 in
+  let route incremental =
+    match Router.Pathfinder.route_all graph ~incremental ~capacity nets with
+    | Ok o -> o
+    | Error e -> failwith (Router.Pathfinder.string_of_error e)
+  in
+  let inc = route true and leg = route false in
+  if inc.Router.Pathfinder.overused > 0 || leg.Router.Pathfinder.overused > 0 then
+    failwith "router wave10: negotiation did not converge";
+  if inc.Router.Pathfinder.searches >= leg.Router.Pathfinder.searches then
+    failwith "router wave10: dirty-net schedule did not reduce searches";
+  Printf.printf
+    "  pathfinder wave10: %d searches incremental vs %d legacy (%d vs %d iterations)\n\n"
+    inc.Router.Pathfinder.searches leg.Router.Pathfinder.searches inc.Router.Pathfinder.iterations
+    leg.Router.Pathfinder.iterations;
+  J.Obj
+    [
+      ("engine_cache", J.List engine_rows);
+      ( "pathfinder_wave10",
+        J.Obj
+          [
+            ("incremental_searches", J.Int inc.Router.Pathfinder.searches);
+            ("legacy_searches", J.Int leg.Router.Pathfinder.searches);
+            ("incremental_iterations", J.Int inc.Router.Pathfinder.iterations);
+            ("legacy_iterations", J.Int leg.Router.Pathfinder.iterations);
+            ("incremental_overused", J.Int inc.Router.Pathfinder.overused);
+            ("legacy_overused", J.Int leg.Router.Pathfinder.overused);
+          ] );
+    ]
+
 (* Machine-readable results for regression tracking: one record per bench
-   with the OLS ns/run and minor words/run estimates, plus the estimator
-   and fault-injection subsystems' headline numbers. *)
+   with the OLS ns/run and minor words/run estimates, plus the estimator,
+   fault-injection and incremental-routing subsystems' headline numbers. *)
 let emit_json rows =
   let module J = Ion_util.Json in
   let doc =
     J.Obj
       [
-        ("schema", J.String "qspr-bench/3");
+        ("schema", J.String "qspr-bench/4");
         ( "instances",
           J.List [ J.String "monotonic_clock_ns_per_run"; J.String "minor_allocated_words_per_run" ] );
         ("estimator", estimator_summary rows);
         ("faults", faults_summary ());
+        ("router", router_summary ());
         ( "results",
           J.List
             (List.map
@@ -534,11 +682,11 @@ let emit_json rows =
                rows) );
       ]
   in
-  let oc = open_out "BENCH_pr4.json" in
+  let oc = open_out "BENCH_pr5.json" in
   output_string oc (J.to_string doc);
   output_char oc '\n';
   close_out oc;
-  Printf.printf "\nwrote BENCH_pr4.json (%d benches)\n" (List.length rows)
+  Printf.printf "\nwrote BENCH_pr5.json (%d benches)\n" (List.length rows)
 
 let () =
   print_tables ();

@@ -110,6 +110,60 @@ let () =
   in
   if not (String.equal (campaign 1) (campaign 2)) then
     fail "fault campaign: jobs=1 vs jobs=2 reports differ";
+  (* router group: the engine's route cache must change counters only — a
+     warm cache serves strictly fewer live searches yet returns the same
+     bits — and the MVFB search must be bit-identical with the incremental
+     stack on or off, with the incremental winner certifying *)
+  let placement = Placer.Center.place (Qspr.Mapper.component ctx) ~num_qubits:nq in
+  let cfg = Qspr.Mapper.config ctx in
+  let engine route_cache =
+    match
+      Simulator.Engine.run ~graph:(Qspr.Mapper.graph ctx) ~timing:cfg.Qspr.Config.timing
+        ~policy:cfg.Qspr.Config.qspr_policy ~dag:(Qspr.Mapper.dag ctx)
+        ~priorities:(Qspr.Mapper.qspr_priorities ctx) ~placement ?route_cache ()
+    with
+    | Ok r -> r
+    | Error e -> fail "engine: %s" (Simulator.Engine.string_of_error e)
+  in
+  let r0 = engine None in
+  let cache = Router.Route_cache.create () in
+  let r1 = engine (Some cache) in
+  let r2 = engine (Some cache) in
+  check_eq "engine no-cache vs cold-cache latency" r0.Simulator.Engine.latency
+    r1.Simulator.Engine.latency;
+  check_eq "engine cold vs warm cache latency" r1.Simulator.Engine.latency
+    r2.Simulator.Engine.latency;
+  if r0.Simulator.Engine.trace <> r2.Simulator.Engine.trace then
+    fail "warm route cache changed the trace";
+  if r1.Simulator.Engine.route_searches <> r0.Simulator.Engine.route_searches then
+    fail "cold route cache changed the search count (%d vs %d)"
+      r1.Simulator.Engine.route_searches r0.Simulator.Engine.route_searches;
+  if r2.Simulator.Engine.route_searches >= r1.Simulator.Engine.route_searches then
+    fail "warm route cache did not reduce searches (%d vs %d)"
+      r2.Simulator.Engine.route_searches r1.Simulator.Engine.route_searches;
+  if r2.Simulator.Engine.route_cache_hits = 0 then fail "warm route cache never hit";
+  let mvfb incremental =
+    let config = Qspr.Config.(default |> with_incremental incremental) in
+    let ctx =
+      match Qspr.Mapper.create ~fabric ~config p with Ok c -> c | Error e -> fail "%s" e
+    in
+    let sol =
+      match Qspr.Mapper.map_mvfb ~m:2 ctx with
+      | Ok s -> s
+      | Error e -> fail "mvfb incremental=%b: %s" incremental (Qspr.Mapper.error_to_string e)
+    in
+    (ctx, sol)
+  in
+  let _, on = mvfb true in
+  let off_ctx, off = mvfb false in
+  check_eq "mvfb incremental on vs off" on.Qspr.Mapper.latency off.Qspr.Mapper.latency;
+  if on.Qspr.Mapper.trace <> off.Qspr.Mapper.trace then
+    fail "mvfb incremental on vs off: traces differ";
+  let cert_off = Analysis.Certify.of_solution off_ctx off in
+  if not cert_off.Analysis.Certify.valid then
+    fail "legacy-routing solution fails certification: %s"
+      (Format.asprintf "%a" Analysis.Certify.pp cert_off);
   print_endline
     "bench-smoke: OK (workspace routing exact, parallel search exact, estimator pure, \
-     prescreen consistent, winner certified, fault campaign deterministic)"
+     prescreen consistent, winner certified, fault campaign deterministic, route cache \
+     bit-identical with fewer searches, incremental on/off identical)"

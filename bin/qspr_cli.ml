@@ -43,7 +43,7 @@ let gate_on_fabric_lint ~program fabric =
   else Error "fabric fails lint (errors above; `qspr lint` shows the full report)"
 
 let do_map circuit qasm openqasm fabric_path pmd_path placer m seed prescreen_k budget_s
-    budget_evals show_trace validate certify json_out =
+    budget_evals incremental show_trace validate certify json_out =
   let ( let* ) = Result.bind in
   let result =
     let* program = load_program ~circuit ~qasm ~openqasm in
@@ -71,7 +71,11 @@ let do_map circuit qasm openqasm fabric_path pmd_path placer m seed prescreen_k 
           | None -> base_budget.Qspr.Config.max_evals);
       }
     in
-    let config = Qspr.Config.(base_config |> with_m m |> with_seed seed |> with_budget budget) in
+    let config =
+      Qspr.Config.(
+        base_config |> with_m m |> with_seed seed |> with_budget budget
+        |> match incremental with Some b -> with_incremental b | None -> Fun.id)
+    in
     let* ctx = Qspr.Mapper.create ~fabric ~config program in
     let* sol =
       Result.map_error Qspr.Mapper.error_to_string
@@ -226,6 +230,16 @@ let prescreen_arg =
            estimator and fully route only the $(docv) best (0 disables; default: \
            QSPR_PRESCREEN, else off).")
 
+let incremental_arg =
+  Arg.(
+    value
+    & opt (some bool) None
+    & info [ "incremental" ] ~docv:"BOOL"
+        ~doc:
+          "Incremental routing stack: dirty-net Pathfinder negotiation and the cross-candidate \
+           route cache.  Results are unchanged either way; false retains the legacy \
+           full-reroute/uncached path for A/B timing (default: QSPR_INCREMENTAL, else true).")
+
 let m_arg = Arg.(value & opt int 25 & info [ "m"; "seeds" ] ~docv:"M" ~doc:"MVFB seeds / MC runs (-m or --seeds).")
 let seed_arg = Arg.(value & opt int 2012 & info [ "seed" ] ~docv:"S" ~doc:"Random seed.")
 let trace_arg = Arg.(value & flag & info [ "trace" ] ~doc:"Print the micro-command trace.")
@@ -247,8 +261,8 @@ let map_cmd =
     (Cmd.info "map" ~doc:"Schedule, place and route a circuit onto an ion-trap fabric")
     Term.(
       const do_map $ circuit_arg $ qasm_arg $ openqasm_arg $ fabric_arg $ pmd_arg $ placer_arg $ m_arg
-      $ seed_arg $ prescreen_arg $ budget_arg $ budget_evals_arg $ trace_arg $ validate_arg
-      $ certify_arg $ json_arg)
+      $ seed_arg $ prescreen_arg $ budget_arg $ budget_evals_arg $ incremental_arg $ trace_arg
+      $ validate_arg $ certify_arg $ json_arg)
 
 (* --------------------------------------------------------------- fabric *)
 

@@ -12,6 +12,7 @@ type t = {
   jobs : int;
   prescreen_k : int option;
   budget : budget;
+  incremental_routing : bool;
 }
 
 (* QSPR_JOBS sets the default worker-domain count; anything unparsable or
@@ -47,6 +48,17 @@ let budget_from_env () =
   in
   { wall_s; max_evals }
 
+(* QSPR_INCREMENTAL toggles the incremental routing stack (dirty-net
+   negotiation + cross-candidate route cache); anything but an explicit
+   off-value leaves it on — the legacy path exists for A/B comparison. *)
+let incremental_from_env () =
+  match Sys.getenv_opt "QSPR_INCREMENTAL" with
+  | None -> true
+  | Some s -> (
+      match String.lowercase_ascii (String.trim s) with
+      | "0" | "false" | "off" | "no" -> false
+      | _ -> true)
+
 let default =
   {
     timing = Router.Timing.paper;
@@ -58,6 +70,7 @@ let default =
     jobs = jobs_from_env ();
     prescreen_k = prescreen_from_env ();
     budget = budget_from_env ();
+    incremental_routing = incremental_from_env ();
   }
 
 let with_m m t = { t with m }
@@ -65,6 +78,7 @@ let with_seed rng_seed t = { t with rng_seed }
 let with_jobs jobs t = { t with jobs }
 let with_prescreen prescreen_k t = { t with prescreen_k }
 let with_budget budget t = { t with budget }
+let with_incremental incremental_routing t = { t with incremental_routing }
 
 let validate t =
   if t.m < 1 then Error "Config: m must be at least 1"

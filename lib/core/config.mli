@@ -30,6 +30,14 @@ type t = {
           candidate placements per search; [None] routes every candidate. *)
   budget : budget;
       (** anytime-search budgets for the randomized placers; see {!budget}. *)
+  incremental_routing : bool;
+      (** the incremental routing stack: dirty-net rerouting in the
+          Pathfinder and the cross-candidate route cache in the engine.
+          Engine latencies and traces are bit-identical either way (cache
+          hits replay the uncached search verbatim); Pathfinder negotiation
+          converges to an equal-quality fixpoint that may pick different
+          equal-cost routes past iteration 1.  Off retains the legacy
+          full-reroute / uncached path for A/B comparison. *)
 }
 
 val default : t
@@ -38,13 +46,16 @@ val default : t
     environment variable (default 1; invalid values fall back to 1);
     [prescreen_k] from [QSPR_PRESCREEN] (default off; invalid values stay
     off); [budget] from [QSPR_BUDGET] (wall-clock seconds, float) and
-    [QSPR_BUDGET_EVALS] (evaluation cap), both off by default. *)
+    [QSPR_BUDGET_EVALS] (evaluation cap), both off by default;
+    [incremental_routing] from [QSPR_INCREMENTAL] (default on; "0", "false",
+    "off" and "no" turn it off). *)
 
 val with_m : int -> t -> t
 val with_seed : int -> t -> t
 val with_jobs : int -> t -> t
 val with_prescreen : int option -> t -> t
 val with_budget : budget -> t -> t
+val with_incremental : bool -> t -> t
 
 val validate : t -> (t, string) result
 (** Checks positivity of [m], [patience], [jobs], [prescreen_k] and the

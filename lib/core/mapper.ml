@@ -120,18 +120,26 @@ let create ~fabric ?(config = Config.default) program =
               { graph; comp; config; program; dag; udag; priorities; backward_priorities; estimator }
           end)
 
+(* The route cache rides on the evaluating domain (placement search fans
+   run_forward/run_backward out over pool workers, each of which keeps its
+   own), so it must be fetched inside the engine call, not captured when the
+   closure is built on the main domain. *)
+let route_cache_of t =
+  if t.config.Config.incremental_routing then Some (Router.Route_cache.domain_local ()) else None
+
 let run_with t ~policy ~priorities ~placement =
-  Engine.run ~graph:t.graph ~timing:t.config.Config.timing ~policy ~dag:t.dag ~priorities ~placement ()
+  Engine.run ~graph:t.graph ~timing:t.config.Config.timing ~policy ~dag:t.dag ~priorities ~placement
+    ?route_cache:(route_cache_of t) ()
 
 let run_forward t placement =
   Engine.run ~graph:t.graph ~timing:t.config.Config.timing ~policy:t.config.Config.qspr_policy
-    ~dag:t.dag ~priorities:t.priorities ~placement ()
+    ~dag:t.dag ~priorities:t.priorities ~placement ?route_cache:(route_cache_of t) ()
 
 let run_backward t placement =
   match (t.udag, t.backward_priorities) with
   | Some udag, Some prios ->
       Engine.run ~graph:t.graph ~timing:t.config.Config.timing ~policy:t.config.Config.qspr_policy
-        ~dag:udag ~priorities:prios ~placement ()
+        ~dag:udag ~priorities:prios ~placement ?route_cache:(route_cache_of t) ()
   | None, _ | _, None ->
       Error
         (Engine.Invalid

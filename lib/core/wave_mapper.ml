@@ -68,6 +68,10 @@ let map ?placement ctx =
     in
     let trap_pos tid = traps.(tid).Fabric.Component.tpos in
     let dag = Mapper.dag ctx in
+    (* one cache across all wave levels: lower-bound tables and the
+       congestion-free routes of earlier levels seed the later ones *)
+    let cache = Router.Route_cache.create () in
+    let incremental = cfg.Config.incremental_routing in
     let error = ref None in
     let stats = ref [] in
     let clock = ref 0.0 in
@@ -129,7 +133,7 @@ let map ?placement ctx =
               match
                 Router.Pathfinder.route_all graph
                   ~turn_cost:(Router.Timing.turn_cost_in_moves tm)
-                  ~capacity nets
+                  ~incremental ~cache ~capacity nets
               with
               | Error (Router.Pathfinder.No_route { net_id; iteration; _ }) ->
                   (* name the offending traps, not graph nodes — the net was

@@ -16,12 +16,15 @@ let build ?workspace graph ~turn_cost =
   let comp = Fabric.Graph.component graph in
   let n = Array.length (Fabric.Component.traps comp) in
   let ws = match workspace with Some w -> w | None -> Router.Workspace.create () in
-  let weight = function Fabric.Graph.Turn _ -> turn_cost | Chan _ | Junc _ | Tap _ -> 1.0 in
+  (* Row a is trap a's lower-bound table sampled at the trap nodes: the
+     router's per-destination sweeps and these trap-to-trap tables are the
+     same machinery (Lower_bound owns the base-weight definition), and the
+     fabric graph's base-weight symmetry makes from-a and to-a identical. *)
   let dist = Array.make (n * n) infinity in
   for a = 0 to n - 1 do
-    let d = Router.Dijkstra.distances ~workspace:ws graph ~weight ~src:(Fabric.Graph.trap_node graph a) in
+    let lb = Router.Lower_bound.build ~workspace:ws graph ~turn_cost ~dst:(Fabric.Graph.trap_node graph a) in
     for b = 0 to n - 1 do
-      dist.((a * n) + b) <- d.(Fabric.Graph.trap_node graph b)
+      dist.((a * n) + b) <- Router.Lower_bound.to_dst lb (Fabric.Graph.trap_node graph b)
     done
   done;
   let meet_tbl = Array.make (n * n) 0 in

@@ -220,13 +220,19 @@ let campaign ?(jobs = 1) ?(retry = Qspr.Mapper.default_retry) ?(config = Qspr.Co
             in
             let histogram =
               let tbl = Hashtbl.create 4 in
+              let count key =
+                Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+              in
               Array.iter
                 (fun t ->
                   match t.outcome with
-                  | Failed { first_failing; _ } ->
-                      Hashtbl.replace tbl first_failing
-                        (1 + Option.value ~default:0 (Hashtbl.find_opt tbl first_failing))
-                  | Mapped _ | Unmappable _ -> ())
+                  | Failed { first_failing; _ } -> count first_failing
+                  | Unmappable _ ->
+                      (* the degraded fabric was rejected before any mapping
+                         attempt; attribute the trial to its first sampled
+                         fault so it is not silently dropped from the tally *)
+                      count (match t.faults with [] -> "none" | f :: _ -> resource_kind f)
+                  | Mapped _ -> ())
                 results;
               List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
             in

@@ -91,7 +91,11 @@ type report = {
   baseline_latency : float;  (** pristine-fabric latency of the same cascade *)
   levels : level list;  (** ascending fault count *)
   histogram : (string * int) list;
-      (** first-failing-resource kinds over all failed trials, sorted *)
+      (** first-failing-resource kinds over all non-surviving trials,
+          sorted.  [Failed] trials count under their recorded
+          [first_failing]; [Unmappable] trials (fabric rejected before any
+          mapping attempt) under the resource kind of the trial's first
+          sampled fault, so the histogram totals [Failed] + [Unmappable]. *)
 }
 
 val campaign :

@@ -3,26 +3,33 @@ module Coord = Ion_util.Coord
 
 (* Manhattan distance to the goal cell: admissible because every
    position-changing edge costs at least one move unit under Eq. 2 weights,
-   and consistent because one step changes the distance by at most one. *)
-let heuristic graph dst_pos n = float_of_int (Coord.manhattan (Graph.node_pos graph n) dst_pos)
+   and consistent because one step changes the distance by at most one.
+   The fallback guide when no lower-bound table is supplied. *)
+let manhattan graph dst_pos n = float_of_int (Coord.manhattan (Graph.node_pos graph n) dst_pos)
 
 let check_range graph ~src ~dst =
   let n = Graph.num_nodes graph in
   if src < 0 || src >= n || dst < 0 || dst >= n then invalid_arg "Astar: node out of range"
 
-let shortest_path ?workspace graph ~weight ~src ~dst =
+(* A lower-bound table dominates Manhattan (it prices turns and detours
+   exactly), so use it whenever the caller has one. *)
+let heuristic_of ?lower_bound graph ~dst =
+  match lower_bound with
+  | Some lb -> Lower_bound.heuristic lb
+  | None -> manhattan graph (Graph.node_pos graph dst)
+
+let shortest_path ?workspace ?lower_bound graph ~weight ~src ~dst =
   check_range graph ~src ~dst;
   let ws = match workspace with Some w -> w | None -> Workspace.create () in
-  let dst_pos = Graph.node_pos graph dst in
-  Dijkstra.run_into ~heuristic:(heuristic graph dst_pos) ws graph ~weight ~src ~dst;
+  Dijkstra.run_into ~heuristic:(heuristic_of ?lower_bound graph ~dst) ws graph ~weight ~src ~dst;
   Dijkstra.path_to ws graph ~dst
 
-let nodes_expanded ?workspace graph ~weight ~src ~dst =
+let nodes_expanded ?workspace ?lower_bound graph ~weight ~src ~dst =
   check_range graph ~src ~dst;
   let ws = match workspace with Some w -> w | None -> Workspace.create () in
-  let dst_pos = Graph.node_pos graph dst in
   let astar_count = ref 0 and dij_count = ref 0 in
-  Dijkstra.run_into ~heuristic:(heuristic graph dst_pos) ~count:astar_count ws graph ~weight ~src
-    ~dst;
+  Dijkstra.run_into
+    ~heuristic:(heuristic_of ?lower_bound graph ~dst)
+    ~count:astar_count ws graph ~weight ~src ~dst;
   Dijkstra.run_into ~count:dij_count ws graph ~weight ~src ~dst;
   (!astar_count, !dij_count)

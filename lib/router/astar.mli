@@ -1,26 +1,39 @@
 (** A* shortest paths on the fabric routing graph.
 
-    Same contract as {!Dijkstra.shortest_path} but guided by the Manhattan
-    distance to the goal cell.  Every position-changing edge costs at least
-    one move unit under the Eq. 2 weight function (congestion only raises
-    channel weights) and turn edges never reduce distance, so the heuristic
-    is admissible and A* returns exactly Dijkstra's costs while settling
-    fewer nodes.  Both searches are the one loop in {!Dijkstra.run_into}
-    with the heuristic plugged in, sharing the same reusable workspace.
-    The test suite checks cost-equality against Dijkstra on random queries;
-    the bench harness measures the effort saved. *)
+    Same contract as {!Dijkstra.shortest_path} but guided by an admissible
+    heuristic, so it returns exactly Dijkstra's costs while settling fewer
+    nodes.  Two guides are available:
+
+    - a {!Lower_bound.t} table (pass [?lower_bound]): the exact base-cost
+      distance to the destination — the strongest admissible consistent
+      heuristic available here, pricing turns and forced detours exactly;
+    - the Manhattan distance to the goal cell (the fallback): admissible
+      because every position-changing edge costs at least one move unit
+      under Eq. 2 weights and turn edges never reduce distance, but blind
+      to turns and obstacles, so it subsumes into the table guide whenever
+      one is on hand.
+
+    Both run the one loop in {!Dijkstra.run_into} with the heuristic plugged
+    in, sharing the same reusable workspace.  The test suite checks
+    cost-equality against Dijkstra on random queries; the bench harness
+    measures the effort saved. *)
 
 val shortest_path :
   ?workspace:Workspace.t ->
+  ?lower_bound:Lower_bound.t ->
   Fabric.Graph.t ->
   weight:(Fabric.Graph.edge_kind -> float) ->
   src:Fabric.Graph.node ->
   dst:Fabric.Graph.node ->
   Dijkstra.result option
-(** @raise Invalid_argument on negative weights, like Dijkstra. *)
+(** [lower_bound], when given, must have been built for this graph, [dst]
+    and a turn cost no greater than the live one — {!Route_cache.lower_bound}
+    hands out exactly that.  @raise Invalid_argument on negative weights,
+    like Dijkstra. *)
 
 val nodes_expanded :
   ?workspace:Workspace.t ->
+  ?lower_bound:Lower_bound.t ->
   Fabric.Graph.t ->
   weight:(Fabric.Graph.edge_kind -> float) ->
   src:Fabric.Graph.node ->

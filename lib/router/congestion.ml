@@ -3,6 +3,12 @@ type t = {
   junc_cap : int;
   seg_users : int array;
   junc_users : int array;
+  (* O(1) mirrors of the arrays, maintained by acquire/release: the engine
+     asks "is anything in flight?" / "do live weights equal base weights?"
+     once per route, and folding the arrays there would dominate. *)
+  mutable seg_total : int;
+  mutable junc_total : int;
+  mutable junc_saturated : int;
 }
 
 let create comp ~channel_capacity ~junction_capacity =
@@ -13,6 +19,9 @@ let create comp ~channel_capacity ~junction_capacity =
     junc_cap = junction_capacity;
     seg_users = Array.make (Array.length (Fabric.Component.segments comp)) 0;
     junc_users = Array.make (Array.length (Fabric.Component.junctions comp)) 0;
+    seg_total = 0;
+    junc_total = 0;
+    junc_saturated = 0;
   }
 
 let channel_capacity t = t.chan_cap
@@ -30,15 +39,25 @@ let acquire t r =
   if not (is_free t r) then
     invalid_arg (Format.asprintf "Congestion.acquire: %a is at capacity" Resource.pp r);
   match r with
-  | Resource.Segment s -> t.seg_users.(s) <- t.seg_users.(s) + 1
-  | Resource.Junction j -> t.junc_users.(j) <- t.junc_users.(j) + 1
+  | Resource.Segment s ->
+      t.seg_users.(s) <- t.seg_users.(s) + 1;
+      t.seg_total <- t.seg_total + 1
+  | Resource.Junction j ->
+      t.junc_users.(j) <- t.junc_users.(j) + 1;
+      t.junc_total <- t.junc_total + 1;
+      if t.junc_users.(j) = t.junc_cap then t.junc_saturated <- t.junc_saturated + 1
 
 let release t r =
   if users t r <= 0 then
     invalid_arg (Format.asprintf "Congestion.release: %a has no users" Resource.pp r);
   match r with
-  | Resource.Segment s -> t.seg_users.(s) <- t.seg_users.(s) - 1
-  | Resource.Junction j -> t.junc_users.(j) <- t.junc_users.(j) - 1
+  | Resource.Segment s ->
+      t.seg_users.(s) <- t.seg_users.(s) - 1;
+      t.seg_total <- t.seg_total - 1
+  | Resource.Junction j ->
+      if t.junc_users.(j) = t.junc_cap then t.junc_saturated <- t.junc_saturated - 1;
+      t.junc_users.(j) <- t.junc_users.(j) - 1;
+      t.junc_total <- t.junc_total - 1
 
 let weight t ~turn_cost (kind : Fabric.Graph.edge_kind) =
   match kind with
@@ -49,5 +68,10 @@ let weight t ~turn_cost (kind : Fabric.Graph.edge_kind) =
   | Fabric.Graph.Turn _ -> turn_cost
   | Fabric.Graph.Tap _ -> 1.0
 
-let total_in_flight t =
-  Array.fold_left ( + ) 0 t.seg_users + Array.fold_left ( + ) 0 t.junc_users
+let total_in_flight t = t.seg_total + t.junc_total
+
+(* Channel weight is (n+1), so ANY segment user moves it off the base cost;
+   junction weight stays 1.0 strictly below capacity, so only saturation
+   moves it.  Occupied-but-unsaturated junctions are therefore compatible
+   with base weights. *)
+let base_weights_active t = t.seg_total = 0 && t.junc_saturated = 0

@@ -42,4 +42,13 @@ val weight : t -> turn_cost:float -> Fabric.Graph.edge_kind -> float
     values. *)
 
 val total_in_flight : t -> int
-(** Sum of users over all resources, for diagnostics and invariant checks. *)
+(** Sum of users over all resources, for diagnostics and invariant checks.
+    O(1): maintained by {!acquire}/{!release}. *)
+
+val base_weights_active : t -> bool
+(** True iff {!weight} currently equals {!Lower_bound.base_weight} on every
+    edge: no segment has any user (channel cost is [(n+1)], so one user
+    already deviates) and no junction is saturated (junction cost stays 1
+    strictly below capacity).  While true, a shortest-path query is a pure
+    function of [(turn_cost, src, dst)] and may be served from — or stored
+    into — a {!Route_cache}.  O(1). *)

@@ -2,7 +2,13 @@ module Graph = Fabric.Graph
 
 type net = { net_id : int; src : Graph.node; dst : Graph.node }
 
-type outcome = { routes : (int * Path.t) list; iterations : int; overused : int }
+type outcome = {
+  routes : (int * Path.t) list;
+  iterations : int;
+  overused : int;
+  searches : int;
+  seeded : int;
+}
 
 type error =
   | No_route of { net_id : int; src : Graph.node; dst : Graph.node; iteration : int }
@@ -30,75 +36,170 @@ let max_overuse _graph ~capacity routes =
   Resource.Tbl.fold (fun r users acc -> max acc (users - capacity r)) tbl 0
 
 let route_all graph ?(max_iterations = 30) ?(present_factor = 0.5) ?(history_increment = 1.0)
-    ?(turn_cost = 10.0) ~capacity nets =
+    ?(turn_cost = 10.0) ?(incremental = true) ?cache ~capacity nets =
   if max_iterations < 1 then Error (Bad_parameters "max_iterations must be positive")
   else if present_factor < 0.0 || history_increment < 0.0 || turn_cost < 0.0 then
     Error (Bad_parameters "negative parameters")
   else begin
+    (* The cache supplies the per-destination lower-bound tables guiding
+       every search; a caller-owned cache additionally carries tables and
+       congestion-free routes across calls (wave levels, placement
+       candidates).  A private one still shares tables between the nets of
+       this call — gates contribute two nets to the same destination trap. *)
+    let cache = match cache with Some c -> c | None -> Route_cache.create () in
+    Route_cache.for_graph cache graph;
+    let workspace = Route_cache.workspace cache in
     let history = Resource.Tbl.create 64 in
     let hist r = Option.value ~default:0.0 (Resource.Tbl.find_opt history r) in
+    let history_dirty = ref false in
     let routes : (int, Path.t) Hashtbl.t = Hashtbl.create 16 in
-    (* Occupancy of the CURRENT routes, maintained incrementally: each net is
-       ripped up (bump -1) just before its own re-route and re-acquired
-       (bump +1) after, so the table is never rebuilt between iterations. *)
+    (* Occupancy of the CURRENT routes, maintained incrementally — never
+       rebuilt.  [users] is the reverse index (resource -> nets whose current
+       route crosses it; each net at most once, Path.resources is distinct),
+       [overused] the live set of resources above capacity, and [at_capacity]
+       counts resources whose next user would pay a present penalty — the
+       negotiation weight equals the base weight exactly when it is zero and
+       no history has accrued. *)
     let occupancy = Resource.Tbl.create 64 in
     let occ r = Option.value ~default:0 (Resource.Tbl.find_opt occupancy r) in
-    let bump r d = Resource.Tbl.replace occupancy r (max 0 (occ r + d)) in
-    let workspace = Workspace.create () in
-    let error = ref None in
+    let users : int list Resource.Tbl.t = Resource.Tbl.create 64 in
+    let overused : unit Resource.Tbl.t = Resource.Tbl.create 16 in
+    let at_capacity = ref 0 in
+    let bump r d =
+      let before = occ r in
+      let after = before + d in
+      if after < 0 then
+        invalid_arg "Pathfinder: negative occupancy — a net was ripped up twice";
+      Resource.Tbl.replace occupancy r after;
+      let cap = capacity r in
+      if before < cap && after >= cap then incr at_capacity
+      else if before >= cap && after < cap then decr at_capacity;
+      if after > cap then Resource.Tbl.replace overused r ()
+      else Resource.Tbl.remove overused r
+    in
+    let rip net_id =
+      match Hashtbl.find_opt routes net_id with
+      | None -> ()
+      | Some old ->
+          List.iter
+            (fun r ->
+              bump r (-1);
+              Resource.Tbl.replace users r
+                (List.filter (( <> ) net_id) (Option.value ~default:[] (Resource.Tbl.find_opt users r))))
+            (Path.resources old)
+    in
+    let place net_id path =
+      Hashtbl.replace routes net_id path;
+      List.iter
+        (fun r ->
+          bump r 1;
+          Resource.Tbl.replace users r
+            (net_id :: Option.value ~default:[] (Resource.Tbl.find_opt users r)))
+        (Path.resources path)
+    in
+    let searches = ref 0 and seeded = ref 0 in
     let iterations = ref 0 in
+    let weight (kind : Graph.edge_kind) =
+      let base = match kind with Graph.Turn _ -> turn_cost | _ -> 1.0 in
+      match Resource.of_edge kind with
+      | None -> base
+      | Some r ->
+          let over = max 0 (occ r + 1 - capacity r) in
+          let p_fac = 1.0 +. (present_factor *. float_of_int !iterations) in
+          (base +. hist r) *. (1.0 +. (float_of_int over *. p_fac))
+    in
+    (* One net's search: lower-bound-guided A* under the live negotiation
+       weights (admissible: present/history penalties only add to the base
+       cost the tables price).  While the live weights still equal the base
+       weights — nothing at capacity, no history — the search is a pure
+       function of (turn_cost, src, dst), so a caller-owned cache can seed
+       it from an earlier call and absorb its result for later ones.  The
+       seed substitutes verbatim for the search it skips: only exact
+       replays, never merely-equal-cost ones.  Seeding rides the same gate
+       as dirty-net rerouting so the legacy path stays a true baseline. *)
+    let route net =
+      let clean = !at_capacity = 0 && not !history_dirty in
+      let seed =
+        if clean && incremental then
+          Route_cache.find cache Route_cache.Guided ~turn_cost ~src:net.src ~dst:net.dst
+        else None
+      in
+      match seed with
+      | Some result ->
+          incr seeded;
+          result
+      | None ->
+          incr searches;
+          let lb = Route_cache.lower_bound cache graph ~turn_cost ~dst:net.dst in
+          Dijkstra.run_into ~heuristic:(Lower_bound.heuristic lb) workspace graph ~weight
+            ~src:net.src ~dst:net.dst;
+          let result =
+            Option.map
+              (Path.of_result ~src:net.src ~dst:net.dst)
+              (Dijkstra.path_to workspace graph ~dst:net.dst)
+          in
+          if clean && incremental then
+            Route_cache.store cache Route_cache.Guided ~turn_cost ~src:net.src ~dst:net.dst result;
+          result
+    in
+    let error = ref None in
     let converged = ref false in
     while (not !converged) && !error = None && !iterations < max_iterations do
       incr iterations;
-      let p_fac = 1.0 +. (present_factor *. float_of_int !iterations) in
+      (* Iteration 1 routes everything.  Later iterations: the legacy path
+         rips up and re-routes every net; the incremental path only the
+         dirty nets — those whose current route crosses an overused resource
+         (straight off the reverse index), in input order.  An overused
+         resource always has users, so the worklist is never empty before
+         convergence. *)
+      let worklist =
+        if !iterations = 1 || not incremental then nets
+        else begin
+          let dirty = Hashtbl.create 16 in
+          Resource.Tbl.iter
+            (fun r () ->
+              List.iter
+                (fun id -> Hashtbl.replace dirty id ())
+                (Option.value ~default:[] (Resource.Tbl.find_opt users r)))
+            overused;
+          List.filter (fun net -> Hashtbl.mem dirty net.net_id) nets
+        end
+      in
       List.iter
         (fun net ->
           if !error = None then begin
-            (* rip up this net's previous route *)
-            (match Hashtbl.find_opt routes net.net_id with
-            | Some old -> List.iter (fun r -> bump r (-1)) (Path.resources old)
-            | None -> ());
-            let weight (kind : Graph.edge_kind) =
-              let base = match kind with Graph.Turn _ -> turn_cost | _ -> 1.0 in
-              match Resource.of_edge kind with
-              | None -> base
-              | Some r ->
-                  let over = max 0 (occ r + 1 - capacity r) in
-                  ((base +. hist r) *. (1.0 +. (float_of_int over *. p_fac)))
-            in
-            match Dijkstra.shortest_path ~workspace graph ~weight ~src:net.src ~dst:net.dst with
+            rip net.net_id;
+            match route net with
             | None ->
                 error :=
                   Some
                     (No_route
                        { net_id = net.net_id; src = net.src; dst = net.dst; iteration = !iterations })
-            | Some result ->
-                let path = Path.of_result ~src:net.src ~dst:net.dst result in
-                Hashtbl.replace routes net.net_id path;
-                List.iter (fun r -> bump r 1) (Path.resources path)
+            | Some path -> place net.net_id path
           end)
-        nets;
+        worklist;
       if !error = None then begin
-        (* history penalties on overused resources; convergence check *)
-        let over = ref 0 in
-        Resource.Tbl.iter
-          (fun r users ->
-            if users > capacity r then begin
-              incr over;
-              Resource.Tbl.replace history r (hist r +. history_increment)
-            end)
-          occupancy;
-        if !over = 0 then converged := true
+        (* history penalties on the still-overused resources; convergence is
+           "overused set empty" — both straight off the maintained state *)
+        if Resource.Tbl.length overused = 0 then converged := true
+        else begin
+          history_dirty := true;
+          Resource.Tbl.iter
+            (fun r () -> Resource.Tbl.replace history r (hist r +. history_increment))
+            overused
+        end
       end
     done;
     match !error with
     | Some e -> Error e
     | None ->
         let final = List.map (fun net -> (net.net_id, Hashtbl.find routes net.net_id)) nets in
-        let overused =
-          Resource.Tbl.fold
-            (fun r users acc -> if users > capacity r then acc + 1 else acc)
-            occupancy 0
-        in
-        Ok { routes = final; iterations = !iterations; overused }
+        Ok
+          {
+            routes = final;
+            iterations = !iterations;
+            overused = Resource.Tbl.length overused;
+            searches = !searches;
+            seeded = !seeded;
+          }
   end

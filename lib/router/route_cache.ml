@@ -1,0 +1,87 @@
+module Graph = Fabric.Graph
+
+type flavor = Plain | Guided
+
+(* Soft caps: beyond them lookups keep working but new entries are not
+   stored, so a pathological workload degrades to the uncached cost instead
+   of growing without bound.  Hit/miss behaviour stays deterministic — the
+   caps are reached at the same point for the same query sequence. *)
+let max_paths = 200_000
+let max_bounds = 512
+
+type t = {
+  workspace : Workspace.t;  (* scratch for table builds and cached searches *)
+  mutable graph : Graph.t option;  (* physical identity of the cached fabric *)
+  bounds : (float * int, Lower_bound.t) Hashtbl.t;
+  plain : (float * int * int, Path.t option) Hashtbl.t;
+  guided : (float * int * int, Path.t option) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+  mutable bound_builds : int;
+}
+
+let create () =
+  {
+    workspace = Workspace.create ();
+    graph = None;
+    bounds = Hashtbl.create 32;
+    plain = Hashtbl.create 256;
+    guided = Hashtbl.create 256;
+    hits = 0;
+    misses = 0;
+    bound_builds = 0;
+  }
+
+let clear t =
+  t.graph <- None;
+  Hashtbl.reset t.bounds;
+  Hashtbl.reset t.plain;
+  Hashtbl.reset t.guided
+
+let for_graph t graph =
+  match t.graph with
+  | Some g when g == graph -> ()
+  | Some _ ->
+      clear t;
+      t.graph <- Some graph
+  | None -> t.graph <- Some graph
+
+let workspace t = t.workspace
+
+let lower_bound t graph ~turn_cost ~dst =
+  for_graph t graph;
+  match Hashtbl.find_opt t.bounds (turn_cost, dst) with
+  | Some lb -> lb
+  | None ->
+      t.bound_builds <- t.bound_builds + 1;
+      let lb = Lower_bound.build ~workspace:t.workspace graph ~turn_cost ~dst in
+      if Hashtbl.length t.bounds < max_bounds then Hashtbl.add t.bounds (turn_cost, dst) lb;
+      lb
+
+let table t = function Plain -> t.plain | Guided -> t.guided
+
+let find t flavor ~turn_cost ~src ~dst =
+  match Hashtbl.find_opt (table t flavor) (turn_cost, src, dst) with
+  | Some _ as hit ->
+      t.hits <- t.hits + 1;
+      hit
+  | None ->
+      t.misses <- t.misses + 1;
+      None
+
+let store t flavor ~turn_cost ~src ~dst path =
+  let tbl = table t flavor in
+  if Hashtbl.length tbl < max_paths then Hashtbl.replace tbl (turn_cost, src, dst) path
+
+let hits t = t.hits
+let misses t = t.misses
+let bound_builds t = t.bound_builds
+
+(* One cache per domain: placement search fans candidate evaluations out over
+   Domain_pool workers, and each worker keeps its own cache for the hundreds
+   of near-identical candidate routings it evaluates.  Cached values are pure
+   functions of (graph, turn_cost, src, dst), so which domain served a
+   candidate never changes its result — jobs=1 and jobs=N stay bit-identical. *)
+let key = Domain.DLS.new_key create
+
+let domain_local () = Domain.DLS.get key

@@ -34,3 +34,11 @@ let prepare t n =
 let dist t n = if t.reached.(n) = t.generation then t.dist.(n) else Float.infinity
 
 let is_settled t n = t.settled.(n) = t.generation
+
+(* A workspace per domain, created on first use: engine runs and cache
+   builds on the same domain are strictly sequential, so sharing one set of
+   generation-stamped arrays across them is safe and keeps repeated runs
+   from re-growing fresh arrays. *)
+let key = Domain.DLS.new_key create
+
+let domain_local () = Domain.DLS.get key

@@ -24,6 +24,11 @@ type t = {
 val create : unit -> t
 (** An empty workspace; arrays grow to the graph size on first {!prepare}. *)
 
+val domain_local : unit -> t
+(** This domain's shared workspace (created on first use).  Safe to use for
+    any strictly sequential sequence of queries on the calling domain; never
+    share the returned value with another domain. *)
+
 val prepare : t -> int -> unit
 (** [prepare t n] readies the workspace for a query on an [n]-node graph:
     grows the arrays if needed, invalidates all previous stamps by bumping

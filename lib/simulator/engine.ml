@@ -35,6 +35,8 @@ type result = {
   stats : instr_stats array;
   total_congestion_wait : float;
   total_routing_time : float;
+  route_searches : int;
+  route_cache_hits : int;
 }
 
 type event = Instr_done of int | Resource_exit of Resource.t
@@ -73,7 +75,10 @@ type state = {
   route_moves : int array;
   route_turns : int array;
   mutable emitted_events : int;
-  workspace : Router.Workspace.t; (* per-run scratch for route searches *)
+  workspace : Router.Workspace.t; (* per-domain scratch for route searches *)
+  route_cache : Route_cache.t option; (* congestion-free path memo, None = legacy *)
+  mutable route_searches : int;
+  mutable route_cache_hits : int;
 }
 
 let turn_cost st = if st.policy.turn_aware then Timing.turn_cost_in_moves st.timing else 0.0
@@ -115,8 +120,42 @@ let trap_candidates st ~control ~target =
     let take k l = List.filteri (fun i _ -> i < k) l in
     take st.policy.trap_candidates (preferred @ rest)
 
+(* Exact O(degree²) early-out for the dispatch_pending flood: a staged
+   operand whose trap's tap segment is still held by its partner's crossing
+   would otherwise flood-fill everything reachable under finite weights
+   before failing.  [src] is sealed when every 2-step escape is cut: each
+   out-edge is either saturated already, or leads to a node whose only
+   finite continuations return to [src] (tap edges never saturate, so the
+   depth-1 check alone can never fire from a trap).  Sealed ⇒ every walk
+   oscillates between [src] and its tap cells ⇒ Dijkstra would return None
+   after settling that same perimeter — the skip is bit-identical. *)
+let all_infinite_except st v ~back =
+  let stop = Graph.succ_stop st.graph v in
+  let rec go i =
+    i >= stop
+    || ((Graph.succ_dst st.graph i = back || weight st (Graph.succ_kind st.graph i) = Float.infinity)
+       && go (i + 1))
+  in
+  go (Graph.succ_start st.graph v)
+
+let source_sealed st ~src ~dst =
+  let stop = Graph.succ_stop st.graph src in
+  let rec go i =
+    i >= stop
+    || (let v = Graph.succ_dst st.graph i in
+        (weight st (Graph.succ_kind st.graph i) = Float.infinity
+        || (v <> dst && all_infinite_except st v ~back:src))
+        && go (i + 1))
+  in
+  go (Graph.succ_start st.graph src)
+
 (* route one qubit from its trap to the target trap under current weights;
-   an already-there qubit yields the empty path *)
+   an already-there qubit yields the empty path.  While nothing is in
+   flight the live weights equal the base weights and the search is a pure
+   function of (turn_cost, src, dst): serve it from the domain's route
+   cache when one is armed, or run it and remember the result.  Cached
+   entries are the plain-Dijkstra answers (flavor Plain), so a hit replays
+   the uncached search bit-for-bit — equal-cost tie-breaking included. *)
 let route_qubit st q ~to_trap =
   match qubit_trap st q with
   | None -> None
@@ -124,8 +163,34 @@ let route_qubit st q ~to_trap =
       if from_trap = to_trap then Some (Path.empty (Graph.trap_node st.graph to_trap))
       else
         let src = Graph.trap_node st.graph from_trap and dst = Graph.trap_node st.graph to_trap in
-        Dijkstra.shortest_path ~workspace:st.workspace st.graph ~weight:(weight st) ~src ~dst
-        |> Option.map (Path.of_result ~src ~dst)
+        if source_sealed st ~src ~dst then None
+        else begin
+          let cache =
+            match st.route_cache with
+            | Some c when Congestion.base_weights_active st.congestion -> Some c
+            | Some _ | None -> None
+          in
+          let tc = turn_cost st in
+          match cache with
+          | Some c -> (
+              match Route_cache.find c Route_cache.Plain ~turn_cost:tc ~src ~dst with
+              | Some result ->
+                  st.route_cache_hits <- st.route_cache_hits + 1;
+                  result
+              | None ->
+                  st.route_searches <- st.route_searches + 1;
+                  let result =
+                    Dijkstra.shortest_path ~workspace:st.workspace st.graph ~weight:(weight st)
+                      ~src ~dst
+                    |> Option.map (Path.of_result ~src ~dst)
+                  in
+                  Route_cache.store c Route_cache.Plain ~turn_cost:tc ~src ~dst result;
+                  result)
+          | None ->
+              st.route_searches <- st.route_searches + 1;
+              Dijkstra.shortest_path ~workspace:st.workspace st.graph ~weight:(weight st) ~src ~dst
+              |> Option.map (Path.of_result ~src ~dst)
+        end
 
 let acquire_path st p = List.iter (Congestion.acquire st.congestion) (Path.resources p)
 let release_path st p = List.iter (Congestion.release st.congestion) (Path.resources p)
@@ -309,7 +374,7 @@ let string_of_error = function
         budget
 
 let run ~graph ~timing ~policy ~dag ~priorities ~placement ?(max_events_factor = max_events_factor)
-    () =
+    ?route_cache () =
   let comp = Graph.component graph in
   let nq = Program.num_qubits (Dag.program dag) in
   let ntraps = Array.length (Component.traps comp) in
@@ -357,9 +422,13 @@ let run ~graph ~timing ~policy ~dag ~priorities ~placement ?(max_events_factor =
           route_moves = Array.make n 0;
           route_turns = Array.make n 0;
           emitted_events = 0;
-          workspace = Workspace.create ();
+          workspace = Workspace.domain_local ();
+          route_cache;
+          route_searches = 0;
+          route_cache_hits = 0;
         }
       in
+      (match route_cache with Some c -> Route_cache.for_graph c graph | None -> ());
       Array.iteri (fun q t -> st.occupants.(t) <- q :: st.occupants.(t)) placement;
       let budget = max_events_factor * (n + 1) in
       let error = ref None in
@@ -443,6 +512,8 @@ let run ~graph ~timing ~policy ~dag ~priorities ~placement ?(max_events_factor =
                 stats;
                 total_congestion_wait;
                 total_routing_time;
+                route_searches = st.route_searches;
+                route_cache_hits = st.route_cache_hits;
               }
           end
     end

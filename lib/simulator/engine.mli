@@ -45,6 +45,8 @@ type result = {
   stats : instr_stats array;
   total_congestion_wait : float;
   total_routing_time : float;
+  route_searches : int;  (** single-net Dijkstra searches actually run *)
+  route_cache_hits : int;  (** searches served verbatim from the route cache *)
 }
 
 type error =
@@ -68,6 +70,7 @@ val run :
   priorities:float array ->
   placement:int array ->
   ?max_events_factor:int ->
+  ?route_cache:Router.Route_cache.t ->
   unit ->
   (result, error) Stdlib.result
 (** [placement.(q)] is the initial trap of qubit [q]; traps hold at most two
@@ -76,4 +79,12 @@ val run :
     whose traps cannot reach each other (deadlock), or event-budget blowout
     (livelock).  [max_events_factor] (default 10_000) scales the livelock
     budget as [factor * (instructions + 1)] — exposed so tests can force the
-    livelock branch cheaply. *)
+    livelock branch cheaply.
+
+    [route_cache], when given, memoizes the searches issued while nothing is
+    in flight (see {!Router.Congestion.base_weights_active}) across runs and
+    candidates on the same fabric; hits replay the uncached plain-Dijkstra
+    result bit-for-bit, so the trace and latency are identical with or
+    without a cache — only {!result.route_searches} shrinks.  The cache is
+    single-domain state; pass each domain its own
+    ({!Router.Route_cache.domain_local}). *)

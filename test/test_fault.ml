@@ -199,6 +199,26 @@ let test_campaign_bit_identical_across_jobs () =
   in
   Alcotest.(check string) "jobs=1 vs jobs=3" (run 1) (run 3)
 
+(* regression: trials whose degraded fabric is rejected before any mapping
+   attempt ([Unmappable]) must be tallied in the first-failing histogram,
+   not silently dropped — every non-surviving trial lands under some key *)
+let test_campaign_histogram_counts_unmappable () =
+  let trials = 6 in
+  let r =
+    campaign_exn ~seed:4 ~levels:[ 0; 1 ] ~trials ~fabric:(bottleneck ()) (parse_program bell)
+  in
+  let count_outcomes pred =
+    List.fold_left
+      (fun acc l ->
+        List.fold_left (fun acc t -> if pred t.Fault.outcome then acc + 1 else acc) acc l.Fault.trials)
+      0 r.Fault.levels
+  in
+  let unmappable = count_outcomes (function Fault.Unmappable _ -> true | _ -> false) in
+  check_bool "scenario exercises Unmappable trials" true (unmappable > 0);
+  let not_mapped = count_outcomes (function Fault.Mapped _ -> false | _ -> true) in
+  let tallied = List.fold_left (fun acc (_, n) -> acc + n) 0 r.Fault.histogram in
+  check_int "histogram totals Failed + Unmappable" not_mapped tallied
+
 let test_campaign_rejects_bad_arguments () =
   let fabric = bottleneck () and program = parse_program bell in
   let expect_error label = function
@@ -311,6 +331,8 @@ let () =
           Alcotest.test_case "survival levels" `Quick test_campaign_survival_levels;
           Alcotest.test_case "bit-identical across jobs" `Quick
             test_campaign_bit_identical_across_jobs;
+          Alcotest.test_case "histogram counts unmappable" `Quick
+            test_campaign_histogram_counts_unmappable;
           Alcotest.test_case "rejects bad arguments" `Quick test_campaign_rejects_bad_arguments;
         ] );
       ( "certify",

@@ -92,6 +92,119 @@ let test_unroutable_reported () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "disconnected net accepted"
 
+(* ------------------------------------------------ incremental vs legacy *)
+
+let same_routes a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (ida, pa) (idb, pb) -> ida = idb && pa.Path.edges = pb.Path.edges)
+       a b
+
+let test_incremental_matches_legacy_uncongested () =
+  (* plenty of capacity: both schedules converge in one iteration, so the
+     outcomes must be identical, search for search *)
+  let comp = quale () in
+  let g = Graph.build comp in
+  let traps = Array.length (Component.traps comp) in
+  let nets =
+    List.init 6 (fun i ->
+        { Pathfinder.net_id = i; src = Graph.trap_node g (i * 7); dst = Graph.trap_node g (traps - 1 - (i * 11)) })
+  in
+  let run incremental =
+    match Pathfinder.route_all g ~incremental ~capacity:cap2 nets with
+    | Ok o -> o
+    | Error e -> Alcotest.fail (Pathfinder.string_of_error e)
+  in
+  let inc = run true and leg = run false in
+  check_int "both converge" 0 (inc.Pathfinder.overused + leg.Pathfinder.overused);
+  check_bool "identical routes" true (same_routes inc.Pathfinder.routes leg.Pathfinder.routes);
+  check_int "same iterations" leg.Pathfinder.iterations inc.Pathfinder.iterations;
+  check_int "same searches" leg.Pathfinder.searches inc.Pathfinder.searches
+
+let test_incremental_fewer_searches_when_congested () =
+  (* two nets contest the top row at channel capacity 1 while a third runs
+     disjointly along the bottom row: negotiation needs a second iteration,
+     where the legacy schedule re-searches all three nets but the dirty-net
+     schedule leaves the clean bottom net alone *)
+  let lay =
+    Layout.make_grid ~width:17 ~height:13 ~pitch_x:6 ~pitch_y:5 ~margin:2 ~traps_per_channel:0 ()
+  in
+  let comp = comp_of lay in
+  let g = Graph.build comp in
+  let top_src = node_at g (Ion_util.Coord.make 2 2) (Some Cell.Horizontal) in
+  let top_dst = node_at g (Ion_util.Coord.make 14 2) (Some Cell.Horizontal) in
+  let bot_src = node_at g (Ion_util.Coord.make 2 12) (Some Cell.Horizontal) in
+  let bot_dst = node_at g (Ion_util.Coord.make 14 12) (Some Cell.Horizontal) in
+  let nets =
+    [
+      { Pathfinder.net_id = 0; src = top_src; dst = top_dst };
+      { Pathfinder.net_id = 1; src = top_src; dst = top_dst };
+      { Pathfinder.net_id = 2; src = bot_src; dst = bot_dst };
+    ]
+  in
+  let run incremental =
+    match Pathfinder.route_all g ~incremental ~capacity:cap1 nets with
+    | Ok o -> o
+    | Error e -> Alcotest.fail (Pathfinder.string_of_error e)
+  in
+  let inc = run true and leg = run false in
+  check_int "incremental converges" 0 inc.Pathfinder.overused;
+  check_int "legacy converges" 0 leg.Pathfinder.overused;
+  check_int "legacy fixpoint within capacity" 0
+    (Pathfinder.max_overuse g ~capacity:cap1 leg.Pathfinder.routes);
+  check_int "incremental fixpoint within capacity" 0
+    (Pathfinder.max_overuse g ~capacity:cap1 inc.Pathfinder.routes);
+  check_bool "negotiation actually iterated" true (leg.Pathfinder.iterations > 1);
+  check_bool
+    (Printf.sprintf "strictly fewer searches (%d < %d)" inc.Pathfinder.searches
+       leg.Pathfinder.searches)
+    true
+    (inc.Pathfinder.searches < leg.Pathfinder.searches)
+
+let test_cache_seeds_across_calls () =
+  let comp = tile () in
+  let g = Graph.build comp in
+  let nets = [ { Pathfinder.net_id = 0; src = Graph.trap_node g 0; dst = Graph.trap_node g 3 } ] in
+  let cache = Route_cache.create () in
+  let run () =
+    match Pathfinder.route_all g ~cache ~capacity:cap2 nets with
+    | Ok o -> o
+    | Error e -> Alcotest.fail (Pathfinder.string_of_error e)
+  in
+  let cold = run () in
+  check_int "cold call searches" 1 cold.Pathfinder.searches;
+  check_int "cold call unseeded" 0 cold.Pathfinder.seeded;
+  let warm = run () in
+  check_int "warm call seeded" 1 warm.Pathfinder.seeded;
+  check_int "warm call searches nothing" 0 warm.Pathfinder.searches;
+  check_bool "identical routes" true (same_routes cold.Pathfinder.routes warm.Pathfinder.routes)
+
+(* property: incremental and legacy schedules agree exactly whenever the
+   wave converges without negotiation (one iteration) *)
+let prop_incremental_equals_legacy_when_clean =
+  QCheck.Test.make ~name:"incremental = legacy on one-iteration waves" ~count:25
+    QCheck.(list_of_size Gen.(2 -- 8) (pair (int_bound 1000) (int_bound 1000)))
+    (fun pairs ->
+      let comp = quale () in
+      let g = Graph.build comp in
+      let traps = Array.length (Component.traps comp) in
+      let nets =
+        List.mapi
+          (fun i (a, b) ->
+            { Pathfinder.net_id = i; src = Graph.trap_node g (a mod traps); dst = Graph.trap_node g (b mod traps) })
+          pairs
+      in
+      let run incremental = Pathfinder.route_all g ~incremental ~capacity:cap2 nets in
+      match (run true, run false) with
+      | Error _, Error _ -> true
+      | Ok inc, Ok leg ->
+          (* multi-iteration negotiations may land on different equal-quality
+             fixpoints; single-iteration waves must agree exactly *)
+          leg.Pathfinder.iterations > 1
+          || (same_routes inc.Pathfinder.routes leg.Pathfinder.routes
+             && inc.Pathfinder.searches = leg.Pathfinder.searches)
+      | _ -> false)
+
 let test_parameter_guards () =
   let comp = tile () in
   let g = Graph.build comp in
@@ -130,7 +243,12 @@ let () =
           Alcotest.test_case "contested nets negotiate" `Quick test_contested_nets_negotiate_apart;
           Alcotest.test_case "wave on 45x85" `Quick test_wave_on_quale_capacity2;
           Alcotest.test_case "unroutable reported" `Quick test_unroutable_reported;
+          Alcotest.test_case "incremental = legacy uncongested" `Quick
+            test_incremental_matches_legacy_uncongested;
+          Alcotest.test_case "incremental saves searches" `Quick
+            test_incremental_fewer_searches_when_congested;
+          Alcotest.test_case "cache seeds across calls" `Quick test_cache_seeds_across_calls;
           Alcotest.test_case "guards" `Quick test_parameter_guards;
         ]
-        @ qsuite [ prop_fixpoint_within_capacity ] );
+        @ qsuite [ prop_fixpoint_within_capacity; prop_incremental_equals_legacy_when_clean ] );
     ]
