@@ -288,6 +288,41 @@ let bench_estimator =
              solution_latency (Qspr.Mapper.map_monte_carlo ~runs:25 ~prescreen_k:5 ctx)));
     ]
 
+(* Delta-estimation workloads (PR 6): one transactional swap+undo pair on
+   the incremental model vs a from-scratch estimate of the same placement,
+   plus the cost of materializing the delta state. *)
+let bench_delta =
+  let ctx = ctx_of "[[9,1,3]]" in
+  let placement = Placer.Center.place (Qspr.Mapper.component ctx) ~num_qubits:9 in
+  let model = Qspr.Mapper.estimator_model ctx in
+  let delta = Estimator.Delta.create model placement in
+  Test.make_grouped ~name:"delta"
+    [
+      Test.make ~name:"swap_undo"
+        (Staged.stage (fun () ->
+             ignore (Estimator.Delta.apply_swap delta 0 5);
+             Estimator.Delta.undo delta));
+      Test.make ~name:"full_estimate"
+        (Staged.stage (fun () -> Estimator.Model.estimate model placement));
+      Test.make ~name:"state_create"
+        (Staged.stage (fun () -> Estimator.Delta.latency (Estimator.Delta.create model placement)));
+    ]
+
+(* Portfolio workloads (PR 6): the full five-strategy race at a small
+   budget, sequentially and fanned over two domains (bit-identical by
+   construction; test/test_delta.ml asserts it). *)
+let bench_portfolio =
+  let ctx = ctx_of "[[5,1,3]]" in
+  Test.make_grouped ~name:"portfolio"
+    [
+      Test.make ~name:"race_m2_jobs1"
+        (Staged.stage (fun () ->
+             solution_latency (Qspr.Mapper.map_portfolio ~m:2 ~sa_moves:2000 ~jobs:1 ctx)));
+      Test.make ~name:"race_m2_jobs2"
+        (Staged.stage (fun () ->
+             solution_latency (Qspr.Mapper.map_portfolio ~m:2 ~sa_moves:2000 ~jobs:2 ctx)));
+    ]
+
 (* Fault-injection workloads: degrading the 45x85 fabric, one hardened
    (retry-cascade) map of [[5,1,3]] on a degraded fabric, and a small
    survivability campaign on a linear fabric. *)
@@ -457,6 +492,8 @@ let run_benchmarks () =
         bench_parallel;
         bench_sensitivity;
         bench_estimator;
+        bench_delta;
+        bench_portfolio;
         bench_faults;
         bench_circuits;
         bench_quantum;
@@ -659,6 +696,213 @@ let router_summary () =
           ] );
     ]
 
+(* The headline delta-estimation numbers for BENCH_pr6.json: per Table-1
+   circuit, the throughput of a greedy delta-SA proposal loop against the
+   same loop evaluating every candidate with a from-scratch estimate.  Each
+   side is timed over best-of-3 windows so scheduler noise cannot mask the
+   structural gap; the acceptance floor (>= 10x on every circuit) is
+   enforced here, not just reported.  A search_delta run on [[9,1,3]]
+   records the incumbent-latency-vs-move-count curve and how few engine
+   routes the million-move loop actually pays for. *)
+let delta_summary () =
+  let module J = Ion_util.Json in
+  Printf.printf "=== Delta estimation summary (greedy proposal loops) ===\n";
+  let throughput_rows =
+    List.map
+      (fun (name, p) ->
+        let ctx = ctx_of name in
+        let model = Qspr.Mapper.estimator_model ctx in
+        let comp = Qspr.Mapper.component ctx in
+        let nq = Qasm.Program.num_qubits p in
+        let num_traps = Array.length (Fabric.Component.traps comp) in
+        let pool = Array.of_list (Placer.Center.center_traps comp (min (3 * nq) num_traps)) in
+        let placement = Placer.Center.place comp ~num_qubits:nq in
+        (* delta side: the hot path of search_delta — draw, apply, commit
+           or undo *)
+        let delta_loop moves =
+          let rng = Ion_util.Rng.create 2012 in
+          let delta = Estimator.Delta.create model placement in
+          let tracker = Placer.Annealing.Proposal.create ~num_traps pool placement in
+          let t0 = Unix.gettimeofday () in
+          for _ = 1 to moves do
+            match Placer.Annealing.Proposal.draw tracker rng ~num_qubits:nq with
+            | Placer.Annealing.Proposal.Stay -> ()
+            | Placer.Annealing.Proposal.Swap (i, j) ->
+                if Estimator.Delta.apply_swap delta i j <= 0.0 then Estimator.Delta.commit delta
+                else Estimator.Delta.undo delta
+            | Placer.Annealing.Proposal.Relocate (q, dst) ->
+                let src = Estimator.Delta.trap_of delta q in
+                if Estimator.Delta.apply_move delta q dst <= 0.0 then begin
+                  Estimator.Delta.commit delta;
+                  Placer.Annealing.Proposal.relocate tracker ~src ~dst
+                end
+                else Estimator.Delta.undo delta
+          done;
+          float_of_int moves /. Float.max 1e-9 (Unix.gettimeofday () -. t0)
+        in
+        (* full-estimate side: the identical loop, but every candidate pays
+           one from-scratch evaluation (the pre-PR-6 annealer's cost) *)
+        let full_loop moves =
+          let rng = Ion_util.Rng.create 2012 in
+          let tracker = Placer.Annealing.Proposal.create ~num_traps pool placement in
+          let current = Array.copy placement in
+          let cur = ref (Estimator.Model.estimate model current) in
+          let t0 = Unix.gettimeofday () in
+          for _ = 1 to moves do
+            match Placer.Annealing.Proposal.draw tracker rng ~num_qubits:nq with
+            | Placer.Annealing.Proposal.Stay -> ()
+            | Placer.Annealing.Proposal.Swap (i, j) ->
+                let cand = Array.copy current in
+                let tmp = cand.(i) in
+                cand.(i) <- cand.(j);
+                cand.(j) <- tmp;
+                let lat = Estimator.Model.estimate model cand in
+                if lat <= !cur then begin
+                  Array.blit cand 0 current 0 nq;
+                  cur := lat
+                end
+            | Placer.Annealing.Proposal.Relocate (q, dst) ->
+                let cand = Array.copy current in
+                let src = cand.(q) in
+                cand.(q) <- dst;
+                let lat = Estimator.Model.estimate model cand in
+                if lat <= !cur then begin
+                  Array.blit cand 0 current 0 nq;
+                  cur := lat;
+                  Placer.Annealing.Proposal.relocate tracker ~src ~dst
+                end
+          done;
+          float_of_int moves /. Float.max 1e-9 (Unix.gettimeofday () -. t0)
+        in
+        let best_of k f arg =
+          let best = ref 0.0 in
+          for _ = 1 to k do
+            let v = f arg in
+            if v > !best then best := v
+          done;
+          !best
+        in
+        ignore (delta_loop 2_000);
+        let dmps = best_of 3 delta_loop 60_000 in
+        ignore (full_loop 200);
+        let fmps = best_of 3 full_loop 4_000 in
+        let ratio = dmps /. fmps in
+        Printf.printf "  %-12s delta %9.0f moves/s vs full-SA %8.0f evals/s — %.1fx\n" name dmps
+          fmps ratio;
+        if ratio < 10.0 then
+          failwith
+            (Printf.sprintf "%s: delta-SA only %.1fx faster than full-estimate SA (need >= 10x)"
+               name ratio);
+        J.Obj
+          [
+            ("circuit", J.String name);
+            ("delta_moves_per_s", J.Float dmps);
+            ("full_estimate_evals_per_s", J.Float fmps);
+            ("speedup", J.Float ratio);
+          ])
+      (Circuits.Qecc.all ())
+  in
+  let ctx = ctx_of "[[9,1,3]]" in
+  let comp = Qspr.Mapper.component ctx in
+  let model = Qspr.Mapper.estimator_model ctx in
+  let curve_outcome =
+    match
+      Placer.Annealing.search_delta
+        ~rng:(Ion_util.Rng.create 2012)
+        ~moves:20_000 ~model
+        ~evaluate:(Qspr.Mapper.run_forward ctx)
+        comp ~num_qubits:9
+    with
+    | Ok o -> o
+    | Error e -> failwith (Simulator.Engine.string_of_error e)
+  in
+  Printf.printf
+    "  [[9,1,3]] search_delta: %d moves, %d accepted, %d engine routes, best %.1f us (estimate %.1f us, drift %.1e)\n\n"
+    curve_outcome.Placer.Annealing.moves curve_outcome.Placer.Annealing.accepted
+    curve_outcome.Placer.Annealing.engine_evals
+    curve_outcome.Placer.Annealing.result.Simulator.Engine.latency
+    curve_outcome.Placer.Annealing.best_estimate curve_outcome.Placer.Annealing.max_drift;
+  J.Obj
+    [
+      ("throughput", J.List throughput_rows);
+      ( "incumbent_curve",
+        J.Obj
+          [
+            ("circuit", J.String "[[9,1,3]]");
+            ("moves", J.Int curve_outcome.Placer.Annealing.moves);
+            ("accepted", J.Int curve_outcome.Placer.Annealing.accepted);
+            ("engine_routes", J.Int curve_outcome.Placer.Annealing.engine_evals);
+            ("best_routed_us", J.Float curve_outcome.Placer.Annealing.result.Simulator.Engine.latency);
+            ("best_estimate_us", J.Float curve_outcome.Placer.Annealing.best_estimate);
+            ("max_drift", J.Float curve_outcome.Placer.Annealing.max_drift);
+            ( "curve",
+              J.List
+                (List.map
+                   (fun (move, est) -> J.Obj [ ("move", J.Int move); ("estimate_us", J.Float est) ])
+                   curve_outcome.Placer.Annealing.curve) );
+          ] );
+    ]
+
+(* The headline portfolio numbers for BENCH_pr6.json: per Table-1 circuit
+   the five-strategy race at a matched budget never loses to the classic
+   routed anneal (enforced, not just reported), with the winner and every
+   strategy's outcome recorded. *)
+let portfolio_summary () =
+  let module J = Ion_util.Json in
+  Printf.printf "=== Portfolio race summary (m=3, sa_moves=4000) ===\n";
+  let rows =
+    List.map
+      (fun (name, _) ->
+        let ctx = ctx_of name in
+        let anneal = solution_latency (Qspr.Mapper.map_annealing ~evaluations:3 ctx) in
+        let s =
+          match Qspr.Mapper.map_portfolio ~m:3 ~sa_moves:4_000 ctx with
+          | Ok s -> s
+          | Error e -> failwith (name ^ ": " ^ Qspr.Mapper.error_to_string e)
+        in
+        if s.Qspr.Mapper.latency > anneal then
+          failwith
+            (Printf.sprintf "%s: portfolio %.1f us lost to the classic anneal %.1f us" name
+               s.Qspr.Mapper.latency anneal);
+        let winner =
+          match
+            List.find_opt
+              (fun (a : Qspr.Mapper.attempt) ->
+                match a.Qspr.Mapper.outcome with
+                | Ok l -> l = s.Qspr.Mapper.latency
+                | Error _ -> false)
+              s.Qspr.Mapper.attempts
+          with
+          | Some a -> a.Qspr.Mapper.stage
+          | None -> "?"
+        in
+        Printf.printf "  %-12s %8.1f us (winner %-20s)  anneal %8.1f us\n" name
+          s.Qspr.Mapper.latency winner anneal;
+        J.Obj
+          [
+            ("circuit", J.String name);
+            ("portfolio_us", J.Float s.Qspr.Mapper.latency);
+            ("classic_anneal_us", J.Float anneal);
+            ("winner", J.String winner);
+            ( "strategies",
+              J.List
+                (List.map
+                   (fun (a : Qspr.Mapper.attempt) ->
+                     J.Obj
+                       [
+                         ("stage", J.String a.Qspr.Mapper.stage);
+                         ( "outcome",
+                           match a.Qspr.Mapper.outcome with
+                           | Ok l -> J.Float l
+                           | Error e -> J.String (Qspr.Mapper.error_to_string e) );
+                       ])
+                   s.Qspr.Mapper.attempts) );
+          ])
+      (Circuits.Qecc.all ())
+  in
+  print_newline ();
+  J.List rows
+
 (* Machine-readable results for regression tracking: one record per bench
    with the OLS ns/run and minor words/run estimates, plus the estimator,
    fault-injection and incremental-routing subsystems' headline numbers. *)
@@ -667,10 +911,12 @@ let emit_json rows =
   let doc =
     J.Obj
       [
-        ("schema", J.String "qspr-bench/4");
+        ("schema", J.String "qspr-bench/5");
         ( "instances",
           J.List [ J.String "monotonic_clock_ns_per_run"; J.String "minor_allocated_words_per_run" ] );
         ("estimator", estimator_summary rows);
+        ("delta", delta_summary ());
+        ("portfolio", portfolio_summary ());
         ("faults", faults_summary ());
         ("router", router_summary ());
         ( "results",
@@ -682,11 +928,11 @@ let emit_json rows =
                rows) );
       ]
   in
-  let oc = open_out "BENCH_pr5.json" in
+  let oc = open_out "BENCH_pr6.json" in
   output_string oc (J.to_string doc);
   output_char oc '\n';
   close_out oc;
-  Printf.printf "\nwrote BENCH_pr5.json (%d benches)\n" (List.length rows)
+  Printf.printf "\nwrote BENCH_pr6.json (%d benches)\n" (List.length rows)
 
 let () =
   print_tables ();

@@ -163,7 +163,39 @@ let () =
   if not cert_off.Analysis.Certify.valid then
     fail "legacy-routing solution fails certification: %s"
       (Format.asprintf "%a" Analysis.Certify.pp cert_off);
+  (* delta group: the incremental estimator's transactional contract — undo
+     restores the latency bitwise, a committed chain of swaps agrees with a
+     from-scratch evaluation, and resync reports zero drift *)
+  let delta = Estimator.Delta.create model placement in
+  let lat0 = Estimator.Delta.latency delta in
+  ignore (Estimator.Delta.apply_swap delta 0 3);
+  Estimator.Delta.undo delta;
+  if Estimator.Delta.latency delta <> lat0 then fail "delta undo did not restore the latency";
+  for k = 0 to 19 do
+    ignore (Estimator.Delta.apply_swap delta (k mod nq) ((k + 2) mod nq));
+    Estimator.Delta.commit delta
+  done;
+  let scratch = Estimator.Delta.eval model (Estimator.Delta.placement delta) in
+  if Estimator.Delta.latency delta <> scratch then
+    fail "delta swap chain diverged from a from-scratch evaluation (%.9g vs %.9g)"
+      (Estimator.Delta.latency delta) scratch;
+  if Estimator.Delta.resync delta <> 0.0 then fail "delta resync reported drift";
+  (* portfolio group: the five-strategy race is bit-identical across job
+     counts and never loses to the classic anneal at a matched budget *)
+  let race jobs =
+    match Qspr.Mapper.map_portfolio ~m:2 ~sa_moves:1_000 ~jobs ctx with
+    | Ok s -> s
+    | Error e -> fail "portfolio jobs=%d: %s" jobs (Qspr.Mapper.error_to_string e)
+  in
+  let race1 = race 1 and race2 = race 2 in
+  check_eq "portfolio jobs1 vs jobs2" race1.Qspr.Mapper.latency race2.Qspr.Mapper.latency;
+  if race1.Qspr.Mapper.initial_placement <> race2.Qspr.Mapper.initial_placement then
+    fail "portfolio jobs1 vs jobs2: placements differ";
+  let anneal = solution_latency "sa" (Qspr.Mapper.map_annealing ~evaluations:2 ctx) in
+  if race1.Qspr.Mapper.latency > anneal then
+    fail "portfolio %.1f us lost to the classic anneal %.1f us" race1.Qspr.Mapper.latency anneal;
   print_endline
     "bench-smoke: OK (workspace routing exact, parallel search exact, estimator pure, \
      prescreen consistent, winner certified, fault campaign deterministic, route cache \
-     bit-identical with fewer searches, incremental on/off identical)"
+     bit-identical with fewer searches, incremental on/off identical, delta transactions \
+     exact, portfolio deterministic and never worse than the anneal)"

@@ -42,8 +42,8 @@ let gate_on_fabric_lint ~program fabric =
   if Analysis.Finding.is_clean findings then Ok ()
   else Error "fabric fails lint (errors above; `qspr lint` shows the full report)"
 
-let do_map circuit qasm openqasm fabric_path pmd_path placer m seed prescreen_k budget_s
-    budget_evals incremental show_trace validate certify json_out =
+let do_map circuit qasm openqasm fabric_path pmd_path placer m sa_moves seed prescreen_k
+    budget_s budget_evals incremental show_trace validate certify json_out =
   let ( let* ) = Result.bind in
   let result =
     let* program = load_program ~circuit ~qasm ~openqasm in
@@ -74,6 +74,7 @@ let do_map circuit qasm openqasm fabric_path pmd_path placer m seed prescreen_k 
     let config =
       Qspr.Config.(
         base_config |> with_m m |> with_seed seed |> with_budget budget
+        |> (match sa_moves with Some n -> with_sa_moves n | None -> Fun.id)
         |> match incremental with Some b -> with_incremental b | None -> Fun.id)
     in
     let* ctx = Qspr.Mapper.create ~fabric ~config program in
@@ -83,13 +84,15 @@ let do_map circuit qasm openqasm fabric_path pmd_path placer m seed prescreen_k 
         | "mvfb" -> Qspr.Mapper.map_mvfb ?prescreen_k ctx
         | "mc" -> Qspr.Mapper.map_monte_carlo ~runs:m ?prescreen_k ctx
         | "sa" -> Qspr.Mapper.map_annealing ~evaluations:m ?prescreen_k ctx
+        | "portfolio" -> Qspr.Mapper.map_portfolio ~m ctx
         | "center" -> Qspr.Mapper.map_center ctx
         | "quale" -> Qspr.Quale_mode.map ctx
         | "robust" -> Qspr.Mapper.map_robust ctx
         | other ->
             Error
               (Qspr.Mapper.Invalid
-                 (Printf.sprintf "unknown placer %s (mvfb|mc|sa|center|quale|robust)" other)))
+                 (Printf.sprintf "unknown placer %s (mvfb|mc|sa|portfolio|center|quale|robust)"
+                    other)))
     in
     let baseline = Qspr.Mapper.ideal_latency ctx in
     Printf.printf "circuit           : %s (%d qubits, %d gates)\n" program.Qasm.Program.name
@@ -199,8 +202,8 @@ let placer_arg =
     value & opt string "mvfb"
     & info [ "placer" ] ~docv:"P"
         ~doc:
-          "Placer: mvfb, mc, sa, center, quale, or robust (the retry cascade \
-           mvfb/reseed/mc/sa/relaxed).")
+          "Placer: mvfb, mc, sa, portfolio (race mvfb/mc/sa/delta-SA across domains and keep \
+           the best), center, quale, or robust (the retry cascade mvfb/reseed/mc/sa/relaxed).")
 
 let budget_arg =
   Arg.(
@@ -241,6 +244,16 @@ let incremental_arg =
            full-reroute/uncached path for A/B timing (default: QSPR_INCREMENTAL, else true).")
 
 let m_arg = Arg.(value & opt int 25 & info [ "m"; "seeds" ] ~docv:"M" ~doc:"MVFB seeds / MC runs (-m or --seeds).")
+
+let sa_moves_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "sa-moves" ] ~docv:"N"
+        ~doc:
+          "Delta-annealing move budget per stream: proposals scored by the incremental \
+           estimator, with only improved incumbents routed (default: QSPR_SA_MOVES, else \
+           20000).  Used by the portfolio placer's delta-SA streams.")
 let seed_arg = Arg.(value & opt int 2012 & info [ "seed" ] ~docv:"S" ~doc:"Random seed.")
 let trace_arg = Arg.(value & flag & info [ "trace" ] ~doc:"Print the micro-command trace.")
 let validate_arg = Arg.(value & flag & info [ "validate" ] ~doc:"Run the physical trace validator.")
@@ -261,8 +274,8 @@ let map_cmd =
     (Cmd.info "map" ~doc:"Schedule, place and route a circuit onto an ion-trap fabric")
     Term.(
       const do_map $ circuit_arg $ qasm_arg $ openqasm_arg $ fabric_arg $ pmd_arg $ placer_arg $ m_arg
-      $ seed_arg $ prescreen_arg $ budget_arg $ budget_evals_arg $ incremental_arg $ trace_arg
-      $ validate_arg $ certify_arg $ json_arg)
+      $ sa_moves_arg $ seed_arg $ prescreen_arg $ budget_arg $ budget_evals_arg $ incremental_arg
+      $ trace_arg $ validate_arg $ certify_arg $ json_arg)
 
 (* --------------------------------------------------------------- fabric *)
 
@@ -434,7 +447,54 @@ let lint_cmd =
 
 (* ------------------------------------------------------------- estimate *)
 
-let do_estimate circuit qasm openqasm fabric_path measure certify =
+(* Greedy delta-SA micro-benchmark: propose/score/commit-or-undo [n] moves
+   on the incremental model and report moves/sec next to the full
+   estimator's evals/sec — the quick hardware calibration behind choosing
+   --sa-moves. *)
+let delta_microbench ctx ~num_qubits ~placement n =
+  let model = Qspr.Mapper.estimator_model ctx in
+  let comp = Qspr.Mapper.component ctx in
+  let num_traps = Array.length (Fabric.Component.traps comp) in
+  let pool = Array.of_list (Placer.Center.center_traps comp (min (3 * num_qubits) num_traps)) in
+  let rng = Ion_util.Rng.create 2012 in
+  let delta = Estimator.Delta.create model placement in
+  let tracker = Placer.Annealing.Proposal.create ~num_traps pool placement in
+  let accepted = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to n do
+    match Placer.Annealing.Proposal.draw tracker rng ~num_qubits with
+    | Placer.Annealing.Proposal.Stay -> ()
+    | Placer.Annealing.Proposal.Swap (i, j) ->
+        if Estimator.Delta.apply_swap delta i j <= 0.0 then begin
+          Estimator.Delta.commit delta;
+          incr accepted
+        end
+        else Estimator.Delta.undo delta
+    | Placer.Annealing.Proposal.Relocate (q, dst) ->
+        let src = Estimator.Delta.trap_of delta q in
+        if Estimator.Delta.apply_move delta q dst <= 0.0 then begin
+          Estimator.Delta.commit delta;
+          Placer.Annealing.Proposal.relocate tracker ~src ~dst;
+          incr accepted
+        end
+        else Estimator.Delta.undo delta
+  done;
+  let dt = Float.max 1e-9 (Unix.gettimeofday () -. t0) in
+  (* size the full-estimate reference so its window is long enough to time
+     reliably even on the smallest circuits *)
+  let k = max 1 (min 2000 n) in
+  let t1 = Unix.gettimeofday () in
+  for _ = 1 to k do
+    ignore (Estimator.Model.estimate model placement)
+  done;
+  let dt_full = Float.max 1e-9 (Unix.gettimeofday () -. t1) in
+  let moves_s = float_of_int n /. dt and evals_s = float_of_int k /. dt_full in
+  Printf.printf "delta moves       : %d in %.1f ms (%.0f moves/s, %d accepted, estimate %.1f us)\n"
+    n (dt *. 1000.0) moves_s !accepted (Estimator.Delta.latency delta);
+  Printf.printf "full estimates    : %d in %.1f ms (%.0f evals/s) — delta is %.0fx faster per proposal\n"
+    k (dt_full *. 1000.0) evals_s (moves_s /. evals_s)
+
+let do_estimate circuit qasm openqasm fabric_path moves measure certify =
   let ( let* ) = Result.bind in
   let result =
     let* program = load_program ~circuit ~qasm ~openqasm in
@@ -452,6 +512,13 @@ let do_estimate circuit qasm openqasm fabric_path measure certify =
     Printf.printf "placement         : center\n";
     Printf.printf "estimated latency : %.1f us (model built + estimated in %.0f ms)\n" est
       (t_build *. 1000.0);
+    let* () =
+      match moves with
+      | None -> Ok ()
+      | Some n when n < 1 -> Error "--moves must be at least 1"
+      | Some n ->
+          Ok (delta_microbench ctx ~num_qubits:(Qasm.Program.num_qubits program) ~placement n)
+    in
     if not (measure || certify) then Ok ()
     else
       let* r =
@@ -491,6 +558,13 @@ let estimate_cmd =
        ~doc:"Fast latency estimate of a circuit's center placement, optionally vs the measured engine")
     Term.(
       const do_estimate $ circuit_arg $ qasm_arg $ openqasm_arg $ fabric_arg
+      $ Arg.(
+          value
+          & opt (some int) None
+          & info [ "moves" ] ~docv:"N"
+              ~doc:
+                "Micro-benchmark the incremental delta estimator: run $(docv) greedy delta-SA \
+                 moves and print moves/sec next to the full estimator's evals/sec.")
       $ Arg.(value & flag & info [ "measure" ] ~doc:"Also run the full engine and report the relative error.")
       $ Arg.(value & flag & info [ "certify" ] ~doc:"Certify the measured reference trace (implies --measure)."))
 

@@ -7,6 +7,7 @@ type t = {
   qspr_policy : Simulator.Engine.policy;
   quale_policy : Simulator.Engine.policy;
   m : int;
+  sa_moves : int;
   patience : int;
   rng_seed : int;
   jobs : int;
@@ -29,6 +30,14 @@ let prescreen_from_env () =
   | None -> None
   | Some s -> (
       match int_of_string_opt (String.trim s) with Some k when k >= 1 -> Some k | _ -> None)
+
+(* QSPR_SA_MOVES sets the default delta-annealing move budget; unset,
+   unparsable or below 1 keeps the built-in default. *)
+let sa_moves_from_env () =
+  match Sys.getenv_opt "QSPR_SA_MOVES" with
+  | None -> 20_000
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with Some k when k >= 1 -> k | _ -> 20_000)
 
 (* QSPR_BUDGET sets the default wall-clock budget in seconds (float), and
    QSPR_BUDGET_EVALS the default evaluation cap; unset, unparsable or
@@ -65,6 +74,7 @@ let default =
     qspr_policy = Simulator.Engine.qspr_policy;
     quale_policy = Simulator.Engine.quale_policy;
     m = 100;
+    sa_moves = sa_moves_from_env ();
     patience = 3;
     rng_seed = 2012;
     jobs = jobs_from_env ();
@@ -74,6 +84,7 @@ let default =
   }
 
 let with_m m t = { t with m }
+let with_sa_moves sa_moves t = { t with sa_moves }
 let with_seed rng_seed t = { t with rng_seed }
 let with_jobs jobs t = { t with jobs }
 let with_prescreen prescreen_k t = { t with prescreen_k }
@@ -82,6 +93,7 @@ let with_incremental incremental_routing t = { t with incremental_routing }
 
 let validate t =
   if t.m < 1 then Error "Config: m must be at least 1"
+  else if t.sa_moves < 1 then Error "Config: sa_moves must be at least 1"
   else if t.patience < 1 then Error "Config: patience must be at least 1"
   else if t.jobs < 1 then Error "Config: jobs must be at least 1"
   else if (match t.prescreen_k with Some k -> k < 1 | None -> false) then

@@ -20,6 +20,9 @@ type t = {
   qspr_policy : Simulator.Engine.policy;
   quale_policy : Simulator.Engine.policy;
   m : int;  (** MVFB random seeds (the paper evaluates 25 and 100) *)
+  sa_moves : int;
+      (** delta-annealing move budget per stream — proposals scored by the
+          incremental {!Estimator.Delta} model, not routed evaluations *)
   patience : int;  (** stop a local search after this many non-improving runs *)
   rng_seed : int;  (** root seed for all randomized placement *)
   jobs : int;
@@ -46,11 +49,13 @@ val default : t
     environment variable (default 1; invalid values fall back to 1);
     [prescreen_k] from [QSPR_PRESCREEN] (default off; invalid values stay
     off); [budget] from [QSPR_BUDGET] (wall-clock seconds, float) and
-    [QSPR_BUDGET_EVALS] (evaluation cap), both off by default;
+    [QSPR_BUDGET_EVALS] (evaluation cap), both off by default; [sa_moves]
+    from [QSPR_SA_MOVES] (default 20_000; invalid values keep the default);
     [incremental_routing] from [QSPR_INCREMENTAL] (default on; "0", "false",
     "off" and "no" turn it off). *)
 
 val with_m : int -> t -> t
+val with_sa_moves : int -> t -> t
 val with_seed : int -> t -> t
 val with_jobs : int -> t -> t
 val with_prescreen : int option -> t -> t

@@ -316,6 +316,125 @@ let map_annealing ?evaluations ?jobs ?prescreen_k t =
            ~attempts:[ attempt_of ~stage:"sa" ~seed (Ok latency) ]
            ~degraded:o.Placer.Annealing.truncated o.Placer.Annealing.result)
 
+(* The racing portfolio: seeded MVFB, Monte-Carlo, the classic routed
+   anneal (exactly [map_annealing]'s search, so the portfolio can never do
+   worse than it at matched parameters), and two delta-SA streams.  Every
+   strategy derives its own randomness from the root seed — the classic
+   placers use it exactly as their [map_*] counterparts do, the delta
+   streams use [Rng.derive] on an offset root so no stream collides with
+   MVFB's per-seed derivations — and runs sequentially inside one
+   [Domain_pool] slot, so the race is bit-identical at any job count. *)
+let map_portfolio ?m ?sa_moves ?jobs t =
+  let m = Option.value ~default:t.config.Config.m m in
+  let sa_moves = Option.value ~default:t.config.Config.sa_moves sa_moves in
+  let jobs = Option.value ~default:t.config.Config.jobs jobs in
+  let budget = t.config.Config.budget in
+  let max_evals = budget.Config.max_evals in
+  let seed = t.config.Config.rng_seed in
+  let nq = Program.num_qubits t.program in
+  (* forced here, on the main domain, before any fan-out *)
+  let model = Lazy.force t.estimator in
+  let t0 = Sys.time () in
+  let out_of_time = out_of_time_of budget in
+  let ok ~placement ~result ~direction ~evaluations ~latencies ~truncated =
+    Ok
+      {
+        Placer.Portfolio.placement;
+        result;
+        direction;
+        evaluations;
+        latencies;
+        truncated;
+      }
+  in
+  let mvfb () =
+    match
+      Placer.Mvfb.search ~seed ~m ~patience:t.config.Config.patience ~forward:(run_forward t)
+        ~backward:(run_backward t) t.comp ~num_qubits:nq
+    with
+    | Error _ as e -> e
+    | Ok o ->
+        ok ~placement:o.Placer.Mvfb.initial_placement ~result:o.Placer.Mvfb.result
+          ~direction:o.Placer.Mvfb.direction ~evaluations:o.Placer.Mvfb.evaluations
+          ~latencies:o.Placer.Mvfb.latencies ~truncated:false
+  in
+  let mc () =
+    match
+      Placer.Monte_carlo.search ?max_evals ~out_of_time ~seed ~runs:m
+        ~evaluate:(run_forward t) t.comp ~num_qubits:nq
+    with
+    | Error _ as e -> e
+    | Ok o ->
+        ok ~placement:o.Placer.Monte_carlo.placement ~result:o.Placer.Monte_carlo.result
+          ~direction:Placer.Mvfb.Forward ~evaluations:o.Placer.Monte_carlo.evaluations
+          ~latencies:o.Placer.Monte_carlo.latencies ~truncated:o.Placer.Monte_carlo.truncated
+  in
+  let sa () =
+    match
+      Placer.Annealing.search ?max_evals ~out_of_time ~rng:(Ion_util.Rng.create seed)
+        ~evaluations:m ~evaluate:(run_forward t) t.comp ~num_qubits:nq
+    with
+    | Error _ as e -> e
+    | Ok o ->
+        ok ~placement:o.Placer.Annealing.placement ~result:o.Placer.Annealing.result
+          ~direction:Placer.Mvfb.Forward ~evaluations:o.Placer.Annealing.evaluations
+          ~latencies:o.Placer.Annealing.latencies ~truncated:o.Placer.Annealing.truncated
+  in
+  let delta_sa k () =
+    match
+      Placer.Annealing.search_delta ?max_evals ~out_of_time
+        ~rng:(Ion_util.Rng.derive (seed + 7919) ~index:k)
+        ~moves:sa_moves ~model ~evaluate:(run_forward t) t.comp ~num_qubits:nq
+    with
+    | Error _ as e -> e
+    | Ok o ->
+        ok ~placement:o.Placer.Annealing.placement ~result:o.Placer.Annealing.result
+          ~direction:Placer.Mvfb.Forward ~evaluations:o.Placer.Annealing.engine_evals
+          ~latencies:o.Placer.Annealing.latencies ~truncated:o.Placer.Annealing.truncated
+  in
+  let strategies =
+    [
+      { Placer.Portfolio.name = "mvfb"; run = mvfb };
+      { Placer.Portfolio.name = "mc"; run = mc };
+      { Placer.Portfolio.name = "sa"; run = sa };
+      { Placer.Portfolio.name = "delta-sa-0"; run = delta_sa 0 };
+      { Placer.Portfolio.name = "delta-sa-1"; run = delta_sa 1 };
+    ]
+  in
+  match
+    Ion_util.Domain_pool.with_pool ~jobs (fun pool ->
+        Placer.Portfolio.race ~pool strategies)
+  with
+  | Error e -> Error (of_engine_error e)
+  | Ok o ->
+      let cpu = Sys.time () -. t0 in
+      let best = o.Placer.Portfolio.best in
+      let attempts =
+        List.map
+          (fun e ->
+            let outcome =
+              match e.Placer.Portfolio.entry_outcome with
+              | Ok s -> Ok s.Placer.Portfolio.result.Engine.latency
+              | Error err -> Error (of_engine_error err)
+            in
+            attempt_of ~stage:("portfolio:" ^ e.Placer.Portfolio.entry_name) ~seed outcome)
+          o.Placer.Portfolio.entries
+      in
+      let evals =
+        List.fold_left
+          (fun acc e ->
+            match e.Placer.Portfolio.entry_outcome with
+            | Ok s -> acc + s.Placer.Portfolio.evaluations
+            | Error _ -> acc)
+          0 o.Placer.Portfolio.entries
+      in
+      Ok
+        (solution_of_engine ~ctx:t ~runs:evals
+           ~run_latencies:best.Placer.Portfolio.latencies ~evals ~cpu
+           ~direction:best.Placer.Portfolio.direction
+           ~initial:best.Placer.Portfolio.placement ~attempts
+           ~degraded:best.Placer.Portfolio.truncated best.Placer.Portfolio.result)
+
 let map_center t =
   let placement = Placer.Center.place t.comp ~num_qubits:(Program.num_qubits t.program) in
   let seed = t.config.Config.rng_seed in

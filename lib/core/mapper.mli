@@ -126,6 +126,26 @@ val map_annealing : ?evaluations:int -> ?jobs:int -> ?prescreen_k:int -> t -> (s
     (deterministic) and the wall clock (anytime), marking the solution
     [degraded] when cut. *)
 
+val map_portfolio : ?m:int -> ?sa_moves:int -> ?jobs:int -> t -> (solution, error) result
+(** Racing placer portfolio ({!Placer.Portfolio}): seeded MVFB, Monte-Carlo,
+    the classic routed anneal (exactly {!map_annealing}'s search, so at
+    matched parameters the portfolio's best latency is never worse than it)
+    and two delta-annealing streams ({!Placer.Annealing.search_delta}, each
+    spending [sa_moves] incremental {!Estimator.Delta} proposals and routing
+    only improved incumbents), fanned over [jobs] domains.
+
+    [m] (default config [m]) is the per-strategy routed-evaluation budget:
+    MVFB seeds, MC runs, classic-SA schedule length.  [sa_moves] defaults to
+    the config's [sa_moves] ([QSPR_SA_MOVES], default 20_000).  Every
+    strategy derives its randomness from the config seed alone, strategies
+    map over the pool in fixed order, and the winner is the lowest
+    [(latency, strategy order)], so the solution is bit-identical at any
+    [jobs] count.  Failed strategies stay visible in [attempts]
+    (stage ["portfolio:<name>"]); the solution is [Error] only when every
+    strategy fails (the first failure).  The config's {!Config.budget}
+    applies per strategy; a truncated winner marks the solution
+    [degraded]. *)
+
 val map_center : t -> (solution, error) result
 (** Single deterministic center placement under the QSPR engine. *)
 

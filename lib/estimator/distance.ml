@@ -6,6 +6,7 @@ type t = {
 }
 
 let num_traps t = t.n
+let tables t = (t.dist, t.meet_tbl)
 let between t a b = t.dist.((a * t.n) + b)
 let meet t a b = t.meet_tbl.((a * t.n) + b)
 let meet_makespan t a b = t.makespan.((a * t.n) + b)

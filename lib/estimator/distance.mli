@@ -22,6 +22,12 @@ val build : ?workspace:Router.Workspace.t -> Fabric.Graph.t -> turn_cost:float -
 
 val num_traps : t -> int
 
+val tables : t -> float array * int array
+(** The raw row-major [num_traps * num_traps] distance and meeting-trap
+    tables behind {!between} and {!meet} — shared, not copied, and must be
+    treated as frozen.  Exposed for the {!Delta} model's proposal loop,
+    where the per-call indexing of the accessors is measurable. *)
+
 val between : t -> int -> int -> float
 (** [between t a b] — shortest travel distance from trap [a] to trap [b] in
     move units ([infinity] when unreachable, [0.] when [a = b]). *)

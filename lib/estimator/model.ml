@@ -31,6 +31,32 @@ and scratch = {
 let distance t = t.dist
 let num_qubits t = t.nq
 
+(* Read-only window onto the flattened instruction stream for the delta
+   model: the arrays are the model's own (no copy), so holders must treat
+   them as frozen. *)
+type view = {
+  v_dist : Distance.t;
+  v_timing : Router.Timing.t;
+  v_nq : int;
+  v_kind : int array;
+  v_qa : int array;
+  v_qb : int array;
+  v_stretch : float array;
+  v_succs : int array array;
+}
+
+let view t =
+  {
+    v_dist = t.dist;
+    v_timing = t.timing;
+    v_nq = t.nq;
+    v_kind = t.kind;
+    v_qa = t.qa;
+    v_qb = t.qb;
+    v_stretch = t.stretch;
+    v_succs = t.succs;
+  }
+
 let create ~graph ~timing ?(congestion_alpha = 0.01) ?(congestion_threshold = 2) dag =
   if congestion_alpha < 0.0 || Float.is_nan congestion_alpha then
     invalid_arg "Estimator.Model.create: congestion_alpha must be non-negative";

@@ -43,6 +43,22 @@ val create :
 val distance : t -> Distance.t
 val num_qubits : t -> int
 
+type view = {
+  v_dist : Distance.t;
+  v_timing : Router.Timing.t;
+  v_nq : int;
+  v_kind : int array;  (** 0 declaration, 1 one-qubit gate, 2 two-qubit gate *)
+  v_qa : int array;  (** operand / control *)
+  v_qb : int array;  (** target, two-qubit gates only *)
+  v_stretch : float array;  (** per-instruction congestion travel multiplier *)
+  v_succs : int array array;  (** QIDG successor ids (ids are topological) *)
+}
+(** Read-only window onto the model's flattened instruction stream, the
+    substrate of the incremental {!Delta} model.  The arrays are shared
+    with the model (no copy) and must not be mutated. *)
+
+val view : t -> view
+
 val estimate : t -> int array -> float
 (** [estimate t placement] — predicted execution latency in microseconds of
     mapping the program with [placement.(q)] as qubit [q]'s starting trap.

@@ -1,0 +1,62 @@
+(* Race independent placement strategies across a domain pool and keep the
+   best routed result.  Each strategy is a self-contained deterministic
+   thunk (seeded via Rng.derive by the caller), so the race is a pure
+   function of the strategy list: Domain_pool.map preserves order, the
+   winner is the lowest (latency, list index), and the outcome is
+   bit-identical at any job count. *)
+
+type strategy_outcome = {
+  placement : int array;
+  result : Simulator.Engine.result;
+  direction : Mvfb.direction;
+  evaluations : int;
+  latencies : float list;
+  truncated : bool;
+}
+
+type strategy = {
+  name : string;
+  run : unit -> (strategy_outcome, Simulator.Engine.error) result;
+}
+
+type entry = {
+  entry_name : string;
+  entry_outcome : (strategy_outcome, Simulator.Engine.error) result;
+}
+
+type outcome = { winner : string; best : strategy_outcome; entries : entry list }
+
+let race ?pool strategies =
+  match strategies with
+  | [] -> Error (Simulator.Engine.Invalid "Portfolio.race: no strategies")
+  | _ ->
+      let arr = Array.of_list strategies in
+      let amap =
+        match pool with Some p -> Ion_util.Domain_pool.map p | None -> Array.map
+      in
+      let outcomes = amap (fun s -> s.run ()) arr in
+      let entries =
+        Array.to_list
+          (Array.map2
+             (fun s o -> { entry_name = s.name; entry_outcome = o })
+             arr outcomes)
+      in
+      let best = ref None in
+      Array.iteri
+        (fun i o ->
+          match o with
+          | Error _ -> ()
+          | Ok r -> (
+              match !best with
+              | Some (_, br) when br.result.Simulator.Engine.latency
+                                  <= r.result.Simulator.Engine.latency ->
+                  ()
+              | _ -> best := Some (i, r)))
+        outcomes;
+      (match !best with
+      | Some (i, r) -> Ok { winner = arr.(i).name; best = r; entries }
+      | None -> (
+          (* every strategy failed: surface the first failure *)
+          match outcomes.(0) with
+          | Error e -> Error e
+          | Ok _ -> assert false))

@@ -1,0 +1,218 @@
+(* Tests of the incremental delta estimator and the racing placer
+   portfolio: transactional undo restores the state bitwise, long random
+   swap/move chains agree with a from-scratch evaluation on every Table-1
+   circuit, resync reports zero drift, the portfolio race is bit-identical
+   across Domain_pool job counts, and it never loses to the classic routed
+   anneal at matched budgets. *)
+
+open Qspr
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let fabric () = Fabric.Layout.quale_45x85 ()
+
+let table1 =
+  [ "[[5,1,3]]"; "[[7,1,3]]"; "[[9,1,3]]"; "[[14,8,3]]"; "[[19,1,7]]"; "[[23,1,7]]" ]
+
+let ctx_of ?(config = Config.default) name =
+  let program = List.assoc name (Circuits.Qecc.all ()) in
+  match Mapper.create ~fabric:(fabric ()) ~config program with
+  | Ok c -> c
+  | Error e -> Alcotest.failf "Mapper.create: %s" e
+
+let delta_of name =
+  let ctx = ctx_of name in
+  let model = Mapper.estimator_model ctx in
+  let nq = Qasm.Program.num_qubits (Mapper.program ctx) in
+  let placement = Placer.Center.place (Mapper.component ctx) ~num_qubits:nq in
+  (model, nq, Estimator.Delta.create model placement)
+
+(* Drive a committed chain of random valid proposals — the same move mix
+   the annealer draws — through the delta state. *)
+let random_chain delta rng ~nq ~steps =
+  let ntr = Estimator.Delta.num_traps delta in
+  for _ = 1 to steps do
+    if nq >= 2 && Ion_util.Rng.bool rng then begin
+      let i = Ion_util.Rng.int rng nq in
+      let j = (i + 1 + Ion_util.Rng.int rng (nq - 1)) mod nq in
+      ignore (Estimator.Delta.apply_swap delta i j);
+      Estimator.Delta.commit delta
+    end
+    else begin
+      let q = Ion_util.Rng.int rng nq in
+      let trap = Ion_util.Rng.int rng ntr in
+      if Estimator.Delta.occupant delta trap < 0 then begin
+        ignore (Estimator.Delta.apply_move delta q trap);
+        Estimator.Delta.commit delta
+      end
+    end
+  done
+
+(* ----------------------------------------------------------------- undo *)
+
+let test_undo_restores_state () =
+  let _, nq, delta = delta_of "[[9,1,3]]" in
+  let ntr = Estimator.Delta.num_traps delta in
+  let snap_place = Estimator.Delta.placement delta in
+  let snap_occ = Array.init ntr (Estimator.Delta.occupant delta) in
+  let snap_lat = Estimator.Delta.latency delta in
+  let rng = Ion_util.Rng.create 4242 in
+  for _ = 1 to 500 do
+    (if Ion_util.Rng.bool rng then begin
+       let i = Ion_util.Rng.int rng nq in
+       let j = (i + 1 + Ion_util.Rng.int rng (nq - 1)) mod nq in
+       ignore (Estimator.Delta.apply_swap delta i j)
+     end
+     else begin
+       let q = Ion_util.Rng.int rng nq in
+       let trap = Ion_util.Rng.int rng ntr in
+       if Estimator.Delta.occupant delta trap < 0 then ignore (Estimator.Delta.apply_move delta q trap)
+     end);
+    if Estimator.Delta.in_transaction delta then Estimator.Delta.undo delta;
+    check_bool "placement restored" true (Estimator.Delta.placement delta = snap_place);
+    check_bool "latency restored bitwise" true (Estimator.Delta.latency delta = snap_lat)
+  done;
+  check_bool "occupancy restored" true (Array.init ntr (Estimator.Delta.occupant delta) = snap_occ);
+  check_bool "node state restored (zero drift)" true (Estimator.Delta.resync delta = 0.0)
+
+let test_delta_equals_latency_difference () =
+  let _, _, delta = delta_of "[[7,1,3]]" in
+  let before = Estimator.Delta.latency delta in
+  let d = Estimator.Delta.apply_swap delta 0 3 in
+  check_bool "delta = after - before" true (d = Estimator.Delta.latency delta -. before);
+  Estimator.Delta.commit delta
+
+(* ----------------------------------------------------------- swap chains *)
+
+let test_chain_matches_scratch () =
+  List.iter
+    (fun name ->
+      let model, nq, delta = delta_of name in
+      let rng = Ion_util.Rng.create 77 in
+      random_chain delta rng ~nq ~steps:2_000;
+      let incremental = Estimator.Delta.latency delta in
+      let scratch = Estimator.Delta.eval model (Estimator.Delta.placement delta) in
+      let rel = Float.abs (incremental -. scratch) /. Float.max 1.0 (Float.abs scratch) in
+      if rel > 1e-6 then
+        Alcotest.failf "%s: incremental %.9f vs scratch %.9f (rel %.3e)" name incremental scratch rel;
+      check_bool (name ^ " resync reports zero drift") true (Estimator.Delta.resync delta = 0.0))
+    table1
+
+let test_chain_with_undo_matches_scratch () =
+  let model, nq, delta = delta_of "[[14,8,3]]" in
+  let ntr = Estimator.Delta.num_traps delta in
+  let rng = Ion_util.Rng.create 13 in
+  (* interleave accepted and rejected moves like a real anneal does *)
+  for _ = 1 to 3_000 do
+    (if Ion_util.Rng.bool rng then begin
+       let i = Ion_util.Rng.int rng nq in
+       let j = (i + 1 + Ion_util.Rng.int rng (nq - 1)) mod nq in
+       ignore (Estimator.Delta.apply_swap delta i j)
+     end
+     else begin
+       let q = Ion_util.Rng.int rng nq in
+       let trap = Ion_util.Rng.int rng ntr in
+       if Estimator.Delta.occupant delta trap < 0 then ignore (Estimator.Delta.apply_move delta q trap)
+     end);
+    if Estimator.Delta.in_transaction delta then
+      if Ion_util.Rng.bool rng then Estimator.Delta.commit delta else Estimator.Delta.undo delta
+  done;
+  let incremental = Estimator.Delta.latency delta in
+  let scratch = Estimator.Delta.eval model (Estimator.Delta.placement delta) in
+  check_bool "mixed chain bit-equal to scratch" true (incremental = scratch)
+
+(* ------------------------------------------------------------ guard rails *)
+
+let test_transaction_guards () =
+  let _, _, delta = delta_of "[[5,1,3]]" in
+  (match Estimator.Delta.commit delta with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "commit without transaction accepted");
+  (match Estimator.Delta.undo delta with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "undo without transaction accepted");
+  ignore (Estimator.Delta.apply_swap delta 0 1);
+  (match Estimator.Delta.apply_swap delta 2 3 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "nested transaction accepted");
+  (match Estimator.Delta.resync delta with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "resync inside transaction accepted");
+  Estimator.Delta.undo delta;
+  (* moving onto an occupied trap must be rejected *)
+  match Estimator.Delta.apply_move delta 0 (Estimator.Delta.trap_of delta 1) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "move onto occupied trap accepted"
+
+(* -------------------------------------------------------------- portfolio *)
+
+let test_portfolio_bit_identical_across_jobs () =
+  let ctx = ctx_of "[[9,1,3]]" in
+  let findings =
+    Analysis.Determinism.check ~label:"portfolio" ~jobs:4 (fun ~jobs ->
+        Mapper.map_portfolio ~m:3 ~sa_moves:800 ~jobs ctx)
+  in
+  match findings with
+  | [] -> ()
+  | fs ->
+      Alcotest.failf "portfolio diverges across job counts: %s"
+        (String.concat "; " (List.map (Format.asprintf "%a" Analysis.Finding.pp) fs))
+
+let test_portfolio_never_worse_than_annealing () =
+  List.iter
+    (fun name ->
+      let ctx = ctx_of name in
+      let anneal =
+        match Mapper.map_annealing ~evaluations:3 ctx with
+        | Ok s -> s
+        | Error e -> Alcotest.failf "%s map_annealing: %s" name (Mapper.error_to_string e)
+      in
+      let portfolio =
+        match Mapper.map_portfolio ~m:3 ~sa_moves:600 ctx with
+        | Ok s -> s
+        | Error e -> Alcotest.failf "%s map_portfolio: %s" name (Mapper.error_to_string e)
+      in
+      if portfolio.Mapper.latency > anneal.Mapper.latency then
+        Alcotest.failf "%s: portfolio %.1f us worse than anneal %.1f us" name
+          portfolio.Mapper.latency anneal.Mapper.latency;
+      (* all five strategies stay visible in the audit *)
+      check_int (name ^ " portfolio attempts") 5 (List.length portfolio.Mapper.attempts))
+    table1
+
+let test_portfolio_solution_contract () =
+  let ctx = ctx_of "[[7,1,3]]" in
+  match Mapper.map_portfolio ~m:3 ~sa_moves:500 ctx with
+  | Error e -> Alcotest.failf "map_portfolio: %s" (Mapper.error_to_string e)
+  | Ok s ->
+      check_bool "positive latency" true (s.Mapper.latency > 0.0);
+      check_int "initial placement arity" 7 (Array.length s.Mapper.initial_placement);
+      check_bool "not degraded without budget" false s.Mapper.degraded;
+      List.iter
+        (fun (a : Mapper.attempt) ->
+          check_bool "attempt stage tagged" true
+            (String.length a.Mapper.stage > 10
+            && String.sub a.Mapper.stage 0 10 = "portfolio:"))
+        s.Mapper.attempts
+
+let () =
+  Alcotest.run "delta"
+    [
+      ( "transactions",
+        [
+          Alcotest.test_case "undo restores state" `Quick test_undo_restores_state;
+          Alcotest.test_case "delta = latency difference" `Quick test_delta_equals_latency_difference;
+          Alcotest.test_case "guards" `Quick test_transaction_guards;
+        ] );
+      ( "chains",
+        [
+          Alcotest.test_case "chain matches scratch (Table 1)" `Quick test_chain_matches_scratch;
+          Alcotest.test_case "mixed commit/undo chain" `Quick test_chain_with_undo_matches_scratch;
+        ] );
+      ( "portfolio",
+        [
+          Alcotest.test_case "bit-identical across jobs" `Slow test_portfolio_bit_identical_across_jobs;
+          Alcotest.test_case "never worse than anneal" `Slow test_portfolio_never_worse_than_annealing;
+          Alcotest.test_case "solution contract" `Quick test_portfolio_solution_contract;
+        ] );
+    ]

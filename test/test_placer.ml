@@ -306,6 +306,63 @@ let test_connectivity_guard () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "overfull placement accepted"
 
+(* ------------------------------------------------------------- proposal *)
+
+(* Distribution shape of the annealer's O(1) proposal tracker: every draw
+   is a valid move — swaps name two distinct in-range qubits, relocations
+   target a free pool trap — and with both qubits to swap and free traps to
+   move to, both move kinds actually occur (Stay never does). *)
+let prop_proposal_draws_valid =
+  QCheck.Test.make ~count:50 ~name:"proposal draws are valid and mixed"
+    QCheck.(pair (int_range 2 8) small_nat)
+    (fun (nq, seed) ->
+      let comp = quale_comp () in
+      let num_traps = Array.length (Component.traps comp) in
+      let pool = Array.of_list (Center.center_traps comp (3 * nq)) in
+      let placement = Array.init nq (fun i -> pool.(i)) in
+      let tracker = Annealing.Proposal.create ~num_traps pool placement in
+      let rng = Ion_util.Rng.create (9000 + seed) in
+      let swaps = ref 0 and relocs = ref 0 in
+      for _ = 1 to 400 do
+        match Annealing.Proposal.draw tracker rng ~num_qubits:nq with
+        | Annealing.Proposal.Stay -> QCheck.Test.fail_report "Stay drawn with free traps available"
+        | Annealing.Proposal.Swap (i, j) ->
+            incr swaps;
+            if not (i >= 0 && i < nq && j >= 0 && j < nq && i <> j) then
+              QCheck.Test.fail_report "swap names an invalid qubit pair"
+        | Annealing.Proposal.Relocate (q, dst) ->
+            incr relocs;
+            if q < 0 || q >= nq then QCheck.Test.fail_report "relocate names an invalid qubit";
+            if not (Annealing.Proposal.is_free tracker dst) then
+              QCheck.Test.fail_report "relocate targets an occupied or out-of-pool trap"
+      done;
+      !swaps > 0 && !relocs > 0)
+
+let test_proposal_relocate_bookkeeping () =
+  let comp = quale_comp () in
+  let num_traps = Array.length (Component.traps comp) in
+  let pool = Array.of_list (Center.center_traps comp 8) in
+  let placement = [| pool.(0); pool.(1); pool.(2) |] in
+  let tracker = Annealing.Proposal.create ~num_traps pool placement in
+  check_int "free traps" 5 (Annealing.Proposal.num_free tracker);
+  check_bool "occupied trap not free" false (Annealing.Proposal.is_free tracker pool.(0));
+  check_bool "unoccupied pool trap free" true (Annealing.Proposal.is_free tracker pool.(3));
+  Annealing.Proposal.relocate tracker ~src:pool.(0) ~dst:pool.(3);
+  check_int "free count preserved" 5 (Annealing.Proposal.num_free tracker);
+  check_bool "dst now occupied" false (Annealing.Proposal.is_free tracker pool.(3));
+  check_bool "src now free" true (Annealing.Proposal.is_free tracker pool.(0))
+
+let test_proposal_rejects_bad_setup () =
+  let comp = quale_comp () in
+  let num_traps = Array.length (Component.traps comp) in
+  let pool = Array.of_list (Center.center_traps comp 6) in
+  (match Annealing.Proposal.create ~num_traps pool [| pool.(0); pool.(0) |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "duplicate placement accepted");
+  match Annealing.Proposal.create ~num_traps pool [| num_traps |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "out-of-range trap accepted"
+
 let () =
   Alcotest.run "placer"
     [
@@ -335,6 +392,12 @@ let () =
           Alcotest.test_case "improves or matches" `Quick test_annealing_improves_or_matches_start;
           Alcotest.test_case "guards" `Quick test_annealing_guards;
           Alcotest.test_case "deterministic" `Quick test_annealing_deterministic;
+        ] );
+      ( "proposal",
+        [
+          Alcotest.test_case "relocate bookkeeping" `Quick test_proposal_relocate_bookkeeping;
+          Alcotest.test_case "bad setup rejected" `Quick test_proposal_rejects_bad_setup;
+          QCheck_alcotest.to_alcotest prop_proposal_draws_valid;
         ] );
       ( "connectivity",
         [
