@@ -903,6 +903,179 @@ let portfolio_summary () =
   print_newline ();
   J.List rows
 
+(* The headline service numbers for BENCH_pr7.json: the six Table-1
+   circuits submitted as one `qspr serve` batch against the shared fabric.
+   Three contracts are enforced here, not just reported: (1) every batch
+   response is bit-identical to an independent Mapper run under the same
+   seed and budget (same latency bits, same certificate digest); (2) the
+   shared warm caches make the batch do strictly fewer route searches and
+   lower-bound builds than six cold single-job services; (3) the batch's
+   deterministic response encodings are byte-identical at jobs=1/2/4, and
+   the warm batch is not slower than the cold services (1.15x slack for
+   scheduler noise on loaded machines).  Reported: circuits/sec at each
+   width, p50/p99 per-job CPU, aggregate cache hit rate, peak heap. *)
+let throughput_summary () =
+  let module J = Ion_util.Json in
+  let module P = Service.Protocol in
+  let module S = Service.Scheduler in
+  Printf.printf "=== Service throughput (Table-1 batch, mvfb m=2) ===\n";
+  let jobs =
+    List.mapi
+      (fun i (name, _) ->
+        P.make_job ~seed:(2012 + i) ~placer:"mvfb" ~m:2 ~id:name (P.Builtin name))
+      (Circuits.Qecc.all ())
+  in
+  let n = List.length jobs in
+  let batch_at width =
+    let t = S.create ~limits:{ S.default_limits with S.jobs = width } () in
+    let t0 = Unix.gettimeofday () in
+    let responses = S.run_batch t jobs in
+    (responses, Unix.gettimeofday () -. t0)
+  in
+  let warm, warm_s = batch_at 1 in
+  let widths =
+    List.map
+      (fun width ->
+        let responses, elapsed = batch_at width in
+        List.iter2
+          (fun a b ->
+            if
+              not
+                (String.equal
+                   (P.response_to_line ~deterministic:true a)
+                   (P.response_to_line ~deterministic:true b))
+            then failwith (Printf.sprintf "service: jobs=%d diverged from jobs=1 on %s" width a.P.job_id))
+          warm responses;
+        (width, elapsed))
+      [ 1; 2; 4 ]
+  in
+  (* six cold single-job services: every job pays its own distance tables
+     and route searches *)
+  let cold_t0 = Unix.gettimeofday () in
+  let cold = List.map (fun j -> S.create () |> fun t -> S.submit t j) jobs in
+  let cold_s = Unix.gettimeofday () -. cold_t0 in
+  let completed_or_die label (r : P.response) =
+    match r.P.verdict with
+    | P.Completed { latency_us; certificate_digest; certificate_valid; _ } ->
+        (latency_us, certificate_digest, certificate_valid)
+    | _ -> failwith (Printf.sprintf "service: %s %s did not complete" label r.P.job_id)
+  in
+  let searches responses =
+    List.fold_left
+      (fun acc (r : P.response) ->
+        match r.P.cache with
+        | Some c -> acc + c.P.misses + c.P.bound_builds
+        | None -> failwith "service: cache counters missing")
+      0 responses
+  in
+  let hit_rate responses =
+    let hits, lookups =
+      List.fold_left
+        (fun (h, l) (r : P.response) ->
+          match r.P.cache with Some c -> (h + c.P.hits, l + c.P.hits + c.P.misses) | None -> (h, l))
+        (0, 0) responses
+    in
+    float_of_int hits /. float_of_int (max 1 lookups)
+  in
+  (* contract 1: each batch response = an independent Mapper run, bit for bit *)
+  let independent =
+    List.map
+      (fun (j : P.job) ->
+        let program = List.assoc j.P.id (Circuits.Qecc.all ()) in
+        let config =
+          Qspr.Config.(
+            default |> with_jobs 1 |> with_seed j.P.seed
+            |> with_m (match j.P.m with Some m -> m | None -> default.m)
+            |> with_budget { wall_s = None; max_evals = None })
+        in
+        let ctx =
+          match Qspr.Mapper.create ~fabric ~config program with
+          | Ok c -> c
+          | Error e -> failwith e
+        in
+        let sol =
+          match Qspr.Mapper.map_mvfb ~jobs:1 ctx with
+          | Ok s -> s
+          | Error e -> failwith (Qspr.Mapper.error_to_string e)
+        in
+        (j.P.id, sol.Qspr.Mapper.latency, (Analysis.Certify.of_solution ctx sol).Analysis.Certify.digest))
+      jobs
+  in
+  List.iter2
+    (fun (r : P.response) (name, latency, digest) ->
+      let batch_latency, batch_digest, batch_valid = completed_or_die "batch" r in
+      if not (Int64.equal (Int64.bits_of_float batch_latency) (Int64.bits_of_float latency)) then
+        failwith
+          (Printf.sprintf "service: %s batch latency %.9g diverged from independent run %.9g" name
+             batch_latency latency);
+      if not (Int64.equal batch_digest digest) then
+        failwith (Printf.sprintf "service: %s certificate digest diverged from independent run" name);
+      if not batch_valid then failwith (Printf.sprintf "service: %s did not certify" name))
+    warm independent;
+  (* contract 2: shared warm caches do strictly less search work than cold *)
+  let warm_searches = searches warm and cold_searches = searches cold in
+  if warm_searches >= cold_searches then
+    failwith
+      (Printf.sprintf "service: warm batch ran %d searches, cold services %d (want strictly fewer)"
+         warm_searches cold_searches);
+  (* contract 3: amortized batch is not slower than cold end to end *)
+  if warm_s > cold_s *. 1.15 then
+    failwith
+      (Printf.sprintf "service: warm batch %.2fs slower than cold services %.2fs" warm_s cold_s);
+  let cpu = List.sort compare (List.map (fun (r : P.response) -> r.P.cpu_s) warm) in
+  let pct p =
+    List.nth cpu (min (n - 1) (int_of_float (Float.of_int (n - 1) *. p /. 100.0 +. 0.5)))
+  in
+  let heap_bytes =
+    (Gc.quick_stat ()).Gc.top_heap_words * (Sys.word_size / 8)
+  in
+  List.iter
+    (fun (width, elapsed) ->
+      Printf.printf "  jobs=%d  %5.2f s  %5.2f circuits/s\n" width elapsed
+        (float_of_int n /. elapsed))
+    widths;
+  Printf.printf "  cold    %5.2f s  %5.2f circuits/s (6 single-job services)\n" cold_s
+    (float_of_int n /. cold_s);
+  Printf.printf
+    "  searches %d warm vs %d cold, hit rate %.1f%% warm vs %.1f%% cold, cpu p50 %.0f ms p99 %.0f \
+     ms, peak heap %.1f MB\n\n"
+    warm_searches cold_searches
+    (100.0 *. hit_rate warm)
+    (100.0 *. hit_rate cold)
+    (1000.0 *. pct 50.0) (1000.0 *. pct 99.0)
+    (float_of_int heap_bytes /. 1e6);
+  J.Obj
+    [
+      ("circuits", J.Int n);
+      ("placer", J.String "mvfb");
+      ( "throughput",
+        J.List
+          (List.map
+             (fun (width, elapsed) ->
+               J.Obj
+                 [
+                   ("jobs", J.Int width);
+                   ("elapsed_s", J.Float elapsed);
+                   ("circuits_per_s", J.Float (float_of_int n /. elapsed));
+                 ])
+             widths) );
+      ( "cold",
+        J.Obj
+          [
+            ("elapsed_s", J.Float cold_s);
+            ("circuits_per_s", J.Float (float_of_int n /. cold_s));
+            ("searches", J.Int cold_searches);
+            ("hit_rate", J.Float (hit_rate cold));
+          ] );
+      ("warm_searches", J.Int warm_searches);
+      ("warm_hit_rate", J.Float (hit_rate warm));
+      ("cpu_p50_s", J.Float (pct 50.0));
+      ("cpu_p99_s", J.Float (pct 99.0));
+      ("peak_heap_bytes", J.Int heap_bytes);
+      ("bit_identical_to_independent_runs", J.Bool true);
+      ("bit_identical_across_widths", J.Bool true);
+    ]
+
 (* Machine-readable results for regression tracking: one record per bench
    with the OLS ns/run and minor words/run estimates, plus the estimator,
    fault-injection and incremental-routing subsystems' headline numbers. *)
@@ -911,12 +1084,13 @@ let emit_json rows =
   let doc =
     J.Obj
       [
-        ("schema", J.String "qspr-bench/5");
+        ("schema", J.String "qspr-bench/6");
         ( "instances",
           J.List [ J.String "monotonic_clock_ns_per_run"; J.String "minor_allocated_words_per_run" ] );
         ("estimator", estimator_summary rows);
         ("delta", delta_summary ());
         ("portfolio", portfolio_summary ());
+        ("service", throughput_summary ());
         ("faults", faults_summary ());
         ("router", router_summary ());
         ( "results",
@@ -928,11 +1102,11 @@ let emit_json rows =
                rows) );
       ]
   in
-  let oc = open_out "BENCH_pr6.json" in
+  let oc = open_out "BENCH_pr7.json" in
   output_string oc (J.to_string doc);
   output_char oc '\n';
   close_out oc;
-  Printf.printf "\nwrote BENCH_pr6.json (%d benches)\n" (List.length rows)
+  Printf.printf "\nwrote BENCH_pr7.json (%d benches)\n" (List.length rows)
 
 let () =
   print_tables ();

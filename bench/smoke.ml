@@ -194,8 +194,62 @@ let () =
   let anneal = solution_latency "sa" (Qspr.Mapper.map_annealing ~evaluations:2 ctx) in
   if race1.Qspr.Mapper.latency > anneal then
     fail "portfolio %.1f us lost to the classic anneal %.1f us" race1.Qspr.Mapper.latency anneal;
+  (* service group: the throughput bench's contracts at smoke scale — a
+     batch is byte-identical at any width and to sequential submission, the
+     warm second job does strictly fewer searches than the cold first, and
+     the batch result matches an independent Mapper run bit for bit *)
+  let module P = Service.Protocol in
+  let module S = Service.Scheduler in
+  let sjobs =
+    [
+      P.make_job ~seed:7 ~placer:"mvfb" ~m:2 ~id:"cold" (P.Builtin "[[5,1,3]]");
+      P.make_job ~seed:7 ~placer:"mvfb" ~m:2 ~id:"warm" (P.Builtin "[[5,1,3]]");
+    ]
+  in
+  let det r = P.response_to_line ~deterministic:true r in
+  let batch width = S.run_batch (S.create ~limits:{ S.default_limits with S.jobs = width } ()) sjobs in
+  let b1 = batch 1 and b2 = batch 2 in
+  let seq =
+    let t = S.create () in
+    List.map (S.submit t) sjobs
+  in
+  List.iter2
+    (fun a b ->
+      if not (String.equal (det a) (det b)) then fail "service: jobs=1 vs jobs=2 responses differ")
+    b1 b2;
+  List.iter2
+    (fun a b ->
+      if not (String.equal (det a) (det b)) then
+        fail "service: batch vs sequential responses differ")
+    b1 seq;
+  (match (List.map (fun (r : P.response) -> r.P.cache) seq, List.map (fun (r : P.response) -> r.P.verdict) seq) with
+  | ( [ Some c0; Some c1 ],
+      [
+        P.Completed { latency_us = lat0; certificate_digest = dig0; _ };
+        P.Completed { certificate_digest = dig1; _ };
+      ] ) ->
+      if c1.P.misses >= c0.P.misses then
+        fail "service: warm job ran %d searches, cold ran %d (want strictly fewer)" c1.P.misses
+          c0.P.misses;
+      if c1.P.shared_hits = 0 then fail "service: warm job never hit the shared snapshot";
+      if not (Int64.equal dig0 dig1) then
+        fail "service: warm job's certificate digest diverged from the cold job";
+      let sol =
+        let config =
+          Qspr.Config.(
+            default |> with_jobs 1 |> with_seed 7 |> with_m 2
+            |> with_budget { wall_s = None; max_evals = None })
+        in
+        let sctx =
+          match Qspr.Mapper.create ~fabric ~config p with Ok c -> c | Error e -> fail "%s" e
+        in
+        solution_latency "service reference" (Qspr.Mapper.map_mvfb ~jobs:1 sctx)
+      in
+      check_eq "service batch vs independent mapper" lat0 sol
+  | _ -> fail "service: expected two completed responses with cache counters");
   print_endline
     "bench-smoke: OK (workspace routing exact, parallel search exact, estimator pure, \
      prescreen consistent, winner certified, fault campaign deterministic, route cache \
      bit-identical with fewer searches, incremental on/off identical, delta transactions \
-     exact, portfolio deterministic and never worse than the anneal)"
+     exact, portfolio deterministic and never worse than the anneal, service batch \
+     deterministic with shared warm caches)"

@@ -2,6 +2,7 @@
 
    Subcommands:
      map       map a QASM file (or builtin benchmark) onto an ion-trap fabric
+     serve     mapping-as-a-service: line-delimited JSON jobs in, results out
      lint      static-analysis report over a circuit and/or fabric
      fabric    render a fabric and its component statistics
      circuits  list or print the builtin QECC benchmark circuits *)
@@ -597,6 +598,111 @@ let circuits_cmd =
       const do_circuits
       $ Arg.(value & opt (some string) None & info [ "show" ] ~docv:"NAME" ~doc:"Print one circuit as QASM."))
 
+(* ---------------------------------------------------------------- serve *)
+
+let request_rejection msg =
+  {
+    Service.Protocol.job_id = "?";
+    verdict =
+      Service.Protocol.Rejected { stage = "request"; reason = msg; quote_us = None; findings = [] };
+    cache = None;
+    cpu_s = 0.0;
+  }
+
+let do_serve batch jobs deterministic max_pending max_quote_us max_evals =
+  let limits : Service.Scheduler.limits = { jobs; max_pending; max_quote_us; max_evals } in
+  let t = Service.Scheduler.create ~limits () in
+  match batch with
+  | Some path -> (
+      match In_channel.with_open_text path In_channel.input_lines with
+      | exception Sys_error e ->
+          Printf.eprintf "error: %s\n" e;
+          1
+      | lines ->
+          let lines = List.filter (fun l -> String.trim l <> "") lines in
+          let decoded = List.map Service.Protocol.job_of_line lines in
+          (* one run_batch over every well-formed request, so distance tables
+             and warm route snapshots are shared across the whole file *)
+          let batched =
+            ref (Service.Scheduler.run_batch t (List.filter_map Result.to_option decoded))
+          in
+          let responses =
+            List.map
+              (function
+                | Error msg -> request_rejection msg
+                | Ok _ -> (
+                    match !batched with
+                    | r :: rest ->
+                        batched := rest;
+                        r
+                    | [] -> assert false))
+              decoded
+          in
+          List.iter
+            (fun r -> print_endline (Service.Protocol.response_to_line ~deterministic r))
+            responses;
+          Service.Protocol.exit_code responses)
+  | None ->
+      (* daemon mode: one request line in, one response line out, flushed
+         per response so a pipe peer can interleave *)
+      let rec loop () =
+        match In_channel.input_line stdin with
+        | None -> ()
+        | Some line ->
+            if String.trim line <> "" then begin
+              print_endline (Service.Scheduler.handle_line ~deterministic t line);
+              flush stdout
+            end;
+            loop ()
+      in
+      loop ();
+      let s : Service.Scheduler.stats = Service.Scheduler.stats t in
+      if s.rejected > 0 then 2 else if s.failed > 0 then 1 else 0
+
+let serve_cmd =
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Mapping as a service: read qspr-job/1 request lines (stdin, or a file with --batch), \
+          admit each through lint and the estimator quote, map the admitted ones over shared \
+          warm caches, and write one qspr-result/1 response line per request.  Exits 2 if any \
+          request was rejected, 1 if any mapping failed, 0 otherwise.")
+    Term.(
+      const do_serve
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "batch" ] ~docv:"FILE"
+              ~doc:
+                "Read every request line from $(docv) and run them as one batch (distance \
+                 tables and warm route caches amortized across the file) instead of serving \
+                 stdin line by line.")
+      $ Arg.(
+          value & opt int 1
+          & info [ "jobs" ] ~docv:"J"
+              ~doc:"Jobs mapped concurrently (responses are bit-identical at any value).")
+      $ Arg.(
+          value & flag
+          & info [ "deterministic" ]
+              ~doc:
+                "Omit the cache and cpu_s observability sections, leaving responses that are a \
+                 pure function of their requests (the form CI compares against golden files).")
+      $ Arg.(
+          value & opt int 64
+          & info [ "max-pending" ] ~docv:"N" ~doc:"Admitted jobs per submission before queue-full.")
+      $ Arg.(
+          value
+          & opt (some float) None
+          & info [ "max-quote-us" ] ~docv:"US"
+              ~doc:"Reject jobs whose estimator quote exceeds $(docv) microseconds.")
+      $ Arg.(
+          value
+          & opt (some int) None
+          & info [ "max-evals" ] ~docv:"N"
+              ~doc:
+                "Service-wide engine-evaluation ceiling: jobs requesting more are rejected, \
+                 jobs requesting none inherit it as their budget."))
+
 (* --------------------------------------------------------------- faults *)
 
 let do_faults circuit qasm openqasm fabric_path seed levels_s trials jobs json_out =
@@ -648,6 +754,7 @@ let () =
        (Cmd.group info
           [
             map_cmd;
+            serve_cmd;
             lint_cmd;
             fabric_cmd;
             circuits_cmd;

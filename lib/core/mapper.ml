@@ -14,6 +14,12 @@ type t = {
   estimator : Estimator.Model.t Lazy.t;
       (* built on first use (one Dijkstra per trap); forced on the main
          domain before any pool fan-out — Lazy.force is not domain-safe *)
+  shared_routes : Router.Route_cache.snapshot option;
+      (* per-fabric warm tables published by the service; attached to the
+         engine's route cache before every run *)
+  route_cache : Router.Route_cache.t option;
+      (* explicit per-context cache overriding the domain-local one; the
+         holder promises the context runs on a single domain *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -92,19 +98,28 @@ let backward_priorities_of dag udag fprios =
   Array.iteri (fun k u -> prios.(u) <- float_of_int rank.(fg.(g - 1 - k))) bg;
   prios
 
-let create ~fabric ?(config = Config.default) program =
+let create ~fabric ?(config = Config.default) ?prebuilt ?distance ?shared_routes ?route_cache
+    program =
   match Config.validate config with
   | Error _ as e -> e
   | Ok config -> (
-      match Fabric.Component.extract fabric with
-      | Error e -> Error ("Mapper.create: " ^ e)
-      | Ok comp ->
+      let extracted =
+        match prebuilt with
+        | Some (comp, graph) when Fabric.Graph.component graph == comp -> Ok (comp, graph)
+        | Some _ -> Error "Mapper.create: prebuilt graph was not built from the given component"
+        | None -> (
+            match Fabric.Component.extract fabric with
+            | Error e -> Error ("Mapper.create: " ^ e)
+            | Ok comp -> Ok (comp, Fabric.Graph.build comp))
+      in
+      match extracted with
+      | Error _ as e -> e
+      | Ok (comp, graph) ->
           let nq = Program.num_qubits program in
           (* trap starvation is Fabric.Lint's check; keep a single home for it *)
           match Fabric.Lint.capacity_error ~num_qubits:nq comp with
           | Some msg -> Error ("Mapper.create: " ^ msg)
           | None -> begin
-            let graph = Fabric.Graph.build comp in
             let dag = Dag.of_program program in
             let delay = Router.Timing.gate_delay config.Config.timing in
             let priorities = Scheduler.Priority.compute Scheduler.Priority.qspr_default ~delay dag in
@@ -114,18 +129,43 @@ let create ~fabric ?(config = Config.default) program =
               | Error _ -> (None, None)
             in
             let estimator =
-              lazy (Estimator.Model.create ~graph ~timing:config.Config.timing dag)
+              lazy (Estimator.Model.create ~graph ~timing:config.Config.timing ?distance dag)
             in
             Ok
-              { graph; comp; config; program; dag; udag; priorities; backward_priorities; estimator }
+              {
+                graph;
+                comp;
+                config;
+                program;
+                dag;
+                udag;
+                priorities;
+                backward_priorities;
+                estimator;
+                shared_routes;
+                route_cache;
+              }
           end)
 
 (* The route cache rides on the evaluating domain (placement search fans
    run_forward/run_backward out over pool workers, each of which keeps its
    own), so it must be fetched inside the engine call, not captured when the
-   closure is built on the main domain. *)
+   closure is built on the main domain.  A context-held cache overrides the
+   domain-local one (the holder promises single-domain use); any shared
+   snapshot for this context's graph is attached as the cache's read-only
+   fallback layer before the run. *)
 let route_cache_of t =
-  if t.config.Config.incremental_routing then Some (Router.Route_cache.domain_local ()) else None
+  if not t.config.Config.incremental_routing then None
+  else begin
+    let cache =
+      match t.route_cache with Some c -> c | None -> Router.Route_cache.domain_local ()
+    in
+    (match t.shared_routes with
+    | Some snap when Router.Route_cache.snapshot_graph snap == t.graph ->
+        Router.Route_cache.attach cache snap
+    | Some _ | None -> Router.Route_cache.for_graph cache t.graph);
+    Some cache
+  end
 
 let run_with t ~policy ~priorities ~placement =
   Engine.run ~graph:t.graph ~timing:t.config.Config.timing ~policy ~dag:t.dag ~priorities ~placement
@@ -347,7 +387,9 @@ let map_portfolio ?m ?sa_moves ?jobs t =
         truncated;
       }
   in
-  let mvfb () =
+  (* the classic strategies seed themselves exactly as their map_* twins do
+     (bit-compatibility); the race's derived stream is ignored *)
+  let mvfb ~rng:_ =
     match
       Placer.Mvfb.search ~seed ~m ~patience:t.config.Config.patience ~forward:(run_forward t)
         ~backward:(run_backward t) t.comp ~num_qubits:nq
@@ -358,7 +400,7 @@ let map_portfolio ?m ?sa_moves ?jobs t =
           ~direction:o.Placer.Mvfb.direction ~evaluations:o.Placer.Mvfb.evaluations
           ~latencies:o.Placer.Mvfb.latencies ~truncated:false
   in
-  let mc () =
+  let mc ~rng:_ =
     match
       Placer.Monte_carlo.search ?max_evals ~out_of_time ~seed ~runs:m
         ~evaluate:(run_forward t) t.comp ~num_qubits:nq
@@ -369,7 +411,7 @@ let map_portfolio ?m ?sa_moves ?jobs t =
           ~direction:Placer.Mvfb.Forward ~evaluations:o.Placer.Monte_carlo.evaluations
           ~latencies:o.Placer.Monte_carlo.latencies ~truncated:o.Placer.Monte_carlo.truncated
   in
-  let sa () =
+  let sa ~rng:_ =
     match
       Placer.Annealing.search ?max_evals ~out_of_time ~rng:(Ion_util.Rng.create seed)
         ~evaluations:m ~evaluate:(run_forward t) t.comp ~num_qubits:nq
@@ -380,7 +422,7 @@ let map_portfolio ?m ?sa_moves ?jobs t =
           ~direction:Placer.Mvfb.Forward ~evaluations:o.Placer.Annealing.evaluations
           ~latencies:o.Placer.Annealing.latencies ~truncated:o.Placer.Annealing.truncated
   in
-  let delta_sa k () =
+  let delta_sa k ~rng:_ =
     match
       Placer.Annealing.search_delta ?max_evals ~out_of_time
         ~rng:(Ion_util.Rng.derive (seed + 7919) ~index:k)
@@ -403,7 +445,7 @@ let map_portfolio ?m ?sa_moves ?jobs t =
   in
   match
     Ion_util.Domain_pool.with_pool ~jobs (fun pool ->
-        Placer.Portfolio.race ~pool strategies)
+        Placer.Portfolio.race ~pool ~seed strategies)
   with
   | Error e -> Error (of_engine_error e)
   | Ok o ->

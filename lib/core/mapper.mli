@@ -12,9 +12,28 @@ type t
 (** A prepared mapping context: fabric graph, QIDG, UIDG (when the program
     is unitary), and the QSPR scheduling priorities. *)
 
-val create : fabric:Fabric.Layout.t -> ?config:Config.t -> Qasm.Program.t -> (t, string) result
+val create :
+  fabric:Fabric.Layout.t ->
+  ?config:Config.t ->
+  ?prebuilt:Fabric.Component.t * Fabric.Graph.t ->
+  ?distance:Estimator.Distance.t ->
+  ?shared_routes:Router.Route_cache.snapshot ->
+  ?route_cache:Router.Route_cache.t ->
+  Qasm.Program.t ->
+  (t, string) result
 (** Builds the routing graph and dependency graphs.  Fails on fabrics with
-    fewer traps than qubits, on config errors, or on unroutable fabrics. *)
+    fewer traps than qubits, on config errors, or on unroutable fabrics.
+
+    The optional sharing hooks exist for the service's batch path, where
+    many contexts target one fabric: [prebuilt] supplies an
+    already-extracted component and its graph (skipping re-extraction and,
+    critically, giving every context the same physical graph so warm route
+    tables key correctly); [distance] supplies prebuilt estimator distance
+    tables; [shared_routes] is a frozen per-fabric table snapshot attached
+    to the engine's route cache before every run; [route_cache] overrides
+    the domain-local cache with an explicit per-context one — the caller
+    promises the context then runs on a single domain (use [jobs:1]), in
+    exchange for exact per-context hit/miss counters. *)
 
 val graph : t -> Fabric.Graph.t
 val component : t -> Fabric.Component.t

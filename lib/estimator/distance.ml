@@ -1,11 +1,13 @@
 type t = {
   n : int;
+  turn_cost : float;  (* the turn-edge weight the tables were built at *)
   dist : float array;  (* n*n, move units, row = source trap *)
   meet_tbl : int array;  (* n*n, meeting trap per operand pair *)
   makespan : float array;  (* n*n, max distance of either operand to the meet *)
 }
 
 let num_traps t = t.n
+let turn_cost t = t.turn_cost
 let tables t = (t.dist, t.meet_tbl)
 let between t a b = t.dist.((a * t.n) + b)
 let meet t a b = t.meet_tbl.((a * t.n) + b)
@@ -53,4 +55,4 @@ let build ?workspace graph ~turn_cost =
       makespan.((b * n) + a) <- !best_mk
     done
   done;
-  { n; dist; meet_tbl; makespan }
+  { n; turn_cost; dist; meet_tbl; makespan }

@@ -22,6 +22,10 @@ val build : ?workspace:Router.Workspace.t -> Fabric.Graph.t -> turn_cost:float -
 
 val num_traps : t -> int
 
+val turn_cost : t -> float
+(** The turn-edge weight the tables were built at — lets a holder check a
+    prebuilt table set matches its timing before sharing it. *)
+
 val tables : t -> float array * int array
 (** The raw row-major [num_traps * num_traps] distance and meeting-trap
     tables behind {!between} and {!meet} — shared, not copied, and must be

@@ -57,12 +57,22 @@ let view t =
     v_succs = t.succs;
   }
 
-let create ~graph ~timing ?(congestion_alpha = 0.01) ?(congestion_threshold = 2) dag =
+let create ~graph ~timing ?distance ?(congestion_alpha = 0.01) ?(congestion_threshold = 2) dag =
   if congestion_alpha < 0.0 || Float.is_nan congestion_alpha then
     invalid_arg "Estimator.Model.create: congestion_alpha must be non-negative";
   if congestion_threshold < 0 then
     invalid_arg "Estimator.Model.create: congestion_threshold must be non-negative";
-  let dist = Distance.build graph ~turn_cost:(Router.Timing.turn_cost_in_moves timing) in
+  let turn_cost = Router.Timing.turn_cost_in_moves timing in
+  let dist =
+    match distance with
+    | Some d ->
+        if Distance.turn_cost d <> turn_cost then
+          invalid_arg "Estimator.Model.create: prebuilt distance tables use a different turn cost";
+        if Distance.num_traps d <> Array.length (Fabric.Component.traps (Fabric.Graph.component graph))
+        then invalid_arg "Estimator.Model.create: prebuilt distance tables are for a different fabric";
+        d
+    | None -> Distance.build graph ~turn_cost
+  in
   let nq = Qasm.Program.num_qubits (Qasm.Dag.program dag) in
   let n = Qasm.Dag.num_nodes dag in
   let kind = Array.make n 0 and qa = Array.make n 0 and qb = Array.make n 0 in

@@ -25,7 +25,7 @@ let resource_kind = function
   | Disabled_trap _ -> "trap"
   | Slow _ -> "timing"
 
-let sample ~seed ~index ~n comp =
+let sample_with rng ~n comp =
   if n < 0 then invalid_arg "Fault.sample: negative fault count";
   let nj = Array.length (Fabric.Component.junctions comp) in
   let ns = Array.length (Fabric.Component.segments comp) in
@@ -36,9 +36,10 @@ let sample ~seed ~index ~n comp =
         else if i < nj + ns then Blocked_channel (i - nj)
         else Disabled_trap (i - nj - ns))
   in
-  let rng = Ion_util.Rng.derive seed ~index in
   Ion_util.Rng.shuffle rng pool;
   Array.to_list (Array.sub pool 0 (min n (Array.length pool)))
+
+let sample ~seed ~index ~n comp = sample_with (Ion_util.Rng.derive seed ~index) ~n comp
 
 type applied = {
   layout : Fabric.Layout.t;
@@ -159,16 +160,12 @@ let campaign ?(jobs = 1) ?(retry = Qspr.Mapper.default_retry) ?(config = Qspr.Co
               (Printf.sprintf "pristine fabric fails to map: %s" (Qspr.Mapper.error_to_string e))
         | Ok baseline ->
             let comp = Qspr.Mapper.component ctx in
-            let levels_arr = Array.of_list levels in
-            let tasks =
-              Array.concat
-                (Array.to_list
-                   (Array.mapi
-                      (fun li fc -> Array.init trials (fun i -> (li, fc, (li * trials) + i)))
-                      levels_arr))
-            in
-            let run_trial (_, fc, index) =
-              let faults = sample ~seed ~index ~n:fc comp in
+            (* one task per trial, in level-major order: task index li*trials+i
+               is exactly the historical sample index, so map_seeded's derived
+               stream reproduces [sample ~seed ~index] bit-for-bit *)
+            let tasks = Array.concat (List.map (fun fc -> Array.make trials fc) levels) in
+            let run_trial ~index ~rng fc =
+              let faults = sample_with rng ~n:fc comp in
               let first_failing =
                 match faults with [] -> "none" | f :: _ -> resource_kind f
               in
@@ -192,10 +189,7 @@ let campaign ?(jobs = 1) ?(retry = Qspr.Mapper.default_retry) ?(config = Qspr.Co
               in
               { index; faults; outcome }
             in
-            let results =
-              Ion_util.Domain_pool.with_pool ~jobs (fun pool ->
-                  Ion_util.Domain_pool.map pool run_trial tasks)
-            in
+            let results = Ion_util.Domain_pool.map_seeded ~jobs ~seed run_trial tasks in
             let level_of li fc =
               let trials_l =
                 Array.to_list (Array.sub results (li * trials) trials)

@@ -1,9 +1,10 @@
 (* Race independent placement strategies across a domain pool and keep the
-   best routed result.  Each strategy is a self-contained deterministic
-   thunk (seeded via Rng.derive by the caller), so the race is a pure
-   function of the strategy list: Domain_pool.map preserves order, the
-   winner is the lowest (latency, list index), and the outcome is
-   bit-identical at any job count. *)
+   best routed result.  Strategies fan out through Domain_pool.map_seeded
+   (the shared seeded fan-out also behind fault campaigns and the service
+   scheduler); each receives the per-index derived stream but may ignore it
+   and seed itself, so the race is a pure function of (strategy list, seed):
+   order is preserved, the winner is the lowest (latency, list index), and
+   the outcome is bit-identical at any job count. *)
 
 type strategy_outcome = {
   placement : int array;
@@ -16,7 +17,7 @@ type strategy_outcome = {
 
 type strategy = {
   name : string;
-  run : unit -> (strategy_outcome, Simulator.Engine.error) result;
+  run : rng:Ion_util.Rng.t -> (strategy_outcome, Simulator.Engine.error) result;
 }
 
 type entry = {
@@ -26,15 +27,17 @@ type entry = {
 
 type outcome = { winner : string; best : strategy_outcome; entries : entry list }
 
-let race ?pool strategies =
+let race ?pool ~seed strategies =
   match strategies with
   | [] -> Error (Simulator.Engine.Invalid "Portfolio.race: no strategies")
   | _ ->
       let arr = Array.of_list strategies in
-      let amap =
-        match pool with Some p -> Ion_util.Domain_pool.map p | None -> Array.map
+      let jobs = match pool with Some p -> Ion_util.Domain_pool.jobs p | None -> 1 in
+      let outcomes =
+        Ion_util.Domain_pool.map_seeded ?pool ~jobs ~seed
+          (fun ~index:_ ~rng s -> s.run ~rng)
+          arr
       in
-      let outcomes = amap (fun s -> s.run ()) arr in
       let entries =
         Array.to_list
           (Array.map2

@@ -7,9 +7,10 @@
     typically fanned over an [Ion_util.Domain_pool] — and keeps the best
     routed result.
 
-    Determinism contract: each strategy thunk must be self-deterministic
-    (derive its randomness from its own seed, e.g. [Rng.derive seed
-    ~index]), never reading shared mutable state.  [Domain_pool.map]
+    Determinism contract: each strategy must be deterministic given its
+    inputs — either the per-index stream [race] hands it
+    ([Rng.derive seed ~index], via {!Ion_util.Domain_pool.map_seeded}) or
+    its own internal seed — and never read shared mutable state.  Fan-out
     preserves order and the winner is the lowest [(latency, list index)],
     so the outcome is bit-identical at any job count. *)
 
@@ -26,7 +27,11 @@ type strategy_outcome = {
 
 type strategy = {
   name : string;
-  run : unit -> (strategy_outcome, Simulator.Engine.error) result;
+  run : rng:Ion_util.Rng.t -> (strategy_outcome, Simulator.Engine.error) result;
+      (** [rng] is the strategy's slot in the race's derived-stream space;
+          strategies carrying their own seeding discipline (the classic
+          placers, matching their [map_*] counterparts bit-for-bit) may
+          ignore it *)
 }
 
 type entry = {
@@ -42,9 +47,11 @@ type outcome = {
 
 val race :
   ?pool:Ion_util.Domain_pool.t ->
+  seed:int ->
   strategy list ->
   (outcome, Simulator.Engine.error) result
-(** Runs every strategy (in parallel across [pool] when given) and returns
-    the best successful outcome; failed strategies stay visible in
-    [entries].  [Error] only when the list is empty ([Invalid]) or every
-    strategy failed (the first failure, in input order). *)
+(** Runs every strategy (in parallel across [pool] when given, via
+    {!Ion_util.Domain_pool.map_seeded} with [seed] as the fan-out root)
+    and returns the best successful outcome; failed strategies stay
+    visible in [entries].  [Error] only when the list is empty ([Invalid])
+    or every strategy failed (the first failure, in input order). *)

@@ -23,11 +23,22 @@
     A cache is single-domain mutable state.  {!domain_local} hands every
     domain its own (values are pure functions of the key, so results never
     depend on which domain served them); entry counts are soft-capped so
-    long-lived domain caches cannot grow without bound. *)
+    long-lived domain caches cannot grow without bound.
+
+    For cross-domain sharing, a cache can be frozen into a {!snapshot}: an
+    immutable-after-build union of its tables that any number of domains
+    may consult concurrently as a read-only fallback layer ({!attach}).
+    The service scheduler uses this to promote warm per-fabric tables from
+    per-domain state to per-fabric shared state. *)
 
 type t
 
 type flavor = Plain | Guided
+
+type snapshot
+(** Frozen tables for one fabric graph.  Immutable after {!freeze}
+    returns; publish to other domains through a synchronized handoff
+    (mutex / domain spawn) and then read freely. *)
 
 val create : unit -> t
 
@@ -61,9 +72,36 @@ val store : t -> flavor -> turn_cost:float -> src:int -> dst:int -> Path.t optio
 
 val clear : t -> unit
 
+val freeze : t -> snapshot
+(** Copy the cache's current tables (unioned with any attached snapshot
+    for the same graph, local entries winning value-neutral ties) into a
+    frozen snapshot.  Folding [freeze] over a wave of job caches that all
+    had the previous snapshot attached accumulates every entry seen so
+    far.  @raise Invalid_argument if the cache is not bound to a graph. *)
+
+val attach : t -> snapshot -> unit
+(** Install a snapshot as the cache's read-only fallback layer, binding
+    the cache to the snapshot's graph first (dropping stale local entries
+    if it was bound to a different one).  Lookups consult local tables
+    first, then the snapshot; shared hits count toward {!hits} and
+    {!shared_hits}.  Replaces any previously attached snapshot. *)
+
+val snapshot_paths : snapshot -> int
+(** Cached path entries (both flavors) in the snapshot. *)
+
+val snapshot_bounds : snapshot -> int
+(** Lower-bound tables in the snapshot. *)
+
+val snapshot_graph : snapshot -> Fabric.Graph.t
+(** The fabric graph the snapshot's entries were computed on. *)
+
 val hits : t -> int
 
 val misses : t -> int
+
+val shared_hits : t -> int
+(** The subset of {!hits} served from the attached snapshot rather than
+    the cache's own tables. *)
 
 val bound_builds : t -> int
 (** Lower-bound tables actually built (cache misses on {!lower_bound}). *)

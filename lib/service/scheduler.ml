@@ -1,0 +1,437 @@
+module Route_cache = Router.Route_cache
+
+module type SERVICE = sig
+  type t
+
+  type limits = {
+    jobs : int;
+    max_pending : int;
+    max_quote_us : float option;
+    max_evals : int option;
+  }
+
+  val default_limits : limits
+  val create : ?limits:limits -> ?config:Qspr.Config.t -> unit -> t
+  val submit : t -> Protocol.job -> Protocol.response
+  val run_batch : t -> Protocol.job list -> Protocol.response list
+  val handle_line : ?deterministic:bool -> t -> string -> string
+
+  type stats = {
+    fabrics : int;
+    shared_paths : int;
+    shared_bounds : int;
+    completed : int;
+    rejected : int;
+    failed : int;
+  }
+
+  val stats : t -> stats
+end
+
+type limits = {
+  jobs : int;
+  max_pending : int;
+  max_quote_us : float option;
+  max_evals : int option;
+}
+
+let default_limits = { jobs = 1; max_pending = 64; max_quote_us = None; max_evals = None }
+
+(* Per-fabric shared state: everything here is built once, read by every
+   job on the fabric.  [comp]/[graph]/[distance] are immutable after build;
+   [snapshot] is replaced (never mutated) between waves on the main domain. *)
+type fabric_entry = {
+  layout : Fabric.Layout.t;
+  comp : Fabric.Component.t;
+  graph : Fabric.Graph.t;
+  distance : Estimator.Distance.t;
+  mutable snapshot : Route_cache.snapshot option;
+}
+
+type t = {
+  limits : limits;
+  base : Qspr.Config.t;
+  fabrics : (int64, fabric_entry) Hashtbl.t;
+  mutable completed : int;
+  mutable rejected : int;
+  mutable failed : int;
+}
+
+let create ?(limits = default_limits) ?(config = Qspr.Config.default) () =
+  (* wall-clock budgets are nondeterministic; strip them so every response
+     is a pure function of its job.  Each job runs its placer in one pool
+     slot — parallelism is across jobs — so the per-job fan-out is 1. *)
+  let base =
+    Qspr.Config.with_jobs 1
+      {
+        config with
+        Qspr.Config.budget = { config.Qspr.Config.budget with Qspr.Config.wall_s = None };
+      }
+  in
+  { limits; base; fabrics = Hashtbl.create 4; completed = 0; rejected = 0; failed = 0 }
+
+(* ------------------------------------------------------------ admission *)
+
+let fnv1a64 s =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c -> h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001b3L)
+    s;
+  !h
+
+(* Fabric digest: canonical ASCII rendering plus the base-weight turn cost
+   (the only base-weight parameter the cached tables depend on — channel
+   and junction capacities shape live weights, not base ones). *)
+let fabric_key t layout =
+  let tc = Router.Timing.turn_cost_in_moves t.base.Qspr.Config.timing in
+  fnv1a64 (Printf.sprintf "%.17g|%s" tc (Fabric.Layout.to_ascii layout))
+
+let allowed_placers = [ "portfolio"; "mvfb"; "mc"; "sa"; "center"; "robust" ]
+
+let resolve_circuit ~id = function
+  | Protocol.Builtin name -> (
+      match List.assoc_opt name (Circuits.Qecc.all ()) with
+      | Some p -> Ok p
+      | None ->
+          Error
+            (Printf.sprintf "unknown builtin circuit %s (known: %s)" name
+               (String.concat ", " (List.map fst (Circuits.Qecc.all ())))))
+  | Protocol.Inline_qasm src -> Qasm.Parser.parse ~name:id src
+
+let resolve_fabric = function
+  | None -> Ok (Fabric.Layout.quale_45x85 ())
+  | Some src -> Fabric.Layout.parse src
+
+let entry_for t layout =
+  let key = fabric_key t layout in
+  let build () =
+    match Fabric.Component.extract layout with
+    | Error e -> Error e
+    | Ok comp ->
+        let graph = Fabric.Graph.build comp in
+        let distance =
+          Estimator.Distance.build graph
+            ~turn_cost:(Router.Timing.turn_cost_in_moves t.base.Qspr.Config.timing)
+        in
+        Ok { layout; comp; graph; distance; snapshot = None }
+  in
+  match Hashtbl.find_opt t.fabrics key with
+  | Some e when Fabric.Layout.equal e.layout layout -> Ok e
+  | Some _ ->
+      (* digest collision with a different layout: run cold, don't register *)
+      build ()
+  | None -> (
+      match build () with
+      | Error _ as e -> e
+      | Ok e ->
+          Hashtbl.add t.fabrics key e;
+          Ok e)
+
+(* A job that cleared admission: everything a worker domain needs, plus the
+   private route cache whose counters become the response's cache section. *)
+type prepared = {
+  p_job : Protocol.job;
+  p_entry : fabric_entry;
+  p_ctx : Qspr.Mapper.t;
+  p_cache : Route_cache.t;
+  p_quote : float;
+  mutable p_warm_paths : int;
+}
+
+let reject ?quote ?(findings = []) ~stage reason =
+  Protocol.Rejected { stage; reason; quote_us = quote; findings }
+
+type admission = Run of prepared | Refuse of Protocol.verdict
+
+let job_config t (job : Protocol.job) =
+  let base = t.base in
+  let max_evals =
+    match job.Protocol.max_evals with Some _ as e -> e | None -> t.limits.max_evals
+  in
+  let base = Qspr.Config.with_seed job.Protocol.seed base in
+  let base = match job.Protocol.m with Some m -> Qspr.Config.with_m m base | None -> base in
+  Qspr.Config.with_budget { Qspr.Config.wall_s = None; max_evals } base
+
+let admit t ~slot (job : Protocol.job) =
+  if not (List.mem job.Protocol.placer allowed_placers) then
+    Refuse
+      (reject ~stage:"request"
+         (Printf.sprintf "unknown placer %s (%s)" job.Protocol.placer
+            (String.concat "|" allowed_placers)))
+  else begin
+    let config = job_config t job in
+    let program_r = resolve_circuit ~id:job.Protocol.id job.Protocol.circuit in
+    let fabric_r = resolve_fabric job.Protocol.fabric in
+    (* mandatory lint ingress: parse failures and severity-2 findings both
+       land here as structured rejections, never mapper exceptions *)
+    let findings = Analysis.Registry.lint ~program:program_r ~fabric:fabric_r ~config () in
+    if not (Analysis.Finding.is_clean findings) then
+      Refuse
+        (reject ~stage:"lint"
+           ~findings:(List.map Analysis.Finding.to_json findings)
+           (Printf.sprintf "%d lint error(s) (run `qspr lint` for the report)"
+              (Analysis.Finding.count Analysis.Finding.Error findings)))
+    else
+      match (program_r, fabric_r) with
+      | Error e, _ | _, Error e ->
+          (* unreachable while parse failures lint as errors; stay total *)
+          Refuse (reject ~stage:"lint" e)
+      | Ok program, Ok layout -> (
+          match
+            ( job.Protocol.max_evals,
+              t.limits.max_evals )
+          with
+          | Some req, Some cap when req > cap ->
+              Refuse
+                (reject ~stage:"budget"
+                   (Printf.sprintf "requested max_evals %d exceeds the service ceiling %d" req cap))
+          | _ -> (
+              match entry_for t layout with
+              | Error e -> Refuse (reject ~stage:"admission" e)
+              | Ok entry -> (
+                  let cache = Route_cache.create () in
+                  match
+                    Qspr.Mapper.create ~fabric:layout ~config
+                      ~prebuilt:(entry.comp, entry.graph) ~distance:entry.distance
+                      ~route_cache:cache program
+                  with
+                  | Error e -> Refuse (reject ~stage:"admission" e)
+                  | Ok ctx ->
+                      (* the quote: estimator latency of the deterministic
+                         center placement — no routing, ~89x cheaper *)
+                      let quote =
+                        Qspr.Mapper.estimate ctx
+                          (Placer.Center.place entry.comp
+                             ~num_qubits:(Qasm.Program.num_qubits program))
+                      in
+                      if not (Float.is_finite quote) then
+                        Refuse
+                          (reject ~stage:"quote"
+                             "estimator quote is infinite: interacting qubits are unreachable")
+                      else
+                        let ceiling =
+                          match (t.limits.max_quote_us, job.Protocol.max_quote_us) with
+                          | Some a, Some b -> Some (Float.min a b)
+                          | (Some _ as c), None | None, (Some _ as c) -> c
+                          | None, None -> None
+                        in
+                        (match ceiling with
+                        | Some cap when quote > cap ->
+                            Refuse
+                              (reject ~stage:"quote" ~quote
+                                 (Printf.sprintf
+                                    "quoted %.1f us exceeds the admission ceiling %.1f us" quote
+                                    cap))
+                        | _ ->
+                            if slot >= t.limits.max_pending then
+                              Refuse
+                                (reject ~stage:"queue" ~quote
+                                   (Printf.sprintf
+                                      "queue full: %d job(s) already admitted (max_pending=%d)"
+                                      slot t.limits.max_pending))
+                            else
+                              Run
+                                {
+                                  p_job = job;
+                                  p_entry = entry;
+                                  p_ctx = ctx;
+                                  p_cache = cache;
+                                  p_quote = quote;
+                                  p_warm_paths = 0;
+                                }))))
+  end
+
+(* ------------------------------------------------------------ execution *)
+
+let attempts_of = function
+  | [] -> []
+  | attempts ->
+      List.map
+        (fun (a : Qspr.Mapper.attempt) ->
+          {
+            Protocol.stage = a.Qspr.Mapper.stage;
+            seed = a.Qspr.Mapper.seed;
+            outcome = Result.map_error Qspr.Mapper.error_to_string a.Qspr.Mapper.outcome;
+          })
+        attempts
+
+let map_with_placer (job : Protocol.job) ctx =
+  match job.Protocol.placer with
+  | "mvfb" -> Qspr.Mapper.map_mvfb ~jobs:1 ctx
+  | "mc" ->
+      Qspr.Mapper.map_monte_carlo ~runs:(Qspr.Mapper.config ctx).Qspr.Config.m ~jobs:1 ctx
+  | "sa" -> Qspr.Mapper.map_annealing ~jobs:1 ctx
+  | "center" -> Qspr.Mapper.map_center ctx
+  | "robust" -> Qspr.Mapper.map_robust ~jobs:1 ctx
+  | _ -> Qspr.Mapper.map_portfolio ~jobs:1 ctx
+
+(* Runs on a worker domain: map, certify, return pure data.  The private
+   route cache's counters are read on the main domain after the wave. *)
+let run_one p =
+  let t0 = Sys.time () in
+  let verdict =
+    match map_with_placer p.p_job p.p_ctx with
+    | Error e ->
+        Protocol.Failed
+          {
+            reason = Qspr.Mapper.error_to_string e;
+            quote_us = Some p.p_quote;
+            attempts = [];
+          }
+    | Ok sol ->
+        let cert = Analysis.Certify.of_solution p.p_ctx sol in
+        Protocol.Completed
+          {
+            latency_us = sol.Qspr.Mapper.latency;
+            quote_us = p.p_quote;
+            placement_runs = sol.Qspr.Mapper.placement_runs;
+            engine_evals = sol.Qspr.Mapper.engine_evals;
+            degraded = sol.Qspr.Mapper.degraded;
+            direction =
+              (match sol.Qspr.Mapper.direction with
+              | Placer.Mvfb.Forward -> "forward"
+              | Placer.Mvfb.Backward -> "backward");
+            certificate_digest = cert.Analysis.Certify.digest;
+            certificate_valid = cert.Analysis.Certify.valid;
+            attempts = attempts_of sol.Qspr.Mapper.attempts;
+          }
+  in
+  (verdict, Sys.time () -. t0)
+
+let cache_stats_of t p =
+  if not t.base.Qspr.Config.incremental_routing then None
+  else
+    Some
+      {
+        Protocol.hits = Route_cache.hits p.p_cache;
+        misses = Route_cache.misses p.p_cache;
+        shared_hits = Route_cache.shared_hits p.p_cache;
+        bound_builds = Route_cache.bound_builds p.p_cache;
+        warm_paths = p.p_warm_paths;
+      }
+
+let count_verdict t = function
+  | Protocol.Completed _ -> t.completed <- t.completed + 1
+  | Protocol.Rejected _ -> t.rejected <- t.rejected + 1
+  | Protocol.Failed _ -> t.failed <- t.failed + 1
+
+let run_batch t jobs =
+  let jobs = Array.of_list jobs in
+  let n = Array.length jobs in
+  let slot = ref 0 in
+  let admissions =
+    Array.map
+      (fun job ->
+        let a = admit t ~slot:!slot job in
+        (match a with Run _ -> incr slot | Refuse _ -> ());
+        a)
+      jobs
+  in
+  let admitted =
+    Array.of_list
+      (List.filter_map
+         (fun i -> match admissions.(i) with Run p -> Some p | Refuse _ -> None)
+         (List.init n Fun.id))
+  in
+  let width = Int.max 1 t.limits.jobs in
+  let outcomes = Hashtbl.create (Array.length admitted) in
+  Ion_util.Domain_pool.with_pool ~jobs:width (fun pool ->
+      let k = ref 0 in
+      while !k < Array.length admitted do
+        let wave = Array.sub admitted !k (Int.min width (Array.length admitted - !k)) in
+        (* attach the current per-fabric snapshots on the main domain; the
+           pool's queue mutex publishes them to the worker domains *)
+        Array.iter
+          (fun p ->
+            match p.p_entry.snapshot with
+            | Some s ->
+                p.p_warm_paths <- Route_cache.snapshot_paths s;
+                Route_cache.attach p.p_cache s
+            | None -> ())
+          wave;
+        let outs =
+          Ion_util.Domain_pool.map_seeded ~pool ~jobs:width ~seed:t.base.Qspr.Config.rng_seed
+            (fun ~index:_ ~rng:_ p -> run_one p)
+            wave
+        in
+        (* fold this wave's private caches back into the per-fabric
+           snapshots, in wave order, so the next wave starts warmer *)
+        if t.base.Qspr.Config.incremental_routing then
+          Array.iter
+            (fun p ->
+              (match p.p_entry.snapshot with
+              | Some s -> Route_cache.attach p.p_cache s
+              | None -> Route_cache.for_graph p.p_cache p.p_entry.graph);
+              p.p_entry.snapshot <- Some (Route_cache.freeze p.p_cache))
+            wave;
+        Array.iteri (fun i out -> Hashtbl.replace outcomes (!k + i) out) outs;
+        k := !k + Array.length wave
+      done);
+  let next_admitted = ref 0 in
+  Array.to_list
+    (Array.mapi
+       (fun i _ ->
+         let response =
+           match admissions.(i) with
+           | Refuse verdict ->
+               { Protocol.job_id = jobs.(i).Protocol.id; verdict; cache = None; cpu_s = 0.0 }
+           | Run p ->
+               let idx = !next_admitted in
+               incr next_admitted;
+               let verdict, cpu_s = Hashtbl.find outcomes idx in
+               {
+                 Protocol.job_id = jobs.(i).Protocol.id;
+                 verdict;
+                 cache = cache_stats_of t p;
+                 cpu_s;
+               }
+         in
+         count_verdict t response.Protocol.verdict;
+         response)
+       jobs)
+
+let submit t job =
+  match run_batch t [ job ] with [ r ] -> r | _ -> assert false
+
+let handle_line ?deterministic t line =
+  match Protocol.job_of_line line with
+  | Error msg ->
+      let response =
+        {
+          Protocol.job_id = "?";
+          verdict = reject ~stage:"request" msg;
+          cache = None;
+          cpu_s = 0.0;
+        }
+      in
+      count_verdict t response.Protocol.verdict;
+      Protocol.response_to_line ?deterministic response
+  | Ok job -> Protocol.response_to_line ?deterministic (submit t job)
+
+type stats = {
+  fabrics : int;
+  shared_paths : int;
+  shared_bounds : int;
+  completed : int;
+  rejected : int;
+  failed : int;
+}
+
+let stats (t : t) =
+  let shared_paths = ref 0 and shared_bounds = ref 0 in
+  Hashtbl.iter
+    (fun _ e ->
+      match e.snapshot with
+      | Some s ->
+          shared_paths := !shared_paths + Route_cache.snapshot_paths s;
+          shared_bounds := !shared_bounds + Route_cache.snapshot_bounds s
+      | None -> ())
+    t.fabrics;
+  {
+    fabrics = Hashtbl.length t.fabrics;
+    shared_paths = !shared_paths;
+    shared_bounds = !shared_bounds;
+    completed = t.completed;
+    rejected = t.rejected;
+    failed = t.failed;
+  }

@@ -1,0 +1,93 @@
+(** The mapping-as-a-service engine behind [qspr serve].
+
+    One contract ({!SERVICE}) drives the CLI daemon, the batch runner, the
+    tests and the throughput bench, so every consumer exercises the
+    identical admission, scheduling and cache-sharing machinery.
+
+    {2 Admission control}
+
+    Every job passes the same ingress tiers, in order: request validation
+    (placer name), {b lint} ([Analysis.Registry.lint] over the program and
+    fabric — severity-2 findings produce a structured rejection instead of
+    a mapper exception), mapper-context construction, the {b budget} tier
+    (a requested [max_evals] above the service ceiling is refused), the
+    {b quote} tier (the LEQA-style estimator predicts the latency of a
+    deterministic center placement — ~89x cheaper than routing — and the
+    job is refused when the quote exceeds the service's or the client's
+    ceiling), and the {b queue} tier (at most [max_pending] admitted jobs
+    per submission).
+
+    {2 Shared warm caches}
+
+    Per-fabric state is keyed by a digest of the fabric's canonical ASCII
+    rendering plus the base-weight turn cost.  For each fabric the service
+    keeps: the extracted component and routing graph (shared physically by
+    every job, so cache keys agree), the estimator's trap-to-trap distance
+    tables (one Dijkstra per trap, built once and shared), and a frozen
+    {!Router.Route_cache.snapshot} of warm lower-bound tables and
+    base-weight paths.  Jobs run with a private route cache that consults
+    the snapshot read-only; after each wave the private caches are frozen
+    back into the snapshot, so later jobs on the fabric start warm.
+    Snapshots are immutable after build and published through the pool's
+    queue mutex, which is what makes cross-domain sharing safe.
+
+    {2 Determinism}
+
+    Job results (latency, trace, certificate digest, attempts) are a pure
+    function of the job and the service's base configuration: warm cache
+    hits replay the uncached searches bit-for-bit, wall-clock budgets are
+    stripped, and each job runs its placer sequentially in one pool slot.
+    Batch at any [jobs] count, sequential submission, warm or cold — all
+    produce byte-identical deterministic response encodings.  Only the
+    [cache]/[cpu_s] observability sections vary. *)
+
+module type SERVICE = sig
+  type t
+
+  type limits = {
+    jobs : int;  (** wave width: jobs mapped concurrently (1 = sequential) *)
+    max_pending : int;  (** admitted jobs per submission before queue-full *)
+    max_quote_us : float option;
+        (** refuse jobs whose estimator quote exceeds this latency *)
+    max_evals : int option;
+        (** ceiling on requested [max_evals]; also the default per-job
+            evaluation budget when a job requests none *)
+  }
+
+  val default_limits : limits
+  (** [jobs = 1], [max_pending = 64], no quote or eval ceilings. *)
+
+  val create : ?limits:limits -> ?config:Qspr.Config.t -> unit -> t
+  (** A fresh service: empty fabric registry, zeroed counters.  [config]
+      (default {!Qspr.Config.default}) supplies timing, policies and placer
+      parameters; its wall-clock budget is stripped and its [jobs] field is
+      overridden to 1 per job (parallelism is across jobs, not within). *)
+
+  val submit : t -> Protocol.job -> Protocol.response
+  (** Admit and run one job synchronously.  Warm per-fabric state persists
+      on [t], so repeated submissions against one fabric get warmer. *)
+
+  val run_batch : t -> Protocol.job list -> Protocol.response list
+  (** Admit every job, then map the admitted ones across [limits.jobs]
+      domains in waves, merging warm tables between waves.  Responses are
+      in input order, and their deterministic encodings are byte-identical
+      to [submit]ting each job sequentially. *)
+
+  val handle_line : ?deterministic:bool -> t -> string -> string
+  (** One protocol round: parse a request line, run it, render the response
+      line.  Malformed requests become structured [Rejected]/["request"]
+      responses rather than exceptions. *)
+
+  type stats = {
+    fabrics : int;  (** distinct fabrics in the registry *)
+    shared_paths : int;  (** warm path entries across all snapshots *)
+    shared_bounds : int;  (** warm lower-bound tables across all snapshots *)
+    completed : int;
+    rejected : int;
+    failed : int;
+  }
+
+  val stats : t -> stats
+end
+
+include SERVICE

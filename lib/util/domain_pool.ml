@@ -101,3 +101,12 @@ let map t f arr =
     | Some (e, bt) -> Printexc.raise_with_backtrace e bt
     | None -> Array.map (function Some v -> v | None -> assert false) results
   end
+
+let map_seeded ?pool ~jobs ~seed f arr =
+  let run pool =
+    (* index array rather than [map pool g arr] so [f] sees the task index
+       even when a future change reorders internal scheduling *)
+    let indices = Array.init (Array.length arr) Fun.id in
+    map pool (fun i -> f ~index:i ~rng:(Rng.derive seed ~index:i) arr.(i)) indices
+  in
+  match pool with Some p -> run p | None -> with_pool ~jobs run

@@ -29,6 +29,233 @@ let float_repr f =
   else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
   else Printf.sprintf "%.12g" f
 
+(* Recursive-descent parser for the same document type.  The service's
+   line-delimited protocol is the only consumer, so the grammar is plain
+   RFC-8259 JSON with two pragmatic choices: numbers without '.', 'e' or
+   'E' that fit in an OCaml int parse as [Int], everything else as
+   [Float]; and \uXXXX escapes are emitted as UTF-8 (surrogate pairs
+   supported, lone surrogates rejected). *)
+
+type parser_state = { src : string; mutable pos : int }
+
+exception Parse_error of string * int
+
+let parse_fail st fmt =
+  Printf.ksprintf (fun m -> raise (Parse_error (m, st.pos))) fmt
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let rec skip_ws st =
+  match peek st with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      advance st;
+      skip_ws st
+  | _ -> ()
+
+let expect st c =
+  match peek st with
+  | Some d when d = c -> advance st
+  | Some d -> parse_fail st "expected '%c', found '%c'" c d
+  | None -> parse_fail st "expected '%c', found end of input" c
+
+let expect_keyword st kw value =
+  let n = String.length kw in
+  if st.pos + n <= String.length st.src && String.sub st.src st.pos n = kw then begin
+    st.pos <- st.pos + n;
+    value
+  end
+  else parse_fail st "expected %s" kw
+
+let add_utf8 buf cp =
+  if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+  else if cp < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else if cp < 0x10000 then begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xF0 lor (cp lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+
+let parse_hex4 st =
+  let value = ref 0 in
+  for _ = 1 to 4 do
+    (match peek st with
+    | Some c when c >= '0' && c <= '9' -> value := (!value * 16) + (Char.code c - Char.code '0')
+    | Some c when c >= 'a' && c <= 'f' -> value := (!value * 16) + (Char.code c - Char.code 'a' + 10)
+    | Some c when c >= 'A' && c <= 'F' -> value := (!value * 16) + (Char.code c - Char.code 'A' + 10)
+    | _ -> parse_fail st "bad \\u escape");
+    advance st
+  done;
+  !value
+
+let parse_string_body st =
+  expect st '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> parse_fail st "unterminated string"
+    | Some '"' -> advance st
+    | Some '\\' -> (
+        advance st;
+        match peek st with
+        | None -> parse_fail st "unterminated escape"
+        | Some c ->
+            advance st;
+            (match c with
+            | '"' -> Buffer.add_char buf '"'
+            | '\\' -> Buffer.add_char buf '\\'
+            | '/' -> Buffer.add_char buf '/'
+            | 'b' -> Buffer.add_char buf '\b'
+            | 'f' -> Buffer.add_char buf '\012'
+            | 'n' -> Buffer.add_char buf '\n'
+            | 'r' -> Buffer.add_char buf '\r'
+            | 't' -> Buffer.add_char buf '\t'
+            | 'u' ->
+                let cp = parse_hex4 st in
+                if cp >= 0xD800 && cp <= 0xDBFF then begin
+                  (* high surrogate: a \uXXXX low surrogate must follow *)
+                  expect st '\\';
+                  expect st 'u';
+                  let lo = parse_hex4 st in
+                  if lo < 0xDC00 || lo > 0xDFFF then parse_fail st "lone high surrogate"
+                  else add_utf8 buf (0x10000 + ((cp - 0xD800) lsl 10) + (lo - 0xDC00))
+                end
+                else if cp >= 0xDC00 && cp <= 0xDFFF then parse_fail st "lone low surrogate"
+                else add_utf8 buf cp
+            | c -> parse_fail st "bad escape '\\%c'" c);
+            go ())
+    | Some c when Char.code c < 0x20 -> parse_fail st "raw control character in string"
+    | Some c ->
+        advance st;
+        Buffer.add_char buf c;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number st =
+  let start = st.pos in
+  let integral = ref true in
+  if peek st = Some '-' then advance st;
+  let rec digits () =
+    match peek st with
+    | Some c when c >= '0' && c <= '9' ->
+        advance st;
+        digits ()
+    | _ -> ()
+  in
+  digits ();
+  (match peek st with
+  | Some '.' ->
+      integral := false;
+      advance st;
+      digits ()
+  | _ -> ());
+  (match peek st with
+  | Some ('e' | 'E') ->
+      integral := false;
+      advance st;
+      (match peek st with Some ('+' | '-') -> advance st | _ -> ());
+      digits ()
+  | _ -> ());
+  let text = String.sub st.src start (st.pos - start) in
+  if !integral then
+    match int_of_string_opt text with
+    | Some i -> Int i
+    | None -> (
+        match float_of_string_opt text with
+        | Some f -> Float f
+        | None -> parse_fail st "bad number %s" text)
+  else
+    match float_of_string_opt text with
+    | Some f -> Float f
+    | None -> parse_fail st "bad number %s" text
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> parse_fail st "unexpected end of input"
+  | Some 'n' -> expect_keyword st "null" Null
+  | Some 't' -> expect_keyword st "true" (Bool true)
+  | Some 'f' -> expect_keyword st "false" (Bool false)
+  | Some '"' -> String (parse_string_body st)
+  | Some ('-' | '0' .. '9') -> parse_number st
+  | Some '[' ->
+      advance st;
+      skip_ws st;
+      if peek st = Some ']' then begin
+        advance st;
+        List []
+      end
+      else begin
+        let rec items acc =
+          let v = parse_value st in
+          skip_ws st;
+          match peek st with
+          | Some ',' ->
+              advance st;
+              items (v :: acc)
+          | Some ']' ->
+              advance st;
+              List.rev (v :: acc)
+          | _ -> parse_fail st "expected ',' or ']'"
+        in
+        List (items [])
+      end
+  | Some '{' ->
+      advance st;
+      skip_ws st;
+      if peek st = Some '}' then begin
+        advance st;
+        Obj []
+      end
+      else begin
+        let field () =
+          skip_ws st;
+          let key = parse_string_body st in
+          skip_ws st;
+          expect st ':';
+          let v = parse_value st in
+          (key, v)
+        in
+        let rec fields acc =
+          let f = field () in
+          skip_ws st;
+          match peek st with
+          | Some ',' ->
+              advance st;
+              fields (f :: acc)
+          | Some '}' ->
+              advance st;
+              List.rev (f :: acc)
+          | _ -> parse_fail st "expected ',' or '}'"
+        in
+        Obj (fields [])
+      end
+  | Some c -> parse_fail st "unexpected character '%c'" c
+
+let parse s =
+  let st = { src = s; pos = 0 } in
+  match parse_value st with
+  | v ->
+      skip_ws st;
+      if st.pos < String.length s then
+        Error (Printf.sprintf "trailing garbage at offset %d" st.pos)
+      else Ok v
+  | exception Parse_error (msg, pos) -> Error (Printf.sprintf "%s at offset %d" msg pos)
+
+let member key = function Obj fields -> List.assoc_opt key fields | _ -> None
+
 let to_string ?(indent = true) t =
   let buf = Buffer.create 256 in
   let pad depth = if indent then Buffer.add_string buf (String.make (2 * depth) ' ') in
