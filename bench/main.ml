@@ -1076,6 +1076,25 @@ let throughput_summary () =
       ("bit_identical_across_widths", J.Bool true);
     ]
 
+(* The headline optimality-gap numbers for BENCH_pr8.json: per Table-1
+   circuit the achieved MVFB latency, the certified admissible lower bound
+   the solution carries ({!Estimator.Bound}) and the resulting relative gap
+   — the solution-quality column next to the speed columns. *)
+let gaps_summary () =
+  let module J = Ion_util.Json in
+  J.List
+    (List.map
+       (fun (circuit, latency, lb, kind, gap) ->
+         J.Obj
+           [
+             ("circuit", J.String circuit);
+             ("latency_us", J.Float latency);
+             ("lower_bound_us", J.Float lb);
+             ("bound_kind", J.String (Estimator.Bound.kind_to_string kind));
+             ("optimality_gap", J.Float gap);
+           ])
+       (Qspr.Experiments.gaps_study ~m:3 ()))
+
 (* Machine-readable results for regression tracking: one record per bench
    with the OLS ns/run and minor words/run estimates, plus the estimator,
    fault-injection and incremental-routing subsystems' headline numbers. *)
@@ -1084,13 +1103,14 @@ let emit_json rows =
   let doc =
     J.Obj
       [
-        ("schema", J.String "qspr-bench/6");
+        ("schema", J.String "qspr-bench/7");
         ( "instances",
           J.List [ J.String "monotonic_clock_ns_per_run"; J.String "minor_allocated_words_per_run" ] );
         ("estimator", estimator_summary rows);
         ("delta", delta_summary ());
         ("portfolio", portfolio_summary ());
         ("service", throughput_summary ());
+        ("gaps", gaps_summary ());
         ("faults", faults_summary ());
         ("router", router_summary ());
         ( "results",
@@ -1102,11 +1122,11 @@ let emit_json rows =
                rows) );
       ]
   in
-  let oc = open_out "BENCH_pr7.json" in
+  let oc = open_out "BENCH_pr8.json" in
   output_string oc (J.to_string doc);
   output_char oc '\n';
   close_out oc;
-  Printf.printf "\nwrote BENCH_pr7.json (%d benches)\n" (List.length rows)
+  Printf.printf "\nwrote BENCH_pr8.json (%d benches)\n" (List.length rows)
 
 let () =
   print_tables ();

@@ -95,6 +95,27 @@ let () =
   | [] -> ()
   | f :: _ ->
       fail "parallel determinism violated: %s" (Format.asprintf "%a" Analysis.Finding.pp f));
+  (* bound group: every solution carries an admissible certified bound at or
+     below its achieved latency, bit-identical across job counts and equal
+     to the recomputation, and the auditor finds nothing wrong with an
+     honest solution *)
+  if pre1.Qspr.Mapper.lower_bound_us > pre1.Qspr.Mapper.latency +. 1e-6 then
+    fail "certified bound %.1f us exceeds the achieved latency %.1f us"
+      pre1.Qspr.Mapper.lower_bound_us pre1.Qspr.Mapper.latency;
+  if
+    Int64.bits_of_float pre1.Qspr.Mapper.lower_bound_us
+    <> Int64.bits_of_float pre2.Qspr.Mapper.lower_bound_us
+  then fail "certified bound differs between jobs=1 and jobs=2";
+  let recomputed =
+    Qspr.Mapper.certified_bound ctx ~initial_placement:pre1.Qspr.Mapper.initial_placement
+  in
+  if
+    Int64.bits_of_float recomputed.Estimator.Bound.lower_bound_us
+    <> Int64.bits_of_float pre1.Qspr.Mapper.lower_bound_us
+  then fail "solution's certified bound is not the recomputation";
+  let audit_report = Analysis.Bound.audit ctx pre1 in
+  if Analysis.Finding.count Analysis.Finding.Error audit_report.Analysis.Bound.findings > 0 then
+    fail "bound auditor flagged an honest solution";
   (* faults group: a survivability campaign over a degraded fabric is
      bit-identical at any job count *)
   let campaign jobs =
@@ -249,7 +270,8 @@ let () =
   | _ -> fail "service: expected two completed responses with cache counters");
   print_endline
     "bench-smoke: OK (workspace routing exact, parallel search exact, estimator pure, \
-     prescreen consistent, winner certified, fault campaign deterministic, route cache \
+     prescreen consistent, winner certified, certified bound admissible and deterministic, \
+     fault campaign deterministic, route cache \
      bit-identical with fewer searches, incremental on/off identical, delta transactions \
      exact, portfolio deterministic and never worse than the anneal, service batch \
      deterministic with shared warm caches)"

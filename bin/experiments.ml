@@ -252,6 +252,30 @@ let run_faults () =
       Format.printf "@[<v>%a@]@." Fault.pp report;
       write_json "faults" (Fault.to_json report)
 
+let run_gaps () =
+  line "Optimality gaps: achieved latency vs certified lower bound (MVFB, Table-1 suite)";
+  let rows = Qspr.Experiments.gaps_study ~m:(if !fast then 2 else m_small ()) () in
+  Printf.printf "%-12s %12s %12s %15s %8s\n" "circuit" "latency (us)" "bound (us)" "kind" "gap";
+  List.iter
+    (fun (c, lat, lb, kind, gap) ->
+      Printf.printf "%-12s %12.1f %12.1f %15s %7.1f%%\n" c lat lb
+        (Estimator.Bound.kind_to_string kind)
+        (100.0 *. gap))
+    rows;
+  write_json "gaps"
+    (Ion_util.Json.List
+       (List.map
+          (fun (c, lat, lb, kind, gap) ->
+            Ion_util.Json.Obj
+              [
+                ("circuit", Ion_util.Json.String c);
+                ("latency_us", Ion_util.Json.Float lat);
+                ("lower_bound_us", Ion_util.Json.Float lb);
+                ("bound_kind", Ion_util.Json.String (Estimator.Bound.kind_to_string kind));
+                ("optimality_gap", Ion_util.Json.Float gap);
+              ])
+          rows))
+
 let run_fig23 () =
   line "Figures 2-3";
   print_string (Qspr.Experiments.fig23 ())
@@ -296,6 +320,7 @@ let () =
       ("congestion", run_congestion);
       ("faults", run_faults);
       ("scaling", run_scaling);
+      ("gaps", run_gaps);
       ("fig23", run_fig23);
       ("fig4", run_fig4);
       ("fig5", run_fig5);

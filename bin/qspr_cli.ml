@@ -31,6 +31,17 @@ let load_program ~circuit ~qasm ~openqasm =
   | None, Some path, None -> Qasm.Parser.parse_file path
   | None, None, Some path -> Qasm.Openqasm.parse_file path
 
+(* Same resolution, but errors keep their file:line:col structure so lint
+   and audit findings can point at the offending token. *)
+let load_program_located ~circuit ~qasm ~openqasm =
+  match (circuit, qasm, openqasm) with
+  | None, Some path, None -> (
+      match Qasm.Parser.parse_file_located path with
+      | exception Sys_error e -> Error (Qasm.Parser.error_of_string e)
+      | r -> r)
+  | _ ->
+      Result.map_error Qasm.Parser.error_of_string (load_program ~circuit ~qasm ~openqasm)
+
 (* ------------------------------------------------------------------ map *)
 
 (* Surface fabric lint on every mapping run (the findings are cheap and the
@@ -419,7 +430,9 @@ let do_lint circuit qasm openqasm fabric_path pmd_path json_out =
     2
   end
   else begin
-    let program = if prog_given then Some (load_program ~circuit ~qasm ~openqasm) else None in
+    let program =
+      if prog_given then Some (load_program_located ~circuit ~qasm ~openqasm) else None
+    in
     let fabric, config =
       match pmd_path with
       | Some path -> (
@@ -445,6 +458,115 @@ let lint_cmd =
     Term.(
       const do_lint $ circuit_arg $ qasm_arg $ openqasm_arg $ fabric_arg $ pmd_arg
       $ Arg.(value & flag & info [ "json" ] ~doc:"Print the findings report as JSON."))
+
+(* ---------------------------------------------------------------- audit *)
+
+(* Map, then audit: recompute the admissible lower-bound catalog for the
+   winning solution, cross-check the solution's own claim, optionally prove
+   the instance optimal with the exact branch-and-bound, and exit like
+   `qspr lint` (2 on errors, 1 on warnings, 0 otherwise — the gap itself is
+   a hint).  Infeasible instances are refused with a typed finding before
+   any placement search runs. *)
+let do_audit circuit qasm openqasm fabric_path pmd_path placer m seed exact node_budget json_out =
+  let emit_findings findings =
+    if json_out then
+      print_endline (Ion_util.Json.to_string (Analysis.Finding.report_json findings))
+    else print_string (Analysis.Registry.render findings);
+    Analysis.Finding.exit_code findings
+  in
+  match load_program_located ~circuit ~qasm ~openqasm with
+  | Error e -> emit_findings (Analysis.Program_check.check_result (Error e))
+  | Ok program -> (
+      let resolved =
+        let ( let* ) = Result.bind in
+        match pmd_path with
+        | Some path ->
+            if fabric_path <> None then Error "give --fabric or --pmd, not both"
+            else
+              let* pmd = Qspr.Pmd.parse_file path in
+              Ok (pmd.Qspr.Pmd.layout, Qspr.Pmd.config pmd)
+        | None ->
+            let* fabric = load_fabric fabric_path in
+            Ok (fabric, Qspr.Config.default)
+      in
+      match resolved with
+      | Error e ->
+          Printf.eprintf "error: %s\n" e;
+          2
+      | Ok (fabric, base_config) -> (
+          let config = Qspr.Config.(base_config |> with_m m |> with_seed seed) in
+          let dag = Qasm.Dag.of_program program in
+          let num_traps =
+            match Fabric.Component.extract fabric with
+            | Ok comp -> Array.length (Fabric.Component.traps comp)
+            | Error _ -> 0
+          in
+          match Estimator.Bound.infeasibility ~num_traps dag with
+          | Some inf -> emit_findings [ Analysis.Bound.infeasibility_finding inf ]
+          | None -> (
+              let result =
+                let ( let* ) = Result.bind in
+                let* ctx = Qspr.Mapper.create ~fabric ~config program in
+                let* sol =
+                  Result.map_error Qspr.Mapper.error_to_string
+                    (match placer with
+                    | "mvfb" -> Qspr.Mapper.map_mvfb ctx
+                    | "mc" -> Qspr.Mapper.map_monte_carlo ~runs:m ctx
+                    | "sa" -> Qspr.Mapper.map_annealing ~evaluations:m ctx
+                    | "portfolio" -> Qspr.Mapper.map_portfolio ~m ctx
+                    | "center" -> Qspr.Mapper.map_center ctx
+                    | "robust" -> Qspr.Mapper.map_robust ctx
+                    | other ->
+                        Error
+                          (Qspr.Mapper.Invalid
+                             (Printf.sprintf
+                                "unknown placer %s (mvfb|mc|sa|portfolio|center|robust)" other)))
+                in
+                Ok (Analysis.Bound.audit ~exact ?node_budget ctx sol)
+              in
+              match result with
+              | Error e ->
+                  Printf.eprintf "error: %s\n" e;
+                  2
+              | Ok report ->
+                  if json_out then
+                    print_endline
+                      (Ion_util.Json.to_string
+                         (Analysis.Bound.to_json ~circuit:program.Qasm.Program.name ~placer
+                            report))
+                  else begin
+                    Printf.printf "circuit            %s (%d qubits, %d gates), placer %s\n"
+                      program.Qasm.Program.name
+                      (Qasm.Program.num_qubits program)
+                      (Qasm.Program.gate_count program)
+                      placer;
+                    print_string (Analysis.Bound.render report)
+                  end;
+                  Analysis.Finding.exit_code report.Analysis.Bound.findings)))
+
+let audit_cmd =
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:
+         "Map a circuit, then certify an admissible latency lower bound and report the \
+          optimality gap.  --exact additionally runs the small-instance exact optimizer and \
+          can prove the mapping optimal.  Exit 2 on errors (bound violations, infeasible \
+          instances), 1 on warnings, 0 otherwise")
+    Term.(
+      const do_audit $ circuit_arg $ qasm_arg $ openqasm_arg $ fabric_arg $ pmd_arg $ placer_arg
+      $ m_arg $ seed_arg
+      $ Arg.(
+          value & flag
+          & info [ "exact" ]
+              ~doc:
+                "Run the branch-and-bound exact optimizer (small instances only; skipped with a \
+                 hint when the instance exceeds the guards).")
+      $ Arg.(
+          value
+          & opt (some int) None
+          & info [ "node-budget" ] ~docv:"N"
+              ~doc:"Search-node budget for --exact (default 400000).")
+      $ Arg.(value & flag & info [ "json" ] ~doc:"Print the qspr-audit/1 report as JSON."))
 
 (* ------------------------------------------------------------- estimate *)
 
@@ -756,6 +878,7 @@ let () =
             map_cmd;
             serve_cmd;
             lint_cmd;
+            audit_cmd;
             fabric_cmd;
             circuits_cmd;
             metrics_cmd;

@@ -16,8 +16,15 @@ type certificate = {
   turns : int;
   gates : int;
   digest : int64;
+  lower_bound : float option;
+  bound_kind : Estimator.Bound.kind option;
   findings : F.t list;
 }
+
+let optimality_gap c =
+  match c.lower_bound with
+  | Some lb when lb > 0.0 -> Some ((c.claimed_latency -. lb) /. lb)
+  | _ -> None
 
 (* Canonical rendering for the digest: %h floats are exact, so two traces
    digest equal iff they are bit-identical schedules. *)
@@ -65,11 +72,13 @@ let failed_certificate ~claimed_latency ~commands f =
     turns = 0;
     gates = 0;
     digest = 0L;
+    lower_bound = None;
+    bound_kind = None;
     findings = [ f ];
   }
 
 let check ~layout ~timing ~channel_capacity ~junction_capacity ~dag ~initial_placement
-    ?final_placement ?(faulted = []) ~claimed_latency trace =
+    ?final_placement ?(faulted = []) ?lower_bound ~claimed_latency trace =
   let commands = List.length trace in
   let faulted_tbl = Hashtbl.create (max 1 (List.length faulted)) in
   List.iter (fun c -> Hashtbl.replace faulted_tbl (c.Coord.x, c.Coord.y) ()) faulted;
@@ -459,6 +468,25 @@ let check ~layout ~timing ~channel_capacity ~junction_capacity ~dag ~initial_pla
                        (Coord.to_string traps.(tid).Fabric.Component.tpos)
                        (Coord.to_string pos.(q))))
               fp);
+      (* --- admissible lower bound vs claimed latency: a certified bound can
+             never exceed the latency of a legal execution, so a violation
+             means either a forged certificate or a broken bound --- *)
+      (match lower_bound with
+      | Some (lb, kind) when lb > claimed_latency +. 1e-6 ->
+          emit
+            (F.make ~pass ~kind:"bound-violation"
+               ~extra:
+                 [
+                   ("lower_bound_us", Json.Float lb);
+                   ("bound_kind", Json.String (Estimator.Bound.kind_to_string kind));
+                 ]
+               F.Error
+               "claimed lower bound %.4f us (%s) exceeds the claimed latency %.4f us: an \
+                admissible bound can never do that"
+               lb
+               (Estimator.Bound.kind_to_string kind)
+               claimed_latency)
+      | _ -> ());
       if !nfind > max_reported then
         emit
           (F.make ~pass ~kind:"truncated" F.Warning "%d further finding(s) suppressed"
@@ -473,6 +501,8 @@ let check ~layout ~timing ~channel_capacity ~junction_capacity ~dag ~initial_pla
         turns = !turns;
         gates = !gates;
         digest = digest_trace trace;
+        lower_bound = Option.map fst lower_bound;
+        bound_kind = Option.map snd lower_bound;
         findings;
       }
 
@@ -485,13 +515,14 @@ let of_solution ?policy ctx (sol : Qspr.Mapper.solution) =
     ~channel_capacity:policy.Simulator.Engine.channel_capacity
     ~junction_capacity:policy.Simulator.Engine.junction_capacity ~dag:(Qspr.Mapper.dag ctx)
     ~initial_placement:sol.Qspr.Mapper.initial_placement
-    ~final_placement:sol.Qspr.Mapper.final_placement ~claimed_latency:sol.Qspr.Mapper.latency
-    sol.Qspr.Mapper.trace
+    ~final_placement:sol.Qspr.Mapper.final_placement
+    ~lower_bound:(sol.Qspr.Mapper.lower_bound_us, sol.Qspr.Mapper.bound_kind)
+    ~claimed_latency:sol.Qspr.Mapper.latency sol.Qspr.Mapper.trace
 
 let to_json c =
   Json.Obj
     [
-      ("schema", Json.String "qspr-certificate/1");
+      ("schema", Json.String "qspr-certificate/2");
       ("valid", Json.Bool c.valid);
       ("claimed_latency_us", Json.Float c.claimed_latency);
       ("replayed_makespan_us", Json.Float c.replayed_makespan);
@@ -500,14 +531,28 @@ let to_json c =
       ("turns", Json.Int c.turns);
       ("gates", Json.Int c.gates);
       ("digest", Json.String (Printf.sprintf "%016Lx" c.digest));
+      ( "lower_bound_us",
+        match c.lower_bound with Some lb -> Json.Float lb | None -> Json.Null );
+      ( "bound_kind",
+        match c.bound_kind with
+        | Some k -> Json.String (Estimator.Bound.kind_to_string k)
+        | None -> Json.Null );
+      ( "optimality_gap",
+        match optimality_gap c with Some g -> Json.Float g | None -> Json.Null );
       ("findings", Json.List (List.map F.to_json c.findings));
     ]
 
 let pp fmt c =
-  if c.valid then
+  if c.valid then begin
     Format.fprintf fmt
       "certificate OK: %.2f us, %d commands (%d moves, %d turns, %d gates), digest %016Lx"
-      c.replayed_makespan c.commands c.moves c.turns c.gates c.digest
+      c.replayed_makespan c.commands c.moves c.turns c.gates c.digest;
+    match (c.lower_bound, c.bound_kind, optimality_gap c) with
+    | Some lb, Some k, Some g ->
+        Format.fprintf fmt ", lower bound %.2f us (%s, gap %.1f%%)" lb
+          (Estimator.Bound.kind_to_string k) (100.0 *. g)
+    | _ -> ()
+  end
   else
     Format.fprintf fmt "certificate FAILED (%d error(s)):@,%a"
       (F.count F.Error c.findings)

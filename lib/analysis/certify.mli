@@ -37,8 +37,15 @@ type certificate = {
   turns : int;
   gates : int;  (** completed gate executions (paired start/end) *)
   digest : int64;  (** FNV-1a 64 over the canonical trace rendering *)
+  lower_bound : float option;  (** certified admissible latency lower bound, when audited *)
+  bound_kind : Estimator.Bound.kind option;  (** which bound attains [lower_bound] *)
   findings : Finding.t list;
 }
+
+val optimality_gap : certificate -> float option
+(** [(claimed_latency - lower_bound) / lower_bound] — the certified
+    optimality gap as a fraction (0 means provably optimal); [None] when no
+    bound was attached or the bound is zero. *)
 
 val check :
   layout:Fabric.Layout.t ->
@@ -49,11 +56,18 @@ val check :
   initial_placement:int array ->
   ?final_placement:int array ->
   ?faulted:Ion_util.Coord.t list ->
+  ?lower_bound:float * Estimator.Bound.kind ->
   claimed_latency:float ->
   Simulator.Trace.t ->
   certificate
 (** Replays the trace.  Findings are capped (a forged trace can violate
     everything everywhere); the cap is noted as a final finding.
+
+    [lower_bound] attaches a certified admissible latency bound to the
+    certificate.  A bound above the claimed latency is a [bound-violation]
+    error — admissible bounds never exceed the latency of a legal
+    execution, so a violation means a forged certificate or a broken
+    bound.
 
     [faulted] lists cells withdrawn from service (see the fault-injection
     subsystem): any move, turn or gate touching one of them is a
@@ -72,6 +86,7 @@ val digest_trace : Simulator.Trace.t -> int64
 (** The certificate digest alone (exposed for tests). *)
 
 val to_json : certificate -> Ion_util.Json.t
-(** Schema ["qspr-certificate/1"]. *)
+(** Schema ["qspr-certificate/2"]: /1 plus [lower_bound_us], [bound_kind]
+    and [optimality_gap]. *)
 
 val pp : Format.formatter -> certificate -> unit

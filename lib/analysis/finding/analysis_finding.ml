@@ -8,6 +8,7 @@ type loc =
   | Cell of Ion_util.Coord.t
   | Key of string
   | Command of int
+  | Source of { file : string option; line : int; col : int }
   | Nowhere
 
 type t = { pass : string; severity : severity; loc : loc; message : string; json : Json.t }
@@ -57,6 +58,8 @@ let loc_string = function
   | Cell c -> Some (Ion_util.Coord.to_string c)
   | Key k -> Some k
   | Command i -> Some (Printf.sprintf "cmd#%d" i)
+  | Source { file = Some f; line; col } -> Some (Printf.sprintf "%s:%d:%d" f line col)
+  | Source { file = None; line; col } -> Some (Printf.sprintf "%d:%d" line col)
   | Nowhere -> None
 
 let pp ppf f =
@@ -75,6 +78,10 @@ let loc_json = function
   | Cell c -> Json.Obj [ ("x", Json.Int c.Ion_util.Coord.x); ("y", Json.Int c.Ion_util.Coord.y) ]
   | Key k -> Json.Obj [ ("key", Json.String k) ]
   | Command i -> Json.Obj [ ("command", Json.Int i) ]
+  | Source { file; line; col } ->
+      Json.Obj
+        ((match file with Some f -> [ ("file", Json.String f) ] | None -> [])
+        @ [ ("line", Json.Int line); ("col", Json.Int col) ])
   | Nowhere -> Json.Null
 
 let to_json f =

@@ -22,6 +22,8 @@ type loc =
   | Cell of Ion_util.Coord.t  (** fabric cell *)
   | Key of string  (** configuration key *)
   | Command of int  (** trace command index *)
+  | Source of { file : string option; line : int; col : int }
+      (** source text position, 1-based; rendered [file:line:col] *)
   | Nowhere
 
 type t = {

@@ -101,4 +101,9 @@ let check (p : Program.t) =
 
 let check_result = function
   | Ok p -> check p
-  | Error msg -> [ F.make ~pass ~kind:"parse-error" F.Error "%s" msg ]
+  | Error (e : Qasm.Parser.error) ->
+      let loc =
+        if e.line = 0 then F.Nowhere
+        else F.Source { file = e.file; line = e.line; col = e.col }
+      in
+      [ F.make ~pass ~kind:"parse-error" ~loc F.Error "%s" e.message ]

@@ -29,6 +29,7 @@
 val check : Qasm.Program.t -> Finding.t list
 (** All findings, errors first. *)
 
-val check_result : (Qasm.Program.t, string) result -> Finding.t list
+val check_result : (Qasm.Program.t, Qasm.Parser.error) result -> Finding.t list
 (** Like {!check}; an [Error] (parse/validation failure) becomes a single
-    [parse-error] finding of [Error] severity. *)
+    [parse-error] finding of [Error] severity located at the offending
+    [file:line:col] ([Finding.Source]). *)

@@ -10,6 +10,7 @@ let passes =
     { name = "schedule"; description = "static-schedule feasibility oracle (Scheduler.Static.validate)" };
     { name = "certify"; description = "independent trace replay: certifies a mapping's micro-command trace" };
     { name = "determinism"; description = "bit-for-bit sequential-vs-parallel diff of a placement search" };
+    { name = "bound"; description = "optimality-gap audit: admissible latency lower bounds, capacity feasibility, small-instance exact optimum (qspr audit)" };
   ]
 
 let lint ?program ?fabric ?config () =

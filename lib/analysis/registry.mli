@@ -12,11 +12,12 @@ type pass = {
 
 val passes : pass list
 (** All registered passes, in run order: ["program"], ["fabric"],
-    ["config"], plus the on-demand ["schedule"], ["certify"] and
-    ["determinism"] passes that need a mapping run to check. *)
+    ["config"], plus the on-demand ["schedule"], ["certify"],
+    ["determinism"] and ["bound"] passes that need a mapping run to
+    check. *)
 
 val lint :
-  ?program:(Qasm.Program.t, string) result ->
+  ?program:(Qasm.Program.t, Qasm.Parser.error) result ->
   ?fabric:(Fabric.Layout.t, string) result ->
   ?config:Qspr.Config.t ->
   unit ->

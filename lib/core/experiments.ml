@@ -456,6 +456,23 @@ let priority_study ?(circuit = "[[9,1,3]]") () =
       | Error e -> failwith ("Experiments.priority_study: " ^ Simulator.Engine.string_of_error e))
     policies
 
+(* every solution already carries its certified lower bound; the study just
+   lines them up against the achieved latencies so the optimality gap of
+   the whole Table-1 suite is visible at a glance *)
+let gaps_study ?(m = 5) ?circuits () =
+  let circuits = match circuits with Some c -> c | None -> default_circuits () in
+  List.map
+    (fun (name, p) ->
+      let ctx = context p in
+      let s = solve_exn "MVFB" (Mapper.map_mvfb ~m ctx) in
+      let gap =
+        if s.Mapper.lower_bound_us > 0.0 then
+          (s.Mapper.latency -. s.Mapper.lower_bound_us) /. s.Mapper.lower_bound_us
+        else 0.0
+      in
+      (name, s.Mapper.latency, s.Mapper.lower_bound_us, s.Mapper.bound_kind, gap))
+    circuits
+
 let fig23 () =
   let p = Circuits.Qecc.c513 () in
   Printf.sprintf "[[5,1,3]] encoding circuit (paper Figures 2-3), QASM listing:\n\n%s"

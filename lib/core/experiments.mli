@@ -137,6 +137,16 @@ val priority_study : ?circuit:string -> unit -> (string * float) list
     QUALE's ALAP, QPOS's dependents count and the dependent-delay tweak of
     reference [5].  Default circuit [[9,1,3]]. *)
 
+val gaps_study :
+  ?m:int ->
+  ?circuits:(string * Qasm.Program.t) list ->
+  unit ->
+  (string * float * float * Estimator.Bound.kind * float) list
+(** Certified optimality gaps over the Table-1 suite (default circuits) on
+    the 45x85 fabric: for each circuit, the MVFB latency at [m] seeds, the
+    certified admissible lower bound the solution carries, the bound kind
+    that attained it and the relative gap [(latency - bound) / bound]. *)
+
 val fig23 : unit -> string
 (** Figures 2/3: the [[5,1,3]] encoder as a numbered QASM listing. *)
 

@@ -66,6 +66,8 @@ type solution = {
   cpu_time_s : float;
   attempts : attempt list;
   degraded : bool;
+  lower_bound_us : float;
+  bound_kind : Estimator.Bound.kind;
 }
 
 let graph t = t.graph
@@ -212,45 +214,51 @@ let remap_trace_ids map trace =
       | Router.Micro.Move _ | Router.Micro.Turn _ -> cmd)
     trace
 
+(* The full admissible-bound catalog for a forward-view initial placement:
+   pure in (ctx, placement), so every surface (solutions, certificates, the
+   audit pass, the service) reports bit-identical values at any jobs
+   count.  Forces the lazy estimator model for its distance tables — built
+   once per context and shared with pre-screening and quoting. *)
+let certified_bound t ~initial_placement =
+  Estimator.Bound.compute ~placement:initial_placement
+    ~distance:(Estimator.Model.distance (Lazy.force t.estimator))
+    ~timing:t.config.Config.timing
+    ~num_traps:(Array.length (Fabric.Component.traps t.comp))
+    t.dag
+
 let solution_of_engine ~ctx ~runs ~run_latencies ~evals ~cpu ~direction ~initial
     ?(attempts = []) ?(degraded = false) (r : Engine.result) =
-  match direction with
-  | Placer.Mvfb.Forward ->
-      {
-        latency = r.Engine.latency;
-        trace = r.Engine.trace;
-        initial_placement = initial;
-        final_placement = r.Engine.final_placement;
-        direction;
-        placement_runs = runs;
-        run_latencies;
-        engine_evals = evals;
-        cpu_time_s = cpu;
-        attempts;
-        degraded;
-      }
-  | Placer.Mvfb.Backward ->
-      (* a backward winner executes forward as the time-reversed trace (with
-         instruction ids rewritten to the forward program); its input
-         placement in the forward view is the backward run's final one *)
-      let trace =
-        match t_udag ctx with
-        | Some udag -> remap_trace_ids (backward_id_map ctx.dag udag) (Trace.reverse r.Engine.trace)
-        | None -> Trace.reverse r.Engine.trace
-      in
-      {
-        latency = r.Engine.latency;
-        trace;
-        initial_placement = r.Engine.final_placement;
-        final_placement = initial;
-        direction;
-        placement_runs = runs;
-        run_latencies;
-        engine_evals = evals;
-        cpu_time_s = cpu;
-        attempts;
-        degraded;
-      }
+  let trace, initial_placement, final_placement =
+    match direction with
+    | Placer.Mvfb.Forward -> (r.Engine.trace, initial, r.Engine.final_placement)
+    | Placer.Mvfb.Backward ->
+        (* a backward winner executes forward as the time-reversed trace (with
+           instruction ids rewritten to the forward program); its input
+           placement in the forward view is the backward run's final one *)
+        let trace =
+          match t_udag ctx with
+          | Some udag ->
+              remap_trace_ids (backward_id_map ctx.dag udag) (Trace.reverse r.Engine.trace)
+          | None -> Trace.reverse r.Engine.trace
+        in
+        (trace, r.Engine.final_placement, initial)
+  in
+  let bound = certified_bound ctx ~initial_placement in
+  {
+    latency = r.Engine.latency;
+    trace;
+    initial_placement;
+    final_placement;
+    direction;
+    placement_runs = runs;
+    run_latencies;
+    engine_evals = evals;
+    cpu_time_s = cpu;
+    attempts;
+    degraded;
+    lower_bound_us = bound.Estimator.Bound.lower_bound_us;
+    bound_kind = bound.Estimator.Bound.kind;
+  }
 
 let estimator_model t = Lazy.force t.estimator
 

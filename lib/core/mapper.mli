@@ -92,6 +92,12 @@ type solution = {
   degraded : bool;
       (** the solution is best-so-far rather than the full search's best: a
           budget truncated the search, or earlier cascade stages failed *)
+  lower_bound_us : float;
+      (** certified admissible latency lower bound for this program, fabric
+          and initial placement ({!Estimator.Bound}): no legal execution can
+          beat it, so [latency /. lower_bound_us - 1.] is a certified
+          optimality gap *)
+  bound_kind : Estimator.Bound.kind;  (** which bound attains [lower_bound_us] *)
 }
 
 val run_forward : t -> int array -> (Simulator.Engine.result, Simulator.Engine.error) result
@@ -198,6 +204,12 @@ val estimate : t -> int array -> float
 val estimator_model : t -> Estimator.Model.t
 (** The underlying estimator (distance tables + DAG census), built lazily
     on first use and cached on the context. *)
+
+val certified_bound : t -> initial_placement:int array -> Estimator.Bound.t
+(** The full admissible lower-bound catalog ({!Estimator.Bound.compute})
+    for an initial placement on this context — the values every solution
+    carries in [lower_bound_us]/[bound_kind].  Pure in (context,
+    placement); forces the estimator model for its distance tables. *)
 
 val qspr_priorities : t -> float array
 (** The Section III priorities driving the forward schedule. *)

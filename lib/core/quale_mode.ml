@@ -17,6 +17,7 @@ let map ctx =
   | Error e -> Error (Mapper.of_engine_error e)
   | Ok r ->
       let cpu = Sys.time () -. t0 in
+      let bound = Mapper.certified_bound ctx ~initial_placement:placement in
       Ok
         {
           Mapper.latency = r.Simulator.Engine.latency;
@@ -31,4 +32,6 @@ let map ctx =
           attempts =
             [ { Mapper.stage = "quale"; seed = cfg.Config.rng_seed; outcome = Ok r.Simulator.Engine.latency } ];
           degraded = false;
+          lower_bound_us = bound.Estimator.Bound.lower_bound_us;
+          bound_kind = bound.Estimator.Bound.kind;
         }

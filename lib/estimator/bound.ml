@@ -1,0 +1,189 @@
+module D = Qasm.Dag
+module Timing = Router.Timing
+
+type kind = Critical_path | Serialization | Capacity | Placement | Exact
+
+let kind_to_string = function
+  | Critical_path -> "critical-path"
+  | Serialization -> "serialization"
+  | Capacity -> "capacity"
+  | Placement -> "placement"
+  | Exact -> "exact"
+
+let kind_of_string = function
+  | "critical-path" -> Some Critical_path
+  | "serialization" -> Some Serialization
+  | "capacity" -> Some Capacity
+  | "placement" -> Some Placement
+  | "exact" -> Some Exact
+  | _ -> None
+
+type t = {
+  critical_path_us : float;
+  serialization_us : float;
+  capacity_us : float;
+  placement_us : float option;
+  lower_bound_us : float;
+  kind : kind;
+}
+
+(* Ancestor bitsets are quadratic in the instruction count; past this the
+   placement bound falls back to travel-only releases (still admissible). *)
+let max_ancestor_nodes = 4096
+
+(* Release-time propagation: est(i) >= release(i) and
+   est(i) >= est(p) + delay(p) for every QIDG predecessor p.  Any legal
+   schedule satisfies both, so max_i (est(i) + delay(i)) is admissible. *)
+let propagate ~delay nodes release =
+  let n = Array.length nodes in
+  let est = Array.make n 0.0 in
+  let finish = ref 0.0 in
+  Array.iter
+    (fun (nd : D.node) ->
+      let r =
+        List.fold_left
+          (fun acc p -> Float.max acc (est.(p) +. delay nodes.(p).D.instr))
+          release.(nd.D.id) nd.D.preds
+      in
+      est.(nd.D.id) <- r;
+      finish := Float.max !finish (r +. delay nd.D.instr))
+    nodes;
+  !finish
+
+let placement_bound ~delay ~timing ~dist ~pl nodes nq =
+  let n = Array.length nodes in
+  if Array.length pl < nq then
+    invalid_arg "Estimator.Bound.compute: placement shorter than the program's qubit count";
+  let ntraps = Distance.num_traps dist in
+  for q = 0 to nq - 1 do
+    if pl.(q) < 0 || pl.(q) >= ntraps then
+      invalid_arg "Estimator.Bound.compute: placement names a trap outside the distance tables"
+  done;
+  (* anc.(i) = QIDG ancestors of node i, as a bitset over node ids. *)
+  let anc =
+    if n > max_ancestor_nodes then None
+    else begin
+      let anc = Array.init n (fun _ -> Ion_util.Bitv.create n) in
+      Array.iter
+        (fun (nd : D.node) ->
+          List.iter
+            (fun p ->
+              Ion_util.Bitv.or_into ~dst:anc.(nd.D.id) ~src:anc.(p);
+              Ion_util.Bitv.set anc.(nd.D.id) p true)
+            nd.D.preds)
+        nodes;
+      Some anc
+    end
+  in
+  (* w i q: gate time of ancestors of i touching qubit q.  They all finish
+     before i starts, and they pairwise share ion q, hence run serially. *)
+  let w =
+    match anc with
+    | None -> fun _ _ -> 0.0
+    | Some anc ->
+        fun i q ->
+          let acc = ref 0.0 in
+          Ion_util.Bitv.iter_set anc.(i) (fun a ->
+              let d = delay nodes.(a).D.instr in
+              if d > 0.0 && List.mem q (Qasm.Instr.qubits nodes.(a).D.instr) then acc := !acc +. d);
+          !acc
+  in
+  let t_move = timing.Timing.t_move in
+  let release = Array.make n 0.0 in
+  Array.iter
+    (fun (nd : D.node) ->
+      match nd.D.instr with
+      | Qasm.Instr.Qubit_decl _ -> ()
+      | Qasm.Instr.Gate1 (_, q) -> release.(nd.D.id) <- w nd.D.id q
+      | Qasm.Instr.Gate2 (_, a, b) ->
+          (* The gate runs in some trap m; each operand must first spend its
+             ancestor gate time and then at least the shortest-path travel
+             from its initial trap to m (a route's cumulative cost can only
+             exceed the table distance).  Minimize over the unknown m. *)
+          let wa = w nd.D.id a and wb = w nd.D.id b in
+          let pa = pl.(a) and pb = pl.(b) in
+          let best = ref infinity in
+          for m = 0 to ntraps - 1 do
+            let c =
+              Float.max
+                (wa +. (Distance.between dist pa m *. t_move))
+                (wb +. (Distance.between dist pb m *. t_move))
+            in
+            if c < !best then best := c
+          done;
+          release.(nd.D.id) <- !best)
+    nodes;
+  propagate ~delay nodes release
+
+let compute ?placement ?distance ~timing ~num_traps dag =
+  let delay = Timing.gate_delay timing in
+  let nodes = D.nodes dag in
+  let nq = Qasm.Program.num_qubits (D.program dag) in
+  let critical_path_us = D.critical_path ~delay dag in
+  (* serialization: the busiest single ion's total gate time *)
+  let per_q = Array.make (max nq 1) 0.0 in
+  Array.iter
+    (fun (nd : D.node) ->
+      let d = delay nd.D.instr in
+      if d > 0.0 then List.iter (fun q -> per_q.(q) <- per_q.(q) +. d) (Qasm.Instr.qubits nd.D.instr))
+    nodes;
+  let serialization_us = Array.fold_left Float.max 0.0 per_q in
+  (* capacity: two-qubit gate work over the concurrency ceiling *)
+  let g2 =
+    Array.fold_left (fun acc nd -> if Qasm.Instr.is_two_qubit nd.D.instr then acc + 1 else acc) 0 nodes
+  in
+  let slots = min num_traps (nq / 2) in
+  let capacity_us =
+    if g2 = 0 || slots <= 0 then 0.0
+    else float_of_int g2 *. timing.Timing.t_gate2 /. float_of_int slots
+  in
+  let placement_us =
+    match (placement, distance) with
+    | Some pl, Some dist when Array.length nodes > 0 ->
+        Some (placement_bound ~delay ~timing ~dist ~pl nodes nq)
+    | _ -> None
+  in
+  let candidates =
+    [
+      (Critical_path, critical_path_us);
+      (Serialization, serialization_us);
+      (Capacity, capacity_us);
+    ]
+    @ (match placement_us with Some p -> [ (Placement, p) ] | None -> [])
+  in
+  let lower_bound_us = List.fold_left (fun acc (_, v) -> Float.max acc v) 0.0 candidates in
+  let kind =
+    (* first in catalog order attaining the max, for deterministic ties *)
+    match List.find_opt (fun (_, v) -> v >= lower_bound_us) candidates with
+    | Some (k, _) -> k
+    | None -> Critical_path
+  in
+  { critical_path_us; serialization_us; capacity_us; placement_us; lower_bound_us; kind }
+
+type infeasibility = {
+  inf_qubits : int;
+  inf_traps : int;
+  inf_required : int;
+  inf_hard : bool;
+}
+
+let infeasibility ~num_traps dag =
+  let nq = Qasm.Program.num_qubits (D.program dag) in
+  if nq = 0 then None
+  else if 2 * num_traps < nq then
+    Some { inf_qubits = nq; inf_traps = num_traps; inf_required = (nq + 1) / 2; inf_hard = true }
+  else if num_traps < nq then
+    Some { inf_qubits = nq; inf_traps = num_traps; inf_required = nq; inf_hard = false }
+  else None
+
+let infeasibility_message i =
+  if i.inf_hard then
+    Printf.sprintf
+      "capacity bound is infinite: %d qubits need at least %d traps (two ions per trap) but the \
+       fabric has %d"
+      i.inf_qubits i.inf_required i.inf_traps
+  else
+    Printf.sprintf
+      "unmappable under the load rule: %d qubits need %d traps (one ion per trap at load) but the \
+       fabric has %d"
+      i.inf_qubits i.inf_required i.inf_traps

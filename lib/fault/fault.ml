@@ -118,6 +118,7 @@ let degrade_timing tm faults =
 
 type outcome =
   | Mapped of { latency : float; degraded : bool; attempts : int }
+  | Infeasible of Analysis.Finding.t
   | Unmappable of string
   | Failed of { error : string; first_failing : string }
 
@@ -127,6 +128,7 @@ type level = {
   fault_count : int;
   trials : trial list;
   survived : int;
+  infeasible : int;
   mean_latency : float option;
   worst_latency : float option;
 }
@@ -169,10 +171,25 @@ let campaign ?(jobs = 1) ?(retry = Qspr.Mapper.default_retry) ?(config = Qspr.Co
               let first_failing =
                 match faults with [] -> "none" | f :: _ -> resource_kind f
               in
+              (* capacity pre-check: when the degraded fabric provably cannot
+                 hold the circuit (the capacity bound is infeasible), refuse
+                 with a typed finding instead of burning the retry cascade's
+                 attempts on a doomed instance *)
+              let infeasibility degraded =
+                match Fabric.Component.extract degraded with
+                | Error _ -> None (* let Mapper.create name the real problem *)
+                | Ok c ->
+                    Estimator.Bound.infeasibility
+                      ~num_traps:(Array.length (Fabric.Component.traps c))
+                      (Qspr.Mapper.dag ctx)
+              in
               let outcome =
                 match apply fabric faults with
                 | Error msg -> Unmappable msg
                 | Ok { layout = degraded; _ } -> (
+                    match infeasibility degraded with
+                    | Some inf -> Infeasible (Analysis.Bound.infeasibility_finding inf)
+                    | None -> (
                     match Qspr.Mapper.create ~fabric:degraded ~config program with
                     | Error msg -> Unmappable msg
                     | Ok dctx -> (
@@ -185,7 +202,7 @@ let campaign ?(jobs = 1) ?(retry = Qspr.Mapper.default_retry) ?(config = Qspr.Co
                                 attempts = List.length s.Qspr.Mapper.attempts;
                               }
                         | Error e ->
-                            Failed { error = Qspr.Mapper.error_to_string e; first_failing }))
+                            Failed { error = Qspr.Mapper.error_to_string e; first_failing })))
               in
               { index; faults; outcome }
             in
@@ -200,10 +217,16 @@ let campaign ?(jobs = 1) ?(retry = Qspr.Mapper.default_retry) ?(config = Qspr.Co
                   trials_l
               in
               let survived = List.length latencies in
+              let infeasible =
+                List.length
+                  (List.filter (fun t -> match t.outcome with Infeasible _ -> true | _ -> false)
+                     trials_l)
+              in
               {
                 fault_count = fc;
                 trials = trials_l;
                 survived;
+                infeasible;
                 mean_latency =
                   (if survived = 0 then None
                    else Some (List.fold_left ( +. ) 0.0 latencies /. float_of_int survived));
@@ -221,7 +244,7 @@ let campaign ?(jobs = 1) ?(retry = Qspr.Mapper.default_retry) ?(config = Qspr.Co
                 (fun t ->
                   match t.outcome with
                   | Failed { first_failing; _ } -> count first_failing
-                  | Unmappable _ ->
+                  | Unmappable _ | Infeasible _ ->
                       (* the degraded fabric was rejected before any mapping
                          attempt; attribute the trial to its first sampled
                          fault so it is not silently dropped from the tally *)
@@ -244,7 +267,7 @@ let campaign ?(jobs = 1) ?(retry = Qspr.Mapper.default_retry) ?(config = Qspr.Co
 let to_json r =
   Json.Obj
     [
-      ("schema", Json.String "qspr-faults/1");
+      ("schema", Json.String "qspr-faults/2");
       ("circuit", Json.String r.circuit);
       ("seed", Json.Int r.seed);
       ("trials_per_level", Json.Int r.trials_per_level);
@@ -258,6 +281,7 @@ let to_json r =
                    ("faults", Json.Int l.fault_count);
                    ("trials", Json.Int (List.length l.trials));
                    ("survived", Json.Int l.survived);
+                   ("infeasible", Json.Int l.infeasible);
                    ( "survival_rate",
                      Json.Float (float_of_int l.survived /. float_of_int (List.length l.trials)) );
                    ( "mean_latency_us",
@@ -277,8 +301,8 @@ let to_json r =
 let pp fmt r =
   Format.fprintf fmt "fault campaign: %s, seed %d, %d trial(s)/level, baseline %.1f us@,"
     r.circuit r.seed r.trials_per_level r.baseline_latency;
-  Format.fprintf fmt "%8s %9s %12s %12s %14s@," "faults" "survived" "mean (us)" "worst (us)"
-    "degradation";
+  Format.fprintf fmt "%8s %9s %10s %12s %12s %14s@," "faults" "survived" "infeasible" "mean (us)"
+    "worst (us)" "degradation";
   List.iter
     (fun l ->
       let mean = match l.mean_latency with Some v -> Printf.sprintf "%.1f" v | None -> "-" in
@@ -288,8 +312,8 @@ let pp fmt r =
         | Some v -> Printf.sprintf "+%.1f%%" (100.0 *. (v -. r.baseline_latency) /. r.baseline_latency)
         | None -> "-"
       in
-      Format.fprintf fmt "%8d %5d/%-3d %12s %12s %14s@," l.fault_count l.survived
-        (List.length l.trials) mean worst deg)
+      Format.fprintf fmt "%8d %5d/%-3d %10d %12s %12s %14s@," l.fault_count l.survived
+        (List.length l.trials) l.infeasible mean worst deg)
     r.levels;
   match r.histogram with
   | [] -> Format.fprintf fmt "no failed trials"

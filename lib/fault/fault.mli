@@ -67,9 +67,15 @@ val degrade_timing : Router.Timing.t -> set -> Router.Timing.t
 type outcome =
   | Mapped of { latency : float; degraded : bool; attempts : int }
       (** the retry cascade found a mapping on the degraded fabric *)
+  | Infeasible of Analysis.Finding.t
+      (** the degraded fabric provably cannot hold the circuit — the
+          capacity lower bound ({!Estimator.Bound.infeasibility}) is
+          infeasible — so the trial was refused with a typed finding
+          {e before} any placement search or retry cascade ran *)
   | Unmappable of string
-      (** the degraded fabric rejects the circuit outright (too few traps,
-          disconnected, lint failure at context creation) *)
+      (** the degraded fabric rejects the circuit outright for a reason the
+          capacity pre-check cannot prove (disconnected component, lint
+          failure at context creation) *)
   | Failed of { error : string; first_failing : string }
       (** every cascade stage failed; [first_failing] is the resource kind
           of the first fault in the trial's set — the histogram key *)
@@ -80,6 +86,7 @@ type level = {
   fault_count : int;
   trials : trial list;  (** in trial order *)
   survived : int;
+  infeasible : int;  (** trials refused by the capacity pre-check *)
   mean_latency : float option;  (** over survivors *)
   worst_latency : float option;
 }
@@ -93,9 +100,10 @@ type report = {
   histogram : (string * int) list;
       (** first-failing-resource kinds over all non-surviving trials,
           sorted.  [Failed] trials count under their recorded
-          [first_failing]; [Unmappable] trials (fabric rejected before any
-          mapping attempt) under the resource kind of the trial's first
-          sampled fault, so the histogram totals [Failed] + [Unmappable]. *)
+          [first_failing]; [Unmappable] and [Infeasible] trials (fabric
+          rejected before any mapping attempt) under the resource kind of
+          the trial's first sampled fault, so the histogram totals
+          [Failed] + [Unmappable] + [Infeasible]. *)
 }
 
 val campaign :
@@ -121,9 +129,9 @@ val campaign :
     itself rejects the program. *)
 
 val to_json : report -> Ion_util.Json.t
-(** Schema ["qspr-faults/1"]: per-level survival counts and latency
-    degradation versus the pristine baseline, plus the first-failing
-    histogram. *)
+(** Schema ["qspr-faults/2"]: per-level survival and infeasible counts and
+    latency degradation versus the pristine baseline, plus the
+    first-failing histogram. *)
 
 val pp : Format.formatter -> report -> unit
 (** Human-readable survivability table. *)

@@ -1,6 +1,10 @@
 type token = Ident of string | Int of int | Comma
 
-type line = { number : int; tokens : token list }
+type line = { number : int; tokens : token list; cols : int array }
+
+type error = { line : int; col : int; message : string }
+
+let error_to_string e = Printf.sprintf "line %d:%d: %s" e.line e.col e.message
 
 let pp_token ppf = function
   | Ident s -> Format.fprintf ppf "ident %S" s
@@ -23,6 +27,7 @@ let strip_comment s =
   in
   String.sub s 0 (find 0)
 
+(* Tokens paired with their 1-based start column, for diagnostics. *)
 let tokenize_line number s =
   let n = String.length s in
   let rec go i acc =
@@ -30,22 +35,24 @@ let tokenize_line number s =
     else
       let c = s.[i] in
       if c = ' ' || c = '\t' || c = '\r' then go (i + 1) acc
-      else if c = ',' then go (i + 1) (Comma :: acc)
+      else if c = ',' then go (i + 1) ((Comma, i + 1) :: acc)
       else if is_digit c then begin
         let j = ref i in
         while !j < n && is_digit s.[!j] do
           incr j
         done;
-        go !j (Int (int_of_string (String.sub s i (!j - i))) :: acc)
+        go !j ((Int (int_of_string (String.sub s i (!j - i))), i + 1) :: acc)
       end
       else if is_ident_start c then begin
         let j = ref i in
         while !j < n && is_ident_char s.[!j] do
           incr j
         done;
-        go !j (Ident (String.sub s i (!j - i)) :: acc)
+        go !j ((Ident (String.sub s i (!j - i)), i + 1) :: acc)
       end
-      else Error (Printf.sprintf "line %d: unexpected character %C" number c)
+      else
+        Error
+          { line = number; col = i + 1; message = Printf.sprintf "unexpected character %C" c }
   in
   go 0 []
 
@@ -58,6 +65,9 @@ let tokenize src =
         match tokenize_line number body with
         | Error _ as e -> e
         | Ok [] -> go (number + 1) acc rest
-        | Ok tokens -> go (number + 1) ({ number; tokens } :: acc) rest)
+        | Ok pairs ->
+            let tokens = List.map fst pairs in
+            let cols = Array.of_list (List.map snd pairs) in
+            go (number + 1) ({ number; tokens; cols } :: acc) rest)
   in
   go 1 [] lines

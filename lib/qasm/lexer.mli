@@ -2,17 +2,29 @@
 
     QASM is a line-per-instruction language; the lexer splits source text
     into lines (tracking 1-based line numbers for diagnostics), strips [#]
-    and [//] comments, and tokenizes each remaining line. *)
+    and [//] comments, and tokenizes each remaining line.  Each token also
+    records its 1-based start column so downstream diagnostics can point at
+    [line:col] rather than the line alone. *)
 
 type token =
   | Ident of string  (** mnemonics and qubit names; may contain [-] as in [C-X] *)
   | Int of int
   | Comma
 
-type line = { number : int; tokens : token list }
+type line = {
+  number : int;
+  tokens : token list;
+  cols : int array;  (** [cols.(k)] is the 1-based start column of the k-th token *)
+}
 
-val tokenize : string -> (line list, string) result
+type error = { line : int; col : int; message : string }
+(** A lexical error at a 1-based source position. *)
+
+val error_to_string : error -> string
+(** ["line L:C: message"]. *)
+
+val tokenize : string -> (line list, error) result
 (** Blank and comment-only lines are dropped.  Errors carry the offending
-    line number and character. *)
+    position and character. *)
 
 val pp_token : Format.formatter -> token -> unit

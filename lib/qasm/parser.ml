@@ -1,4 +1,25 @@
-let err line fmt = Printf.ksprintf (fun s -> Error (Printf.sprintf "line %d: %s" line s)) fmt
+type error = { file : string option; line : int; col : int; message : string }
+
+let error_to_string e =
+  match e.file with
+  | Some f -> Printf.sprintf "%s:%d:%d: %s" f e.line e.col e.message
+  | None ->
+      if e.line = 0 then e.message else Printf.sprintf "line %d:%d: %s" e.line e.col e.message
+
+(* Fallback for plain-string diagnostics from other front ends (OPENQASM,
+   builtin lookups): recover a "line N:" or "line N:C:" prefix when one is
+   present, else a positionless error. *)
+let error_of_string s =
+  let positionless = { file = None; line = 0; col = 0; message = s } in
+  match Scanf.sscanf_opt s "line %d:%d: %[\000-\255]" (fun l c m -> (l, c, m)) with
+  | Some (l, c, m) -> { file = None; line = l; col = c; message = m }
+  | None -> (
+      match Scanf.sscanf_opt s "line %d: %[\000-\255]" (fun l m -> (l, m)) with
+      | Some (l, m) -> { file = None; line = l; col = 1; message = m }
+      | None -> positionless)
+
+let err line col fmt =
+  Printf.ksprintf (fun s -> Error { file = None; line; col; message = s }) fmt
 
 type state = {
   mutable names_rev : string list;
@@ -7,16 +28,17 @@ type state = {
   mutable instrs_rev : Instr.t list;
 }
 
-let lookup st line name =
+let lookup st line col name =
   match Hashtbl.find_opt st.tbl name with
   | Some q -> Ok q
-  | None -> err line "undeclared qubit %s" name
+  | None -> err line col "undeclared qubit %s" name
 
-let parse_line st { Lexer.number = line; tokens } =
+let parse_line st { Lexer.number = line; tokens; cols } =
+  let col k = if k < Array.length cols then cols.(k) else 1 in
   match tokens with
   | Lexer.Ident kw :: rest when String.uppercase_ascii kw = "QUBIT" -> (
       let declare name init =
-        if Hashtbl.mem st.tbl name then err line "qubit %s declared twice" name
+        if Hashtbl.mem st.tbl name then err line (col 1) "qubit %s declared twice" name
         else begin
           let q = st.count in
           Hashtbl.replace st.tbl name q;
@@ -29,39 +51,42 @@ let parse_line st { Lexer.number = line; tokens } =
       match rest with
       | [ Lexer.Ident name ] -> declare name None
       | [ Lexer.Ident name; Lexer.Comma; Lexer.Int v ] ->
-          if v <> 0 && v <> 1 then err line "qubit initializer must be 0 or 1, got %d" v
+          if v <> 0 && v <> 1 then err line (col 3) "qubit initializer must be 0 or 1, got %d" v
           else declare name (Some v)
-      | _ -> err line "malformed QUBIT declaration")
+      | _ -> err line (col 0) "malformed QUBIT declaration")
   | [ Lexer.Ident mnemonic; Lexer.Ident q ] -> (
       match Gate.g1_of_name mnemonic with
       | Some g -> (
-          match lookup st line q with
+          match lookup st line (col 1) q with
           | Error _ as e -> e
           | Ok qi ->
               st.instrs_rev <- Instr.Gate1 (g, qi) :: st.instrs_rev;
               Ok ())
       | None ->
-          if Gate.g2_of_name mnemonic <> None then err line "%s expects two operands" mnemonic
-          else err line "unknown gate %s" mnemonic)
+          if Gate.g2_of_name mnemonic <> None then
+            err line (col 0) "%s expects two operands" mnemonic
+          else err line (col 0) "unknown gate %s" mnemonic)
   | [ Lexer.Ident mnemonic; Lexer.Ident a; Lexer.Comma; Lexer.Ident b ] -> (
       match Gate.g2_of_name mnemonic with
       | Some g -> (
-          match (lookup st line a, lookup st line b) with
+          match (lookup st line (col 1) a, lookup st line (col 3) b) with
           | (Error _ as e), _ | _, (Error _ as e) -> e
           | Ok qa, Ok qb ->
-              if qa = qb then err line "two-qubit gate with identical operands %s" a
+              if qa = qb then err line (col 3) "two-qubit gate with identical operands %s" a
               else begin
                 st.instrs_rev <- Instr.Gate2 (g, qa, qb) :: st.instrs_rev;
                 Ok ()
               end)
       | None ->
-          if Gate.g1_of_name mnemonic <> None then err line "%s expects one operand" mnemonic
-          else err line "unknown gate %s" mnemonic)
-  | _ -> err line "malformed instruction"
+          if Gate.g1_of_name mnemonic <> None then
+            err line (col 0) "%s expects one operand" mnemonic
+          else err line (col 0) "unknown gate %s" mnemonic)
+  | _ -> err line (col 0) "malformed instruction"
 
-let parse ?(name = "qasm") src =
+let parse_located ?file ?(name = "qasm") src =
+  let locate r = Result.map_error (fun e -> { e with file }) r in
   match Lexer.tokenize src with
-  | Error _ as e -> e
+  | Error { Lexer.line; col; message } -> locate (Error { file = None; line; col; message })
   | Ok lines -> (
       let st = { names_rev = []; count = 0; tbl = Hashtbl.create 16; instrs_rev = [] } in
       let rec go = function
@@ -69,15 +94,21 @@ let parse ?(name = "qasm") src =
         | l :: rest -> ( match parse_line st l with Error _ as e -> e | Ok () -> go rest)
       in
       match go lines with
-      | Error _ as e -> e
+      | Error _ as e -> locate e
       | Ok () ->
-          Program.make ~name
-            ~qubit_names:(Array.of_list (List.rev st.names_rev))
-            ~instrs:(List.rev st.instrs_rev))
+          locate
+            (Result.map_error error_of_string
+               (Program.make ~name
+                  ~qubit_names:(Array.of_list (List.rev st.names_rev))
+                  ~instrs:(List.rev st.instrs_rev))))
 
-let parse_file path =
+let parse ?name src = Result.map_error error_to_string (parse_located ?name src)
+
+let parse_file_located path =
   let ic = open_in path in
   let len = in_channel_length ic in
   let src = really_input_string ic len in
   close_in ic;
-  parse ~name:(Filename.remove_extension (Filename.basename path)) src
+  parse_located ~file:path ~name:(Filename.remove_extension (Filename.basename path)) src
+
+let parse_file path = Result.map_error error_to_string (parse_file_located path)

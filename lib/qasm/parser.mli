@@ -10,9 +10,33 @@
     Comments start with [#] or [//].  Qubit names are introduced by [QUBIT]
     and must be declared before use. *)
 
-val parse : ?name:string -> string -> (Program.t, string) result
+type error = {
+  file : string option;  (** source file, when parsing from disk *)
+  line : int;  (** 1-based; 0 for positionless errors *)
+  col : int;  (** 1-based start column of the offending token *)
+  message : string;
+}
+(** A parse error located at [file:line:col]; lint findings carry it as
+    [Finding.Source]. *)
+
+val error_to_string : error -> string
+(** ["file:line:col: message"] (or ["line L:C: message"] without a file;
+    just the message when positionless). *)
+
+val error_of_string : string -> error
+(** Best-effort inverse for plain-string diagnostics from other front ends:
+    recovers a leading ["line N:"] or ["line N:C:"] prefix when present. *)
+
+val parse_located : ?file:string -> ?name:string -> string -> (Program.t, error) result
 (** Parse QASM source text.  [name] labels the resulting program (defaults
-    to ["qasm"]).  Errors carry a source line number. *)
+    to ["qasm"]); [file] labels error positions. *)
+
+val parse : ?name:string -> string -> (Program.t, string) result
+(** {!parse_located} with errors rendered by {!error_to_string}. *)
+
+val parse_file_located : string -> (Program.t, error) result
+(** Reads the file and parses it; the program is named after the basename
+    and errors carry the path. *)
 
 val parse_file : string -> (Program.t, string) result
-(** Reads the file and parses it; the program is named after the basename. *)
+(** {!parse_file_located} with rendered errors. *)

@@ -34,6 +34,10 @@ type verdict =
   | Completed of {
       latency_us : float;
       quote_us : float;
+      lower_bound_us : float;
+          (** certified admissible lower bound for the mapped instance *)
+      bound_kind : string;  (** {!Estimator.Bound.kind} wire encoding *)
+      optimality_gap : float option;  (** (latency - bound) / bound, when bound > 0 *)
       placement_runs : int;
       engine_evals : int;
       degraded : bool;
@@ -229,6 +233,10 @@ let encode_response ?(deterministic = false) r =
         [
           ("quote_us", Json.Float c.quote_us);
           ("latency_us", Json.Float c.latency_us);
+          ("lower_bound_us", Json.Float c.lower_bound_us);
+          ("bound_kind", Json.String c.bound_kind);
+          ( "optimality_gap",
+            match c.optimality_gap with Some g -> Json.Float g | None -> Json.Null );
           ("placement_runs", Json.Int c.placement_runs);
           ("engine_evals", Json.Int c.engine_evals);
           ("degraded", Json.Bool c.degraded);
@@ -258,7 +266,7 @@ let encode_response ?(deterministic = false) r =
   in
   Json.Obj
     ([
-       ("schema", Json.String "qspr-result/1");
+       ("schema", Json.String "qspr-result/2");
        ("id", Json.String r.job_id);
        ("status", Json.String (status_of r.verdict));
      ]
@@ -278,7 +286,13 @@ let decode_list name f json =
   | None -> Error (Printf.sprintf "missing field %S" name)
 
 let decode_response json =
-  let* _ = check_schema "qspr-result/1" json in
+  (* accept /1 (no bound fields, defaulted below) and /2 *)
+  let* _ =
+    match field_str "schema" json with
+    | Error _ as e -> e
+    | Ok ("qspr-result/1" | "qspr-result/2") as ok -> ok
+    | Ok s -> Error (Printf.sprintf "expected schema qspr-result/2, got %s" s)
+  in
   let* job_id = field_str "id" json in
   let* status = field_str "status" json in
   let* verdict =
@@ -286,6 +300,9 @@ let decode_response json =
     | "ok" ->
         let* quote_us = req_float "quote_us" json in
         let* latency_us = req_float "latency_us" json in
+        let* lower_bound_us = opt_float "lower_bound_us" json in
+        let* bound_kind = opt_str "bound_kind" json in
+        let* optimality_gap = opt_float "optimality_gap" json in
         let* placement_runs = req_int "placement_runs" json in
         let* engine_evals = req_int "engine_evals" json in
         let* degraded = opt_bool "degraded" json in
@@ -305,6 +322,9 @@ let decode_response json =
              {
                latency_us;
                quote_us;
+               lower_bound_us = Option.value ~default:0.0 lower_bound_us;
+               bound_kind = Option.value ~default:"critical-path" bound_kind;
+               optimality_gap;
                placement_runs;
                engine_evals;
                degraded = Option.value ~default:false degraded;

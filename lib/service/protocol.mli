@@ -60,6 +60,12 @@ type verdict =
   | Completed of {
       latency_us : float;
       quote_us : float;  (** the admission estimate the job was quoted *)
+      lower_bound_us : float;
+          (** certified admissible latency lower bound ({!Estimator.Bound})
+              for the mapped instance — no legal execution can beat it *)
+      bound_kind : string;  (** which bound attained it (wire encoding) *)
+      optimality_gap : float option;
+          (** (latency - bound) / bound when the bound is positive *)
       placement_runs : int;
       engine_evals : int;
       degraded : bool;

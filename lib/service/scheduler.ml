@@ -94,9 +94,10 @@ let resolve_circuit ~id = function
       | Some p -> Ok p
       | None ->
           Error
-            (Printf.sprintf "unknown builtin circuit %s (known: %s)" name
-               (String.concat ", " (List.map fst (Circuits.Qecc.all ())))))
-  | Protocol.Inline_qasm src -> Qasm.Parser.parse ~name:id src
+            (Qasm.Parser.error_of_string
+               (Printf.sprintf "unknown builtin circuit %s (known: %s)" name
+                  (String.concat ", " (List.map fst (Circuits.Qecc.all ()))))))
+  | Protocol.Inline_qasm src -> Qasm.Parser.parse_located ~name:id src
 
 let resolve_fabric = function
   | None -> Ok (Fabric.Layout.quale_45x85 ())
@@ -173,9 +174,10 @@ let admit t ~slot (job : Protocol.job) =
               (Analysis.Finding.count Analysis.Finding.Error findings)))
     else
       match (program_r, fabric_r) with
-      | Error e, _ | _, Error e ->
+      | Error e, _ ->
           (* unreachable while parse failures lint as errors; stay total *)
-          Refuse (reject ~stage:"lint" e)
+          Refuse (reject ~stage:"lint" (Qasm.Parser.error_to_string e))
+      | _, Error e -> Refuse (reject ~stage:"lint" e)
       | Ok program, Ok layout -> (
           match
             ( job.Protocol.max_evals,
@@ -284,6 +286,14 @@ let run_one p =
           {
             latency_us = sol.Qspr.Mapper.latency;
             quote_us = p.p_quote;
+            lower_bound_us = sol.Qspr.Mapper.lower_bound_us;
+            bound_kind = Estimator.Bound.kind_to_string sol.Qspr.Mapper.bound_kind;
+            optimality_gap =
+              (if sol.Qspr.Mapper.lower_bound_us > 0.0 then
+                 Some
+                   ((sol.Qspr.Mapper.latency -. sol.Qspr.Mapper.lower_bound_us)
+                   /. sol.Qspr.Mapper.lower_bound_us)
+               else None);
             placement_runs = sol.Qspr.Mapper.placement_runs;
             engine_evals = sol.Qspr.Mapper.engine_evals;
             degraded = sol.Qspr.Mapper.degraded;

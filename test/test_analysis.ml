@@ -96,8 +96,13 @@ let test_program_basis_hint () =
   check_bool "cx-only clean" false (has_kind "noncx-basis" fs2)
 
 let test_program_parse_error () =
-  let fs = Analysis.Program_check.check_result (Qasm.Parser.parse "H ghost") in
+  let fs = Analysis.Program_check.check_result (Qasm.Parser.parse_located "H ghost") in
   check_bool "parse error finding" true (has_kind "parse-error" fs);
+  check_bool "finding carries line:col" true
+    (List.exists
+       (fun f ->
+         match f.F.loc with F.Source { line = 1; col = 3; _ } -> true | _ -> false)
+       fs);
   check_int "exit 2" 2 (F.exit_code fs)
 
 (* -------------------------------------------------------------- fabric *)
@@ -166,7 +171,7 @@ let test_registry_passes_documented () =
 let test_registry_lint_merges () =
   let fs =
     Analysis.Registry.lint
-      ~program:(Qasm.Parser.parse (read_file "corpus/bad/uninitialized.qasm"))
+      ~program:(Qasm.Parser.parse_located (read_file "corpus/bad/uninitialized.qasm"))
       ~fabric:(Fabric.Layout.parse (read_file "corpus/bad/tiny.fabric"))
       ~config:Qspr.Config.default ()
   in
@@ -194,7 +199,7 @@ let test_corpus_kind_coverage () =
     List.concat_map
       (fun file ->
         match file with
-        | `Qasm p -> Analysis.Registry.lint ~program:(Qasm.Parser.parse (read_file p)) ()
+        | `Qasm p -> Analysis.Registry.lint ~program:(Qasm.Parser.parse_located ~file:p (read_file p)) ()
         | `Fabric p ->
             Analysis.Registry.lint
               ~program:(Ok (List.assoc "[[5,1,3]]" (Circuits.Qecc.all ())))

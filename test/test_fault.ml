@@ -200,8 +200,10 @@ let test_campaign_bit_identical_across_jobs () =
   Alcotest.(check string) "jobs=1 vs jobs=3" (run 1) (run 3)
 
 (* regression: trials whose degraded fabric is rejected before any mapping
-   attempt ([Unmappable]) must be tallied in the first-failing histogram,
-   not silently dropped — every non-surviving trial lands under some key *)
+   attempt ([Unmappable], or [Infeasible] when the capacity pre-check
+   proves the register no longer fits) must be tallied in the
+   first-failing histogram, not silently dropped — every non-surviving
+   trial lands under some key *)
 let test_campaign_histogram_counts_unmappable () =
   let trials = 6 in
   let r =
@@ -213,11 +215,13 @@ let test_campaign_histogram_counts_unmappable () =
         List.fold_left (fun acc t -> if pred t.Fault.outcome then acc + 1 else acc) acc l.Fault.trials)
       0 r.Fault.levels
   in
-  let unmappable = count_outcomes (function Fault.Unmappable _ -> true | _ -> false) in
-  check_bool "scenario exercises Unmappable trials" true (unmappable > 0);
+  let rejected =
+    count_outcomes (function Fault.Unmappable _ | Fault.Infeasible _ -> true | _ -> false)
+  in
+  check_bool "scenario exercises pre-mapping rejections" true (rejected > 0);
   let not_mapped = count_outcomes (function Fault.Mapped _ -> false | _ -> true) in
   let tallied = List.fold_left (fun acc (_, n) -> acc + n) 0 r.Fault.histogram in
-  check_int "histogram totals Failed + Unmappable" not_mapped tallied
+  check_int "histogram totals Failed + Unmappable + Infeasible" not_mapped tallied
 
 let test_campaign_rejects_bad_arguments () =
   let fabric = bottleneck () and program = parse_program bell in

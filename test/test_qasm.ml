@@ -84,7 +84,7 @@ let test_gate_unitarity () =
 
 let test_lexer_basic () =
   match Lexer.tokenize "H q0\nC-X q3,q2\n" with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Lexer.error_to_string e)
   | Ok lines ->
       check_int "two lines" 2 (List.length lines);
       let l1 = List.nth lines 0 and l2 = List.nth lines 1 in
@@ -95,7 +95,7 @@ let test_lexer_basic () =
 
 let test_lexer_comments_and_blanks () =
   match Lexer.tokenize "# full comment\n\nH q0 // trailing\n   \n" with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Lexer.error_to_string e)
   | Ok lines ->
       check_int "one effective line" 1 (List.length lines);
       check_int "its number" 3 (List.nth lines 0).Lexer.number
@@ -103,7 +103,11 @@ let test_lexer_comments_and_blanks () =
 let test_lexer_error () =
   match Lexer.tokenize "H q0\n@bad\n" with
   | Ok _ -> Alcotest.fail "expected lexer error"
-  | Error msg -> check_bool "mentions line 2" true (String.length msg > 0 && String.sub msg 0 6 = "line 2")
+  | Error e ->
+      check_int "error line" 2 e.Lexer.line;
+      check_int "error col" 1 e.Lexer.col;
+      let msg = Lexer.error_to_string e in
+      check_bool "mentions line 2" true (String.length msg > 0 && String.sub msg 0 6 = "line 2")
 
 (* --------------------------------------------------------------- Parser *)
 

@@ -86,6 +86,9 @@ let test_response_round_trip () =
             {
               latency_us = 652.0;
               quote_us = 805.0;
+              lower_bound_us = 510.0;
+              bound_kind = "critical-path";
+              optimality_gap = Some 0.278431372549;
               placement_runs = 11;
               engine_evals = 11;
               degraded = false;
@@ -134,7 +137,7 @@ let test_response_round_trip () =
       check_bool "verdict preserved" true (r'.Protocol.verdict = (List.hd responses).Protocol.verdict)
 
 let test_exit_code_tiers () =
-  let ok = { Protocol.job_id = "a"; verdict = Protocol.Completed { latency_us = 1.0; quote_us = 1.0; placement_runs = 1; engine_evals = 1; degraded = false; direction = "forward"; certificate_digest = 0L; certificate_valid = true; attempts = [] }; cache = None; cpu_s = 0.0 } in
+  let ok = { Protocol.job_id = "a"; verdict = Protocol.Completed { latency_us = 1.0; quote_us = 1.0; lower_bound_us = 1.0; bound_kind = "critical-path"; optimality_gap = Some 0.0; placement_runs = 1; engine_evals = 1; degraded = false; direction = "forward"; certificate_digest = 0L; certificate_valid = true; attempts = [] }; cache = None; cpu_s = 0.0 } in
   let failed = { ok with Protocol.verdict = Protocol.Failed { reason = "x"; quote_us = None; attempts = [] } } in
   let rejected = { ok with Protocol.verdict = Protocol.Rejected { stage = "lint"; reason = "x"; quote_us = None; findings = [] } } in
   check_int "all ok" 0 (Protocol.exit_code [ ok; ok ]);
