@@ -986,7 +986,7 @@ let throughput_summary () =
           Qspr.Config.(
             default |> with_jobs 1 |> with_seed j.P.seed
             |> with_m (match j.P.m with Some m -> m | None -> default.m)
-            |> with_budget { wall_s = None; max_evals = None })
+            |> with_budget no_budget)
         in
         let ctx =
           match Qspr.Mapper.create ~fabric ~config program with

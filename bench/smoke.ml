@@ -259,7 +259,7 @@ let () =
         let config =
           Qspr.Config.(
             default |> with_jobs 1 |> with_seed 7 |> with_m 2
-            |> with_budget { wall_s = None; max_evals = None })
+            |> with_budget no_budget)
         in
         let sctx =
           match Qspr.Mapper.create ~fabric ~config p with Ok c -> c | Error e -> fail "%s" e

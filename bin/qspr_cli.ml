@@ -81,6 +81,7 @@ let do_map circuit qasm openqasm fabric_path pmd_path placer m sa_moves seed pre
           (match budget_evals with
           | Some _ -> budget_evals
           | None -> base_budget.Qspr.Config.max_evals);
+        deadline = base_budget.Qspr.Config.deadline;
       }
     in
     let config =
@@ -729,10 +730,23 @@ let request_rejection msg =
       Service.Protocol.Rejected { stage = "request"; reason = msg; quote_us = None; findings = [] };
     cache = None;
     cpu_s = 0.0;
+    cached = false;
   }
 
-let do_serve batch jobs deterministic max_pending max_quote_us max_evals =
-  let limits : Service.Scheduler.limits = { jobs; max_pending; max_quote_us; max_evals } in
+let do_serve batch jobs deterministic max_pending max_quote_us max_evals shed_start max_fabrics
+    response_cache response_ttl_s journal =
+  let limits : Service.Scheduler.limits =
+    {
+      jobs;
+      max_pending;
+      max_quote_us;
+      max_evals;
+      shed_start;
+      max_fabrics;
+      response_cache;
+      response_ttl_s;
+    }
+  in
   let t = Service.Scheduler.create ~limits () in
   match batch with
   | Some path -> (
@@ -741,29 +755,104 @@ let do_serve batch jobs deterministic max_pending max_quote_us max_evals =
           Printf.eprintf "error: %s\n" e;
           1
       | lines ->
-          let lines = List.filter (fun l -> String.trim l <> "") lines in
-          let decoded = List.map Service.Protocol.job_of_line lines in
-          (* one run_batch over every well-formed request, so distance tables
-             and warm route snapshots are shared across the whole file *)
-          let batched =
-            ref (Service.Scheduler.run_batch t (List.filter_map Result.to_option decoded))
+          let lines = Array.of_list (List.filter (fun l -> String.trim l <> "") lines) in
+          let decoded = Array.map Service.Protocol.job_of_line lines in
+          (* the journal's join key: the canonical encoding for well-formed
+             requests (so reformatted-but-identical lines still match), the
+             raw line for malformed ones *)
+          let keys =
+            Array.map2
+              (fun line d ->
+                match d with
+                | Ok job -> Service.Journal.key (Service.Protocol.job_to_line job)
+                | Error _ -> Service.Journal.key line)
+              lines decoded
           in
-          let responses =
-            List.map
-              (function
-                | Error msg -> request_rejection msg
-                | Ok _ -> (
-                    match !batched with
-                    | r :: rest ->
-                        batched := rest;
-                        r
-                    | [] -> assert false))
-              decoded
+          let n = Array.length lines in
+          let replayed =
+            match journal with Some p -> Service.Journal.replay p | None -> []
           in
-          List.iter
-            (fun r -> print_endline (Service.Protocol.response_to_line ~deterministic r))
-            responses;
-          Service.Protocol.exit_code responses)
+          let mismatch =
+            List.length replayed > n
+            || List.exists2 (fun (e : Service.Journal.entry) k -> not (Int64.equal e.key k))
+                 replayed
+                 (Array.to_list (Array.sub keys 0 (List.length replayed)))
+          in
+          if mismatch then begin
+            Printf.eprintf
+              "error: journal %s does not match this batch input; refusing to resume\n"
+              (Option.get journal);
+            1
+          end
+          else begin
+            (* replay the journaled prefix byte-for-byte, then resume at the
+               first unjournaled request with the ladder slot counter the
+               interrupted run had reached *)
+            List.iter
+              (fun (e : Service.Journal.entry) -> print_endline e.response_line)
+              replayed;
+            let replay_n = List.length replayed in
+            let first_slot =
+              List.length
+                (List.filter (fun (e : Service.Journal.entry) -> Service.Journal.consumed_slot e.response) replayed)
+            in
+            let jnl = Option.map Service.Journal.open_append journal in
+            let all = ref (List.rev_map (fun (e : Service.Journal.entry) -> e.response) replayed) in
+            (* responses materialize out of input order (malformed lines
+               instantly, mapped jobs per wave); emit and journal strictly in
+               input order so a later resume replays a positional prefix *)
+            let out : (Service.Protocol.response * string) option array =
+              Array.make (n - replay_n) None
+            in
+            let next = ref 0 in
+            let flush_ready () =
+              while
+                !next < Array.length out
+                &&
+                match out.(!next) with
+                | Some (r, line) ->
+                    print_endline line;
+                    Option.iter
+                      (fun j ->
+                        Service.Journal.append j ~key:keys.(replay_n + !next) ~response_line:line)
+                      jnl;
+                    all := r :: !all;
+                    true
+                | None -> false
+              do
+                incr next
+              done
+            in
+            let place i r =
+              out.(i) <- Some (r, Service.Protocol.response_to_line ~deterministic r)
+            in
+            let job_positions = ref [] in
+            let fresh_jobs = ref [] in
+            for i = n - 1 downto replay_n do
+              match decoded.(i) with
+              | Error msg -> place (i - replay_n) (request_rejection msg)
+              | Ok job ->
+                  job_positions := (i - replay_n) :: !job_positions;
+                  fresh_jobs := job :: !fresh_jobs
+            done;
+            let positions = ref !job_positions in
+            flush_ready ();
+            (* one run_batch over every well-formed request, so distance
+               tables and warm route snapshots are shared across the file *)
+            ignore
+              (Service.Scheduler.run_batch ~first_slot
+                 ~on_result:(fun _job r ->
+                   (match !positions with
+                   | p :: rest ->
+                       positions := rest;
+                       place p r
+                   | [] -> assert false);
+                   flush_ready ())
+                 t !fresh_jobs);
+            flush_ready ();
+            Option.iter Service.Journal.close jnl;
+            Service.Protocol.exit_code (List.rev !all)
+          end)
   | None ->
       (* daemon mode: one request line in, one response line out, flushed
          per response so a pipe peer can interleave *)
@@ -785,10 +874,13 @@ let serve_cmd =
   Cmd.v
     (Cmd.info "serve"
        ~doc:
-         "Mapping as a service: read qspr-job/1 request lines (stdin, or a file with --batch), \
-          admit each through lint and the estimator quote, map the admitted ones over shared \
-          warm caches, and write one qspr-result/1 response line per request.  Exits 2 if any \
-          request was rejected, 1 if any mapping failed, 0 otherwise.")
+         "Mapping as a service: read qspr-job/2 request lines (stdin, or a file with --batch), \
+          admit each through the deadline, lint, quote and degradation-ladder tiers, map the \
+          admitted ones over shared warm caches, and write one qspr-result/3 response line per \
+          request.  Under overload the ladder degrades service (prescreened, budgeted, \
+          estimate-only) before refusing; --journal makes an interrupted --batch resumable with \
+          byte-identical replay.  Exits 2 if any request was rejected, 1 if any mapping failed, \
+          0 otherwise.")
     Term.(
       const do_serve
       $ Arg.(
@@ -823,7 +915,39 @@ let serve_cmd =
           & info [ "max-evals" ] ~docv:"N"
               ~doc:
                 "Service-wide engine-evaluation ceiling: jobs requesting more are rejected, \
-                 jobs requesting none inherit it as their budget."))
+                 jobs requesting none inherit it as their budget.")
+      $ Arg.(
+          value
+          & opt (some int) None
+          & info [ "shed-start" ] ~docv:"SLOT"
+              ~doc:
+                "Admission slot where the degradation ladder begins shedding (default: half of \
+                 --max-pending).")
+      $ Arg.(
+          value & opt int 8
+          & info [ "max-fabrics" ] ~docv:"N"
+              ~doc:
+                "Warm-state registry capacity: beyond $(docv) distinct fabrics the \
+                 least-recently-served one's shared tables are evicted.")
+      $ Arg.(
+          value & opt int 256
+          & info [ "response-cache" ] ~docv:"N"
+              ~doc:
+                "Response cache capacity: identical repeated requests are answered from cache \
+                 (0 disables).")
+      $ Arg.(
+          value
+          & opt (some float) None
+          & info [ "response-ttl-s" ] ~docv:"S"
+              ~doc:"Expire cached responses after $(docv) seconds on the service clock.")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "journal" ] ~docv:"FILE"
+              ~doc:
+                "Crash-only request journal for --batch: append every response line to $(docv) \
+                 before emitting the next; rerunning the same batch replays the journaled \
+                 prefix byte-for-byte and resumes mapping at the first unjournaled request."))
 
 (* --------------------------------------------------------------- faults *)
 

@@ -1,6 +1,10 @@
-type budget = { wall_s : float option; max_evals : int option }
+type budget = {
+  wall_s : float option;
+  max_evals : int option;
+  deadline : Ion_util.Clock.deadline option;
+}
 
-let no_budget = { wall_s = None; max_evals = None }
+let no_budget = { wall_s = None; max_evals = None; deadline = None }
 
 type t = {
   timing : Router.Timing.t;
@@ -55,7 +59,7 @@ let budget_from_env () =
     | Some s -> (
         match int_of_string_opt (String.trim s) with Some k when k >= 1 -> Some k | _ -> None)
   in
-  { wall_s; max_evals }
+  { wall_s; max_evals; deadline = None }
 
 (* QSPR_INCREMENTAL toggles the incremental routing stack (dirty-net
    negotiation + cross-candidate route cache); anything but an explicit

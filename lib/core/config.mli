@@ -6,10 +6,19 @@ type budget = {
       (** wall-clock budget in seconds — searches stop between evaluations
           once it is spent and return best-so-far marked degraded.  Where the
           cut lands is inherently run-dependent; use [max_evals] when
-          bit-reproducibility matters. *)
+          bit-reproducibility matters.  Measured on the monotonized
+          {!Ion_util.Clock}, so a stepped wall clock cannot hang or
+          instantly expire the budget. *)
   max_evals : int option;
       (** deterministic evaluation cap — at most this many full engine
           evaluations per search, truncating candidates in run order. *)
+  deadline : Ion_util.Clock.deadline option;
+      (** hard end-to-end deadline (armed by the service from the request's
+          [deadline_ms]).  Unlike [wall_s] — which truncates gracefully to
+          best-so-far — an expired deadline aborts the search at the next
+          cooperative checkpoint (engine event batch, Pathfinder negotiation
+          round, annealer move chunk) with the typed [Deadline_exceeded]
+          mapper error. *)
 }
 
 val no_budget : budget

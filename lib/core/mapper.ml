@@ -31,6 +31,7 @@ type error =
   | Livelock of { events : int; budget : int }
   | Infeasible_placement of string
   | Budget_exhausted of { attempts : int; last : error }
+  | Deadline_exceeded of { budget_ms : float }
   | Invalid of string
 
 let rec error_to_string = function
@@ -45,6 +46,8 @@ let rec error_to_string = function
   | Budget_exhausted { attempts; last } ->
       Printf.sprintf "budget exhausted after %d attempt(s); last failure: %s" attempts
         (error_to_string last)
+  | Deadline_exceeded { budget_ms } ->
+      Printf.sprintf "deadline exceeded: the %.1f ms request budget expired mid-search" budget_ms
   | Invalid msg -> msg
 
 let of_engine_error = function
@@ -118,6 +121,8 @@ let create ~fabric ?(config = Config.default) ?prebuilt ?distance ?shared_routes
       | Error _ as e -> e
       | Ok (comp, graph) ->
           let nq = Program.num_qubits program in
+          if nq = 0 then Error "Mapper.create: program declares no qubits"
+          else
           (* trap starvation is Fabric.Lint's check; keep a single home for it *)
           match Fabric.Lint.capacity_error ~num_qubits:nq comp with
           | Some msg -> Error ("Mapper.create: " ^ msg)
@@ -169,19 +174,31 @@ let route_cache_of t =
     Some cache
   end
 
+(* The request deadline's cancellation checkpoint, armed from the config's
+   budget: raises Ion_util.Clock.Expired once the deadline passes.  Handed
+   to the engine (polled per event batch); [guarded] below translates the
+   raise into the typed error at every map_* boundary. *)
+let cancel_of t = Ion_util.Clock.guard t.config.Config.budget.Config.deadline
+
+let guarded f =
+  try f ()
+  with Ion_util.Clock.Expired { budget_ms } -> Error (Deadline_exceeded { budget_ms })
+
 let run_with t ~policy ~priorities ~placement =
   Engine.run ~graph:t.graph ~timing:t.config.Config.timing ~policy ~dag:t.dag ~priorities ~placement
-    ?route_cache:(route_cache_of t) ()
+    ?route_cache:(route_cache_of t) ?cancel:(cancel_of t) ()
 
 let run_forward t placement =
   Engine.run ~graph:t.graph ~timing:t.config.Config.timing ~policy:t.config.Config.qspr_policy
-    ~dag:t.dag ~priorities:t.priorities ~placement ?route_cache:(route_cache_of t) ()
+    ~dag:t.dag ~priorities:t.priorities ~placement ?route_cache:(route_cache_of t)
+    ?cancel:(cancel_of t) ()
 
 let run_backward t placement =
   match (t.udag, t.backward_priorities) with
   | Some udag, Some prios ->
       Engine.run ~graph:t.graph ~timing:t.config.Config.timing ~policy:t.config.Config.qspr_policy
-        ~dag:udag ~priorities:prios ~placement ?route_cache:(route_cache_of t) ()
+        ~dag:udag ~priorities:prios ~placement ?route_cache:(route_cache_of t)
+        ?cancel:(cancel_of t) ()
   | None, _ | _, None ->
       Error
         (Engine.Invalid
@@ -278,19 +295,37 @@ let prescreen_of t arg =
       let model = Lazy.force t.estimator in
       Some (k, Estimator.Model.estimate model)
 
-(* Arm the wall-clock side of a budget: the deadline starts when the search
-   starts.  The evaluation cap is handed to the placers verbatim — they
-   truncate deterministically in run order. *)
+(* Arm the wall-clock side of a budget: the clock starts when the search
+   starts, on the monotonized Ion_util.Clock — a stepped system wall clock
+   can no longer hang the budget or expire it instantly (Sys.time remains
+   in use only for the *reported* CPU seconds).  The evaluation cap is
+   handed to the placers verbatim — they truncate deterministically in run
+   order.  The same polled closure doubles as the placers' cooperative
+   deadline checkpoint: when the request deadline has passed it raises
+   (Ion_util.Clock.Expired) instead of returning, so chunked placer loops
+   (anneals every 512 moves, MC between evaluation chunks) abort promptly
+   even between engine runs. *)
 let out_of_time_of (budget : Config.budget) =
+  let deadline_check =
+    match Ion_util.Clock.guard budget.Config.deadline with
+    | Some f -> f
+    | None -> Fun.const ()
+  in
   match budget.Config.wall_s with
-  | None -> fun () -> false
+  | None ->
+      fun () ->
+        deadline_check ();
+        false
   | Some s ->
-      let deadline = Unix.gettimeofday () +. s in
-      fun () -> Unix.gettimeofday () > deadline
+      let cutoff = Ion_util.Clock.now_s () +. s in
+      fun () ->
+        deadline_check ();
+        Ion_util.Clock.now_s () > cutoff
 
 let attempt_of ~stage ~seed outcome = { stage; seed; outcome }
 
 let map_mvfb ?m ?jobs ?prescreen_k t =
+  guarded @@ fun () ->
   let m = Option.value ~default:t.config.Config.m m in
   let jobs = Option.value ~default:t.config.Config.jobs jobs in
   let prescreen = prescreen_of t prescreen_k in
@@ -315,6 +350,7 @@ let map_mvfb ?m ?jobs ?prescreen_k t =
            o.Placer.Mvfb.result)
 
 let map_monte_carlo ~runs ?jobs ?prescreen_k t =
+  guarded @@ fun () ->
   let jobs = Option.value ~default:t.config.Config.jobs jobs in
   let prescreen = prescreen_of t prescreen_k in
   let budget = t.config.Config.budget in
@@ -339,6 +375,7 @@ let map_monte_carlo ~runs ?jobs ?prescreen_k t =
            ~degraded:o.Placer.Monte_carlo.truncated o.Placer.Monte_carlo.result)
 
 let map_annealing ?evaluations ?jobs ?prescreen_k t =
+  guarded @@ fun () ->
   let evaluations = Option.value ~default:t.config.Config.m evaluations in
   let jobs = Option.value ~default:t.config.Config.jobs jobs in
   let prescreen = prescreen_of t prescreen_k in
@@ -373,6 +410,7 @@ let map_annealing ?evaluations ?jobs ?prescreen_k t =
    MVFB's per-seed derivations — and runs sequentially inside one
    [Domain_pool] slot, so the race is bit-identical at any job count. *)
 let map_portfolio ?m ?sa_moves ?jobs t =
+  guarded @@ fun () ->
   let m = Option.value ~default:t.config.Config.m m in
   let sa_moves = Option.value ~default:t.config.Config.sa_moves sa_moves in
   let jobs = Option.value ~default:t.config.Config.jobs jobs in
@@ -486,6 +524,7 @@ let map_portfolio ?m ?sa_moves ?jobs t =
            ~degraded:best.Placer.Portfolio.truncated best.Placer.Portfolio.result)
 
 let map_center t =
+  guarded @@ fun () ->
   let placement = Placer.Center.place t.comp ~num_qubits:(Program.num_qubits t.program) in
   let seed = t.config.Config.rng_seed in
   let t0 = Sys.time () in
@@ -549,6 +588,9 @@ let map_robust ?(retry = default_retry) ?jobs t =
         | Ok s ->
             let audit = List.rev (attempt_of ~stage ~seed:stage_seed (Ok s.latency) :: failures) in
             Ok { s with attempts = audit; degraded = s.degraded || failures <> [] }
+        (* past the deadline every later stage would abort at its first
+           checkpoint too — escalating is pure waste, so stop typed here *)
+        | Error (Deadline_exceeded _ as e) -> Error e
         | Error e -> go (n + 1) (attempt_of ~stage ~seed:stage_seed (Error e) :: failures) rest)
   in
   go 0 [] stages

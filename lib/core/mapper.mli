@@ -60,6 +60,11 @@ type error =
       (** the (possibly degraded) fabric cannot hold the circuit at all *)
   | Budget_exhausted of { attempts : int; last : error }
       (** the retry cascade ran out of attempts; [last] is the final failure *)
+  | Deadline_exceeded of { budget_ms : float }
+      (** the request's end-to-end deadline ({!Config.budget.deadline})
+          expired; the search was aborted at the next cooperative
+          checkpoint — engine event batch, Pathfinder negotiation round or
+          annealer move chunk — instead of running hot *)
   | Invalid of string  (** malformed arguments or non-unitary backward request *)
 
 val error_to_string : error -> string

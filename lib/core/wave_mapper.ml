@@ -47,7 +47,7 @@ let levels_of dag =
   |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
   |> List.concat_map (fun (_, gates) -> split_disjoint gates)
 
-let map ?placement ctx =
+let map_unguarded ?placement ctx =
   let program = Mapper.program ctx in
   let comp = Mapper.component ctx in
   let graph = Mapper.graph ctx in
@@ -133,7 +133,9 @@ let map ?placement ctx =
               match
                 Router.Pathfinder.route_all graph
                   ~turn_cost:(Router.Timing.turn_cost_in_moves tm)
-                  ~incremental ~cache ~capacity nets
+                  ~incremental ~cache
+                  ?cancel:(Ion_util.Clock.guard cfg.Config.budget.Config.deadline)
+                  ~capacity nets
               with
               | Error (Router.Pathfinder.No_route { net_id; iteration; _ }) ->
                   (* name the offending traps, not graph nodes — the net was
@@ -166,3 +168,10 @@ let map ?placement ctx =
     | Some e -> Error e
     | None -> Ok { latency = !clock; levels = List.rev !stats; final_placement = placement }
   end
+
+(* the Pathfinder cancellation checkpoint raises; translate to the typed
+   mapper error at this boundary, like the Mapper.map_* entry points do *)
+let map ?placement ctx =
+  try map_unguarded ?placement ctx
+  with Ion_util.Clock.Expired { budget_ms } ->
+    Error (Mapper.Deadline_exceeded { budget_ms })

@@ -14,19 +14,53 @@ type t = {
   indeg0 : int array;  (* initial in-degrees, copied into scratch per call *)
   tx : int array;  (* trap coordinates, for the engine's midpoint trap choice *)
   ty : int array;
-  scratch : scratch Domain.DLS.key;
 }
 
-and scratch = {
-  engaged : bool array;  (* per qubit: reserved by an in-flight instruction *)
-  pos : int array;  (* per qubit: current (or inbound) trap *)
-  occ : int array;  (* per trap: assigned ions — availability mirror *)
-  indeg : int array;
-  status : int array;  (* per node: 0 waiting, 1 ready, 2 issued/done *)
-  ready : int array;  (* ids with status 1, maintained as a prefix *)
-  heap_time : float array;  (* binary min-heap of instruction completions *)
-  heap_id : int array;
+(* Per-domain estimation scratch, shared by every model.  A Domain.DLS slot
+   is process-lifetime — a per-model key would pin one scratch per model
+   ever built on each domain that estimated with it, which in the service
+   (one model per admitted request) compounds into an unbounded leak.  One
+   module-level key bounds retention to the largest model each domain has
+   seen; [ensure_scratch] grows the arrays monotonically to fit. *)
+type scratch = {
+  mutable engaged : bool array;  (* per qubit: reserved by an in-flight instruction *)
+  mutable pos : int array;  (* per qubit: current (or inbound) trap *)
+  mutable occ : int array;  (* per trap: assigned ions — availability mirror *)
+  mutable indeg : int array;
+  mutable status : int array;  (* per node: 0 waiting, 1 ready, 2 issued/done *)
+  mutable ready : int array;  (* ids with status 1, maintained as a prefix *)
+  mutable heap_time : float array;  (* binary min-heap of instruction completions *)
+  mutable heap_id : int array;
 }
+
+let scratch_key =
+  Domain.DLS.new_key (fun () ->
+      {
+        engaged = [||];
+        pos = [||];
+        occ = [||];
+        indeg = [||];
+        status = [||];
+        ready = [||];
+        heap_time = [||];
+        heap_id = [||];
+      })
+
+let ensure_scratch s ~nq ~ntraps ~n =
+  if Array.length s.engaged < nq then begin
+    s.engaged <- Array.make nq false;
+    s.pos <- Array.make nq 0
+  end;
+  if Array.length s.occ < ntraps then s.occ <- Array.make ntraps 0;
+  if Array.length s.indeg < n then begin
+    s.indeg <- Array.make n 0;
+    s.status <- Array.make n 0;
+    s.ready <- Array.make n 0
+  end;
+  if Array.length s.heap_time < n + 1 then begin
+    s.heap_time <- Array.make (n + 1) 0.0;
+    s.heap_id <- Array.make (n + 1) 0
+  end
 
 let distance t = t.dist
 let num_qubits t = t.nq
@@ -117,21 +151,7 @@ let create ~graph ~timing ?distance ?(congestion_alpha = 0.01) ?(congestion_thre
   let traps = Fabric.Component.traps (Fabric.Graph.component graph) in
   let tx = Array.map (fun tr -> tr.Fabric.Component.tpos.Ion_util.Coord.x) traps in
   let ty = Array.map (fun tr -> tr.Fabric.Component.tpos.Ion_util.Coord.y) traps in
-  let ntraps = Array.length traps in
-  let scratch =
-    Domain.DLS.new_key (fun () ->
-        {
-          engaged = Array.make nq false;
-          pos = Array.make nq 0;
-          occ = Array.make ntraps 0;
-          indeg = Array.make n 0;
-          status = Array.make n 0;
-          ready = Array.make n 0;
-          heap_time = Array.make (n + 1) 0.0;
-          heap_id = Array.make (n + 1) 0;
-        })
-  in
-  { dist; timing; nq; kind; qa; qb; prio; stretch; succs; indeg0; tx; ty; scratch }
+  { dist; timing; nq; kind; qa; qb; prio; stretch; succs; indeg0; tx; ty }
 
 (* The engine's two-qubit trap choice (Engine.trap_candidates): nearest trap
    by Manhattan distance to the midpoint of the operands' traps, restricted
@@ -173,9 +193,9 @@ let estimate t placement =
       if p < 0 || p >= ntraps then invalid_arg "Estimator.Model.estimate: trap id out of range")
     placement;
   let n = Array.length t.kind in
-  let { engaged; pos; occ; indeg; status; ready; heap_time; heap_id } =
-    Domain.DLS.get t.scratch
-  in
+  let s = Domain.DLS.get scratch_key in
+  ensure_scratch s ~nq:t.nq ~ntraps ~n;
+  let { engaged; pos; occ; indeg; status; ready; heap_time; heap_id } = s in
   Array.fill engaged 0 t.nq false;
   Array.blit placement 0 pos 0 t.nq;
   Array.fill occ 0 (Array.length occ) 0;

@@ -36,7 +36,7 @@ let max_overuse _graph ~capacity routes =
   Resource.Tbl.fold (fun r users acc -> max acc (users - capacity r)) tbl 0
 
 let route_all graph ?(max_iterations = 30) ?(present_factor = 0.5) ?(history_increment = 1.0)
-    ?(turn_cost = 10.0) ?(incremental = true) ?cache ~capacity nets =
+    ?(turn_cost = 10.0) ?(incremental = true) ?cache ?cancel ~capacity nets =
   if max_iterations < 1 then Error (Bad_parameters "max_iterations must be positive")
   else if present_factor < 0.0 || history_increment < 0.0 || turn_cost < 0.0 then
     Error (Bad_parameters "negative parameters")
@@ -144,7 +144,12 @@ let route_all graph ?(max_iterations = 30) ?(present_factor = 0.5) ?(history_inc
     in
     let error = ref None in
     let converged = ref false in
+    (* cancellation checkpoint: one poll per negotiation round, so an
+       expired deadline aborts between rip-up/re-route sweeps (the closure
+       raises; see Engine.run's cancel for the contract) *)
+    let checkpoint = match cancel with Some f -> f | None -> Fun.const () in
     while (not !converged) && !error = None && !iterations < max_iterations do
+      checkpoint ();
       incr iterations;
       (* Iteration 1 routes everything.  Later iterations: the legacy path
          rips up and re-routes every net; the incremental path only the

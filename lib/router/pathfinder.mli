@@ -53,6 +53,7 @@ val route_all :
   ?turn_cost:float ->
   ?incremental:bool ->
   ?cache:Route_cache.t ->
+  ?cancel:(unit -> unit) ->
   capacity:(Resource.t -> int) ->
   net list ->
   (outcome, error) result
@@ -65,7 +66,9 @@ val route_all :
     has no route at all (disconnected endpoints) or arguments are invalid.
     [overused > 0] in the result means negotiation did not converge within
     the budget — the caller decides whether to accept the shared routes
-    (the engine's busy queue would instead serialize).
+    (the engine's busy queue would instead serialize).  [cancel] is a
+    cooperative cancellation checkpoint polled once per negotiation round;
+    it signals by raising (see [Simulator.Engine.run]).
     @raise Invalid_argument if occupancy bookkeeping ever goes negative
     (a double rip-up — an internal invariant, not a caller error). *)
 

@@ -11,14 +11,15 @@ type job = {
   m : int option;
   max_evals : int option;
   max_quote_us : float option;
+  deadline_ms : float option;
 }
 
 let default_seed = 2012
 let default_placer = "portfolio"
 
 let make_job ?fabric ?(seed = default_seed) ?(placer = default_placer) ?m ?max_evals ?max_quote_us
-    ~id circuit =
-  { id; circuit; fabric; seed; placer; m; max_evals; max_quote_us }
+    ?deadline_ms ~id circuit =
+  { id; circuit; fabric; seed; placer; m; max_evals; max_quote_us; deadline_ms }
 
 type cache_stats = {
   hits : int;
@@ -26,6 +27,8 @@ type cache_stats = {
   shared_hits : int;
   bound_builds : int;
   warm_paths : int;
+  fabric_evictions : int;
+      (** warm-state registry entries evicted over the service lifetime *)
 }
 
 type attempt = { stage : string; seed : int; outcome : (float, string) result }
@@ -42,6 +45,9 @@ type verdict =
       engine_evals : int;
       degraded : bool;
       direction : string;
+      shed : string;
+          (** degradation-ladder rung the job ran at: ["none"] (full
+              request), ["prescreen"] or ["budgeted"] *)
       certificate_digest : int64;
       certificate_valid : bool;
       attempts : attempt list;
@@ -59,6 +65,7 @@ type response = {
   verdict : verdict;
   cache : cache_stats option;
   cpu_s : float;
+  cached : bool;  (** served verbatim from the response cache *)
 }
 
 (* ------------------------------------------------------------ decoding *)
@@ -109,12 +116,6 @@ let opt_bool name json =
   | Some (Json.Bool b) -> Ok (Some b)
   | Some _ -> Error (Printf.sprintf "field %S must be a boolean" name)
 
-let check_schema expected json =
-  match field_str "schema" json with
-  | Error _ as e -> e
-  | Ok s when s = expected -> Ok s
-  | Ok s -> Error (Printf.sprintf "expected schema %s, got %s" expected s)
-
 let ( let* ) = Result.bind
 
 (* ----------------------------------------------------------------- job *)
@@ -134,7 +135,7 @@ let encode_job j =
   let opt name v f = match v with None -> [] | Some x -> [ (name, f x) ] in
   Json.Obj
     ([
-       ("schema", Json.String "qspr-job/1");
+       ("schema", Json.String "qspr-job/2");
        ("id", Json.String j.id);
        ("circuit", encode_circuit j.circuit);
      ]
@@ -142,10 +143,17 @@ let encode_job j =
     @ [ ("seed", Json.Int j.seed); ("placer", Json.String j.placer) ]
     @ opt "m" j.m (fun i -> Json.Int i)
     @ opt "max_evals" j.max_evals (fun i -> Json.Int i)
-    @ opt "max_quote_us" j.max_quote_us (fun f -> Json.Float f))
+    @ opt "max_quote_us" j.max_quote_us (fun f -> Json.Float f)
+    @ opt "deadline_ms" j.deadline_ms (fun f -> Json.Float f))
 
 let decode_job json =
-  let* _ = check_schema "qspr-job/1" json in
+  (* /1 requests (no deadline_ms) remain valid /2 requests *)
+  let* _ =
+    match field_str "schema" json with
+    | Error _ as e -> e
+    | Ok ("qspr-job/1" | "qspr-job/2") as ok -> ok
+    | Ok s -> Error (Printf.sprintf "expected schema qspr-job/2, got %s" s)
+  in
   let* id = field_str "id" json in
   let* circuit =
     match Json.member "circuit" json with
@@ -158,6 +166,7 @@ let decode_job json =
   let* m = opt_int "m" json in
   let* max_evals = opt_int "max_evals" json in
   let* max_quote_us = opt_float "max_quote_us" json in
+  let* deadline_ms = opt_float "deadline_ms" json in
   Ok
     {
       id;
@@ -168,6 +177,7 @@ let decode_job json =
       m;
       max_evals;
       max_quote_us;
+      deadline_ms;
     }
 
 let job_of_line line =
@@ -208,6 +218,7 @@ let encode_cache c =
       ("shared_hits", Json.Int c.shared_hits);
       ("bound_builds", Json.Int c.bound_builds);
       ("warm_paths", Json.Int c.warm_paths);
+      ("fabric_evictions", Json.Int c.fabric_evictions);
     ]
 
 let decode_cache json =
@@ -216,7 +227,16 @@ let decode_cache json =
   let* shared_hits = req_int "shared_hits" json in
   let* bound_builds = req_int "bound_builds" json in
   let* warm_paths = req_int "warm_paths" json in
-  Ok { hits; misses; shared_hits; bound_builds; warm_paths }
+  let* fabric_evictions = opt_int "fabric_evictions" json in
+  Ok
+    {
+      hits;
+      misses;
+      shared_hits;
+      bound_builds;
+      warm_paths;
+      fabric_evictions = Option.value ~default:0 fabric_evictions;
+    }
 
 let digest_to_string d = Printf.sprintf "%016Lx" d
 
@@ -241,6 +261,7 @@ let encode_response ?(deterministic = false) r =
           ("engine_evals", Json.Int c.engine_evals);
           ("degraded", Json.Bool c.degraded);
           ("direction", Json.String c.direction);
+          ("shed", Json.String c.shed);
           ( "certificate",
             Json.Obj
               [
@@ -263,10 +284,11 @@ let encode_response ?(deterministic = false) r =
     else
       (match r.cache with None -> [] | Some c -> [ ("cache", encode_cache c) ])
       @ [ ("cpu_s", Json.Float r.cpu_s) ]
+      @ (if r.cached then [ ("cached", Json.Bool true) ] else [])
   in
   Json.Obj
     ([
-       ("schema", Json.String "qspr-result/2");
+       ("schema", Json.String "qspr-result/3");
        ("id", Json.String r.job_id);
        ("status", Json.String (status_of r.verdict));
      ]
@@ -290,8 +312,8 @@ let decode_response json =
   let* _ =
     match field_str "schema" json with
     | Error _ as e -> e
-    | Ok ("qspr-result/1" | "qspr-result/2") as ok -> ok
-    | Ok s -> Error (Printf.sprintf "expected schema qspr-result/2, got %s" s)
+    | Ok ("qspr-result/1" | "qspr-result/2" | "qspr-result/3") as ok -> ok
+    | Ok s -> Error (Printf.sprintf "expected schema qspr-result/3, got %s" s)
   in
   let* job_id = field_str "id" json in
   let* status = field_str "status" json in
@@ -307,6 +329,7 @@ let decode_response json =
         let* engine_evals = req_int "engine_evals" json in
         let* degraded = opt_bool "degraded" json in
         let* direction = field_str "direction" json in
+        let* shed = opt_str "shed" json in
         let* cert =
           match Json.member "certificate" json with
           | Some c ->
@@ -329,6 +352,7 @@ let decode_response json =
                engine_evals;
                degraded = Option.value ~default:false degraded;
                direction;
+               shed = Option.value ~default:"none" shed;
                certificate_digest = fst cert;
                certificate_valid = snd cert;
                attempts;
@@ -352,7 +376,15 @@ let decode_response json =
     | Some c -> Result.map Option.some (decode_cache c)
   in
   let* cpu_s = opt_float "cpu_s" json in
-  Ok { job_id; verdict; cache; cpu_s = Option.value ~default:0.0 cpu_s }
+  let* cached = opt_bool "cached" json in
+  Ok
+    {
+      job_id;
+      verdict;
+      cache;
+      cpu_s = Option.value ~default:0.0 cpu_s;
+      cached = Option.value ~default:false cached;
+    }
 
 let response_to_line ?deterministic r = Json.to_string ~indent:false (encode_response ?deterministic r)
 

@@ -1,7 +1,8 @@
 (** The line-delimited JSON wire protocol of [qspr serve].
 
-    One request per line (schema ["qspr-job/1"]), one response per line
-    (schema ["qspr-result/1"]).  Requests are pure data — circuit, fabric,
+    One request per line (schema ["qspr-job/2"]; /1 requests — the same
+    shape without [deadline_ms] — are still decoded), one response per
+    line (schema ["qspr-result/3"]).  Requests are pure data — circuit, fabric,
     seed, placer, budgets — and every response is a pure function of its
     request and the service configuration: per-request seeds make responses
     bit-reproducible, so identical requests are end-to-end cacheable.
@@ -30,6 +31,10 @@ type job = {
   max_quote_us : float option;
       (** client-side admission ceiling: reject when the estimator quotes
           a higher predicted latency than this *)
+  deadline_ms : float option;
+      (** end-to-end deadline: the service arms it at admission and the
+          mapper polls it at cooperative checkpoints, so a request past
+          its deadline gets a typed refusal instead of running hot *)
 }
 
 val make_job :
@@ -39,11 +44,12 @@ val make_job :
   ?m:int ->
   ?max_evals:int ->
   ?max_quote_us:float ->
+  ?deadline_ms:float ->
   id:string ->
   circuit ->
   job
 (** Request with the wire defaults: QUALE fabric, seed 2012, portfolio
-    placer, no budgets. *)
+    placer, no budgets, no deadline. *)
 
 type cache_stats = {
   hits : int;  (** route-cache lookups served (own tables + shared) *)
@@ -51,6 +57,10 @@ type cache_stats = {
   shared_hits : int;  (** subset of [hits] served from the shared snapshot *)
   bound_builds : int;  (** lower-bound tables built (shared table misses) *)
   warm_paths : int;  (** snapshot path entries the job started with *)
+  fabric_evictions : int;
+      (** warm-state registry entries evicted (LRU) over the service
+          lifetime — growth here means many distinct fabrics are competing
+          for the registry cap *)
 }
 
 type attempt = { stage : string; seed : int; outcome : (float, string) result }
@@ -70,6 +80,11 @@ type verdict =
       engine_evals : int;
       degraded : bool;
       direction : string;  (** ["forward"] or ["backward"] *)
+      shed : string;
+          (** degradation-ladder rung the job actually ran at: ["none"]
+              (the requested search), ["prescreen"] (estimator-prescreened
+              MVFB) or ["budgeted"] (single budgeted placement); the rung
+              is also audited as a ["shed:<rung>"] attempt *)
       certificate_digest : int64;
           (** FNV-1a 64 of the canonical trace rendering
               ([Analysis.Certify]); machine-independent *)
@@ -80,7 +95,9 @@ type verdict =
       stage : string;
           (** admission tier that refused the job: ["request"] (malformed),
               ["lint"] (severity-2 findings), ["admission"] (mapper
-              context), ["budget"], ["quote"] or ["queue"] *)
+              context), ["budget"], ["quote"], ["deadline"] (already
+              expired on arrival), ["shed"] (overload: estimate-only
+              quote, [quote_us] carries it) or ["queue"] *)
       reason : string;
       quote_us : float option;  (** present when admission got that far *)
       findings : Ion_util.Json.t list;
@@ -99,6 +116,11 @@ type response = {
       (** present for jobs that reached the engine when incremental
           routing is on; omitted from deterministic encodings *)
   cpu_s : float;  (** omitted from deterministic encodings *)
+  cached : bool;
+      (** the response was served verbatim from the response cache;
+          observability only — omitted from deterministic encodings
+          (a cached response is byte-identical to a recomputed one
+          there by construction) *)
 }
 
 val encode_job : job -> Ion_util.Json.t

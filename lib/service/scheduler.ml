@@ -1,4 +1,6 @@
 module Route_cache = Router.Route_cache
+module Clock = Ion_util.Clock
+module Lru = Ion_util.Lru
 
 module type SERVICE = sig
   type t
@@ -8,21 +10,41 @@ module type SERVICE = sig
     max_pending : int;
     max_quote_us : float option;
     max_evals : int option;
+    shed_start : int option;
+    max_fabrics : int;
+    response_cache : int;
+    response_ttl_s : float option;
   }
 
   val default_limits : limits
   val create : ?limits:limits -> ?config:Qspr.Config.t -> unit -> t
   val submit : t -> Protocol.job -> Protocol.response
-  val run_batch : t -> Protocol.job list -> Protocol.response list
+
+  val run_batch :
+    ?first_slot:int ->
+    ?on_result:(Protocol.job -> Protocol.response -> unit) ->
+    t ->
+    Protocol.job list ->
+    Protocol.response list
+
   val handle_line : ?deterministic:bool -> t -> string -> string
+
+  type rung = Full | Prescreen | Budgeted | Quote_only | Refused
+
+  val rung_of : limits -> slot:int -> rung
+  val rung_name : rung -> string
 
   type stats = {
     fabrics : int;
+    fabric_evictions : int;
     shared_paths : int;
     shared_bounds : int;
+    response_hits : int;
+    response_evictions : int;
     completed : int;
     rejected : int;
     failed : int;
+    shed : int;
   }
 
   val stats : t -> stats
@@ -33,9 +55,55 @@ type limits = {
   max_pending : int;
   max_quote_us : float option;
   max_evals : int option;
+  shed_start : int option;
+  max_fabrics : int;
+  response_cache : int;
+  response_ttl_s : float option;
 }
 
-let default_limits = { jobs = 1; max_pending = 64; max_quote_us = None; max_evals = None }
+let default_limits =
+  {
+    jobs = 1;
+    max_pending = 64;
+    max_quote_us = None;
+    max_evals = None;
+    shed_start = None;
+    max_fabrics = 8;
+    response_cache = 256;
+    response_ttl_s = None;
+  }
+
+(* ------------------------------------------------------- degradation ladder *)
+
+(* The overload ladder: queue depth (the admission slot) picks how much
+   search a job gets.  Below [shed_start] (default half of [max_pending])
+   jobs run their full request; the remaining headroom is split in three
+   even rungs of progressively cheaper service, and only past
+   [max_pending] is a job refused outright.  The rung is a pure function
+   of (limits, slot) and slots are assigned sequentially on the main
+   domain, so shedding decisions are bit-identical at any [jobs] width. *)
+type rung = Full | Prescreen | Budgeted | Quote_only | Refused
+
+let rung_name = function
+  | Full -> "none"
+  | Prescreen -> "prescreen"
+  | Budgeted -> "budgeted"
+  | Quote_only -> "quote"
+  | Refused -> "refused"
+
+let rung_of limits ~slot =
+  let p = max 1 limits.max_pending in
+  let s =
+    match limits.shed_start with
+    | Some s -> min (max 0 s) p
+    | None -> max 1 (p / 2)
+  in
+  if slot >= p then Refused
+  else if slot < s then Full
+  else begin
+    let third = max 1 ((p - s + 2) / 3) in
+    if slot < s + third then Prescreen else if slot < s + (2 * third) then Budgeted else Quote_only
+  end
 
 (* Per-fabric shared state: everything here is built once, read by every
    job on the fabric.  [comp]/[graph]/[distance] are immutable after build;
@@ -51,10 +119,19 @@ type fabric_entry = {
 type t = {
   limits : limits;
   base : Qspr.Config.t;
-  fabrics : (int64, fabric_entry) Hashtbl.t;
+  fabrics : (int64, fabric_entry) Lru.t;
+      (* warm-state registry, LRU-capped: under many distinct fabrics the
+         least-recently-served fabric's tables are dropped, not leaked.
+         Jobs in flight keep their entry alive through their own reference;
+         an evicted entry simply stops receiving warm folds. *)
+  responses : (int64, string * Protocol.response) Lru.t;
+      (* response cache keyed on FNV-1a of the job's deterministic
+         encoding; the stored encoding is compared on hit so a digest
+         collision can never serve the wrong job's result *)
   mutable completed : int;
   mutable rejected : int;
   mutable failed : int;
+  mutable shed : int;
 }
 
 let create ?(limits = default_limits) ?(config = Qspr.Config.default) () =
@@ -68,7 +145,17 @@ let create ?(limits = default_limits) ?(config = Qspr.Config.default) () =
         Qspr.Config.budget = { config.Qspr.Config.budget with Qspr.Config.wall_s = None };
       }
   in
-  { limits; base; fabrics = Hashtbl.create 4; completed = 0; rejected = 0; failed = 0 }
+  {
+    limits;
+    base;
+    fabrics = Lru.create ~cap:(max 0 limits.max_fabrics) ();
+    responses =
+      Lru.create ?ttl_s:limits.response_ttl_s ~cap:(max 0 limits.response_cache) ();
+    completed = 0;
+    rejected = 0;
+    failed = 0;
+    shed = 0;
+  }
 
 (* ------------------------------------------------------------ admission *)
 
@@ -116,7 +203,7 @@ let entry_for t layout =
         in
         Ok { layout; comp; graph; distance; snapshot = None }
   in
-  match Hashtbl.find_opt t.fabrics key with
+  match Lru.find t.fabrics key with
   | Some e when Fabric.Layout.equal e.layout layout -> Ok e
   | Some _ ->
       (* digest collision with a different layout: run cold, don't register *)
@@ -125,7 +212,7 @@ let entry_for t layout =
       match build () with
       | Error _ as e -> e
       | Ok e ->
-          Hashtbl.add t.fabrics key e;
+          Lru.put t.fabrics key e;
           Ok e)
 
 (* A job that cleared admission: everything a worker domain needs, plus the
@@ -136,23 +223,59 @@ type prepared = {
   p_ctx : Qspr.Mapper.t;
   p_cache : Route_cache.t;
   p_quote : float;
+  p_rung : rung;
   mutable p_warm_paths : int;
 }
 
 let reject ?quote ?(findings = []) ~stage reason =
   Protocol.Rejected { stage; reason; quote_us = quote; findings }
 
-type admission = Run of prepared | Refuse of Protocol.verdict
+type admission =
+  | Run of prepared
+  | Refuse of Protocol.verdict
+  | Hit of Protocol.response  (** served verbatim from the response cache *)
 
-let job_config t (job : Protocol.job) =
+let job_config t ?deadline (job : Protocol.job) =
   let base = t.base in
   let max_evals =
     match job.Protocol.max_evals with Some _ as e -> e | None -> t.limits.max_evals
   in
   let base = Qspr.Config.with_seed job.Protocol.seed base in
   let base = match job.Protocol.m with Some m -> Qspr.Config.with_m m base | None -> base in
-  Qspr.Config.with_budget { Qspr.Config.wall_s = None; max_evals } base
+  Qspr.Config.with_budget { Qspr.Config.wall_s = None; max_evals; deadline } base
 
+(* Response-cache key: the job's canonical single-line encoding (the
+   encoding is a pure function of the record, field order fixed).  Only
+   full-service completions are cached — shed rungs answer for a load
+   level, not for the job. *)
+let response_key job =
+  let line = Protocol.job_to_line job in
+  (fnv1a64 line, line)
+
+let cache_lookup t job =
+  if Lru.capacity t.responses = 0 then None
+  else begin
+    let key, line = response_key job in
+    match Lru.find t.responses key with
+    | Some (stored_line, r) when String.equal stored_line line ->
+        Some { r with Protocol.cached = true }
+    | Some _ | None -> None
+  end
+
+let cache_store t job response =
+  if Lru.capacity t.responses > 0 then begin
+    match response.Protocol.verdict with
+    | Protocol.Completed c when c.shed = "none" ->
+        let key, line = response_key job in
+        Lru.put t.responses key
+          (line, { response with Protocol.cache = None; cpu_s = 0.0; cached = false })
+    | _ -> ()
+  end
+
+(* [slot] is shared mutable admission state for one submission: it counts
+   every job that reached the ladder decision point (so shedding decisions
+   depend only on upstream admission order, never on worker timing), and
+   is advanced here exactly once per such job. *)
 let admit t ~slot (job : Protocol.job) =
   if not (List.mem job.Protocol.placer allowed_placers) then
     Refuse
@@ -160,87 +283,109 @@ let admit t ~slot (job : Protocol.job) =
          (Printf.sprintf "unknown placer %s (%s)" job.Protocol.placer
             (String.concat "|" allowed_placers)))
   else begin
-    let config = job_config t job in
-    let program_r = resolve_circuit ~id:job.Protocol.id job.Protocol.circuit in
-    let fabric_r = resolve_fabric job.Protocol.fabric in
-    (* mandatory lint ingress: parse failures and severity-2 findings both
-       land here as structured rejections, never mapper exceptions *)
-    let findings = Analysis.Registry.lint ~program:program_r ~fabric:fabric_r ~config () in
-    if not (Analysis.Finding.is_clean findings) then
-      Refuse
-        (reject ~stage:"lint"
-           ~findings:(List.map Analysis.Finding.to_json findings)
-           (Printf.sprintf "%d lint error(s) (run `qspr lint` for the report)"
-              (Analysis.Finding.count Analysis.Finding.Error findings)))
-    else
-      match (program_r, fabric_r) with
-      | Error e, _ ->
-          (* unreachable while parse failures lint as errors; stay total *)
-          Refuse (reject ~stage:"lint" (Qasm.Parser.error_to_string e))
-      | _, Error e -> Refuse (reject ~stage:"lint" e)
-      | Ok program, Ok layout -> (
-          match
-            ( job.Protocol.max_evals,
-              t.limits.max_evals )
-          with
-          | Some req, Some cap when req > cap ->
-              Refuse
-                (reject ~stage:"budget"
-                   (Printf.sprintf "requested max_evals %d exceeds the service ceiling %d" req cap))
-          | _ -> (
-              match entry_for t layout with
-              | Error e -> Refuse (reject ~stage:"admission" e)
-              | Ok entry -> (
-                  let cache = Route_cache.create () in
-                  match
-                    Qspr.Mapper.create ~fabric:layout ~config
-                      ~prebuilt:(entry.comp, entry.graph) ~distance:entry.distance
-                      ~route_cache:cache program
-                  with
+    (* the deadline tier: arm the request's end-to-end budget first — a
+       request that arrives already out of time is refused before any
+       lint/estimation work is spent on it *)
+    let deadline = Option.map Clock.after_ms job.Protocol.deadline_ms in
+    match deadline with
+    | Some d when Clock.expired d ->
+        Refuse
+          (reject ~stage:"deadline"
+             (Printf.sprintf "deadline of %.1f ms expired before admission" (Clock.budget_ms d)))
+    | _ ->
+        let config = job_config t ?deadline job in
+        let program_r = resolve_circuit ~id:job.Protocol.id job.Protocol.circuit in
+        let fabric_r = resolve_fabric job.Protocol.fabric in
+        (* mandatory lint ingress: parse failures and severity-2 findings both
+           land here as structured rejections, never mapper exceptions *)
+        let findings = Analysis.Registry.lint ~program:program_r ~fabric:fabric_r ~config () in
+        if not (Analysis.Finding.is_clean findings) then
+          Refuse
+            (reject ~stage:"lint"
+               ~findings:(List.map Analysis.Finding.to_json findings)
+               (Printf.sprintf "%d lint error(s) (run `qspr lint` for the report)"
+                  (Analysis.Finding.count Analysis.Finding.Error findings)))
+        else
+          match (program_r, fabric_r) with
+          | Error e, _ ->
+              (* unreachable while parse failures lint as errors; stay total *)
+              Refuse (reject ~stage:"lint" (Qasm.Parser.error_to_string e))
+          | _, Error e -> Refuse (reject ~stage:"lint" e)
+          | Ok program, Ok layout -> (
+              match (job.Protocol.max_evals, t.limits.max_evals) with
+              | Some req, Some cap when req > cap ->
+                  Refuse
+                    (reject ~stage:"budget"
+                       (Printf.sprintf "requested max_evals %d exceeds the service ceiling %d" req
+                          cap))
+              | _ -> (
+                  match entry_for t layout with
                   | Error e -> Refuse (reject ~stage:"admission" e)
-                  | Ok ctx ->
-                      (* the quote: estimator latency of the deterministic
-                         center placement — no routing, ~89x cheaper *)
-                      let quote =
-                        Qspr.Mapper.estimate ctx
-                          (Placer.Center.place entry.comp
-                             ~num_qubits:(Qasm.Program.num_qubits program))
-                      in
-                      if not (Float.is_finite quote) then
-                        Refuse
-                          (reject ~stage:"quote"
-                             "estimator quote is infinite: interacting qubits are unreachable")
-                      else
-                        let ceiling =
-                          match (t.limits.max_quote_us, job.Protocol.max_quote_us) with
-                          | Some a, Some b -> Some (Float.min a b)
-                          | (Some _ as c), None | None, (Some _ as c) -> c
-                          | None, None -> None
-                        in
-                        (match ceiling with
-                        | Some cap when quote > cap ->
+                  | Ok entry -> (
+                      let cache = Route_cache.create () in
+                      match
+                        Qspr.Mapper.create ~fabric:layout ~config
+                          ~prebuilt:(entry.comp, entry.graph) ~distance:entry.distance
+                          ~route_cache:cache program
+                      with
+                      | Error e -> Refuse (reject ~stage:"admission" e)
+                      | Ok ctx ->
+                          (* the quote: estimator latency of the deterministic
+                             center placement — no routing, ~89x cheaper *)
+                          let quote =
+                            Qspr.Mapper.estimate ctx
+                              (Placer.Center.place entry.comp
+                                 ~num_qubits:(Qasm.Program.num_qubits program))
+                          in
+                          if not (Float.is_finite quote) then
                             Refuse
-                              (reject ~stage:"quote" ~quote
-                                 (Printf.sprintf
-                                    "quoted %.1f us exceeds the admission ceiling %.1f us" quote
-                                    cap))
-                        | _ ->
-                            if slot >= t.limits.max_pending then
-                              Refuse
-                                (reject ~stage:"queue" ~quote
-                                   (Printf.sprintf
-                                      "queue full: %d job(s) already admitted (max_pending=%d)"
-                                      slot t.limits.max_pending))
-                            else
-                              Run
-                                {
-                                  p_job = job;
-                                  p_entry = entry;
-                                  p_ctx = ctx;
-                                  p_cache = cache;
-                                  p_quote = quote;
-                                  p_warm_paths = 0;
-                                }))))
+                              (reject ~stage:"quote"
+                                 "estimator quote is infinite: interacting qubits are unreachable")
+                          else
+                            let ceiling =
+                              match (t.limits.max_quote_us, job.Protocol.max_quote_us) with
+                              | Some a, Some b -> Some (Float.min a b)
+                              | (Some _ as c), None | None, (Some _ as c) -> c
+                              | None, None -> None
+                            in
+                            (match ceiling with
+                            | Some cap when quote > cap ->
+                                Refuse
+                                  (reject ~stage:"quote" ~quote
+                                     (Printf.sprintf
+                                        "quoted %.1f us exceeds the admission ceiling %.1f us"
+                                        quote cap))
+                            | _ ->
+                                let rung = rung_of t.limits ~slot:!slot in
+                                incr slot;
+                                (match rung with
+                                | Refused ->
+                                    Refuse
+                                      (reject ~stage:"queue" ~quote
+                                         (Printf.sprintf
+                                            "queue full: %d job(s) already admitted \
+                                             (max_pending=%d)"
+                                            (!slot - 1) t.limits.max_pending))
+                                | Quote_only ->
+                                    t.shed <- t.shed + 1;
+                                    Refuse
+                                      (reject ~stage:"shed" ~quote
+                                         (Printf.sprintf
+                                            "overload: served an estimate-only quote of %.1f us \
+                                             (ladder rung quote, slot %d)"
+                                            quote (!slot - 1)))
+                                | (Full | Prescreen | Budgeted) as rung ->
+                                    if rung <> Full then t.shed <- t.shed + 1;
+                                    Run
+                                      {
+                                        p_job = job;
+                                        p_entry = entry;
+                                        p_ctx = ctx;
+                                        p_cache = cache;
+                                        p_quote = quote;
+                                        p_rung = rung;
+                                        p_warm_paths = 0;
+                                      })))))
   end
 
 (* ------------------------------------------------------------ execution *)
@@ -257,28 +402,51 @@ let attempts_of = function
           })
         attempts
 
-let map_with_placer (job : Protocol.job) ctx =
-  match job.Protocol.placer with
-  | "mvfb" -> Qspr.Mapper.map_mvfb ~jobs:1 ctx
-  | "mc" ->
-      Qspr.Mapper.map_monte_carlo ~runs:(Qspr.Mapper.config ctx).Qspr.Config.m ~jobs:1 ctx
-  | "sa" -> Qspr.Mapper.map_annealing ~jobs:1 ctx
-  | "center" -> Qspr.Mapper.map_center ctx
-  | "robust" -> Qspr.Mapper.map_robust ~jobs:1 ctx
-  | _ -> Qspr.Mapper.map_portfolio ~jobs:1 ctx
+(* What each ladder rung actually runs.  [Full] honors the request;
+   [Prescreen] forces estimator-prescreened MVFB (every candidate is
+   estimated, only the top 2 are routed — the cheap end of the placer
+   spectrum that still searches); [Budgeted] routes exactly one
+   deterministic center placement. *)
+let map_with_placer (job : Protocol.job) rung ctx =
+  match rung with
+  | Prescreen -> Qspr.Mapper.map_mvfb ~jobs:1 ~prescreen_k:2 ctx
+  | Budgeted -> Qspr.Mapper.map_center ctx
+  | Full | Quote_only | Refused -> (
+      match job.Protocol.placer with
+      | "mvfb" -> Qspr.Mapper.map_mvfb ~jobs:1 ctx
+      | "mc" ->
+          Qspr.Mapper.map_monte_carlo ~runs:(Qspr.Mapper.config ctx).Qspr.Config.m ~jobs:1 ctx
+      | "sa" -> Qspr.Mapper.map_annealing ~jobs:1 ctx
+      | "center" -> Qspr.Mapper.map_center ctx
+      | "robust" -> Qspr.Mapper.map_robust ~jobs:1 ctx
+      | _ -> Qspr.Mapper.map_portfolio ~jobs:1 ctx)
 
 (* Runs on a worker domain: map, certify, return pure data.  The private
    route cache's counters are read on the main domain after the wave. *)
 let run_one p =
   let t0 = Sys.time () in
+  let shed_audit =
+    match p.p_rung with
+    | Full | Quote_only | Refused -> []
+    | rung ->
+        (* the ladder step is part of the response's audit trail: the rung
+           and the quote that admitted the job at that rung *)
+        [
+          {
+            Protocol.stage = "shed:" ^ rung_name rung;
+            seed = p.p_job.Protocol.seed;
+            outcome = Ok p.p_quote;
+          };
+        ]
+  in
   let verdict =
-    match map_with_placer p.p_job p.p_ctx with
+    match map_with_placer p.p_job p.p_rung p.p_ctx with
     | Error e ->
         Protocol.Failed
           {
             reason = Qspr.Mapper.error_to_string e;
             quote_us = Some p.p_quote;
-            attempts = [];
+            attempts = shed_audit;
           }
     | Ok sol ->
         let cert = Analysis.Certify.of_solution p.p_ctx sol in
@@ -296,14 +464,15 @@ let run_one p =
                else None);
             placement_runs = sol.Qspr.Mapper.placement_runs;
             engine_evals = sol.Qspr.Mapper.engine_evals;
-            degraded = sol.Qspr.Mapper.degraded;
+            degraded = sol.Qspr.Mapper.degraded || p.p_rung <> Full;
             direction =
               (match sol.Qspr.Mapper.direction with
               | Placer.Mvfb.Forward -> "forward"
               | Placer.Mvfb.Backward -> "backward");
+            shed = rung_name p.p_rung;
             certificate_digest = cert.Analysis.Certify.digest;
             certificate_valid = cert.Analysis.Certify.valid;
-            attempts = attempts_of sol.Qspr.Mapper.attempts;
+            attempts = shed_audit @ attempts_of sol.Qspr.Mapper.attempts;
           }
   in
   (verdict, Sys.time () -. t0)
@@ -318,6 +487,7 @@ let cache_stats_of t p =
         shared_hits = Route_cache.shared_hits p.p_cache;
         bound_builds = Route_cache.bound_builds p.p_cache;
         warm_paths = p.p_warm_paths;
+        fabric_evictions = Lru.evictions t.fabrics;
       }
 
 let count_verdict t = function
@@ -325,26 +495,69 @@ let count_verdict t = function
   | Protocol.Rejected _ -> t.rejected <- t.rejected + 1
   | Protocol.Failed _ -> t.failed <- t.failed + 1
 
-let run_batch t jobs =
+let run_batch ?(first_slot = 0) ?on_result t jobs =
   let jobs = Array.of_list jobs in
   let n = Array.length jobs in
-  let slot = ref 0 in
+  let slot = ref first_slot in
   let admissions =
     Array.map
       (fun job ->
-        let a = admit t ~slot:!slot job in
-        (match a with Run _ -> incr slot | Refuse _ -> ());
-        a)
+        match cache_lookup t job with
+        | Some r -> Hit r
+        | None -> admit t ~slot job)
       jobs
   in
-  let admitted =
-    Array.of_list
-      (List.filter_map
-         (fun i -> match admissions.(i) with Run p -> Some p | Refuse _ -> None)
-         (List.init n Fun.id))
+  let admitted = ref [] and admitted_inputs = ref [] in
+  Array.iteri
+    (fun i a ->
+      match a with
+      | Run p ->
+          admitted := p :: !admitted;
+          admitted_inputs := i :: !admitted_inputs
+      | Refuse _ | Hit _ -> ())
+    admissions;
+  let admitted = Array.of_list (List.rev !admitted) in
+  let admitted_inputs = Array.of_list (List.rev !admitted_inputs) in
+  (* responses materialize out of order (refusals instantly, mapped jobs per
+     wave); [flush] hands them to [on_result] strictly in input order, so a
+     journaling caller can persist-and-emit incrementally — crash-only: kill
+     the process mid-batch and every already-flushed response survives *)
+  let responses : Protocol.response option array = Array.make n None in
+  let next = ref 0 in
+  let flush () =
+    while
+      !next < n
+      &&
+      match responses.(!next) with
+      | Some r ->
+          (match on_result with Some f -> f jobs.(!next) r | None -> ());
+          true
+      | None -> false
+    do
+      incr next
+    done
   in
+  let finalize i response =
+    count_verdict t response.Protocol.verdict;
+    responses.(i) <- Some response
+  in
+  Array.iteri
+    (fun i a ->
+      match a with
+      | Refuse verdict ->
+          finalize i
+            {
+              Protocol.job_id = jobs.(i).Protocol.id;
+              verdict;
+              cache = None;
+              cpu_s = 0.0;
+              cached = false;
+            }
+      | Hit r -> finalize i r
+      | Run _ -> ())
+    admissions;
+  flush ();
   let width = Int.max 1 t.limits.jobs in
-  let outcomes = Hashtbl.create (Array.length admitted) in
   Ion_util.Domain_pool.with_pool ~jobs:width (fun pool ->
       let k = ref 0 in
       while !k < Array.length admitted do
@@ -374,31 +587,27 @@ let run_batch t jobs =
               | None -> Route_cache.for_graph p.p_cache p.p_entry.graph);
               p.p_entry.snapshot <- Some (Route_cache.freeze p.p_cache))
             wave;
-        Array.iteri (fun i out -> Hashtbl.replace outcomes (!k + i) out) outs;
+        Array.iteri
+          (fun j (verdict, cpu_s) ->
+            let p = wave.(j) in
+            let i = admitted_inputs.(!k + j) in
+            let response =
+              {
+                Protocol.job_id = jobs.(i).Protocol.id;
+                verdict;
+                cache = cache_stats_of t p;
+                cpu_s;
+                cached = false;
+              }
+            in
+            cache_store t jobs.(i) response;
+            finalize i response)
+          outs;
+        flush ();
         k := !k + Array.length wave
       done);
-  let next_admitted = ref 0 in
-  Array.to_list
-    (Array.mapi
-       (fun i _ ->
-         let response =
-           match admissions.(i) with
-           | Refuse verdict ->
-               { Protocol.job_id = jobs.(i).Protocol.id; verdict; cache = None; cpu_s = 0.0 }
-           | Run p ->
-               let idx = !next_admitted in
-               incr next_admitted;
-               let verdict, cpu_s = Hashtbl.find outcomes idx in
-               {
-                 Protocol.job_id = jobs.(i).Protocol.id;
-                 verdict;
-                 cache = cache_stats_of t p;
-                 cpu_s;
-               }
-         in
-         count_verdict t response.Protocol.verdict;
-         response)
-       jobs)
+  flush ();
+  Array.to_list (Array.map Option.get responses)
 
 let submit t job =
   match run_batch t [ job ] with [ r ] -> r | _ -> assert false
@@ -412,6 +621,7 @@ let handle_line ?deterministic t line =
           verdict = reject ~stage:"request" msg;
           cache = None;
           cpu_s = 0.0;
+          cached = false;
         }
       in
       count_verdict t response.Protocol.verdict;
@@ -420,17 +630,21 @@ let handle_line ?deterministic t line =
 
 type stats = {
   fabrics : int;
+  fabric_evictions : int;
   shared_paths : int;
   shared_bounds : int;
+  response_hits : int;
+  response_evictions : int;
   completed : int;
   rejected : int;
   failed : int;
+  shed : int;
 }
 
 let stats (t : t) =
   let shared_paths = ref 0 and shared_bounds = ref 0 in
-  Hashtbl.iter
-    (fun _ e ->
+  Lru.iter
+    (fun (_, e) ->
       match e.snapshot with
       | Some s ->
           shared_paths := !shared_paths + Route_cache.snapshot_paths s;
@@ -438,10 +652,14 @@ let stats (t : t) =
       | None -> ())
     t.fabrics;
   {
-    fabrics = Hashtbl.length t.fabrics;
+    fabrics = Lru.length t.fabrics;
+    fabric_evictions = Lru.evictions t.fabrics;
     shared_paths = !shared_paths;
     shared_bounds = !shared_bounds;
+    response_hits = Lru.hits t.responses;
+    response_evictions = Lru.evictions t.responses + Lru.expirations t.responses;
     completed = t.completed;
     rejected = t.rejected;
     failed = t.failed;
+    shed = t.shed;
   }

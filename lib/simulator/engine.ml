@@ -374,7 +374,7 @@ let string_of_error = function
         budget
 
 let run ~graph ~timing ~policy ~dag ~priorities ~placement ?(max_events_factor = max_events_factor)
-    ?route_cache () =
+    ?route_cache ?cancel () =
   let comp = Graph.component graph in
   let nq = Program.num_qubits (Dag.program dag) in
   let ntraps = Array.length (Component.traps comp) in
@@ -432,12 +432,19 @@ let run ~graph ~timing ~policy ~dag ~priorities ~placement ?(max_events_factor =
       Array.iteri (fun q t -> st.occupants.(t) <- q :: st.occupants.(t)) placement;
       let budget = max_events_factor * (n + 1) in
       let error = ref None in
+      (* cooperative cancellation checkpoint: polled once per event batch,
+         so an expired deadline aborts within one batch of simulated work
+         instead of running the whole program hot.  The closure raises
+         (Ion_util.Clock.Expired); nothing here catches it — the mapper
+         entry points translate it into the typed Deadline_exceeded. *)
+      let checkpoint = match cancel with Some f -> f | None -> Fun.const () in
       issue_round st;
       while
         !error = None
         && (not (Scheduler.Ready_set.all_done st.ready_set))
         && st.emitted_events <= budget
       do
+        checkpoint ();
         match Ion_util.Pqueue.pop st.events with
         | None ->
             error :=

@@ -71,6 +71,7 @@ val run :
   placement:int array ->
   ?max_events_factor:int ->
   ?route_cache:Router.Route_cache.t ->
+  ?cancel:(unit -> unit) ->
   unit ->
   (result, error) Stdlib.result
 (** [placement.(q)] is the initial trap of qubit [q]; traps hold at most two
@@ -87,4 +88,11 @@ val run :
     result bit-for-bit, so the trace and latency are identical with or
     without a cache — only {!result.route_searches} shrinks.  The cache is
     single-domain state; pass each domain its own
-    ({!Router.Route_cache.domain_local}). *)
+    ({!Router.Route_cache.domain_local}).
+
+    [cancel], when given, is a cooperative cancellation checkpoint polled
+    once per event batch.  It returns unit on "keep going" and signals
+    cancellation by raising (the mapper passes a closure raising
+    [Ion_util.Clock.Expired] when the request deadline has passed); the
+    exception propagates out of [run] uncaught, so arms it only around
+    typed catch sites. *)

@@ -16,8 +16,18 @@ let job ?fabric ?(seed = 7) ?(placer = "mvfb") ?(m = 2) ?max_evals ?max_quote_us
   Protocol.make_job ?fabric ~seed ~placer ~m ?max_evals ?max_quote_us ~id
     (Protocol.Builtin circuit)
 
-let limits ?(jobs = 1) ?(max_pending = 64) ?max_quote_us ?max_evals () =
-  { Scheduler.jobs; max_pending; max_quote_us; max_evals }
+let limits ?(jobs = 1) ?(max_pending = 64) ?max_quote_us ?max_evals ?shed_start
+    ?(max_fabrics = 8) ?(response_cache = 256) ?response_ttl_s () =
+  {
+    Scheduler.jobs;
+    max_pending;
+    max_quote_us;
+    max_evals;
+    shed_start;
+    max_fabrics;
+    response_cache;
+    response_ttl_s;
+  }
 
 let stage_of (r : Protocol.response) =
   match r.Protocol.verdict with
@@ -93,13 +103,23 @@ let test_response_round_trip () =
               engine_evals = 11;
               degraded = false;
               direction = "forward";
+              shed = "none";
               certificate_digest = 0xc156d97d0e778a9eL;
               certificate_valid = true;
               attempts;
             };
         cache =
-          Some { Protocol.hits = 3; misses = 1; shared_hits = 2; bound_builds = 1; warm_paths = 4 };
+          Some
+            {
+              Protocol.hits = 3;
+              misses = 1;
+              shared_hits = 2;
+              bound_builds = 1;
+              warm_paths = 4;
+              fabric_evictions = 1;
+            };
         cpu_s = 0.25;
+        cached = false;
       };
       {
         Protocol.job_id = "no";
@@ -113,12 +133,14 @@ let test_response_round_trip () =
             };
         cache = None;
         cpu_s = 0.0;
+        cached = false;
       };
       {
         Protocol.job_id = "boom";
         verdict = Protocol.Failed { reason = "engine: deadlock"; quote_us = Some 9.5; attempts };
         cache = None;
         cpu_s = 0.125;
+        cached = false;
       };
     ]
   in
@@ -137,7 +159,7 @@ let test_response_round_trip () =
       check_bool "verdict preserved" true (r'.Protocol.verdict = (List.hd responses).Protocol.verdict)
 
 let test_exit_code_tiers () =
-  let ok = { Protocol.job_id = "a"; verdict = Protocol.Completed { latency_us = 1.0; quote_us = 1.0; lower_bound_us = 1.0; bound_kind = "critical-path"; optimality_gap = Some 0.0; placement_runs = 1; engine_evals = 1; degraded = false; direction = "forward"; certificate_digest = 0L; certificate_valid = true; attempts = [] }; cache = None; cpu_s = 0.0 } in
+  let ok = { Protocol.job_id = "a"; verdict = Protocol.Completed { latency_us = 1.0; quote_us = 1.0; lower_bound_us = 1.0; bound_kind = "critical-path"; optimality_gap = Some 0.0; placement_runs = 1; engine_evals = 1; degraded = false; direction = "forward"; shed = "none"; certificate_digest = 0L; certificate_valid = true; attempts = [] }; cache = None; cpu_s = 0.0; cached = false } in
   let failed = { ok with Protocol.verdict = Protocol.Failed { reason = "x"; quote_us = None; attempts = [] } } in
   let rejected = { ok with Protocol.verdict = Protocol.Rejected { stage = "lint"; reason = "x"; quote_us = None; findings = [] } } in
   check_int "all ok" 0 (Protocol.exit_code [ ok; ok ]);
@@ -240,7 +262,9 @@ let test_batch_matches_sequential_at_any_width () =
     (List.combine batch1 batch4)
 
 let test_warm_cache_is_invisible_and_cheaper () =
-  let t = Scheduler.create () in
+  (* response caching off: the point here is that the *recomputed* warm run
+     is byte-identical, not that the cached bytes are replayed *)
+  let t = Scheduler.create ~limits:(limits ~response_cache:0 ()) () in
   let j = job ~seed:7 "same" "[[5,1,3]]" in
   let cold = Scheduler.submit t j in
   let warm = Scheduler.submit t j in
@@ -269,7 +293,7 @@ let test_service_matches_independent_mapper () =
   let config =
     Qspr.Config.(
       default |> with_seed 7 |> with_m 2 |> with_jobs 1
-      |> with_budget { wall_s = None; max_evals = None })
+      |> with_budget no_budget)
   in
   let ctx =
     match Qspr.Mapper.create ~fabric:(Fabric.Layout.quale_45x85 ()) ~config program with
