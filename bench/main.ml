@@ -149,7 +149,7 @@ let bench_pathfinder =
           dst = Fabric.Graph.trap_node graph (traps - 1 - (i * 11));
         })
   in
-  let capacity = function Router.Resource.Segment _ -> 2 | Router.Resource.Junction _ -> 2 in
+  let capacity (_ : Router.Resource.t) = 2 in
   let pathfinder () =
     match Router.Pathfinder.route_all graph ~capacity nets with
     | Ok o -> o.Router.Pathfinder.iterations
@@ -385,7 +385,7 @@ let bench_router =
           dst = Fabric.Graph.trap_node graph (traps - 1 - (i * 9 mod traps));
         })
   in
-  let capacity = function Router.Resource.Segment _ -> 2 | Router.Resource.Junction _ -> 2 in
+  let capacity (_ : Router.Resource.t) = 2 in
   let route incremental () =
     match Router.Pathfinder.route_all graph ~incremental ~capacity nets with
     | Ok o -> o.Router.Pathfinder.searches
@@ -666,7 +666,7 @@ let router_summary () =
           dst = Fabric.Graph.trap_node graph (traps - 1 - (i * 9 mod traps));
         })
   in
-  let capacity = function Router.Resource.Segment _ -> 2 | Router.Resource.Junction _ -> 2 in
+  let capacity (_ : Router.Resource.t) = 2 in
   let route incremental =
     match Router.Pathfinder.route_all graph ~incremental ~capacity nets with
     | Ok o -> o
@@ -913,12 +913,15 @@ let portfolio_summary () =
    deterministic response encodings are byte-identical at jobs=1/2/4, and
    the warm batch is not slower than the cold services (1.15x slack for
    scheduler noise on loaded machines).  Reported: circuits/sec at each
-   width, p50/p99 per-job CPU, aggregate cache hit rate, peak heap. *)
+   width, p50/p99 per-job CPU, aggregate cache hit rate, and the group's
+   GC footprint as full [Gc.stat] deltas (words promoted to the major
+   heap and major collections across every batch, plus peak heap). *)
 let throughput_summary () =
   let module J = Ion_util.Json in
   let module P = Service.Protocol in
   let module S = Service.Scheduler in
   Printf.printf "=== Service throughput (Table-1 batch, mvfb m=2) ===\n";
+  let gs0 = Gc.stat () in
   let jobs =
     List.mapi
       (fun i (name, _) ->
@@ -1026,9 +1029,13 @@ let throughput_summary () =
   let pct p =
     List.nth cpu (min (n - 1) (int_of_float (Float.of_int (n - 1) *. p /. 100.0 +. 0.5)))
   in
-  let heap_bytes =
-    (Gc.quick_stat ()).Gc.top_heap_words * (Sys.word_size / 8)
-  in
+  (* full Gc.stat deltas over every batch in the group: quick_stat's
+     top_heap_words alone said nothing about GC pressure — promoted words
+     and major collections are what the arena refactor actually moves *)
+  let gs1 = Gc.stat () in
+  let promoted_words = gs1.Gc.promoted_words -. gs0.Gc.promoted_words in
+  let major_collections = gs1.Gc.major_collections - gs0.Gc.major_collections in
+  let heap_bytes = gs1.Gc.top_heap_words * (Sys.word_size / 8) in
   List.iter
     (fun (width, elapsed) ->
       Printf.printf "  jobs=%d  %5.2f s  %5.2f circuits/s\n" width elapsed
@@ -1038,11 +1045,13 @@ let throughput_summary () =
     (float_of_int n /. cold_s);
   Printf.printf
     "  searches %d warm vs %d cold, hit rate %.1f%% warm vs %.1f%% cold, cpu p50 %.0f ms p99 %.0f \
-     ms, peak heap %.1f MB\n\n"
+     ms\n  gc: %.1f MB promoted, %d major collections, peak heap %.1f MB\n\n"
     warm_searches cold_searches
     (100.0 *. hit_rate warm)
     (100.0 *. hit_rate cold)
     (1000.0 *. pct 50.0) (1000.0 *. pct 99.0)
+    (promoted_words *. float_of_int (Sys.word_size / 8) /. 1e6)
+    major_collections
     (float_of_int heap_bytes /. 1e6);
   J.Obj
     [
@@ -1071,12 +1080,14 @@ let throughput_summary () =
       ("warm_hit_rate", J.Float (hit_rate warm));
       ("cpu_p50_s", J.Float (pct 50.0));
       ("cpu_p99_s", J.Float (pct 99.0));
+      ("promoted_words", J.Float promoted_words);
+      ("major_collections", J.Int major_collections);
       ("peak_heap_bytes", J.Int heap_bytes);
       ("bit_identical_to_independent_runs", J.Bool true);
       ("bit_identical_across_widths", J.Bool true);
     ]
 
-(* The headline optimality-gap numbers for BENCH_pr8.json: per Table-1
+(* The headline optimality-gap numbers for BENCH_pr10.json: per Table-1
    circuit the achieved MVFB latency, the certified admissible lower bound
    the solution carries ({!Estimator.Bound}) and the resulting relative gap
    — the solution-quality column next to the speed columns. *)
@@ -1095,6 +1106,121 @@ let gaps_summary () =
            ])
        (Qspr.Experiments.gaps_study ~m:3 ()))
 
+(* Allocation accounting for the flat-arena memory architecture (PR 10):
+   per-circuit warm forward evaluations bracketed by full [Gc.stat]
+   deltas.  [Gc.minor_words] reads the allocation pointer directly, so
+   the per-evaluation minor-word figure is exact on this domain;
+   [Gc.stat]'s counters add words promoted to the major heap and major
+   collections triggered.  OCaml exposes no GC pause times, so the pause
+   column is a measured proxy: the wall-clock cost of a forced
+   [Gc.minor] + [Gc.full_major] right after the workload, an upper bound
+   on any single pause the workload itself could have seen.  When
+   BENCH_pr8.json (emitted by the pre-arena harness) is in the working
+   directory, each circuit's reduction ratio against its
+   minor_words_per_run row is computed, and the two circuits bench-smoke
+   guards must show the >=5x the arena refactor claims. *)
+let memory_summary () =
+  let module J = Ion_util.Json in
+  Printf.printf "=== Memory (warm forward evaluation, Gc.stat deltas) ===\n";
+  let baseline =
+    if not (Sys.file_exists "BENCH_pr8.json") then None
+    else
+      let ic = open_in_bin "BENCH_pr8.json" in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      match J.parse s with
+      | Error _ -> None
+      | Ok doc -> (
+          match J.member "results" doc with
+          | Some (J.List rows) ->
+              Some
+                (List.filter_map
+                   (fun row ->
+                     match (J.member "name" row, J.member "minor_words_per_run" row) with
+                     | Some (J.String n), Some (J.Float w) -> Some (n, w)
+                     | Some (J.String n), Some (J.Int w) -> Some (n, float_of_int w)
+                     | _ -> None)
+                   rows)
+          | _ -> None)
+  in
+  let baseline_for name =
+    (* bechamel row names mangle the commas in circuit names *)
+    match baseline with
+    | None -> None
+    | Some rows ->
+        List.assoc_opt ("qspr/circuits/" ^ String.map (function ',' -> '_' | c -> c) name) rows
+  in
+  let reps = 8 in
+  let circuits =
+    List.map
+      (fun (name, p) ->
+        let ctx =
+          match Qspr.Mapper.create ~fabric p with Ok c -> c | Error e -> failwith e
+        in
+        let placement =
+          Placer.Center.place (Qspr.Mapper.component ctx)
+            ~num_qubits:(Qasm.Program.num_qubits p)
+        in
+        let eval () =
+          match Qspr.Mapper.run_forward ctx placement with
+          | Ok r -> ignore r.Simulator.Engine.latency
+          | Error e -> failwith (Simulator.Engine.string_of_error e)
+        in
+        (* two warm-ups: route cache filled, arenas grown to steady size *)
+        eval ();
+        eval ();
+        let s0 = Gc.stat () in
+        let w0 = Gc.minor_words () in
+        for _ = 1 to reps do
+          eval ()
+        done;
+        let w1 = Gc.minor_words () in
+        let s1 = Gc.stat () in
+        let minor = (w1 -. w0) /. float_of_int reps in
+        let promoted = (s1.Gc.promoted_words -. s0.Gc.promoted_words) /. float_of_int reps in
+        let majors = s1.Gc.major_collections - s0.Gc.major_collections in
+        let t0 = Unix.gettimeofday () in
+        Gc.minor ();
+        Gc.full_major ();
+        let pause = Unix.gettimeofday () -. t0 in
+        let base = baseline_for name in
+        let ratio = match base with Some b -> Some (b /. minor) | None -> None in
+        (match ratio with
+        | Some r
+          when r < 5.0 && (String.equal name "[[5,1,3]]" || String.equal name "[[7,1,3]]") ->
+            failwith
+              (Printf.sprintf
+                 "memory: %s warm eval allocates %.0f minor words — only %.2fx below the \
+                  pre-arena baseline (want >=5x)"
+                 name minor r)
+        | _ -> ());
+        Printf.printf
+          "  %-12s %7.0f minor words/eval  %6.0f promoted  %d major gcs  full major %.2f ms%s\n"
+          name minor promoted majors (1000.0 *. pause)
+          (match ratio with Some r -> Printf.sprintf "  (%.1fx vs pr8)" r | None -> "");
+        J.Obj
+          [
+            ("circuit", J.String name);
+            ("minor_words_per_eval", J.Float minor);
+            ("promoted_words_per_eval", J.Float promoted);
+            ("major_collections", J.Int majors);
+            ("forced_full_major_s", J.Float pause);
+            ( "baseline_minor_words_per_eval",
+              match base with Some b -> J.Float b | None -> J.Null );
+            ("minor_words_reduction_vs_pr8", match ratio with Some r -> J.Float r | None -> J.Null);
+          ])
+      (Circuits.Qecc.all ())
+  in
+  print_newline ();
+  J.Obj
+    [
+      ( "method",
+        J.String
+          "Gc.minor_words + full Gc.stat deltas over 8 warm run_forward reps after 2 warm-ups" );
+      ("baseline", match baseline with Some _ -> J.String "BENCH_pr8.json" | None -> J.Null);
+      ("circuits", J.List circuits);
+    ]
+
 (* Machine-readable results for regression tracking: one record per bench
    with the OLS ns/run and minor words/run estimates, plus the estimator,
    fault-injection and incremental-routing subsystems' headline numbers. *)
@@ -1103,7 +1229,7 @@ let emit_json rows =
   let doc =
     J.Obj
       [
-        ("schema", J.String "qspr-bench/7");
+        ("schema", J.String "qspr-bench/8");
         ( "instances",
           J.List [ J.String "monotonic_clock_ns_per_run"; J.String "minor_allocated_words_per_run" ] );
         ("estimator", estimator_summary rows);
@@ -1111,6 +1237,7 @@ let emit_json rows =
         ("portfolio", portfolio_summary ());
         ("service", throughput_summary ());
         ("gaps", gaps_summary ());
+        ("memory", memory_summary ());
         ("faults", faults_summary ());
         ("router", router_summary ());
         ( "results",
@@ -1122,11 +1249,11 @@ let emit_json rows =
                rows) );
       ]
   in
-  let oc = open_out "BENCH_pr8.json" in
+  let oc = open_out "BENCH_pr10.json" in
   output_string oc (J.to_string doc);
   output_char oc '\n';
   close_out oc;
-  Printf.printf "\nwrote BENCH_pr8.json (%d benches)\n" (List.length rows)
+  Printf.printf "\nwrote BENCH_pr10.json (%d benches)\n" (List.length rows)
 
 let () =
   print_tables ();

@@ -268,6 +268,48 @@ let () =
       in
       check_eq "service batch vs independent mapper" lat0 sol
   | _ -> fail "service: expected two completed responses with cache counters");
+  (* memory group: the flat-arena warm path must stay allocation-lean.
+     After two warm-up evaluations (route cache filled, arenas sized), the
+     per-evaluation minor-word cost of a forward schedule-and-route on the
+     two small Table-1 circuits is bounded by a fixed ceiling — about 2x
+     the ~10.5k-word steady state measured with the packed-path/arena
+     engine (the pre-arena engine allocated ~69-73k words per evaluation).
+     A regression that reintroduces per-edge or per-event list allocation
+     on the engine's hot path trips this immediately, long before it shows
+     in wall-clock noise.  Domain-local accounting: jobs=1 runs inline, so
+     Gc.minor_words sees exactly this domain's allocations. *)
+  let warm_minor_words name =
+    let wp = List.assoc name (Circuits.Qecc.all ()) in
+    let wctx = match Qspr.Mapper.create ~fabric wp with Ok c -> c | Error e -> fail "%s" e in
+    let wplace =
+      Placer.Center.place (Qspr.Mapper.component wctx)
+        ~num_qubits:(Qasm.Program.num_qubits wp)
+    in
+    let eval () =
+      match Qspr.Mapper.run_forward wctx wplace with
+      | Ok r -> ignore r.Simulator.Engine.latency
+      | Error e -> fail "memory %s: %s" name (Simulator.Engine.string_of_error e)
+    in
+    eval ();
+    eval ();
+    let reps = 8 in
+    (* Gc.minor_words reads the allocation pointer directly — precise on
+       this domain, unlike quick_stat's per-collection counters *)
+    let w0 = Gc.minor_words () in
+    for _ = 1 to reps do
+      eval ()
+    done;
+    (Gc.minor_words () -. w0) /. float_of_int reps
+  in
+  List.iter
+    (fun (name, ceiling) ->
+      let words = warm_minor_words name in
+      Printf.printf "bench-smoke: %s warm eval %.0f minor words (ceiling %.0f)\n" name words
+        ceiling;
+      if words > ceiling then
+        fail "%s: warm evaluation allocates %.0f minor words (ceiling %.0f) — arena regression"
+          name words ceiling)
+    [ ("[[5,1,3]]", 22_000.0); ("[[7,1,3]]", 22_000.0) ];
   print_endline
     "bench-smoke: OK (workspace routing exact, parallel search exact, estimator pure, \
      prescreen consistent, winner certified, certified bound admissible and deterministic, \

@@ -27,7 +27,11 @@ let optimality_gap c =
   | _ -> None
 
 (* Canonical rendering for the digest: %h floats are exact, so two traces
-   digest equal iff they are bit-identical schedules. *)
+   digest equal iff they are bit-identical schedules.  The certifier sits
+   past the flat->variant decode boundary: the engine builds traces in
+   packed arenas (doc/memory.md), but what reaches this pass is the
+   materialized [Micro.command list], so digests are a pure function of
+   the commands and can never observe the packed representation. *)
 let render_command buf cmd =
   match cmd with
   | Micro.Move { qubit; from_; to_; start; finish } ->

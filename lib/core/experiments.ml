@@ -526,7 +526,7 @@ let fig5 () =
           match leg a b with Ok edges -> go (acc @ edges) rest | Error _ as e -> e)
       | [ _ ] | [] -> Ok acc
     in
-    Result.map (fun edges -> { Router.Path.src; dst; cost = 0.0; edges }) (go [] waypoints)
+    Result.map (fun edges -> Router.Path.of_edges ~src ~dst ~cost:0.0 edges) (go [] waypoints)
   in
   let direct = via [ src; node_at (Coord.make 14 12) h; dst ] in
   let zigzag =
@@ -541,8 +541,8 @@ let fig5 () =
   in
   let model_cost turn_cost p =
     List.fold_left
-      (fun acc e -> acc +. Router.Congestion.weight cong ~turn_cost e.Fabric.Graph.kind)
-      0.0 p.Router.Path.edges
+      (fun acc (e : Fabric.Graph.edge) -> acc +. Router.Congestion.weight cong ~turn_cost e.Fabric.Graph.kind)
+      0.0 (Router.Path.edges p)
   in
   let turn_aware_cost = model_cost (Router.Timing.turn_cost_in_moves Router.Timing.paper) in
   let blind_cost = model_cost 0.0 in

@@ -62,9 +62,9 @@ let map_unguarded ?placement ctx =
     Error (Mapper.Invalid "Wave_mapper.map: placement length mismatch")
   else begin
     let traps = Fabric.Component.traps comp in
-    let capacity = function
-      | Router.Resource.Segment _ -> policy.Simulator.Engine.channel_capacity
-      | Router.Resource.Junction _ -> policy.Simulator.Engine.junction_capacity
+    let capacity r =
+      if Router.Resource.is_segment r then policy.Simulator.Engine.channel_capacity
+      else policy.Simulator.Engine.junction_capacity
     in
     let trap_pos tid = traps.(tid).Fabric.Component.tpos in
     let dag = Mapper.dag ctx in

@@ -27,37 +27,42 @@ let create comp ~channel_capacity ~junction_capacity =
 let channel_capacity t = t.chan_cap
 let junction_capacity t = t.junc_cap
 
-let users t = function
-  | Resource.Segment s -> t.seg_users.(s)
-  | Resource.Junction j -> t.junc_users.(j)
+let users t r =
+  if Resource.is_segment r then t.seg_users.(Resource.id r) else t.junc_users.(Resource.id r)
 
-let capacity t = function Resource.Segment _ -> t.chan_cap | Resource.Junction _ -> t.junc_cap
+let capacity t r = if Resource.is_segment r then t.chan_cap else t.junc_cap
 
 let is_free t r = users t r < capacity t r
 
 let acquire t r =
   if not (is_free t r) then
     invalid_arg (Format.asprintf "Congestion.acquire: %a is at capacity" Resource.pp r);
-  match r with
-  | Resource.Segment s ->
-      t.seg_users.(s) <- t.seg_users.(s) + 1;
-      t.seg_total <- t.seg_total + 1
-  | Resource.Junction j ->
-      t.junc_users.(j) <- t.junc_users.(j) + 1;
-      t.junc_total <- t.junc_total + 1;
-      if t.junc_users.(j) = t.junc_cap then t.junc_saturated <- t.junc_saturated + 1
+  if Resource.is_segment r then begin
+    let s = Resource.id r in
+    t.seg_users.(s) <- t.seg_users.(s) + 1;
+    t.seg_total <- t.seg_total + 1
+  end
+  else begin
+    let j = Resource.id r in
+    t.junc_users.(j) <- t.junc_users.(j) + 1;
+    t.junc_total <- t.junc_total + 1;
+    if t.junc_users.(j) = t.junc_cap then t.junc_saturated <- t.junc_saturated + 1
+  end
 
 let release t r =
   if users t r <= 0 then
     invalid_arg (Format.asprintf "Congestion.release: %a has no users" Resource.pp r);
-  match r with
-  | Resource.Segment s ->
-      t.seg_users.(s) <- t.seg_users.(s) - 1;
-      t.seg_total <- t.seg_total - 1
-  | Resource.Junction j ->
-      if t.junc_users.(j) = t.junc_cap then t.junc_saturated <- t.junc_saturated - 1;
-      t.junc_users.(j) <- t.junc_users.(j) - 1;
-      t.junc_total <- t.junc_total - 1
+  if Resource.is_segment r then begin
+    let s = Resource.id r in
+    t.seg_users.(s) <- t.seg_users.(s) - 1;
+    t.seg_total <- t.seg_total - 1
+  end
+  else begin
+    let j = Resource.id r in
+    if t.junc_users.(j) = t.junc_cap then t.junc_saturated <- t.junc_saturated - 1;
+    t.junc_users.(j) <- t.junc_users.(j) - 1;
+    t.junc_total <- t.junc_total - 1
+  end
 
 let weight t ~turn_cost (kind : Fabric.Graph.edge_kind) =
   match kind with
@@ -67,6 +72,24 @@ let weight t ~turn_cost (kind : Fabric.Graph.edge_kind) =
   | Fabric.Graph.Junc j -> if t.junc_users.(j) >= t.junc_cap then Float.infinity else 1.0
   | Fabric.Graph.Turn _ -> turn_cost
   | Fabric.Graph.Tap _ -> 1.0
+
+(* Direct-call twin of [weight] over every CSR edge: filling a float array
+   stores the weights unboxed, where calling the closure per edge from the
+   search loop would box each returned float.  Congestion state is frozen
+   for the duration of a search (acquire/release happen between searches),
+   so an eager fill reads the exact counters the lazy calls would. *)
+let weights_into t ~turn_cost graph (out : float array) =
+  let m = Fabric.Graph.num_edges graph in
+  for i = 0 to m - 1 do
+    out.(i) <-
+      (match Fabric.Graph.succ_kind graph i with
+      | Fabric.Graph.Chan s ->
+          let n = t.seg_users.(s) in
+          if n >= t.chan_cap then Float.infinity else float_of_int (n + 1)
+      | Fabric.Graph.Junc j -> if t.junc_users.(j) >= t.junc_cap then Float.infinity else 1.0
+      | Fabric.Graph.Turn _ -> turn_cost
+      | Fabric.Graph.Tap _ -> 1.0)
+  done
 
 let total_in_flight t = t.seg_total + t.junc_total
 

@@ -41,6 +41,14 @@ val weight : t -> turn_cost:float -> Fabric.Graph.edge_kind -> float
     record) lets searches scan the CSR adjacency without materializing edge
     values. *)
 
+val weights_into : t -> turn_cost:float -> Fabric.Graph.t -> float array -> unit
+(** [weights_into t ~turn_cost graph out] writes {!weight} for every CSR
+    edge index into [out] (length at least [Fabric.Graph.num_edges graph]).
+    Filling an array stores the floats unboxed; per-edge closure calls from
+    a search loop would box every result on the minor heap.  The values are
+    those {!weight} would return under the same counters — congestion does
+    not change mid-search, so an eager fill is observationally identical. *)
+
 val total_in_flight : t -> int
 (** Sum of users over all resources, for diagnostics and invariant checks.
     O(1): maintained by {!acquire}/{!release}. *)

@@ -7,7 +7,7 @@ type result = { cost : float; edges : Graph.edge list }
    settled distances are exact g-costs.  [dst = -1] sweeps the whole graph,
    otherwise the search stops when [dst] settles.  [count] tallies settled
    nodes for the search-effort instrumentation. *)
-let run_into ?heuristic ?count ws graph ~weight ~src ~dst =
+let run_into ?heuristic ?count ?edge_weights ws graph ~weight ~src ~dst =
   let n = Graph.num_nodes graph in
   if src < 0 || src >= n then invalid_arg "Dijkstra: source out of range";
   if dst < -1 || dst >= n then invalid_arg "Dijkstra: destination out of range";
@@ -36,21 +36,55 @@ let run_into ?heuristic ?count ws graph ~weight ~src ~dst =
       else begin
         let du = dist.(u) in
         let stop = Graph.succ_stop graph u in
-        for i = Graph.succ_start graph u to stop - 1 do
-          let w = weight (Graph.succ_kind graph i) in
-          if w < 0.0 then invalid_arg "Dijkstra: negative edge weight";
-          if w < Float.infinity then begin
-            let v = Graph.succ_dst graph i in
-            let nd = du +. w in
-            if nd < (if reached.(v) = gen then dist.(v) else Float.infinity) then begin
-              dist.(v) <- nd;
-              pred_edge.(v) <- i;
-              pred_node.(v) <- u;
-              reached.(v) <- gen;
-              Ion_util.Fheap.add queue (nd +. h v) v
-            end
-          end
-        done
+        (* Two copies of the relax loop: joining a prefilled-array read
+           with a closure-call result at one [let w] would box the float
+           on every edge, which is exactly what [edge_weights] avoids.
+           The fast copy also skips the heuristic call ([h v] through a
+           closure boxes its result per push); no caller combines a
+           prefilled array with A*. *)
+        match (edge_weights, heuristic) with
+        | Some ew, None ->
+            for i = Graph.succ_start graph u to stop - 1 do
+              let w = Array.unsafe_get ew i in
+              if w < 0.0 then invalid_arg "Dijkstra: negative edge weight";
+              if w < Float.infinity then begin
+                let v = Graph.succ_dst graph i in
+                let nd = du +. w in
+                if nd < (if reached.(v) = gen then dist.(v) else Float.infinity) then begin
+                  dist.(v) <- nd;
+                  pred_edge.(v) <- i;
+                  pred_node.(v) <- u;
+                  reached.(v) <- gen;
+                  (* manual push: Fheap.add would box nd at the call
+                     boundary (no flambda); see the recipe in fheap.mli *)
+                  Ion_util.Fheap.ensure_room queue;
+                  queue.Ion_util.Fheap.prio.(queue.Ion_util.Fheap.size) <- nd;
+                  queue.Ion_util.Fheap.data.(queue.Ion_util.Fheap.size) <- v;
+                  queue.Ion_util.Fheap.size <- queue.Ion_util.Fheap.size + 1;
+                  Ion_util.Fheap.sift_up queue (queue.Ion_util.Fheap.size - 1)
+                end
+              end
+            done
+        | _ ->
+            for i = Graph.succ_start graph u to stop - 1 do
+              let w =
+                match edge_weights with
+                | Some ew -> Array.unsafe_get ew i
+                | None -> weight (Graph.succ_kind graph i)
+              in
+              if w < 0.0 then invalid_arg "Dijkstra: negative edge weight";
+              if w < Float.infinity then begin
+                let v = Graph.succ_dst graph i in
+                let nd = du +. w in
+                if nd < (if reached.(v) = gen then dist.(v) else Float.infinity) then begin
+                  dist.(v) <- nd;
+                  pred_edge.(v) <- i;
+                  pred_node.(v) <- u;
+                  reached.(v) <- gen;
+                  Ion_util.Fheap.add queue (nd +. h v) v
+                end
+              end
+            done
       end
     end
   done

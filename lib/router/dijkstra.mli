@@ -44,6 +44,7 @@ val distances :
 val run_into :
   ?heuristic:(Fabric.Graph.node -> float) ->
   ?count:int ref ->
+  ?edge_weights:float array ->
   Workspace.t ->
   Fabric.Graph.t ->
   weight:(Fabric.Graph.edge_kind -> float) ->
@@ -54,7 +55,16 @@ val run_into :
     settles the whole reachable graph; otherwise the search stops once
     [dst] settles.  [heuristic] must be admissible and consistent for the
     settled costs to be exact (A* contract); [count] is incremented once per
-    settled node. *)
+    settled node.
+
+    [edge_weights], when given, must hold the weight of every CSR edge
+    index (see {!Congestion.weights_into} and
+    {!Workspace.edge_weights_for}); the search then reads weights unboxed
+    instead of calling [weight] per edge, which boxes every returned float.
+    Values must equal what [weight] would return — the relax loop is
+    otherwise identical, including the negative-weight check, so the two
+    modes produce bit-identical predecessors and costs.  Without a
+    heuristic this path allocates nothing per edge or push. *)
 
 val path_to : Workspace.t -> Fabric.Graph.t -> dst:Fabric.Graph.node -> result option
 (** The path recorded by the last {!run_into} on this workspace. *)

@@ -25,9 +25,9 @@ let usage_table routes =
   let tbl = Resource.Tbl.create 64 in
   List.iter
     (fun (_, path) ->
-      List.iter
+      Path.iter_resources
         (fun r -> Resource.Tbl.replace tbl r (1 + Option.value ~default:0 (Resource.Tbl.find_opt tbl r)))
-        (Path.resources path))
+        path)
     routes;
   tbl
 
@@ -49,64 +49,82 @@ let route_all graph ?(max_iterations = 30) ?(present_factor = 0.5) ?(history_inc
     let cache = match cache with Some c -> c | None -> Route_cache.create () in
     Route_cache.for_graph cache graph;
     let workspace = Route_cache.workspace cache in
-    let history = Resource.Tbl.create 64 in
-    let hist r = Option.value ~default:0.0 (Resource.Tbl.find_opt history r) in
-    let history_dirty = ref false in
-    let routes : (int, Path.t) Hashtbl.t = Hashtbl.create 16 in
     (* Occupancy of the CURRENT routes, maintained incrementally — never
-       rebuilt.  [users] is the reverse index (resource -> nets whose current
-       route crosses it; each net at most once, Path.resources is distinct),
-       [overused] the live set of resources above capacity, and [at_capacity]
-       counts resources whose next user would pay a present penalty — the
+       rebuilt.  All negotiation state is flat arrays indexed by the packed
+       resource int: [nres] bounds every packed value on this fabric
+       (segment s -> 2s+1, junction j -> 2j).  [users] is the reverse index
+       (resource -> nets whose current route crosses it; each net at most
+       once, a path's footprint is distinct), [overused] the live set of
+       resources above capacity (bitmap + count), and [at_capacity] counts
+       resources whose next user would pay a present penalty — the
        negotiation weight equals the base weight exactly when it is zero and
        no history has accrued. *)
-    let occupancy = Resource.Tbl.create 64 in
-    let occ r = Option.value ~default:0 (Resource.Tbl.find_opt occupancy r) in
-    let users : int list Resource.Tbl.t = Resource.Tbl.create 64 in
-    let overused : unit Resource.Tbl.t = Resource.Tbl.create 16 in
+    let comp = Graph.component graph in
+    let nres =
+      2
+      * Int.max
+          (Array.length (Fabric.Component.segments comp))
+          (Array.length (Fabric.Component.junctions comp))
+      + 2
+    in
+    let history = Array.make nres 0.0 in
+    let history_dirty = ref false in
+    let routes : (int, Path.t) Hashtbl.t = Hashtbl.create 16 in
+    let occupancy = Array.make nres 0 in
+    let users : int list array = Array.make nres [] in
+    let overused = Array.make nres false in
+    let overused_count = ref 0 in
     let at_capacity = ref 0 in
+    let cap_of r = capacity (Resource.of_int r) in
     let bump r d =
-      let before = occ r in
+      let before = occupancy.(r) in
       let after = before + d in
       if after < 0 then
         invalid_arg "Pathfinder: negative occupancy — a net was ripped up twice";
-      Resource.Tbl.replace occupancy r after;
-      let cap = capacity r in
+      occupancy.(r) <- after;
+      let cap = cap_of r in
       if before < cap && after >= cap then incr at_capacity
       else if before >= cap && after < cap then decr at_capacity;
-      if after > cap then Resource.Tbl.replace overused r ()
-      else Resource.Tbl.remove overused r
+      if after > cap then begin
+        if not overused.(r) then begin
+          overused.(r) <- true;
+          incr overused_count
+        end
+      end
+      else if overused.(r) then begin
+        overused.(r) <- false;
+        decr overused_count
+      end
     in
     let rip net_id =
       match Hashtbl.find_opt routes net_id with
       | None -> ()
       | Some old ->
-          List.iter
-            (fun r ->
-              bump r (-1);
-              Resource.Tbl.replace users r
-                (List.filter (( <> ) net_id) (Option.value ~default:[] (Resource.Tbl.find_opt users r))))
-            (Path.resources old)
+          for i = 0 to Path.num_resources old - 1 do
+            let r = Resource.to_int (Path.resource old i) in
+            bump r (-1);
+            users.(r) <- List.filter (( <> ) net_id) users.(r)
+          done
     in
     let place net_id path =
       Hashtbl.replace routes net_id path;
-      List.iter
-        (fun r ->
-          bump r 1;
-          Resource.Tbl.replace users r
-            (net_id :: Option.value ~default:[] (Resource.Tbl.find_opt users r)))
-        (Path.resources path)
+      for i = 0 to Path.num_resources path - 1 do
+        let r = Resource.to_int (Path.resource path i) in
+        bump r 1;
+        users.(r) <- net_id :: users.(r)
+      done
     in
     let searches = ref 0 and seeded = ref 0 in
     let iterations = ref 0 in
     let weight (kind : Graph.edge_kind) =
       let base = match kind with Graph.Turn _ -> turn_cost | _ -> 1.0 in
-      match Resource.of_edge kind with
-      | None -> base
-      | Some r ->
-          let over = max 0 (occ r + 1 - capacity r) in
-          let p_fac = 1.0 +. (present_factor *. float_of_int !iterations) in
-          (base +. hist r) *. (1.0 +. (float_of_int over *. p_fac))
+      let r = Resource.pack_of_edge kind in
+      if r = Resource.none then base
+      else begin
+        let over = max 0 (occupancy.(r) + 1 - cap_of r) in
+        let p_fac = 1.0 +. (present_factor *. float_of_int !iterations) in
+        (base +. history.(r)) *. (1.0 +. (float_of_int over *. p_fac))
+      end
     in
     (* One net's search: lower-bound-guided A* under the live negotiation
        weights (admissible: present/history penalties only add to the base
@@ -133,11 +151,7 @@ let route_all graph ?(max_iterations = 30) ?(present_factor = 0.5) ?(history_inc
           let lb = Route_cache.lower_bound cache graph ~turn_cost ~dst:net.dst in
           Dijkstra.run_into ~heuristic:(Lower_bound.heuristic lb) workspace graph ~weight
             ~src:net.src ~dst:net.dst;
-          let result =
-            Option.map
-              (Path.of_result ~src:net.src ~dst:net.dst)
-              (Dijkstra.path_to workspace graph ~dst:net.dst)
-          in
+          let result = Path.of_workspace workspace graph ~src:net.src ~dst:net.dst in
           if clean && incremental then
             Route_cache.store cache Route_cache.Guided ~turn_cost ~src:net.src ~dst:net.dst result;
           result
@@ -161,12 +175,9 @@ let route_all graph ?(max_iterations = 30) ?(present_factor = 0.5) ?(history_inc
         if !iterations = 1 || not incremental then nets
         else begin
           let dirty = Hashtbl.create 16 in
-          Resource.Tbl.iter
-            (fun r () ->
-              List.iter
-                (fun id -> Hashtbl.replace dirty id ())
-                (Option.value ~default:[] (Resource.Tbl.find_opt users r)))
-            overused;
+          for r = 0 to nres - 1 do
+            if overused.(r) then List.iter (fun id -> Hashtbl.replace dirty id ()) users.(r)
+          done;
           List.filter (fun net -> Hashtbl.mem dirty net.net_id) nets
         end
       in
@@ -186,12 +197,12 @@ let route_all graph ?(max_iterations = 30) ?(present_factor = 0.5) ?(history_inc
       if !error = None then begin
         (* history penalties on the still-overused resources; convergence is
            "overused set empty" — both straight off the maintained state *)
-        if Resource.Tbl.length overused = 0 then converged := true
+        if !overused_count = 0 then converged := true
         else begin
           history_dirty := true;
-          Resource.Tbl.iter
-            (fun r () -> Resource.Tbl.replace history r (hist r +. history_increment))
-            overused
+          for r = 0 to nres - 1 do
+            if overused.(r) then history.(r) <- history.(r) +. history_increment
+          done
         end
       end
     done;
@@ -203,7 +214,7 @@ let route_all graph ?(max_iterations = 30) ?(present_factor = 0.5) ?(history_inc
           {
             routes = final;
             iterations = !iterations;
-            overused = Resource.Tbl.length overused;
+            overused = !overused_count;
             searches = !searches;
             seeded = !seeded;
           }

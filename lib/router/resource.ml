@@ -1,18 +1,46 @@
-type t = Segment of int | Junction of int
+(* Packed representation: a resource is one immediate int.
+     segment  s  ->  (s lsl 1) lor 1   (odd)
+     junction j  ->   j lsl 1          (even)
+   This is exactly the value the pre-pack [hash] function produced for the
+   boxed variant, so hash buckets — and therefore every Tbl iteration order
+   the old representation exhibited — are preserved bit-for-bit. *)
+
+type t = int
+
+type view = Segment of int | Junction of int
+
+let segment s = (s lsl 1) lor 1
+let junction j = j lsl 1
+
+let is_segment r = r land 1 = 1
+let id r = r lsr 1
+
+let view r = if is_segment r then Segment (id r) else Junction (id r)
+
+let to_int (r : t) : int = r
+let of_int (i : int) : t = i
+
+(* Sentinel for "this edge consumes no resource" in packed-int pipelines
+   (turns and tap hops).  Negative, so it can never collide with a packed
+   resource and indexes out of any resource-sized flat array. *)
+let none = -1
+
+let pack_of_edge = function
+  | Fabric.Graph.Chan s -> (s lsl 1) lor 1
+  | Fabric.Graph.Junc j -> j lsl 1
+  | Fabric.Graph.Turn _ | Fabric.Graph.Tap _ -> none
+
+let of_edge kind =
+  let r = pack_of_edge kind in
+  if r = none then None else Some r
 
 let compare (a : t) b = Stdlib.compare a b
-let equal (a : t) b = a = b
+let equal (a : t) (b : t) = a = b
+let hash (r : t) = r
 
-let hash = function Segment s -> (s * 2) + 1 | Junction j -> j * 2
-
-let pp ppf = function
-  | Segment s -> Format.fprintf ppf "segment#%d" s
-  | Junction j -> Format.fprintf ppf "junction#%d" j
-
-let of_edge = function
-  | Fabric.Graph.Chan s -> Some (Segment s)
-  | Fabric.Graph.Junc j -> Some (Junction j)
-  | Fabric.Graph.Turn _ | Fabric.Graph.Tap _ -> None
+let pp ppf r =
+  if is_segment r then Format.fprintf ppf "segment#%d" (id r)
+  else Format.fprintf ppf "junction#%d" (id r)
 
 module Tbl = Hashtbl.Make (struct
   type nonrec t = t

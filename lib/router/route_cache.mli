@@ -77,7 +77,16 @@ val freeze : t -> snapshot
     for the same graph, local entries winning value-neutral ties) into a
     frozen snapshot.  Folding [freeze] over a wave of job caches that all
     had the previous snapshot attached accumulates every entry seen so
-    far.  @raise Invalid_argument if the cache is not bound to a graph. *)
+    far.
+
+    Only the tables are copied — the {!Router.Path.t} values are shared
+    structurally, and {!find} hands the stored value back as-is, so every
+    consumer of a cached route reads the same flat arrays.  Because the
+    flat representation answers [resource]/[step]/[duration] queries
+    without allocating (the former edge-list paths rebuilt tuple lists per
+    use), a warm service batch replaying snapshot routes allocates nothing
+    per hit.  @raise Invalid_argument if the cache is not bound to a
+    graph. *)
 
 val attach : t -> snapshot -> unit
 (** Install a snapshot as the cache's read-only fallback layer, binding

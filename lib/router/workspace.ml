@@ -6,6 +6,7 @@ type t = {
   mutable settled : int array;
   mutable generation : int;
   queue : Ion_util.Fheap.t;
+  mutable edge_weights : float array;
 }
 
 let create () =
@@ -17,7 +18,12 @@ let create () =
     settled = [||];
     generation = 0;
     queue = Ion_util.Fheap.create ();
+    edge_weights = [||];
   }
+
+let edge_weights_for t m =
+  if Array.length t.edge_weights < m then t.edge_weights <- Array.make m 0.0;
+  t.edge_weights
 
 let prepare t n =
   if Array.length t.dist < n then begin

@@ -19,6 +19,10 @@ type t = {
   mutable settled : int array;  (** generation stamp: node popped with final cost *)
   mutable generation : int;
   queue : Ion_util.Fheap.t;  (** unboxed frontier: no allocation per push *)
+  mutable edge_weights : float array;
+      (** per-edge weight scratch for {!Dijkstra.run_into}'s [edge_weights]
+          fast path; sized by {!edge_weights_for}, contents owned by the
+          query that filled it *)
 }
 
 val create : unit -> t
@@ -39,3 +43,10 @@ val dist : t -> int -> float
     untouched. *)
 
 val is_settled : t -> int -> bool
+
+val edge_weights_for : t -> int -> float array
+(** [edge_weights_for t m] returns the per-edge weight scratch, grown to at
+    least [m] slots.  Callers fill it (e.g. {!Congestion.weights_into}) and
+    pass it to {!Dijkstra.run_into} as [edge_weights] so the inner loop
+    reads unboxed floats instead of calling the weight closure per edge —
+    the closure call would box every returned float on the minor heap. *)

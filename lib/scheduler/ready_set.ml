@@ -7,6 +7,7 @@ type t = {
   priorities : float array;
   status : status array;
   pending_preds : int array;
+  scratch : int array; (* reusable ready-id buffer for iter_ready *)
   mutable n_done : int;
   mutable n_busy : int;
   mutable n_flight : int;
@@ -17,7 +18,22 @@ let create dag ~priorities =
   if Array.length priorities <> n then invalid_arg "Ready_set.create: priorities length mismatch";
   let pending_preds = Array.init n (fun i -> List.length (Dag.node dag i).Dag.preds) in
   let status = Array.init n (fun i -> if pending_preds.(i) = 0 then Ready else Waiting) in
-  { dag; priorities; status; pending_preds; n_done = 0; n_busy = 0; n_flight = 0 }
+  {
+    dag;
+    priorities;
+    status;
+    pending_preds;
+    scratch = Array.make n 0;
+    n_done = 0;
+    n_busy = 0;
+    n_flight = 0;
+  }
+
+(* highest priority first, ties toward lower id — a total order, so every
+   correct sort (the insertion sort below, List.sort in [ready]) yields the
+   same sequence *)
+let before t a b =
+  match Float.compare t.priorities.(b) t.priorities.(a) with 0 -> a < b | c -> c < 0
 
 let ready t =
   let ids = ref [] in
@@ -26,6 +42,33 @@ let ready t =
     (fun a b ->
       match Float.compare t.priorities.(b) t.priorities.(a) with 0 -> Int.compare a b | c -> c)
     !ids
+
+let iter_ready t f =
+  (* allocation-free [ready]: collect into the reusable scratch, insertion
+     sort the prefix (ready sets are small), iterate.  The buffer is only
+     valid during this call — [f] may mutate statuses freely, the snapshot
+     is already taken, exactly like iterating the list [ready] built. *)
+  let buf = t.scratch in
+  let k = ref 0 in
+  Array.iteri
+    (fun i s ->
+      if s = Ready then begin
+        buf.(!k) <- i;
+        incr k
+      end)
+    t.status;
+  for i = 1 to !k - 1 do
+    let x = buf.(i) in
+    let j = ref (i - 1) in
+    while !j >= 0 && before t x buf.(!j) do
+      buf.(!j + 1) <- buf.(!j);
+      decr j
+    done;
+    buf.(!j + 1) <- x
+  done;
+  for i = 0 to !k - 1 do
+    f buf.(i)
+  done
 
 let is_ready t i = t.status.(i) = Ready
 

@@ -15,6 +15,14 @@ val ready : t -> int list
 (** Ready, unissued, non-deferred instructions, highest priority first
     (ties toward lower id). *)
 
+val iter_ready : t -> (int -> unit) -> unit
+(** [iter_ready t f] applies [f] to exactly the ids [ready] would return,
+    in the same order, without allocating: a reusable internal buffer
+    snapshots the ready set before the first call to [f], so [f] may
+    mutate the set (issue, defer, complete) just as engine issue rounds
+    do when iterating the materialized list.  Not reentrant: [f] must not
+    itself call [iter_ready] on the same [t]. *)
+
 val is_ready : t -> int -> bool
 
 val mark_issued : t -> int -> unit

@@ -1,0 +1,35 @@
+(* Per-domain warm arenas for service jobs.
+
+   A worker domain's hot-path scratch — the engine's trace builder
+   (Micro.Builder), the Dijkstra workspace inside each job's route cache,
+   and the estimator's event-driven scratch — is domain-local and grows
+   monotonically, so after one job the warm path allocates only the
+   materialized outputs.  Domain pools, however, spawn fresh domains per
+   batch, and a fresh domain starts with empty arenas: its first job pays
+   the doubling-growth allocations all over again.
+
+   This module keeps process-global high-watermarks of the arena sizes
+   jobs actually needed, so [prewarm] (called at the top of every worker
+   job) sizes a fresh domain's arenas once, up front.  Watermarks only
+   ever grow and carry no job data, so prewarming is invisible to results,
+   counters and digests — it moves allocations, never behavior. *)
+
+(* largest trace (in commands) any completed job has built *)
+let trace_hwm = Atomic.make 0
+
+let rec raise_to cell v =
+  let cur = Atomic.get cell in
+  if v > cur && not (Atomic.compare_and_set cell cur v) then raise_to cell v
+
+let prewarm ctx =
+  let b = Router.Micro.Builder.domain_local () in
+  Router.Micro.Builder.reserve b (Atomic.get trace_hwm);
+  let comp = Qspr.Mapper.component ctx in
+  let program = Qspr.Mapper.program ctx in
+  Estimator.Model.warm_scratch
+    ~num_qubits:(Qasm.Program.num_qubits program)
+    ~num_traps:(Array.length (Fabric.Component.traps comp))
+    ~num_instrs:(Qasm.Program.num_instrs program)
+
+let record () =
+  raise_to trace_hwm (Router.Micro.Builder.capacity (Router.Micro.Builder.domain_local ()))

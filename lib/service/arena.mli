@@ -1,0 +1,20 @@
+(** Per-domain warm arenas for service jobs.
+
+    Worker domains reuse domain-local scratch (trace builder, route
+    workspace, estimator scratch), but a domain pool spawns fresh domains
+    per batch whose arenas start empty.  [prewarm]/[record] carry the
+    arena sizes across batches through process-global high-watermarks:
+    the scheduler calls [prewarm] before mapping a job so a fresh domain
+    sizes its arenas once, and [record] after, to raise the watermarks.
+
+    Watermarks hold sizes only — never job data — so prewarming cannot
+    change results, cache counters or certificate digests.  See
+    [doc/memory.md] for the arena lifetime rules. *)
+
+val prewarm : Qspr.Mapper.t -> unit
+(** Size this domain's trace builder to the recorded high-watermark and
+    the estimator scratch to the job's instance dimensions. *)
+
+val record : unit -> unit
+(** Raise the high-watermarks to this domain's current arena sizes;
+    call after a job completes on the worker. *)

@@ -422,9 +422,12 @@ let map_with_placer (job : Protocol.job) rung ctx =
       | _ -> Qspr.Mapper.map_portfolio ~jobs:1 ctx)
 
 (* Runs on a worker domain: map, certify, return pure data.  The private
-   route cache's counters are read on the main domain after the wave. *)
+   route cache's counters are read on the main domain after the wave.
+   [Arena.prewarm] sizes the domain's trace builder and estimator scratch
+   up front so even a fresh pool domain maps its first job warm. *)
 let run_one p =
   let t0 = Sys.time () in
+  Arena.prewarm p.p_ctx;
   let shed_audit =
     match p.p_rung with
     | Full | Quote_only | Refused -> []
@@ -475,6 +478,7 @@ let run_one p =
             attempts = shed_audit @ attempts_of sol.Qspr.Mapper.attempts;
           }
   in
+  Arena.record ();
   (verdict, Sys.time () -. t0)
 
 let cache_stats_of t p =

@@ -39,7 +39,15 @@ type result = {
   route_cache_hits : int;
 }
 
-type event = Instr_done of int | Resource_exit of Resource.t
+(* Events are int-packed for the unboxed event queue: bit 0 tags the kind
+   (0 = instruction done, 1 = resource exit), the upper bits carry the
+   instruction id or the packed resource.  Packing keeps the warm path free
+   of per-event variant blocks and boxed priorities — the queue is an
+   {!Ion_util.Fheap}, whose binary-heap sifts mirror the former
+   [(float, event) Pqueue] comparison-for-comparison, so pop order (ties
+   included) is bit-identical. *)
+let ev_instr_done id = id lsl 1
+let ev_resource_exit r = (Resource.to_int r lsl 1) lor 1
 
 (* A two-qubit instruction may commit with only one operand routable: the
    other stays *pending* in its trap (reserved, engaged) and is dispatched as
@@ -66,9 +74,10 @@ type state = {
   qubit_engaged : bool array; (* reserved by an in-flight instruction *)
   occupants : int list array; (* trap -> qubits assigned (resident or inbound) *)
   flights : (int, in_flight) Hashtbl.t; (* instr id -> flight info *)
-  events : (float, event) Ion_util.Pqueue.t;
+  events : Ion_util.Fheap.t; (* int-packed events keyed by time, see above *)
   mutable clock : float;
-  mutable trace_rev : Micro.command list;
+  trace_buf : Micro.Builder.t; (* per-domain arena; commands materialize once at the end *)
+  mutable exit_buf : float array; (* scratch for Path.resource_exits_into *)
   ready_at : float array;
   issued_at : float array;
   completed_at : float array;
@@ -85,24 +94,64 @@ let turn_cost st = if st.policy.turn_aware then Timing.turn_cost_in_moves st.tim
 
 let weight st kind = Congestion.weight st.congestion ~turn_cost:(turn_cost st) kind
 
-let emit st cmd = st.trace_rev <- cmd :: st.trace_rev
-
 let trap_pos st tid = (Component.traps st.comp).(tid).Component.tpos
 
 (* a trap can host the instruction's operands iff every qubit already
-   assigned to it is one of those operands *)
-let trap_available st operands tid =
-  List.for_all (fun q -> List.mem q operands) st.occupants.(tid)
+   assigned to it is one of those operands — here specialized to the
+   two-operand case, closure-free: toplevel recursion over the occupant
+   list so the hot issue loop allocates nothing per availability probe *)
+let rec avail2 c t = function [] -> true | q :: tl -> (q = c || q = t) && avail2 c t tl
 
 let qubit_trap st q = st.qubit_trap.(q)
 
-(* candidate target traps for a two-qubit instruction, best first *)
+(* Warm-path memo for [Component.nearest_traps]: every two-qubit issue
+   attempt re-ranks all traps around a midpoint anchor, and the ranking is
+   a pure function of the immutable component and the anchor — the same
+   few anchors recur across retries, runs and service jobs.  One
+   domain-local table, swapped whenever the engine runs on a different
+   component; a hit returns the exact list the sort produced, so the memo
+   is invisible to trap choice. *)
+let nearest_memo : (Component.t * (int, int list) Hashtbl.t) option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let nearest_traps st anchor =
+  let slot = Domain.DLS.get nearest_memo in
+  let tbl =
+    match !slot with
+    | Some (c, tbl) when c == st.comp -> tbl
+    | _ ->
+        let tbl = Hashtbl.create 64 in
+        slot := Some (st.comp, tbl);
+        tbl
+  in
+  let key = (anchor.Coord.x lsl 20) lor anchor.Coord.y in
+  match Hashtbl.find_opt tbl key with
+  | Some ranked -> ranked
+  | None ->
+      let ranked = Component.nearest_traps st.comp anchor in
+      Hashtbl.add tbl key ranked;
+      ranked
+
+(* first [n] available traps from the ranking, skipping [skip] (the
+   preferred trap, or -1): toplevel recursion, so the only allocation is
+   the <= n-element result — the former List.filter materialized the whole
+   available set before truncating.  Availability is a pure read, so not
+   probing traps past the cut-off is invisible; result order is identical. *)
+let rec collect_avail st control target ~skip acc n = function
+  | [] -> List.rev acc
+  | tid :: tl ->
+      if n = 0 then List.rev acc
+      else if tid <> skip && avail2 control target st.occupants.(tid) then
+        collect_avail st control target ~skip (tid :: acc) (n - 1) tl
+      else collect_avail st control target ~skip acc n tl
+
+(* candidate target traps for a two-qubit instruction, best first:
+   take k (preferred @ [available traps by distance from the anchor]) *)
 let trap_candidates st ~control ~target =
   let ct = match qubit_trap st control with Some t -> t | None -> assert false in
   let tt = match qubit_trap st target with Some t -> t | None -> assert false in
   if ct = tt then [ ct ]
   else
-    let operands = [ control; target ] in
     let anchor =
       match st.policy.routing with
       | Both_move -> Coord.midpoint (trap_pos st ct) (trap_pos st tt)
@@ -110,15 +159,14 @@ let trap_candidates st ~control ~target =
     in
     let preferred =
       match st.policy.routing with
-      | Dest_pinned when trap_available st operands tt -> [ tt ]
-      | Dest_pinned | Both_move -> []
+      | Dest_pinned when avail2 control target st.occupants.(tt) -> tt
+      | Dest_pinned | Both_move -> -1
     in
-    let rest =
-      Component.nearest_traps st.comp anchor
-      |> List.filter (fun tid -> trap_available st operands tid && not (List.mem tid preferred))
-    in
-    let take k l = List.filteri (fun i _ -> i < k) l in
-    take st.policy.trap_candidates (preferred @ rest)
+    let k = st.policy.trap_candidates in
+    if k <= 0 then []
+    else if preferred >= 0 then
+      preferred :: collect_avail st control target ~skip:preferred [] (k - 1) (nearest_traps st anchor)
+    else collect_avail st control target ~skip:(-1) [] k (nearest_traps st anchor)
 
 (* Exact O(degree²) early-out for the dispatch_pending flood: a staged
    operand whose trap's tap segment is still held by its partner's crossing
@@ -171,6 +219,17 @@ let route_qubit st q ~to_trap =
             | Some _ | None -> None
           in
           let tc = turn_cost st in
+          (* uncached search: same run as Dijkstra.shortest_path, but the
+             result packs straight out of the workspace predecessors *)
+          let search () =
+            st.route_searches <- st.route_searches + 1;
+            (* prefill the per-edge weights so the relax loop reads them
+               unboxed — same values as the closure, zero words per edge *)
+            let ew = Workspace.edge_weights_for st.workspace (Graph.num_edges st.graph) in
+            Congestion.weights_into st.congestion ~turn_cost:tc st.graph ew;
+            Dijkstra.run_into ~edge_weights:ew st.workspace st.graph ~weight:(weight st) ~src ~dst;
+            Path.of_workspace st.workspace st.graph ~src ~dst
+          in
           match cache with
           | Some c -> (
               match Route_cache.find c Route_cache.Plain ~turn_cost:tc ~src ~dst with
@@ -178,33 +237,44 @@ let route_qubit st q ~to_trap =
                   st.route_cache_hits <- st.route_cache_hits + 1;
                   result
               | None ->
-                  st.route_searches <- st.route_searches + 1;
-                  let result =
-                    Dijkstra.shortest_path ~workspace:st.workspace st.graph ~weight:(weight st)
-                      ~src ~dst
-                    |> Option.map (Path.of_result ~src ~dst)
-                  in
+                  let result = search () in
                   Route_cache.store c Route_cache.Plain ~turn_cost:tc ~src ~dst result;
                   result)
-          | None ->
-              st.route_searches <- st.route_searches + 1;
-              Dijkstra.shortest_path ~workspace:st.workspace st.graph ~weight:(weight st) ~src ~dst
-              |> Option.map (Path.of_result ~src ~dst)
+          | None -> search ()
         end
 
-let acquire_path st p = List.iter (Congestion.acquire st.congestion) (Path.resources p)
-let release_path st p = List.iter (Congestion.release st.congestion) (Path.resources p)
+let acquire_path st p =
+  for i = 0 to Path.num_resources p - 1 do
+    Congestion.acquire st.congestion (Path.resource p i)
+  done
+
+let release_path st p =
+  for i = 0 to Path.num_resources p - 1 do
+    Congestion.release st.congestion (Path.resource p i)
+  done
 
 let schedule st delay ev =
   st.emitted_events <- st.emitted_events + 1;
-  Ion_util.Pqueue.add st.events (st.clock +. delay) ev
+  (* manual push — Fheap.add would box the time (see fheap.mli) *)
+  let q = st.events in
+  Ion_util.Fheap.ensure_room q;
+  q.Ion_util.Fheap.prio.(q.Ion_util.Fheap.size) <- st.clock +. delay;
+  q.Ion_util.Fheap.data.(q.Ion_util.Fheap.size) <- ev;
+  q.Ion_util.Fheap.size <- q.Ion_util.Fheap.size + 1;
+  Ion_util.Fheap.sift_up q (q.Ion_util.Fheap.size - 1)
 
-(* lower one routed operand: emit micro-commands, schedule its resource
-   exits, and return arrival time *)
+(* lower one routed operand: append its micro-commands to the trace arena,
+   schedule its resource exits (offsets into the reusable scratch buffer, in
+   first-crossing order — identical event insertion order to the former
+   tuple-list walk), and return arrival time *)
 let dispatch_qubit st q path =
-  let cmds, arrival = Micro.lower_path st.graph st.timing ~qubit:q ~start:st.clock path in
-  List.iter (emit st) cmds;
-  List.iter (fun (r, off) -> schedule st off (Resource_exit r)) (Path.resource_exits st.timing path);
+  let arrival = Micro.Builder.lower_path st.trace_buf st.graph st.timing ~qubit:q ~start:st.clock path in
+  let k = Path.num_resources path in
+  if Array.length st.exit_buf < k then st.exit_buf <- Array.make (Int.max 64 k) 0.0;
+  Path.resource_exits_into st.timing path st.exit_buf;
+  for i = 0 to k - 1 do
+    schedule st st.exit_buf.(i) (ev_resource_exit (Path.resource path i))
+  done;
   arrival
 
 let remove_from_trap st q tid = st.occupants.(tid) <- List.filter (( <> ) q) st.occupants.(tid)
@@ -227,11 +297,10 @@ let dispatch_operand st id fl q path =
   if fl.pending = [] then begin
     let start = List.fold_left Float.max 0.0 fl.arrivals in
     let finish = start +. st.timing.Timing.t_gate2 in
-    emit st
-      (Micro.Gate_start { instr_id = id; trap = trap_pos st fl.target_trap; qubits = fl.operands; time = start });
-    emit st
-      (Micro.Gate_end { instr_id = id; trap = trap_pos st fl.target_trap; qubits = fl.operands; time = finish });
-    schedule st (finish -. st.clock) (Instr_done id)
+    let q0, q1 = match fl.operands with [ a; b ] -> (a, b) | [ a ] -> (a, -1) | _ -> assert false in
+    Micro.Builder.add_gate_start st.trace_buf ~instr_id:id ~trap:(trap_pos st fl.target_trap) ~q0 ~q1 ~time:start;
+    Micro.Builder.add_gate_end st.trace_buf ~instr_id:id ~trap:(trap_pos st fl.target_trap) ~q0 ~q1 ~time:finish;
+    schedule st (finish -. st.clock) (ev_instr_done id)
   end
 
 let commit_gate2 st id ~trap ~control ~target ~dispatch_now =
@@ -286,11 +355,15 @@ let try_issue_gate2 st id control target =
                   true
               | None -> attempt_partial rest))
     in
-    if attempt_full candidates then true
-    else if attempt_partial candidates then true
+    let r1 = attempt_full candidates in
+    if r1 then true
     else begin
-      Scheduler.Ready_set.defer st.ready_set id;
-      false
+      let r2 = attempt_partial candidates in
+      if r2 then true
+      else begin
+        Scheduler.Ready_set.defer st.ready_set id;
+        false
+      end
     end
   end
 
@@ -316,10 +389,10 @@ let try_issue_gate1 st id q =
       st.issued_at.(id) <- st.clock;
       st.qubit_engaged.(q) <- true;
       let finish = st.clock +. st.timing.Timing.t_gate1 in
-      emit st (Micro.Gate_start { instr_id = id; trap = trap_pos st tid; qubits = [ q ]; time = st.clock });
-      emit st (Micro.Gate_end { instr_id = id; trap = trap_pos st tid; qubits = [ q ]; time = finish });
+      Micro.Builder.add_gate_start st.trace_buf ~instr_id:id ~trap:(trap_pos st tid) ~q0:q ~q1:(-1) ~time:st.clock;
+      Micro.Builder.add_gate_end st.trace_buf ~instr_id:id ~trap:(trap_pos st tid) ~q0:q ~q1:(-1) ~time:finish;
       Hashtbl.replace st.flights id { target_trap = tid; operands = [ q ]; pending = []; arrivals = [] };
-      schedule st (finish -. st.clock) (Instr_done id);
+      schedule st (finish -. st.clock) (ev_instr_done id);
       true
 
 let complete st id =
@@ -340,8 +413,7 @@ let complete st id =
    immediately, which can ready further instructions, so iterate *)
 let rec issue_round st =
   let progressed = ref false in
-  List.iter
-    (fun id ->
+  Scheduler.Ready_set.iter_ready st.ready_set (fun id ->
       if Scheduler.Ready_set.is_ready st.ready_set id then begin
         let issued =
           match (Dag.node st.dag id).Dag.instr with
@@ -353,8 +425,7 @@ let rec issue_round st =
           | Instr.Gate2 (_, c, t) -> try_issue_gate2 st id c t
         in
         if issued then progressed := true
-      end)
-    (Scheduler.Ready_set.ready st.ready_set);
+      end);
   if !progressed then issue_round st
 
 let max_events_factor = 10_000
@@ -413,9 +484,10 @@ let run ~graph ~timing ~policy ~dag ~priorities ~placement ?(max_events_factor =
           qubit_engaged = Array.make nq false;
           occupants = Array.make ntraps [];
           flights = Hashtbl.create 16;
-          events = Ion_util.Pqueue.create ~compare:Float.compare ();
+          events = Ion_util.Fheap.create ();
           clock = 0.0;
-          trace_rev = [];
+          trace_buf = Micro.Builder.domain_local ();
+          exit_buf = [||];
           ready_at = Array.make n 0.0;
           issued_at = Array.make n 0.0;
           completed_at = Array.make n 0.0;
@@ -429,6 +501,7 @@ let run ~graph ~timing ~policy ~dag ~priorities ~placement ?(max_events_factor =
         }
       in
       (match route_cache with Some c -> Route_cache.for_graph c graph | None -> ());
+      Micro.Builder.reset st.trace_buf;
       Array.iteri (fun q t -> st.occupants.(t) <- q :: st.occupants.(t)) placement;
       let budget = max_events_factor * (n + 1) in
       let error = ref None in
@@ -445,38 +518,42 @@ let run ~graph ~timing ~policy ~dag ~priorities ~placement ?(max_events_factor =
         && st.emitted_events <= budget
       do
         checkpoint ();
-        match Ion_util.Pqueue.pop st.events with
-        | None ->
-            error :=
-              Some
-                (Deadlock
-                   {
-                     stuck =
-                       Scheduler.Ready_set.busy_count st.ready_set
-                       + List.length (Scheduler.Ready_set.ready st.ready_set)
-                       + Hashtbl.length st.flights;
-                   })
-        | Some (t, ev) ->
+        if Ion_util.Fheap.is_empty st.events then
+          error :=
+            Some
+              (Deadlock
+                 {
+                   stuck =
+                     Scheduler.Ready_set.busy_count st.ready_set
+                     + List.length (Scheduler.Ready_set.ready st.ready_set)
+                     + Hashtbl.length st.flights;
+                 })
+        else begin
+            let t = st.events.Ion_util.Fheap.prio.(0) in
+            let ev0 = Ion_util.Fheap.top_data st.events in
+            Ion_util.Fheap.drop_min st.events;
             st.clock <- t;
-            (* drain all events at this timestamp before re-issuing *)
-            let batch = ref [ ev ] in
-            let rec drain () =
-              match Ion_util.Pqueue.peek st.events with
-              | Some (t', _) when t' <= t +. 1e-9 ->
-                  let _, e = Ion_util.Pqueue.pop_exn st.events in
-                  batch := e :: !batch;
-                  drain ()
-              | _ -> ()
+            (* drain all events at this timestamp before re-issuing,
+               processing each as it pops: completions and releases never
+               enqueue events, so inline processing sees the same heap —
+               and the same order — the former collect-then-replay did *)
+            let process ev =
+              if ev land 1 = 1 then Congestion.release st.congestion (Resource.of_int (ev asr 1))
+              else complete st (ev asr 1)
             in
-            drain ();
-            List.iter
-              (function
-                | Instr_done id -> complete st id
-                | Resource_exit r -> Congestion.release st.congestion r)
-              (List.rev !batch);
+            process ev0;
+            while
+              (not (Ion_util.Fheap.is_empty st.events))
+              && st.events.Ion_util.Fheap.prio.(0) <= t +. 1e-9
+            do
+              let e = Ion_util.Fheap.top_data st.events in
+              Ion_util.Fheap.drop_min st.events;
+              process e
+            done;
             dispatch_pending st;
             Scheduler.Ready_set.requeue_busy st.ready_set;
-            issue_round st
+            issue_round st;
+        end
       done;
       match !error with
       | Some e -> Error e
@@ -503,6 +580,7 @@ let run ~graph ~timing ~policy ~dag ~priorities ~placement ?(max_events_factor =
             let total_congestion_wait =
               Array.fold_left (fun acc (s : instr_stats) -> acc +. Float.max 0.0 (s.issued_at -. s.ready_at)) 0.0 stats
             in
+            let trace = Micro.Builder.to_commands st.trace_buf in
             let total_routing_time =
               Array.fold_left
                 (fun acc (s : instr_stats) ->
@@ -514,7 +592,7 @@ let run ~graph ~timing ~policy ~dag ~priorities ~placement ?(max_events_factor =
             Ok
               {
                 latency;
-                trace = List.sort (fun a b -> Float.compare (Micro.time a) (Micro.time b)) (List.rev st.trace_rev);
+                trace;
                 final_placement;
                 stats;
                 total_congestion_wait;

@@ -50,9 +50,9 @@ let check ~graph ~timing ~channel_capacity ~junction_capacity ~initial_placement
   in
   let resource_of_cell c =
     match Component.segment_at comp c with
-    | Some s -> Some (Resource.Segment s)
+    | Some s -> Some (Resource.segment s)
     | None -> (
-        match Component.junction_at comp c with Some j -> Some (Resource.Junction j) | None -> None)
+        match Component.junction_at comp c with Some j -> Some (Resource.junction j) | None -> None)
   in
   let check_qubit q = q >= 0 && q < nq in
   List.iter
@@ -137,7 +137,7 @@ let check ~graph ~timing ~channel_capacity ~junction_capacity ~initial_placement
     intervals;
   Hashtbl.iter
     (fun r ivs ->
-      let cap = match r with Resource.Segment _ -> channel_capacity | Resource.Junction _ -> junction_capacity in
+      let cap = if Resource.is_segment r then channel_capacity else junction_capacity in
       (* half-open intervals: a qubit finishing its move out at t and another
          starting its move in at t is a clean handoff, not an overlap, so
          exits sort before entries at equal timestamps *)

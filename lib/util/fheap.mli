@@ -4,9 +4,30 @@
     live in two parallel unboxed arrays, so pushing and popping allocate
     nothing once the heap has warmed up (unlike {!Pqueue}, which boxes a
     tuple per entry).  Peeking is split into {!top_prio}/{!top_data} for the
-    same reason. *)
+    same reason.
 
-type t
+    The representation is exposed for the same reason {!Router.Workspace}
+    exposes its arrays: without flambda, a [float] crossing a function
+    boundary is boxed, so [add q p v] and [top_prio q] each cost one minor
+    block no matter how hot the loop.  Allocation-critical loops instead
+    store/read [prio] directly (unboxed float-array accesses) and call
+    {!ensure_room}/{!sift_up}, which move no floats across the boundary:
+
+    {[
+      Fheap.ensure_room q;
+      q.Fheap.prio.(q.size) <- p;   (* unboxed store *)
+      q.Fheap.data.(q.size) <- v;
+      q.size <- q.size + 1;
+      Fheap.sift_up q (q.size - 1)
+    ]}
+
+    Everyone else should keep to the functions below. *)
+
+type t = {
+  mutable prio : float array;  (** priorities; slots >= [size] are stale *)
+  mutable data : int array;  (** payloads, parallel to [prio] *)
+  mutable size : int;
+}
 
 val create : ?capacity:int -> unit -> t
 val length : t -> int
@@ -16,6 +37,15 @@ val clear : t -> unit
 (** O(1); keeps the backing arrays for reuse. *)
 
 val add : t -> float -> int -> unit
+(** Boxes the priority at the call boundary; see the manual-push recipe
+    above for allocation-critical loops. *)
+
+val ensure_room : t -> unit
+(** Grows the backing arrays when full — call before a manual push. *)
+
+val sift_up : t -> int -> unit
+(** Restores the heap invariant upward from slot [i] — call after a manual
+    push of slot [i]. *)
 
 val top_prio : t -> float
 (** @raise Invalid_argument when empty. *)

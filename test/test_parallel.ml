@@ -121,6 +121,29 @@ let test_table1_jobs_bit_identical () =
       same_cell "mc_100" a.Report.mc_100 b.Report.mc_100)
     serial parallel
 
+(* PR 10: the arena-backed engine must stay byte-identical across job
+   widths on every Table-1 circuit — not just the winning latency but the
+   full trace and its certificate digest (the canonical rendering of
+   every move/turn/gate event the flat arenas now back). *)
+let test_table1_traces_and_digests_jobs4 () =
+  List.iter
+    (fun (name, program) ->
+      let ctx () =
+        match Mapper.create ~fabric:(Fabric.Layout.quale_45x85 ()) program with
+        | Ok ctx -> ctx
+        | Error e -> Alcotest.failf "Mapper.create %s: %s" name e
+      in
+      let c1 = ctx () and c4 = ctx () in
+      let a = solve (name ^ " jobs=1") (Mapper.map_mvfb ~m:2 ~jobs:1 c1) in
+      let b = solve (name ^ " jobs=4") (Mapper.map_mvfb ~m:2 ~jobs:4 c4) in
+      check_bool (name ^ ": latency bits") true
+        (Int64.equal (Int64.bits_of_float a.Mapper.latency) (Int64.bits_of_float b.Mapper.latency));
+      check_bool (name ^ ": trace") true (a.Mapper.trace = b.Mapper.trace);
+      let da = (Analysis.Certify.of_solution c1 a).Analysis.Certify.digest
+      and db = (Analysis.Certify.of_solution c4 b).Analysis.Certify.digest in
+      check_bool (name ^ ": certificate digest") true (Int64.equal da db))
+    (Circuits.Qecc.all ())
+
 let () =
   Alcotest.run "parallel"
     [
@@ -139,5 +162,7 @@ let () =
           Alcotest.test_case "monte carlo jobs=1 vs 4" `Quick test_monte_carlo_jobs_bit_identical;
           Alcotest.test_case "mvfb jobs=1 vs 3" `Quick test_mvfb_jobs_bit_identical;
           Alcotest.test_case "table1 jobs=1 vs 2" `Slow test_table1_jobs_bit_identical;
+          Alcotest.test_case "table1 traces+digests jobs=1 vs 4" `Slow
+            test_table1_traces_and_digests_jobs4;
         ] );
     ]

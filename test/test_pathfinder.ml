@@ -13,8 +13,8 @@ let comp_of lay = match Component.extract lay with Ok c -> c | Error e -> Alcote
 let tile () = comp_of (Layout.small_tile ())
 let quale () = comp_of (Layout.quale_45x85 ())
 
-let cap1 = function Resource.Segment _ -> 1 | Resource.Junction _ -> 2
-let cap2 = function Resource.Segment _ -> 2 | Resource.Junction _ -> 2
+let cap1 r = if Resource.is_segment r then 1 else 2
+let cap2 r = if Resource.is_segment r then 2 else 2
 
 let test_single_net_matches_dijkstra () =
   let comp = tile () in
@@ -26,7 +26,7 @@ let test_single_net_matches_dijkstra () =
       check_int "one iteration" 1 o.Pathfinder.iterations;
       check_int "no overuse" 0 o.Pathfinder.overused;
       match (o.Pathfinder.routes, Dijkstra.shortest_path g ~weight:(fun kind -> match kind with Graph.Turn _ -> 10.0 | _ -> 1.0) ~src ~dst) with
-      | [ (0, p) ], Some d -> check_bool "same cost" true (Float.abs (p.Path.cost -. d.Dijkstra.cost) < 1e-9)
+      | [ (0, p) ], Some d -> check_bool "same cost" true (Float.abs (Path.cost p -. d.Dijkstra.cost) < 1e-9)
       | _ -> Alcotest.fail "route shape")
 
 let node_at g pos orientation =
@@ -60,7 +60,7 @@ let test_contested_nets_negotiate_apart () =
           check_bool "disjoint channel usage" true
             (List.for_all
                (fun r ->
-                 match r with
+                 match Resource.view r with
                  | Resource.Segment _ -> not (List.mem r (Path.resources b))
                  | Resource.Junction _ -> true)
                (Path.resources a))
@@ -97,7 +97,7 @@ let test_unroutable_reported () =
 let same_routes a b =
   List.length a = List.length b
   && List.for_all2
-       (fun (ida, pa) (idb, pb) -> ida = idb && pa.Path.edges = pb.Path.edges)
+       (fun (ida, pa) (idb, pb) -> ida = idb && Path.equal pa pb)
        a b
 
 let test_incremental_matches_legacy_uncongested () =

@@ -51,17 +51,67 @@ let test_timing_guards () =
 (* ------------------------------------------------------------- Resource *)
 
 let test_resource_of_edge () =
-  check_bool "chan" true (Resource.of_edge (Graph.Chan 3) = Some (Resource.Segment 3));
-  check_bool "junc" true (Resource.of_edge (Graph.Junc 1) = Some (Resource.Junction 1));
+  check_bool "chan" true (Resource.of_edge (Graph.Chan 3) = Some (Resource.segment 3));
+  check_bool "junc" true (Resource.of_edge (Graph.Junc 1) = Some (Resource.junction 1));
   check_bool "turn free" true (Resource.of_edge (Graph.Turn 1) = None);
   check_bool "tap free" true (Resource.of_edge (Graph.Tap 0) = None)
+
+(* Resources are packed immediates (PR 10): every resource of a fabric must
+   survive the to_int/of_int round trip with view/is_segment/id agreeing,
+   and the allocation-free [pack_of_edge] must agree with [of_edge] on
+   every edge kind.  Checked on the full 45x85 fabric and on a
+   fault-degraded variant whose id space has holes. *)
+let roundtrip_component label comp =
+  let check_res r =
+    let packed = Resource.to_int r in
+    check_bool (label ^ ": packed non-negative") true (packed >= 0);
+    check_bool (label ^ ": packed is not the sentinel") true (packed <> Resource.none);
+    check_bool (label ^ ": of_int inverts to_int") true (Resource.equal (Resource.of_int packed) r);
+    match Resource.view r with
+    | Resource.Segment s ->
+        check_bool (label ^ ": is_segment") true (Resource.is_segment r);
+        check_int (label ^ ": segment id") s (Resource.id r)
+    | Resource.Junction j ->
+        check_bool (label ^ ": is_segment") false (Resource.is_segment r);
+        check_int (label ^ ": junction id") j (Resource.id r)
+  in
+  Array.iteri
+    (fun s _ ->
+      check_res (Resource.segment s);
+      check_int (label ^ ": chan pack")
+        (Resource.to_int (Resource.segment s))
+        (Resource.pack_of_edge (Graph.Chan s)))
+    (Component.segments comp);
+  Array.iteri
+    (fun j _ ->
+      check_res (Resource.junction j);
+      check_int (label ^ ": junc pack")
+        (Resource.to_int (Resource.junction j))
+        (Resource.pack_of_edge (Graph.Junc j)))
+    (Component.junctions comp);
+  check_int (label ^ ": turn free") Resource.none (Resource.pack_of_edge (Graph.Turn 0));
+  check_int (label ^ ": tap free") Resource.none (Resource.pack_of_edge (Graph.Tap 0))
+
+let degraded_quale () =
+  let layout = Layout.quale_45x85 () in
+  let faults = Fault.sample ~seed:2012 ~index:0 ~n:8 (quale ()) in
+  match Fault.apply layout faults with
+  | Error e -> Alcotest.failf "fault apply: %s" e
+  | Ok a -> (
+      match Component.extract a.Fault.layout with
+      | Ok c -> c
+      | Error e -> Alcotest.failf "extract degraded: %s" e)
+
+let test_resource_pack_roundtrip () =
+  roundtrip_component "quale" (quale ());
+  roundtrip_component "degraded" (degraded_quale ())
 
 (* ----------------------------------------------------------- Congestion *)
 
 let test_congestion_lifecycle () =
   let c = tile () in
   let cong = Congestion.create c ~channel_capacity:2 ~junction_capacity:2 in
-  let r = Resource.Segment 0 in
+  let r = Resource.segment 0 in
   check_int "zero users" 0 (Congestion.users cong r);
   check_bool "free" true (Congestion.is_free cong r);
   Congestion.acquire cong r;
@@ -82,9 +132,9 @@ let test_congestion_weights () =
   let c = tile () in
   let cong = Congestion.create c ~channel_capacity:2 ~junction_capacity:2 in
   check_float "empty chan" 1.0 (Congestion.weight cong ~turn_cost:10.0 (Graph.Chan 0));
-  Congestion.acquire cong (Resource.Segment 0);
+  Congestion.acquire cong (Resource.segment 0);
   check_float "one user chan" 2.0 (Congestion.weight cong ~turn_cost:10.0 (Graph.Chan 0));
-  Congestion.acquire cong (Resource.Segment 0);
+  Congestion.acquire cong (Resource.segment 0);
   check_bool "full chan infinite" true
     (Congestion.weight cong ~turn_cost:10.0 (Graph.Chan 0) = Float.infinity);
   check_float "junction" 1.0 (Congestion.weight cong ~turn_cost:10.0 (Graph.Junc 0));
@@ -96,7 +146,7 @@ let test_congestion_capacity_one () =
   (* QUALE mode: capacity-1 channels saturate after a single user *)
   let c = tile () in
   let cong = Congestion.create c ~channel_capacity:1 ~junction_capacity:2 in
-  Congestion.acquire cong (Resource.Segment 0);
+  Congestion.acquire cong (Resource.segment 0);
   check_bool "saturated at 1" true
     (Congestion.weight cong ~turn_cost:0.0 (Graph.Chan 0) = Float.infinity)
 
@@ -137,7 +187,7 @@ let test_dijkstra_trap_to_trap () =
       (* (5,1) -> (5,8): 13 cell steps and 2 turns on the small tile *)
       check_int "moves" 13 (Path.moves p);
       check_int "turns" 2 (Path.turns p);
-      check_float "cost" 33.0 p.Path.cost;
+      check_float "cost" 33.0 (Path.cost p);
       check_float "duration" 33.0 (Path.duration tm p)
 
 let test_dijkstra_distances () =
@@ -165,7 +215,7 @@ let test_fig5_turn_aware_single_turn () =
       let p = Path.of_result ~src ~dst r in
       check_int "single turn" 1 (Path.turns p);
       check_int "manhattan moves" 11 (Path.moves p);
-      check_float "cost" 21.0 p.Path.cost
+      check_float "cost" 21.0 (Path.cost p)
 
 let test_fig5_turn_blind_ignores_turns () =
   let comp = tile () in
@@ -179,7 +229,7 @@ let test_fig5_turn_blind_ignores_turns () =
       let p = Path.of_result ~src ~dst r in
       (* same cell distance, but the model cannot distinguish turn counts *)
       check_int "manhattan moves" 11 (Path.moves p);
-      check_float "cost counts only moves" 11.0 p.Path.cost
+      check_float "cost counts only moves" 11.0 (Path.cost p)
 
 let test_dijkstra_congestion_avoidance () =
   (* saturate the west vertical channel; the route must detour east *)
@@ -199,7 +249,7 @@ let test_dijkstra_congestion_avoidance () =
   let blocked =
     List.filter
       (fun r ->
-        match r with
+        match Resource.view r with
         | Resource.Segment s -> segs.(s).Component.orientation = Cell.Vertical
         | Resource.Junction _ -> false)
       (Path.resources baseline)
@@ -265,7 +315,7 @@ let test_path_cells_adjacent () =
 let test_micro_lowering () =
   let g, tm, p = route_tile 0 3 in
   let cmds, arrival = Micro.lower_path g tm ~qubit:7 ~start:100.0 p in
-  check_int "one command per edge" (List.length p.Path.edges) (List.length cmds);
+  check_int "one command per edge" (Path.step_count p) (List.length cmds);
   check_float "arrival" (100.0 +. Path.duration tm p) arrival;
   (* commands are time-contiguous *)
   let rec contiguous t = function
@@ -310,6 +360,58 @@ let test_micro_reverse () =
 
 (* ------------------------------------------------------------ properties *)
 
+(* PR 10: the packed flat-array path must be observationally identical to
+   the edge-list representation it replaced.  Repacking a path's own
+   materialized [edges] through [of_edges] (the list route into the
+   packed form) reproduces it bit for bit — same steps, costs, resource
+   footprint and exit offsets — the workspace-packed path equals the one
+   rebuilt from [Dijkstra.path_to]'s edge list, and the prefilled
+   edge-weight fast path returns the same route as the closure-weight
+   search it shortcuts. *)
+let prop_flat_path_equals_list_repr =
+  let comp = quale () in
+  let g = Graph.build comp in
+  let tm = Timing.paper in
+  let cong = Congestion.create comp ~channel_capacity:2 ~junction_capacity:1 in
+  let ntraps = Array.length (Component.traps comp) in
+  let ws = Workspace.create () in
+  let ws2 = Workspace.create () in
+  QCheck.Test.make ~name:"flat packed path = edge-list representation" ~count:60
+    QCheck.(pair (int_bound 10_000) (int_bound 10_000))
+    (fun (a, b) ->
+      let src = Graph.trap_node g (a mod ntraps) and dst = Graph.trap_node g (b mod ntraps) in
+      let weight = free_weight tm cong in
+      Dijkstra.run_into ws g ~weight ~src ~dst;
+      match Path.of_workspace ws g ~src ~dst with
+      | None -> false
+      | Some p ->
+          let q = Path.of_edges ~src ~dst ~cost:(Path.cost p) (Path.edges p) in
+          let n = Path.num_resources p in
+          let buf = Array.make (max 1 n) 0.0 in
+          Path.resource_exits_into tm p buf;
+          let flat_exits = List.init n (fun i -> (Path.resource p i, buf.(i))) in
+          let exits_p = Path.resource_exits tm p in
+          Path.equal p q
+          && Path.moves p = Path.moves q
+          && Path.turns p = Path.turns q
+          && Float.equal (Path.duration tm p) (Path.duration tm q)
+          && Path.step_count p = List.length (Path.edges p)
+          && List.length exits_p = n
+          && List.for_all2
+               (fun (r1, t1) (r2, t2) -> Resource.equal r1 r2 && Float.equal t1 t2)
+               exits_p flat_exits
+          && exits_p = Path.resource_exits tm q
+          && (match Dijkstra.path_to ws g ~dst with
+             | None -> false
+             | Some r -> Path.equal p (Path.of_result ~src ~dst r))
+          &&
+          let ew = Workspace.edge_weights_for ws2 (Graph.num_edges g) in
+          Congestion.weights_into cong ~turn_cost:(Timing.turn_cost_in_moves tm) g ew;
+          Dijkstra.run_into ~edge_weights:ew ws2 g ~weight ~src ~dst;
+          match Path.of_workspace ws2 g ~src ~dst with
+          | None -> false
+          | Some p2 -> Path.equal p p2)
+
 let prop_random_trap_pairs_route =
   QCheck.Test.make ~name:"all trap pairs on the QUALE fabric route cleanly" ~count:60
     QCheck.(pair (int_bound 1000) (int_bound 1000))
@@ -328,9 +430,9 @@ let prop_random_trap_pairs_route =
         | Some r ->
             let p = Path.of_result ~src ~dst r in
             (* uncongested: cost = moves + 10 * turns, and duration agrees *)
-            Float.abs (p.Path.cost -. (float_of_int (Path.moves p) +. (10.0 *. float_of_int (Path.turns p))))
+            Float.abs (Path.cost p -. (float_of_int (Path.moves p) +. (10.0 *. float_of_int (Path.turns p))))
             < 1e-9
-            && Float.abs (Path.duration tm p -. p.Path.cost *. tm.Timing.t_move) < 1e-9)
+            && Float.abs (Path.duration tm p -. (Path.cost p *. tm.Timing.t_move)) < 1e-9)
 
 let prop_path_at_least_manhattan =
   QCheck.Test.make ~name:"route length >= Manhattan distance" ~count:60
@@ -388,7 +490,7 @@ let prop_astar_equals_dijkstra =
       let nsegs = Array.length (Component.segments comp) in
       List.iter
         (fun s ->
-          let r = Resource.Segment (s mod nsegs) in
+          let r = Resource.segment (s mod nsegs) in
           if Congestion.is_free cong r then Congestion.acquire cong r)
         congested;
       let ntraps = Array.length (Component.traps comp) in
@@ -417,7 +519,7 @@ let prop_workspace_reuse_matches_fresh =
       let nsegs = Array.length (Component.segments comp) in
       List.iter
         (fun s ->
-          let r = Resource.Segment (s mod nsegs) in
+          let r = Resource.segment (s mod nsegs) in
           if Congestion.is_free cong r then Congestion.acquire cong r)
         congested;
       let w = Congestion.weight cong ~turn_cost:10.0 in
@@ -467,7 +569,11 @@ let () =
           Alcotest.test_case "paper values" `Quick test_timing_paper;
           Alcotest.test_case "guards" `Quick test_timing_guards;
         ] );
-      ("resource", [ Alcotest.test_case "of_edge" `Quick test_resource_of_edge ]);
+      ( "resource",
+        [
+          Alcotest.test_case "of_edge" `Quick test_resource_of_edge;
+          Alcotest.test_case "pack round-trip" `Quick test_resource_pack_roundtrip;
+        ] );
       ( "congestion",
         [
           Alcotest.test_case "lifecycle" `Quick test_congestion_lifecycle;
@@ -507,5 +613,11 @@ let () =
         @ qsuite [ prop_astar_equals_dijkstra ] );
       ( "workspace",
         qsuite [ prop_workspace_reuse_matches_fresh; prop_workspace_distances_match ] );
-      ("properties", qsuite [ prop_random_trap_pairs_route; prop_path_at_least_manhattan ]);
+      ( "properties",
+        qsuite
+          [
+            prop_flat_path_equals_list_repr;
+            prop_random_trap_pairs_route;
+            prop_path_at_least_manhattan;
+          ] );
     ]
